@@ -1,0 +1,454 @@
+//! The top-level HAAN accelerator: functional datapath plus timing, power and energy.
+
+use crate::config::AccelConfig;
+use crate::error::AccelError;
+use crate::isc::InputStatisticsCalculator;
+use crate::norm_unit::NormalizationUnit;
+use crate::pipeline::{pipeline_latency, PipelineReport, StageTiming};
+use crate::power::PowerModel;
+use crate::predictor_unit::IsdPredictorUnit;
+use crate::resources::{DeviceCapacity, ResourceEstimate};
+use crate::sqrt_inv::SquareRootInverter;
+use haan::{HaanConfig, SkipPlan};
+use haan_llm::NormKind;
+use serde::{Deserialize, Serialize};
+
+/// Result of running one normalization layer over a batch of token vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerRun {
+    /// Normalized outputs, one per input token vector.
+    pub outputs: Vec<Vec<f32>>,
+    /// Pipelined timing of the layer.
+    pub report: PipelineReport,
+    /// Whether this layer's ISD was predicted (skipped) rather than computed.
+    pub skipped: bool,
+}
+
+/// Timing / energy summary of a whole normalization workload (all layers of a model at
+/// a given sequence length).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Total cycles across all normalization layers.
+    pub total_cycles: u64,
+    /// Total latency in microseconds at the configured clock.
+    pub latency_us: f64,
+    /// Number of normalization layers processed.
+    pub layers: usize,
+    /// Number of layers whose ISD was predicted.
+    pub skipped_layers: usize,
+    /// Token vectors per layer.
+    pub vectors_per_layer: u64,
+    /// Average power in watts over the workload.
+    pub average_power_w: f64,
+    /// Energy in microjoules.
+    pub energy_uj: f64,
+    /// Pipeline stage balance of the non-skipped layers (1.0 = perfectly balanced).
+    pub stage_balance: f64,
+}
+
+/// The HAAN accelerator instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HaanAccelerator {
+    config: AccelConfig,
+    algorithm: HaanConfig,
+    plan: Option<SkipPlan>,
+    #[serde(skip)]
+    anchor_isd: Vec<Option<f32>>,
+}
+
+impl HaanAccelerator {
+    /// Creates an accelerator with the given hardware configuration and HAAN algorithm
+    /// configuration. A fixed skip range in the algorithm configuration becomes a plan
+    /// with zero decay; attach a calibrated plan with [`HaanAccelerator::with_plan`].
+    #[must_use]
+    pub fn new(config: AccelConfig, algorithm: HaanConfig) -> Self {
+        let plan = algorithm.skip_range.map(|(start, end)| SkipPlan {
+            start,
+            end,
+            decay: 0.0,
+            correlation: 0.0,
+            calibration_anchor_log_isd: 0.0,
+        });
+        Self {
+            config,
+            algorithm,
+            plan,
+            anchor_isd: Vec::new(),
+        }
+    }
+
+    /// Attaches a calibrated skip plan.
+    #[must_use]
+    pub fn with_plan(mut self, plan: SkipPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// The hardware configuration.
+    #[must_use]
+    pub fn config(&self) -> &AccelConfig {
+        &self.config
+    }
+
+    /// The algorithm configuration.
+    #[must_use]
+    pub fn algorithm(&self) -> &HaanConfig {
+        &self.algorithm
+    }
+
+    /// The active skip plan, if any.
+    #[must_use]
+    pub fn plan(&self) -> Option<&SkipPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Clears the per-token anchor observations (call between independent sequences).
+    pub fn reset(&mut self) {
+        self.anchor_isd.clear();
+    }
+
+    /// Resource estimate of this configuration.
+    #[must_use]
+    pub fn resources(&self) -> ResourceEstimate {
+        ResourceEstimate::for_config(&self.config)
+    }
+
+    /// Checks the design fits on the Alveo U280.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::ResourceOverflow`] when it does not.
+    pub fn check_fits_u280(&self) -> Result<(), AccelError> {
+        self.resources().check_fits(DeviceCapacity::alveo_u280())
+    }
+
+    /// Number of statistics-path elements read per vector of width `embedding_dim`.
+    #[must_use]
+    pub fn statistics_elements(&self, embedding_dim: usize) -> usize {
+        self.algorithm
+            .n_sub
+            .unwrap_or(embedding_dim)
+            .min(embedding_dim)
+    }
+
+    /// Per-vector stage timing for a (non-)skipped layer of the given width.
+    #[must_use]
+    pub fn layer_stage_timing(&self, embedding_dim: usize, skipped: bool, kind: NormKind) -> StageTiming {
+        let isc = InputStatisticsCalculator::new(&self.config);
+        let sri = SquareRootInverter::new(&self.config);
+        let nu = NormalizationUnit::new(&self.config);
+        let n_used = self.statistics_elements(embedding_dim);
+        let isc_cycles = if skipped && kind == NormKind::RmsNorm {
+            // RMSNorm needs no mean, so a skipped layer bypasses the statistics path.
+            1
+        } else {
+            isc.stage_cycles(n_used)
+        };
+        let sqrt_inv = if skipped {
+            IsdPredictorUnit::LATENCY_CYCLES
+        } else {
+            sri.cycles()
+        };
+        StageTiming {
+            isc: isc_cycles,
+            sqrt_inv,
+            norm: nu.stage_cycles(embedding_dim),
+        }
+    }
+
+    /// Runs one normalization layer over a batch of token vectors (functional + timing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidWorkload`] for empty batches or mismatched parameter
+    /// lengths, and propagates unit-level errors.
+    pub fn normalize_layer(
+        &mut self,
+        tokens: &[Vec<f32>],
+        gamma: &[f32],
+        beta: &[f32],
+        kind: NormKind,
+        layer_index: usize,
+    ) -> Result<LayerRun, AccelError> {
+        self.config.validate()?;
+        let Some(first) = tokens.first() else {
+            return Err(AccelError::InvalidWorkload("empty token batch".to_string()));
+        };
+        let embedding_dim = first.len();
+        if self.anchor_isd.len() < tokens.len() {
+            self.anchor_isd.resize(tokens.len(), None);
+        }
+
+        let isc = InputStatisticsCalculator::new(&self.config);
+        let sri = SquareRootInverter::new(&self.config);
+        let nu = NormalizationUnit::new(&self.config);
+        let predictor = self.plan.map(IsdPredictorUnit::new);
+        let skipped = predictor
+            .as_ref()
+            .is_some_and(|p| p.handles_layer(layer_index));
+        let is_anchor = self
+            .plan
+            .as_ref()
+            .is_some_and(|plan| plan.is_anchor(layer_index));
+        let n_used = self.statistics_elements(embedding_dim);
+
+        let mut outputs = Vec::with_capacity(tokens.len());
+        for (token_index, z) in tokens.iter().enumerate() {
+            if z.len() != embedding_dim {
+                return Err(AccelError::InvalidWorkload(
+                    "token vectors have inconsistent widths".to_string(),
+                ));
+            }
+            let quantized = self.algorithm.format.round_trip(&z[..n_used.min(z.len())]);
+            let (mean, isd) = if skipped {
+                let predictor = predictor.as_ref().expect("skipped implies a predictor");
+                let anchor = self.anchor_isd[token_index].unwrap_or_else(|| {
+                    self.plan
+                        .as_ref()
+                        .map(|p| p.calibration_anchor_log_isd.exp() as f32)
+                        .unwrap_or(1.0)
+                });
+                let prediction = predictor.predict(anchor, layer_index);
+                let mean = match kind {
+                    NormKind::LayerNorm => isc.compute(&quantized, n_used, true)?.mean,
+                    NormKind::RmsNorm => 0.0,
+                };
+                (mean, prediction.isd)
+            } else {
+                let stats = isc.compute(&quantized, n_used, false)?;
+                let second_moment = match kind {
+                    NormKind::LayerNorm => stats.variance,
+                    NormKind::RmsNorm => stats.variance + stats.mean * stats.mean,
+                };
+                let inverted = sri.compute(second_moment)?;
+                if is_anchor {
+                    self.anchor_isd[token_index] = Some(inverted.isd);
+                }
+                (stats.mean, inverted.isd)
+            };
+            let normalized = nu.normalize(z, mean, isd, gamma, beta, kind)?;
+            outputs.push(normalized.output);
+        }
+
+        let stages = self.layer_stage_timing(embedding_dim, skipped, kind);
+        let report = pipeline_latency(stages, tokens.len() as u64, self.config.pipelines as u64);
+        Ok(LayerRun {
+            outputs,
+            report,
+            skipped,
+        })
+    }
+
+    /// Timing / power / energy estimate for the full normalization workload of a model:
+    /// `num_norm_layers` layers of width `embedding_dim` over `seq_len` token vectors.
+    #[must_use]
+    pub fn workload(&self, embedding_dim: usize, num_norm_layers: usize, seq_len: usize, kind: NormKind) -> WorkloadReport {
+        let skipped_layers = self
+            .plan
+            .as_ref()
+            .map(|plan| {
+                (0..num_norm_layers)
+                    .filter(|&layer| plan.is_skipped(layer))
+                    .count()
+            })
+            .unwrap_or(0);
+        let normal_layers = num_norm_layers - skipped_layers;
+
+        let normal_stages = self.layer_stage_timing(embedding_dim, false, kind);
+        let skipped_stages = self.layer_stage_timing(embedding_dim, true, kind);
+        let pipelines = self.config.pipelines as u64;
+        let normal_report = pipeline_latency(normal_stages, seq_len as u64, pipelines);
+        let skipped_report = pipeline_latency(skipped_stages, seq_len as u64, pipelines);
+
+        let total_cycles = normal_report.total_cycles * normal_layers as u64
+            + skipped_report.total_cycles * skipped_layers as u64;
+        let latency_us = self.config.cycles_to_us(total_cycles);
+
+        // Activity factors: the statistics lanes are busy for their stage share of the
+        // initiation interval; skipped RMSNorm layers idle the statistics path entirely.
+        let interval = normal_stages.bottleneck().max(1) as f64;
+        let stats_activity_normal = normal_stages.isc as f64 / interval;
+        let stats_activity_skipped = skipped_stages.isc as f64
+            / skipped_stages.bottleneck().max(1) as f64;
+        let layer_weight = |count: usize| count as f64 / num_norm_layers.max(1) as f64;
+        let stats_activity = stats_activity_normal * layer_weight(normal_layers)
+            + stats_activity_skipped * layer_weight(skipped_layers);
+        let norm_activity = 1.0;
+
+        let power = PowerModel::calibrated().estimate(&self.config, stats_activity, norm_activity);
+        let average_power_w = power.total_w();
+        let energy_uj = average_power_w * latency_us;
+
+        WorkloadReport {
+            total_cycles,
+            latency_us,
+            layers: num_norm_layers,
+            skipped_layers,
+            vectors_per_layer: seq_len as u64,
+            average_power_w,
+            energy_uj,
+            stage_balance: normal_stages.balance(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haan_numerics::stats::VectorStats;
+
+    fn tokens(count: usize, dim: usize, scale: f32) -> Vec<Vec<f32>> {
+        (0..count)
+            .map(|t| {
+                (0..dim)
+                    .map(|i| ((i * 31 + t * 7) % 23) as f32 / 5.0 * scale - 2.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn functional_output_matches_reference_layernorm() {
+        let mut accel = HaanAccelerator::new(AccelConfig::haan_v1(), HaanConfig::unoptimized());
+        let batch = tokens(3, 256, 1.0);
+        let gamma = vec![1.0f32; 256];
+        let beta = vec![0.0f32; 256];
+        let run = accel
+            .normalize_layer(&batch, &gamma, &beta, NormKind::LayerNorm, 0)
+            .unwrap();
+        assert_eq!(run.outputs.len(), 3);
+        assert!(!run.skipped);
+        for output in &run.outputs {
+            let stats = VectorStats::compute(output);
+            assert!(stats.mean.abs() < 1e-2);
+            assert!((stats.variance - 1.0).abs() < 5e-2);
+        }
+        assert!(run.report.total_cycles > 0);
+    }
+
+    #[test]
+    fn skipped_layers_use_the_predictor() {
+        let plan = SkipPlan {
+            start: 0,
+            end: 3,
+            decay: 0.0,
+            correlation: -1.0,
+            calibration_anchor_log_isd: 0.0,
+        };
+        let config = HaanConfig::builder().subsample(64).build();
+        let mut accel = HaanAccelerator::new(AccelConfig::haan_v1(), config).with_plan(plan);
+        let batch = tokens(2, 256, 1.0);
+        let gamma = vec![1.0f32; 256];
+        let beta = vec![0.0f32; 256];
+        // Layer 0 is the anchor: computed, records anchor ISDs.
+        let anchor_run = accel
+            .normalize_layer(&batch, &gamma, &beta, NormKind::LayerNorm, 0)
+            .unwrap();
+        assert!(!anchor_run.skipped);
+        // Layer 1 is skipped: predicted ISD (decay 0 ⇒ same as the anchor's ISD).
+        let skipped_run = accel
+            .normalize_layer(&batch, &gamma, &beta, NormKind::LayerNorm, 1)
+            .unwrap();
+        assert!(skipped_run.skipped);
+        // Since the inputs are identical across layers and the decay is zero, the skipped
+        // output matches the anchor output closely.
+        for (a, b) in anchor_run.outputs[0].iter().zip(&skipped_run.outputs[0]) {
+            assert!((a - b).abs() < 2e-2, "{a} vs {b}");
+        }
+        accel.reset();
+    }
+
+    #[test]
+    fn subsampling_reduces_statistics_stage_time_and_power() {
+        let full = HaanAccelerator::new(AccelConfig::haan_v1(), HaanConfig::unoptimized());
+        let sub = HaanAccelerator::new(
+            AccelConfig::haan_v1(),
+            HaanConfig::builder().subsample(800).format(haan_numerics::Format::Fp16).build(),
+        );
+        let full_timing = full.layer_stage_timing(1600, false, NormKind::LayerNorm);
+        let sub_timing = sub.layer_stage_timing(1600, false, NormKind::LayerNorm);
+        assert!(sub_timing.isc < full_timing.isc);
+        assert_eq!(sub_timing.norm, full_timing.norm);
+
+        let full_report = full.workload(1600, 97, 128, NormKind::LayerNorm);
+        let sub_report = sub.workload(1600, 97, 128, NormKind::LayerNorm);
+        assert!(sub_report.average_power_w < full_report.average_power_w);
+    }
+
+    #[test]
+    fn workload_counts_skipped_layers() {
+        let plan = SkipPlan {
+            start: 85,
+            end: 92,
+            decay: -0.03,
+            correlation: -1.0,
+            calibration_anchor_log_isd: -1.0,
+        };
+        let accel = HaanAccelerator::new(
+            AccelConfig::haan_v1(),
+            HaanConfig::gpt2_1_5b_paper().rescaled_subsample(1600, 1600),
+        )
+        .with_plan(plan);
+        let report = accel.workload(1600, 97, 256, NormKind::LayerNorm);
+        assert_eq!(report.layers, 97);
+        assert_eq!(report.skipped_layers, 7);
+        assert_eq!(report.vectors_per_layer, 256);
+        assert!(report.latency_us > 0.0);
+        assert!(report.energy_uj > 0.0);
+        assert!(report.stage_balance > 0.0 && report.stage_balance <= 1.0);
+    }
+
+    #[test]
+    fn haan_v2_balances_the_pipeline_better_under_subsampling() {
+        let algorithm = HaanConfig::builder().subsample(800).build();
+        let v1 = HaanAccelerator::new(AccelConfig::haan_v1(), algorithm.clone());
+        let v2 = HaanAccelerator::new(AccelConfig::haan_v2(), algorithm);
+        let t1 = v1.layer_stage_timing(1600, false, NormKind::LayerNorm);
+        let t2 = v2.layer_stage_timing(1600, false, NormKind::LayerNorm);
+        assert!(t2.balance() > t1.balance(), "{} vs {}", t2.balance(), t1.balance());
+    }
+
+    #[test]
+    fn invalid_workloads_are_rejected() {
+        let mut accel = HaanAccelerator::new(AccelConfig::haan_v1(), HaanConfig::default());
+        let gamma = vec![1.0f32; 8];
+        let beta = vec![0.0f32; 8];
+        assert!(accel
+            .normalize_layer(&[], &gamma, &beta, NormKind::LayerNorm, 0)
+            .is_err());
+        let ragged = vec![vec![1.0f32; 8], vec![1.0f32; 4]];
+        assert!(accel
+            .normalize_layer(&ragged, &gamma, &beta, NormKind::LayerNorm, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn accessors_and_resource_check() {
+        let accel = HaanAccelerator::new(AccelConfig::haan_v3(), HaanConfig::opt_2_7b_paper());
+        assert_eq!(accel.config().pd, 64);
+        assert_eq!(accel.algorithm().n_sub, Some(1280));
+        assert!(accel.plan().is_some());
+        assert!(accel.check_fits_u280().is_ok());
+        assert_eq!(accel.statistics_elements(2560), 1280);
+        assert_eq!(accel.statistics_elements(512), 512);
+        let resources = accel.resources();
+        assert!(resources.dsp > 0);
+    }
+
+    #[test]
+    fn rmsnorm_skipped_layers_idle_the_statistics_path() {
+        let plan = SkipPlan {
+            start: 10,
+            end: 20,
+            decay: -0.05,
+            correlation: -1.0,
+            calibration_anchor_log_isd: 0.0,
+        };
+        let accel =
+            HaanAccelerator::new(AccelConfig::haan_v1(), HaanConfig::llama_7b_paper()).with_plan(plan);
+        let timing = accel.layer_stage_timing(4096, true, NormKind::RmsNorm);
+        assert_eq!(timing.isc, 1);
+        let normal = accel.layer_stage_timing(4096, false, NormKind::RmsNorm);
+        assert!(normal.isc > 1);
+    }
+}

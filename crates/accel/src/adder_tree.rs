@@ -1,0 +1,124 @@
+//! Adder trees used by the input statistics calculator (Fig. 4).
+
+use haan_numerics::{Fixed, QFormat};
+use serde::{Deserialize, Serialize};
+
+/// A binary adder tree reducing `width` fixed-point inputs per invocation.
+///
+/// The latency is `ceil(log2(width))` pipeline stages; the functional result is the
+/// saturating fixed-point sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdderTree {
+    width: usize,
+    format: QFormat,
+}
+
+impl AdderTree {
+    /// Creates an adder tree of the given input width and accumulator format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn new(width: usize, format: QFormat) -> Self {
+        assert!(width > 0, "adder tree width must be at least 1");
+        Self { width, format }
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of pipeline stages (`ceil(log2(width))`, at least 1).
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        if self.width <= 1 {
+            1
+        } else {
+            (self.width as f64).log2().ceil() as u32
+        }
+    }
+
+    /// Number of two-input adders in the tree.
+    #[must_use]
+    pub fn adder_count(&self) -> usize {
+        self.width.saturating_sub(1).max(1)
+    }
+
+    /// Reduces a slice of fixed-point values (shorter slices are allowed — lanes beyond
+    /// the data are fed zeros, exactly like a partially filled hardware pass).
+    #[must_use]
+    pub fn reduce(&self, values: &[Fixed]) -> Fixed {
+        let mut acc = Fixed::zero(self.format);
+        for &v in values.iter().take(self.width) {
+            acc = acc.saturating_add(v.convert(self.format));
+        }
+        acc
+    }
+
+    /// Reduces an `f32` slice by first quantizing into the accumulator format.
+    #[must_use]
+    pub fn reduce_f32(&self, values: &[f32]) -> Fixed {
+        let fixed: Vec<Fixed> = values
+            .iter()
+            .take(self.width)
+            .map(|&v| Fixed::from_f64(f64::from(v), self.format))
+            .collect();
+        self.reduce(&fixed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn depth_is_log2_of_width() {
+        assert_eq!(AdderTree::new(1, QFormat::Q16_16).depth(), 1);
+        assert_eq!(AdderTree::new(2, QFormat::Q16_16).depth(), 1);
+        assert_eq!(AdderTree::new(8, QFormat::Q16_16).depth(), 3);
+        assert_eq!(AdderTree::new(128, QFormat::Q16_16).depth(), 7);
+        assert_eq!(AdderTree::new(129, QFormat::Q16_16).depth(), 8);
+    }
+
+    #[test]
+    fn adder_count_is_width_minus_one() {
+        assert_eq!(AdderTree::new(128, QFormat::Q16_16).adder_count(), 127);
+        assert_eq!(AdderTree::new(1, QFormat::Q16_16).adder_count(), 1);
+        assert_eq!(AdderTree::new(8, QFormat::Q16_16).width(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_width_panics() {
+        let _ = AdderTree::new(0, QFormat::Q16_16);
+    }
+
+    #[test]
+    fn reduce_matches_float_sum() {
+        let tree = AdderTree::new(16, QFormat::Q32_24);
+        let xs: Vec<f32> = (0..16).map(|i| i as f32 * 0.25 - 2.0).collect();
+        let sum: f32 = xs.iter().sum();
+        assert!((tree.reduce_f32(&xs).to_f32() - sum).abs() < 1e-3);
+    }
+
+    #[test]
+    fn partial_pass_pads_with_zeros() {
+        let tree = AdderTree::new(8, QFormat::Q16_16);
+        let xs = [1.5f32, 2.5];
+        assert!((tree.reduce_f32(&xs).to_f32() - 4.0).abs() < 1e-3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reduction_error_bounded(xs in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+            let tree = AdderTree::new(64, QFormat::Q32_24);
+            let sum: f64 = xs.iter().map(|&v| f64::from(v)).sum();
+            let got = tree.reduce_f32(&xs).to_f64();
+            prop_assert!((got - sum).abs() < 1e-2);
+        }
+    }
+}

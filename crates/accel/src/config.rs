@@ -1,0 +1,181 @@
+//! Accelerator configurations, including the HAAN-v1/v2/v3 variants of Section V-B.
+
+use crate::error::AccelError;
+use haan_numerics::{Format, QFormat};
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of one HAAN accelerator instance.
+///
+/// `pd` is the input width (elements per cycle) of the input statistics calculator and
+/// `pn` the width of the normalization units, matching the paper's notation. The
+/// accelerator runs at 100 MHz on the Alveo U280.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccelConfig {
+    /// Parallelism of the input statistics calculator (elements per cycle).
+    pub pd: usize,
+    /// Parallelism of the normalization units (elements per cycle).
+    pub pn: usize,
+    /// External input/output format.
+    pub format: Format,
+    /// Internal fixed-point format of the statistics datapath.
+    pub internal: QFormat,
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Newton iterations in the square root inverter.
+    pub newton_iterations: u32,
+    /// Number of parallel sample pipelines (the paper's configurations use one).
+    pub pipelines: usize,
+}
+
+impl AccelConfig {
+    /// HAAN-v1: single pipeline, FP16 input, `(pd, pn) = (128, 128)`.
+    #[must_use]
+    pub fn haan_v1() -> Self {
+        Self {
+            pd: 128,
+            pn: 128,
+            format: Format::Fp16,
+            internal: QFormat::Q16_16,
+            clock_mhz: 100.0,
+            newton_iterations: 1,
+            pipelines: 1,
+        }
+    }
+
+    /// HAAN-v2: single pipeline, FP16 input, `(pd, pn) = (80, 160)` — the configuration
+    /// that reallocates statistics parallelism to more normalization-unit pipeline
+    /// levels when subsampling is enabled.
+    #[must_use]
+    pub fn haan_v2() -> Self {
+        Self {
+            pd: 80,
+            pn: 160,
+            ..Self::haan_v1()
+        }
+    }
+
+    /// HAAN-v3: single pipeline, FP16 input, `(pd, pn) = (64, 128)` (used for OPT-2.7B).
+    #[must_use]
+    pub fn haan_v3() -> Self {
+        Self {
+            pd: 64,
+            pn: 128,
+            ..Self::haan_v1()
+        }
+    }
+
+    /// The six rows of Table III: `(label, config)` pairs.
+    #[must_use]
+    pub fn table3_rows() -> Vec<(String, Self)> {
+        let base = Self::haan_v1();
+        let mut rows = Vec::new();
+        for (format, pairs) in [
+            (Format::Fp32, [(128usize, 128usize), (32, 128)]),
+            (Format::Fp16, [(128, 128), (32, 128)]),
+            (Format::Int8, [(256, 256), (32, 512)]),
+        ] {
+            for (pd, pn) in pairs {
+                rows.push((
+                    format!("{format} ({pd}, {pn})"),
+                    Self {
+                        pd,
+                        pn,
+                        format,
+                        ..base
+                    },
+                ));
+            }
+        }
+        rows
+    }
+
+    /// Cycle period in microseconds.
+    #[must_use]
+    pub fn cycle_us(&self) -> f64 {
+        1.0 / self.clock_mhz
+    }
+
+    /// Converts a cycle count to microseconds at the configured clock.
+    #[must_use]
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.cycle_us()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] for zero parallelism, zero pipelines or a
+    /// non-positive clock.
+    pub fn validate(&self) -> Result<(), AccelError> {
+        if self.pd == 0 || self.pn == 0 {
+            return Err(AccelError::InvalidConfig(
+                "pd and pn must both be at least 1".to_string(),
+            ));
+        }
+        if self.pipelines == 0 {
+            return Err(AccelError::InvalidConfig(
+                "at least one pipeline is required".to_string(),
+            ));
+        }
+        if !(self.clock_mhz.is_finite() && self.clock_mhz > 0.0) {
+            return Err(AccelError::InvalidConfig(
+                "the clock frequency must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        Self::haan_v1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_variants() {
+        assert_eq!((AccelConfig::haan_v1().pd, AccelConfig::haan_v1().pn), (128, 128));
+        assert_eq!((AccelConfig::haan_v2().pd, AccelConfig::haan_v2().pn), (80, 160));
+        assert_eq!((AccelConfig::haan_v3().pd, AccelConfig::haan_v3().pn), (64, 128));
+        assert_eq!(AccelConfig::haan_v1().format, Format::Fp16);
+        assert_eq!(AccelConfig::haan_v1().clock_mhz, 100.0);
+        assert_eq!(AccelConfig::default(), AccelConfig::haan_v1());
+    }
+
+    #[test]
+    fn table3_rows_cover_all_formats() {
+        let rows = AccelConfig::table3_rows();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().any(|(label, c)| label.contains("FP32") && c.pd == 128));
+        assert!(rows.iter().any(|(label, c)| label.contains("INT8") && c.pn == 512));
+        for (_, config) in &rows {
+            assert!(config.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn cycle_conversion_at_100mhz() {
+        let config = AccelConfig::haan_v1();
+        assert!((config.cycle_us() - 0.01).abs() < 1e-12);
+        assert!((config.cycles_to_us(1000) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_configurations() {
+        let mut config = AccelConfig::haan_v1();
+        config.pd = 0;
+        assert!(config.validate().is_err());
+        let mut config = AccelConfig::haan_v1();
+        config.pipelines = 0;
+        assert!(config.validate().is_err());
+        let mut config = AccelConfig::haan_v1();
+        config.clock_mhz = 0.0;
+        assert!(config.validate().is_err());
+        assert!(AccelConfig::haan_v1().validate().is_ok());
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the accelerator simulator.
+
+use std::fmt;
+
+/// Errors produced by the accelerator simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccelError {
+    /// The accelerator configuration is invalid (zero parallelism, zero clock…).
+    InvalidConfig(String),
+    /// The workload is inconsistent (empty tensors, mismatched parameter lengths…).
+    InvalidWorkload(String),
+    /// The configured design does not fit on the target FPGA.
+    ResourceOverflow {
+        /// Which resource overflowed.
+        resource: &'static str,
+        /// The amount required.
+        required: u64,
+        /// The amount available on the device.
+        available: u64,
+    },
+    /// An error bubbled up from the HAAN algorithm crate.
+    Algorithm(String),
+    /// An error bubbled up from the numeric substrate.
+    Numeric(String),
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::InvalidConfig(msg) => write!(f, "invalid accelerator configuration: {msg}"),
+            AccelError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            AccelError::ResourceOverflow {
+                resource,
+                required,
+                available,
+            } => write!(
+                f,
+                "design requires {required} {resource} but the device only has {available}"
+            ),
+            AccelError::Algorithm(msg) => write!(f, "algorithm error: {msg}"),
+            AccelError::Numeric(msg) => write!(f, "numeric error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AccelError {}
+
+impl From<haan::HaanError> for AccelError {
+    fn from(err: haan::HaanError) -> Self {
+        AccelError::Algorithm(err.to_string())
+    }
+}
+
+impl From<haan_numerics::NumericError> for AccelError {
+    fn from(err: haan_numerics::NumericError) -> Self {
+        AccelError::Numeric(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let err = AccelError::ResourceOverflow {
+            resource: "DSP",
+            required: 10_000,
+            available: 9024,
+        };
+        assert!(err.to_string().contains("DSP"));
+        assert!(err.to_string().contains("9024"));
+        assert!(AccelError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(matches!(
+            AccelError::from(haan_numerics::NumericError::EmptyInput),
+            AccelError::Numeric(_)
+        ));
+        let haan_err = haan::HaanError::InvalidConfig("bad".into());
+        assert!(matches!(AccelError::from(haan_err), AccelError::Algorithm(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AccelError>();
+    }
+}

@@ -1,0 +1,195 @@
+//! The HAAN memory layout of Fig. 7.
+//!
+//! The input tensor is flattened row-major and stored in entries whose width equals the
+//! accelerator's input bandwidth (`pd` elements); the accelerator reads one entry per
+//! cycle. In subsampling mode only the initial entries of each vector are accessed.
+
+use crate::error::AccelError;
+use serde::{Deserialize, Serialize};
+
+/// The flattened, chunked memory image of one input tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryLayout {
+    rows: usize,
+    cols: usize,
+    entry_width: usize,
+    data: Vec<f32>,
+}
+
+/// Statistics of one simulated access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessStats {
+    /// Number of memory entries read.
+    pub entries_read: u64,
+    /// Number of elements contained in those entries (including padding).
+    pub elements_read: u64,
+}
+
+impl MemoryLayout {
+    /// Flattens a `rows × cols` tensor (given as row slices) into entries of
+    /// `entry_width` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidWorkload`] for an empty tensor, ragged rows or a
+    /// zero entry width.
+    pub fn from_rows(rows: &[Vec<f32>], entry_width: usize) -> Result<Self, AccelError> {
+        if entry_width == 0 {
+            return Err(AccelError::InvalidWorkload(
+                "entry width must be at least 1".to_string(),
+            ));
+        }
+        let Some(first) = rows.first() else {
+            return Err(AccelError::InvalidWorkload("empty tensor".to_string()));
+        };
+        let cols = first.len();
+        if cols == 0 {
+            return Err(AccelError::InvalidWorkload("rows have zero width".to_string()));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            if row.len() != cols {
+                return Err(AccelError::InvalidWorkload(format!(
+                    "ragged tensor: expected width {cols}, found {}",
+                    row.len()
+                )));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            entry_width,
+            data,
+        })
+    }
+
+    /// Number of rows (token vectors).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row width (embedding dimension).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry width in elements (the accelerator bandwidth).
+    #[must_use]
+    pub fn entry_width(&self) -> usize {
+        self.entry_width
+    }
+
+    /// Total number of memory entries occupied by the tensor.
+    #[must_use]
+    pub fn total_entries(&self) -> u64 {
+        (self.data.len() as u64).div_ceil(self.entry_width as u64)
+    }
+
+    /// Number of entries that must be read to stream the first `prefix` elements of one
+    /// row (subsampling mode reads only these).
+    #[must_use]
+    pub fn entries_for_prefix(&self, prefix: usize) -> u64 {
+        (prefix.min(self.cols) as u64).div_ceil(self.entry_width as u64)
+    }
+
+    /// Borrows one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row out of range");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Simulates streaming the first `prefix` elements of every row, returning the
+    /// access statistics the latency/power models consume.
+    #[must_use]
+    pub fn stream_prefix(&self, prefix: usize) -> AccessStats {
+        let per_row = self.entries_for_prefix(prefix);
+        AccessStats {
+            entries_read: per_row * self.rows as u64,
+            elements_read: per_row * self.entry_width as u64 * self.rows as u64,
+        }
+    }
+
+    /// Simulates streaming every element of every row.
+    #[must_use]
+    pub fn stream_full(&self) -> AccessStats {
+        self.stream_prefix(self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tensor(rows: usize, cols: usize) -> Vec<Vec<f32>> {
+        (0..rows)
+            .map(|r| (0..cols).map(|c| (r * cols + c) as f32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_two_by_four_with_bandwidth_two() {
+        // Fig. 7: a 2×4 tensor with entry width 2 occupies 4 entries.
+        let layout = MemoryLayout::from_rows(&tensor(2, 4), 2).unwrap();
+        assert_eq!(layout.total_entries(), 4);
+        assert_eq!(layout.rows(), 2);
+        assert_eq!(layout.cols(), 4);
+        assert_eq!(layout.entry_width(), 2);
+        assert_eq!(layout.row(1), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn invalid_layouts_are_rejected() {
+        assert!(MemoryLayout::from_rows(&tensor(2, 4), 0).is_err());
+        assert!(MemoryLayout::from_rows(&[], 2).is_err());
+        assert!(MemoryLayout::from_rows(&[vec![]], 2).is_err());
+        let ragged = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(MemoryLayout::from_rows(&ragged, 2).is_err());
+    }
+
+    #[test]
+    fn subsampling_reads_only_initial_entries() {
+        let layout = MemoryLayout::from_rows(&tensor(3, 256), 64).unwrap();
+        assert_eq!(layout.entries_for_prefix(64), 1);
+        assert_eq!(layout.entries_for_prefix(65), 2);
+        assert_eq!(layout.entries_for_prefix(256), 4);
+        assert_eq!(layout.entries_for_prefix(10_000), 4);
+        let partial = layout.stream_prefix(128);
+        assert_eq!(partial.entries_read, 6);
+        let full = layout.stream_full();
+        assert_eq!(full.entries_read, 12);
+        assert!(partial.elements_read < full.elements_read);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_row_panics() {
+        let layout = MemoryLayout::from_rows(&tensor(2, 4), 2).unwrap();
+        let _ = layout.row(2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_prefix_entries_never_exceed_full(
+            rows in 1usize..8,
+            cols in 1usize..300,
+            width in 1usize..130,
+            prefix in 1usize..400,
+        ) {
+            let layout = MemoryLayout::from_rows(&tensor(rows, cols), width).unwrap();
+            prop_assert!(layout.entries_for_prefix(prefix) <= layout.entries_for_prefix(cols));
+            let stats = layout.stream_prefix(prefix);
+            prop_assert!(stats.elements_read >= stats.entries_read);
+            // Entries cover at least the requested prefix.
+            prop_assert!(layout.entries_for_prefix(prefix) * width as u64 >= prefix.min(cols) as u64);
+        }
+    }
+}

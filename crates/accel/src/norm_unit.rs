@@ -1,0 +1,221 @@
+//! The Normalization Unit (Fig. 6).
+//!
+//! `pn` lanes apply `(z − μ)·ISD·α + β` per cycle. Inputs arrive from memory in the
+//! external format, the statistics arrive from the input statistics calculator /
+//! square root inverter / predictor, and the output is produced in the external format
+//! (FX2FP conversion is skipped when quantization keeps the output in fixed point).
+
+use crate::config::AccelConfig;
+use crate::error::AccelError;
+use haan_llm::NormKind;
+use haan_numerics::{Format, FxToFp};
+use serde::{Deserialize, Serialize};
+
+/// Functional + timing result of normalizing one vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NormUnitResult {
+    /// The normalized output (in the external format's precision).
+    pub output: Vec<f32>,
+    /// Number of passes (`ceil(N / pn)`).
+    pub passes: u64,
+    /// Latency in cycles.
+    pub cycles: u64,
+}
+
+/// The normalization unit array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalizationUnit {
+    pn: usize,
+    format: Format,
+}
+
+impl NormalizationUnit {
+    /// Builds the unit array for an accelerator configuration.
+    #[must_use]
+    pub fn new(config: &AccelConfig) -> Self {
+        Self {
+            pn: config.pn,
+            format: config.format,
+        }
+    }
+
+    /// Lane count.
+    #[must_use]
+    pub fn pn(&self) -> usize {
+        self.pn
+    }
+
+    /// Normalizes one vector with the supplied statistics and affine parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidWorkload`] when the parameter lengths do not match
+    /// the input length.
+    pub fn normalize(
+        &self,
+        z: &[f32],
+        mean: f32,
+        isd: f32,
+        gamma: &[f32],
+        beta: &[f32],
+        kind: NormKind,
+    ) -> Result<NormUnitResult, AccelError> {
+        if z.is_empty() {
+            return Err(AccelError::InvalidWorkload(
+                "the normalization unit needs at least one element".to_string(),
+            ));
+        }
+        if gamma.len() != z.len() || beta.len() != z.len() {
+            return Err(AccelError::InvalidWorkload(format!(
+                "parameter length mismatch: input {}, gamma {}, beta {}",
+                z.len(),
+                gamma.len(),
+                beta.len()
+            )));
+        }
+        let centre = match kind {
+            NormKind::LayerNorm => mean,
+            NormKind::RmsNorm => 0.0,
+        };
+        let raw: Vec<f32> = z
+            .iter()
+            .zip(gamma.iter().zip(beta))
+            .map(|(&x, (&g, &b))| g * (x - centre) * isd + b)
+            .collect();
+        // Output precision follows the external format (FX2FP bypassed for INT8).
+        let output = match self.format {
+            Format::Fp32 => raw,
+            _ => self.format.round_trip(&raw),
+        };
+        let passes = (z.len() as u64).div_ceil(self.pn as u64);
+        Ok(NormUnitResult {
+            output,
+            passes,
+            cycles: self.cycles_for(z.len()),
+        })
+    }
+
+    /// Latency in cycles for one vector: one cycle per pass, two multiply/add pipeline
+    /// stages, plus the output conversion stage when producing floating point.
+    #[must_use]
+    pub fn cycles_for(&self, n: usize) -> u64 {
+        let conversion = FxToFp::new(self.format).latency_cycles();
+        (n as u64).div_ceil(self.pn as u64).max(1) + 2 + conversion
+    }
+
+    /// Throughput-limiting cycles per vector inside the pipeline (pass count only).
+    #[must_use]
+    pub fn stage_cycles(&self, n: usize) -> u64 {
+        (n as u64).div_ceil(self.pn as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haan_numerics::stats::VectorStats;
+    use proptest::prelude::*;
+
+    fn unit(pn: usize, format: Format) -> NormalizationUnit {
+        let config = AccelConfig {
+            pn,
+            format,
+            ..AccelConfig::haan_v1()
+        };
+        NormalizationUnit::new(&config)
+    }
+
+    #[test]
+    fn layernorm_output_matches_reference_with_exact_statistics() {
+        let nu = unit(128, Format::Fp32);
+        let z: Vec<f32> = (0..256).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let stats = VectorStats::compute(&z);
+        let gamma = vec![1.0f32; 256];
+        let beta = vec![0.0f32; 256];
+        let result = nu
+            .normalize(&z, stats.mean, stats.isd(1e-5), &gamma, &beta, NormKind::LayerNorm)
+            .unwrap();
+        let out_stats = VectorStats::compute(&result.output);
+        assert!(out_stats.mean.abs() < 1e-4);
+        assert!((out_stats.variance - 1.0).abs() < 1e-2);
+        assert_eq!(result.passes, 2);
+    }
+
+    #[test]
+    fn rmsnorm_does_not_subtract_the_mean() {
+        let nu = unit(64, Format::Fp32);
+        let z = vec![2.0f32; 64];
+        let gamma = vec![1.0f32; 64];
+        let beta = vec![0.0f32; 64];
+        let result = nu
+            .normalize(&z, 2.0, 0.5, &gamma, &beta, NormKind::RmsNorm)
+            .unwrap();
+        // RMSNorm ignores the mean: output = z · isd = 1.0.
+        for v in &result.output {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fp16_output_is_rounded_to_half_precision() {
+        let nu = unit(64, Format::Fp16);
+        let z = vec![std::f32::consts::PI; 64];
+        let gamma = vec![1.0f32; 64];
+        let beta = vec![0.0f32; 64];
+        let result = nu
+            .normalize(&z, 0.0, 1.0, &gamma, &beta, NormKind::LayerNorm)
+            .unwrap();
+        assert_ne!(result.output[0], std::f32::consts::PI);
+        assert!((result.output[0] - std::f32::consts::PI).abs() < 1e-3);
+    }
+
+    #[test]
+    fn affine_parameters_are_applied() {
+        let nu = unit(32, Format::Fp32);
+        let z = vec![1.0f32, -1.0];
+        let gamma = vec![2.0f32, 2.0];
+        let beta = vec![10.0f32, 10.0];
+        let result = nu
+            .normalize(&z, 0.0, 1.0, &gamma, &beta, NormKind::LayerNorm)
+            .unwrap();
+        assert_eq!(result.output, vec![12.0, 8.0]);
+    }
+
+    #[test]
+    fn cycle_model_reflects_passes_and_conversion() {
+        // 1600 elements at 128 lanes: 13 passes (+2 pipeline, +1 FX2FP for FP16).
+        assert_eq!(unit(128, Format::Fp16).cycles_for(1600), 13 + 2 + 1);
+        assert_eq!(unit(128, Format::Int8).cycles_for(1600), 13 + 2);
+        assert_eq!(unit(128, Format::Fp16).stage_cycles(1600), 13);
+        assert_eq!(unit(160, Format::Fp16).stage_cycles(1600), 10);
+        assert_eq!(unit(128, Format::Fp16).pn(), 128);
+    }
+
+    #[test]
+    fn invalid_workloads_are_rejected() {
+        let nu = unit(32, Format::Fp32);
+        assert!(nu
+            .normalize(&[], 0.0, 1.0, &[], &[], NormKind::LayerNorm)
+            .is_err());
+        assert!(nu
+            .normalize(&[1.0, 2.0], 0.0, 1.0, &[1.0], &[0.0, 0.0], NormKind::LayerNorm)
+            .is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_output_length_and_passes(
+            n in 1usize..2048,
+            pn in 1usize..512,
+        ) {
+            let nu = unit(pn, Format::Fp32);
+            let z = vec![1.0f32; n];
+            let gamma = vec![1.0f32; n];
+            let beta = vec![0.0f32; n];
+            let result = nu.normalize(&z, 0.0, 1.0, &gamma, &beta, NormKind::LayerNorm).unwrap();
+            prop_assert_eq!(result.output.len(), n);
+            prop_assert_eq!(result.passes, (n as u64).div_ceil(pn as u64));
+            prop_assert!(result.cycles >= result.passes);
+        }
+    }
+}

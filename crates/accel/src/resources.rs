@@ -1,0 +1,222 @@
+//! FPGA resource model (the LUT / FF / DSP columns of Table III).
+//!
+//! The model is a calibrated linear cost model: every statistics lane (`pd`) and every
+//! normalization lane (`pn`) contributes format-dependent LUT/FF/DSP costs, and
+//! configurations with `pn > pd` pay an extra pipeline-register / interconnect cost —
+//! the paper's observation that lowering `pd` under subsampling frees DSPs but spends
+//! LUT/FF on deeper normalization pipelines. Coefficients were fitted to the six rows
+//! of Table III; the `table3_hw_cost` benchmark prints model vs. paper side by side.
+
+use crate::config::AccelConfig;
+use crate::error::AccelError;
+use haan_numerics::Format;
+use serde::{Deserialize, Serialize};
+
+/// Resource capacities of the Xilinx Alveo U280 (the paper's target board).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceCapacity {
+    /// Available LUTs.
+    pub lut: u64,
+    /// Available flip-flops.
+    pub ff: u64,
+    /// Available DSP slices.
+    pub dsp: u64,
+}
+
+impl DeviceCapacity {
+    /// The Alveo U280: ~1.304 M LUTs, ~2.607 M FFs, 9024 DSPs.
+    #[must_use]
+    pub fn alveo_u280() -> Self {
+        Self {
+            lut: 1_304_000,
+            ff: 2_607_000,
+            dsp: 9024,
+        }
+    }
+}
+
+/// Estimated resource usage of one accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// LUTs used.
+    pub lut: u64,
+    /// Flip-flops used.
+    pub ff: u64,
+    /// DSP slices used.
+    pub dsp: u64,
+}
+
+impl ResourceEstimate {
+    /// Estimates the resources of a configuration.
+    #[must_use]
+    pub fn for_config(config: &AccelConfig) -> Self {
+        let pd = config.pd as f64;
+        let pn = config.pn as f64;
+        let imbalance = (pn - pd).max(0.0);
+
+        let (lut_base, lut_pd, lut_pn, lut_imb) = match config.format {
+            Format::Fp32 => (20_000.0, 200.0, 300.0, 356.0),
+            Format::Fp16 => (13_000.0, 150.0, 178.0, 369.0),
+            Format::Int8 | Format::Fixed(_) => (10_000.0, 90.0, 98.0, 48.0),
+        };
+        let (ff_base, ff_lane, ff_imb) = match config.format {
+            Format::Fp32 => (6_760.0, 40.0, 82.0),
+            Format::Fp16 => (4_600.0, 25.0, 67.0),
+            Format::Int8 | Format::Fixed(_) => (5_640.0, 30.0, 6.0),
+        };
+        let (dsp_pd, dsp_pn) = match config.format {
+            Format::Fp32 | Format::Fp16 => (6.0, 6.0),
+            Format::Int8 | Format::Fixed(_) => (4.0, 2.0),
+        };
+
+        let pipelines = config.pipelines as f64;
+        Self {
+            lut: ((lut_base + lut_pd * pd + lut_pn * pn + lut_imb * imbalance) * pipelines) as u64,
+            ff: ((ff_base + ff_lane * (pd + pn) + ff_imb * imbalance) * pipelines) as u64,
+            dsp: ((dsp_pd * pd + dsp_pn * pn + 8.0) * pipelines) as u64,
+        }
+    }
+
+    /// Utilisation of each resource on a device, as fractions.
+    #[must_use]
+    pub fn utilisation(&self, device: DeviceCapacity) -> (f64, f64, f64) {
+        (
+            self.lut as f64 / device.lut as f64,
+            self.ff as f64 / device.ff as f64,
+            self.dsp as f64 / device.dsp as f64,
+        )
+    }
+
+    /// Checks that the design fits on the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::ResourceOverflow`] naming the first overflowing resource.
+    pub fn check_fits(&self, device: DeviceCapacity) -> Result<(), AccelError> {
+        if self.lut > device.lut {
+            return Err(AccelError::ResourceOverflow {
+                resource: "LUT",
+                required: self.lut,
+                available: device.lut,
+            });
+        }
+        if self.ff > device.ff {
+            return Err(AccelError::ResourceOverflow {
+                resource: "FF",
+                required: self.ff,
+                available: device.ff,
+            });
+        }
+        if self.dsp > device.dsp {
+            return Err(AccelError::ResourceOverflow {
+                resource: "DSP",
+                required: self.dsp,
+                available: device.dsp,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The resource numbers reported in Table III, keyed like
+/// [`AccelConfig::table3_rows`], for side-by-side comparison in reports.
+#[must_use]
+pub fn paper_table3_resources() -> Vec<(String, ResourceEstimate, f64)> {
+    vec![
+        ("FP32 (128, 128)".to_string(), ResourceEstimate { lut: 84_000, ff: 17_000, dsp: 1536 }, 6.362),
+        ("FP32 (32, 128)".to_string(), ResourceEstimate { lut: 99_000, ff: 21_000, dsp: 1036 }, 6.136),
+        ("FP16 (128, 128)".to_string(), ResourceEstimate { lut: 55_000, ff: 11_000, dsp: 1536 }, 4.868),
+        ("FP16 (32, 128)".to_string(), ResourceEstimate { lut: 76_000, ff: 15_000, dsp: 1036 }, 4.790),
+        ("INT8 (256, 256)".to_string(), ResourceEstimate { lut: 58_000, ff: 21_000, dsp: 1536 }, 3.458),
+        ("INT8 (32, 512)".to_string(), ResourceEstimate { lut: 86_000, ff: 25_000, dsp: 1025 }, 6.382),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tracks_table3_within_tolerance() {
+        let paper = paper_table3_resources();
+        for ((label, config), (paper_label, paper_est, _power)) in
+            AccelConfig::table3_rows().iter().zip(&paper)
+        {
+            assert_eq!(label, paper_label);
+            let model = ResourceEstimate::for_config(config);
+            let lut_err = (model.lut as f64 - paper_est.lut as f64).abs() / paper_est.lut as f64;
+            let dsp_err = (model.dsp as f64 - paper_est.dsp as f64).abs() / paper_est.dsp as f64;
+            assert!(lut_err < 0.15, "{label}: LUT {} vs paper {}", model.lut, paper_est.lut);
+            assert!(dsp_err < 0.20, "{label}: DSP {} vs paper {}", model.dsp, paper_est.dsp);
+        }
+    }
+
+    #[test]
+    fn every_table3_row_fits_on_the_u280() {
+        for (_, config) in AccelConfig::table3_rows() {
+            let estimate = ResourceEstimate::for_config(&config);
+            assert!(estimate.check_fits(DeviceCapacity::alveo_u280()).is_ok());
+            let (lut, ff, dsp) = estimate.utilisation(DeviceCapacity::alveo_u280());
+            assert!(lut < 0.10);
+            assert!(ff < 0.02);
+            assert!(dsp < 0.20);
+        }
+    }
+
+    #[test]
+    fn oversized_design_overflows() {
+        let mut config = AccelConfig::haan_v1();
+        config.pd = 4096;
+        config.pn = 4096;
+        let estimate = ResourceEstimate::for_config(&config);
+        assert!(matches!(
+            estimate.check_fits(DeviceCapacity::alveo_u280()),
+            Err(AccelError::ResourceOverflow { .. })
+        ));
+        // DSPs specifically are exhausted long before the U280's LUT budget would allow
+        // such a configuration.
+        assert!(estimate.dsp > DeviceCapacity::alveo_u280().dsp);
+    }
+
+    #[test]
+    fn int8_uses_fewer_dsps_per_lane_than_fp() {
+        let fp16 = ResourceEstimate::for_config(&AccelConfig {
+            format: Format::Fp16,
+            pd: 128,
+            pn: 128,
+            ..AccelConfig::haan_v1()
+        });
+        let int8 = ResourceEstimate::for_config(&AccelConfig {
+            format: Format::Int8,
+            pd: 128,
+            pn: 128,
+            ..AccelConfig::haan_v1()
+        });
+        assert!(int8.dsp < fp16.dsp);
+    }
+
+    #[test]
+    fn imbalanced_configurations_pay_lut_and_ff() {
+        let balanced = ResourceEstimate::for_config(&AccelConfig::haan_v1());
+        let imbalanced = ResourceEstimate::for_config(&AccelConfig {
+            pd: 32,
+            pn: 128,
+            ..AccelConfig::haan_v1()
+        });
+        // Fewer statistics lanes, but more LUT/FF for the deeper normalization pipeline.
+        assert!(imbalanced.dsp < balanced.dsp);
+        assert!(imbalanced.lut > balanced.lut);
+        assert!(imbalanced.ff > balanced.ff);
+    }
+
+    #[test]
+    fn multiple_pipelines_scale_resources() {
+        let one = ResourceEstimate::for_config(&AccelConfig::haan_v1());
+        let two = ResourceEstimate::for_config(&AccelConfig {
+            pipelines: 2,
+            ..AccelConfig::haan_v1()
+        });
+        assert_eq!(two.dsp, one.dsp * 2);
+        assert_eq!(two.lut, one.lut * 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! The Square Root Inverter (Fig. 5).
+//!
+//! The variance arrives in fixed point, is converted to FP32 (FX2FP), seeded with the
+//! `0x5F3759DF` bit trick, refined with Newton's method in fixed point, and handed to
+//! the normalization units. The unit is shared by all normalization lanes because only
+//! one ISD per vector is needed.
+
+use crate::config::AccelConfig;
+use crate::error::AccelError;
+use haan_numerics::invsqrt::{fast_inv_sqrt, newton_refine, InvSqrtUnit};
+use haan_numerics::stats::DEFAULT_EPS;
+use serde::{Deserialize, Serialize};
+
+/// Functional + timing result of one inverse-square-root computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SqrtInvResult {
+    /// The produced inverse standard deviation.
+    pub isd: f32,
+    /// Latency in cycles.
+    pub cycles: u64,
+    /// Relative error against the exact `1/sqrt` (diagnostic).
+    pub relative_error: f64,
+}
+
+/// The square root inverter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SquareRootInverter {
+    newton_iterations: u32,
+    eps: f32,
+}
+
+impl SquareRootInverter {
+    /// Builds the unit for an accelerator configuration.
+    #[must_use]
+    pub fn new(config: &AccelConfig) -> Self {
+        Self {
+            newton_iterations: config.newton_iterations,
+            eps: DEFAULT_EPS,
+        }
+    }
+
+    /// Number of Newton refinement iterations.
+    #[must_use]
+    pub fn newton_iterations(&self) -> u32 {
+        self.newton_iterations
+    }
+
+    /// Computes `1/sqrt(variance + eps)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidWorkload`] for negative or non-finite variances.
+    pub fn compute(&self, variance: f32) -> Result<SqrtInvResult, AccelError> {
+        if !variance.is_finite() || variance < 0.0 {
+            return Err(AccelError::InvalidWorkload(format!(
+                "variance must be a non-negative finite number, got {variance}"
+            )));
+        }
+        let x = variance + self.eps;
+        let isd = fast_inv_sqrt(x, self.newton_iterations);
+        let exact = 1.0 / f64::from(x).sqrt();
+        Ok(SqrtInvResult {
+            isd,
+            cycles: self.cycles(),
+            relative_error: ((f64::from(isd) - exact) / exact).abs(),
+        })
+    }
+
+    /// Latency in cycles: FX2FP conversion (1), seed shift/subtract (1), the Newton
+    /// iterations (3 cycles each: two multiplies plus the fused `1.5 − x·y²` step, as in
+    /// Fig. 5), and the final FP2FX conversion (1).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        1 + InvSqrtUnit::new(self.newton_iterations).latency_cycles() + 1
+    }
+
+    /// Exposes one raw Newton refinement step (used by datapath-level tests).
+    #[must_use]
+    pub fn refine(&self, x: f32, y: f32) -> f32 {
+        newton_refine(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(iterations: u32) -> SquareRootInverter {
+        let config = AccelConfig {
+            newton_iterations: iterations,
+            ..AccelConfig::haan_v1()
+        };
+        SquareRootInverter::new(&config)
+    }
+
+    #[test]
+    fn computes_accurate_isd_with_one_iteration() {
+        let sri = unit(1);
+        for variance in [0.01f32, 0.25, 1.0, 9.0, 1234.5] {
+            let result = sri.compute(variance).unwrap();
+            let exact = 1.0 / (variance + DEFAULT_EPS).sqrt();
+            assert!(
+                ((result.isd - exact) / exact).abs() < 2e-3,
+                "variance {variance}: {} vs {exact}",
+                result.isd
+            );
+            assert!(result.relative_error < 2e-3);
+        }
+    }
+
+    #[test]
+    fn zero_variance_is_kept_finite_by_eps() {
+        let result = unit(1).compute(0.0).unwrap();
+        assert!(result.isd.is_finite());
+        assert!(result.isd > 100.0);
+    }
+
+    #[test]
+    fn invalid_variance_is_rejected() {
+        assert!(unit(1).compute(-1.0).is_err());
+        assert!(unit(1).compute(f32::NAN).is_err());
+        assert!(unit(1).compute(f32::INFINITY).is_err());
+    }
+
+    #[test]
+    fn cycle_count_scales_with_iterations() {
+        assert_eq!(unit(0).cycles(), 3);
+        assert_eq!(unit(1).cycles(), 6);
+        assert_eq!(unit(2).cycles(), 9);
+        assert_eq!(unit(2).newton_iterations(), 2);
+    }
+
+    #[test]
+    fn newton_step_converges_towards_the_exact_value() {
+        let sri = unit(1);
+        let x = 7.0f32;
+        let exact = 1.0 / x.sqrt();
+        let rough = exact * 1.05;
+        let refined = sri.refine(x, rough);
+        assert!((refined - exact).abs() < (rough - exact).abs());
+    }
+}

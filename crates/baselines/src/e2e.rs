@@ -1,0 +1,101 @@
+//! End-to-end LLM inference composition (the ~1.11× full-model speedup of Section V-B).
+//!
+//! The paper takes the FPGA spatial LLM accelerator of Chen et al. (TRETS 2024) as the
+//! host system, replaces its normalization engine with HAAN, and reports the end-to-end
+//! speedup on GPT-2 355M for input lengths 128–512. With the rest of the system
+//! untouched this is an Amdahl composition: only the normalization share of the total
+//! runtime is accelerated.
+
+use serde::{Deserialize, Serialize};
+
+/// The end-to-end composition model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EndToEndModel {
+    /// Fraction of the host accelerator's end-to-end runtime spent in normalization at
+    /// the reference sequence length.
+    pub norm_share: f64,
+}
+
+impl EndToEndModel {
+    /// The GPT-2 355M host system of Section V-B: normalization is ≈ 12 % of the
+    /// baseline FPGA accelerator's runtime.
+    #[must_use]
+    pub fn gpt2_355m_host() -> Self {
+        Self { norm_share: 0.12 }
+    }
+
+    /// Creates a model with an explicit normalization share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share is outside `[0, 1)`.
+    #[must_use]
+    pub fn with_norm_share(norm_share: f64) -> Self {
+        assert!((0.0..1.0).contains(&norm_share), "share must be in [0, 1)");
+        Self { norm_share }
+    }
+
+    /// End-to-end speedup when the normalization component alone is accelerated by
+    /// `norm_speedup` (Amdahl's law).
+    #[must_use]
+    pub fn end_to_end_speedup(&self, norm_speedup: f64) -> f64 {
+        let accelerated = self.norm_share / norm_speedup.max(1e-9);
+        1.0 / (1.0 - self.norm_share + accelerated)
+    }
+
+    /// The normalization speedup needed to reach a target end-to-end speedup, or `None`
+    /// if the target exceeds the Amdahl limit `1 / (1 − share)`.
+    #[must_use]
+    pub fn required_norm_speedup(&self, target: f64) -> Option<f64> {
+        let limit = 1.0 / (1.0 - self.norm_share);
+        if target >= limit || target <= 0.0 {
+            return None;
+        }
+        let accelerated = 1.0 / target - (1.0 - self.norm_share);
+        Some(self.norm_share / accelerated)
+    }
+}
+
+impl Default for EndToEndModel {
+    fn default() -> Self {
+        Self::gpt2_355m_host()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_speedup_is_about_eleven_percent() {
+        let model = EndToEndModel::gpt2_355m_host();
+        // A ~10× normalization speedup (HAAN vs the host's native norm engine) gives the
+        // paper's ≈ 1.11–1.12× end-to-end improvement.
+        let speedup = model.end_to_end_speedup(10.0);
+        assert!(speedup > 1.08 && speedup < 1.14, "{speedup}");
+    }
+
+    #[test]
+    fn amdahl_limits_hold() {
+        let model = EndToEndModel::with_norm_share(0.12);
+        assert!(model.end_to_end_speedup(1.0) == 1.0);
+        assert!(model.end_to_end_speedup(1e12) < 1.0 / (1.0 - 0.12) + 1e-6);
+        assert!(model.end_to_end_speedup(2.0) > 1.0);
+    }
+
+    #[test]
+    fn required_speedup_is_the_inverse_of_the_composition() {
+        let model = EndToEndModel::gpt2_355m_host();
+        let needed = model.required_norm_speedup(1.1).unwrap();
+        let achieved = model.end_to_end_speedup(needed);
+        assert!((achieved - 1.1).abs() < 1e-9);
+        assert!(model.required_norm_speedup(2.0).is_none());
+        assert!(model.required_norm_speedup(0.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "share must be in")]
+    fn invalid_share_panics() {
+        let _ = EndToEndModel::with_norm_share(1.5);
+    }
+}

@@ -1,0 +1,183 @@
+//! The common interface shared by HAAN and every baseline normalization engine.
+
+use haan_accel::HaanAccelerator;
+use haan_llm::NormKind;
+use serde::{Deserialize, Serialize};
+
+/// A normalization workload: every normalization layer of one model at one sequence
+/// length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NormWorkload {
+    /// Embedding width of the normalization inputs.
+    pub embedding_dim: usize,
+    /// Number of normalization layers in the model.
+    pub num_layers: usize,
+    /// Number of token vectors per layer.
+    pub seq_len: usize,
+    /// Normalization flavour.
+    pub kind: NormKind,
+}
+
+impl NormWorkload {
+    /// The GPT2-1.5B workload of Fig. 9.
+    #[must_use]
+    pub fn gpt2_1_5b(seq_len: usize) -> Self {
+        Self {
+            embedding_dim: 1600,
+            num_layers: 97,
+            seq_len,
+            kind: NormKind::LayerNorm,
+        }
+    }
+
+    /// The OPT-2.7B workload of Fig. 8(b).
+    #[must_use]
+    pub fn opt_2_7b(seq_len: usize) -> Self {
+        Self {
+            embedding_dim: 2560,
+            num_layers: 65,
+            seq_len,
+            kind: NormKind::LayerNorm,
+        }
+    }
+
+    /// The GPT2-117M workload used for profiling.
+    #[must_use]
+    pub fn gpt2_117m(seq_len: usize) -> Self {
+        Self {
+            embedding_dim: 768,
+            num_layers: 25,
+            seq_len,
+            kind: NormKind::LayerNorm,
+        }
+    }
+
+    /// Total number of elements flowing through normalization.
+    #[must_use]
+    pub fn total_elements(&self) -> u64 {
+        self.embedding_dim as u64 * self.num_layers as u64 * self.seq_len as u64
+    }
+}
+
+/// A normalization engine that can be compared against HAAN.
+pub trait NormEngine {
+    /// Engine name used in reports.
+    fn name(&self) -> String;
+
+    /// Latency in microseconds to process the whole workload.
+    fn latency_us(&self, workload: &NormWorkload) -> f64;
+
+    /// Average power in watts while processing the workload.
+    fn power_w(&self, workload: &NormWorkload) -> f64;
+
+    /// Energy in microjoules for the whole workload.
+    fn energy_uj(&self, workload: &NormWorkload) -> f64 {
+        self.latency_us(workload) * self.power_w(workload)
+    }
+}
+
+impl NormEngine for HaanAccelerator {
+    fn name(&self) -> String {
+        format!(
+            "HAAN ({}, {}) {}",
+            self.config().pd,
+            self.config().pn,
+            self.config().format
+        )
+    }
+
+    fn latency_us(&self, workload: &NormWorkload) -> f64 {
+        self.workload(
+            workload.embedding_dim,
+            workload.num_layers,
+            workload.seq_len,
+            workload.kind,
+        )
+        .latency_us
+    }
+
+    fn power_w(&self, workload: &NormWorkload) -> f64 {
+        self.workload(
+            workload.embedding_dim,
+            workload.num_layers,
+            workload.seq_len,
+            workload.kind,
+        )
+        .average_power_w
+    }
+}
+
+/// One engine's normalized latency/power against a reference engine (the figures
+/// normalize everything to HAAN-v1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineComparison {
+    /// Engine name.
+    pub engine: String,
+    /// Latency normalized to the reference engine (reference = 1.0).
+    pub normalized_latency: f64,
+    /// Power normalized to the reference engine (reference = 1.0).
+    pub normalized_power: f64,
+}
+
+/// Compares a set of engines against a reference engine on one workload.
+#[must_use]
+pub fn compare_engines(
+    reference: &dyn NormEngine,
+    others: &[&dyn NormEngine],
+    workload: &NormWorkload,
+) -> Vec<EngineComparison> {
+    let ref_latency = reference.latency_us(workload);
+    let ref_power = reference.power_w(workload);
+    let mut rows = vec![EngineComparison {
+        engine: reference.name(),
+        normalized_latency: 1.0,
+        normalized_power: 1.0,
+    }];
+    for engine in others {
+        rows.push(EngineComparison {
+            engine: engine.name(),
+            normalized_latency: engine.latency_us(workload) / ref_latency,
+            normalized_power: engine.power_w(workload) / ref_power,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haan::HaanConfig;
+    use haan_accel::AccelConfig;
+
+    #[test]
+    fn workload_presets_match_model_structure() {
+        assert_eq!(NormWorkload::gpt2_1_5b(128).num_layers, 97);
+        assert_eq!(NormWorkload::opt_2_7b(128).num_layers, 65);
+        assert_eq!(NormWorkload::gpt2_117m(128).num_layers, 25);
+        assert_eq!(
+            NormWorkload::gpt2_117m(128).total_elements(),
+            768 * 25 * 128
+        );
+    }
+
+    #[test]
+    fn haan_accelerator_implements_the_engine_trait() {
+        let accel = HaanAccelerator::new(AccelConfig::haan_v1(), HaanConfig::default());
+        let workload = NormWorkload::gpt2_1_5b(128);
+        assert!(accel.latency_us(&workload) > 0.0);
+        assert!(accel.power_w(&workload) > 0.0);
+        assert!(accel.energy_uj(&workload) > 0.0);
+        assert!(accel.name().contains("HAAN"));
+    }
+
+    #[test]
+    fn comparison_normalizes_to_the_reference() {
+        let v1 = HaanAccelerator::new(AccelConfig::haan_v1(), HaanConfig::default());
+        let v2 = HaanAccelerator::new(AccelConfig::haan_v2(), HaanConfig::default());
+        let rows = compare_engines(&v1, &[&v2], &NormWorkload::gpt2_1_5b(256));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].normalized_latency, 1.0);
+        assert_eq!(rows[0].normalized_power, 1.0);
+        assert!(rows[1].normalized_latency > 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! The GPU normalization baseline.
+//!
+//! The paper profiles LayerNorm on an A100 through the HuggingFace/PyTorch stack. At
+//! LLM-inference batch sizes a LayerNorm launch is latency-bound, not bandwidth-bound:
+//! each kernel pays a launch/synchronisation overhead and achieves only a small
+//! fraction of the device's memory bandwidth on the short rows. The constants below are
+//! calibrated so the HAAN-vs-GPU latency ratios land in the ~10× range reported in
+//! Figs. 8(b) and 9.
+
+use crate::engine::{NormEngine, NormWorkload};
+use serde::{Deserialize, Serialize};
+
+/// The GPU LayerNorm/RMSNorm baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuNormEngine {
+    /// Effective normalization throughput in elements per second (framework-level).
+    pub effective_elems_per_sec: f64,
+    /// Per-layer kernel launch and synchronisation overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// Average board power attributable to the normalization kernels, in watts.
+    pub power_w: f64,
+}
+
+impl GpuNormEngine {
+    /// An A100 running FP16 LayerNorm through the framework stack.
+    #[must_use]
+    pub fn a100() -> Self {
+        Self {
+            effective_elems_per_sec: 1.6e9,
+            launch_overhead_us: 20.0,
+            power_w: 80.0,
+        }
+    }
+
+    /// An RTX 3090 class device (used for the paper's accuracy runs).
+    #[must_use]
+    pub fn rtx3090() -> Self {
+        Self {
+            effective_elems_per_sec: 1.0e9,
+            launch_overhead_us: 25.0,
+            power_w: 90.0,
+        }
+    }
+}
+
+impl Default for GpuNormEngine {
+    fn default() -> Self {
+        Self::a100()
+    }
+}
+
+impl NormEngine for GpuNormEngine {
+    fn name(&self) -> String {
+        "GPU".to_string()
+    }
+
+    fn latency_us(&self, workload: &NormWorkload) -> f64 {
+        let per_layer_elems = (workload.embedding_dim * workload.seq_len) as f64;
+        let per_layer_us =
+            self.launch_overhead_us + per_layer_elems / self.effective_elems_per_sec * 1e6;
+        per_layer_us * workload.num_layers as f64
+    }
+
+    fn power_w(&self, workload: &NormWorkload) -> f64 {
+        let _ = workload;
+        self.power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_has_overhead_and_throughput_components() {
+        let gpu = GpuNormEngine::a100();
+        let small = gpu.latency_us(&NormWorkload::gpt2_1_5b(128));
+        let large = gpu.latency_us(&NormWorkload::gpt2_1_5b(1024));
+        assert!(large > small);
+        // At short sequences the launch overhead is a visible share of the latency.
+        let overhead_share = 97.0 * gpu.launch_overhead_us / small;
+        assert!(overhead_share > 0.1);
+        assert_eq!(gpu.name(), "GPU");
+    }
+
+    #[test]
+    fn consumer_gpu_is_slower_than_a100() {
+        let workload = NormWorkload::opt_2_7b(512);
+        assert!(
+            GpuNormEngine::rtx3090().latency_us(&workload) > GpuNormEngine::a100().latency_us(&workload)
+        );
+    }
+
+    #[test]
+    fn gpu_power_dwarfs_the_fpga_engines() {
+        let gpu = GpuNormEngine::default();
+        assert!(gpu.power_w(&NormWorkload::gpt2_117m(128)) > 50.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Baseline normalization engines the paper compares HAAN against.
+//!
+//! * [`dfx`] — the LayerNorm engine of the DFX multi-FPGA appliance (MICRO 2022): a
+//!   sequential vector engine that computes mean, variance and the normalized output in
+//!   three passes per token with an exact FP32 square root, and does not overlap
+//!   consecutive tokens.
+//! * [`sole`] — SOLE (ICCAD 2023): hardware/software co-designed LayerNorm with
+//!   dynamically compressed statistics; single-pass statistics, pipelined across tokens,
+//!   but no cross-layer skipping or subsampling.
+//! * [`mhaa`] — the multi-head-attention accelerator of Lu et al. (SOCC 2020): a HAAN-like
+//!   statistics datapath but without inter-token pipelining between the statistics and
+//!   normalization stages.
+//! * [`gpu`] — the GPU baseline (framework-level LayerNorm kernels on an A100-class part).
+//! * [`e2e`] — the end-to-end composition model used for the ~1.11× full-model speedup
+//!   claim of Section V-B.
+//!
+//! All engines implement [`NormEngine`], so the figure-regeneration binaries treat HAAN
+//! and every baseline uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dfx;
+pub mod e2e;
+pub mod engine;
+pub mod gpu;
+pub mod mhaa;
+pub mod sole;
+
+pub use dfx::DfxEngine;
+pub use e2e::EndToEndModel;
+pub use engine::{compare_engines, EngineComparison, NormEngine, NormWorkload};
+pub use gpu::GpuNormEngine;
+pub use mhaa::MhaaEngine;
+pub use sole::SoleEngine;

@@ -1,0 +1,105 @@
+//! The MHAA LayerNorm engine model.
+//!
+//! MHAA (Lu et al., SOCC 2020) accelerates multi-head attention and the position-wise
+//! feed-forward network; its LayerNorm datapath resembles HAAN's single-pass statistics
+//! calculator, but statistics and normalization of one token are not overlapped with
+//! the next token, so the per-token latency is exposed instead of the initiation
+//! interval.
+
+use crate::engine::{NormEngine, NormWorkload};
+use haan_accel::power::PowerModel;
+use haan_accel::AccelConfig;
+use haan_numerics::Format;
+use serde::{Deserialize, Serialize};
+
+/// The MHAA LayerNorm engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MhaaEngine {
+    /// Lane count.
+    pub lanes: usize,
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Square-root / division latency per token.
+    pub sqrt_cycles: u64,
+}
+
+impl MhaaEngine {
+    /// Configuration aligned with HAAN-v1's lane count.
+    #[must_use]
+    pub fn aligned() -> Self {
+        Self {
+            lanes: 128,
+            clock_mhz: 100.0,
+            sqrt_cycles: 8,
+        }
+    }
+
+    /// Cycles per token: statistics pass + square root + normalization pass, fully
+    /// sequential.
+    #[must_use]
+    pub fn cycles_per_token(&self, embedding_dim: usize) -> u64 {
+        let passes = (embedding_dim as u64).div_ceil(self.lanes as u64);
+        passes + self.sqrt_cycles + passes
+    }
+}
+
+impl Default for MhaaEngine {
+    fn default() -> Self {
+        Self::aligned()
+    }
+}
+
+impl NormEngine for MhaaEngine {
+    fn name(&self) -> String {
+        "MHAA".to_string()
+    }
+
+    fn latency_us(&self, workload: &NormWorkload) -> f64 {
+        let cycles = self.cycles_per_token(workload.embedding_dim)
+            * workload.seq_len as u64
+            * workload.num_layers as u64;
+        cycles as f64 / self.clock_mhz
+    }
+
+    fn power_w(&self, workload: &NormWorkload) -> f64 {
+        let _ = workload;
+        // FP16 datapath at full length; the non-overlapped structure leaves the lanes
+        // idle part of the time, so activity is below one, but the full-length
+        // statistics (no subsampling) keep it above HAAN.
+        let equivalent = AccelConfig {
+            pd: self.lanes,
+            pn: self.lanes,
+            format: Format::Fp16,
+            ..AccelConfig::haan_v1()
+        };
+        PowerModel::calibrated().estimate(&equivalent, 1.0, 0.9).total_w() * 1.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_structure_doubles_the_pass_cost() {
+        let mhaa = MhaaEngine::aligned();
+        assert_eq!(mhaa.cycles_per_token(1600), 13 + 8 + 13);
+        assert_eq!(mhaa.name(), "MHAA");
+    }
+
+    #[test]
+    fn slower_than_sole_faster_than_dfx() {
+        let workload = NormWorkload::gpt2_1_5b(512);
+        let mhaa = MhaaEngine::default().latency_us(&workload);
+        let sole = crate::SoleEngine::default().latency_us(&workload);
+        let dfx = crate::DfxEngine::default().latency_us(&workload);
+        assert!(mhaa > sole);
+        assert!(mhaa < dfx);
+    }
+
+    #[test]
+    fn power_is_finite_and_positive() {
+        let power = MhaaEngine::default().power_w(&NormWorkload::opt_2_7b(128));
+        assert!(power > 0.0 && power.is_finite());
+    }
+}

@@ -1,0 +1,103 @@
+//! The SOLE LayerNorm engine model.
+//!
+//! SOLE (Wang et al., ICCAD 2023) co-designs softmax and LayerNorm; its LayerNorm
+//! computes statistics in a single pass on dynamically compressed (low-precision)
+//! intermediate values and pipelines across tokens. It has no cross-layer ISD
+//! prediction and no input subsampling, and its compression/decompression stage adds a
+//! fixed per-token overhead that is not hidden by the pipeline.
+
+use crate::engine::{NormEngine, NormWorkload};
+use haan_accel::power::PowerModel;
+use haan_accel::AccelConfig;
+use haan_numerics::Format;
+use serde::{Deserialize, Serialize};
+
+/// The SOLE LayerNorm engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SoleEngine {
+    /// Statistics / normalization lane count.
+    pub lanes: usize,
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Per-token compression/decompression overhead cycles (not hidden by pipelining).
+    pub compression_overhead_cycles: u64,
+}
+
+impl SoleEngine {
+    /// Configuration aligned with HAAN-v1's lane count, as the paper does for fairness.
+    #[must_use]
+    pub fn aligned() -> Self {
+        Self {
+            lanes: 128,
+            clock_mhz: 100.0,
+            compression_overhead_cycles: 4,
+        }
+    }
+
+    /// Steady-state cycles per token (initiation interval).
+    #[must_use]
+    pub fn cycles_per_token(&self, embedding_dim: usize) -> u64 {
+        let passes = (embedding_dim as u64).div_ceil(self.lanes as u64);
+        passes + self.compression_overhead_cycles
+    }
+}
+
+impl Default for SoleEngine {
+    fn default() -> Self {
+        Self::aligned()
+    }
+}
+
+impl NormEngine for SoleEngine {
+    fn name(&self) -> String {
+        "SOLE".to_string()
+    }
+
+    fn latency_us(&self, workload: &NormWorkload) -> f64 {
+        let cycles = self.cycles_per_token(workload.embedding_dim)
+            * workload.seq_len as u64
+            * workload.num_layers as u64;
+        cycles as f64 / self.clock_mhz
+    }
+
+    fn power_w(&self, workload: &NormWorkload) -> f64 {
+        let _ = workload;
+        // Full-length statistics keep both datapaths at full activity; the compressed
+        // intermediates put it close to (slightly above) HAAN's FP16 power.
+        let equivalent = AccelConfig {
+            pd: self.lanes,
+            pn: self.lanes,
+            format: Format::Fp16,
+            ..AccelConfig::haan_v1()
+        };
+        PowerModel::calibrated().estimate(&equivalent, 1.0, 1.0).total_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_single_pass_is_much_faster_than_dfx() {
+        let sole = SoleEngine::aligned();
+        let dfx = crate::DfxEngine::published();
+        let workload = NormWorkload::gpt2_1_5b(128);
+        assert!(sole.latency_us(&workload) < dfx.latency_us(&workload) / 5.0);
+        assert_eq!(sole.name(), "SOLE");
+    }
+
+    #[test]
+    fn overhead_is_added_per_token() {
+        let sole = SoleEngine::aligned();
+        assert_eq!(sole.cycles_per_token(1600), 13 + 4);
+        assert_eq!(sole.cycles_per_token(128), 1 + 4);
+    }
+
+    #[test]
+    fn power_is_in_the_same_class_as_haan() {
+        let sole = SoleEngine::default();
+        let power = sole.power_w(&NormWorkload::gpt2_1_5b(128));
+        assert!(power > 2.0 && power < 8.0, "{power}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Cycle-accurate accelerator simulation throughput: the functional datapath of one
+//! normalization layer, and the analytic workload model used by the figure binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use haan::HaanConfig;
+use haan_accel::{AccelConfig, HaanAccelerator};
+use haan_llm::NormKind;
+use haan_numerics::Format;
+
+fn bench_accel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accelerator");
+
+    // Functional simulation of one layer over a small token batch.
+    group.bench_function("normalize_layer_functional_16x1600", |b| {
+        let algorithm = HaanConfig::builder().subsample(800).format(Format::Fp16).build();
+        let mut accel = HaanAccelerator::new(AccelConfig::haan_v1(), algorithm);
+        let tokens: Vec<Vec<f32>> = (0..16)
+            .map(|t| (0..1600).map(|i| ((i + t * 13) % 41) as f32 / 10.0 - 2.0).collect())
+            .collect();
+        let gamma = vec![1.0f32; 1600];
+        let beta = vec![0.0f32; 1600];
+        b.iter(|| {
+            accel
+                .normalize_layer(black_box(&tokens), &gamma, &beta, NormKind::LayerNorm, 0)
+                .unwrap()
+        })
+    });
+
+    // Analytic workload model for the three published configurations.
+    for (name, config) in [
+        ("haan_v1", AccelConfig::haan_v1()),
+        ("haan_v2", AccelConfig::haan_v2()),
+        ("haan_v3", AccelConfig::haan_v3()),
+    ] {
+        group.bench_function(format!("workload_model_{name}"), |b| {
+            let accel = HaanAccelerator::new(config, HaanConfig::gpt2_1_5b_paper());
+            b.iter(|| accel.workload(black_box(1600), 97, 512, NormKind::LayerNorm))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accel);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbenchmark + ablation of the fast inverse square root kernel (the Square Root
+//! Inverter's arithmetic): seed-only vs 1 vs 2 Newton iterations vs the exact libm path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use haan_numerics::invsqrt::{fast_inv_sqrt, relative_error};
+
+fn bench_invsqrt(c: &mut Criterion) {
+    let inputs: Vec<f32> = (1..=4096).map(|i| i as f32 * 0.37 + 0.001).collect();
+    let mut group = c.benchmark_group("invsqrt");
+    for iterations in [0u32, 1, 2] {
+        group.bench_function(format!("fast_newton_{iterations}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for &x in &inputs {
+                    acc += fast_inv_sqrt(black_box(x), iterations);
+                }
+                acc
+            })
+        });
+    }
+    group.bench_function("exact_libm", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &x in &inputs {
+                acc += 1.0 / black_box(x).sqrt();
+            }
+            acc
+        })
+    });
+    group.finish();
+
+    // Print the accuracy side of the ablation once, so the bench output records the
+    // error-vs-iterations trade-off the paper's "single iteration is adequate" claim
+    // rests on.
+    for iterations in [0u32, 1, 2] {
+        let worst = inputs
+            .iter()
+            .map(|&x| relative_error(x, iterations).unwrap())
+            .fold(0.0f64, f64::max);
+        println!("invsqrt ablation: {iterations} Newton iteration(s), worst relative error {worst:.2e}");
+    }
+}
+
+criterion_group!(benches, bench_invsqrt);
+criterion_main!(benches);

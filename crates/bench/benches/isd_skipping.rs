@@ -1,0 +1,24 @@
+//! Cost of the offline calibration step: Algorithm 1's Pearson range scan over a
+//! 100-sample calibration profile set.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use haan::IsdSkipAlgorithm;
+use haan_llm::synthetic::IsdProfileModel;
+
+fn bench_skipping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isd_skipping");
+    for (name, model) in [
+        ("llama_7b_65_layers", IsdProfileModel::llama_7b()),
+        ("gpt2_1_5b_97_layers", IsdProfileModel::gpt2_1_5b()),
+    ] {
+        let profiles = model.sample_profiles(100, 7);
+        group.bench_function(format!("algorithm1_{name}"), |b| {
+            let algorithm = IsdSkipAlgorithm::new(10).with_excluded_tail(2);
+            b.iter(|| algorithm.find_skip_range(black_box(&profiles)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skipping);
+criterion_main!(benches);

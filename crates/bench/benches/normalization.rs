@@ -1,0 +1,51 @@
+//! Reference LayerNorm vs the HAAN normalizer (subsampled / quantized / skipped) on a
+//! paper-width (4096-element) normalization input.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use haan::{HaanConfig, HaanNormalizer, SkipPlan};
+use haan_llm::norm::{NormSite, Normalizer, ReferenceNormalizer};
+use haan_llm::NormKind;
+use haan_numerics::Format;
+
+fn input(len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i as u64 * 2654435761) % 1000) as f32 / 250.0 - 2.0)
+        .collect()
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let z = input(4096);
+    let gamma = vec![1.0f32; 4096];
+    let beta = vec![0.0f32; 4096];
+    let site = NormSite {
+        layer_index: 55,
+        kind: NormKind::LayerNorm,
+    };
+
+    let mut group = c.benchmark_group("normalization_4096");
+    group.bench_function("reference_layernorm", |b| {
+        let mut norm = ReferenceNormalizer::new();
+        b.iter(|| norm.normalize(black_box(site), black_box(&z), &gamma, &beta))
+    });
+    group.bench_function("haan_subsample_256_int8", |b| {
+        let config = HaanConfig::builder().subsample(256).format(Format::Int8).build();
+        let mut norm = HaanNormalizer::new(config);
+        b.iter(|| norm.normalize(black_box(site), black_box(&z), &gamma, &beta))
+    });
+    group.bench_function("haan_skipped_layer", |b| {
+        let config = HaanConfig::builder().subsample(256).format(Format::Int8).build();
+        let plan = SkipPlan {
+            start: 50,
+            end: 60,
+            decay: -0.05,
+            correlation: -1.0,
+            calibration_anchor_log_isd: -1.0,
+        };
+        let mut norm = HaanNormalizer::new(config).with_plan(plan);
+        b.iter(|| norm.normalize(black_box(site), black_box(&z), &gamma, &beta))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_normalization);
+criterion_main!(benches);

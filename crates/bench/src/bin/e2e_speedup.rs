@@ -1,0 +1,59 @@
+//! Section V-B end-to-end experiment: plugging HAAN into an FPGA spatial LLM accelerator
+//! (Chen et al., TRETS 2024) for GPT-2 355M yields a ~1.11x end-to-end speedup at input
+//! lengths 128-512.
+
+use haan::HaanConfig;
+use haan_accel::{AccelConfig, HaanAccelerator};
+use haan_baselines::{DfxEngine, EndToEndModel, NormEngine, NormWorkload};
+use haan_bench::{fmt_ratio, print_experiment_header, MarkdownTable};
+use haan_llm::NormKind;
+use haan_numerics::Format;
+
+fn main() {
+    print_experiment_header(
+        "End-to-end (Section V-B)",
+        "GPT-2 355M on an FPGA spatial accelerator with its norm engine replaced by HAAN",
+    );
+    let host = EndToEndModel::gpt2_355m_host();
+    // The host's native normalization engine is a DFX-style sequential vector engine.
+    let native = DfxEngine::published();
+    let haan = HaanAccelerator::new(
+        AccelConfig::haan_v1(),
+        HaanConfig::builder()
+            .label("HAAN (GPT-2 355M)")
+            .subsample(512)
+            .format(Format::Fp16)
+            .build(),
+    );
+
+    let mut table = MarkdownTable::new(vec![
+        "input length",
+        "norm speedup (HAAN vs native)",
+        "end-to-end speedup (model)",
+        "end-to-end speedup (paper)",
+    ]);
+    let mut sum = 0.0;
+    let seq_lens = [128usize, 256, 512];
+    for &seq_len in &seq_lens {
+        let workload = NormWorkload {
+            embedding_dim: 1024,
+            num_layers: 49,
+            seq_len,
+            kind: NormKind::LayerNorm,
+        };
+        let norm_speedup = native.latency_us(&workload) / haan.latency_us(&workload);
+        let e2e = host.end_to_end_speedup(norm_speedup);
+        sum += e2e;
+        table.push_row(vec![
+            seq_len.to_string(),
+            fmt_ratio(norm_speedup),
+            fmt_ratio(e2e),
+            "~1.11x".to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nAverage end-to-end speedup: {} (paper: ≈ 1.11x).",
+        fmt_ratio(sum / seq_lens.len() as f64)
+    );
+}

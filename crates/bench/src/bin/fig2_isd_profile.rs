@@ -1,0 +1,54 @@
+//! Figure 2: inverse-standard-deviation profile across the 64+1 normalization layers of
+//! LLaMA-7B for a handful of randomly chosen tokens, plus the linearity diagnostics of
+//! the deep-layer range.
+
+use haan::pearson::pearson_against_index;
+use haan::{cal_decay, Calibrator};
+use haan_bench::{print_experiment_header, MarkdownTable};
+use haan_llm::synthetic::IsdProfileModel;
+
+fn main() {
+    print_experiment_header(
+        "Figure 2",
+        "log-scale ISD per normalization layer, LLaMA-7B (synthetic profile model)",
+    );
+
+    let profile_model = IsdProfileModel::llama_7b();
+    let tokens = 5usize;
+    let profiles = profile_model.sample_profiles(tokens, 2024);
+
+    let mut table = MarkdownTable::new(vec!["layer".to_string()]
+        .into_iter()
+        .chain((0..tokens).map(|t| format!("token {t} log10(ISD)")))
+        .collect::<Vec<_>>());
+    for layer in 0..profile_model.num_layers {
+        let mut row = vec![layer.to_string()];
+        for profile in &profiles {
+            // The paper plots ISD on a log axis; report log10 for readability.
+            row.push(format!("{:.3}", profile[layer] / std::f64::consts::LN_10));
+        }
+        table.push_row(row);
+    }
+    print!("{}", table.render());
+
+    // Linearity of the deep range the paper highlights (layers 41-61).
+    let mean_profile: Vec<f64> = (0..profile_model.num_layers)
+        .map(|l| profiles.iter().map(|p| p[l]).sum::<f64>() / tokens as f64)
+        .collect();
+    let deep = &mean_profile[41..=61];
+    let early = &mean_profile[0..=15];
+    println!("\nPearson(log ISD, layer) over layers 41-61: {:.4}", pearson_against_index(deep).unwrap());
+    println!("Pearson(log ISD, layer) over layers 0-15:  {:.4}", pearson_against_index(early).unwrap());
+    println!("Fitted decay e over layers 41-61: {:.4} (generating slope {:.4})",
+        cal_decay(deep).unwrap(), profile_model.linear_slope);
+
+    // What Algorithm 1 would select on a full calibration set.
+    let outcome = Calibrator::paper_default()
+        .calibrate_profile_model(&profile_model, 7)
+        .expect("calibration succeeds on the synthetic profile");
+    println!(
+        "Algorithm 1 skip range on 100 calibration samples: ({}, {}), correlation {:.4}, decay {:.4}",
+        outcome.plan.start, outcome.plan.end, outcome.plan.correlation, outcome.plan.decay
+    );
+    println!("Paper reference: skip range (50, 60) for LLaMA-7B.");
+}

@@ -1,0 +1,59 @@
+//! Figure 8(a): normalized power of HAAN-v1/v2 vs SOLE, DFX and MHAA on the GPT-2
+//! normalization workload across sequence lengths.
+
+use haan::{HaanConfig, SkipPlan};
+use haan_accel::{AccelConfig, HaanAccelerator};
+use haan_baselines::{compare_engines, DfxEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine};
+use haan_bench::{fmt_ratio, print_experiment_header, MarkdownTable};
+use haan_numerics::Format;
+
+fn gpt2_plan() -> SkipPlan {
+    SkipPlan {
+        start: 85,
+        end: 95,
+        decay: -0.035,
+        correlation: -0.999,
+        calibration_anchor_log_isd: -1.5,
+    }
+}
+
+fn main() {
+    print_experiment_header(
+        "Figure 8(a)",
+        "normalized power of normalization engines on GPT2-1.5B",
+    );
+    let algorithm = HaanConfig::builder()
+        .label("HAAN (GPT-2)")
+        .subsample(800)
+        .format(Format::Fp16)
+        .build();
+    let v1 = HaanAccelerator::new(AccelConfig::haan_v1(), algorithm.clone()).with_plan(gpt2_plan());
+    let v2 = HaanAccelerator::new(AccelConfig::haan_v2(), algorithm).with_plan(gpt2_plan());
+    let sole = SoleEngine::default();
+    let dfx = DfxEngine::default();
+    let mhaa = MhaaEngine::default();
+
+    let mut table = MarkdownTable::new(vec!["seq len", "HAAN-v1", "HAAN-v2", "SOLE", "MHAA", "DFX"]);
+    let mut dfx_reduction_sum = 0.0;
+    let seq_lens = [128usize, 256, 512, 1024];
+    for &seq_len in &seq_lens {
+        let workload = NormWorkload::gpt2_1_5b(seq_len);
+        let others: [&dyn NormEngine; 4] = [&v2, &sole, &mhaa, &dfx];
+        let rows = compare_engines(&v1, &others, &workload);
+        dfx_reduction_sum += 1.0 - 1.0 / rows[4].normalized_power;
+        table.push_row(vec![
+            seq_len.to_string(),
+            fmt_ratio(rows[0].normalized_power),
+            fmt_ratio(rows[1].normalized_power),
+            fmt_ratio(rows[2].normalized_power),
+            fmt_ratio(rows[3].normalized_power),
+            fmt_ratio(rows[4].normalized_power),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nAverage power reduction of HAAN-v1 vs DFX: {:.0}% (paper: 61-64%).",
+        dfx_reduction_sum / seq_lens.len() as f64 * 100.0
+    );
+    println!("Paper reference: HAAN draws slightly less power than SOLE and MHAA.");
+}

@@ -1,0 +1,47 @@
+//! Figure 8(b): normalized latency of HAAN-v1/v3 vs SOLE, MHAA and the GPU on the
+//! OPT-2.7B normalization workload (65 layers, 7 of which are skipped, Nsub = 1280).
+
+use haan::{HaanConfig, SkipPlan};
+use haan_accel::{AccelConfig, HaanAccelerator};
+use haan_baselines::{compare_engines, GpuNormEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine};
+use haan_bench::{fmt_ratio, print_experiment_header, MarkdownTable};
+
+fn opt_plan() -> SkipPlan {
+    SkipPlan {
+        start: 55,
+        end: 62,
+        decay: -0.045,
+        correlation: -0.999,
+        calibration_anchor_log_isd: -1.2,
+    }
+}
+
+fn main() {
+    print_experiment_header(
+        "Figure 8(b)",
+        "normalized normalization latency on OPT-2.7B (65 layers, E = 2560)",
+    );
+    let algorithm = HaanConfig::opt_2_7b_paper();
+    let v1 = HaanAccelerator::new(AccelConfig::haan_v1(), algorithm.clone()).with_plan(opt_plan());
+    let v3 = HaanAccelerator::new(AccelConfig::haan_v3(), algorithm).with_plan(opt_plan());
+    let sole = SoleEngine::default();
+    let mhaa = MhaaEngine::default();
+    let gpu = GpuNormEngine::a100();
+
+    let mut table = MarkdownTable::new(vec!["seq len", "HAAN-v1", "HAAN-v3", "SOLE", "MHAA", "GPU"]);
+    for seq_len in [128usize, 256, 512, 1024] {
+        let workload = NormWorkload::opt_2_7b(seq_len);
+        let others: [&dyn NormEngine; 4] = [&v3, &sole, &mhaa, &gpu];
+        let rows = compare_engines(&v1, &others, &workload);
+        table.push_row(vec![
+            seq_len.to_string(),
+            fmt_ratio(rows[0].normalized_latency),
+            fmt_ratio(rows[1].normalized_latency),
+            fmt_ratio(rows[2].normalized_latency),
+            fmt_ratio(rows[3].normalized_latency),
+            fmt_ratio(rows[4].normalized_latency),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nPaper reference (averages): HAAN-v3 ≈ 1.04x, SOLE ≈ 1.57x, MHAA ≈ 1.62x, GPU ≈ 10.5x.");
+}

@@ -1,0 +1,66 @@
+//! Figure 9: normalized latency of HAAN-v1/v2 vs SOLE, DFX, MHAA and the GPU on the
+//! GPT2-1.5B normalization workload across sequence lengths 128-1024.
+//!
+//! Per the paper's GPT-2 setup, 10 normalization layers are skipped and the input is
+//! subsampled to half its length.
+
+use haan::{HaanConfig, SkipPlan};
+use haan_accel::{AccelConfig, HaanAccelerator};
+use haan_baselines::{compare_engines, DfxEngine, GpuNormEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine};
+use haan_bench::{fmt_ratio, print_experiment_header, MarkdownTable};
+use haan_numerics::Format;
+
+fn gpt2_plan() -> SkipPlan {
+    SkipPlan {
+        start: 85,
+        end: 95,
+        decay: -0.035,
+        correlation: -0.999,
+        calibration_anchor_log_isd: -1.5,
+    }
+}
+
+fn gpt2_algorithm() -> HaanConfig {
+    HaanConfig::builder()
+        .label("HAAN (GPT-2)")
+        .subsample(800)
+        .format(Format::Fp16)
+        .build()
+}
+
+fn main() {
+    print_experiment_header(
+        "Figure 9",
+        "normalized normalization latency on GPT2-1.5B (97 layers, E = 1600)",
+    );
+    let v1 = HaanAccelerator::new(AccelConfig::haan_v1(), gpt2_algorithm()).with_plan(gpt2_plan());
+    let v2 = HaanAccelerator::new(AccelConfig::haan_v2(), gpt2_algorithm()).with_plan(gpt2_plan());
+    let sole = SoleEngine::default();
+    let dfx = DfxEngine::default();
+    let mhaa = MhaaEngine::default();
+    let gpu = GpuNormEngine::a100();
+
+    let mut table = MarkdownTable::new(vec![
+        "seq len", "HAAN-v1", "HAAN-v2", "SOLE", "MHAA", "DFX", "GPU",
+    ]);
+    for seq_len in [128usize, 256, 512, 1024] {
+        let workload = NormWorkload::gpt2_1_5b(seq_len);
+        let others: [&dyn NormEngine; 5] = [&v2, &sole, &mhaa, &dfx, &gpu];
+        let rows = compare_engines(&v1, &others, &workload);
+        table.push_row(vec![
+            seq_len.to_string(),
+            fmt_ratio(rows[0].normalized_latency),
+            fmt_ratio(rows[1].normalized_latency),
+            fmt_ratio(rows[2].normalized_latency),
+            fmt_ratio(rows[3].normalized_latency),
+            fmt_ratio(rows[4].normalized_latency),
+            fmt_ratio(rows[5].normalized_latency),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nPaper reference (averages): HAAN-v2 ≈ 1.03-1.05x, SOLE ≈ 1.21-1.35x, MHAA ≈ 2.42x, DFX ≈ 11.7x, GPU ≈ 10.5x.");
+    println!(
+        "Absolute HAAN-v1 latency at seq 512: {:.1} us",
+        v1.latency_us(&NormWorkload::gpt2_1_5b(512))
+    );
+}

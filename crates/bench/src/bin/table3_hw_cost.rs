@@ -1,0 +1,66 @@
+//! Table III: FPGA resource consumption and power of the HAAN accelerator for
+//! FP32 / FP16 / INT8 inputs at two `(pd, pn)` points each.
+
+use haan_bench::{print_experiment_header, MarkdownTable};
+use haan_accel::power::PowerModel;
+use haan_accel::resources::{paper_table3_resources, DeviceCapacity};
+use haan_accel::{AccelConfig, ResourceEstimate};
+
+fn main() {
+    print_experiment_header(
+        "Table III",
+        "HAAN accelerator resource and power model vs the paper's Vivado results",
+    );
+    let device = DeviceCapacity::alveo_u280();
+    let power_model = PowerModel::calibrated();
+    let paper = paper_table3_resources();
+
+    let mut table = MarkdownTable::new(vec![
+        "input format (pd, pn)",
+        "LUT (model)",
+        "LUT (paper)",
+        "FF (model)",
+        "FF (paper)",
+        "DSP (model)",
+        "DSP (paper)",
+        "Power W (model)",
+        "Power W (paper)",
+    ]);
+
+    for ((label, config), (paper_label, paper_resources, paper_power)) in
+        AccelConfig::table3_rows().iter().zip(&paper)
+    {
+        assert_eq!(label, paper_label);
+        let estimate = ResourceEstimate::for_config(config);
+        estimate
+            .check_fits_u280_or_panic(device);
+        let power = power_model.estimate_full_activity(config).total_w();
+        let (lut_util, _, dsp_util) = estimate.utilisation(device);
+        table.push_row(vec![
+            label.clone(),
+            format!("{}K / {:.1}%", estimate.lut / 1000, lut_util * 100.0),
+            format!("{}K", paper_resources.lut / 1000),
+            format!("{}K", estimate.ff / 1000),
+            format!("{}K", paper_resources.ff / 1000),
+            format!("{} / {:.1}%", estimate.dsp, dsp_util * 100.0),
+            format!("{}", paper_resources.dsp),
+            format!("{power:.3}"),
+            format!("{paper_power:.3}"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nKey shape checks: FP32 draws ~1.3x the FP16 power, INT8 (256,256) draws the least, and \
+         shrinking pd under subsampling frees DSPs at the cost of LUT/FF."
+    );
+}
+
+trait CheckFits {
+    fn check_fits_u280_or_panic(&self, device: DeviceCapacity);
+}
+
+impl CheckFits for ResourceEstimate {
+    fn check_fits_u280_or_panic(&self, device: DeviceCapacity) {
+        self.check_fits(device).expect("Table III designs fit on the U280");
+    }
+}

@@ -1,0 +1,226 @@
+//! The offline calibration pipeline of Algorithm 1.
+//!
+//! Calibration feeds a small calibration set (the paper uses 100 WikiText samples)
+//! through the model with exact normalization, records the per-layer `log(ISD)` profile
+//! of every sample, and runs the skip-range search on the collected profiles. The
+//! resulting [`SkipPlan`] is then attached to a [`HaanNormalizer`](crate::HaanNormalizer)
+//! for inference.
+
+use crate::error::HaanError;
+use crate::skipping::{IsdSkipAlgorithm, SkipPlan};
+use haan_llm::activations::RecordingNormalizer;
+use haan_llm::dataset::SyntheticCorpus;
+use haan_llm::norm::ReferenceNormalizer;
+use haan_llm::synthetic::IsdProfileModel;
+use haan_llm::TransformerModel;
+use serde::{Deserialize, Serialize};
+
+/// The output of calibration: the skip plan plus the profiles it was fitted on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationOutcome {
+    /// The selected skip plan.
+    pub plan: SkipPlan,
+    /// Mean `log(ISD)` per layer over the calibration set.
+    pub mean_log_isd: Vec<f64>,
+    /// Number of calibration samples used.
+    pub samples: usize,
+}
+
+/// Calibration driver.
+///
+/// `num_samples` and `sample_len` control the synthetic calibration set (the stand-in
+/// for "100 samples from WikiText"); `min_gap` is Algorithm 1's `M`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Calibrator {
+    num_samples: usize,
+    sample_len: usize,
+    min_gap: usize,
+    exclude_tail: usize,
+}
+
+impl Calibrator {
+    /// Creates a calibrator with `num_samples` sequences of `sample_len` tokens,
+    /// a default minimum gap of 10 layers and the final two layers excluded from the
+    /// range search.
+    #[must_use]
+    pub fn new(num_samples: usize, sample_len: usize) -> Self {
+        Self {
+            num_samples,
+            sample_len,
+            min_gap: 10,
+            exclude_tail: 2,
+        }
+    }
+
+    /// The paper's calibration setup: 100 samples.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(100, 32)
+    }
+
+    /// Sets Algorithm 1's minimum gap `M`.
+    #[must_use]
+    pub fn with_min_gap(mut self, min_gap: usize) -> Self {
+        self.min_gap = min_gap;
+        self
+    }
+
+    /// Sets how many trailing layers are excluded from the range search.
+    #[must_use]
+    pub fn with_excluded_tail(mut self, layers: usize) -> Self {
+        self.exclude_tail = layers;
+        self
+    }
+
+    /// The configured minimum gap.
+    #[must_use]
+    pub fn min_gap(&self) -> usize {
+        self.min_gap
+    }
+
+    /// Calibrates on an actual transformer model: runs the synthetic calibration set
+    /// through it with exact normalization, collects per-sample profiles, and searches
+    /// for the skip range.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the forward passes fail or no skippable range exists.
+    pub fn calibrate_model(
+        &self,
+        model: &TransformerModel,
+        seed: u64,
+    ) -> Result<CalibrationOutcome, HaanError> {
+        let corpus = SyntheticCorpus::new(model.config().vocab_size, 1.0);
+        let sample_len = self.sample_len.min(model.config().max_seq_len);
+        let calibration_set = corpus.calibration_set(self.num_samples, sample_len, seed)?;
+
+        let mut profiles = Vec::with_capacity(calibration_set.len());
+        for sample in &calibration_set {
+            let mut recorder = RecordingNormalizer::new(ReferenceNormalizer::new());
+            model.forward_hidden(sample, &mut recorder)?;
+            profiles.push(recorder.mean_log_isd_per_layer());
+        }
+        self.calibrate_from_profiles(&profiles)
+    }
+
+    /// Calibrates on synthetic ISD profiles generated from an [`IsdProfileModel`] —
+    /// the substitute for profiling a paper-scale (multi-billion-parameter) model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no skippable range exists.
+    pub fn calibrate_profile_model(
+        &self,
+        profile_model: &IsdProfileModel,
+        seed: u64,
+    ) -> Result<CalibrationOutcome, HaanError> {
+        let profiles = profile_model.sample_profiles(self.num_samples, seed);
+        self.calibrate_from_profiles(&profiles)
+    }
+
+    /// Runs Algorithm 1 on already-collected per-sample `log(ISD)` profiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty/ragged profiles or if no skippable range exists.
+    pub fn calibrate_from_profiles(
+        &self,
+        profiles: &[Vec<f64>],
+    ) -> Result<CalibrationOutcome, HaanError> {
+        let algorithm = IsdSkipAlgorithm::new(self.min_gap).with_excluded_tail(self.exclude_tail);
+        let plan = algorithm.find_skip_range(profiles)?;
+        let mean_log_isd = crate::skipping::mean_profile(profiles)?;
+        Ok(CalibrationOutcome {
+            plan,
+            mean_log_isd,
+            samples: profiles.len(),
+        })
+    }
+}
+
+impl Default for Calibrator {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haan_llm::ModelConfig;
+
+    #[test]
+    fn calibrating_on_synthetic_llama_profiles_finds_a_deep_range() {
+        let outcome = Calibrator::paper_default()
+            .calibrate_profile_model(&IsdProfileModel::llama_7b(), 42)
+            .unwrap();
+        assert_eq!(outcome.samples, 100);
+        assert_eq!(outcome.mean_log_isd.len(), 65);
+        assert!(outcome.plan.start >= 20, "start = {}", outcome.plan.start);
+        assert!(outcome.plan.decay < 0.0);
+        assert!(outcome.plan.correlation < -0.99);
+        // The fitted decay should be close to the generating slope.
+        assert!((outcome.plan.decay - IsdProfileModel::llama_7b().linear_slope).abs() < 0.03);
+    }
+
+    #[test]
+    fn calibrating_a_real_tiny_model_works_end_to_end() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 5).unwrap();
+        let outcome = Calibrator::new(6, 8)
+            .with_min_gap(3)
+            .with_excluded_tail(1)
+            .calibrate_model(&model, 9)
+            .unwrap();
+        assert_eq!(outcome.mean_log_isd.len(), model.num_norm_layers());
+        assert!(outcome.plan.end < model.num_norm_layers());
+        assert!(outcome.plan.end - outcome.plan.start >= 3);
+        assert_eq!(outcome.samples, 6);
+    }
+
+    #[test]
+    fn tiny_model_isd_decreases_with_depth() {
+        // The residual architecture (plus depth gain) must produce the Fig. 2 trend even
+        // at laptop scale: deep-layer ISD below early-layer ISD.
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 5).unwrap();
+        let outcome = Calibrator::new(6, 8)
+            .with_min_gap(3)
+            .with_excluded_tail(1)
+            .calibrate_model(&model, 9)
+            .unwrap();
+        let profile = &outcome.mean_log_isd;
+        let early = profile[1];
+        let deep = profile[profile.len() - 3];
+        assert!(
+            deep < early,
+            "deep log ISD {deep} should be below early log ISD {early} (profile {profile:?})"
+        );
+    }
+
+    #[test]
+    fn min_gap_too_large_is_an_error() {
+        let result = Calibrator::new(5, 8)
+            .with_min_gap(500)
+            .calibrate_profile_model(&IsdProfileModel::opt_2_7b(), 1);
+        assert!(matches!(result, Err(HaanError::NoSkippableRange { .. })));
+    }
+
+    #[test]
+    fn accessors_and_defaults() {
+        let calibrator = Calibrator::default();
+        assert_eq!(calibrator.min_gap(), 10);
+        let custom = Calibrator::new(10, 16).with_min_gap(4);
+        assert_eq!(custom.min_gap(), 4);
+        assert!(Calibrator::new(2, 4).calibrate_from_profiles(&[]).is_err());
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let a = Calibrator::new(10, 16)
+            .calibrate_profile_model(&IsdProfileModel::gpt2_1_5b(), 3)
+            .unwrap();
+        let b = Calibrator::new(10, 16)
+            .calibrate_profile_model(&IsdProfileModel::gpt2_1_5b(), 3)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

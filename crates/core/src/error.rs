@@ -1,0 +1,102 @@
+//! Error type for the HAAN algorithm crate.
+
+use std::fmt;
+
+/// Errors produced by calibration, prediction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HaanError {
+    /// The calibration profiles were empty or inconsistent in length.
+    InvalidProfiles(String),
+    /// No layer range satisfied the skip-search constraints.
+    NoSkippableRange {
+        /// Number of layers in the profiles.
+        num_layers: usize,
+        /// The minimum gap that was requested.
+        min_gap: usize,
+    },
+    /// A skip range was outside the model's layer count or reversed.
+    InvalidSkipRange {
+        /// The offending range.
+        range: (usize, usize),
+        /// Number of normalization layers available.
+        num_layers: usize,
+    },
+    /// A configuration field was invalid (zero subsample length, bad iteration count…).
+    InvalidConfig(String),
+    /// An error bubbled up from the transformer substrate.
+    Model(String),
+    /// An error bubbled up from the numeric substrate.
+    Numeric(String),
+}
+
+impl fmt::Display for HaanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HaanError::InvalidProfiles(msg) => write!(f, "invalid calibration profiles: {msg}"),
+            HaanError::NoSkippableRange { num_layers, min_gap } => write!(
+                f,
+                "no skippable range found over {num_layers} layers with minimum gap {min_gap}"
+            ),
+            HaanError::InvalidSkipRange { range, num_layers } => write!(
+                f,
+                "invalid skip range ({}, {}) for a model with {num_layers} normalization layers",
+                range.0, range.1
+            ),
+            HaanError::InvalidConfig(msg) => write!(f, "invalid HAAN configuration: {msg}"),
+            HaanError::Model(msg) => write!(f, "model error: {msg}"),
+            HaanError::Numeric(msg) => write!(f, "numeric error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HaanError {}
+
+impl From<haan_llm::LlmError> for HaanError {
+    fn from(err: haan_llm::LlmError) -> Self {
+        HaanError::Model(err.to_string())
+    }
+}
+
+impl From<haan_numerics::NumericError> for HaanError {
+    fn from(err: haan_numerics::NumericError) -> Self {
+        HaanError::Numeric(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(HaanError::InvalidProfiles("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(HaanError::NoSkippableRange {
+            num_layers: 5,
+            min_gap: 10
+        }
+        .to_string()
+        .contains("minimum gap 10"));
+        assert!(HaanError::InvalidSkipRange {
+            range: (50, 60),
+            num_layers: 20
+        }
+        .to_string()
+        .contains("(50, 60)"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let llm_err = haan_llm::LlmError::InvalidConfig("x".into());
+        assert!(matches!(HaanError::from(llm_err), HaanError::Model(_)));
+        let num_err = haan_numerics::NumericError::EmptyInput;
+        assert!(matches!(HaanError::from(num_err), HaanError::Numeric(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HaanError>();
+    }
+}

@@ -1,0 +1,282 @@
+//! Accuracy evaluation of HAAN-configured models (the machinery behind Tables I and II).
+
+use crate::config::HaanConfig;
+use crate::error::HaanError;
+use crate::normalizer::HaanNormalizer;
+use crate::skipping::SkipPlan;
+use haan_llm::norm::{Normalizer, ReferenceNormalizer};
+use haan_llm::tasks::{TaskSpec, TaskSuite};
+use haan_llm::TransformerModel;
+use serde::{Deserialize, Serialize};
+
+/// Accuracy of one configuration on one task suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskScore {
+    /// Short task name (`"WG"`, `"PQ"`, …).
+    pub task: String,
+    /// Accuracy in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+/// One row of an accuracy table: a configuration label plus its per-task accuracies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyRow {
+    /// Configuration label ("Original", "HAAN", ablation labels…).
+    pub label: String,
+    /// Per-task scores in suite order.
+    pub scores: Vec<TaskScore>,
+}
+
+impl AccuracyRow {
+    /// Mean accuracy over all tasks.
+    #[must_use]
+    pub fn mean_accuracy(&self) -> f64 {
+        if self.scores.is_empty() {
+            return 0.0;
+        }
+        self.scores.iter().map(|s| s.accuracy).sum::<f64>() / self.scores.len() as f64
+    }
+
+    /// Accuracy on one task, if present.
+    #[must_use]
+    pub fn task_accuracy(&self, task: &str) -> Option<f64> {
+        self.scores
+            .iter()
+            .find(|s| s.task == task)
+            .map(|s| s.accuracy)
+    }
+}
+
+/// An evaluation harness bound to one model: it owns the generated task suites so that
+/// every configuration is scored on *exactly* the same items.
+#[derive(Debug, Clone)]
+pub struct AccuracyEvaluator {
+    suites: Vec<TaskSuite>,
+}
+
+impl AccuracyEvaluator {
+    /// Generates the five paper task suites for `model` with `items_per_task` items each.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if suite generation fails (e.g. prompt length exceeding the
+    /// model's maximum sequence length).
+    pub fn for_model(
+        model: &TransformerModel,
+        items_per_task: usize,
+        seed: u64,
+    ) -> Result<Self, HaanError> {
+        let specs = TaskSpec::paper_suites(items_per_task, seed);
+        Self::with_specs(model, &specs)
+    }
+
+    /// Generates suites from explicit specifications.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if suite generation fails.
+    pub fn with_specs(model: &TransformerModel, specs: &[TaskSpec]) -> Result<Self, HaanError> {
+        let mut reference = ReferenceNormalizer::new();
+        let suites = specs
+            .iter()
+            .map(|spec| TaskSuite::generate(spec, model, &mut reference))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { suites })
+    }
+
+    /// The generated suites.
+    #[must_use]
+    pub fn suites(&self) -> &[TaskSuite] {
+        &self.suites
+    }
+
+    /// Scores an arbitrary normalizer on every suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if evaluation of any suite fails.
+    pub fn evaluate_normalizer<N: Normalizer + ?Sized>(
+        &self,
+        model: &TransformerModel,
+        label: impl Into<String>,
+        normalizer: &mut N,
+    ) -> Result<AccuracyRow, HaanError> {
+        let mut scores = Vec::with_capacity(self.suites.len());
+        for suite in &self.suites {
+            let accuracy = suite.evaluate(model, normalizer)?;
+            scores.push(TaskScore {
+                task: suite.spec().short_name.clone(),
+                accuracy: accuracy.accuracy(),
+            });
+        }
+        Ok(AccuracyRow {
+            label: label.into(),
+            scores,
+        })
+    }
+
+    /// Scores the reference (exact FP32) configuration — the "Original" rows of Table I.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if evaluation fails.
+    pub fn evaluate_original(&self, model: &TransformerModel) -> Result<AccuracyRow, HaanError> {
+        self.evaluate_normalizer(model, "Original", &mut ReferenceNormalizer::new())
+    }
+
+    /// Scores a HAAN configuration (optionally with a calibrated plan) — the "HAAN" rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid for the model or evaluation fails.
+    pub fn evaluate_haan(
+        &self,
+        model: &TransformerModel,
+        config: &HaanConfig,
+        plan: Option<SkipPlan>,
+    ) -> Result<AccuracyRow, HaanError> {
+        config.validate(model.num_norm_layers())?;
+        let mut normalizer = HaanNormalizer::new(config.clone());
+        if let Some(plan) = plan {
+            normalizer = normalizer.with_plan(plan);
+        }
+        self.evaluate_normalizer(model, config.label.clone(), &mut normalizer)
+    }
+}
+
+/// The degradation (original − HAAN accuracy) per task; the paper's headline claim is
+/// that this stays below one accuracy point for the chosen presets.
+#[must_use]
+pub fn degradation(original: &AccuracyRow, haan: &AccuracyRow) -> Vec<(String, f64)> {
+    original
+        .scores
+        .iter()
+        .filter_map(|score| {
+            haan.task_accuracy(&score.task)
+                .map(|h| (score.task.clone(), score.accuracy - h))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haan_llm::ModelConfig;
+    use haan_numerics::Format;
+
+    fn model() -> TransformerModel {
+        TransformerModel::new(&ModelConfig::tiny_test(), 21).unwrap()
+    }
+
+    fn small_specs() -> Vec<TaskSpec> {
+        TaskSpec::paper_suites(8, 3)
+            .into_iter()
+            .map(|mut spec| {
+                spec.prompt_len = 6;
+                spec.choice_len = 3;
+                spec
+            })
+            .collect()
+    }
+
+    #[test]
+    fn original_row_hits_the_label_noise_ceiling() {
+        let model = model();
+        let evaluator = AccuracyEvaluator::with_specs(&model, &small_specs()).unwrap();
+        let original = evaluator.evaluate_original(&model).unwrap();
+        assert_eq!(original.scores.len(), 5);
+        // On suites with label noise p, the reference model scores exactly the items
+        // whose gold label was not flipped, so accuracy ≥ 1 − p − slack.
+        for (score, spec) in original.scores.iter().zip(&small_specs()) {
+            assert!(
+                score.accuracy >= 1.0 - spec.label_noise - 0.35,
+                "{}: {}",
+                score.task,
+                score.accuracy
+            );
+        }
+        assert!(original.mean_accuracy() > 0.3);
+    }
+
+    #[test]
+    fn gentle_haan_config_degrades_little() {
+        let model = model();
+        let evaluator = AccuracyEvaluator::with_specs(&model, &small_specs()).unwrap();
+        let original = evaluator.evaluate_original(&model).unwrap();
+        let config = HaanConfig::builder()
+            .label("HAAN")
+            .subsample(24)
+            .format(Format::Fp16)
+            .build();
+        let haan = evaluator.evaluate_haan(&model, &config, None).unwrap();
+        let drops = degradation(&original, &haan);
+        assert_eq!(drops.len(), 5);
+        let mean_drop: f64 = drops.iter().map(|(_, d)| d).sum::<f64>() / drops.len() as f64;
+        assert!(mean_drop.abs() < 0.15, "mean drop {mean_drop}");
+    }
+
+    #[test]
+    fn absurd_skip_plan_degrades_a_lot() {
+        // Predicting every deep layer's ISD from a wildly wrong anchor must hurt,
+        // mirroring Table II's "skip range (10, 20)" failure row.
+        let model = model();
+        let evaluator = AccuracyEvaluator::with_specs(&model, &small_specs()).unwrap();
+        let original = evaluator.evaluate_original(&model).unwrap();
+        let config = HaanConfig::builder().label("HAAN (bad)").build();
+        let bad_plan = SkipPlan {
+            start: 0,
+            end: 7,
+            decay: 2.0, // absurd growth: predicted ISD explodes across the model
+            correlation: 0.0,
+            calibration_anchor_log_isd: 4.0,
+        };
+        let broken = evaluator.evaluate_haan(&model, &config, Some(bad_plan)).unwrap();
+        assert!(
+            broken.mean_accuracy() < original.mean_accuracy(),
+            "broken {} vs original {}",
+            broken.mean_accuracy(),
+            original.mean_accuracy()
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_evaluation() {
+        let model = model();
+        let evaluator = AccuracyEvaluator::with_specs(&model, &small_specs()).unwrap();
+        let config = HaanConfig::builder().skip_range(50, 60).build();
+        assert!(evaluator.evaluate_haan(&model, &config, None).is_err());
+    }
+
+    #[test]
+    fn row_helpers() {
+        let row = AccuracyRow {
+            label: "x".into(),
+            scores: vec![
+                TaskScore { task: "WG".into(), accuracy: 0.7 },
+                TaskScore { task: "PQ".into(), accuracy: 0.8 },
+            ],
+        };
+        assert!((row.mean_accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(row.task_accuracy("PQ"), Some(0.8));
+        assert_eq!(row.task_accuracy("HS"), None);
+        let empty = AccuracyRow { label: "e".into(), scores: vec![] };
+        assert_eq!(empty.mean_accuracy(), 0.0);
+        assert_eq!(evaluatorless_degradation_len(), 0);
+    }
+
+    fn evaluatorless_degradation_len() -> usize {
+        let a = AccuracyRow { label: "a".into(), scores: vec![] };
+        degradation(&a, &a).len()
+    }
+
+    #[test]
+    fn suites_are_shared_between_configurations() {
+        let model = model();
+        let evaluator = AccuracyEvaluator::with_specs(&model, &small_specs()).unwrap();
+        assert_eq!(evaluator.suites().len(), 5);
+        // Scoring the same normalizer twice is deterministic.
+        let a = evaluator.evaluate_original(&model).unwrap();
+        let b = evaluator.evaluate_original(&model).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,492 @@
+//! [`HaanNormalizer`] — a drop-in normalizer applying ISD skipping, subsampling and
+//! operand quantization.
+//!
+//! The normalizer mirrors what the HAAN accelerator computes:
+//!
+//! * the *statistics path* sees the quantized, subsampled input prefix;
+//! * for layers inside the calibrated skip range, the ISD is not computed at all but
+//!   predicted from the anchor layer's ISD with the log-linear model (Eq. 3);
+//! * the remaining ISDs go through the fast inverse square root (seed + Newton);
+//! * the *normalization path* applies the estimated statistics and the affine
+//!   transform to the full-precision input, exactly as the hardware's normalization
+//!   units consume the statistics produced by the input statistics calculator.
+
+use crate::config::HaanConfig;
+use crate::quantization::QuantizationPolicy;
+use crate::skipping::SkipPlan;
+use crate::subsample::SubsampleEstimator;
+use haan_llm::norm::{normalize_with_stats, NormSite, Normalizer};
+use haan_llm::NormKind;
+use haan_numerics::invsqrt::fast_inv_sqrt;
+use haan_numerics::stats::DEFAULT_EPS;
+use serde::{Deserialize, Serialize};
+
+/// Counters describing what the normalizer actually did, used by reports and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NormalizerTelemetry {
+    /// Total normalization invocations.
+    pub calls: u64,
+    /// Invocations whose ISD was predicted instead of computed.
+    pub skipped_isd: u64,
+    /// Invocations whose statistics came from a subsampled prefix.
+    pub subsampled: u64,
+    /// Total elements read by the statistics path.
+    pub elements_read: u64,
+    /// Total elements that a full-statistics implementation would have read.
+    pub elements_total: u64,
+}
+
+impl NormalizerTelemetry {
+    /// Fraction of ISD computations that were skipped.
+    #[must_use]
+    pub fn skip_fraction(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.skipped_isd as f64 / self.calls as f64
+        }
+    }
+
+    /// Fraction of input elements actually read by the statistics path.
+    #[must_use]
+    pub fn read_fraction(&self) -> f64 {
+        if self.elements_total == 0 {
+            0.0
+        } else {
+            self.elements_read as f64 / self.elements_total as f64
+        }
+    }
+}
+
+/// The HAAN normalizer.
+///
+/// See the crate-level example for end-to-end usage with a transformer model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HaanNormalizer {
+    config: HaanConfig,
+    plan: Option<SkipPlan>,
+    quantization: QuantizationPolicy,
+    /// `log(ISD)` observed at the anchor layer of the current sequence, if any.
+    anchor_log_isd: Option<f64>,
+    telemetry: NormalizerTelemetry,
+}
+
+impl HaanNormalizer {
+    /// Creates a normalizer from a configuration. If the configuration names a fixed
+    /// skip range but no calibrated plan is attached (see [`HaanNormalizer::with_plan`]),
+    /// the range is used with a decay of zero — calibration is what fits the decay.
+    #[must_use]
+    pub fn new(config: HaanConfig) -> Self {
+        let plan = config.skip_range.map(|(start, end)| SkipPlan {
+            start,
+            end,
+            decay: 0.0,
+            correlation: 0.0,
+            calibration_anchor_log_isd: 0.0,
+        });
+        let quantization = QuantizationPolicy::new(config.format);
+        Self {
+            config,
+            plan,
+            quantization,
+            anchor_log_isd: None,
+            telemetry: NormalizerTelemetry::default(),
+        }
+    }
+
+    /// Attaches a calibrated [`SkipPlan`] (replacing any fixed range from the config).
+    #[must_use]
+    pub fn with_plan(mut self, plan: SkipPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Removes the skip plan (disables ISD skipping while keeping subsampling and
+    /// quantization).
+    #[must_use]
+    pub fn without_plan(mut self) -> Self {
+        self.plan = None;
+        self
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &HaanConfig {
+        &self.config
+    }
+
+    /// The active skip plan, if any.
+    #[must_use]
+    pub fn plan(&self) -> Option<&SkipPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Telemetry accumulated so far.
+    #[must_use]
+    pub fn telemetry(&self) -> NormalizerTelemetry {
+        self.telemetry
+    }
+
+    /// Resets the telemetry counters.
+    pub fn reset_telemetry(&mut self) {
+        self.telemetry = NormalizerTelemetry::default();
+    }
+
+    /// Computes the statistic HAAN tracks for a normalization kind: `1/σ` for LayerNorm,
+    /// `1/rms` for RMSNorm (both are "the ISD" in the paper's terminology, since each is
+    /// the factor the normalized output is proportional to).
+    fn tracked_isd(&self, kind: NormKind, mean: f32, variance: f32) -> f32 {
+        let squared = match kind {
+            NormKind::LayerNorm => variance,
+            NormKind::RmsNorm => variance + mean * mean,
+        };
+        match self.config.invsqrt_newton_iterations {
+            Some(iterations) => fast_inv_sqrt(squared + DEFAULT_EPS, iterations),
+            None => 1.0 / (squared + DEFAULT_EPS).sqrt(),
+        }
+    }
+}
+
+impl Normalizer for HaanNormalizer {
+    fn normalize(&mut self, site: NormSite, z: &[f32], gamma: &[f32], beta: &[f32]) -> Vec<f32> {
+        if z.is_empty() {
+            return Vec::new();
+        }
+        self.telemetry.calls += 1;
+        self.telemetry.elements_total += z.len() as u64;
+
+        let skipped = self
+            .plan
+            .as_ref()
+            .is_some_and(|plan| plan.is_skipped(site.layer_index));
+
+        // The statistics path: quantized operands, subsampled prefix.
+        let n_sub = self.config.n_sub.unwrap_or(z.len());
+        let estimator = SubsampleEstimator::new(n_sub.max(1));
+
+        let (mean, isd) = if skipped {
+            self.telemetry.skipped_isd += 1;
+            let plan = self.plan.as_ref().expect("skipped implies a plan");
+            let anchor_log = self
+                .anchor_log_isd
+                .unwrap_or(plan.calibration_anchor_log_isd);
+            let predicted = plan
+                .predictor()
+                .predict_log_isd(anchor_log, site.layer_index)
+                .unwrap_or(anchor_log)
+                .exp() as f32;
+            // The mean (LayerNorm only) is still estimated from the subsampled prefix;
+            // this is cheap because only the prefix memory entries are read.
+            let mean = match site.kind {
+                NormKind::LayerNorm => {
+                    let quantized = self.quantization.apply(&z[..n_sub.min(z.len())]);
+                    self.telemetry.elements_read += quantized.len() as u64;
+                    if quantized.len() < z.len() {
+                        self.telemetry.subsampled += 1;
+                    }
+                    haan_numerics::stats::VectorStats::compute_one_pass(&quantized)
+                        .map(|s| s.mean)
+                        .unwrap_or(0.0)
+                }
+                NormKind::RmsNorm => 0.0,
+            };
+            (mean, predicted)
+        } else {
+            let prefix_len = n_sub.min(z.len());
+            let quantized = self.quantization.apply(&z[..prefix_len]);
+            self.telemetry.elements_read += quantized.len() as u64;
+            if prefix_len < z.len() {
+                self.telemetry.subsampled += 1;
+            }
+            let stats = match estimator.estimate(&quantized) {
+                Ok(stats) => stats,
+                Err(_) => return z.to_vec(),
+            };
+            let isd = self.tracked_isd(site.kind, stats.mean, stats.variance);
+            // Record the anchor observation for the predictor.
+            if self
+                .plan
+                .as_ref()
+                .is_some_and(|plan| plan.is_anchor(site.layer_index))
+            {
+                self.anchor_log_isd = Some(f64::from(isd).ln());
+            }
+            (stats.mean, isd)
+        };
+
+        normalize_with_stats(
+            z,
+            gamma,
+            beta,
+            site.kind,
+            DEFAULT_EPS,
+            Some(mean),
+            Some(isd),
+        )
+    }
+
+    fn begin_sequence(&mut self) {
+        self.anchor_log_isd = None;
+    }
+
+    fn description(&self) -> String {
+        let skip = match &self.plan {
+            Some(plan) => format!("skip ({}, {})", plan.start, plan.end),
+            None => "no skipping".to_string(),
+        };
+        let sub = match self.config.n_sub {
+            Some(n) => format!("Nsub = {n}"),
+            None => "full input".to_string(),
+        };
+        format!(
+            "HAAN normalizer [{}; {}; {}; {}]",
+            self.config.label, skip, sub, self.config.format
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HaanConfig;
+    use haan_llm::norm::ReferenceNormalizer;
+    use haan_llm::{ModelConfig, TransformerModel};
+    use haan_numerics::Format;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian(len: usize, seed: u64, std: f32) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0f32..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+            })
+            .collect()
+    }
+
+    fn site(layer_index: usize, kind: NormKind) -> NormSite {
+        NormSite { layer_index, kind }
+    }
+
+    #[test]
+    fn without_optimizations_matches_reference_closely() {
+        let config = HaanConfig::unoptimized();
+        let mut haan = HaanNormalizer::new(config);
+        let mut reference = ReferenceNormalizer::new();
+        let z = gaussian(256, 1, 2.0);
+        let gamma = vec![1.0f32; 256];
+        let beta = vec![0.0f32; 256];
+        let a = haan.normalize(site(0, NormKind::LayerNorm), &z, &gamma, &beta);
+        let b = reference.normalize(site(0, NormKind::LayerNorm), &z, &gamma, &beta);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+        assert_eq!(haan.telemetry().skipped_isd, 0);
+        assert_eq!(haan.telemetry().read_fraction(), 1.0);
+    }
+
+    #[test]
+    fn subsampling_reads_only_the_prefix() {
+        let config = HaanConfig::builder().subsample(64).build();
+        let mut haan = HaanNormalizer::new(config);
+        let z = gaussian(512, 2, 1.0);
+        let gamma = vec![1.0f32; 512];
+        let beta = vec![0.0f32; 512];
+        let out = haan.normalize(site(0, NormKind::LayerNorm), &z, &gamma, &beta);
+        assert_eq!(out.len(), 512);
+        let telemetry = haan.telemetry();
+        assert_eq!(telemetry.subsampled, 1);
+        assert_eq!(telemetry.elements_read, 64);
+        assert_eq!(telemetry.elements_total, 512);
+        assert!((telemetry.read_fraction() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skipping_predicts_inside_the_range_only() {
+        let plan = SkipPlan {
+            start: 2,
+            end: 5,
+            decay: -0.1,
+            correlation: -1.0,
+            calibration_anchor_log_isd: 0.0,
+        };
+        let config = HaanConfig::builder().subsample(64).build();
+        let mut haan = HaanNormalizer::new(config).with_plan(plan);
+        haan.begin_sequence();
+        let gamma = vec![1.0f32; 128];
+        let beta = vec![0.0f32; 128];
+        for layer in 0..8 {
+            let z = gaussian(128, 10 + layer as u64, 1.0 + layer as f32 * 0.2);
+            let _ = haan.normalize(site(layer, NormKind::LayerNorm), &z, &gamma, &beta);
+        }
+        let telemetry = haan.telemetry();
+        assert_eq!(telemetry.calls, 8);
+        // Layers 3, 4, 5 are inside the skip range (2 is the anchor and still computes).
+        assert_eq!(telemetry.skipped_isd, 3);
+        assert!(haan.plan().is_some());
+    }
+
+    #[test]
+    fn predicted_isd_tracks_the_log_linear_model() {
+        // Construct inputs whose true ISD follows exp(-0.2 * layer) exactly, calibrate a
+        // plan with that decay, and check the skipped layers land close to the truth.
+        let decay = -0.2f64;
+        let plan = SkipPlan {
+            start: 1,
+            end: 4,
+            decay,
+            correlation: -1.0,
+            calibration_anchor_log_isd: 0.0,
+        };
+        let config = HaanConfig::builder().build();
+        let mut haan = HaanNormalizer::new(config).with_plan(plan);
+        haan.begin_sequence();
+        let gamma = vec![1.0f32; 256];
+        let beta = vec![0.0f32; 256];
+        let base = gaussian(256, 77, 1.0);
+        let mut max_err = 0.0f64;
+        for layer in 0..5 {
+            // σ_layer = exp(0.2·layer) ⇒ ISD = exp(-0.2·layer).
+            let sigma = (0.2 * layer as f64).exp() as f32;
+            let z: Vec<f32> = base.iter().map(|v| v * sigma).collect();
+            let out = haan.normalize(site(layer, NormKind::LayerNorm), &z, &gamma, &beta);
+            // Reconstruct the ISD the normalizer used from the output magnitude.
+            let reference = ReferenceNormalizer::new()
+                .normalize(site(layer, NormKind::LayerNorm), &z, &gamma, &beta);
+            let used_over_true = out
+                .iter()
+                .zip(&reference)
+                .filter(|(_, r)| r.abs() > 0.1)
+                .map(|(o, r)| f64::from(o / r))
+                .sum::<f64>()
+                / reference.iter().filter(|r| r.abs() > 0.1).count() as f64;
+            if layer > 1 {
+                max_err = max_err.max((used_over_true - 1.0).abs());
+            }
+        }
+        assert!(max_err < 0.05, "predicted ISD deviates by {max_err}");
+    }
+
+    #[test]
+    fn begin_sequence_resets_the_anchor() {
+        let plan = SkipPlan {
+            start: 0,
+            end: 2,
+            decay: 0.0,
+            correlation: -1.0,
+            calibration_anchor_log_isd: (0.25f64).ln(),
+        };
+        let config = HaanConfig::builder().build();
+        let mut haan = HaanNormalizer::new(config).with_plan(plan);
+        let gamma = vec![1.0f32; 64];
+        let beta = vec![0.0f32; 64];
+        // Observe an anchor with ISD ≈ 1.
+        haan.begin_sequence();
+        let z = gaussian(64, 5, 1.0);
+        let _ = haan.normalize(site(0, NormKind::LayerNorm), &z, &gamma, &beta);
+        assert!(haan.anchor_log_isd.is_some());
+        // A new sequence forgets it and falls back to the calibration anchor.
+        haan.begin_sequence();
+        assert!(haan.anchor_log_isd.is_none());
+        let out = haan.normalize(site(1, NormKind::LayerNorm), &z, &gamma, &beta);
+        // With the calibration anchor ISD of 0.25, outputs are about a quarter of the
+        // unit-ISD normalization.
+        let reference = ReferenceNormalizer::new()
+            .normalize(site(1, NormKind::LayerNorm), &z, &gamma, &beta);
+        let ratio: f32 = out
+            .iter()
+            .zip(&reference)
+            .filter(|(_, r)| r.abs() > 0.1)
+            .map(|(o, r)| o / r)
+            .sum::<f32>()
+            / reference.iter().filter(|r| r.abs() > 0.1).count() as f32;
+        assert!((ratio - 0.25).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn fixed_range_without_plan_uses_zero_decay() {
+        let config = HaanConfig::builder().skip_range(1, 3).build();
+        let haan = HaanNormalizer::new(config);
+        let plan = haan.plan().unwrap();
+        assert_eq!((plan.start, plan.end), (1, 3));
+        assert_eq!(plan.decay, 0.0);
+        let stripped = haan.without_plan();
+        assert!(stripped.plan().is_none());
+    }
+
+    #[test]
+    fn rmsnorm_tracks_inverse_rms() {
+        let config = HaanConfig::builder().build();
+        let mut haan = HaanNormalizer::new(config);
+        let z = vec![3.0f32; 128]; // constant vector: σ = 0 but RMS = 3
+        let gamma = vec![1.0f32; 128];
+        let beta = vec![0.0f32; 128];
+        let out = haan.normalize(site(0, NormKind::RmsNorm), &z, &gamma, &beta);
+        for v in out {
+            assert!((v - 1.0).abs() < 1e-2, "{v}");
+        }
+    }
+
+    #[test]
+    fn quantized_statistics_change_little_for_well_scaled_inputs() {
+        let z = gaussian(1024, 9, 1.5);
+        let gamma = vec![1.0f32; 1024];
+        let beta = vec![0.0f32; 1024];
+        let exact = ReferenceNormalizer::new().normalize(site(0, NormKind::LayerNorm), &z, &gamma, &beta);
+        for format in [Format::Int8, Format::Fp16, Format::Fp32] {
+            let config = HaanConfig::builder().format(format).build();
+            let mut haan = HaanNormalizer::new(config);
+            let out = haan.normalize(site(0, NormKind::LayerNorm), &z, &gamma, &beta);
+            let max_err = out
+                .iter()
+                .zip(&exact)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max_err < 0.05, "{format}: max error {max_err}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_model_accuracy_is_preserved_by_haan() {
+        // The headline claim of Table I at laptop scale: replacing exact statistics with
+        // HAAN statistics barely changes the model outputs.
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 3).unwrap();
+        let tokens = [1u32, 9, 17, 25, 33];
+        let exact = model
+            .logits(&tokens, &mut ReferenceNormalizer::new())
+            .unwrap();
+        let config = HaanConfig::builder().subsample(24).format(Format::Fp16).build();
+        let mut haan = HaanNormalizer::new(config);
+        let approx = model.logits(&tokens, &mut haan).unwrap();
+        // Compare the argmax next-token prediction of the final position.
+        let last = tokens.len() - 1;
+        let argmax = |m: &haan_llm::Matrix| {
+            m.row(last)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        assert_eq!(argmax(&exact), argmax(&approx));
+        assert!(haan.telemetry().calls > 0);
+        assert!(haan.description().contains("HAAN"));
+    }
+
+    #[test]
+    fn telemetry_reset_and_empty_input() {
+        let mut haan = HaanNormalizer::new(HaanConfig::default());
+        assert_eq!(haan.telemetry(), NormalizerTelemetry::default());
+        let out = haan.normalize(site(0, NormKind::LayerNorm), &[], &[], &[]);
+        assert!(out.is_empty());
+        let z = gaussian(32, 3, 1.0);
+        let _ = haan.normalize(site(0, NormKind::LayerNorm), &z, &vec![1.0; 32], &vec![0.0; 32]);
+        assert_eq!(haan.telemetry().calls, 1);
+        haan.reset_telemetry();
+        assert_eq!(haan.telemetry().calls, 0);
+        assert_eq!(NormalizerTelemetry::default().skip_fraction(), 0.0);
+        assert_eq!(NormalizerTelemetry::default().read_fraction(), 0.0);
+    }
+}

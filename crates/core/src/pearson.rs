@@ -1,0 +1,141 @@
+//! Pearson correlation, the range-selection criterion of Algorithm 1.
+
+use crate::error::HaanError;
+
+/// Pearson correlation coefficient between two equally long slices.
+///
+/// Algorithm 1 correlates a window of per-layer `log(ISD)` values against the layer
+/// indices themselves; the window with the most negative coefficient is the most
+/// linearly decaying one and therefore the best candidate for skipping.
+///
+/// # Errors
+///
+/// Returns [`HaanError::InvalidProfiles`] when the slices differ in length, have fewer
+/// than two elements, or either one has zero variance.
+///
+/// # Example
+///
+/// ```
+/// use haan::pearson::pearson;
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [5.0, 4.0, 3.0, 2.0];
+/// assert!((pearson(&xs, &ys)? + 1.0).abs() < 1e-12);
+/// # Ok::<(), haan::HaanError>(())
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, HaanError> {
+    if xs.len() != ys.len() {
+        return Err(HaanError::InvalidProfiles(format!(
+            "length mismatch: {} vs {}",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < 2 {
+        return Err(HaanError::InvalidProfiles(
+            "at least two points are required".to_string(),
+        ));
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return Err(HaanError::InvalidProfiles(
+            "zero variance in one of the inputs".to_string(),
+        ));
+    }
+    Ok(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+/// Pearson correlation of `values` against their own indices `0, 1, 2, …`, which is
+/// how Algorithm 1 measures the linearity of a layer window.
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn pearson_against_index(values: &[f64]) -> Result<f64, HaanError> {
+    let indices: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
+    pearson(&indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_positive_and_negative_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_data_is_near_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let ys = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&xs, &ys).unwrap().abs() < 0.3);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(pearson(&[1.0], &[2.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[2.0]).is_err());
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_err());
+        assert!(pearson_against_index(&[]).is_err());
+    }
+
+    #[test]
+    fn index_correlation_of_linear_ramp_is_one() {
+        let values: Vec<f64> = (0..20).map(|i| 3.0 - 0.5 * i as f64).collect();
+        assert!((pearson_against_index(&values).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_correlation_is_bounded(
+            ys in proptest::collection::vec(-100.0f64..100.0, 3..64),
+        ) {
+            if let Ok(r) = pearson_against_index(&ys) {
+                prop_assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_correlation_is_symmetric(
+            pairs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 3..32),
+        ) {
+            let (xs, ys): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            let a = pearson(&xs, &ys);
+            let b = pearson(&ys, &xs);
+            match (a, b) {
+                (Ok(a), Ok(b)) => prop_assert!((a - b).abs() < 1e-12),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "one direction failed and the other did not"),
+            }
+        }
+
+        #[test]
+        fn prop_scale_invariance(
+            ys in proptest::collection::vec(-10.0f64..10.0, 3..32),
+            scale in 0.1f64..50.0,
+            shift in -100.0f64..100.0,
+        ) {
+            let scaled: Vec<f64> = ys.iter().map(|v| v * scale + shift).collect();
+            if let (Ok(a), Ok(b)) = (pearson_against_index(&ys), pearson_against_index(&scaled)) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+}

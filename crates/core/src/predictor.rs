@@ -1,0 +1,205 @@
+//! The log-linear ISD predictor of Eq. 3 and the `cal_decay` slope fit.
+
+use crate::error::HaanError;
+use serde::{Deserialize, Serialize};
+
+/// Fits the decay coefficient `e` of Algorithm 1's `calDecay`: the least-squares slope
+/// of the given `log(ISD)` values against their layer offsets `0, 1, 2, …`.
+///
+/// # Errors
+///
+/// Returns [`HaanError::InvalidProfiles`] for fewer than two values.
+///
+/// # Example
+///
+/// ```
+/// use haan::cal_decay;
+/// let log_isds = [0.0, -0.1, -0.2, -0.3];
+/// assert!((cal_decay(&log_isds)? + 0.1).abs() < 1e-9);
+/// # Ok::<(), haan::HaanError>(())
+/// ```
+pub fn cal_decay(log_isds: &[f64]) -> Result<f64, HaanError> {
+    if log_isds.len() < 2 {
+        return Err(HaanError::InvalidProfiles(
+            "cal_decay needs at least two layers".to_string(),
+        ));
+    }
+    let n = log_isds.len() as f64;
+    let mean_x = (n - 1.0) / 2.0;
+    let mean_y = log_isds.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    for (i, &y) in log_isds.iter().enumerate() {
+        let dx = i as f64 - mean_x;
+        cov += dx * (y - mean_y);
+        var_x += dx * dx;
+    }
+    Ok(cov / var_x)
+}
+
+/// The log-linear ISD predictor (Eq. 3):
+/// `log(ISD_k) = log(ISD_i) + e · (k − i)` for `i ≤ k ≤ j`.
+///
+/// The anchor `log(ISD_i)` is observed at run time (the last layer before the skip
+/// range still computes its ISD); the decay coefficient `e` is fitted offline by
+/// [`cal_decay`] during calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IsdPredictor {
+    anchor_layer: usize,
+    decay: f64,
+}
+
+impl IsdPredictor {
+    /// Creates a predictor anchored at layer `anchor_layer` with decay coefficient `e`.
+    #[must_use]
+    pub fn new(anchor_layer: usize, decay: f64) -> Self {
+        Self {
+            anchor_layer,
+            decay,
+        }
+    }
+
+    /// The anchor layer index `i`.
+    #[must_use]
+    pub fn anchor_layer(&self) -> usize {
+        self.anchor_layer
+    }
+
+    /// The decay coefficient `e`.
+    #[must_use]
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    /// Predicts `log(ISD_k)` from the anchor observation `log(ISD_i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HaanError::InvalidSkipRange`] when `layer` precedes the anchor.
+    pub fn predict_log_isd(&self, anchor_log_isd: f64, layer: usize) -> Result<f64, HaanError> {
+        if layer < self.anchor_layer {
+            return Err(HaanError::InvalidSkipRange {
+                range: (self.anchor_layer, layer),
+                num_layers: layer + 1,
+            });
+        }
+        Ok(anchor_log_isd + self.decay * (layer - self.anchor_layer) as f64)
+    }
+
+    /// Predicts the ISD itself (`exp` of [`IsdPredictor::predict_log_isd`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HaanError::InvalidSkipRange`] when `layer` precedes the anchor.
+    pub fn predict_isd(&self, anchor_isd: f64, layer: usize) -> Result<f64, HaanError> {
+        let log = self.predict_log_isd(anchor_isd.ln(), layer)?;
+        Ok(log.exp())
+    }
+
+    /// Mean absolute prediction error (in log space) over an observed profile, a
+    /// convenient calibration-quality metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HaanError::InvalidProfiles`] if the profile does not cover the anchor.
+    pub fn log_error_over_profile(&self, profile: &[f64]) -> Result<f64, HaanError> {
+        if self.anchor_layer >= profile.len() {
+            return Err(HaanError::InvalidProfiles(format!(
+                "profile of length {} does not contain anchor layer {}",
+                profile.len(),
+                self.anchor_layer
+            )));
+        }
+        let anchor = profile[self.anchor_layer];
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (layer, &observed) in profile.iter().enumerate().skip(self.anchor_layer) {
+            let predicted = self.predict_log_isd(anchor, layer)?;
+            total += (predicted - observed).abs();
+            count += 1;
+        }
+        Ok(total / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cal_decay_recovers_exact_slopes() {
+        let flat = [1.0, 1.0, 1.0, 1.0];
+        assert!(cal_decay(&flat).unwrap().abs() < 1e-12);
+        let down: Vec<f64> = (0..10).map(|i| 5.0 - 0.25 * i as f64).collect();
+        assert!((cal_decay(&down).unwrap() + 0.25).abs() < 1e-12);
+        let up: Vec<f64> = (0..10).map(|i| 0.1 * i as f64).collect();
+        assert!((cal_decay(&up).unwrap() - 0.1).abs() < 1e-12);
+        assert!(cal_decay(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn cal_decay_is_least_squares_under_noise() {
+        // Noise that averages out should not move the slope much.
+        let values: Vec<f64> = (0..50)
+            .map(|i| -0.05 * i as f64 + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
+        assert!((cal_decay(&values).unwrap() + 0.05).abs() < 1e-3);
+    }
+
+    #[test]
+    fn predictor_follows_eq3() {
+        let predictor = IsdPredictor::new(50, -0.04);
+        assert_eq!(predictor.anchor_layer(), 50);
+        assert_eq!(predictor.decay(), -0.04);
+        let anchor_log = -1.0;
+        assert!((predictor.predict_log_isd(anchor_log, 50).unwrap() + 1.0).abs() < 1e-12);
+        assert!(
+            (predictor.predict_log_isd(anchor_log, 60).unwrap() - (-1.0 - 0.4)).abs() < 1e-12
+        );
+        assert!(predictor.predict_log_isd(anchor_log, 49).is_err());
+    }
+
+    #[test]
+    fn isd_prediction_exponentiates() {
+        let predictor = IsdPredictor::new(0, -0.5);
+        let isd = predictor.predict_isd(1.0, 2).unwrap();
+        assert!((isd - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_error_is_zero_for_exact_log_linear_profiles() {
+        let predictor = IsdPredictor::new(3, -0.1);
+        let profile: Vec<f64> = (0..10).map(|i| 2.0 - 0.1 * i as f64).collect();
+        assert!(predictor.log_error_over_profile(&profile).unwrap() < 1e-12);
+        // A wrong slope shows up as error.
+        let bad = IsdPredictor::new(3, -0.3);
+        assert!(bad.log_error_over_profile(&profile).unwrap() > 0.1);
+        // Profiles that do not reach the anchor are rejected.
+        assert!(predictor.log_error_over_profile(&[1.0, 2.0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cal_decay_matches_generating_slope(
+            slope in -0.5f64..0.5,
+            intercept in -5.0f64..5.0,
+            len in 3usize..64,
+        ) {
+            let values: Vec<f64> = (0..len).map(|i| intercept + slope * i as f64).collect();
+            prop_assert!((cal_decay(&values).unwrap() - slope).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_prediction_is_monotone_for_negative_decay(
+            decay in -0.5f64..-0.001,
+            anchor in -3.0f64..3.0,
+            offset in 1usize..40,
+        ) {
+            let p = IsdPredictor::new(10, decay);
+            let at_anchor = p.predict_log_isd(anchor, 10).unwrap();
+            let later = p.predict_log_isd(anchor, 10 + offset).unwrap();
+            prop_assert!(later < at_anchor);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Algorithm 1: the ISD-skipping range search.
+//!
+//! Given per-sample, per-layer `log(ISD)` profiles collected on a calibration set, the
+//! algorithm scans layer ranges `(i, j)` with `j − i ≥ M`, computes the Pearson
+//! correlation of the mean `log(ISD)` window against the layer indices, and returns the
+//! range with the most negative correlation — i.e. the window where `log(ISD)` decays
+//! most linearly and can therefore be *predicted* instead of computed. The decay
+//! coefficient `e` of the window is fitted with [`cal_decay`].
+
+use crate::error::HaanError;
+use crate::pearson::pearson_against_index;
+use crate::predictor::{cal_decay, IsdPredictor};
+use serde::{Deserialize, Serialize};
+
+/// The result of Algorithm 1: which layers to skip and how to predict their ISD.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkipPlan {
+    /// First layer of the skip range (the *anchor*: its ISD is still computed and used
+    /// as `log(ISD_i)` in Eq. 3).
+    pub start: usize,
+    /// Last layer (inclusive) of the skip range.
+    pub end: usize,
+    /// The fitted decay coefficient `e`.
+    pub decay: f64,
+    /// Pearson correlation of the selected window (diagnostic; close to −1 for a good
+    /// window).
+    pub correlation: f64,
+    /// Mean `log(ISD)` of the anchor layer over the calibration set (diagnostic /
+    /// fallback anchor when no runtime observation is available).
+    pub calibration_anchor_log_isd: f64,
+}
+
+impl SkipPlan {
+    /// Number of layers whose ISD computation is skipped (the anchor still computes).
+    #[must_use]
+    pub fn skipped_layers(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when `layer` lies strictly inside the skip range (i.e. its ISD is predicted).
+    #[must_use]
+    pub fn is_skipped(&self, layer: usize) -> bool {
+        layer > self.start && layer <= self.end
+    }
+
+    /// True when `layer` is the anchor layer.
+    #[must_use]
+    pub fn is_anchor(&self, layer: usize) -> bool {
+        layer == self.start
+    }
+
+    /// The predictor for this plan.
+    #[must_use]
+    pub fn predictor(&self) -> IsdPredictor {
+        IsdPredictor::new(self.start, self.decay)
+    }
+
+    /// Builds a plan for a *fixed* range (the paper's per-model presets) by fitting the
+    /// decay and diagnostics on the given calibration profiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HaanError::InvalidSkipRange`] when the range is reversed or does not
+    /// fit in the profiles, and [`HaanError::InvalidProfiles`] for empty profiles.
+    pub fn for_fixed_range(
+        profiles: &[Vec<f64>],
+        start: usize,
+        end: usize,
+    ) -> Result<Self, HaanError> {
+        let mean_profile = mean_profile(profiles)?;
+        if start >= end || end >= mean_profile.len() {
+            return Err(HaanError::InvalidSkipRange {
+                range: (start, end),
+                num_layers: mean_profile.len(),
+            });
+        }
+        let window = &mean_profile[start..=end];
+        let decay = cal_decay(window)?;
+        let correlation = pearson_against_index(window).unwrap_or(0.0);
+        Ok(Self {
+            start,
+            end,
+            decay,
+            correlation,
+            calibration_anchor_log_isd: mean_profile[start],
+        })
+    }
+}
+
+/// The ISD-skipping range search (Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IsdSkipAlgorithm {
+    /// Minimum gap `M` between the range endpoints.
+    pub min_gap: usize,
+    /// Number of trailing layers excluded from the search. The paper notes the final
+    /// layers fluctuate (softmax sharpening); excluding them keeps the search stable.
+    pub exclude_tail: usize,
+}
+
+impl IsdSkipAlgorithm {
+    /// Creates the algorithm with minimum gap `M` and no tail exclusion.
+    #[must_use]
+    pub fn new(min_gap: usize) -> Self {
+        Self {
+            min_gap,
+            exclude_tail: 0,
+        }
+    }
+
+    /// Excludes the last `layers` normalization layers from the search.
+    #[must_use]
+    pub fn with_excluded_tail(mut self, layers: usize) -> Self {
+        self.exclude_tail = layers;
+        self
+    }
+
+    /// Runs the range search over per-sample `log(ISD)` profiles (outer index: sample,
+    /// inner index: layer) and returns the best [`SkipPlan`].
+    ///
+    /// # Errors
+    ///
+    /// * [`HaanError::InvalidProfiles`] — empty or ragged profiles.
+    /// * [`HaanError::NoSkippableRange`] — no window of at least `min_gap + 1` layers
+    ///   exists after tail exclusion.
+    pub fn find_skip_range(&self, profiles: &[Vec<f64>]) -> Result<SkipPlan, HaanError> {
+        let mean_profile = mean_profile(profiles)?;
+        let usable = mean_profile.len().saturating_sub(self.exclude_tail);
+        if self.min_gap == 0 {
+            return Err(HaanError::InvalidConfig(
+                "the minimum gap M must be at least 1".to_string(),
+            ));
+        }
+        if usable < self.min_gap + 1 {
+            return Err(HaanError::NoSkippableRange {
+                num_layers: mean_profile.len(),
+                min_gap: self.min_gap,
+            });
+        }
+
+        let mut best: Option<SkipPlan> = None;
+        for start in 0..usable - self.min_gap {
+            for end in (start + self.min_gap)..usable {
+                let window = &mean_profile[start..=end];
+                let Ok(correlation) = pearson_against_index(window) else {
+                    continue;
+                };
+                let is_better = best
+                    .as_ref()
+                    .map_or(true, |plan| correlation < plan.correlation);
+                if is_better {
+                    let decay = cal_decay(window)?;
+                    best = Some(SkipPlan {
+                        start,
+                        end,
+                        decay,
+                        correlation,
+                        calibration_anchor_log_isd: mean_profile[start],
+                    });
+                }
+            }
+        }
+        best.ok_or(HaanError::NoSkippableRange {
+            num_layers: mean_profile.len(),
+            min_gap: self.min_gap,
+        })
+    }
+}
+
+/// Averages per-sample profiles into one per-layer mean profile.
+///
+/// # Errors
+///
+/// Returns [`HaanError::InvalidProfiles`] for empty input or ragged rows.
+pub fn mean_profile(profiles: &[Vec<f64>]) -> Result<Vec<f64>, HaanError> {
+    let Some(first) = profiles.first() else {
+        return Err(HaanError::InvalidProfiles("no profiles given".to_string()));
+    };
+    let num_layers = first.len();
+    if num_layers == 0 {
+        return Err(HaanError::InvalidProfiles("profiles have zero layers".to_string()));
+    }
+    let mut mean = vec![0.0f64; num_layers];
+    for profile in profiles {
+        if profile.len() != num_layers {
+            return Err(HaanError::InvalidProfiles(format!(
+                "ragged profiles: expected {num_layers} layers, found {}",
+                profile.len()
+            )));
+        }
+        for (m, v) in mean.iter_mut().zip(profile) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= profiles.len() as f64;
+    }
+    Ok(mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haan_llm::synthetic::IsdProfileModel;
+    use proptest::prelude::*;
+
+    fn llama_profiles() -> Vec<Vec<f64>> {
+        IsdProfileModel::llama_7b().sample_profiles(20, 123)
+    }
+
+    #[test]
+    fn mean_profile_averages_per_layer() {
+        let profiles = vec![vec![1.0, 2.0, 3.0], vec![3.0, 4.0, 5.0]];
+        assert_eq!(mean_profile(&profiles).unwrap(), vec![2.0, 3.0, 4.0]);
+        assert!(mean_profile(&[]).is_err());
+        assert!(mean_profile(&[vec![]]).is_err());
+        assert!(mean_profile(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn finds_the_deep_linear_range_on_llama_profiles() {
+        let plan = IsdSkipAlgorithm::new(10)
+            .with_excluded_tail(IsdProfileModel::TAIL_LAYERS)
+            .find_skip_range(&llama_profiles())
+            .unwrap();
+        // The linear region of the synthetic LLaMA profile lives in the deep layers;
+        // the paper reports the (50, 60) range for the real model.
+        assert!(plan.start >= 20, "start={}", plan.start);
+        assert!(plan.end > plan.start + 9);
+        assert!(plan.correlation < -0.99);
+        assert!(plan.decay < 0.0);
+        assert!(plan.skipped_layers() >= 10);
+    }
+
+    #[test]
+    fn plan_layer_classification() {
+        let plan = SkipPlan {
+            start: 50,
+            end: 60,
+            decay: -0.05,
+            correlation: -1.0,
+            calibration_anchor_log_isd: -1.0,
+        };
+        assert!(plan.is_anchor(50));
+        assert!(!plan.is_skipped(50));
+        assert!(plan.is_skipped(51));
+        assert!(plan.is_skipped(60));
+        assert!(!plan.is_skipped(61));
+        assert!(!plan.is_skipped(10));
+        assert_eq!(plan.skipped_layers(), 10);
+        assert_eq!(plan.predictor().anchor_layer(), 50);
+    }
+
+    #[test]
+    fn fixed_range_plan_fits_decay_on_that_range() {
+        let profiles = llama_profiles();
+        let plan = SkipPlan::for_fixed_range(&profiles, 50, 60).unwrap();
+        assert_eq!(plan.start, 50);
+        assert_eq!(plan.end, 60);
+        let expected_slope = IsdProfileModel::llama_7b().linear_slope;
+        assert!(
+            (plan.decay - expected_slope).abs() < 0.02,
+            "decay {} vs generating slope {}",
+            plan.decay,
+            expected_slope
+        );
+        assert!(SkipPlan::for_fixed_range(&profiles, 60, 50).is_err());
+        assert!(SkipPlan::for_fixed_range(&profiles, 50, 500).is_err());
+    }
+
+    #[test]
+    fn errors_for_degenerate_inputs() {
+        let profiles = llama_profiles();
+        assert!(matches!(
+            IsdSkipAlgorithm::new(0).find_skip_range(&profiles),
+            Err(HaanError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            IsdSkipAlgorithm::new(200).find_skip_range(&profiles),
+            Err(HaanError::NoSkippableRange { .. })
+        ));
+        assert!(IsdSkipAlgorithm::new(3).find_skip_range(&[]).is_err());
+    }
+
+    #[test]
+    fn excluding_the_tail_avoids_fluctuating_final_layers() {
+        // Make the tail artificially the "most linear" region to show exclusion matters:
+        // a strongly linear ramp appended at the very end.
+        let mut profiles = llama_profiles();
+        for profile in &mut profiles {
+            let n = profile.len();
+            profile[n - 1] = -30.0; // an extreme final-layer value
+        }
+        let with_tail = IsdSkipAlgorithm::new(5).find_skip_range(&profiles).unwrap();
+        let without_tail = IsdSkipAlgorithm::new(5)
+            .with_excluded_tail(2)
+            .find_skip_range(&profiles)
+            .unwrap();
+        assert!(without_tail.end < profiles[0].len() - 2);
+        // The unrestricted search may or may not pick the tail, but the restricted one
+        // must not.
+        assert!(with_tail.end <= profiles[0].len() - 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_selected_range_respects_min_gap(
+            min_gap in 2usize..12,
+            seed in 0u64..50,
+        ) {
+            let profiles = IsdProfileModel::opt_2_7b().sample_profiles(5, seed);
+            let plan = IsdSkipAlgorithm::new(min_gap)
+                .with_excluded_tail(2)
+                .find_skip_range(&profiles)
+                .unwrap();
+            prop_assert!(plan.end - plan.start >= min_gap);
+            prop_assert!(plan.end < profiles[0].len());
+            prop_assert!(plan.correlation <= 0.0);
+        }
+
+        #[test]
+        fn prop_best_window_correlation_is_not_worse_than_fixed_windows(
+            seed in 0u64..20,
+        ) {
+            let profiles = IsdProfileModel::gpt2_1_5b().sample_profiles(5, seed);
+            let algorithm = IsdSkipAlgorithm::new(7).with_excluded_tail(2);
+            let plan = algorithm.find_skip_range(&profiles).unwrap();
+            // Any specific window of the same constraint set cannot have a more negative
+            // correlation than the selected one.
+            let fixed = SkipPlan::for_fixed_range(&profiles, 10, 17).unwrap();
+            prop_assert!(plan.correlation <= fixed.correlation + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Subsampled statistics estimation (Eq. 4 and the subsampled mean of Section III-C).
+//!
+//! For the normalization layers whose ISD cannot be skipped, HAAN estimates the ISD
+//! (and, for LayerNorm, the mean) from only the first `Nsub` elements of the input —
+//! the truncation is a prefix so the hardware only reads the initial memory entries
+//! (Fig. 7). This module provides the estimator together with error metrics used by
+//! the ablation experiments.
+
+use crate::error::HaanError;
+use haan_numerics::stats::{VectorStats, DEFAULT_EPS};
+use serde::{Deserialize, Serialize};
+
+/// Subsampled mean / ISD estimator.
+///
+/// # Example
+///
+/// ```
+/// use haan::SubsampleEstimator;
+/// let estimator = SubsampleEstimator::new(256);
+/// let xs: Vec<f32> = (0..4096).map(|i| ((i * 37 % 101) as f32 - 50.0) / 10.0).collect();
+/// let estimate = estimator.estimate(&xs)?;
+/// let exact = haan_numerics::stats::VectorStats::compute(&xs);
+/// let rel = ((estimate.isd - exact.isd(1e-5)) / exact.isd(1e-5)).abs();
+/// assert!(rel < 0.2);
+/// # Ok::<(), haan::HaanError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SubsampleEstimator {
+    n_sub: usize,
+}
+
+/// Statistics estimated from a subsampled input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubsampledStats {
+    /// Estimated mean (from the prefix).
+    pub mean: f32,
+    /// Estimated variance (from the prefix).
+    pub variance: f32,
+    /// Estimated inverse standard deviation.
+    pub isd: f32,
+    /// Estimated inverse RMS (the literal Eq. 4 quantity, used for RMSNorm).
+    pub inverse_rms: f32,
+    /// Number of elements actually used.
+    pub used: usize,
+}
+
+impl SubsampleEstimator {
+    /// Creates an estimator that uses the first `n_sub` elements.
+    #[must_use]
+    pub fn new(n_sub: usize) -> Self {
+        Self { n_sub }
+    }
+
+    /// The configured subsample length.
+    #[must_use]
+    pub fn n_sub(&self) -> usize {
+        self.n_sub
+    }
+
+    /// Estimates mean, variance, ISD and inverse RMS from the input prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HaanError::InvalidConfig`] when the subsample length is zero and
+    /// [`HaanError::Numeric`] for an empty input.
+    pub fn estimate(&self, z: &[f32]) -> Result<SubsampledStats, HaanError> {
+        if self.n_sub == 0 {
+            return Err(HaanError::InvalidConfig(
+                "subsample length must be at least 1".to_string(),
+            ));
+        }
+        let stats = VectorStats::compute_subsampled(z, self.n_sub)?;
+        Ok(SubsampledStats {
+            mean: stats.mean,
+            variance: stats.variance,
+            isd: stats.isd(DEFAULT_EPS),
+            inverse_rms: 1.0 / stats.rms(DEFAULT_EPS),
+            used: stats.count,
+        })
+    }
+
+    /// Relative ISD estimation error against the exact full-input ISD.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SubsampleEstimator::estimate`].
+    pub fn isd_relative_error(&self, z: &[f32]) -> Result<f64, HaanError> {
+        let estimate = self.estimate(&z.to_vec())?;
+        let exact = VectorStats::try_compute(z)
+            .map_err(HaanError::from)?
+            .isd(DEFAULT_EPS);
+        Ok((f64::from(estimate.isd) - f64::from(exact)).abs() / f64::from(exact))
+    }
+
+    /// The fraction of the input that is actually read (`min(Nsub, N) / N`), which is
+    /// what drives the hardware's latency/power savings.
+    #[must_use]
+    pub fn read_fraction(&self, input_len: usize) -> f64 {
+        if input_len == 0 {
+            return 0.0;
+        }
+        self.n_sub.min(input_len) as f64 / input_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_input(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0f32..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefix_only_is_used() {
+        let mut xs = vec![1.0f32; 128];
+        for v in xs.iter_mut().skip(64) {
+            *v = 1000.0;
+        }
+        let stats = SubsampleEstimator::new(64).estimate(&xs).unwrap();
+        assert_eq!(stats.used, 64);
+        assert!((stats.mean - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn longer_subsamples_are_more_accurate_on_average() {
+        let mut err_small = 0.0;
+        let mut err_large = 0.0;
+        for seed in 0..20 {
+            let xs = gaussian_input(4096, seed);
+            err_small += SubsampleEstimator::new(64).isd_relative_error(&xs).unwrap();
+            err_large += SubsampleEstimator::new(1024).isd_relative_error(&xs).unwrap();
+        }
+        assert!(err_large < err_small, "large {err_large} vs small {err_small}");
+    }
+
+    #[test]
+    fn full_length_subsample_is_exact() {
+        let xs = gaussian_input(512, 3);
+        let err = SubsampleEstimator::new(512).isd_relative_error(&xs).unwrap();
+        assert!(err < 1e-6);
+        let err_clamped = SubsampleEstimator::new(10_000).isd_relative_error(&xs).unwrap();
+        assert!(err_clamped < 1e-6);
+    }
+
+    #[test]
+    fn paper_subsample_lengths_keep_error_small() {
+        // LLaMA-7B uses Nsub = 256 of a 4096-wide input; the estimation error of the ISD
+        // stays in the few-percent range for Gaussian-like activations.
+        let mut worst: f64 = 0.0;
+        for seed in 0..10 {
+            let xs = gaussian_input(4096, 100 + seed);
+            worst = worst.max(SubsampleEstimator::new(256).isd_relative_error(&xs).unwrap());
+        }
+        assert!(worst < 0.2, "worst-case relative error {worst}");
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let xs = gaussian_input(64, 1);
+        assert!(SubsampleEstimator::new(0).estimate(&xs).is_err());
+        assert!(SubsampleEstimator::new(16).estimate(&[]).is_err());
+    }
+
+    #[test]
+    fn read_fraction_reflects_truncation() {
+        let estimator = SubsampleEstimator::new(256);
+        assert!((estimator.read_fraction(4096) - 256.0 / 4096.0).abs() < 1e-12);
+        assert_eq!(estimator.read_fraction(128), 1.0);
+        assert_eq!(estimator.read_fraction(0), 0.0);
+        assert_eq!(estimator.n_sub(), 256);
+    }
+
+    #[test]
+    fn inverse_rms_matches_eq4_on_zero_mean_data() {
+        let xs = [2.0f32, -2.0, 2.0, -2.0, 2.0, -2.0, 2.0, -2.0];
+        let stats = SubsampleEstimator::new(8).estimate(&xs).unwrap();
+        // RMS is 2, so inverse RMS is 0.5; the ISD matches because the mean is zero.
+        assert!((stats.inverse_rms - 0.5).abs() < 1e-4);
+        assert!((stats.isd - 0.5).abs() < 1e-4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_estimates_are_finite_and_positive(
+            xs in proptest::collection::vec(-100.0f32..100.0, 4..512),
+            n_sub in 1usize..600,
+        ) {
+            let stats = SubsampleEstimator::new(n_sub).estimate(&xs).unwrap();
+            prop_assert!(stats.isd.is_finite() && stats.isd > 0.0);
+            prop_assert!(stats.inverse_rms.is_finite() && stats.inverse_rms > 0.0);
+            prop_assert!(stats.used <= xs.len());
+            prop_assert!(stats.used <= n_sub);
+        }
+    }
+}

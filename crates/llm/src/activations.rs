@@ -1,0 +1,228 @@
+//! Recording of normalization-input statistics (the data behind Fig. 2 and Algorithm 1).
+
+use crate::norm::{NormSite, Normalizer};
+use haan_numerics::stats::{VectorStats, Welford, DEFAULT_EPS};
+use serde::{Deserialize, Serialize};
+
+/// The statistics of one normalization-layer invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormObservation {
+    /// Global normalization-layer index.
+    pub layer_index: usize,
+    /// Mean of the input vector.
+    pub mean: f32,
+    /// Variance of the input vector.
+    pub variance: f32,
+    /// Inverse standard deviation `1/σ` of the input vector.
+    pub isd: f32,
+}
+
+impl NormObservation {
+    /// Natural logarithm of the ISD (the quantity Fig. 2 plots and Eq. 3 predicts).
+    #[must_use]
+    pub fn log_isd(&self) -> f64 {
+        f64::from(self.isd).ln()
+    }
+}
+
+/// Per-layer aggregate of observations across many tokens/samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Welford accumulator over the observed `log(ISD)` values.
+    pub log_isd: Welford,
+    /// Welford accumulator over the observed means.
+    pub mean: Welford,
+    /// Number of observations.
+    pub observations: u64,
+}
+
+/// A normalizer wrapper that records the input statistics of every normalization call
+/// and then delegates to an inner normalizer.
+///
+/// Calibration (Algorithm 1) wraps the reference normalizer with this recorder and runs
+/// the calibration set through the model; the recorded per-layer ISD lists are the
+/// algorithm's input.
+///
+/// # Example
+///
+/// ```
+/// use haan_llm::activations::RecordingNormalizer;
+/// use haan_llm::norm::ReferenceNormalizer;
+/// use haan_llm::{ModelConfig, TransformerModel};
+///
+/// let model = TransformerModel::new(&ModelConfig::tiny_test(), 7)?;
+/// let mut recorder = RecordingNormalizer::new(ReferenceNormalizer::new());
+/// model.forward_hidden(&[1, 2, 3], &mut recorder)?;
+/// assert_eq!(recorder.layer_count(), model.num_norm_layers());
+/// # Ok::<(), haan_llm::LlmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecordingNormalizer<N> {
+    inner: N,
+    observations: Vec<NormObservation>,
+    sequences: u64,
+}
+
+impl<N: Normalizer> RecordingNormalizer<N> {
+    /// Wraps `inner`, recording statistics before delegating to it.
+    #[must_use]
+    pub fn new(inner: N) -> Self {
+        Self {
+            inner,
+            observations: Vec::new(),
+            sequences: 0,
+        }
+    }
+
+    /// All raw observations in invocation order.
+    #[must_use]
+    pub fn observations(&self) -> &[NormObservation] {
+        &self.observations
+    }
+
+    /// Number of sequences observed (counted via `begin_sequence`).
+    #[must_use]
+    pub fn sequences(&self) -> u64 {
+        self.sequences
+    }
+
+    /// Number of distinct normalization layers observed.
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.observations
+            .iter()
+            .map(|o| o.layer_index)
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Mean `log(ISD)` per layer, indexed by layer: the per-layer profile that Fig. 2
+    /// plots and that Algorithm 1 consumes.
+    #[must_use]
+    pub fn mean_log_isd_per_layer(&self) -> Vec<f64> {
+        let profiles = self.layer_profiles();
+        profiles.iter().map(|p| p.log_isd.mean()).collect()
+    }
+
+    /// Full per-layer profiles.
+    #[must_use]
+    pub fn layer_profiles(&self) -> Vec<LayerProfile> {
+        let mut profiles = vec![LayerProfile::default(); self.layer_count()];
+        for obs in &self.observations {
+            let profile = &mut profiles[obs.layer_index];
+            profile.log_isd.push(obs.log_isd() as f32);
+            profile.mean.push(obs.mean);
+            profile.observations += 1;
+        }
+        profiles
+    }
+
+    /// Consumes the recorder and returns the inner normalizer.
+    #[must_use]
+    pub fn into_inner(self) -> N {
+        self.inner
+    }
+
+    /// Clears all recorded observations.
+    pub fn clear(&mut self) {
+        self.observations.clear();
+        self.sequences = 0;
+    }
+}
+
+impl<N: Normalizer> Normalizer for RecordingNormalizer<N> {
+    fn normalize(&mut self, site: NormSite, z: &[f32], gamma: &[f32], beta: &[f32]) -> Vec<f32> {
+        if let Ok(stats) = VectorStats::try_compute(z) {
+            self.observations.push(NormObservation {
+                layer_index: site.layer_index,
+                mean: stats.mean,
+                variance: stats.variance,
+                isd: stats.isd(DEFAULT_EPS),
+            });
+        }
+        self.inner.normalize(site, z, gamma, beta)
+    }
+
+    fn begin_sequence(&mut self) {
+        self.sequences += 1;
+        self.inner.begin_sequence();
+    }
+
+    fn description(&self) -> String {
+        format!("recording({})", self.inner.description())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, NormKind};
+    use crate::model::TransformerModel;
+    use crate::norm::ReferenceNormalizer;
+
+    #[test]
+    fn records_every_norm_invocation() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 3).unwrap();
+        let mut recorder = RecordingNormalizer::new(ReferenceNormalizer::new());
+        let tokens = [1u32, 2, 3, 4];
+        model.forward_hidden(&tokens, &mut recorder).unwrap();
+        // 9 norm layers × 4 tokens.
+        assert_eq!(recorder.observations().len(), 9 * 4);
+        assert_eq!(recorder.layer_count(), 9);
+        assert_eq!(recorder.sequences(), 1);
+        assert!(recorder.description().contains("recording"));
+    }
+
+    #[test]
+    fn per_layer_profile_has_one_entry_per_layer() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 3).unwrap();
+        let mut recorder = RecordingNormalizer::new(ReferenceNormalizer::new());
+        model.forward_hidden(&[5, 6, 7], &mut recorder).unwrap();
+        model.forward_hidden(&[9, 10], &mut recorder).unwrap();
+        let profile = recorder.mean_log_isd_per_layer();
+        assert_eq!(profile.len(), 9);
+        assert!(profile.iter().all(|v| v.is_finite()));
+        let full = recorder.layer_profiles();
+        assert_eq!(full.len(), 9);
+        assert_eq!(full[0].observations, 5);
+        assert_eq!(recorder.sequences(), 2);
+    }
+
+    #[test]
+    fn recording_does_not_change_the_result() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 3).unwrap();
+        let tokens = [8u32, 1, 13];
+        let plain = model
+            .logits(&tokens, &mut ReferenceNormalizer::new())
+            .unwrap();
+        let mut recorder = RecordingNormalizer::new(ReferenceNormalizer::new());
+        let recorded = model.logits(&tokens, &mut recorder).unwrap();
+        assert_eq!(plain, recorded);
+    }
+
+    #[test]
+    fn clear_and_into_inner() {
+        let mut recorder = RecordingNormalizer::new(ReferenceNormalizer::new());
+        let site = NormSite {
+            layer_index: 0,
+            kind: NormKind::LayerNorm,
+        };
+        recorder.normalize(site, &[1.0, 2.0, 3.0], &[1.0; 3], &[0.0; 3]);
+        assert_eq!(recorder.observations().len(), 1);
+        recorder.clear();
+        assert_eq!(recorder.observations().len(), 0);
+        assert_eq!(recorder.layer_count(), 0);
+        let _inner: ReferenceNormalizer = recorder.into_inner();
+    }
+
+    #[test]
+    fn log_isd_matches_manual_computation() {
+        let obs = NormObservation {
+            layer_index: 0,
+            mean: 0.0,
+            variance: 4.0,
+            isd: 0.5,
+        };
+        assert!((obs.log_isd() - 0.5f64.ln()).abs() < 1e-9);
+    }
+}

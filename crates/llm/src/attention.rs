@@ -1,0 +1,206 @@
+//! Multi-head causal self-attention.
+
+use crate::error::LlmError;
+use crate::init::gaussian_matrix;
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A multi-head causal self-attention layer with full (not KV-cached) computation.
+///
+/// The projection weights are stored as `E × E` matrices; heads are processed by
+/// slicing the projected queries/keys/values column-wise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiHeadAttention {
+    embedding_dim: usize,
+    num_heads: usize,
+    w_query: Matrix,
+    w_key: Matrix,
+    w_value: Matrix,
+    w_output: Matrix,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention layer with seeded Gaussian weights. `output_gain` scales
+    /// the output projection, which is how the model shapes the depth profile of the
+    /// residual-stream variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_heads` does not divide `embedding_dim`.
+    #[must_use]
+    pub fn new(rng: &mut StdRng, embedding_dim: usize, num_heads: usize, output_gain: f32) -> Self {
+        assert!(
+            embedding_dim % num_heads == 0,
+            "head count must divide the embedding dimension"
+        );
+        let std = (1.0 / embedding_dim as f32).sqrt();
+        Self {
+            embedding_dim,
+            num_heads,
+            w_query: gaussian_matrix(rng, embedding_dim, embedding_dim, std),
+            w_key: gaussian_matrix(rng, embedding_dim, embedding_dim, std),
+            w_value: gaussian_matrix(rng, embedding_dim, embedding_dim, std),
+            w_output: gaussian_matrix(rng, embedding_dim, embedding_dim, std * output_gain),
+        }
+    }
+
+    /// Embedding width.
+    #[must_use]
+    pub fn embedding_dim(&self) -> usize {
+        self.embedding_dim
+    }
+
+    /// Number of heads.
+    #[must_use]
+    pub fn num_heads(&self) -> usize {
+        self.num_heads
+    }
+
+    /// Width of one head.
+    #[must_use]
+    pub fn head_dim(&self) -> usize {
+        self.embedding_dim / self.num_heads
+    }
+
+    /// Runs causal self-attention over a `seq × E` input and returns a `seq × E` output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the input width differs from the
+    /// configured embedding dimension.
+    pub fn forward(&self, input: &Matrix) -> Result<Matrix, LlmError> {
+        if input.cols() != self.embedding_dim {
+            return Err(LlmError::ShapeMismatch {
+                op: "attention forward",
+                lhs: input.shape(),
+                rhs: (self.embedding_dim, self.embedding_dim),
+            });
+        }
+        let seq = input.rows();
+        let queries = input.matmul(&self.w_query)?;
+        let keys = input.matmul(&self.w_key)?;
+        let values = input.matmul(&self.w_value)?;
+
+        let head_dim = self.head_dim();
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let mut concat = Matrix::zeros(seq, self.embedding_dim);
+
+        for head in 0..self.num_heads {
+            let col_start = head * head_dim;
+            let q = slice_columns(&queries, col_start, head_dim);
+            let k = slice_columns(&keys, col_start, head_dim);
+            let v = slice_columns(&values, col_start, head_dim);
+
+            let mut scores = q.matmul_transposed(&k)?.scale(scale);
+            scores.causal_softmax_rows();
+            let head_out = scores.matmul(&v)?;
+            for row in 0..seq {
+                for col in 0..head_dim {
+                    concat.set(row, col_start + col, head_out.get(row, col));
+                }
+            }
+        }
+        concat.matmul(&self.w_output)
+    }
+
+    /// Number of multiply-accumulate operations for a sequence of the given length,
+    /// used by the analytic runtime model.
+    #[must_use]
+    pub fn mac_count(&self, seq_len: usize) -> u64 {
+        let e = self.embedding_dim as u64;
+        let s = seq_len as u64;
+        // Four projections plus the two score/value matmuls.
+        4 * s * e * e + 2 * s * s * e
+    }
+}
+
+fn slice_columns(m: &Matrix, start: usize, width: usize) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), width);
+    for row in 0..m.rows() {
+        for col in 0..width {
+            out.set(row, col, m.get(row, start + col));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haan_numerics::stats::VectorStats;
+    use rand::SeedableRng;
+
+    fn attention(dim: usize, heads: usize) -> MultiHeadAttention {
+        let mut rng = StdRng::seed_from_u64(42);
+        MultiHeadAttention::new(&mut rng, dim, heads, 1.0)
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let attn = attention(32, 4);
+        let input = Matrix::zeros(5, 32);
+        let out = attn.forward(&input).unwrap();
+        assert_eq!(out.shape(), (5, 32));
+        assert_eq!(attn.head_dim(), 8);
+        assert_eq!(attn.num_heads(), 4);
+        assert_eq!(attn.embedding_dim(), 32);
+    }
+
+    #[test]
+    fn wrong_width_is_rejected() {
+        let attn = attention(32, 4);
+        assert!(attn.forward(&Matrix::zeros(5, 16)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn indivisible_heads_panic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = MultiHeadAttention::new(&mut rng, 30, 4, 1.0);
+    }
+
+    #[test]
+    fn causality_first_token_ignores_the_rest() {
+        // Changing later tokens must not change the first row of the output.
+        let attn = attention(16, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = crate::init::gaussian_matrix(&mut rng, 4, 16, 1.0);
+        let mut b = a.clone();
+        for col in 0..16 {
+            b.set(3, col, b.get(3, col) + 5.0);
+        }
+        let out_a = attn.forward(&a).unwrap();
+        let out_b = attn.forward(&b).unwrap();
+        for col in 0..16 {
+            assert!((out_a.get(0, col) - out_b.get(0, col)).abs() < 1e-6);
+        }
+        // The last row, by contrast, must change.
+        let last_diff: f32 = (0..16)
+            .map(|c| (out_a.get(3, c) - out_b.get(3, c)).abs())
+            .sum();
+        assert!(last_diff > 1e-3);
+    }
+
+    #[test]
+    fn output_gain_scales_output_magnitude() {
+        let mut rng_small = StdRng::seed_from_u64(9);
+        let mut rng_large = StdRng::seed_from_u64(9);
+        let small = MultiHeadAttention::new(&mut rng_small, 16, 2, 0.5);
+        let large = MultiHeadAttention::new(&mut rng_large, 16, 2, 2.0);
+        let mut rng = StdRng::seed_from_u64(10);
+        let input = crate::init::gaussian_matrix(&mut rng, 8, 16, 1.0);
+        let out_small = small.forward(&input).unwrap();
+        let out_large = large.forward(&input).unwrap();
+        let var_small = VectorStats::compute(out_small.as_slice()).variance;
+        let var_large = VectorStats::compute(out_large.as_slice()).variance;
+        assert!(var_large > var_small * 4.0);
+    }
+
+    #[test]
+    fn mac_count_grows_with_sequence_length() {
+        let attn = attention(32, 4);
+        assert!(attn.mac_count(64) > attn.mac_count(32));
+        assert_eq!(attn.mac_count(1), 4 * 32 * 32 + 2 * 32);
+    }
+}

@@ -1,0 +1,207 @@
+//! A Pre-LN transformer block: `x + Attn(Norm(x))` followed by `x + MLP(Norm(x))`.
+
+use crate::attention::MultiHeadAttention;
+use crate::config::{ModelConfig, NormKind};
+use crate::error::LlmError;
+use crate::init::{depth_gain, gaussian_vector};
+use crate::mlp::FeedForward;
+use crate::norm::{NormSite, Normalizer};
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// One decoder block with its two normalization layers' learnable parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerBlock {
+    block_index: usize,
+    norm_kind: NormKind,
+    gamma_attn: Vec<f32>,
+    beta_attn: Vec<f32>,
+    gamma_mlp: Vec<f32>,
+    beta_mlp: Vec<f32>,
+    attention: MultiHeadAttention,
+    mlp: FeedForward,
+}
+
+impl TransformerBlock {
+    /// The exponential depth-gain rate used to shape the residual-stream variance so
+    /// that the deep-layer ISD profile is log-linear (Fig. 2).
+    pub const DEPTH_GAIN_RATE: f32 = 0.08;
+
+    /// Creates one block of the given model at `block_index`, drawing weights from `rng`.
+    #[must_use]
+    pub fn new(rng: &mut StdRng, config: &ModelConfig, block_index: usize) -> Self {
+        let gain = depth_gain(block_index, config.num_blocks, Self::DEPTH_GAIN_RATE);
+        let e = config.embedding_dim;
+        Self {
+            block_index,
+            norm_kind: config.norm_kind(),
+            gamma_attn: gaussian_vector(rng, e, 1.0, 0.05),
+            beta_attn: gaussian_vector(rng, e, 0.0, 0.02),
+            gamma_mlp: gaussian_vector(rng, e, 1.0, 0.05),
+            beta_mlp: gaussian_vector(rng, e, 0.0, 0.02),
+            attention: MultiHeadAttention::new(rng, e, config.num_heads, gain),
+            mlp: FeedForward::new(rng, config.family, e, config.mlp_dim, gain),
+        }
+    }
+
+    /// The block's position in the model.
+    #[must_use]
+    pub fn block_index(&self) -> usize {
+        self.block_index
+    }
+
+    /// Global index of the block's first normalization layer (pre-attention).
+    #[must_use]
+    pub fn first_norm_index(&self) -> usize {
+        2 * self.block_index
+    }
+
+    /// Runs the block over a `seq × E` hidden-state matrix.
+    ///
+    /// `normalizer` is invoked once per token vector per normalization layer with the
+    /// correct global [`NormSite`], so stateful normalizers observe layers in execution
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] if the hidden-state width is inconsistent
+    /// with the block's weights.
+    pub fn forward<N: Normalizer + ?Sized>(
+        &self,
+        hidden: &Matrix,
+        normalizer: &mut N,
+    ) -> Result<Matrix, LlmError> {
+        if hidden.cols() != self.gamma_attn.len() {
+            return Err(LlmError::ShapeMismatch {
+                op: "block forward",
+                lhs: hidden.shape(),
+                rhs: (self.gamma_attn.len(), self.gamma_attn.len()),
+            });
+        }
+        let normed_attn = self.apply_norm(
+            hidden,
+            normalizer,
+            self.first_norm_index(),
+            &self.gamma_attn,
+            &self.beta_attn,
+        );
+        let attn_out = self.attention.forward(&normed_attn)?;
+        let after_attn = hidden.add(&attn_out)?;
+
+        let normed_mlp = self.apply_norm(
+            &after_attn,
+            normalizer,
+            self.first_norm_index() + 1,
+            &self.gamma_mlp,
+            &self.beta_mlp,
+        );
+        let mlp_out = self.mlp.forward(&normed_mlp)?;
+        after_attn.add(&mlp_out)
+    }
+
+    fn apply_norm<N: Normalizer + ?Sized>(
+        &self,
+        hidden: &Matrix,
+        normalizer: &mut N,
+        layer_index: usize,
+        gamma: &[f32],
+        beta: &[f32],
+    ) -> Matrix {
+        let site = NormSite {
+            layer_index,
+            kind: self.norm_kind,
+        };
+        let mut out = Matrix::zeros(hidden.rows(), hidden.cols());
+        for row in 0..hidden.rows() {
+            let normalized = normalizer.normalize(site, hidden.row(row), gamma, beta);
+            out.row_mut(row).copy_from_slice(&normalized);
+        }
+        out
+    }
+
+    /// Multiply-accumulate count of the block for a given sequence length.
+    #[must_use]
+    pub fn mac_count(&self, seq_len: usize) -> u64 {
+        self.attention.mac_count(seq_len) + self.mlp.mac_count(seq_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norm::ReferenceNormalizer;
+    use haan_numerics::stats::VectorStats;
+    use rand::SeedableRng;
+
+    fn block(index: usize) -> TransformerBlock {
+        let mut rng = StdRng::seed_from_u64(index as u64 + 1);
+        TransformerBlock::new(&mut rng, &ModelConfig::tiny_test(), index)
+    }
+
+    #[test]
+    fn forward_preserves_shape() {
+        let b = block(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let hidden = crate::init::gaussian_matrix(&mut rng, 6, 32, 1.0);
+        let out = b.forward(&hidden, &mut ReferenceNormalizer::new()).unwrap();
+        assert_eq!(out.shape(), hidden.shape());
+    }
+
+    #[test]
+    fn residual_stream_variance_grows_through_a_block() {
+        let b = block(0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let hidden = crate::init::gaussian_matrix(&mut rng, 8, 32, 1.0);
+        let out = b.forward(&hidden, &mut ReferenceNormalizer::new()).unwrap();
+        let var_in = VectorStats::compute(hidden.as_slice()).variance;
+        let var_out = VectorStats::compute(out.as_slice()).variance;
+        assert!(var_out > var_in, "block 0 should add variance to the stream");
+    }
+
+    #[test]
+    fn norm_indices_are_contiguous() {
+        assert_eq!(block(0).first_norm_index(), 0);
+        assert_eq!(block(3).first_norm_index(), 6);
+        assert_eq!(block(3).block_index(), 3);
+    }
+
+    #[test]
+    fn normalizer_sees_both_sites_in_order() {
+        struct SiteRecorder {
+            seen: Vec<usize>,
+        }
+        impl Normalizer for SiteRecorder {
+            fn normalize(
+                &mut self,
+                site: NormSite,
+                z: &[f32],
+                _gamma: &[f32],
+                _beta: &[f32],
+            ) -> Vec<f32> {
+                self.seen.push(site.layer_index);
+                z.to_vec()
+            }
+        }
+        let b = block(2);
+        let mut recorder = SiteRecorder { seen: Vec::new() };
+        let hidden = Matrix::zeros(3, 32);
+        b.forward(&hidden, &mut recorder).unwrap();
+        // Three tokens through two norm layers: indices 4,4,4 then 5,5,5.
+        assert_eq!(recorder.seen, vec![4, 4, 4, 5, 5, 5]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let b = block(0);
+        let hidden = Matrix::zeros(3, 16);
+        assert!(b.forward(&hidden, &mut ReferenceNormalizer::new()).is_err());
+    }
+
+    #[test]
+    fn mac_count_is_positive_and_additive() {
+        let b = block(0);
+        assert!(b.mac_count(16) > 0);
+        assert!(b.mac_count(32) > b.mac_count(16));
+    }
+}

@@ -1,0 +1,337 @@
+//! Model configurations for the LLMs the paper evaluates, plus laptop-scale variants.
+//!
+//! The HAAN algorithm only cares about the *normalization-layer structure* of a model
+//! (how many normalization layers there are, in what order, and what kind). The
+//! laptop-scale variants therefore keep the paper models' block counts — so skip
+//! ranges like LLaMA-7B's (50, 60) or GPT2-1.5B's (85, 92) stay meaningful — while
+//! shrinking the embedding width and vocabulary to something a forward pass can run
+//! in milliseconds.
+
+use crate::error::LlmError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The normalization flavour a model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NormKind {
+    /// LayerNorm (GPT-2, OPT, Megatron-LM).
+    LayerNorm,
+    /// RMSNorm (LLaMA, Mistral).
+    RmsNorm,
+}
+
+impl fmt::Display for NormKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormKind::LayerNorm => write!(f, "LayerNorm"),
+            NormKind::RmsNorm => write!(f, "RMSNorm"),
+        }
+    }
+}
+
+/// The model families evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// LLaMA-style (RMSNorm, SwiGLU MLP, no biases).
+    Llama,
+    /// OPT-style (LayerNorm, GeLU MLP).
+    Opt,
+    /// GPT-2-style (LayerNorm, GeLU MLP).
+    Gpt2,
+}
+
+impl fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelFamily::Llama => write!(f, "LLaMA"),
+            ModelFamily::Opt => write!(f, "OPT"),
+            ModelFamily::Gpt2 => write!(f, "GPT-2"),
+        }
+    }
+}
+
+/// Configuration of a decoder-only transformer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable name (e.g. `"LLaMA-7B"`).
+    pub name: String,
+    /// Model family, which determines normalization kind and MLP flavour.
+    pub family: ModelFamily,
+    /// Number of transformer blocks.
+    pub num_blocks: usize,
+    /// Embedding / residual-stream width.
+    pub embedding_dim: usize,
+    /// Number of attention heads (must divide `embedding_dim`).
+    pub num_heads: usize,
+    /// Hidden width of the MLP.
+    pub mlp_dim: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Maximum sequence length.
+    pub max_seq_len: usize,
+    /// Whether a final normalization layer is applied after the last block.
+    pub final_norm: bool,
+    /// The embedding dimension of the *paper-scale* model this configuration stands in
+    /// for; retained so hardware experiments use the true normalization width even when
+    /// the forward-pass model is scaled down.
+    pub paper_embedding_dim: usize,
+}
+
+impl ModelConfig {
+    /// The normalization kind used by this model family.
+    #[must_use]
+    pub fn norm_kind(&self) -> NormKind {
+        match self.family {
+            ModelFamily::Llama => NormKind::RmsNorm,
+            ModelFamily::Opt | ModelFamily::Gpt2 => NormKind::LayerNorm,
+        }
+    }
+
+    /// Total number of normalization layers executed per token: two per block
+    /// (pre-attention and pre-MLP) plus the optional final normalization.
+    #[must_use]
+    pub fn num_norm_layers(&self) -> usize {
+         2 * self.num_blocks + usize::from(self.final_norm)
+    }
+
+    /// Approximate parameter count of the configured model (not the paper-scale one).
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        let e = self.embedding_dim;
+        let per_block = 4 * e * e + 3 * e * self.mlp_dim + 4 * e;
+        self.vocab_size * e + self.num_blocks * per_block + e * self.vocab_size
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::InvalidConfig`] when the head count does not divide the
+    /// embedding width or any dimension is zero.
+    pub fn validate(&self) -> Result<(), LlmError> {
+        if self.embedding_dim == 0
+            || self.num_blocks == 0
+            || self.num_heads == 0
+            || self.mlp_dim == 0
+            || self.vocab_size == 0
+            || self.max_seq_len == 0
+        {
+            return Err(LlmError::InvalidConfig(
+                "all dimensions must be non-zero".to_string(),
+            ));
+        }
+        if self.embedding_dim % self.num_heads != 0 {
+            return Err(LlmError::InvalidConfig(format!(
+                "embedding dim {} is not divisible by head count {}",
+                self.embedding_dim, self.num_heads
+            )));
+        }
+        Ok(())
+    }
+
+    /// Returns a laptop-scale copy: same block structure (and therefore the same
+    /// normalization-layer count), but width, MLP and vocabulary shrunk so a forward
+    /// pass runs in milliseconds. `paper_embedding_dim` is preserved.
+    #[must_use]
+    pub fn scaled_down(&self, embedding_dim: usize, vocab_size: usize) -> Self {
+        let num_heads = self.num_heads.min(embedding_dim / 8).max(1);
+        // Keep the head count a divisor of the embedding width.
+        let num_heads = (1..=num_heads)
+            .rev()
+            .find(|h| embedding_dim % h == 0)
+            .unwrap_or(1);
+        Self {
+            name: format!("{} (scaled)", self.name),
+            embedding_dim,
+            num_heads,
+            mlp_dim: embedding_dim * 4,
+            vocab_size,
+            max_seq_len: self.max_seq_len.min(128),
+            ..self.clone()
+        }
+    }
+
+    /// LLaMA-7B: 32 blocks, RMSNorm, 4096-wide. 65 normalization layers
+    /// (the paper's Fig. 2 plots 64 of them plus the final norm).
+    #[must_use]
+    pub fn llama_7b() -> Self {
+        Self {
+            name: "LLaMA-7B".to_string(),
+            family: ModelFamily::Llama,
+            num_blocks: 32,
+            embedding_dim: 4096,
+            num_heads: 32,
+            mlp_dim: 11008,
+            vocab_size: 32000,
+            max_seq_len: 2048,
+            final_norm: true,
+            paper_embedding_dim: 4096,
+        }
+    }
+
+    /// OPT-2.7B: 32 blocks, LayerNorm, 2560-wide. 65 normalization layers, matching
+    /// the paper's "7 out of 65 ISD operations can be skipped".
+    #[must_use]
+    pub fn opt_2_7b() -> Self {
+        Self {
+            name: "OPT-2.7B".to_string(),
+            family: ModelFamily::Opt,
+            num_blocks: 32,
+            embedding_dim: 2560,
+            num_heads: 32,
+            mlp_dim: 10240,
+            vocab_size: 50272,
+            max_seq_len: 2048,
+            final_norm: true,
+            paper_embedding_dim: 2560,
+        }
+    }
+
+    /// GPT2-117M (the profiling subject of Fig. 1b): 12 blocks, LayerNorm, 768-wide.
+    #[must_use]
+    pub fn gpt2_117m() -> Self {
+        Self {
+            name: "GPT2-117M".to_string(),
+            family: ModelFamily::Gpt2,
+            num_blocks: 12,
+            embedding_dim: 768,
+            num_heads: 12,
+            mlp_dim: 3072,
+            vocab_size: 50257,
+            max_seq_len: 1024,
+            final_norm: true,
+            paper_embedding_dim: 768,
+        }
+    }
+
+    /// GPT2-355M (the end-to-end subject of Section V-B): 24 blocks, 1024-wide.
+    #[must_use]
+    pub fn gpt2_355m() -> Self {
+        Self {
+            name: "GPT2-355M".to_string(),
+            family: ModelFamily::Gpt2,
+            num_blocks: 24,
+            embedding_dim: 1024,
+            num_heads: 16,
+            mlp_dim: 4096,
+            vocab_size: 50257,
+            max_seq_len: 1024,
+            final_norm: true,
+            paper_embedding_dim: 1024,
+        }
+    }
+
+    /// GPT2-1.5B (GPT2-XL): 48 blocks, 1600-wide. 97 normalization layers, consistent
+    /// with the paper's skip range (85, 92).
+    #[must_use]
+    pub fn gpt2_1_5b() -> Self {
+        Self {
+            name: "GPT2-1.5B".to_string(),
+            family: ModelFamily::Gpt2,
+            num_blocks: 48,
+            embedding_dim: 1600,
+            num_heads: 25,
+            mlp_dim: 6400,
+            vocab_size: 50257,
+            max_seq_len: 1024,
+            final_norm: true,
+            paper_embedding_dim: 1600,
+        }
+    }
+
+    /// The three accuracy-evaluation subjects of Table I.
+    #[must_use]
+    pub fn paper_accuracy_models() -> Vec<Self> {
+        vec![Self::llama_7b(), Self::opt_2_7b(), Self::gpt2_1_5b()]
+    }
+
+    /// A tiny configuration used by unit tests (4 blocks, 32-wide).
+    #[must_use]
+    pub fn tiny_test() -> Self {
+        Self {
+            name: "tiny-test".to_string(),
+            family: ModelFamily::Gpt2,
+            num_blocks: 4,
+            embedding_dim: 32,
+            num_heads: 4,
+            mlp_dim: 64,
+            vocab_size: 64,
+            max_seq_len: 32,
+            final_norm: true,
+            paper_embedding_dim: 32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_models_have_expected_norm_layer_counts() {
+        assert_eq!(ModelConfig::llama_7b().num_norm_layers(), 65);
+        assert_eq!(ModelConfig::opt_2_7b().num_norm_layers(), 65);
+        assert_eq!(ModelConfig::gpt2_1_5b().num_norm_layers(), 97);
+        assert_eq!(ModelConfig::gpt2_117m().num_norm_layers(), 25);
+        assert_eq!(ModelConfig::gpt2_355m().num_norm_layers(), 49);
+    }
+
+    #[test]
+    fn norm_kind_follows_family() {
+        assert_eq!(ModelConfig::llama_7b().norm_kind(), NormKind::RmsNorm);
+        assert_eq!(ModelConfig::opt_2_7b().norm_kind(), NormKind::LayerNorm);
+        assert_eq!(ModelConfig::gpt2_1_5b().norm_kind(), NormKind::LayerNorm);
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut cfg = ModelConfig::tiny_test();
+        assert!(cfg.validate().is_ok());
+        cfg.num_heads = 5;
+        assert!(cfg.validate().is_err());
+        cfg.num_heads = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn scaled_down_preserves_structure() {
+        let full = ModelConfig::llama_7b();
+        let small = full.scaled_down(48, 128);
+        assert_eq!(small.num_blocks, full.num_blocks);
+        assert_eq!(small.num_norm_layers(), full.num_norm_layers());
+        assert_eq!(small.embedding_dim, 48);
+        assert_eq!(small.paper_embedding_dim, 4096);
+        assert!(small.validate().is_ok());
+        assert!(small.parameter_count() < full.parameter_count());
+        assert!(small.name.contains("scaled"));
+    }
+
+    #[test]
+    fn scaled_down_handles_awkward_widths() {
+        // 7 heads do not divide 48; the scaler must pick a compatible head count.
+        let cfg = ModelConfig {
+            num_heads: 7,
+            ..ModelConfig::tiny_test()
+        };
+        let small = cfg.scaled_down(48, 64);
+        assert!(small.validate().is_ok());
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(NormKind::LayerNorm.to_string(), "LayerNorm");
+        assert_eq!(NormKind::RmsNorm.to_string(), "RMSNorm");
+        assert_eq!(ModelFamily::Llama.to_string(), "LLaMA");
+        assert_eq!(ModelFamily::Opt.to_string(), "OPT");
+        assert_eq!(ModelFamily::Gpt2.to_string(), "GPT-2");
+    }
+
+    #[test]
+    fn accuracy_models_match_table_one() {
+        let models = ModelConfig::paper_accuracy_models();
+        assert_eq!(models.len(), 3);
+        assert_eq!(models[0].name, "LLaMA-7B");
+        assert_eq!(models[1].name, "OPT-2.7B");
+        assert_eq!(models[2].name, "GPT2-1.5B");
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the transformer simulation substrate.
+
+use std::fmt;
+
+/// Errors produced by the transformer substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LlmError {
+    /// Two matrices had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left operand (rows, cols).
+        lhs: (usize, usize),
+        /// Shape of the right operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// A token id was outside the model vocabulary.
+    TokenOutOfRange {
+        /// The offending token id.
+        token: u32,
+        /// The vocabulary size.
+        vocab: usize,
+    },
+    /// A sequence was empty or longer than the configured maximum.
+    InvalidSequenceLength {
+        /// The offending length.
+        length: usize,
+        /// The maximum supported length.
+        max: usize,
+    },
+    /// The model configuration was internally inconsistent.
+    InvalidConfig(String),
+    /// A task item had no choices or an out-of-range gold label.
+    InvalidTaskItem(String),
+}
+
+impl fmt::Display for LlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlmError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: ({}, {}) vs ({}, {})",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LlmError::TokenOutOfRange { token, vocab } => {
+                write!(f, "token id {token} is outside the vocabulary of size {vocab}")
+            }
+            LlmError::InvalidSequenceLength { length, max } => {
+                write!(f, "invalid sequence length {length} (maximum {max})")
+            }
+            LlmError::InvalidConfig(msg) => write!(f, "invalid model configuration: {msg}"),
+            LlmError::InvalidTaskItem(msg) => write!(f, "invalid task item: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = LlmError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert!(err.to_string().contains("matmul"));
+        assert!(err.to_string().contains("(2, 3)"));
+
+        let err = LlmError::TokenOutOfRange { token: 300, vocab: 256 };
+        assert!(err.to_string().contains("300"));
+
+        let err = LlmError::InvalidSequenceLength { length: 0, max: 128 };
+        assert!(err.to_string().contains("0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LlmError>();
+    }
+}

@@ -1,0 +1,52 @@
+//! Laptop-scale transformer simulation substrate for the HAAN reproduction.
+//!
+//! The HAAN paper evaluates on pretrained LLaMA-7B / OPT-2.7B / GPT-2 checkpoints,
+//! real downstream tasks and an A100 GPU. None of those fit this environment, so this
+//! crate provides the closest synthetic equivalents that exercise the same code paths
+//! (see `DESIGN.md` at the repository root for the substitution table):
+//!
+//! * [`tensor`] — a minimal row-major matrix type with the handful of operations a
+//!   decoder-only transformer needs (matmul, softmax, GeLU).
+//! * [`norm`] — the [`Normalizer`](norm::Normalizer) trait plus reference LayerNorm and
+//!   RMSNorm implementations. The HAAN normalizer in the `haan` crate plugs into the
+//!   same trait, so a model can be evaluated with either.
+//! * [`model`] / [`block`] / [`attention`] / [`mlp`] — a from-scratch Pre-LN
+//!   decoder-only transformer with seeded random weights shaped so that the residual
+//!   stream statistics evolve with depth the way the paper's Fig. 2 profiles show.
+//! * [`config`] — model configurations mirroring the paper's subjects (LLaMA-7B,
+//!   OPT-2.7B, GPT2-117M/355M/1.5B) plus laptop-scale variants that keep the *layer
+//!   structure* (and therefore the normalization-layer count) while shrinking widths.
+//! * [`activations`] — ISD/mean recording across normalization layers.
+//! * [`synthetic`] — a direct generator of per-layer ISD profiles matching Fig. 2,
+//!   used when only the statistics (not the activations) are needed.
+//! * [`dataset`] — seeded synthetic token streams standing in for WikiText calibration
+//!   data.
+//! * [`tasks`] — synthetic multiple-choice suites standing in for PIQA, WinoGrande,
+//!   HellaSwag and ARC-easy/challenge.
+//! * [`perplexity`] — perplexity evaluation of a model under a given normalizer.
+//! * [`runtime`] — an analytic GPU runtime-breakdown model reproducing Fig. 1(b).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activations;
+pub mod attention;
+pub mod block;
+pub mod config;
+pub mod dataset;
+pub mod error;
+pub mod init;
+pub mod mlp;
+pub mod model;
+pub mod norm;
+pub mod perplexity;
+pub mod runtime;
+pub mod synthetic;
+pub mod tasks;
+pub mod tensor;
+
+pub use config::{ModelConfig, ModelFamily, NormKind};
+pub use error::LlmError;
+pub use model::TransformerModel;
+pub use norm::{LayerNorm, Normalizer, RmsNorm};
+pub use tensor::Matrix;

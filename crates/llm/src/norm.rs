@@ -1,0 +1,308 @@
+//! Normalization operations and the [`Normalizer`] trait the HAAN algorithm plugs into.
+//!
+//! The model calls the normalizer once per normalization layer per token vector and
+//! tells it *which* normalization layer (global index) it is computing, so an
+//! implementation can keep cross-layer state — exactly what HAAN's ISD-skipping
+//! predictor needs.
+
+use crate::config::NormKind;
+use haan_numerics::stats::{VectorStats, DEFAULT_EPS};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one normalization-layer invocation within a forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NormSite {
+    /// Global index of the normalization layer, in execution order (0-based).
+    pub layer_index: usize,
+    /// Which kind of normalization this site applies.
+    pub kind: NormKind,
+}
+
+/// A normalization operator applied to one token vector at a time.
+///
+/// `begin_sequence` is called before the first normalization layer of a forward pass
+/// so that stateful implementations (like HAAN's predictor) can reset per-sample state.
+///
+/// # Example
+///
+/// ```
+/// use haan_llm::norm::{LayerNorm, Normalizer, NormSite};
+/// use haan_llm::NormKind;
+///
+/// let mut ln = LayerNorm::new();
+/// let gamma = vec![1.0f32; 4];
+/// let beta = vec![0.0f32; 4];
+/// let site = NormSite { layer_index: 0, kind: NormKind::LayerNorm };
+/// let out = ln.normalize(site, &[1.0, 2.0, 3.0, 4.0], &gamma, &beta);
+/// let mean: f32 = out.iter().sum::<f32>() / 4.0;
+/// assert!(mean.abs() < 1e-5);
+/// ```
+pub trait Normalizer {
+    /// Normalizes the vector `z` with the learnable scale `gamma` and shift `beta`.
+    fn normalize(&mut self, site: NormSite, z: &[f32], gamma: &[f32], beta: &[f32]) -> Vec<f32>;
+
+    /// Called before the first normalization layer of each token's forward pass.
+    fn begin_sequence(&mut self) {}
+
+    /// A short human-readable description used in reports.
+    fn description(&self) -> String {
+        "unnamed normalizer".to_string()
+    }
+}
+
+/// Reference (exact, FP32) LayerNorm: `s = γ · (z − μ)/σ + β`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayerNorm {
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a LayerNorm with the default epsilon (1e-5).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { eps: DEFAULT_EPS }
+    }
+
+    /// Creates a LayerNorm with an explicit epsilon.
+    #[must_use]
+    pub fn with_eps(eps: f32) -> Self {
+        Self { eps }
+    }
+
+    /// The epsilon added to the variance.
+    #[must_use]
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+}
+
+impl Normalizer for LayerNorm {
+    fn normalize(&mut self, _site: NormSite, z: &[f32], gamma: &[f32], beta: &[f32]) -> Vec<f32> {
+        normalize_with_stats(z, gamma, beta, NormKind::LayerNorm, self.eps, None, None)
+    }
+
+    fn description(&self) -> String {
+        "reference LayerNorm (FP32)".to_string()
+    }
+}
+
+/// Reference (exact, FP32) RMSNorm: `s = γ · z / rms(z) + β`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RmsNorm {
+    eps: f32,
+}
+
+impl RmsNorm {
+    /// Creates an RMSNorm with the default epsilon (1e-5).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { eps: DEFAULT_EPS }
+    }
+
+    /// Creates an RMSNorm with an explicit epsilon.
+    #[must_use]
+    pub fn with_eps(eps: f32) -> Self {
+        Self { eps }
+    }
+
+    /// The epsilon added to the mean square.
+    #[must_use]
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+}
+
+impl Normalizer for RmsNorm {
+    fn normalize(&mut self, _site: NormSite, z: &[f32], gamma: &[f32], beta: &[f32]) -> Vec<f32> {
+        normalize_with_stats(z, gamma, beta, NormKind::RmsNorm, self.eps, None, None)
+    }
+
+    fn description(&self) -> String {
+        "reference RMSNorm (FP32)".to_string()
+    }
+}
+
+/// A reference normalizer that dispatches on the site's [`NormKind`], used as the
+/// "Original" configuration in the accuracy tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceNormalizer {
+    eps: f32,
+}
+
+impl ReferenceNormalizer {
+    /// Creates a reference normalizer with the default epsilon.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { eps: DEFAULT_EPS }
+    }
+}
+
+impl Normalizer for ReferenceNormalizer {
+    fn normalize(&mut self, site: NormSite, z: &[f32], gamma: &[f32], beta: &[f32]) -> Vec<f32> {
+        normalize_with_stats(z, gamma, beta, site.kind, self.eps, None, None)
+    }
+
+    fn description(&self) -> String {
+        "reference normalizer (FP32, exact statistics)".to_string()
+    }
+}
+
+/// Core normalization kernel shared by the reference and HAAN implementations.
+///
+/// `mean_override` / `isd_override` replace the exact statistics when provided; HAAN
+/// uses them to inject subsampled means and predicted or subsampled ISDs. For
+/// [`NormKind::RmsNorm`] the mean is not used (the input is not re-centred) and the
+/// ISD override is interpreted as `1/rms`.
+#[must_use]
+pub fn normalize_with_stats(
+    z: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    kind: NormKind,
+    eps: f32,
+    mean_override: Option<f32>,
+    isd_override: Option<f32>,
+) -> Vec<f32> {
+    if z.is_empty() {
+        return Vec::new();
+    }
+    debug_assert_eq!(z.len(), gamma.len());
+    debug_assert_eq!(z.len(), beta.len());
+    let stats = VectorStats::compute(z);
+    match kind {
+        NormKind::LayerNorm => {
+            let mean = mean_override.unwrap_or(stats.mean);
+            let isd = isd_override.unwrap_or_else(|| stats.isd(eps));
+            z.iter()
+                .zip(gamma.iter().zip(beta))
+                .map(|(&x, (&g, &b))| g * (x - mean) * isd + b)
+                .collect()
+        }
+        NormKind::RmsNorm => {
+            let inv_rms = isd_override.unwrap_or_else(|| 1.0 / stats.rms(eps));
+            z.iter()
+                .zip(gamma.iter().zip(beta))
+                .map(|(&x, (&g, &b))| g * x * inv_rms + b)
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn site(kind: NormKind) -> NormSite {
+        NormSite {
+            layer_index: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn layernorm_output_has_zero_mean_unit_variance() {
+        let z: Vec<f32> = (0..64).map(|i| (i as f32) * 0.3 - 5.0).collect();
+        let gamma = vec![1.0f32; 64];
+        let beta = vec![0.0f32; 64];
+        let mut ln = LayerNorm::new();
+        let out = ln.normalize(site(NormKind::LayerNorm), &z, &gamma, &beta);
+        let stats = VectorStats::compute(&out);
+        assert!(stats.mean.abs() < 1e-5);
+        assert!((stats.variance - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_applies_affine_transform() {
+        let z = vec![1.0f32, 3.0];
+        let gamma = vec![2.0f32, 2.0];
+        let beta = vec![10.0f32, 10.0];
+        let mut ln = LayerNorm::new();
+        let out = ln.normalize(site(NormKind::LayerNorm), &z, &gamma, &beta);
+        // Normalized values are ±1, so output is 10 ± 2.
+        assert!((out[0] - 8.0).abs() < 1e-3);
+        assert!((out[1] - 12.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rmsnorm_does_not_recenter() {
+        let z = vec![2.0f32, 2.0, 2.0, 2.0];
+        let gamma = vec![1.0f32; 4];
+        let beta = vec![0.0f32; 4];
+        let mut rn = RmsNorm::new();
+        let out = rn.normalize(site(NormKind::RmsNorm), &z, &gamma, &beta);
+        // RMS of a constant vector is the constant, so output is ~1 everywhere (not 0).
+        for v in out {
+            assert!((v - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn reference_normalizer_dispatches_on_kind() {
+        let z = vec![1.0f32, 2.0, 3.0, 4.0];
+        let gamma = vec![1.0f32; 4];
+        let beta = vec![0.0f32; 4];
+        let mut reference = ReferenceNormalizer::new();
+        let ln_out = reference.normalize(site(NormKind::LayerNorm), &z, &gamma, &beta);
+        let rms_out = reference.normalize(site(NormKind::RmsNorm), &z, &gamma, &beta);
+        assert_ne!(ln_out, rms_out);
+        let mut ln = LayerNorm::new();
+        assert_eq!(ln.normalize(site(NormKind::LayerNorm), &z, &gamma, &beta), ln_out);
+        assert!(reference.description().contains("reference"));
+    }
+
+    #[test]
+    fn overrides_replace_exact_statistics() {
+        let z = vec![1.0f32, 2.0, 3.0, 4.0];
+        let gamma = vec![1.0f32; 4];
+        let beta = vec![0.0f32; 4];
+        let exact = normalize_with_stats(&z, &gamma, &beta, NormKind::LayerNorm, 0.0, None, None);
+        let forced =
+            normalize_with_stats(&z, &gamma, &beta, NormKind::LayerNorm, 0.0, Some(0.0), Some(1.0));
+        assert_ne!(exact, forced);
+        // With mean 0 and ISD 1 the "normalized" output is just the input.
+        assert_eq!(forced, z);
+        assert!(normalize_with_stats(&[], &[], &[], NormKind::LayerNorm, 0.0, None, None).is_empty());
+    }
+
+    #[test]
+    fn eps_accessors() {
+        assert_eq!(LayerNorm::with_eps(1e-3).eps(), 1e-3);
+        assert_eq!(RmsNorm::with_eps(1e-3).eps(), 1e-3);
+        assert_eq!(LayerNorm::new().eps(), DEFAULT_EPS);
+        assert_eq!(RmsNorm::default().eps(), 0.0_f32.max(RmsNorm::default().eps()));
+        let mut ln = LayerNorm::new();
+        ln.begin_sequence(); // default impl is a no-op
+        assert!(ln.description().contains("LayerNorm"));
+        assert!(RmsNorm::new().description().contains("RMSNorm"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_layernorm_is_scale_invariant(
+            xs in proptest::collection::vec(-5.0f32..5.0, 8..64),
+            scale in 0.5f32..20.0,
+        ) {
+            // LayerNorm(a·z) == LayerNorm(z) for a > 0 (up to eps effects).
+            prop_assume!(VectorStats::compute(&xs).variance > 1e-3);
+            let gamma = vec![1.0f32; xs.len()];
+            let beta = vec![0.0f32; xs.len()];
+            let scaled: Vec<f32> = xs.iter().map(|v| v * scale).collect();
+            let a = normalize_with_stats(&xs, &gamma, &beta, NormKind::LayerNorm, 0.0, None, None);
+            let b = normalize_with_stats(&scaled, &gamma, &beta, NormKind::LayerNorm, 0.0, None, None);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-2);
+            }
+        }
+
+        #[test]
+        fn prop_rmsnorm_output_rms_is_one(xs in proptest::collection::vec(-5.0f32..5.0, 8..64)) {
+            prop_assume!(xs.iter().any(|v| v.abs() > 1e-2));
+            let gamma = vec![1.0f32; xs.len()];
+            let beta = vec![0.0f32; xs.len()];
+            let out = normalize_with_stats(&xs, &gamma, &beta, NormKind::RmsNorm, 0.0, None, None);
+            let ms: f32 = out.iter().map(|v| v * v).sum::<f32>() / out.len() as f32;
+            prop_assert!((ms.sqrt() - 1.0).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Analytic GPU runtime-breakdown model (the substitute for the A100 profiling of
+//! Fig. 1(b) and the GPU baseline bars of Figs. 8(b)/9).
+//!
+//! The model combines a simple physical cost model (MAC throughput for matrix
+//! multiplications, effective element throughput plus per-kernel launch overhead for
+//! the memory-bound operations) with a per-family calibration step: at the paper's
+//! reference operating point (sequence length 2048, no optimizations) the per-class
+//! times are scaled so that their shares match the percentages reported in Fig. 1(b).
+//! Away from the reference point the physical model governs how each class scales.
+
+use crate::config::{ModelConfig, ModelFamily};
+use serde::{Deserialize, Serialize};
+
+/// The operation classes of Fig. 1(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Linear-layer matrix multiplications.
+    Matmul,
+    /// Attention softmax.
+    Softmax,
+    /// LayerNorm / RMSNorm.
+    Normalization,
+    /// Everything else (residual adds, activations, embeddings).
+    Other,
+}
+
+impl OpClass {
+    /// All classes in the order the paper's legend lists them.
+    pub const ALL: [OpClass; 4] = [
+        OpClass::Matmul,
+        OpClass::Softmax,
+        OpClass::Normalization,
+        OpClass::Other,
+    ];
+}
+
+/// Which inference-side optimizations are applied (the "after optimization" bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OptimizationConfig {
+    /// FlashAttention-style fused softmax (the paper cites an 80 % softmax-latency
+    /// reduction).
+    pub flash_attention: bool,
+    /// FP8 quantization of the linear layers.
+    pub fp8_linear: bool,
+    /// Kernel fusion of the remaining elementwise operations.
+    pub fused_elementwise: bool,
+}
+
+impl OptimizationConfig {
+    /// No optimizations (the "Original" bars).
+    #[must_use]
+    pub fn original() -> Self {
+        Self::default()
+    }
+
+    /// All optimizations enabled (the "After optimization" bars).
+    #[must_use]
+    pub fn optimized() -> Self {
+        Self {
+            flash_attention: true,
+            fp8_linear: true,
+            fused_elementwise: true,
+        }
+    }
+}
+
+/// Per-class runtime of one forward pass, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeBreakdown {
+    /// Matmul time (ms).
+    pub matmul_ms: f64,
+    /// Softmax time (ms).
+    pub softmax_ms: f64,
+    /// Normalization time (ms).
+    pub normalization_ms: f64,
+    /// Other-ops time (ms).
+    pub other_ms: f64,
+}
+
+impl RuntimeBreakdown {
+    /// Total runtime in milliseconds.
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.matmul_ms + self.softmax_ms + self.normalization_ms + self.other_ms
+    }
+
+    /// Per-class share of the total, in the order of [`OpClass::ALL`].
+    #[must_use]
+    pub fn fractions(&self) -> [f64; 4] {
+        let total = self.total_ms();
+        if total == 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.matmul_ms / total,
+            self.softmax_ms / total,
+            self.normalization_ms / total,
+            self.other_ms / total,
+        ]
+    }
+
+    /// Time of one class in milliseconds.
+    #[must_use]
+    pub fn class_ms(&self, class: OpClass) -> f64 {
+        match class {
+            OpClass::Matmul => self.matmul_ms,
+            OpClass::Softmax => self.softmax_ms,
+            OpClass::Normalization => self.normalization_ms,
+            OpClass::Other => self.other_ms,
+        }
+    }
+}
+
+/// Measured Fig. 1(b) shares used for calibration: `(matmul, softmax, norm, other)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct MeasuredShares {
+    original: [f64; 4],
+    optimized: [f64; 4],
+}
+
+/// The analytic GPU runtime model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuRuntimeModel {
+    /// Matmul throughput in multiply-accumulates per second (FP16 tensor cores with a
+    /// realistic utilisation factor).
+    pub matmul_macs_per_sec: f64,
+    /// Effective softmax throughput in elements per second (memory-bound, unfused).
+    pub softmax_elems_per_sec: f64,
+    /// Effective normalization throughput in elements per second (memory-bound with
+    /// reduction synchronisation).
+    pub norm_elems_per_sec: f64,
+    /// Effective elementwise-op throughput in elements per second.
+    pub other_elems_per_sec: f64,
+    /// Kernel-launch overhead per normalization layer, in microseconds. Dominates the
+    /// GPU's normalization latency at small widths, which is why a 100 MHz FPGA engine
+    /// can beat an A100 on this operation (Figs. 8/9).
+    pub norm_launch_overhead_us: f64,
+    /// Reference sequence length at which per-family calibration is anchored.
+    pub calibration_seq_len: usize,
+}
+
+impl GpuRuntimeModel {
+    /// An A100-class model with the constants used throughout the reproduction.
+    #[must_use]
+    pub fn a100() -> Self {
+        Self {
+            matmul_macs_per_sec: 5.0e13,
+            softmax_elems_per_sec: 3.5e11,
+            norm_elems_per_sec: 2.4e10,
+            other_elems_per_sec: 7.3e10,
+            norm_launch_overhead_us: 18.0,
+            calibration_seq_len: 2048,
+        }
+    }
+
+    /// An RTX-3090-class model (used for the accuracy-evaluation hardware in the paper;
+    /// roughly one third of the A100's effective throughput).
+    #[must_use]
+    pub fn rtx3090() -> Self {
+        let a100 = Self::a100();
+        Self {
+            matmul_macs_per_sec: a100.matmul_macs_per_sec / 3.0,
+            softmax_elems_per_sec: a100.softmax_elems_per_sec / 2.0,
+            norm_elems_per_sec: a100.norm_elems_per_sec / 2.0,
+            other_elems_per_sec: a100.other_elems_per_sec / 2.0,
+            norm_launch_overhead_us: 22.0,
+            calibration_seq_len: 2048,
+        }
+    }
+
+    /// Raw physical per-class times (ms) before calibration.
+    #[must_use]
+    pub fn physical_breakdown(
+        &self,
+        config: &ModelConfig,
+        seq_len: usize,
+        opts: OptimizationConfig,
+    ) -> RuntimeBreakdown {
+        let e = config.paper_embedding_dim as f64;
+        let s = seq_len as f64;
+        let blocks = config.num_blocks as f64;
+        let mlp = (config.mlp_dim as f64 / config.embedding_dim as f64) * e;
+        let heads = config.num_heads as f64;
+        let vocab = config.vocab_size as f64;
+
+        // Matmul MACs: QKV/output projections, attention score and value matmuls, MLP,
+        // and the LM head.
+        let matmul_macs =
+            blocks * (4.0 * s * e * e + 2.0 * s * s * e + 2.0 * s * e * mlp) + s * e * vocab;
+        let softmax_elems = blocks * heads * s * s;
+        let norm_elems = config.num_norm_layers() as f64 * s * e;
+        let other_elems = blocks * (2.0 * s * e + s * mlp) + 2.0 * s * e;
+
+        let matmul_factor = if opts.fp8_linear { 3.4 } else { 1.0 };
+        let softmax_factor = if opts.flash_attention { 6.8 } else { 1.0 };
+        let other_factor = if opts.fused_elementwise { 1.44 } else { 1.0 };
+
+        RuntimeBreakdown {
+            matmul_ms: matmul_macs / self.matmul_macs_per_sec * 1e3 / matmul_factor,
+            softmax_ms: softmax_elems / self.softmax_elems_per_sec * 1e3 / softmax_factor,
+            normalization_ms: norm_elems / self.norm_elems_per_sec * 1e3
+                + config.num_norm_layers() as f64 * self.norm_launch_overhead_us * 1e-3,
+            other_ms: other_elems / self.other_elems_per_sec * 1e3 / other_factor,
+        }
+    }
+
+    /// Per-class times calibrated so that, at the reference sequence length with no
+    /// optimizations, the class shares match the Fig. 1(b) measurements for the model's
+    /// family. Families the figure does not cover fall back to the physical model.
+    #[must_use]
+    pub fn breakdown(
+        &self,
+        config: &ModelConfig,
+        seq_len: usize,
+        opts: OptimizationConfig,
+    ) -> RuntimeBreakdown {
+        let physical = self.physical_breakdown(config, seq_len, opts);
+        let Some(shares) = Self::measured_shares(config.family) else {
+            return physical;
+        };
+        // Calibrate each class at the reference point (original configuration).
+        let reference =
+            self.physical_breakdown(config, self.calibration_seq_len, OptimizationConfig::original());
+        let reference_total = reference.total_ms();
+        let scale = |class_time: f64, measured_share: f64, reference_class: f64| {
+            if reference_class == 0.0 {
+                class_time
+            } else {
+                class_time * (measured_share * reference_total / reference_class)
+            }
+        };
+        RuntimeBreakdown {
+            matmul_ms: scale(physical.matmul_ms, shares.original[0], reference.matmul_ms),
+            softmax_ms: scale(physical.softmax_ms, shares.original[1], reference.softmax_ms),
+            normalization_ms: scale(
+                physical.normalization_ms,
+                shares.original[2],
+                reference.normalization_ms,
+            ),
+            other_ms: scale(physical.other_ms, shares.original[3], reference.other_ms),
+        }
+    }
+
+    /// Latency of all normalization layers only, in microseconds — the GPU baseline of
+    /// Figs. 8(b) and 9.
+    #[must_use]
+    pub fn normalization_latency_us(&self, config: &ModelConfig, seq_len: usize) -> f64 {
+        let elems = config.num_norm_layers() as f64 * seq_len as f64 * config.paper_embedding_dim as f64;
+        elems / self.norm_elems_per_sec * 1e6
+            + config.num_norm_layers() as f64 * self.norm_launch_overhead_us
+    }
+
+    /// The Fig. 1(b) shares for families the paper profiles.
+    fn measured_shares(family: ModelFamily) -> Option<MeasuredShares> {
+        match family {
+            ModelFamily::Gpt2 => Some(MeasuredShares {
+                original: [0.572, 0.149, 0.145, 0.134],
+                optimized: [0.393, 0.051, 0.339, 0.217],
+            }),
+            ModelFamily::Opt => Some(MeasuredShares {
+                original: [0.522, 0.161, 0.178, 0.139],
+                optimized: [0.375, 0.063, 0.361, 0.201],
+            }),
+            ModelFamily::Llama => None,
+        }
+    }
+
+    /// The paper's measured shares for the "after optimization" configuration, used by
+    /// the Fig. 1(b) experiment for reference output.
+    #[must_use]
+    pub fn paper_optimized_shares(family: ModelFamily) -> Option<[f64; 4]> {
+        Self::measured_shares(family).map(|s| s.optimized)
+    }
+
+    /// The paper's measured shares for the original configuration.
+    #[must_use]
+    pub fn paper_original_shares(family: ModelFamily) -> Option<[f64; 4]> {
+        Self::measured_shares(family).map(|s| s.original)
+    }
+}
+
+impl Default for GpuRuntimeModel {
+    fn default() -> Self {
+        Self::a100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_breakdown_matches_fig1b_at_reference_point() {
+        let gpu = GpuRuntimeModel::a100();
+        let cfg = ModelConfig::gpt2_117m();
+        let bd = gpu.breakdown(&cfg, 2048, OptimizationConfig::original());
+        let fractions = bd.fractions();
+        let expected = GpuRuntimeModel::paper_original_shares(ModelFamily::Gpt2).unwrap();
+        for (f, e) in fractions.iter().zip(&expected) {
+            assert!((f - e).abs() < 0.01, "fraction {f} vs paper {e}");
+        }
+    }
+
+    #[test]
+    fn optimization_makes_normalization_the_bottleneck() {
+        let gpu = GpuRuntimeModel::a100();
+        for cfg in [ModelConfig::gpt2_117m(), ModelConfig::opt_2_7b()] {
+            let original = gpu.breakdown(&cfg, 2048, OptimizationConfig::original());
+            let optimized = gpu.breakdown(&cfg, 2048, OptimizationConfig::optimized());
+            let orig_frac = original.fractions()[2];
+            let opt_frac = optimized.fractions()[2];
+            assert!(orig_frac < 0.20, "{}: {orig_frac}", cfg.name);
+            assert!(opt_frac > 0.30, "{}: {opt_frac}", cfg.name);
+            // Normalization absolute time is untouched by the optimizations.
+            assert!((original.normalization_ms - optimized.normalization_ms).abs() < 1e-9);
+            // The optimized total is smaller.
+            assert!(optimized.total_ms() < original.total_ms());
+        }
+    }
+
+    #[test]
+    fn physical_model_scales_with_sequence_length() {
+        let gpu = GpuRuntimeModel::a100();
+        let cfg = ModelConfig::gpt2_117m();
+        let short = gpu.physical_breakdown(&cfg, 128, OptimizationConfig::original());
+        let long = gpu.physical_breakdown(&cfg, 1024, OptimizationConfig::original());
+        assert!(long.total_ms() > short.total_ms());
+        // Softmax grows quadratically, matmul roughly linearly at fixed width.
+        assert!(long.softmax_ms / short.softmax_ms > long.matmul_ms / short.matmul_ms);
+    }
+
+    #[test]
+    fn llama_falls_back_to_physical_model() {
+        let gpu = GpuRuntimeModel::a100();
+        let cfg = ModelConfig::llama_7b();
+        let calibrated = gpu.breakdown(&cfg, 512, OptimizationConfig::original());
+        let physical = gpu.physical_breakdown(&cfg, 512, OptimizationConfig::original());
+        assert_eq!(calibrated, physical);
+        assert!(GpuRuntimeModel::paper_original_shares(ModelFamily::Llama).is_none());
+    }
+
+    #[test]
+    fn normalization_latency_grows_with_layers_and_length() {
+        let gpu = GpuRuntimeModel::a100();
+        let gpt2 = ModelConfig::gpt2_1_5b();
+        let small = gpu.normalization_latency_us(&gpt2, 128);
+        let large = gpu.normalization_latency_us(&gpt2, 1024);
+        assert!(large > small);
+        let fewer_layers = ModelConfig::gpt2_117m();
+        assert!(gpu.normalization_latency_us(&fewer_layers, 128) < small);
+    }
+
+    #[test]
+    fn breakdown_helpers() {
+        let bd = RuntimeBreakdown {
+            matmul_ms: 4.0,
+            softmax_ms: 3.0,
+            normalization_ms: 2.0,
+            other_ms: 1.0,
+        };
+        assert_eq!(bd.total_ms(), 10.0);
+        assert_eq!(bd.fractions(), [0.4, 0.3, 0.2, 0.1]);
+        assert_eq!(bd.class_ms(OpClass::Matmul), 4.0);
+        assert_eq!(bd.class_ms(OpClass::Other), 1.0);
+        assert_eq!(OpClass::ALL.len(), 4);
+        let zero = RuntimeBreakdown {
+            matmul_ms: 0.0,
+            softmax_ms: 0.0,
+            normalization_ms: 0.0,
+            other_ms: 0.0,
+        };
+        assert_eq!(zero.fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn gpu_presets_are_ordered() {
+        let a100 = GpuRuntimeModel::a100();
+        let consumer = GpuRuntimeModel::rtx3090();
+        assert!(a100.matmul_macs_per_sec > consumer.matmul_macs_per_sec);
+        assert_eq!(GpuRuntimeModel::default(), a100);
+    }
+
+    #[test]
+    fn optimization_config_presets() {
+        assert!(!OptimizationConfig::original().flash_attention);
+        assert!(OptimizationConfig::optimized().flash_attention);
+        assert!(OptimizationConfig::optimized().fp8_linear);
+    }
+}

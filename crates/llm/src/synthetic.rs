@@ -1,0 +1,228 @@
+//! Synthetic per-layer ISD profiles matching the shape reported in Fig. 2.
+//!
+//! Running a real 7-billion-parameter model is out of scope for this reproduction, but
+//! the HAAN algorithm only consumes the per-layer inverse-standard-deviation profile of
+//! the normalization inputs. [`IsdProfileModel`] generates profiles with the three
+//! characteristics the paper reports for LLaMA-7B (and observes on GPT-2/OPT as well):
+//!
+//! 1. ISD decreases with depth, dramatically over the first layers;
+//! 2. `log(ISD)` is approximately **linear** in the layer index for the deep layers;
+//! 3. the last couple of layers fluctuate (the paper attributes this to the output
+//!    softmax sharpening discriminative features).
+
+use crate::config::ModelConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A generative model of per-layer `log(ISD)` profiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsdProfileModel {
+    /// Number of normalization layers in the profile.
+    pub num_layers: usize,
+    /// `log(ISD)` of the very first normalization layer.
+    pub initial_log_isd: f64,
+    /// Amplitude of the fast early decay component.
+    pub early_amplitude: f64,
+    /// Time constant (in layers) of the fast early decay.
+    pub early_tau: f64,
+    /// Slope of the linear (in layer index) component of `log(ISD)`; negative.
+    pub linear_slope: f64,
+    /// Standard deviation of per-token noise added to every layer.
+    pub noise_std: f64,
+    /// Extra fluctuation applied to the last [`IsdProfileModel::TAIL_LAYERS`] layers.
+    pub tail_fluctuation: f64,
+}
+
+impl IsdProfileModel {
+    /// Number of final layers that receive the extra output-side fluctuation.
+    pub const TAIL_LAYERS: usize = 2;
+
+    /// Profile parameters for the LLaMA-7B subject of Fig. 2 (64 plotted layers; the
+    /// paper's skip scan selects the (50, 60) range).
+    #[must_use]
+    pub fn llama_7b() -> Self {
+        Self {
+            num_layers: ModelConfig::llama_7b().num_norm_layers(),
+            initial_log_isd: 1.8,
+            early_amplitude: 2.6,
+            early_tau: 4.0,
+            linear_slope: -0.055,
+            noise_std: 0.03,
+            tail_fluctuation: 0.5,
+        }
+    }
+
+    /// Profile parameters for OPT-2.7B (65 normalization layers, skip range (55, 62)).
+    #[must_use]
+    pub fn opt_2_7b() -> Self {
+        Self {
+            num_layers: ModelConfig::opt_2_7b().num_norm_layers(),
+            initial_log_isd: 1.2,
+            early_amplitude: 2.0,
+            early_tau: 5.0,
+            linear_slope: -0.045,
+            noise_std: 0.04,
+            tail_fluctuation: 0.4,
+        }
+    }
+
+    /// Profile parameters for GPT2-1.5B (97 normalization layers, skip range (85, 92)).
+    #[must_use]
+    pub fn gpt2_1_5b() -> Self {
+        Self {
+            num_layers: ModelConfig::gpt2_1_5b().num_norm_layers(),
+            initial_log_isd: 1.0,
+            early_amplitude: 1.8,
+            early_tau: 7.0,
+            linear_slope: -0.035,
+            noise_std: 0.04,
+            tail_fluctuation: 0.4,
+        }
+    }
+
+    /// Picks the preset matching a model configuration by family, scaling the layer
+    /// count to the configuration's.
+    #[must_use]
+    pub fn for_model(config: &ModelConfig) -> Self {
+        let mut profile = match config.family {
+            crate::config::ModelFamily::Llama => Self::llama_7b(),
+            crate::config::ModelFamily::Opt => Self::opt_2_7b(),
+            crate::config::ModelFamily::Gpt2 => Self::gpt2_1_5b(),
+        };
+        profile.num_layers = config.num_norm_layers();
+        profile
+    }
+
+    /// The noiseless `log(ISD)` value of layer `l`.
+    #[must_use]
+    pub fn expected_log_isd(&self, layer: usize) -> f64 {
+        let l = layer as f64;
+        self.initial_log_isd - self.early_amplitude * (1.0 - (-l / self.early_tau).exp())
+            + self.linear_slope * l
+    }
+
+    /// Generates the `log(ISD)` profile observed for one token (all layers), with noise.
+    #[must_use]
+    pub fn sample_token_profile(&self, rng: &mut StdRng) -> Vec<f64> {
+        // A per-token offset models that some tokens have systematically larger
+        // activations than others (the vertical spread between curves in Fig. 2).
+        let token_offset: f64 = rng.gen_range(-0.25..0.25);
+        (0..self.num_layers)
+            .map(|l| {
+                let mut v = self.expected_log_isd(l) + token_offset
+                    + rng.gen_range(-self.noise_std..self.noise_std);
+                if l + Self::TAIL_LAYERS >= self.num_layers {
+                    v += rng.gen_range(-self.tail_fluctuation..self.tail_fluctuation);
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// Generates profiles for `num_tokens` tokens with a fixed seed.
+    #[must_use]
+    pub fn sample_profiles(&self, num_tokens: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..num_tokens)
+            .map(|_| self.sample_token_profile(&mut rng))
+            .collect()
+    }
+
+    /// Generates ISD (not log) profiles for `num_tokens` tokens.
+    #[must_use]
+    pub fn sample_isd_profiles(&self, num_tokens: usize, seed: u64) -> Vec<Vec<f64>> {
+        self.sample_profiles(num_tokens, seed)
+            .into_iter()
+            .map(|profile| profile.into_iter().map(f64::exp).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+
+    #[test]
+    fn profile_decreases_with_depth() {
+        let model = IsdProfileModel::llama_7b();
+        assert!(model.expected_log_isd(0) > model.expected_log_isd(10));
+        assert!(model.expected_log_isd(10) > model.expected_log_isd(40));
+        assert!(model.expected_log_isd(40) > model.expected_log_isd(60));
+    }
+
+    #[test]
+    fn early_layers_drop_faster_than_late_layers() {
+        let model = IsdProfileModel::llama_7b();
+        let early_drop = model.expected_log_isd(0) - model.expected_log_isd(5);
+        let late_drop = model.expected_log_isd(45) - model.expected_log_isd(50);
+        assert!(early_drop > 4.0 * late_drop);
+    }
+
+    #[test]
+    fn deep_layers_are_log_linear() {
+        let model = IsdProfileModel::llama_7b();
+        let layers: Vec<f64> = (41..=61).map(|l| l as f64).collect();
+        let values: Vec<f64> = (41..=61).map(|l| model.expected_log_isd(l)).collect();
+        // Strong negative linear correlation in the deep range, as Fig. 2 shows.
+        assert!(pearson(&layers, &values) < -0.999);
+    }
+
+    #[test]
+    fn early_layers_are_not_log_linear() {
+        let model = IsdProfileModel::llama_7b();
+        let layers: Vec<f64> = (0..=15).map(|l| l as f64).collect();
+        let values: Vec<f64> = (0..=15).map(|l| model.expected_log_isd(l)).collect();
+        // Correlation is negative but visibly further from -1 than the deep range.
+        let r = pearson(&layers, &values);
+        assert!(r > -0.99);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let model = IsdProfileModel::opt_2_7b();
+        let a = model.sample_profiles(3, 7);
+        let b = model.sample_profiles(3, 7);
+        let c = model.sample_profiles(3, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].len(), model.num_layers);
+    }
+
+    #[test]
+    fn isd_profiles_are_exp_of_log_profiles() {
+        let model = IsdProfileModel::gpt2_1_5b();
+        let log = model.sample_profiles(2, 11);
+        let isd = model.sample_isd_profiles(2, 11);
+        for (lrow, irow) in log.iter().zip(&isd) {
+            for (l, i) in lrow.iter().zip(irow) {
+                assert!((l.exp() - i).abs() < 1e-12);
+                assert!(*i > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn presets_match_model_layer_counts() {
+        assert_eq!(IsdProfileModel::llama_7b().num_layers, 65);
+        assert_eq!(IsdProfileModel::opt_2_7b().num_layers, 65);
+        assert_eq!(IsdProfileModel::gpt2_1_5b().num_layers, 97);
+        let scaled = ModelConfig::llama_7b().scaled_down(64, 128);
+        assert_eq!(IsdProfileModel::for_model(&scaled).num_layers, 65);
+        assert_eq!(
+            IsdProfileModel::for_model(&ModelConfig::gpt2_117m()).num_layers,
+            25
+        );
+    }
+}

@@ -1,0 +1,478 @@
+//! A minimal row-major matrix type and the elementwise kernels a decoder needs.
+//!
+//! This is intentionally small: the transformer substrate only needs 2-D matrices,
+//! matrix multiplication, row softmax and GeLU. Keeping it dependency-free makes the
+//! simulation reproducible and easy to audit.
+
+use crate::error::LlmError;
+use serde::{Deserialize, Serialize};
+
+/// A row-major `rows × cols` matrix of `f32`.
+///
+/// # Example
+///
+/// ```
+/// use haan_llm::Matrix;
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c.get(1, 0), 3.0);
+/// # Ok::<(), haan_llm::LlmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, LlmError> {
+        if data.len() != rows * cols {
+            return Err(LlmError::ShapeMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when rows have differing lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self, LlmError> {
+        if rows.is_empty() {
+            return Ok(Self::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            if row.len() != cols {
+                return Err(LlmError::ShapeMismatch {
+                    op: "from_rows",
+                    lhs: (rows.len(), cols),
+                    rhs: (1, row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Element mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows one row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of bounds.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutably borrows one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of bounds.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        assert!(row < self.rows, "row out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Borrows the underlying row-major buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Matrix multiplication `self × rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LlmError> {
+        if self.cols != rhs.rows {
+            return Err(LlmError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix multiplication with the transpose of `rhs` (`self × rhsᵀ`), used for
+    /// attention scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when `self.cols() != rhs.cols()`.
+    pub fn matmul_transposed(&self, rhs: &Matrix) -> Result<Matrix, LlmError> {
+        if self.cols != rhs.cols {
+            return Err(LlmError::ShapeMismatch {
+                op: "matmul_transposed",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let dot: f32 = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
+                out.data[i * rhs.rows + j] = dot;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the shapes differ.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix, LlmError> {
+        if self.shape() != rhs.shape() {
+            return Err(LlmError::ShapeMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Adds a row vector to every row (broadcast bias addition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when `bias.len() != self.cols()`.
+    pub fn add_bias(&self, bias: &[f32]) -> Result<Matrix, LlmError> {
+        if bias.len() != self.cols {
+            return Err(LlmError::ShapeMismatch {
+                op: "add_bias",
+                lhs: self.shape(),
+                rhs: (1, bias.len()),
+            });
+        }
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            for (v, b) in out.row_mut(i).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scales every element.
+    #[must_use]
+    pub fn scale(&self, factor: f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * factor).collect(),
+        }
+    }
+
+    /// Applies a function elementwise.
+    #[must_use]
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// In-place causal row softmax: row `i` only attends to columns `0..=i`.
+    /// Columns above the diagonal are set to zero probability.
+    pub fn causal_softmax_rows(&mut self) {
+        for i in 0..self.rows {
+            let cols = self.cols;
+            let row = self.row_mut(i);
+            let limit = (i + 1).min(cols);
+            let max = row[..limit]
+                .iter()
+                .fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
+            let mut sum = 0.0f32;
+            for v in row[..limit].iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row[..limit].iter_mut() {
+                *v /= sum;
+            }
+            for v in row[limit..].iter_mut() {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Frobenius norm, mainly used by tests.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+/// Numerically stable log-softmax of a vector.
+#[must_use]
+pub fn log_softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
+    let log_sum: f32 = logits.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+    logits.iter().map(|&v| v - max - log_sum).collect()
+}
+
+/// The exact GeLU activation (`x · Φ(x)` with the tanh approximation used by GPT-2).
+#[must_use]
+pub fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// The SiLU (swish) activation used in LLaMA-style MLPs.
+#[must_use]
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.as_slice().len(), 6);
+
+        let z = Matrix::zeros(2, 2);
+        assert_eq!(z.frobenius_norm(), 0.0);
+
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).is_err());
+        assert_eq!(Matrix::from_rows(&[]).unwrap().shape(), (0, 0));
+    }
+
+    #[test]
+    fn matmul_identity_is_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[1.0], &[0.5], &[2.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (1, 1));
+        assert!((c.get(0, 0) - 8.0).abs() < 1e-6);
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, -1.0]]).unwrap();
+        let c = a.matmul_transposed(&b).unwrap();
+        assert_eq!(c.shape(), (3, 2));
+        assert!((c.get(0, 0) - 3.0).abs() < 1e-6); // [1,2]·[1,1]
+        assert!((c.get(2, 1) - 4.0).abs() < 1e-6); // [5,6]·[2,-1]
+        let bad = Matrix::zeros(2, 3);
+        assert!(a.matmul_transposed(&bad).is_err());
+    }
+
+    #[test]
+    fn add_and_bias_and_scale() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = a.scale(2.0);
+        assert_eq!(b.get(1, 1), 8.0);
+        let sum = a.add(&b).unwrap();
+        assert_eq!(sum.get(0, 0), 3.0);
+        let biased = a.add_bias(&[10.0, 20.0]).unwrap();
+        assert_eq!(biased.get(1, 1), 24.0);
+        assert!(a.add(&Matrix::zeros(1, 1)).is_err());
+        assert!(a.add_bias(&[1.0]).is_err());
+        let mapped = a.map(|v| -v);
+        assert_eq!(mapped.get(0, 1), -2.0);
+    }
+
+    #[test]
+    fn causal_softmax_masks_future_positions() {
+        let mut m = Matrix::from_rows(&[&[1.0, 5.0, 9.0], &[1.0, 1.0, 9.0], &[1.0, 1.0, 1.0]])
+            .unwrap();
+        m.causal_softmax_rows();
+        // Row 0 can only see itself.
+        assert!((m.get(0, 0) - 1.0).abs() < 1e-6);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        // Row 1 sees two positions with equal logits.
+        assert!((m.get(1, 0) - 0.5).abs() < 1e-6);
+        assert!((m.get(1, 1) - 0.5).abs() < 1e-6);
+        assert_eq!(m.get(1, 2), 0.0);
+        // Every row sums to one.
+        for i in 0..3 {
+            let s: f32 = m.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_sums_to_one_in_prob_space() {
+        let ls = log_softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = ls.iter().map(|v| v.exp()).sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(ls[2] > ls[1] && ls[1] > ls[0]);
+        assert!(log_softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn activations_have_expected_shape() {
+        assert!(gelu(0.0).abs() < 1e-7);
+        assert!((gelu(5.0) - 5.0).abs() < 1e-2);
+        assert!(gelu(-5.0).abs() < 1e-2);
+        assert!(silu(0.0).abs() < 1e-7);
+        assert!((silu(5.0) - 4.966).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_identity(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+            let mut data = Vec::new();
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for _ in 0..rows * cols {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                data.push(((state >> 33) as f32 / 2f32.powi(31)) - 1.0);
+            }
+            let m = Matrix::from_vec(rows, cols, data).unwrap();
+            let i = Matrix::identity(cols);
+            prop_assert_eq!(m.matmul(&i).unwrap(), m);
+        }
+
+        #[test]
+        fn prop_log_softmax_normalises(xs in proptest::collection::vec(-10.0f32..10.0, 1..32)) {
+            let ls = log_softmax(&xs);
+            let sum: f32 = ls.iter().map(|v| v.exp()).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+
+        #[test]
+        fn prop_gelu_is_bounded(x in -20.0f32..20.0) {
+            // GeLU is bounded below by ≈ -0.17 and never exceeds ReLU.
+            prop_assert!(gelu(x) >= -0.2);
+            prop_assert!(gelu(x) <= x.max(0.0) + 1e-5);
+        }
+    }
+}

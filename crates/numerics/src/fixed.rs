@@ -1,0 +1,535 @@
+//! Runtime-parameterised fixed-point arithmetic.
+//!
+//! The HAAN datapath (Fig. 3/4 of the paper) keeps *intermediate* results of the
+//! input-statistics calculator and the square-root inverter in fixed-point registers
+//! even when the external interface is FP16/FP32. [`Fixed`] models those registers:
+//! a signed two's-complement integer with a configurable number of integer and
+//! fraction bits ([`QFormat`]), saturating on overflow like a hardware register with
+//! clamping logic would.
+
+use crate::error::NumericError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fixed-point format `Qm.n`: `m` integer bits (including sign) and `n` fraction bits.
+///
+/// The total width `m + n` must be at most 63 so that products of two values fit in
+/// an `i128` intermediate without loss.
+///
+/// # Example
+///
+/// ```
+/// use haan_numerics::QFormat;
+/// let q = QFormat::new(16, 16);
+/// assert_eq!(q.total_bits(), 32);
+/// assert!(q.max_value() > 32767.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QFormat {
+    int_bits: u32,
+    frac_bits: u32,
+}
+
+impl QFormat {
+    /// The Q16.16 format used by default for accumulator registers.
+    pub const Q16_16: QFormat = QFormat {
+        int_bits: 16,
+        frac_bits: 16,
+    };
+
+    /// A wide accumulator format for adder-tree outputs (Q32.24).
+    pub const Q32_24: QFormat = QFormat {
+        int_bits: 32,
+        frac_bits: 24,
+    };
+
+    /// A narrow format matching INT8 inputs interpreted as Q8.0.
+    pub const Q8_0: QFormat = QFormat {
+        int_bits: 8,
+        frac_bits: 0,
+    };
+
+    /// Creates a new format with `int_bits` integer bits (including the sign bit) and
+    /// `frac_bits` fraction bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `int_bits` is zero or if `int_bits + frac_bits` exceeds 63.
+    #[must_use]
+    pub fn new(int_bits: u32, frac_bits: u32) -> Self {
+        assert!(int_bits >= 1, "at least one integer (sign) bit is required");
+        assert!(
+            int_bits + frac_bits <= 63,
+            "total width must be at most 63 bits"
+        );
+        Self {
+            int_bits,
+            frac_bits,
+        }
+    }
+
+    /// Number of integer bits (including the sign bit).
+    #[must_use]
+    pub fn int_bits(&self) -> u32 {
+        self.int_bits
+    }
+
+    /// Number of fraction bits.
+    #[must_use]
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Total register width in bits.
+    #[must_use]
+    pub fn total_bits(&self) -> u32 {
+        self.int_bits + self.frac_bits
+    }
+
+    /// The value of one least-significant bit.
+    #[must_use]
+    pub fn resolution(&self) -> f64 {
+        2f64.powi(-(self.frac_bits as i32))
+    }
+
+    /// Largest representable value.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        (self.max_raw() as f64) * self.resolution()
+    }
+
+    /// Smallest (most negative) representable value.
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        (self.min_raw() as f64) * self.resolution()
+    }
+
+    fn max_raw(&self) -> i64 {
+        (1i64 << (self.total_bits() - 1)) - 1
+    }
+
+    fn min_raw(&self) -> i64 {
+        -(1i64 << (self.total_bits() - 1))
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+impl Default for QFormat {
+    fn default() -> Self {
+        Self::Q16_16
+    }
+}
+
+/// A fixed-point value: a raw integer together with its [`QFormat`].
+///
+/// Arithmetic saturates at the format bounds, mirroring hardware registers with
+/// clamping, and both operands of binary operations must share the same format
+/// (checked variants return [`NumericError::QFormatMismatch`]).
+///
+/// # Example
+///
+/// ```
+/// use haan_numerics::{Fixed, QFormat};
+/// let q = QFormat::new(16, 16);
+/// let a = Fixed::from_f64(1.5, q);
+/// let b = Fixed::from_f64(2.25, q);
+/// let sum = a.saturating_add(b);
+/// assert!((sum.to_f64() - 3.75).abs() < q.resolution());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fixed {
+    raw: i64,
+    format: QFormat,
+}
+
+impl Fixed {
+    /// Zero in the given format.
+    #[must_use]
+    pub fn zero(format: QFormat) -> Self {
+        Self { raw: 0, format }
+    }
+
+    /// One in the given format (saturating if `format` cannot represent 1).
+    #[must_use]
+    pub fn one(format: QFormat) -> Self {
+        Self::from_f64(1.0, format)
+    }
+
+    /// Builds a fixed-point value from a raw register value, without scaling.
+    #[must_use]
+    pub fn from_raw(raw: i64, format: QFormat) -> Self {
+        let clamped = raw.clamp(format.min_raw(), format.max_raw());
+        Self {
+            raw: clamped,
+            format,
+        }
+    }
+
+    /// Quantizes a floating-point value into the format, rounding to nearest and
+    /// saturating at the format bounds (matching FP2FX hardware behaviour).
+    #[must_use]
+    pub fn from_f64(value: f64, format: QFormat) -> Self {
+        let scaled = value * 2f64.powi(format.frac_bits as i32);
+        let rounded = scaled.round();
+        let raw = if rounded.is_nan() {
+            0
+        } else if rounded >= format.max_raw() as f64 {
+            format.max_raw()
+        } else if rounded <= format.min_raw() as f64 {
+            format.min_raw()
+        } else {
+            rounded as i64
+        };
+        Self { raw, format }
+    }
+
+    /// Like [`Fixed::from_f64`] but reports overflow instead of saturating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::FixedOverflow`] when the value lies outside the
+    /// representable range of `format`.
+    pub fn try_from_f64(value: f64, format: QFormat) -> Result<Self, NumericError> {
+        if !value.is_finite() || value > format.max_value() || value < format.min_value() {
+            return Err(NumericError::FixedOverflow { value, format });
+        }
+        Ok(Self::from_f64(value, format))
+    }
+
+    /// Converts back to `f64`.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        self.raw as f64 * self.format.resolution()
+    }
+
+    /// Converts back to `f32`.
+    #[must_use]
+    pub fn to_f32(&self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// The raw two's-complement register contents.
+    #[must_use]
+    pub fn raw(&self) -> i64 {
+        self.raw
+    }
+
+    /// The format of this value.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Re-quantizes this value into a different format (rounding / saturating).
+    #[must_use]
+    pub fn convert(&self, format: QFormat) -> Self {
+        Self::from_f64(self.to_f64(), format)
+    }
+
+    /// Saturating addition. Both operands must share a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ; use [`Fixed::checked_add`] for a fallible variant.
+    #[must_use]
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        self.checked_add(rhs).expect("fixed-point format mismatch")
+    }
+
+    /// Saturating subtraction. Both operands must share a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ; use [`Fixed::checked_sub`] for a fallible variant.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        self.checked_sub(rhs).expect("fixed-point format mismatch")
+    }
+
+    /// Saturating multiplication. Both operands must share a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ; use [`Fixed::checked_mul`] for a fallible variant.
+    #[must_use]
+    pub fn saturating_mul(self, rhs: Self) -> Self {
+        self.checked_mul(rhs).expect("fixed-point format mismatch")
+    }
+
+    /// Fallible saturating addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::QFormatMismatch`] when the operand formats differ.
+    pub fn checked_add(self, rhs: Self) -> Result<Self, NumericError> {
+        self.ensure_same_format(rhs)?;
+        let raw = self.raw.saturating_add(rhs.raw);
+        Ok(Self::from_raw(raw, self.format))
+    }
+
+    /// Fallible saturating subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::QFormatMismatch`] when the operand formats differ.
+    pub fn checked_sub(self, rhs: Self) -> Result<Self, NumericError> {
+        self.ensure_same_format(rhs)?;
+        let raw = self.raw.saturating_sub(rhs.raw);
+        Ok(Self::from_raw(raw, self.format))
+    }
+
+    /// Fallible saturating multiplication.
+    ///
+    /// The full-precision product is computed in 128 bits and then shifted right by
+    /// the number of fraction bits (round-to-nearest), as a DSP multiplier followed
+    /// by a truncation stage would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::QFormatMismatch`] when the operand formats differ.
+    pub fn checked_mul(self, rhs: Self) -> Result<Self, NumericError> {
+        self.ensure_same_format(rhs)?;
+        let product = i128::from(self.raw) * i128::from(rhs.raw);
+        let shift = self.format.frac_bits;
+        let rounding = if shift > 0 { 1i128 << (shift - 1) } else { 0 };
+        let shifted = (product + rounding) >> shift;
+        let raw = shifted.clamp(
+            i128::from(self.format.min_raw()),
+            i128::from(self.format.max_raw()),
+        ) as i64;
+        Ok(Self { raw, format: self.format })
+    }
+
+    /// Multiplies by a power of two using a shift, as the hardware does when the
+    /// divisor `N` is a power of two.
+    #[must_use]
+    pub fn shifted(self, shift: i32) -> Self {
+        let raw = if shift >= 0 {
+            self.raw.saturating_shl(shift as u32)
+        } else {
+            self.raw >> (-shift) as u32
+        };
+        Self::from_raw(raw, self.format)
+    }
+
+    /// Absolute value (saturating at the maximum for the most negative value).
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Self::from_raw(self.raw.saturating_abs(), self.format)
+    }
+
+    /// Returns true when the value is negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.raw < 0
+    }
+
+    fn ensure_same_format(&self, rhs: Self) -> Result<(), NumericError> {
+        if self.format == rhs.format {
+            Ok(())
+        } else {
+            Err(NumericError::QFormatMismatch {
+                lhs: self.format,
+                rhs: rhs.format,
+            })
+        }
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for i64 {
+    fn saturating_shl(self, shift: u32) -> Self {
+        if shift >= 63 {
+            if self > 0 {
+                i64::MAX
+            } else if self < 0 {
+                i64::MIN
+            } else {
+                0
+            }
+        } else {
+            self.checked_shl(shift).unwrap_or(if self >= 0 {
+                i64::MAX
+            } else {
+                i64::MIN
+            })
+        }
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.to_f64(), self.format)
+    }
+}
+
+impl PartialOrd for Fixed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        if self.format == other.format {
+            self.raw.partial_cmp(&other.raw)
+        } else {
+            self.to_f64().partial_cmp(&other.to_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn qformat_accessors() {
+        let q = QFormat::new(12, 20);
+        assert_eq!(q.int_bits(), 12);
+        assert_eq!(q.frac_bits(), 20);
+        assert_eq!(q.total_bits(), 32);
+        assert_eq!(q.resolution(), 2f64.powi(-20));
+        assert_eq!(q.to_string(), "Q12.20");
+    }
+
+    #[test]
+    #[should_panic(expected = "total width")]
+    fn qformat_rejects_too_wide() {
+        let _ = QFormat::new(40, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "sign")]
+    fn qformat_rejects_zero_int_bits() {
+        let _ = QFormat::new(0, 8);
+    }
+
+    #[test]
+    fn roundtrip_small_values() {
+        let q = QFormat::Q16_16;
+        for v in [-3.25f64, -0.5, 0.0, 0.125, 1.0, 42.75] {
+            let x = Fixed::from_f64(v, q);
+            assert!((x.to_f64() - v).abs() <= q.resolution() / 2.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn saturation_at_bounds() {
+        let q = QFormat::new(8, 8);
+        let big = Fixed::from_f64(1.0e9, q);
+        assert!((big.to_f64() - q.max_value()).abs() < 1e-9);
+        let small = Fixed::from_f64(-1.0e9, q);
+        assert!((small.to_f64() - q.min_value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_from_reports_overflow() {
+        let q = QFormat::new(8, 8);
+        assert!(Fixed::try_from_f64(1.0, q).is_ok());
+        let err = Fixed::try_from_f64(1.0e6, q).unwrap_err();
+        assert!(matches!(err, NumericError::FixedOverflow { .. }));
+        assert!(Fixed::try_from_f64(f64::NAN, q).is_err());
+    }
+
+    #[test]
+    fn add_sub_mul_basics() {
+        let q = QFormat::Q16_16;
+        let a = Fixed::from_f64(2.5, q);
+        let b = Fixed::from_f64(1.25, q);
+        assert!((a.saturating_add(b).to_f64() - 3.75).abs() < 1e-4);
+        assert!((a.saturating_sub(b).to_f64() - 1.25).abs() < 1e-4);
+        assert!((a.saturating_mul(b).to_f64() - 3.125).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mul_rounds_to_nearest() {
+        let q = QFormat::new(8, 4);
+        // 0.0625 * 0.5 = 0.03125, which is exactly half an LSB (LSB = 0.0625):
+        // round-to-nearest (ties away handled by +rounding then >>) gives one LSB.
+        let a = Fixed::from_f64(0.0625, q);
+        let b = Fixed::from_f64(0.5, q);
+        let p = a.saturating_mul(b);
+        assert_eq!(p.raw(), 1);
+    }
+
+    #[test]
+    fn format_mismatch_is_an_error() {
+        let a = Fixed::from_f64(1.0, QFormat::new(8, 8));
+        let b = Fixed::from_f64(1.0, QFormat::new(16, 16));
+        assert!(matches!(
+            a.checked_add(b),
+            Err(NumericError::QFormatMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shift_is_power_of_two_scaling() {
+        let q = QFormat::Q16_16;
+        let a = Fixed::from_f64(3.0, q);
+        assert!((a.shifted(2).to_f64() - 12.0).abs() < 1e-4);
+        assert!((a.shifted(-1).to_f64() - 1.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn convert_changes_resolution() {
+        let coarse = QFormat::new(16, 2);
+        let fine = QFormat::Q16_16;
+        let x = Fixed::from_f64(1.3, fine).convert(coarse);
+        assert!((x.to_f64() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abs_and_sign() {
+        let q = QFormat::Q16_16;
+        let neg = Fixed::from_f64(-2.5, q);
+        assert!(neg.is_negative());
+        assert!((neg.abs().to_f64() - 2.5).abs() < 1e-4);
+        assert!(!Fixed::zero(q).is_negative());
+    }
+
+    #[test]
+    fn ordering_within_format() {
+        let q = QFormat::Q16_16;
+        let a = Fixed::from_f64(1.0, q);
+        let b = Fixed::from_f64(2.0, q);
+        assert!(a < b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_error_bounded(v in -30000.0f64..30000.0) {
+            let q = QFormat::Q16_16;
+            let x = Fixed::from_f64(v, q);
+            prop_assert!((x.to_f64() - v).abs() <= q.resolution());
+        }
+
+        #[test]
+        fn prop_add_commutes(a in -1000.0f64..1000.0, b in -1000.0f64..1000.0) {
+            let q = QFormat::Q16_16;
+            let x = Fixed::from_f64(a, q);
+            let y = Fixed::from_f64(b, q);
+            prop_assert_eq!(x.saturating_add(y).raw(), y.saturating_add(x).raw());
+        }
+
+        #[test]
+        fn prop_mul_matches_float_within_tolerance(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let q = QFormat::Q32_24;
+            let x = Fixed::from_f64(a, q);
+            let y = Fixed::from_f64(b, q);
+            let p = x.saturating_mul(y).to_f64();
+            prop_assert!((p - a * b).abs() < 1e-3);
+        }
+
+        #[test]
+        fn prop_saturation_never_exceeds_bounds(v in proptest::num::f64::NORMAL) {
+            let q = QFormat::new(8, 8);
+            let x = Fixed::from_f64(v, q);
+            prop_assert!(x.to_f64() <= q.max_value() + 1e-9);
+            prop_assert!(x.to_f64() >= q.min_value() - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Fast inverse square root and logarithm approximations.
+//!
+//! The HAAN Square Root Inverter (Fig. 5) produces `1/sqrt(x)` from the variance using
+//! the classic bit-level approximation with the magic constant `0x5F3759DF`, followed by
+//! one Newton–Raphson refinement step `y ← y(1.5 − 0.5·x·y²)`. The derivation in the
+//! paper relies on the Mitchell logarithm approximation
+//! `log2(1 + m) ≈ m + σ` with `σ ≈ 0.450465`.
+//!
+//! This module provides:
+//!
+//! * [`fast_inv_sqrt_seed`] — the raw bit-trick initial guess,
+//! * [`newton_refine`] — one Newton step,
+//! * [`fast_inv_sqrt`] — seed plus a configurable number of Newton iterations,
+//! * [`mitchell_log2`] / [`SIGMA_CORRECTION`] — the logarithm approximation used both
+//!   in the derivation and by the ISD predictor unit,
+//! * [`InvSqrtUnit`] — a small stateful wrapper with the iteration count and error
+//!   telemetry used by the accelerator simulator.
+
+use crate::error::NumericError;
+use serde::{Deserialize, Serialize};
+
+/// The magic constant used to seed the inverse square root (cited as `0x5f3759df` in the
+/// paper, Eq. 8).
+pub const MAGIC_CONSTANT: u32 = 0x5F37_59DF;
+
+/// The constant σ ≈ 0.0450465 that minimises the error of the Mitchell approximation
+/// `log2(1 + m) ≈ m + σ` over `m ∈ [0, 1)` (Section IV-B; the paper prints the value as
+/// `0.450465`, which is a typo — Lomont's derivation and the magic constant
+/// `0x5F3759DF = 1.5·2²³·(127 − σ)` both require σ ≈ 0.0450465).
+pub const SIGMA_CORRECTION: f64 = 0.045_046_5;
+
+/// Computes the bit-trick initial approximation of `1/sqrt(x)`.
+///
+/// This reproduces the integer arithmetic of Eq. 8: the FP32 bit pattern of `x` is
+/// halved and subtracted from the magic constant.
+///
+/// # Panics
+///
+/// Does not panic; non-positive or non-finite inputs produce a meaningless (but finite)
+/// seed exactly as the hardware would. Use [`checked_fast_inv_sqrt`] for validation.
+#[must_use]
+pub fn fast_inv_sqrt_seed(x: f32) -> f32 {
+    let bits = x.to_bits();
+    let seed_bits = MAGIC_CONSTANT.wrapping_sub(bits >> 1);
+    f32::from_bits(seed_bits)
+}
+
+/// Performs one Newton–Raphson refinement step for `y ≈ 1/sqrt(x)`:
+/// `y₁ = y₀ · (1.5 − 0.5·x·y₀²)` (Eq. 9, where the paper folds `0.5·x` into `x·y²/2`).
+#[must_use]
+pub fn newton_refine(x: f32, y: f32) -> f32 {
+    y * (1.5 - 0.5 * x * y * y)
+}
+
+/// Computes `1/sqrt(x)` with the bit-trick seed followed by `iterations` Newton steps.
+///
+/// The paper observes that a single iteration is adequate; the accelerator defaults to
+/// one and the ablation bench sweeps 0–2.
+#[must_use]
+pub fn fast_inv_sqrt(x: f32, iterations: u32) -> f32 {
+    let mut y = fast_inv_sqrt_seed(x);
+    for _ in 0..iterations {
+        y = newton_refine(x, y);
+    }
+    y
+}
+
+/// Validated version of [`fast_inv_sqrt`].
+///
+/// # Errors
+///
+/// Returns [`NumericError::NonPositive`] if `x` is not a positive finite number.
+pub fn checked_fast_inv_sqrt(x: f32, iterations: u32) -> Result<f32, NumericError> {
+    if !(x.is_finite() && x > 0.0) {
+        return Err(NumericError::NonPositive(f64::from(x)));
+    }
+    Ok(fast_inv_sqrt(x, iterations))
+}
+
+/// Mitchell's logarithm approximation with the σ correction:
+/// `log2(x) ≈ E − Q + M/2^L + σ` for `x = 2^(E−Q) (1 + M/2^L)`.
+///
+/// # Errors
+///
+/// Returns [`NumericError::NonPositive`] if `x` is not a positive finite number.
+pub fn mitchell_log2(x: f32) -> Result<f64, NumericError> {
+    if !(x.is_finite() && x > 0.0) {
+        return Err(NumericError::NonPositive(f64::from(x)));
+    }
+    let bits = x.to_bits();
+    let exponent = i64::from((bits >> 23) & 0xFF) - 127;
+    let mantissa = f64::from(bits & 0x007F_FFFF) / f64::from(1u32 << 23);
+    Ok(exponent as f64 + mantissa + SIGMA_CORRECTION)
+}
+
+/// Exact relative error of the fast inverse square root against `1/sqrt(x)`.
+///
+/// # Errors
+///
+/// Returns [`NumericError::NonPositive`] if `x` is not a positive finite number.
+pub fn relative_error(x: f32, iterations: u32) -> Result<f64, NumericError> {
+    if !(x.is_finite() && x > 0.0) {
+        return Err(NumericError::NonPositive(f64::from(x)));
+    }
+    let exact = 1.0 / f64::from(x).sqrt();
+    let approx = f64::from(fast_inv_sqrt(x, iterations));
+    Ok(((approx - exact) / exact).abs())
+}
+
+/// A configurable inverse-square-root unit used by the accelerator simulator.
+///
+/// Beyond the numeric result it tracks how many operations were performed and the
+/// worst relative error observed, which the hardware evaluation reports.
+///
+/// # Example
+///
+/// ```
+/// use haan_numerics::invsqrt::InvSqrtUnit;
+/// let mut unit = InvSqrtUnit::new(1);
+/// let y = unit.compute(4.0)?;
+/// assert!((y - 0.5).abs() < 1e-2);
+/// # Ok::<(), haan_numerics::NumericError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InvSqrtUnit {
+    iterations: u32,
+    operations: u64,
+    max_relative_error: f64,
+}
+
+impl InvSqrtUnit {
+    /// Creates a unit performing `iterations` Newton refinements per operation.
+    #[must_use]
+    pub fn new(iterations: u32) -> Self {
+        Self {
+            iterations,
+            operations: 0,
+            max_relative_error: 0.0,
+        }
+    }
+
+    /// Number of Newton iterations per operation.
+    #[must_use]
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Number of operations performed so far.
+    #[must_use]
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// Worst relative error observed so far.
+    #[must_use]
+    pub fn max_relative_error(&self) -> f64 {
+        self.max_relative_error
+    }
+
+    /// Computes `1/sqrt(x)` and updates telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::NonPositive`] if `x` is not a positive finite number.
+    pub fn compute(&mut self, x: f32) -> Result<f32, NumericError> {
+        let y = checked_fast_inv_sqrt(x, self.iterations)?;
+        self.operations += 1;
+        let err = relative_error(x, self.iterations)?;
+        if err > self.max_relative_error {
+            self.max_relative_error = err;
+        }
+        Ok(y)
+    }
+
+    /// Latency of one operation in cycles: one cycle for the seed (shift + subtract) and
+    /// three cycles per Newton iteration (two multiplies and a fused subtract-multiply).
+    #[must_use]
+    pub fn latency_cycles(&self) -> u64 {
+        1 + 3 * u64::from(self.iterations)
+    }
+}
+
+impl Default for InvSqrtUnit {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn seed_is_within_a_few_percent() {
+        for &x in &[0.01f32, 0.5, 1.0, 2.0, 100.0, 12345.0] {
+            let seed = fast_inv_sqrt_seed(x);
+            let exact = 1.0 / x.sqrt();
+            assert!(
+                ((seed - exact) / exact).abs() < 0.035,
+                "seed error too large at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_newton_iteration_is_sub_percent() {
+        for &x in &[1e-4f32, 0.1, 1.0, 3.7, 1e4] {
+            let err = relative_error(x, 1).unwrap();
+            assert!(err < 2e-3, "error {err} at {x}");
+        }
+    }
+
+    #[test]
+    fn two_iterations_beat_one() {
+        for &x in &[0.3f32, 1.0, 42.0] {
+            assert!(relative_error(x, 2).unwrap() <= relative_error(x, 1).unwrap());
+        }
+    }
+
+    #[test]
+    fn checked_rejects_bad_input() {
+        assert!(checked_fast_inv_sqrt(0.0, 1).is_err());
+        assert!(checked_fast_inv_sqrt(-2.0, 1).is_err());
+        assert!(checked_fast_inv_sqrt(f32::NAN, 1).is_err());
+        assert!(checked_fast_inv_sqrt(f32::INFINITY, 1).is_err());
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((fast_inv_sqrt(4.0, 2) - 0.5).abs() < 1e-4);
+        assert!((fast_inv_sqrt(1.0, 2) - 1.0).abs() < 1e-4);
+        assert!((fast_inv_sqrt(0.25, 2) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mitchell_log2_tracks_log2() {
+        for &x in &[0.07f32, 0.5, 1.0, 1.5, 2.0, 10.0, 1000.0] {
+            let approx = mitchell_log2(x).unwrap();
+            let exact = f64::from(x).log2();
+            assert!((approx - exact).abs() < 0.06, "x={x} approx={approx} exact={exact}");
+        }
+        assert!(mitchell_log2(0.0).is_err());
+        assert!(mitchell_log2(-3.0).is_err());
+    }
+
+    #[test]
+    fn unit_tracks_telemetry() {
+        let mut unit = InvSqrtUnit::new(1);
+        assert_eq!(unit.operations(), 0);
+        unit.compute(2.0).unwrap();
+        unit.compute(7.5).unwrap();
+        assert_eq!(unit.operations(), 2);
+        assert!(unit.max_relative_error() > 0.0);
+        assert!(unit.max_relative_error() < 2e-3);
+        assert_eq!(unit.latency_cycles(), 4);
+        assert_eq!(InvSqrtUnit::default().iterations(), 1);
+        assert_eq!(InvSqrtUnit::new(0).latency_cycles(), 1);
+    }
+
+    #[test]
+    fn magic_constant_matches_paper() {
+        assert_eq!(MAGIC_CONSTANT, 0x5F3759DF);
+        // 0x5F3759DF ≈ 1.5 · 2^23 · (127 − σ); solving for σ recovers ≈ 0.0450465.
+        let implied_sigma = 127.0 - f64::from(MAGIC_CONSTANT) / (1.5 * f64::from(1u32 << 23));
+        assert!((implied_sigma - SIGMA_CORRECTION).abs() < 1e-3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_error_bound_over_wide_range(exp in -20i32..20, frac in 1.0f32..2.0) {
+            let x = frac * 2f32.powi(exp);
+            // Bound from Lomont's analysis: one Newton iteration keeps the relative
+            // error below ~0.2%.
+            prop_assert!(relative_error(x, 1).unwrap() < 2e-3);
+        }
+
+        #[test]
+        fn prop_monotone_improvement(exp in -10i32..10, frac in 1.0f32..2.0) {
+            let x = frac * 2f32.powi(exp);
+            let e0 = relative_error(x, 0).unwrap();
+            let e1 = relative_error(x, 1).unwrap();
+            let e2 = relative_error(x, 2).unwrap();
+            // Once an iteration lands within f32 rounding noise of the exact value, the
+            // next iteration may wobble by an ulp; allow that slack.
+            prop_assert!(e1 <= e0 + 1e-7);
+            prop_assert!(e2 <= e1 + 1e-6);
+        }
+
+        #[test]
+        fn prop_result_is_positive(exp in -20i32..20, frac in 1.0f32..2.0) {
+            let x = frac * 2f32.powi(exp);
+            prop_assert!(fast_inv_sqrt(x, 1) > 0.0);
+        }
+    }
+}

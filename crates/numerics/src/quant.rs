@@ -1,0 +1,190 @@
+//! Symmetric INT8 quantization, as applied to normalization operands in Section III-C.
+
+use crate::error::NumericError;
+use serde::{Deserialize, Serialize};
+
+/// A symmetric per-tensor INT8 quantizer: `q = clamp(round(x / scale), -127, 127)`.
+///
+/// The paper applies INT8 quantization over the LayerNorm input of LLaMA-7B
+/// (Section V-A). A symmetric scale keeps zero exactly representable, which matters
+/// because normalization inputs are roughly zero-centred.
+///
+/// # Example
+///
+/// ```
+/// use haan_numerics::Int8Quantizer;
+/// let xs = [0.5f32, -1.0, 2.0, -2.0];
+/// let q = Int8Quantizer::fit(&xs)?;
+/// let ints = q.quantize_slice(&xs);
+/// let back = q.dequantize_slice(&ints);
+/// assert!((back[2] - 2.0).abs() < q.scale());
+/// # Ok::<(), haan_numerics::NumericError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Int8Quantizer {
+    scale: f32,
+}
+
+impl Int8Quantizer {
+    /// Largest quantized magnitude.
+    pub const QMAX: i8 = 127;
+
+    /// Creates a quantizer with an explicit scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidScale`] for non-finite or non-positive scales.
+    pub fn with_scale(scale: f32) -> Result<Self, NumericError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(NumericError::InvalidScale(scale));
+        }
+        Ok(Self { scale })
+    }
+
+    /// Fits a symmetric scale to the data: `scale = max|x| / 127`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::EmptyInput`] for an empty slice and
+    /// [`NumericError::InvalidScale`] when all values are zero or non-finite.
+    pub fn fit(values: &[f32]) -> Result<Self, NumericError> {
+        if values.is_empty() {
+            return Err(NumericError::EmptyInput);
+        }
+        let max_abs = values
+            .iter()
+            .filter(|v| v.is_finite())
+            .fold(0.0f32, |acc, &v| acc.max(v.abs()));
+        Self::with_scale(max_abs / f32::from(Self::QMAX))
+    }
+
+    /// The quantization step.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Quantizes one value.
+    #[must_use]
+    pub fn quantize(&self, value: f32) -> i8 {
+        let q = (value / self.scale).round();
+        q.clamp(-f32::from(Self::QMAX), f32::from(Self::QMAX)) as i8
+    }
+
+    /// Dequantizes one value.
+    #[must_use]
+    pub fn dequantize(&self, value: i8) -> f32 {
+        f32::from(value) * self.scale
+    }
+
+    /// Quantizes a slice.
+    #[must_use]
+    pub fn quantize_slice(&self, values: &[f32]) -> Vec<i8> {
+        values.iter().map(|&v| self.quantize(v)).collect()
+    }
+
+    /// Dequantizes a slice.
+    #[must_use]
+    pub fn dequantize_slice(&self, values: &[i8]) -> Vec<f32> {
+        values.iter().map(|&v| self.dequantize(v)).collect()
+    }
+
+    /// The worst-case absolute rounding error for in-range values (half a step).
+    #[must_use]
+    pub fn max_rounding_error(&self) -> f32 {
+        self.scale / 2.0
+    }
+
+    /// Mean squared quantization error over a slice, a convenient accuracy metric for
+    /// ablation experiments.
+    #[must_use]
+    pub fn mean_squared_error(&self, values: &[f32]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = values
+            .iter()
+            .map(|&v| {
+                let err = f64::from(v - self.dequantize(self.quantize(v)));
+                err * err
+            })
+            .sum();
+        total / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fit_uses_max_abs() {
+        let q = Int8Quantizer::fit(&[1.0, -3.0, 2.0]).unwrap();
+        assert!((q.scale() - 3.0 / 127.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_maps_to_zero() {
+        let q = Int8Quantizer::with_scale(0.1).unwrap();
+        assert_eq!(q.quantize(0.0), 0);
+        assert_eq!(q.dequantize(0), 0.0);
+    }
+
+    #[test]
+    fn clamping_at_extremes() {
+        let q = Int8Quantizer::with_scale(0.01).unwrap();
+        assert_eq!(q.quantize(100.0), 127);
+        assert_eq!(q.quantize(-100.0), -127);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(Int8Quantizer::fit(&[]).is_err());
+        assert!(Int8Quantizer::fit(&[0.0, 0.0]).is_err());
+        assert!(Int8Quantizer::with_scale(0.0).is_err());
+        assert!(Int8Quantizer::with_scale(-1.0).is_err());
+        assert!(Int8Quantizer::with_scale(f32::NAN).is_err());
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded() {
+        let xs: Vec<f32> = (-100..=100).map(|i| i as f32 * 0.013).collect();
+        let q = Int8Quantizer::fit(&xs).unwrap();
+        for &x in &xs {
+            let back = q.dequantize(q.quantize(x));
+            assert!((x - back).abs() <= q.max_rounding_error() + 1e-6);
+        }
+        assert!(q.mean_squared_error(&xs) <= f64::from(q.max_rounding_error()).powi(2));
+    }
+
+    #[test]
+    fn slice_round_trip_length_preserved() {
+        let xs = [0.3f32, -0.7, 1.9];
+        let q = Int8Quantizer::fit(&xs).unwrap();
+        let ints = q.quantize_slice(&xs);
+        assert_eq!(ints.len(), 3);
+        assert_eq!(q.dequantize_slice(&ints).len(), 3);
+        assert_eq!(q.mean_squared_error(&[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_within_half_step(xs in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+            prop_assume!(xs.iter().any(|v| v.abs() > 1e-3));
+            let q = Int8Quantizer::fit(&xs).unwrap();
+            for &x in &xs {
+                let back = q.dequantize(q.quantize(x));
+                prop_assert!((x - back).abs() <= q.max_rounding_error() * 1.0001 + 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_quantize_is_monotone(a in -10.0f32..10.0, b in -10.0f32..10.0) {
+            let q = Int8Quantizer::with_scale(0.05).unwrap();
+            if a <= b {
+                prop_assert!(q.quantize(a) <= q.quantize(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Mean, variance and inverse-standard-deviation (ISD) computation.
+//!
+//! The HAAN algorithm is entirely about how these statistics are computed:
+//!
+//! * [`VectorStats::compute`] — the reference two-pass mean/variance (what FP32
+//!   LayerNorm does),
+//! * [`VectorStats::compute_one_pass`] — the `E[x²] − E[x]²` formulation the input
+//!   statistics calculator implements in hardware (Eq. 5),
+//! * [`VectorStats::compute_subsampled`] — statistics from only the first `Nsub`
+//!   elements (Eq. 4),
+//! * [`Welford`] — a streaming accumulator used by the activation profiler,
+//! * [`isd`] / [`rms`] helpers shared across crates.
+
+use crate::error::NumericError;
+use serde::{Deserialize, Serialize};
+
+/// A small epsilon matching the default of PyTorch's `LayerNorm` (1e-5), used to keep
+/// the ISD finite for (nearly) constant inputs.
+pub const DEFAULT_EPS: f32 = 1e-5;
+
+/// Mean, variance and derived statistics of a vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VectorStats {
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Population variance (divide by N, matching LayerNorm).
+    pub variance: f32,
+    /// Number of elements the statistics were computed from.
+    pub count: usize,
+}
+
+impl VectorStats {
+    /// Computes mean and variance with the numerically robust two-pass algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty; use [`VectorStats::try_compute`] for a fallible
+    /// variant.
+    #[must_use]
+    pub fn compute(values: &[f32]) -> Self {
+        Self::try_compute(values).expect("input slice is empty")
+    }
+
+    /// Fallible version of [`VectorStats::compute`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::EmptyInput`] for an empty slice.
+    pub fn try_compute(values: &[f32]) -> Result<Self, NumericError> {
+        if values.is_empty() {
+            return Err(NumericError::EmptyInput);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+        let variance = values
+            .iter()
+            .map(|&v| {
+                let d = f64::from(v) - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        Ok(Self {
+            mean: mean as f32,
+            variance: variance as f32,
+            count: values.len(),
+        })
+    }
+
+    /// Computes mean and variance with the one-pass `E[x²] − E[x]²` formulation used by
+    /// the input statistics calculator (Eq. 5). Slightly less numerically robust than
+    /// the two-pass algorithm, exactly like the hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::EmptyInput`] for an empty slice.
+    pub fn compute_one_pass(values: &[f32]) -> Result<Self, NumericError> {
+        if values.is_empty() {
+            return Err(NumericError::EmptyInput);
+        }
+        let n = values.len() as f64;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        for &v in values {
+            let v = f64::from(v);
+            sum += v;
+            sum_sq += v * v;
+        }
+        let mean = sum / n;
+        let variance = (sum_sq / n - mean * mean).max(0.0);
+        Ok(Self {
+            mean: mean as f32,
+            variance: variance as f32,
+            count: values.len(),
+        })
+    }
+
+    /// Computes statistics from only the first `n_sub` elements (the paper's
+    /// subsampling: "we simply truncate the first Nsub elements within the input").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidSubsample`] when `n_sub` is zero and
+    /// [`NumericError::EmptyInput`] for an empty slice.
+    pub fn compute_subsampled(values: &[f32], n_sub: usize) -> Result<Self, NumericError> {
+        if values.is_empty() {
+            return Err(NumericError::EmptyInput);
+        }
+        let effective = crate::convert::effective_subsample(n_sub, values.len())?;
+        Self::compute_one_pass(&values[..effective])
+    }
+
+    /// Standard deviation with the given epsilon.
+    #[must_use]
+    pub fn std_dev(&self, eps: f32) -> f32 {
+        (self.variance + eps).sqrt()
+    }
+
+    /// Inverse standard deviation `1/σ` with the given epsilon.
+    #[must_use]
+    pub fn isd(&self, eps: f32) -> f32 {
+        1.0 / self.std_dev(eps)
+    }
+
+    /// Root-mean-square value `sqrt(E[x²])`, the statistic used by RMSNorm.
+    #[must_use]
+    pub fn rms(&self, eps: f32) -> f32 {
+        (self.variance + self.mean * self.mean + eps).sqrt()
+    }
+}
+
+/// Computes the exact ISD of a vector with [`DEFAULT_EPS`].
+///
+/// # Errors
+///
+/// Returns [`NumericError::EmptyInput`] for an empty slice.
+pub fn isd(values: &[f32]) -> Result<f32, NumericError> {
+    Ok(VectorStats::try_compute(values)?.isd(DEFAULT_EPS))
+}
+
+/// Computes the RMS value of a vector with [`DEFAULT_EPS`].
+///
+/// # Errors
+///
+/// Returns [`NumericError::EmptyInput`] for an empty slice.
+pub fn rms(values: &[f32]) -> Result<f32, NumericError> {
+    Ok(VectorStats::try_compute(values)?.rms(DEFAULT_EPS))
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the activation profiler to aggregate ISD statistics over many tokens without
+/// storing them all.
+///
+/// # Example
+///
+/// ```
+/// use haan_numerics::stats::Welford;
+/// let mut acc = Welford::new();
+/// for v in [1.0f32, 2.0, 3.0, 4.0] {
+///     acc.push(v);
+/// }
+/// assert_eq!(acc.count(), 4);
+/// assert!((acc.mean() - 2.5).abs() < 1e-6);
+/// assert!((acc.population_variance() - 1.25).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f32) {
+        self.count += 1;
+        let delta = f64::from(value) - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = f64::from(value) - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Adds every element of a slice.
+    pub fn extend_from_slice(&mut self, values: &[f32]) {
+        for &v in values {
+            self.push(v);
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (zero for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (zero for fewer than one observation).
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (zero for fewer than two observations).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford combination).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+    }
+}
+
+/// Relative error between an approximate and an exact value, `|approx − exact| / |exact|`.
+///
+/// Returns zero when the exact value is zero and the approximation matches it.
+#[must_use]
+pub fn relative_error(approx: f64, exact: f64) -> f64 {
+    if exact == 0.0 {
+        if approx == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ((approx - exact) / exact).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_pass_matches_known_values() {
+        let s = VectorStats::compute(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-6);
+        assert!((s.variance - 1.25).abs() < 1e-6);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(VectorStats::try_compute(&[]).is_err());
+        assert!(VectorStats::compute_one_pass(&[]).is_err());
+        assert!(VectorStats::compute_subsampled(&[], 8).is_err());
+        assert!(isd(&[]).is_err());
+        assert!(rms(&[]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn compute_panics_on_empty() {
+        let _ = VectorStats::compute(&[]);
+    }
+
+    #[test]
+    fn one_pass_matches_two_pass_for_well_conditioned_data() {
+        let xs: Vec<f32> = (0..512).map(|i| ((i * 37) % 101) as f32 / 10.0 - 5.0).collect();
+        let a = VectorStats::compute(&xs);
+        let b = VectorStats::compute_one_pass(&xs).unwrap();
+        assert!((a.mean - b.mean).abs() < 1e-4);
+        assert!((a.variance - b.variance).abs() < 1e-3);
+    }
+
+    #[test]
+    fn subsampled_uses_prefix_only() {
+        let mut xs = vec![1.0f32; 64];
+        for v in xs.iter_mut().skip(32) {
+            *v = 100.0; // the tail should be ignored with n_sub = 32
+        }
+        let s = VectorStats::compute_subsampled(&xs, 32).unwrap();
+        assert!((s.mean - 1.0).abs() < 1e-6);
+        assert!(s.variance.abs() < 1e-6);
+        assert_eq!(s.count, 32);
+        // n_sub larger than the input clamps to the whole input.
+        let s_all = VectorStats::compute_subsampled(&xs, 1024).unwrap();
+        assert_eq!(s_all.count, 64);
+        assert!(VectorStats::compute_subsampled(&xs, 0).is_err());
+    }
+
+    #[test]
+    fn isd_and_rms_relationships() {
+        let xs = [3.0f32, -3.0, 3.0, -3.0];
+        let s = VectorStats::compute(&xs);
+        // Mean 0, variance 9: σ = 3, ISD = 1/3, RMS = 3.
+        assert!((s.isd(0.0) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((s.rms(0.0) - 3.0).abs() < 1e-6);
+        assert!((isd(&xs).unwrap() - 1.0 / 3.0).abs() < 1e-4);
+        assert!((rms(&xs).unwrap() - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn eps_keeps_isd_finite_for_constant_input() {
+        let xs = [2.0f32; 16];
+        let s = VectorStats::compute(&xs);
+        assert!(s.isd(DEFAULT_EPS).is_finite());
+        assert!(s.isd(DEFAULT_EPS) > 100.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f32> = (0..1000).map(|i| (i as f32).sin() * 4.0 + 1.0).collect();
+        let mut acc = Welford::new();
+        acc.extend_from_slice(&xs);
+        let reference = VectorStats::compute(&xs);
+        assert_eq!(acc.count(), 1000);
+        assert!((acc.mean() - f64::from(reference.mean)).abs() < 1e-4);
+        assert!((acc.population_variance() - f64::from(reference.variance)).abs() < 1e-3);
+        assert!(acc.sample_variance() > acc.population_variance());
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f32> = (0..100).map(|i| i as f32 * 0.37 - 5.0).collect();
+        let mut whole = Welford::new();
+        whole.extend_from_slice(&xs);
+
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        left.extend_from_slice(&xs[..37]);
+        right.extend_from_slice(&xs[37..]);
+        left.merge(&right);
+
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.population_variance() - whole.population_variance()).abs() < 1e-9);
+
+        // Merging with an empty accumulator is a no-op in both directions.
+        let mut empty = Welford::new();
+        empty.merge(&whole);
+        assert_eq!(empty.count(), whole.count());
+        let snapshot = whole;
+        let mut whole2 = whole;
+        whole2.merge(&Welford::new());
+        assert_eq!(whole2, snapshot);
+    }
+
+    #[test]
+    fn relative_error_edge_cases() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+        assert!((relative_error(1.1, 1.0) - 0.1).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_variance_is_non_negative(xs in proptest::collection::vec(-100.0f32..100.0, 1..256)) {
+            let s = VectorStats::compute(&xs);
+            prop_assert!(s.variance >= 0.0);
+            prop_assert!(VectorStats::compute_one_pass(&xs).unwrap().variance >= 0.0);
+        }
+
+        #[test]
+        fn prop_one_pass_close_to_two_pass(xs in proptest::collection::vec(-10.0f32..10.0, 2..256)) {
+            let a = VectorStats::compute(&xs);
+            let b = VectorStats::compute_one_pass(&xs).unwrap();
+            prop_assert!((a.mean - b.mean).abs() < 1e-3);
+            prop_assert!((a.variance - b.variance).abs() < 1e-2);
+        }
+
+        #[test]
+        fn prop_subsample_of_full_length_is_exact(xs in proptest::collection::vec(-10.0f32..10.0, 1..128)) {
+            let full = VectorStats::compute_one_pass(&xs).unwrap();
+            let sub = VectorStats::compute_subsampled(&xs, xs.len()).unwrap();
+            prop_assert_eq!(full, sub);
+        }
+
+        #[test]
+        fn prop_welford_merge_associative(
+            xs in proptest::collection::vec(-10.0f32..10.0, 1..64),
+            ys in proptest::collection::vec(-10.0f32..10.0, 1..64),
+        ) {
+            let mut merged = Welford::new();
+            merged.extend_from_slice(&xs);
+            let mut other = Welford::new();
+            other.extend_from_slice(&ys);
+            merged.merge(&other);
+
+            let mut sequential = Welford::new();
+            sequential.extend_from_slice(&xs);
+            sequential.extend_from_slice(&ys);
+
+            prop_assert_eq!(merged.count(), sequential.count());
+            prop_assert!((merged.mean() - sequential.mean()).abs() < 1e-6);
+            prop_assert!((merged.population_variance() - sequential.population_variance()).abs() < 1e-6);
+        }
+    }
+}

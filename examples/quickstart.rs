@@ -1,0 +1,63 @@
+//! Quickstart: calibrate HAAN on a model, attach the resulting skip plan to the HAAN
+//! normalizer, and compare its outputs and telemetry against exact normalization.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use haan::{Calibrator, HaanConfig, HaanNormalizer};
+use haan_llm::norm::ReferenceNormalizer;
+use haan_llm::{ModelConfig, TransformerModel};
+use haan_numerics::Format;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a laptop-scale GPT-2-style model (paper layer structure, shrunk width).
+    let config = ModelConfig::gpt2_117m().scaled_down(64, 128);
+    let model = TransformerModel::new(&config, 2024)?;
+    println!("model: {} with {} normalization layers", config.name, model.num_norm_layers());
+
+    // 2. Calibrate: run a synthetic calibration set, record per-layer log(ISD), and let
+    //    Algorithm 1 pick the skip range and decay coefficient.
+    let outcome = Calibrator::new(16, 24).with_min_gap(6).calibrate_model(&model, 7)?;
+    println!(
+        "Algorithm 1 selected skip range ({}, {}) with decay {:.4} (correlation {:.3})",
+        outcome.plan.start, outcome.plan.end, outcome.plan.decay, outcome.plan.correlation
+    );
+
+    // 3. Build the HAAN normalizer: subsampled statistics, FP16 operands, fast inverse
+    //    square root, plus the calibrated skip plan.
+    let haan_config = HaanConfig::builder()
+        .label("HAAN quickstart")
+        .subsample(32)
+        .format(Format::Fp16)
+        .build();
+    let mut haan = HaanNormalizer::new(haan_config).with_plan(outcome.plan);
+    let mut reference = ReferenceNormalizer::new();
+
+    // 4. Run the same tokens through both normalizers and compare the next-token choice.
+    let tokens = [3u32, 17, 31, 45, 59, 73];
+    let exact = model.logits(&tokens, &mut reference)?;
+    let approx = model.logits(&tokens, &mut haan)?;
+    let last = tokens.len() - 1;
+    let argmax = |row: &[f32]| {
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i)
+            .expect("non-empty row")
+    };
+    println!(
+        "next-token prediction: exact = {}, HAAN = {} ({})",
+        argmax(exact.row(last)),
+        argmax(approx.row(last)),
+        if argmax(exact.row(last)) == argmax(approx.row(last)) { "match" } else { "MISMATCH" }
+    );
+
+    // 5. Inspect what HAAN actually did.
+    let telemetry = haan.telemetry();
+    println!(
+        "telemetry: {} normalization calls, {:.0}% ISDs predicted, {:.0}% of input elements read",
+        telemetry.calls,
+        telemetry.skip_fraction() * 100.0,
+        telemetry.read_fraction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Workspace root of the HAAN reproduction.
+//!
+//! This crate only re-exports the member crates so that the repository-level examples
+//! (`examples/`) and integration tests (`tests/`) can exercise the whole stack through
+//! one dependency. Library users should depend on the individual crates directly:
+//!
+//! * [`haan`] — the HAAN algorithm (ISD skipping, subsampling, quantization).
+//! * [`haan_llm`] — the transformer simulation substrate.
+//! * [`haan_numerics`] — fixed-point / FP16 / fast-inverse-sqrt numerics.
+//! * [`haan_accel`] — the cycle-level accelerator simulator.
+//! * [`haan_baselines`] — DFX / SOLE / MHAA / GPU baselines and the end-to-end model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use haan;
+pub use haan_accel;
+pub use haan_baselines;
+pub use haan_llm;
+pub use haan_numerics;
+
+/// The arXiv identifier of the reproduced paper.
+pub const PAPER_ARXIV_ID: &str = "2502.11832";
+
+/// The paper title.
+pub const PAPER_TITLE: &str =
+    "HAAN: A Holistic Approach for Accelerating Normalization Operations in Large Language Models";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn metadata_is_present() {
+        assert!(super::PAPER_TITLE.contains("HAAN"));
+        assert_eq!(super::PAPER_ARXIV_ID, "2502.11832");
+    }
+}

@@ -1,0 +1,99 @@
+//! Integration tests focused on the hardware side: Table III shape, configuration
+//! sweeps, and the latency levers (subsampling, skipping, `(pd, pn)` balance).
+
+use haan::HaanConfig;
+use haan_accel::power::PowerModel;
+use haan_accel::resources::{paper_table3_resources, DeviceCapacity};
+use haan_accel::{AccelConfig, HaanAccelerator, ResourceEstimate};
+use haan_baselines::{NormEngine, NormWorkload};
+use haan_llm::NormKind;
+use haan_numerics::Format;
+
+#[test]
+fn table3_shape_holds_in_the_models() {
+    let power_model = PowerModel::calibrated();
+    let rows = AccelConfig::table3_rows();
+    let estimate = |label: &str| {
+        let (_, config) = rows.iter().find(|(l, _)| l == label).expect("row exists");
+        (
+            ResourceEstimate::for_config(config),
+            power_model.estimate_full_activity(config).total_w(),
+        )
+    };
+    let (fp32_balanced, fp32_power) = estimate("FP32 (128, 128)");
+    let (fp16_balanced, fp16_power) = estimate("FP16 (128, 128)");
+    let (int8_balanced, int8_power) = estimate("INT8 (256, 256)");
+    let (fp32_small_pd, _) = estimate("FP32 (32, 128)");
+
+    // FP32 costs more power than FP16 (paper: ~1.29x), INT8 costs the least.
+    assert!(fp32_power > fp16_power);
+    assert!(fp16_power > int8_power);
+    // FP16 uses fewer LUTs than FP32 at the same shape.
+    assert!(fp16_balanced.lut < fp32_balanced.lut);
+    // Shrinking pd frees DSPs but costs LUTs.
+    assert!(fp32_small_pd.dsp < fp32_balanced.dsp);
+    assert!(fp32_small_pd.lut > fp32_balanced.lut);
+    // INT8 at twice the lane count still fits in the same DSP budget class.
+    assert!(int8_balanced.dsp <= fp32_balanced.dsp);
+    // Everything fits the U280 comfortably.
+    for (_, config) in &rows {
+        ResourceEstimate::for_config(config)
+            .check_fits(DeviceCapacity::alveo_u280())
+            .expect("fits");
+    }
+    // And the paper's own table is available for comparison output.
+    assert_eq!(paper_table3_resources().len(), 6);
+}
+
+#[test]
+fn subsampling_and_skipping_reduce_latency_or_energy() {
+    let workload = NormWorkload::opt_2_7b(256);
+
+    let unoptimized = HaanAccelerator::new(AccelConfig::haan_v1(), HaanConfig::unoptimized());
+    let subsampled = HaanAccelerator::new(
+        AccelConfig::haan_v1(),
+        HaanConfig::builder().subsample(1280).format(Format::Fp16).build(),
+    );
+    let full_report = unoptimized.workload(2560, 65, 256, NormKind::LayerNorm);
+    let sub_report = subsampled.workload(2560, 65, 256, NormKind::LayerNorm);
+
+    // With (128,128) the normalization units bound the throughput, so subsampling shows
+    // up as an energy/power win rather than a latency win.
+    assert!(sub_report.average_power_w < full_report.average_power_w);
+    assert!(sub_report.latency_us <= full_report.latency_us);
+    assert!(sub_report.energy_uj < full_report.energy_uj);
+
+    // The latency lever: reallocating parallelism (HAAN-v2-style) under subsampling.
+    let v2 = HaanAccelerator::new(
+        AccelConfig::haan_v2(),
+        HaanConfig::builder().subsample(1280).format(Format::Fp16).build(),
+    );
+    let v2_report = v2.workload(2560, 65, 256, NormKind::LayerNorm);
+    assert!(v2_report.latency_us < full_report.latency_us);
+
+    let _ = workload;
+}
+
+#[test]
+fn engine_trait_reports_consistent_units() {
+    let accel = HaanAccelerator::new(AccelConfig::haan_v3(), HaanConfig::opt_2_7b_paper());
+    let workload = NormWorkload::opt_2_7b(128);
+    let latency = accel.latency_us(&workload);
+    let power = accel.power_w(&workload);
+    let energy = accel.energy_uj(&workload);
+    assert!(latency > 0.0 && power > 0.0);
+    assert!((energy - latency * power).abs() < 1e-6);
+
+    // Longer sequences take proportionally longer (same per-vector interval).
+    let long = accel.latency_us(&NormWorkload::opt_2_7b(1024));
+    assert!(long > 5.0 * latency && long < 12.0 * latency);
+}
+
+#[test]
+fn haan_configurations_are_validated_against_models() {
+    // The paper presets only make sense on models with enough normalization layers.
+    assert!(HaanConfig::gpt2_1_5b_paper().validate(97).is_ok());
+    assert!(HaanConfig::gpt2_1_5b_paper().validate(25).is_err());
+    assert!(HaanConfig::llama_7b_paper().validate(65).is_ok());
+    assert!(HaanConfig::opt_2_7b_paper().validate(65).is_ok());
+}

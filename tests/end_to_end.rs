@@ -1,0 +1,187 @@
+//! Cross-crate integration tests: calibration → HAAN normalization → accuracy, and the
+//! accelerator / baseline comparisons the paper's evaluation rests on.
+
+use haan::evaluate::{degradation, AccuracyEvaluator};
+use haan::{Calibrator, HaanConfig, HaanNormalizer, SkipPlan};
+use haan_accel::{AccelConfig, HaanAccelerator};
+use haan_baselines::{DfxEngine, EndToEndModel, GpuNormEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine};
+use haan_llm::norm::{Normalizer, ReferenceNormalizer};
+use haan_llm::runtime::{GpuRuntimeModel, OptimizationConfig};
+use haan_llm::synthetic::IsdProfileModel;
+use haan_llm::tasks::TaskSpec;
+use haan_llm::{ModelConfig, NormKind, TransformerModel};
+use haan_numerics::Format;
+
+fn tiny_model() -> TransformerModel {
+    TransformerModel::new(&ModelConfig::tiny_test(), 7).expect("valid test model")
+}
+
+#[test]
+fn calibrated_haan_normalizer_preserves_model_predictions() {
+    let model = tiny_model();
+    let outcome = Calibrator::new(8, 8)
+        .with_min_gap(3)
+        .with_excluded_tail(1)
+        .calibrate_model(&model, 3)
+        .expect("calibration succeeds");
+
+    let config = HaanConfig::builder()
+        .label("integration")
+        .subsample(24)
+        .format(Format::Fp16)
+        .build();
+    let mut haan = HaanNormalizer::new(config).with_plan(outcome.plan);
+    let mut reference = ReferenceNormalizer::new();
+
+    let mut matches = 0;
+    let trials = 10;
+    for seed in 0..trials {
+        let tokens: Vec<u32> = (0..6).map(|i| ((seed * 11 + i * 7) % 64) as u32).collect();
+        let exact = model.logits(&tokens, &mut reference).expect("exact forward");
+        let approx = model.logits(&tokens, &mut haan).expect("haan forward");
+        let last = tokens.len() - 1;
+        let argmax = |row: &[f32]| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("non-empty")
+        };
+        if argmax(exact.row(last)) == argmax(approx.row(last)) {
+            matches += 1;
+        }
+        // Independently of arg-max flips (an untrained 32-wide model has near-tied
+        // logits), the logit vectors themselves must stay strongly aligned.
+        let (mut dot, mut na, mut nb) = (0.0f64, 0.0f64, 0.0f64);
+        for (a, b) in exact.row(last).iter().zip(approx.row(last)) {
+            dot += f64::from(*a) * f64::from(*b);
+            na += f64::from(*a) * f64::from(*a);
+            nb += f64::from(*b) * f64::from(*b);
+        }
+        let cosine = dot / (na.sqrt() * nb.sqrt());
+        assert!(cosine > 0.88, "logit cosine similarity dropped to {cosine}");
+    }
+    assert!(matches >= 5, "only {matches}/{trials} predictions preserved");
+    assert!(haan.telemetry().calls > 0);
+}
+
+#[test]
+fn table1_style_degradation_is_small_for_good_configs() {
+    let model = tiny_model();
+    let specs: Vec<TaskSpec> = TaskSpec::paper_suites(6, 3)
+        .into_iter()
+        .map(|mut s| {
+            s.prompt_len = 6;
+            s.choice_len = 3;
+            s
+        })
+        .collect();
+    let evaluator = AccuracyEvaluator::with_specs(&model, &specs).expect("suites");
+    let original = evaluator.evaluate_original(&model).expect("original row");
+    let config = HaanConfig::builder().label("HAAN").subsample(16).format(Format::Int8).build();
+    let haan = evaluator.evaluate_haan(&model, &config, None).expect("haan row");
+    let mean_drop: f64 = degradation(&original, &haan)
+        .iter()
+        .map(|(_, d)| d)
+        .sum::<f64>()
+        / 5.0;
+    assert!(mean_drop.abs() < 0.25, "mean degradation {mean_drop}");
+}
+
+#[test]
+fn accelerator_and_software_normalizer_agree_functionally() {
+    // The accelerator's fixed-point datapath and the software HAAN normalizer must agree
+    // on the normalized output to within quantization error.
+    let algorithm = HaanConfig::builder().subsample(64).format(Format::Fp16).build();
+    let mut accel = HaanAccelerator::new(AccelConfig::haan_v1(), algorithm.clone());
+    let mut software = HaanNormalizer::new(algorithm);
+
+    let z: Vec<f32> = (0..256).map(|i| ((i * 37) % 101) as f32 / 20.0 - 2.5).collect();
+    let gamma = vec![1.0f32; 256];
+    let beta = vec![0.0f32; 256];
+
+    let hardware_out = accel
+        .normalize_layer(&[z.clone()], &gamma, &beta, NormKind::LayerNorm, 0)
+        .expect("hardware run");
+    let software_out = software.normalize(
+        haan_llm::norm::NormSite {
+            layer_index: 0,
+            kind: NormKind::LayerNorm,
+        },
+        &z,
+        &gamma,
+        &beta,
+    );
+    let max_diff = hardware_out.outputs[0]
+        .iter()
+        .zip(&software_out)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_diff < 0.05, "hardware/software divergence {max_diff}");
+}
+
+#[test]
+fn calibration_on_paper_scale_profiles_matches_paper_ranges() {
+    // LLaMA-7B synthetic profile: the selected range must live in the deep half of the
+    // model and have a strongly negative correlation, as the paper's (50, 60) does.
+    let outcome = Calibrator::paper_default()
+        .calibrate_profile_model(&IsdProfileModel::llama_7b(), 99)
+        .expect("calibration");
+    assert!(outcome.plan.start >= 65 / 2 - 10);
+    assert!(outcome.plan.correlation < -0.99);
+    // The plan translated into an accelerator reduces the workload's statistics energy.
+    let haan_cfg = HaanConfig::llama_7b_paper();
+    let with_plan = HaanAccelerator::new(AccelConfig::haan_v1(), haan_cfg.clone()).with_plan(outcome.plan);
+    let skipped = with_plan.workload(4096, 65, 128, NormKind::RmsNorm).skipped_layers;
+    assert!(skipped >= 10);
+}
+
+#[test]
+fn baseline_ordering_matches_figure9() {
+    let algorithm = HaanConfig::builder().subsample(800).format(Format::Fp16).build();
+    let plan = SkipPlan {
+        start: 85,
+        end: 95,
+        decay: -0.035,
+        correlation: -0.999,
+        calibration_anchor_log_isd: -1.5,
+    };
+    let haan = HaanAccelerator::new(AccelConfig::haan_v1(), algorithm).with_plan(plan);
+    let workload = NormWorkload::gpt2_1_5b(512);
+
+    let haan_latency = haan.latency_us(&workload);
+    let sole = SoleEngine::default().latency_us(&workload);
+    let mhaa = MhaaEngine::default().latency_us(&workload);
+    let dfx = DfxEngine::default().latency_us(&workload);
+    let gpu = GpuNormEngine::a100().latency_us(&workload);
+
+    // Ordering: HAAN < SOLE < MHAA < GPU ≈ DFX, as in Fig. 9.
+    assert!(haan_latency < sole);
+    assert!(sole < mhaa);
+    assert!(mhaa < gpu);
+    assert!(mhaa < dfx);
+    // Rough factors: SOLE within ~2x, MHAA ~2-4x, DFX/GPU ~5-20x.
+    assert!(sole / haan_latency < 2.0);
+    assert!(mhaa / haan_latency > 1.5 && mhaa / haan_latency < 4.0);
+    assert!(dfx / haan_latency > 5.0);
+    assert!(gpu / haan_latency > 5.0);
+
+    // Power: HAAN draws less than every baseline, and much less than DFX (>60% less).
+    let haan_power = haan.power_w(&workload);
+    assert!(haan_power < SoleEngine::default().power_w(&workload));
+    assert!(haan_power < MhaaEngine::default().power_w(&workload));
+    assert!(haan_power < 0.45 * DfxEngine::default().power_w(&workload));
+}
+
+#[test]
+fn fig1b_and_e2e_claims_hold_in_the_models() {
+    // Fig. 1(b): normalization becomes the dominant non-matmul cost after optimization.
+    let gpu = GpuRuntimeModel::a100();
+    let breakdown = gpu.breakdown(&ModelConfig::gpt2_117m(), 2048, OptimizationConfig::optimized());
+    assert!(breakdown.fractions()[2] > 0.30);
+
+    // Section V-B: a ~10x normalization speedup on a host whose norm share is ~12% gives
+    // about 1.11x end to end.
+    let e2e = EndToEndModel::gpt2_355m_host().end_to_end_speedup(10.0);
+    assert!(e2e > 1.08 && e2e < 1.14);
+}
