@@ -11,10 +11,9 @@ use crate::resources::{DeviceCapacity, ResourceEstimate};
 use crate::sqrt_inv::SquareRootInverter;
 use haan::{HaanConfig, SkipPlan};
 use haan_llm::NormKind;
-use serde::{Deserialize, Serialize};
 
 /// Result of running one normalization layer over a batch of token vectors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerRun {
     /// Normalized outputs, one per input token vector.
     pub outputs: Vec<Vec<f32>>,
@@ -26,7 +25,7 @@ pub struct LayerRun {
 
 /// Timing / energy summary of a whole normalization workload (all layers of a model at
 /// a given sequence length).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadReport {
     /// Total cycles across all normalization layers.
     pub total_cycles: u64,
@@ -47,12 +46,11 @@ pub struct WorkloadReport {
 }
 
 /// The HAAN accelerator instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HaanAccelerator {
     config: AccelConfig,
     algorithm: HaanConfig,
     plan: Option<SkipPlan>,
-    #[serde(skip)]
     anchor_isd: Vec<Option<f32>>,
 }
 
@@ -133,7 +131,12 @@ impl HaanAccelerator {
 
     /// Per-vector stage timing for a (non-)skipped layer of the given width.
     #[must_use]
-    pub fn layer_stage_timing(&self, embedding_dim: usize, skipped: bool, kind: NormKind) -> StageTiming {
+    pub fn layer_stage_timing(
+        &self,
+        embedding_dim: usize,
+        skipped: bool,
+        kind: NormKind,
+    ) -> StageTiming {
         let isc = InputStatisticsCalculator::new(&self.config);
         let sri = SquareRootInverter::new(&self.config);
         let nu = NormalizationUnit::new(&self.config);
@@ -242,7 +245,13 @@ impl HaanAccelerator {
     /// Timing / power / energy estimate for the full normalization workload of a model:
     /// `num_norm_layers` layers of width `embedding_dim` over `seq_len` token vectors.
     #[must_use]
-    pub fn workload(&self, embedding_dim: usize, num_norm_layers: usize, seq_len: usize, kind: NormKind) -> WorkloadReport {
+    pub fn workload(
+        &self,
+        embedding_dim: usize,
+        num_norm_layers: usize,
+        seq_len: usize,
+        kind: NormKind,
+    ) -> WorkloadReport {
         let skipped_layers = self
             .plan
             .as_ref()
@@ -268,8 +277,8 @@ impl HaanAccelerator {
         // initiation interval; skipped RMSNorm layers idle the statistics path entirely.
         let interval = normal_stages.bottleneck().max(1) as f64;
         let stats_activity_normal = normal_stages.isc as f64 / interval;
-        let stats_activity_skipped = skipped_stages.isc as f64
-            / skipped_stages.bottleneck().max(1) as f64;
+        let stats_activity_skipped =
+            skipped_stages.isc as f64 / skipped_stages.bottleneck().max(1) as f64;
         let layer_weight = |count: usize| count as f64 / num_norm_layers.max(1) as f64;
         let stats_activity = stats_activity_normal * layer_weight(normal_layers)
             + stats_activity_skipped * layer_weight(skipped_layers);
@@ -363,7 +372,10 @@ mod tests {
         let full = HaanAccelerator::new(AccelConfig::haan_v1(), HaanConfig::unoptimized());
         let sub = HaanAccelerator::new(
             AccelConfig::haan_v1(),
-            HaanConfig::builder().subsample(800).format(haan_numerics::Format::Fp16).build(),
+            HaanConfig::builder()
+                .subsample(800)
+                .format(haan_numerics::Format::Fp16)
+                .build(),
         );
         let full_timing = full.layer_stage_timing(1600, false, NormKind::LayerNorm);
         let sub_timing = sub.layer_stage_timing(1600, false, NormKind::LayerNorm);
@@ -405,7 +417,12 @@ mod tests {
         let v2 = HaanAccelerator::new(AccelConfig::haan_v2(), algorithm);
         let t1 = v1.layer_stage_timing(1600, false, NormKind::LayerNorm);
         let t2 = v2.layer_stage_timing(1600, false, NormKind::LayerNorm);
-        assert!(t2.balance() > t1.balance(), "{} vs {}", t2.balance(), t1.balance());
+        assert!(
+            t2.balance() > t1.balance(),
+            "{} vs {}",
+            t2.balance(),
+            t1.balance()
+        );
     }
 
     #[test]
@@ -444,8 +461,8 @@ mod tests {
             correlation: -1.0,
             calibration_anchor_log_isd: 0.0,
         };
-        let accel =
-            HaanAccelerator::new(AccelConfig::haan_v1(), HaanConfig::llama_7b_paper()).with_plan(plan);
+        let accel = HaanAccelerator::new(AccelConfig::haan_v1(), HaanConfig::llama_7b_paper())
+            .with_plan(plan);
         let timing = accel.layer_stage_timing(4096, true, NormKind::RmsNorm);
         assert_eq!(timing.isc, 1);
         let normal = accel.layer_stage_timing(4096, false, NormKind::RmsNorm);

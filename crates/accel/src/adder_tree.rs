@@ -1,13 +1,12 @@
 //! Adder trees used by the input statistics calculator (Fig. 4).
 
 use haan_numerics::{Fixed, QFormat};
-use serde::{Deserialize, Serialize};
 
 /// A binary adder tree reducing `width` fixed-point inputs per invocation.
 ///
 /// The latency is `ceil(log2(width))` pipeline stages; the functional result is the
 /// saturating fixed-point sum.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdderTree {
     width: usize,
     format: QFormat,

@@ -2,14 +2,13 @@
 
 use crate::error::AccelError;
 use haan_numerics::{Format, QFormat};
-use serde::{Deserialize, Serialize};
 
 /// Static configuration of one HAAN accelerator instance.
 ///
 /// `pd` is the input width (elements per cycle) of the input statistics calculator and
 /// `pn` the width of the normalization units, matching the paper's notation. The
 /// accelerator runs at 100 MHz on the Alveo U280.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccelConfig {
     /// Parallelism of the input statistics calculator (elements per cycle).
     pub pd: usize,
@@ -139,9 +138,18 @@ mod tests {
 
     #[test]
     fn paper_variants() {
-        assert_eq!((AccelConfig::haan_v1().pd, AccelConfig::haan_v1().pn), (128, 128));
-        assert_eq!((AccelConfig::haan_v2().pd, AccelConfig::haan_v2().pn), (80, 160));
-        assert_eq!((AccelConfig::haan_v3().pd, AccelConfig::haan_v3().pn), (64, 128));
+        assert_eq!(
+            (AccelConfig::haan_v1().pd, AccelConfig::haan_v1().pn),
+            (128, 128)
+        );
+        assert_eq!(
+            (AccelConfig::haan_v2().pd, AccelConfig::haan_v2().pn),
+            (80, 160)
+        );
+        assert_eq!(
+            (AccelConfig::haan_v3().pd, AccelConfig::haan_v3().pn),
+            (64, 128)
+        );
         assert_eq!(AccelConfig::haan_v1().format, Format::Fp16);
         assert_eq!(AccelConfig::haan_v1().clock_mhz, 100.0);
         assert_eq!(AccelConfig::default(), AccelConfig::haan_v1());
@@ -151,8 +159,12 @@ mod tests {
     fn table3_rows_cover_all_formats() {
         let rows = AccelConfig::table3_rows();
         assert_eq!(rows.len(), 6);
-        assert!(rows.iter().any(|(label, c)| label.contains("FP32") && c.pd == 128));
-        assert!(rows.iter().any(|(label, c)| label.contains("INT8") && c.pn == 512));
+        assert!(rows
+            .iter()
+            .any(|(label, c)| label.contains("FP32") && c.pd == 128));
+        assert!(rows
+            .iter()
+            .any(|(label, c)| label.contains("INT8") && c.pn == 512));
         for (_, config) in &rows {
             assert!(config.validate().is_ok());
         }

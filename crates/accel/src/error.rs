@@ -70,13 +70,18 @@ mod tests {
         };
         assert!(err.to_string().contains("DSP"));
         assert!(err.to_string().contains("9024"));
-        assert!(AccelError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(AccelError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
         assert!(matches!(
             AccelError::from(haan_numerics::NumericError::EmptyInput),
             AccelError::Numeric(_)
         ));
         let haan_err = haan::HaanError::InvalidConfig("bad".into());
-        assert!(matches!(AccelError::from(haan_err), AccelError::Algorithm(_)));
+        assert!(matches!(
+            AccelError::from(haan_err),
+            AccelError::Algorithm(_)
+        ));
     }
 
     #[test]

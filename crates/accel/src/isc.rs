@@ -12,10 +12,9 @@ use crate::adder_tree::AdderTree;
 use crate::config::AccelConfig;
 use crate::error::AccelError;
 use haan_numerics::{FpToFx, QFormat};
-use serde::{Deserialize, Serialize};
 
 /// Functional + timing result of one statistics computation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IscResult {
     /// Mean of the processed elements (fixed-point rounded).
     pub mean: f32,
@@ -30,7 +29,7 @@ pub struct IscResult {
 }
 
 /// The input statistics calculator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InputStatisticsCalculator {
     pd: usize,
     converter: FpToFx,
@@ -66,7 +65,12 @@ impl InputStatisticsCalculator {
     /// # Errors
     ///
     /// Returns [`AccelError::InvalidWorkload`] when `z` is empty or `n_used` is zero.
-    pub fn compute(&self, z: &[f32], n_used: usize, mean_only: bool) -> Result<IscResult, AccelError> {
+    pub fn compute(
+        &self,
+        z: &[f32],
+        n_used: usize,
+        mean_only: bool,
+    ) -> Result<IscResult, AccelError> {
         if z.is_empty() || n_used == 0 {
             return Err(AccelError::InvalidWorkload(
                 "the statistics calculator needs at least one element".to_string(),
@@ -155,7 +159,9 @@ mod tests {
     #[test]
     fn matches_reference_statistics() {
         let isc = unit(128);
-        let z: Vec<f32> = (0..512).map(|i| ((i * 13) % 37) as f32 / 7.0 - 2.0).collect();
+        let z: Vec<f32> = (0..512)
+            .map(|i| ((i * 13) % 37) as f32 / 7.0 - 2.0)
+            .collect();
         let result = isc.compute(&z, 512, false).unwrap();
         let reference = VectorStats::compute(&z);
         assert!((result.mean - reference.mean).abs() < 1e-2);

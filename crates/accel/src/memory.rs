@@ -5,10 +5,9 @@
 //! cycle. In subsampling mode only the initial entries of each vector are accessed.
 
 use crate::error::AccelError;
-use serde::{Deserialize, Serialize};
 
 /// The flattened, chunked memory image of one input tensor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryLayout {
     rows: usize,
     cols: usize,
@@ -17,7 +16,7 @@ pub struct MemoryLayout {
 }
 
 /// Statistics of one simulated access pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessStats {
     /// Number of memory entries read.
     pub entries_read: u64,
@@ -44,7 +43,9 @@ impl MemoryLayout {
         };
         let cols = first.len();
         if cols == 0 {
-            return Err(AccelError::InvalidWorkload("rows have zero width".to_string()));
+            return Err(AccelError::InvalidWorkload(
+                "rows have zero width".to_string(),
+            ));
         }
         let mut data = Vec::with_capacity(rows.len() * cols);
         for row in rows {

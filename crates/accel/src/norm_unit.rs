@@ -9,10 +9,9 @@ use crate::config::AccelConfig;
 use crate::error::AccelError;
 use haan_llm::NormKind;
 use haan_numerics::{Format, FxToFp};
-use serde::{Deserialize, Serialize};
 
 /// Functional + timing result of normalizing one vector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NormUnitResult {
     /// The normalized output (in the external format's precision).
     pub output: Vec<f32>,
@@ -23,7 +22,7 @@ pub struct NormUnitResult {
 }
 
 /// The normalization unit array.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NormalizationUnit {
     pn: usize,
     format: Format,
@@ -133,7 +132,14 @@ mod tests {
         let gamma = vec![1.0f32; 256];
         let beta = vec![0.0f32; 256];
         let result = nu
-            .normalize(&z, stats.mean, stats.isd(1e-5), &gamma, &beta, NormKind::LayerNorm)
+            .normalize(
+                &z,
+                stats.mean,
+                stats.isd(1e-5),
+                &gamma,
+                &beta,
+                NormKind::LayerNorm,
+            )
             .unwrap();
         let out_stats = VectorStats::compute(&result.output);
         assert!(out_stats.mean.abs() < 1e-4);
@@ -198,7 +204,14 @@ mod tests {
             .normalize(&[], 0.0, 1.0, &[], &[], NormKind::LayerNorm)
             .is_err());
         assert!(nu
-            .normalize(&[1.0, 2.0], 0.0, 1.0, &[1.0], &[0.0, 0.0], NormKind::LayerNorm)
+            .normalize(
+                &[1.0, 2.0],
+                0.0,
+                1.0,
+                &[1.0],
+                &[0.0, 0.0],
+                NormKind::LayerNorm
+            )
             .is_err());
     }
 

@@ -7,10 +7,8 @@
 //! balance the stages ("the time of the different stages of the pipeline is evenly
 //! distributed").
 
-use serde::{Deserialize, Serialize};
-
 /// Per-vector cycle counts of the three pipeline stages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageTiming {
     /// Input statistics calculator cycles per vector (throughput-limiting part).
     pub isc: u64,
@@ -47,7 +45,7 @@ impl StageTiming {
 }
 
 /// Timing of one pipelined run over a batch of vectors.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineReport {
     /// Number of vectors processed.
     pub vectors: u64,
@@ -98,7 +96,11 @@ mod tests {
 
     #[test]
     fn single_vector_latency_is_the_fill_time() {
-        let stages = StageTiming { isc: 10, sqrt_inv: 6, norm: 13 };
+        let stages = StageTiming {
+            isc: 10,
+            sqrt_inv: 6,
+            norm: 13,
+        };
         let report = pipeline_latency(stages, 1, 1);
         assert_eq!(report.total_cycles, 29);
         assert_eq!(report.initiation_interval, 13);
@@ -107,7 +109,11 @@ mod tests {
 
     #[test]
     fn steady_state_throughput_is_set_by_the_bottleneck() {
-        let stages = StageTiming { isc: 10, sqrt_inv: 6, norm: 13 };
+        let stages = StageTiming {
+            isc: 10,
+            sqrt_inv: 6,
+            norm: 13,
+        };
         let report = pipeline_latency(stages, 101, 1);
         assert_eq!(report.total_cycles, 29 + 100 * 13);
         // Average cycles per vector approaches the bottleneck for long batches.
@@ -116,27 +122,54 @@ mod tests {
 
     #[test]
     fn balanced_stages_score_one() {
-        let balanced = StageTiming { isc: 8, sqrt_inv: 8, norm: 8 };
+        let balanced = StageTiming {
+            isc: 8,
+            sqrt_inv: 8,
+            norm: 8,
+        };
         assert!((balanced.balance() - 1.0).abs() < 1e-12);
-        let skewed = StageTiming { isc: 2, sqrt_inv: 2, norm: 20 };
+        let skewed = StageTiming {
+            isc: 2,
+            sqrt_inv: 2,
+            norm: 20,
+        };
         assert!(skewed.balance() < 0.5);
-        assert_eq!(StageTiming { isc: 0, sqrt_inv: 0, norm: 0 }.balance(), 1.0);
+        assert_eq!(
+            StageTiming {
+                isc: 0,
+                sqrt_inv: 0,
+                norm: 0
+            }
+            .balance(),
+            1.0
+        );
     }
 
     #[test]
     fn multiple_pipelines_divide_the_batch() {
-        let stages = StageTiming { isc: 5, sqrt_inv: 5, norm: 5 };
+        let stages = StageTiming {
+            isc: 5,
+            sqrt_inv: 5,
+            norm: 5,
+        };
         let single = pipeline_latency(stages, 100, 1);
         let dual = pipeline_latency(stages, 100, 2);
         assert!(dual.total_cycles < single.total_cycles);
         assert_eq!(dual.total_cycles, 15 + 49 * 5);
         // Zero pipelines is clamped to one.
-        assert_eq!(pipeline_latency(stages, 10, 0).total_cycles, pipeline_latency(stages, 10, 1).total_cycles);
+        assert_eq!(
+            pipeline_latency(stages, 10, 0).total_cycles,
+            pipeline_latency(stages, 10, 1).total_cycles
+        );
     }
 
     #[test]
     fn zero_vectors_take_zero_cycles() {
-        let stages = StageTiming { isc: 5, sqrt_inv: 5, norm: 5 };
+        let stages = StageTiming {
+            isc: 5,
+            sqrt_inv: 5,
+            norm: 5,
+        };
         let report = pipeline_latency(stages, 0, 1);
         assert_eq!(report.total_cycles, 0);
         assert_eq!(report.cycles_per_vector(), 0.0);

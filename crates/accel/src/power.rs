@@ -10,10 +10,9 @@
 use crate::config::AccelConfig;
 use crate::resources::ResourceEstimate;
 use haan_numerics::Format;
-use serde::{Deserialize, Serialize};
 
 /// A power estimate in watts, split into components.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerEstimate {
     /// Static (board + shell) power.
     pub static_w: f64,
@@ -34,7 +33,7 @@ impl PowerEstimate {
 }
 
 /// The power model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Static power in watts.
     pub static_w: f64,
@@ -88,7 +87,10 @@ impl PowerModel {
             static_w: self.static_w,
             statistics_w: dsp_power * stats_share * stats_activity.clamp(0.0, 1.0),
             normalization_w: dsp_power * norm_share * norm_activity.clamp(0.0, 1.0),
-            fabric_w: fabric_power * norm_activity.clamp(0.0, 1.0).max(stats_activity.clamp(0.0, 1.0)),
+            fabric_w: fabric_power
+                * norm_activity
+                    .clamp(0.0, 1.0)
+                    .max(stats_activity.clamp(0.0, 1.0)),
         }
     }
 
@@ -142,7 +144,10 @@ mod tests {
             }
             let estimate = model.estimate_full_activity(config).total_w();
             let err = (estimate - paper_power).abs() / paper_power;
-            assert!(err < 0.25, "{label}: model {estimate:.3} W vs paper {paper_power} W");
+            assert!(
+                err < 0.25,
+                "{label}: model {estimate:.3} W vs paper {paper_power} W"
+            );
         }
     }
 

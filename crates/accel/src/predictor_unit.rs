@@ -6,10 +6,9 @@
 //! floating-point IP core; its hardware cost is negligible).
 
 use haan::SkipPlan;
-use serde::{Deserialize, Serialize};
 
 /// Functional + timing result of one ISD prediction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictionResult {
     /// The predicted ISD.
     pub isd: f32,
@@ -18,7 +17,7 @@ pub struct PredictionResult {
 }
 
 /// The ISD predictor unit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IsdPredictorUnit {
     plan: SkipPlan,
 }

@@ -10,10 +10,9 @@
 use crate::config::AccelConfig;
 use crate::error::AccelError;
 use haan_numerics::Format;
-use serde::{Deserialize, Serialize};
 
 /// Resource capacities of the Xilinx Alveo U280 (the paper's target board).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeviceCapacity {
     /// Available LUTs.
     pub lut: u64,
@@ -36,7 +35,7 @@ impl DeviceCapacity {
 }
 
 /// Estimated resource usage of one accelerator configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResourceEstimate {
     /// LUTs used.
     pub lut: u64,
@@ -123,12 +122,60 @@ impl ResourceEstimate {
 #[must_use]
 pub fn paper_table3_resources() -> Vec<(String, ResourceEstimate, f64)> {
     vec![
-        ("FP32 (128, 128)".to_string(), ResourceEstimate { lut: 84_000, ff: 17_000, dsp: 1536 }, 6.362),
-        ("FP32 (32, 128)".to_string(), ResourceEstimate { lut: 99_000, ff: 21_000, dsp: 1036 }, 6.136),
-        ("FP16 (128, 128)".to_string(), ResourceEstimate { lut: 55_000, ff: 11_000, dsp: 1536 }, 4.868),
-        ("FP16 (32, 128)".to_string(), ResourceEstimate { lut: 76_000, ff: 15_000, dsp: 1036 }, 4.790),
-        ("INT8 (256, 256)".to_string(), ResourceEstimate { lut: 58_000, ff: 21_000, dsp: 1536 }, 3.458),
-        ("INT8 (32, 512)".to_string(), ResourceEstimate { lut: 86_000, ff: 25_000, dsp: 1025 }, 6.382),
+        (
+            "FP32 (128, 128)".to_string(),
+            ResourceEstimate {
+                lut: 84_000,
+                ff: 17_000,
+                dsp: 1536,
+            },
+            6.362,
+        ),
+        (
+            "FP32 (32, 128)".to_string(),
+            ResourceEstimate {
+                lut: 99_000,
+                ff: 21_000,
+                dsp: 1036,
+            },
+            6.136,
+        ),
+        (
+            "FP16 (128, 128)".to_string(),
+            ResourceEstimate {
+                lut: 55_000,
+                ff: 11_000,
+                dsp: 1536,
+            },
+            4.868,
+        ),
+        (
+            "FP16 (32, 128)".to_string(),
+            ResourceEstimate {
+                lut: 76_000,
+                ff: 15_000,
+                dsp: 1036,
+            },
+            4.790,
+        ),
+        (
+            "INT8 (256, 256)".to_string(),
+            ResourceEstimate {
+                lut: 58_000,
+                ff: 21_000,
+                dsp: 1536,
+            },
+            3.458,
+        ),
+        (
+            "INT8 (32, 512)".to_string(),
+            ResourceEstimate {
+                lut: 86_000,
+                ff: 25_000,
+                dsp: 1025,
+            },
+            6.382,
+        ),
     ]
 }
 
@@ -146,8 +193,18 @@ mod tests {
             let model = ResourceEstimate::for_config(config);
             let lut_err = (model.lut as f64 - paper_est.lut as f64).abs() / paper_est.lut as f64;
             let dsp_err = (model.dsp as f64 - paper_est.dsp as f64).abs() / paper_est.dsp as f64;
-            assert!(lut_err < 0.15, "{label}: LUT {} vs paper {}", model.lut, paper_est.lut);
-            assert!(dsp_err < 0.20, "{label}: DSP {} vs paper {}", model.dsp, paper_est.dsp);
+            assert!(
+                lut_err < 0.15,
+                "{label}: LUT {} vs paper {}",
+                model.lut,
+                paper_est.lut
+            );
+            assert!(
+                dsp_err < 0.20,
+                "{label}: DSP {} vs paper {}",
+                model.dsp,
+                paper_est.dsp
+            );
         }
     }
 

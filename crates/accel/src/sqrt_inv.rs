@@ -9,10 +9,9 @@ use crate::config::AccelConfig;
 use crate::error::AccelError;
 use haan_numerics::invsqrt::{fast_inv_sqrt, newton_refine, InvSqrtUnit};
 use haan_numerics::stats::DEFAULT_EPS;
-use serde::{Deserialize, Serialize};
 
 /// Functional + timing result of one inverse-square-root computation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SqrtInvResult {
     /// The produced inverse standard deviation.
     pub isd: f32,
@@ -23,7 +22,7 @@ pub struct SqrtInvResult {
 }
 
 /// The square root inverter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SquareRootInverter {
     newton_iterations: u32,
     eps: f32,

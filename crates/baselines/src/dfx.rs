@@ -8,13 +8,12 @@
 //! published end-to-end numbers; this model reproduces that behaviour structurally.
 
 use crate::engine::{NormEngine, NormWorkload};
-use haan_accel::{AccelConfig, PowerEstimate};
 use haan_accel::power::PowerModel;
+use haan_accel::{AccelConfig, PowerEstimate};
 use haan_numerics::Format;
-use serde::{Deserialize, Serialize};
 
 /// The DFX LayerNorm engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DfxEngine {
     /// Vector-lane count of the engine.
     pub lanes: usize,

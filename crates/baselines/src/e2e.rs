@@ -6,10 +6,8 @@
 //! untouched this is an Amdahl composition: only the normalization share of the total
 //! runtime is accelerated.
 
-use serde::{Deserialize, Serialize};
-
 /// The end-to-end composition model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EndToEndModel {
     /// Fraction of the host accelerator's end-to-end runtime spent in normalization at
     /// the reference sequence length.

@@ -2,11 +2,10 @@
 
 use haan_accel::HaanAccelerator;
 use haan_llm::NormKind;
-use serde::{Deserialize, Serialize};
 
 /// A normalization workload: every normalization layer of one model at one sequence
 /// length.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NormWorkload {
     /// Embedding width of the normalization inputs.
     pub embedding_dim: usize,
@@ -109,7 +108,7 @@ impl NormEngine for HaanAccelerator {
 
 /// One engine's normalized latency/power against a reference engine (the figures
 /// normalize everything to HAAN-v1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineComparison {
     /// Engine name.
     pub engine: String,

@@ -8,10 +8,9 @@
 //! Figs. 8(b) and 9.
 
 use crate::engine::{NormEngine, NormWorkload};
-use serde::{Deserialize, Serialize};
 
 /// The GPU LayerNorm/RMSNorm baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuNormEngine {
     /// Effective normalization throughput in elements per second (framework-level).
     pub effective_elems_per_sec: f64,
@@ -87,7 +86,8 @@ mod tests {
     fn consumer_gpu_is_slower_than_a100() {
         let workload = NormWorkload::opt_2_7b(512);
         assert!(
-            GpuNormEngine::rtx3090().latency_us(&workload) > GpuNormEngine::a100().latency_us(&workload)
+            GpuNormEngine::rtx3090().latency_us(&workload)
+                > GpuNormEngine::a100().latency_us(&workload)
         );
     }
 

@@ -10,10 +10,9 @@ use crate::engine::{NormEngine, NormWorkload};
 use haan_accel::power::PowerModel;
 use haan_accel::AccelConfig;
 use haan_numerics::Format;
-use serde::{Deserialize, Serialize};
 
 /// The MHAA LayerNorm engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MhaaEngine {
     /// Lane count.
     pub lanes: usize,
@@ -72,7 +71,10 @@ impl NormEngine for MhaaEngine {
             format: Format::Fp16,
             ..AccelConfig::haan_v1()
         };
-        PowerModel::calibrated().estimate(&equivalent, 1.0, 0.9).total_w() * 1.1
+        PowerModel::calibrated()
+            .estimate(&equivalent, 1.0, 0.9)
+            .total_w()
+            * 1.1
     }
 }
 

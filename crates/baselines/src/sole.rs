@@ -10,10 +10,9 @@ use crate::engine::{NormEngine, NormWorkload};
 use haan_accel::power::PowerModel;
 use haan_accel::AccelConfig;
 use haan_numerics::Format;
-use serde::{Deserialize, Serialize};
 
 /// The SOLE LayerNorm engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SoleEngine {
     /// Statistics / normalization lane count.
     pub lanes: usize,
@@ -70,7 +69,9 @@ impl NormEngine for SoleEngine {
             format: Format::Fp16,
             ..AccelConfig::haan_v1()
         };
-        PowerModel::calibrated().estimate(&equivalent, 1.0, 1.0).total_w()
+        PowerModel::calibrated()
+            .estimate(&equivalent, 1.0, 1.0)
+            .total_w()
     }
 }
 

@@ -12,10 +12,17 @@ fn bench_accel(c: &mut Criterion) {
 
     // Functional simulation of one layer over a small token batch.
     group.bench_function("normalize_layer_functional_16x1600", |b| {
-        let algorithm = HaanConfig::builder().subsample(800).format(Format::Fp16).build();
+        let algorithm = HaanConfig::builder()
+            .subsample(800)
+            .format(Format::Fp16)
+            .build();
         let mut accel = HaanAccelerator::new(AccelConfig::haan_v1(), algorithm);
         let tokens: Vec<Vec<f32>> = (0..16)
-            .map(|t| (0..1600).map(|i| ((i + t * 13) % 41) as f32 / 10.0 - 2.0).collect())
+            .map(|t| {
+                (0..1600)
+                    .map(|i| ((i + t * 13) % 41) as f32 / 10.0 - 2.0)
+                    .collect()
+            })
             .collect();
         let gamma = vec![1.0f32; 1600];
         let beta = vec![0.0f32; 1600];

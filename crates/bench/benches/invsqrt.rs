@@ -37,7 +37,9 @@ fn bench_invsqrt(c: &mut Criterion) {
             .iter()
             .map(|&x| relative_error(x, iterations).unwrap())
             .fold(0.0f64, f64::max);
-        println!("invsqrt ablation: {iterations} Newton iteration(s), worst relative error {worst:.2e}");
+        println!(
+            "invsqrt ablation: {iterations} Newton iteration(s), worst relative error {worst:.2e}"
+        );
     }
 }
 

@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use haan::{HaanConfig, HaanNormalizer, SkipPlan};
 use haan_llm::norm::{NormSite, Normalizer, ReferenceNormalizer};
-use haan_llm::NormKind;
+use haan_llm::{Matrix, NormKind};
 use haan_numerics::Format;
 
 fn input(len: usize) -> Vec<f32> {
@@ -27,13 +27,28 @@ fn bench_normalization(c: &mut Criterion) {
         let mut norm = ReferenceNormalizer::new();
         b.iter(|| norm.normalize(black_box(site), black_box(&z), &gamma, &beta))
     });
+    group.bench_function("reference_layernorm_fused_batched", |b| {
+        let mut norm = ReferenceNormalizer::new();
+        let input = Matrix::from_vec(1, 4096, z.clone()).expect("row shape");
+        let mut out = Matrix::zeros(1, 4096);
+        b.iter(|| {
+            norm.normalize_matrix_into(black_box(site), black_box(&input), &gamma, &beta, &mut out);
+            black_box(out.get(0, 0))
+        })
+    });
     group.bench_function("haan_subsample_256_int8", |b| {
-        let config = HaanConfig::builder().subsample(256).format(Format::Int8).build();
+        let config = HaanConfig::builder()
+            .subsample(256)
+            .format(Format::Int8)
+            .build();
         let mut norm = HaanNormalizer::new(config);
         b.iter(|| norm.normalize(black_box(site), black_box(&z), &gamma, &beta))
     });
     group.bench_function("haan_skipped_layer", |b| {
-        let config = HaanConfig::builder().subsample(256).format(Format::Int8).build();
+        let config = HaanConfig::builder()
+            .subsample(256)
+            .format(Format::Int8)
+            .build();
         let plan = SkipPlan {
             start: 50,
             end: 60,

@@ -1,0 +1,197 @@
+//! `bench_report` — the machine-readable perf trajectory of the batched
+//! normalization engine.
+//!
+//! Measures ns/element of the normalization paths (scalar oracle vs fused batched vs
+//! row-parallel) on paper-width (4096-element) rows, plus matmul GFLOP/s of the
+//! cache-blocked kernels, and writes the numbers to `BENCH_norm.json` (first CLI
+//! argument overrides the output path). Future PRs diff this file to keep the perf
+//! trajectory honest.
+
+use haan::{HaanConfig, HaanNormalizer, ParallelPolicy};
+use haan_bench::json::JsonValue;
+use haan_bench::timing::{measure_default, Measurement};
+use haan_bench::{print_experiment_header, MarkdownTable};
+use haan_llm::norm::{NormSite, Normalizer, ReferenceNormalizer};
+use haan_llm::{Matrix, NormKind};
+
+const ROWS: usize = 16;
+const COLS: usize = 4096;
+
+fn input_matrix() -> Matrix {
+    let data: Vec<f32> = (0..ROWS * COLS)
+        .map(|i| ((i as u64 * 2654435761) % 1000) as f32 / 250.0 - 2.0)
+        .collect();
+    Matrix::from_vec(ROWS, COLS, data).expect("consistent shape")
+}
+
+struct PathResult {
+    name: &'static str,
+    measurement: Measurement,
+}
+
+impl PathResult {
+    fn ns_per_element(&self) -> f64 {
+        self.measurement.nanos_per_iter / (ROWS * COLS) as f64
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_norm.json".to_string());
+    print_experiment_header(
+        "BENCH_norm",
+        "normalization ns/element (scalar vs fused vs parallel) and matmul GFLOP/s",
+    );
+
+    let input = input_matrix();
+    let gamma = vec![1.0f32; COLS];
+    let beta = vec![0.0f32; COLS];
+    let site = NormSite {
+        layer_index: 0,
+        kind: NormKind::LayerNorm,
+    };
+
+    // Scalar oracle: one allocating per-row call per token, exactly what the forward
+    // pass did before the batched engine.
+    let scalar = PathResult {
+        name: "scalar_reference",
+        measurement: {
+            let mut norm = ReferenceNormalizer::new();
+            measure_default(|| {
+                for row in 0..ROWS {
+                    std::hint::black_box(norm.normalize(site, input.row(row), &gamma, &beta));
+                }
+            })
+        },
+    };
+
+    // Fused batched path: chunked one-pass statistics plus the affine apply, written
+    // into one reused output matrix.
+    let fused = PathResult {
+        name: "fused_batched",
+        measurement: {
+            let mut norm = ReferenceNormalizer::new();
+            let mut out = Matrix::zeros(ROWS, COLS);
+            measure_default(|| {
+                norm.normalize_matrix_into(site, &input, &gamma, &beta, &mut out);
+                std::hint::black_box(out.get(0, 0));
+            })
+        },
+    };
+
+    // The HAAN engine on an unoptimized config (exact statistics), sequential vs
+    // row-parallel: isolates the thread-fan-out gain from the approximation gains.
+    let haan_sequential = PathResult {
+        name: "haan_exact_sequential",
+        measurement: {
+            let mut norm = HaanNormalizer::new(HaanConfig::unoptimized());
+            let mut out = Matrix::zeros(ROWS, COLS);
+            measure_default(|| {
+                norm.normalize_matrix_into(site, &input, &gamma, &beta, &mut out);
+                std::hint::black_box(out.get(0, 0));
+            })
+        },
+    };
+    let workers = std::thread::available_parallelism().map_or(2, usize::from);
+    let haan_parallel = PathResult {
+        name: "haan_exact_parallel",
+        measurement: {
+            let config = HaanConfig {
+                parallel: ParallelPolicy::Threads(workers),
+                ..HaanConfig::unoptimized()
+            };
+            let mut norm = HaanNormalizer::new(config);
+            let mut out = Matrix::zeros(ROWS, COLS);
+            measure_default(|| {
+                norm.normalize_matrix_into(site, &input, &gamma, &beta, &mut out);
+                std::hint::black_box(out.get(0, 0));
+            })
+        },
+    };
+
+    let paths = [&scalar, &fused, &haan_sequential, &haan_parallel];
+    let mut table = MarkdownTable::new(vec!["path", "ns/element", "speedup vs scalar"]);
+    for path in paths {
+        table.push_row(vec![
+            path.name.to_string(),
+            format!("{:.3}", path.ns_per_element()),
+            format!("{:.2}x", scalar.ns_per_element() / path.ns_per_element()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Matmul GFLOP/s of the cache-blocked kernels on a square problem.
+    let n = 256;
+    let a = Matrix::from_vec(n, n, (0..n * n).map(|i| (i as f32).sin()).collect()).unwrap();
+    let b = Matrix::from_vec(n, n, (0..n * n).map(|i| (i as f32).cos()).collect()).unwrap();
+    let flops = 2.0 * (n * n * n) as f64;
+    let mut out = Matrix::zeros(n, n);
+    let matmul = measure_default(|| {
+        a.matmul_into(&b, &mut out).expect("square shapes");
+        std::hint::black_box(out.get(0, 0));
+    });
+    let matmul_t = measure_default(|| {
+        a.matmul_transposed_into(&b, &mut out)
+            .expect("square shapes");
+        std::hint::black_box(out.get(0, 0));
+    });
+    let gflops = |m: &Measurement| flops / m.nanos_per_iter;
+    let mut mm_table = MarkdownTable::new(vec!["kernel", "GFLOP/s"]);
+    mm_table.push_row(vec![
+        "matmul_blocked".to_string(),
+        format!("{:.2}", gflops(&matmul)),
+    ]);
+    mm_table.push_row(vec![
+        "matmul_transposed_blocked".to_string(),
+        format!("{:.2}", gflops(&matmul_t)),
+    ]);
+    println!("{}", mm_table.render());
+
+    let path_json = |p: &PathResult| {
+        JsonValue::object([
+            ("ns_per_element", JsonValue::from(p.ns_per_element())),
+            (
+                "speedup_vs_scalar",
+                JsonValue::from(scalar.ns_per_element() / p.ns_per_element()),
+            ),
+            ("iterations", JsonValue::from(p.measurement.iterations)),
+        ])
+    };
+    let report = JsonValue::object([
+        ("benchmark", JsonValue::from("normalization_batched_engine")),
+        (
+            "workload",
+            JsonValue::object([
+                ("rows", JsonValue::from(ROWS)),
+                ("cols", JsonValue::from(COLS)),
+                ("kind", JsonValue::from("LayerNorm")),
+            ]),
+        ),
+        (
+            "normalization",
+            JsonValue::object(paths.iter().map(|p| (p.name, path_json(p)))),
+        ),
+        (
+            "matmul",
+            JsonValue::object([
+                ("blocked_gflops", JsonValue::from(gflops(&matmul))),
+                (
+                    "transposed_blocked_gflops",
+                    JsonValue::from(gflops(&matmul_t)),
+                ),
+                ("n", JsonValue::from(n)),
+            ]),
+        ),
+        ("parallel_workers", JsonValue::from(workers)),
+    ]);
+    let rendered = report.render_pretty();
+    std::fs::write(&out_path, format!("{rendered}\n")).expect("write BENCH_norm.json");
+    println!("wrote {out_path}");
+
+    let fused_speedup = scalar.ns_per_element() / fused.ns_per_element();
+    assert!(
+        fused_speedup >= 1.0,
+        "fused path regressed below the scalar oracle ({fused_speedup:.2}x)"
+    );
+}

@@ -17,10 +17,12 @@ fn main() {
     let tokens = 5usize;
     let profiles = profile_model.sample_profiles(tokens, 2024);
 
-    let mut table = MarkdownTable::new(vec!["layer".to_string()]
-        .into_iter()
-        .chain((0..tokens).map(|t| format!("token {t} log10(ISD)")))
-        .collect::<Vec<_>>());
+    let mut table = MarkdownTable::new(
+        vec!["layer".to_string()]
+            .into_iter()
+            .chain((0..tokens).map(|t| format!("token {t} log10(ISD)")))
+            .collect::<Vec<_>>(),
+    );
     for layer in 0..profile_model.num_layers {
         let mut row = vec![layer.to_string()];
         for profile in &profiles {
@@ -37,10 +39,19 @@ fn main() {
         .collect();
     let deep = &mean_profile[41..=61];
     let early = &mean_profile[0..=15];
-    println!("\nPearson(log ISD, layer) over layers 41-61: {:.4}", pearson_against_index(deep).unwrap());
-    println!("Pearson(log ISD, layer) over layers 0-15:  {:.4}", pearson_against_index(early).unwrap());
-    println!("Fitted decay e over layers 41-61: {:.4} (generating slope {:.4})",
-        cal_decay(deep).unwrap(), profile_model.linear_slope);
+    println!(
+        "\nPearson(log ISD, layer) over layers 41-61: {:.4}",
+        pearson_against_index(deep).unwrap()
+    );
+    println!(
+        "Pearson(log ISD, layer) over layers 0-15:  {:.4}",
+        pearson_against_index(early).unwrap()
+    );
+    println!(
+        "Fitted decay e over layers 41-61: {:.4} (generating slope {:.4})",
+        cal_decay(deep).unwrap(),
+        profile_model.linear_slope
+    );
 
     // What Algorithm 1 would select on a full calibration set.
     let outcome = Calibrator::paper_default()

@@ -3,7 +3,9 @@
 
 use haan::{HaanConfig, SkipPlan};
 use haan_accel::{AccelConfig, HaanAccelerator};
-use haan_baselines::{compare_engines, DfxEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine};
+use haan_baselines::{
+    compare_engines, DfxEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine,
+};
 use haan_bench::{fmt_ratio, print_experiment_header, MarkdownTable};
 use haan_numerics::Format;
 
@@ -33,7 +35,8 @@ fn main() {
     let dfx = DfxEngine::default();
     let mhaa = MhaaEngine::default();
 
-    let mut table = MarkdownTable::new(vec!["seq len", "HAAN-v1", "HAAN-v2", "SOLE", "MHAA", "DFX"]);
+    let mut table =
+        MarkdownTable::new(vec!["seq len", "HAAN-v1", "HAAN-v2", "SOLE", "MHAA", "DFX"]);
     let mut dfx_reduction_sum = 0.0;
     let seq_lens = [128usize, 256, 512, 1024];
     for &seq_len in &seq_lens {

@@ -3,7 +3,9 @@
 
 use haan::{HaanConfig, SkipPlan};
 use haan_accel::{AccelConfig, HaanAccelerator};
-use haan_baselines::{compare_engines, GpuNormEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine};
+use haan_baselines::{
+    compare_engines, GpuNormEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine,
+};
 use haan_bench::{fmt_ratio, print_experiment_header, MarkdownTable};
 
 fn opt_plan() -> SkipPlan {
@@ -28,7 +30,8 @@ fn main() {
     let mhaa = MhaaEngine::default();
     let gpu = GpuNormEngine::a100();
 
-    let mut table = MarkdownTable::new(vec!["seq len", "HAAN-v1", "HAAN-v3", "SOLE", "MHAA", "GPU"]);
+    let mut table =
+        MarkdownTable::new(vec!["seq len", "HAAN-v1", "HAAN-v3", "SOLE", "MHAA", "GPU"]);
     for seq_len in [128usize, 256, 512, 1024] {
         let workload = NormWorkload::opt_2_7b(seq_len);
         let others: [&dyn NormEngine; 4] = [&v3, &sole, &mhaa, &gpu];
@@ -43,5 +46,7 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    println!("\nPaper reference (averages): HAAN-v3 ≈ 1.04x, SOLE ≈ 1.57x, MHAA ≈ 1.62x, GPU ≈ 10.5x.");
+    println!(
+        "\nPaper reference (averages): HAAN-v3 ≈ 1.04x, SOLE ≈ 1.57x, MHAA ≈ 1.62x, GPU ≈ 10.5x."
+    );
 }

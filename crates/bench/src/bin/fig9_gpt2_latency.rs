@@ -6,7 +6,9 @@
 
 use haan::{HaanConfig, SkipPlan};
 use haan_accel::{AccelConfig, HaanAccelerator};
-use haan_baselines::{compare_engines, DfxEngine, GpuNormEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine};
+use haan_baselines::{
+    compare_engines, DfxEngine, GpuNormEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine,
+};
 use haan_bench::{fmt_ratio, print_experiment_header, MarkdownTable};
 use haan_numerics::Format;
 

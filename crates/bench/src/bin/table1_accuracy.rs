@@ -61,7 +61,11 @@ fn main() {
 
     for subject in subjects() {
         let model = TransformerModel::new(&subject.config, 42).expect("valid model configuration");
-        println!("\n### {} ({} norm layers) ###", subject.config.name, model.num_norm_layers());
+        println!(
+            "\n### {} ({} norm layers) ###",
+            subject.config.name,
+            model.num_norm_layers()
+        );
 
         // At 48-wide the proportionally rescaled Nsub would be a handful of elements and
         // the estimator noise would dominate; keep at least half the (shrunken) width,
@@ -78,7 +82,7 @@ fn main() {
             .expect("calibration succeeds");
         let (start, end) = subject.haan.skip_range.expect("paper presets fix a range");
         let plan = haan::SkipPlan::for_fixed_range(
-            &[calibration.mean_log_isd.clone()],
+            std::slice::from_ref(&calibration.mean_log_isd),
             start.min(model.num_norm_layers() - 2),
             end.min(model.num_norm_layers() - 1),
         )
@@ -92,8 +96,22 @@ fn main() {
             .expect("HAAN row");
 
         let mut table = MarkdownTable::new(vec!["method", "WG", "PQ", "HS", "A-e", "A-c"]);
-        table.push_row(row("Original (measured)", &original.scores.iter().map(|s| s.accuracy).collect::<Vec<_>>()));
-        table.push_row(row("HAAN (measured)", &haan_row.scores.iter().map(|s| s.accuracy).collect::<Vec<_>>()));
+        table.push_row(row(
+            "Original (measured)",
+            &original
+                .scores
+                .iter()
+                .map(|s| s.accuracy)
+                .collect::<Vec<_>>(),
+        ));
+        table.push_row(row(
+            "HAAN (measured)",
+            &haan_row
+                .scores
+                .iter()
+                .map(|s| s.accuracy)
+                .collect::<Vec<_>>(),
+        ));
         table.push_row(row("Original (paper)", &subject.paper_original));
         table.push_row(row("HAAN (paper)", &subject.paper_haan));
         print!("{}", table.render());

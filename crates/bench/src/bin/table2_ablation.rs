@@ -4,7 +4,7 @@
 //! middle skip ranges hurt much more than the deep range).
 
 use haan::evaluate::AccuracyEvaluator;
-use haan::{HaanConfig, SkipPlan, Calibrator};
+use haan::{Calibrator, HaanConfig, SkipPlan};
 use haan_bench::{fmt_acc, print_experiment_header, MarkdownTable};
 use haan_llm::tasks::TaskSpec;
 use haan_llm::{ModelConfig, TransformerModel};
@@ -43,7 +43,11 @@ fn main() {
 
     // Subsample-length sweep (the paper sweeps 128 / 256 / 512 of a 4096-wide input; the
     // 48-wide stand-in sweeps the same fractions of its width).
-    for (label, n_sub) in [("~3% of E (128)", 2usize), ("~6% of E (256)", 4), ("~12% of E (512)", 6)] {
+    for (label, n_sub) in [
+        ("~3% of E (128)", 2usize),
+        ("~6% of E (256)", 4),
+        ("~12% of E (512)", 6),
+    ] {
         let cfg = HaanConfig::builder()
             .label(format!("Nsub {label}"))
             .subsample(n_sub)
@@ -71,15 +75,18 @@ fn main() {
         ("(50, 60) deep", 50, 60),
     ] {
         let end = end.min(num_layers - 1);
-        let plan = SkipPlan::for_fixed_range(&[calibration.mean_log_isd.clone()], start, end)
-            .expect("fixed-range plan");
+        let plan =
+            SkipPlan::for_fixed_range(std::slice::from_ref(&calibration.mean_log_isd), start, end)
+                .expect("fixed-range plan");
         let cfg = HaanConfig::builder()
             .label(format!("skip {label}"))
             .subsample(16)
             .format(Format::Int8)
             .skip_range(start, end)
             .build();
-        let row = evaluator.evaluate_haan(&model, &cfg, Some(plan)).expect("row");
+        let row = evaluator
+            .evaluate_haan(&model, &cfg, Some(plan))
+            .expect("row");
         push(&mut table, "Skip range", label, &row);
     }
 

@@ -1,10 +1,10 @@
 //! Table III: FPGA resource consumption and power of the HAAN accelerator for
 //! FP32 / FP16 / INT8 inputs at two `(pd, pn)` points each.
 
-use haan_bench::{print_experiment_header, MarkdownTable};
 use haan_accel::power::PowerModel;
 use haan_accel::resources::{paper_table3_resources, DeviceCapacity};
 use haan_accel::{AccelConfig, ResourceEstimate};
+use haan_bench::{print_experiment_header, MarkdownTable};
 
 fn main() {
     print_experiment_header(
@@ -32,8 +32,7 @@ fn main() {
     {
         assert_eq!(label, paper_label);
         let estimate = ResourceEstimate::for_config(config);
-        estimate
-            .check_fits_u280_or_panic(device);
+        estimate.check_fits_u280_or_panic(device);
         let power = power_model.estimate_full_activity(config).total_w();
         let (lut_util, _, dsp_util) = estimate.utilisation(device);
         table.push_row(vec![
@@ -61,6 +60,7 @@ trait CheckFits {
 
 impl CheckFits for ResourceEstimate {
     fn check_fits_u280_or_panic(&self, device: DeviceCapacity) {
-        self.check_fits(device).expect("Table III designs fit on the U280");
+        self.check_fits(device)
+            .expect("Table III designs fit on the U280");
     }
 }

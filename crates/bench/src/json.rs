@@ -1,0 +1,213 @@
+//! A minimal JSON document builder.
+//!
+//! The experiment binaries archive their raw numbers as JSON (`BENCH_norm.json` and
+//! friends) so future PRs can diff the perf trajectory mechanically. The build
+//! container has no network access, so instead of serde this module provides a tiny
+//! explicit value tree with a pretty renderer. Only what reports need is implemented:
+//! objects, arrays, strings, numbers, booleans and null.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`, matching `serde_json`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    #[must_use]
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, JsonValue)>>(pairs: I) -> Self {
+        Self::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    #[must_use]
+    pub fn array<I: IntoIterator<Item = JsonValue>>(values: I) -> Self {
+        Self::Array(values.into_iter().collect())
+    }
+
+    /// Renders with two-space indentation and a trailing newline-free body.
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Self::Null => out.push_str("null"),
+            Self::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Self::Number(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Self::String(s) => render_string(out, s),
+            Self::Array(values) => {
+                if values.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, value) in values.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    value.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Self::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    render_string(out, key);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&str> for JsonValue {
+    fn from(value: &str) -> Self {
+        Self::String(value.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(value: String) -> Self {
+        Self::String(value)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(value: f64) -> Self {
+        Self::Number(value)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(value: u64) -> Self {
+        Self::Number(value as f64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(value: usize) -> Self {
+        Self::Number(value as f64)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(value: bool) -> Self {
+        Self::Bool(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let doc = JsonValue::object([
+            ("name", JsonValue::from("norm")),
+            ("ok", JsonValue::from(true)),
+            ("none", JsonValue::Null),
+            (
+                "series",
+                JsonValue::array([JsonValue::from(1.0), JsonValue::from(2.5)]),
+            ),
+        ]);
+        let rendered = doc.render_pretty();
+        assert!(rendered.starts_with("{\n  \"name\": \"norm\""));
+        assert!(rendered.contains("\"series\": [\n    1,\n    2.5\n  ]"));
+        assert!(rendered.ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_strings_and_handles_non_finite() {
+        let doc = JsonValue::object([
+            ("quote", JsonValue::from("a\"b\\c\nd")),
+            ("nan", JsonValue::Number(f64::NAN)),
+        ]);
+        let rendered = doc.render_pretty();
+        assert!(rendered.contains("\\\"b\\\\c\\n"));
+        assert!(rendered.contains("\"nan\": null"));
+    }
+
+    #[test]
+    fn empty_containers_render_inline() {
+        assert_eq!(JsonValue::array([]).render_pretty(), "[]");
+        assert_eq!(
+            JsonValue::object(Vec::<(String, JsonValue)>::new()).render_pretty(),
+            "{}"
+        );
+    }
+
+    #[test]
+    fn integers_render_without_decimal_point() {
+        assert_eq!(JsonValue::from(4096u64).render_pretty(), "4096");
+        assert_eq!(JsonValue::from(0.125).render_pretty(), "0.125");
+    }
+}

@@ -3,12 +3,16 @@
 //!
 //! Every binary prints a human-readable markdown table to stdout (the same rows/series
 //! the paper reports) and can optionally serialise the raw numbers to JSON for
-//! `EXPERIMENTS.md` bookkeeping.
+//! `EXPERIMENTS.md` bookkeeping. JSON is produced by the dependency-free [`json`]
+//! module (the build container has no network access, so no serde). The `bench_report`
+//! binary uses it to emit `BENCH_norm.json`, the machine-readable perf trajectory of
+//! the fused batched normalization engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+pub mod json;
+pub mod timing;
 
 /// A simple markdown table builder.
 #[derive(Debug, Clone, Default)]
@@ -86,13 +90,10 @@ pub fn print_experiment_header(id: &str, description: &str) {
 }
 
 /// Serialises an experiment result to pretty JSON (for archival alongside the markdown
-/// output).
-///
-/// # Errors
-///
-/// Returns an error if serialisation fails.
-pub fn to_json<T: Serialize>(value: &T) -> Result<String, serde_json::Error> {
-    serde_json::to_string_pretty(value)
+/// output). Thin wrapper over [`json::JsonValue::render_pretty`].
+#[must_use]
+pub fn to_json(value: &json::JsonValue) -> String {
+    value.render_pretty()
 }
 
 #[cfg(test)]
@@ -120,12 +121,11 @@ mod tests {
 
     #[test]
     fn json_serialisation_round_trips() {
-        #[derive(Serialize)]
-        struct Row {
-            name: &'static str,
-            value: f64,
-        }
-        let json = to_json(&Row { name: "x", value: 1.5 }).unwrap();
-        assert!(json.contains("\"value\": 1.5"));
+        let row = json::JsonValue::object([
+            ("name", json::JsonValue::from("x")),
+            ("value", json::JsonValue::from(1.5)),
+        ]);
+        let rendered = to_json(&row);
+        assert!(rendered.contains("\"value\": 1.5"));
     }
 }

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so this crate provides the minimal
+//! benchmarking surface the workspace's `benches/` targets use: [`Criterion`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Timing is a plain wall-clock
+//! measurement (warm-up plus a fixed measurement window) printed as one line per
+//! benchmark — no statistics, plots or HTML reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        run_benchmark(&id.into(), f);
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), f);
+    }
+
+    /// Ends the group (prints nothing; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure to drive timed iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    // Calibrate the iteration count so one measurement takes roughly 50 ms.
+    let mut calibration = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut calibration);
+    let per_iter = calibration.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(50);
+    let iterations = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut bencher = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let nanos_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+    println!("bench: {id:<55} {nanos_per_iter:>14.1} ns/iter ({iterations} iters)");
+}
+
+/// Collects benchmark functions into a runner (stand-in for `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary (stand-in for `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut criterion = Criterion::default();
+        let mut calls = 0u64;
+        criterion.bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| black_box(1 + 1));
+        });
+        // Once for calibration, once for measurement.
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("inner", |b| {
+            ran = true;
+            b.iter(|| black_box(42));
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,277 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so this crate reimplements the small
+//! property-testing surface the workspace uses: the [`proptest!`] macro over `ident in
+//! strategy` bindings, numeric-range and tuple strategies, [`collection::vec`], and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros. Sampling is fully
+//! deterministic: each test derives its generator seed from its own name (override the
+//! case count with the `PROPTEST_CASES` environment variable, default 64).
+//!
+//! Unlike real proptest there is no shrinking — a failing case panics with the values
+//! embedded in the assertion message instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// How a single sampled case finished.
+#[doc(hidden)]
+pub enum CaseResult {
+    /// The body ran to completion.
+    Pass,
+    /// A `prop_assume!` rejected the inputs; the case is not counted as a failure.
+    Reject,
+}
+
+/// A source of sampled values (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+ $(,)?) => {
+        $(impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        })+
+    };
+}
+
+impl_range_strategy!(f32, f64, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {
+        $(impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        })+
+    };
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Per-type numeric strategies (subset of `proptest::num`).
+pub mod num {
+    /// Strategies over `u16`.
+    pub mod u16 {
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::RngCore;
+
+        /// Strategy yielding any `u16` bit pattern.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Any `u16` value, uniformly.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = u16;
+            fn sample(&self, rng: &mut StdRng) -> u16 {
+                (rng.next_u64() >> 48) as u16
+            }
+        }
+    }
+
+    /// Strategies over `f64`.
+    pub mod f64 {
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::RngCore;
+
+        /// Strategy yielding normal (finite, non-subnormal, non-zero-exponent-edge)
+        /// `f64` values of either sign.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Normal;
+
+        /// Any normal `f64`, with a uniformly random sign, exponent and mantissa.
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = f64;
+            fn sample(&self, rng: &mut StdRng) -> f64 {
+                let bits = rng.next_u64();
+                let sign = bits & (1u64 << 63);
+                // Biased exponent in [1, 2046]: excludes zero/subnormal and inf/NaN.
+                let exponent = 1 + (bits >> 52) % 2046;
+                let mantissa = bits & ((1u64 << 52) - 1);
+                f64::from_bits(sign | (exponent << 52) | mantissa)
+            }
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A strategy producing `Vec`s whose length is drawn from `len` and whose elements
+    /// are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`] (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` test module needs.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+}
+
+/// Number of cases to run per property (reads `PROPTEST_CASES`, defaults to 64).
+#[doc(hidden)]
+#[must_use]
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-test seed derived from the test name (FNV-1a).
+#[doc(hidden)]
+#[must_use]
+pub fn seed_from_test_name(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Builds the deterministic generator for one property test (referenced by the
+/// [`proptest!`] expansion so user crates don't need their own `rand` dependency).
+#[doc(hidden)]
+#[must_use]
+pub fn new_test_rng(test_name: &str) -> StdRng {
+    rand::SeedableRng::seed_from_u64(seed_from_test_name(test_name))
+}
+
+/// Declares property tests: each `ident in strategy` argument is sampled per case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident ($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::new_test_rng(stringify!($name));
+                for _ in 0..$crate::case_count() {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    let _outcome: $crate::CaseResult = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        $crate::CaseResult::Pass
+                    })();
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` that reports the property-test case on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// `assert_eq!` that reports the property-test case on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        match $cond {
+            true => {}
+            false => return $crate::CaseResult::Reject,
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+
+    #[test]
+    fn seeds_differ_per_name() {
+        assert_ne!(
+            crate::seed_from_test_name("alpha"),
+            crate::seed_from_test_name("beta")
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs_respect_bounds(
+            x in -3.0f32..3.0,
+            n in 1usize..9,
+            xs in crate::collection::vec(0.0f64..1.0, 2..17),
+        ) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+            prop_assert!(xs.len() >= 2 && xs.len() < 17);
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in -1.0f64..1.0) {
+            prop_assume!(x > 2.0);
+            prop_assert!(false, "unreachable: assume must reject every case");
+        }
+
+        #[test]
+        fn tuple_strategies_sample_componentwise(
+            pairs in crate::collection::vec((-1.0f64..0.0, 0.0f64..1.0), 1..8),
+        ) {
+            for (a, b) in pairs {
+                prop_assert!(a < 0.0 && b >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Offline stand-in for the `rand` crate, bit-compatible with `rand` 0.8.
+//!
+//! The build container has no network access, so the workspace vendors the minimal
+//! surface it actually uses: [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`]
+//! plus [`Rng::gen_range`] / [`Rng::gen_bool`]. Everything is implemented to produce
+//! the *same output stream* as `rand` 0.8 with `rand_chacha` 0.3:
+//!
+//! * `StdRng` is ChaCha12 with a 64-word block buffer (four ChaCha blocks per refill)
+//!   and `rand_core`'s `BlockRng` word-consumption rules, seeded through the PCG-based
+//!   `seed_from_u64` expansion of `rand_core` 0.6;
+//! * float ranges use the `[1, 2)` mantissa-fill technique (`value0_1 * scale + low`);
+//! * integer ranges use the widening-multiply rejection sampler;
+//! * `gen_bool` compares one `u64` draw against `p · 2⁶⁴`.
+//!
+//! Bit compatibility matters because the test suite's tolerances were authored against
+//! model weights drawn from this exact stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can sample a uniform value from themselves with a given generator
+/// (subset of `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty, $uty:ty, $next:ident, $bits_to_discard:expr, $exponent_bits:expr);+ $(;)?) => {
+        $(impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let low = self.start;
+                let high = self.end;
+                let mut scale = high - low;
+                loop {
+                    // A value in [1, 2) from filling the mantissa, shifted to [0, 1).
+                    let bits: $uty = rng.$next();
+                    let value1_2 =
+                        <$t>::from_bits((bits >> $bits_to_discard) | $exponent_bits);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    // Edge case (rounding hit the excluded endpoint): shrink the scale
+                    // towards zero and resample, as rand 0.8 does.
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        })+
+    };
+}
+
+impl_float_range!(
+    f32, u32, next_u32, 32 - 23, 127u32 << 23;
+    f64, u64, next_u64, 64 - 52, 1023u64 << 52
+);
+
+/// Widening multiply returning `(high, low)` halves, as used by the integer sampler.
+macro_rules! wmul {
+    ($wide:ty, $half:ty, $v:expr, $range:expr) => {{
+        let wide = <$wide>::from($v) * <$wide>::from($range);
+        ((wide >> <$half>::BITS) as $half, wide as $half)
+    }};
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $unsigned:ty, $u_large:ty, $u_wide:ty, $next:ident);+ $(;)?) => {
+        $(impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let range = self.end.wrapping_sub(self.start) as $unsigned as $u_large;
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    // Small types: reject from the top of the $u_large space.
+                    let unsigned_max = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = rng.$next() as $u_large;
+                    let (hi, lo) = wmul!($u_wide, $u_large, v, range);
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        })+
+    };
+}
+
+impl_int_range!(
+    i8 => u8, u32, u64, next_u32;
+    u8 => u8, u32, u64, next_u32;
+    i16 => u16, u32, u64, next_u32;
+    u16 => u16, u32, u64, next_u32;
+    i32 => u32, u32, u64, next_u32;
+    u32 => u32, u32, u64, next_u32;
+    i64 => u64, u64, u128, next_u64;
+    u64 => u64, u64, u128, next_u64;
+    isize => usize, u64, u128, next_u64;
+    usize => usize, u64, u128, next_u64
+);
+
+/// The user-facing sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws one value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `probability` is not in `[0, 1]`.
+    fn gen_bool(&mut self, probability: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must lie in [0, 1]"
+        );
+        if probability == 1.0 {
+            return true;
+        }
+        // p · 2⁶⁴ as the acceptance threshold on one u64 draw (rand's Bernoulli).
+        let p_int = (probability * (2.0f64).powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    const CHACHA_ROUNDS: usize = 12;
+    /// Words per refill: four 16-word ChaCha blocks, matching `rand_chacha`'s buffer.
+    const BUFFER_WORDS: usize = 64;
+
+    /// The standard generator: ChaCha12, bit-compatible with `rand` 0.8's `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        /// ChaCha key (words 4–11 of the state).
+        key: [u32; 8],
+        /// 64-bit block counter (words 12–13); the stream id (words 14–15) is zero.
+        counter: u64,
+        /// Buffered keystream words.
+        results: [u32; BUFFER_WORDS],
+        /// Next unread index into `results`.
+        index: usize,
+    }
+
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    impl StdRng {
+        fn block(&self, counter: u64, out: &mut [u32]) {
+            let mut state = [
+                0x6170_7865,
+                0x3320_646e,
+                0x7962_2d32,
+                0x6b20_6574,
+                self.key[0],
+                self.key[1],
+                self.key[2],
+                self.key[3],
+                self.key[4],
+                self.key[5],
+                self.key[6],
+                self.key[7],
+                counter as u32,
+                (counter >> 32) as u32,
+                0,
+                0,
+            ];
+            let initial = state;
+            for _ in 0..CHACHA_ROUNDS / 2 {
+                quarter_round(&mut state, 0, 4, 8, 12);
+                quarter_round(&mut state, 1, 5, 9, 13);
+                quarter_round(&mut state, 2, 6, 10, 14);
+                quarter_round(&mut state, 3, 7, 11, 15);
+                quarter_round(&mut state, 0, 5, 10, 15);
+                quarter_round(&mut state, 1, 6, 11, 12);
+                quarter_round(&mut state, 2, 7, 8, 13);
+                quarter_round(&mut state, 3, 4, 9, 14);
+            }
+            for (o, (s, i)) in out.iter_mut().zip(state.iter().zip(&initial)) {
+                *o = s.wrapping_add(*i);
+            }
+        }
+
+        fn refill(&mut self, new_index: usize) {
+            let mut results = self.results;
+            for block_index in 0..BUFFER_WORDS / 16 {
+                let counter = self.counter.wrapping_add(block_index as u64);
+                let mut block = [0u32; 16];
+                self.block(counter, &mut block);
+                results[block_index * 16..(block_index + 1) * 16].copy_from_slice(&block);
+            }
+            self.results = results;
+            self.counter = self.counter.wrapping_add((BUFFER_WORDS / 16) as u64);
+            self.index = new_index;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // rand_core 0.6's default seed expansion: a PCG32 stream fills the
+            // 32-byte ChaCha key four bytes at a time.
+            const MUL: u64 = 6_364_136_223_846_793_005;
+            const INC: u64 = 11_634_580_027_462_260_723;
+            let mut key = [0u32; 8];
+            for word in &mut key {
+                state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+                let rot = (state >> 59) as u32;
+                *word = xorshifted.rotate_right(rot);
+            }
+            Self {
+                key,
+                counter: 0,
+                results: [0; BUFFER_WORDS],
+                // Start exhausted: the first draw triggers the first refill.
+                index: BUFFER_WORDS,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUFFER_WORDS {
+                self.refill(0);
+            }
+            let value = self.results[self.index];
+            self.index += 1;
+            value
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // rand_core `BlockRng` semantics, including the buffer-straddling case.
+            let index = self.index;
+            if index < BUFFER_WORDS - 1 {
+                self.index += 2;
+                (u64::from(self.results[index + 1]) << 32) | u64::from(self.results[index])
+            } else if index >= BUFFER_WORDS {
+                self.refill(2);
+                (u64::from(self.results[1]) << 32) | u64::from(self.results[0])
+            } else {
+                let low = u64::from(self.results[BUFFER_WORDS - 1]);
+                self.refill(1);
+                (u64::from(self.results[0]) << 32) | low
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<f64> = (0..16).map(|_| a.gen_range(0.0..1.0)).collect();
+        let ys: Vec<f64> = (0..16).map(|_| b.gen_range(0.0..1.0)).collect();
+        let zs: Vec<f64> = (0..16).map(|_| c.gen_range(0.0..1.0)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = rng.gen_range(5usize..9);
+            assert!((5..9).contains(&i));
+            let s = rng.gen_range(-7i32..-3);
+            assert!((-7..-3).contains(&s));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_roughly_centred() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean: f64 = (0..100_000)
+            .map(|_| rng.gen_range(0.0f64..1.0))
+            .sum::<f64>()
+            / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!(0..64).any(|_| rng.gen_bool(0.0)));
+        assert!((0..64).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn u64_draws_straddle_the_buffer_like_block_rng() {
+        // Consume 63 u32 words, leaving exactly one in the buffer; the next u64 must
+        // combine the last word of this buffer with the first of the next.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut twin = StdRng::seed_from_u64(42);
+        let words: Vec<u32> = (0..128).map(|_| rng.next_u32()).collect();
+        for _ in 0..63 {
+            twin.next_u32();
+        }
+        let straddled = twin.next_u64();
+        assert_eq!(
+            straddled,
+            (u64::from(words[64]) << 32) | u64::from(words[63])
+        );
+    }
+
+    #[test]
+    fn known_answer_is_stable() {
+        // Hardcoded first outputs of seeds 0 and 42: a regression guard so refactors
+        // of the ChaCha core, the seed expansion, or the buffer logic cannot silently
+        // change the stream (and with it every seeded model weight in the workspace —
+        // the integration-test tolerances were authored against exactly this stream).
+        let mut rng = StdRng::seed_from_u64(0);
+        let words: Vec<u32> = (0..6).map(|_| rng.next_u32()).collect();
+        assert_eq!(
+            words,
+            [
+                3_442_241_407,
+                3_140_108_210,
+                2_384_947_579,
+                3_321_986_196,
+                3_476_097_558,
+                111_001_858,
+            ]
+        );
+        assert_eq!(StdRng::seed_from_u64(0).next_u64(), 0xbb2a_3fb2_cd2c_6f7f);
+        let mut rng42 = StdRng::seed_from_u64(42);
+        assert_eq!(rng42.next_u32(), 572_990_626);
+        assert_eq!(StdRng::seed_from_u64(42).next_u64(), 0x86cc_7763_2227_24a2);
+    }
+}

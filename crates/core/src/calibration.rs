@@ -13,10 +13,9 @@ use haan_llm::dataset::SyntheticCorpus;
 use haan_llm::norm::ReferenceNormalizer;
 use haan_llm::synthetic::IsdProfileModel;
 use haan_llm::TransformerModel;
-use serde::{Deserialize, Serialize};
 
 /// The output of calibration: the skip plan plus the profiles it was fitted on.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CalibrationOutcome {
     /// The selected skip plan.
     pub plan: SkipPlan,
@@ -30,7 +29,7 @@ pub struct CalibrationOutcome {
 ///
 /// `num_samples` and `sample_len` control the synthetic calibration set (the stand-in
 /// for "100 samples from WikiText"); `min_gap` is Algorithm 1's `M`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Calibrator {
     num_samples: usize,
     sample_len: usize,

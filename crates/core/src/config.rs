@@ -2,7 +2,46 @@
 
 use crate::error::HaanError;
 use haan_numerics::Format;
-use serde::{Deserialize, Serialize};
+
+/// How the batched normalization engine distributes rows across threads.
+///
+/// Row kernels are independent, so the parallel path is bit-identical to the
+/// sequential one — the policy only trades latency against thread overhead. The
+/// default is [`ParallelPolicy::Sequential`]: small models lose more to thread
+/// startup than they gain, and determinism-sensitive callers get the simplest path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParallelPolicy {
+    /// Process every row on the calling thread.
+    #[default]
+    Sequential,
+    /// Split rows across up to `n` scoped worker threads (values of 0 or 1 fall back
+    /// to the sequential path).
+    Threads(usize),
+    /// Use the host's available parallelism when the batch is large enough to
+    /// amortise thread startup, otherwise stay sequential.
+    Auto,
+}
+
+impl ParallelPolicy {
+    /// Number of worker threads to use for a `rows × cols` batch (1 = sequential).
+    #[must_use]
+    pub fn worker_count(&self, rows: usize, cols: usize) -> usize {
+        let limit = match self {
+            ParallelPolicy::Sequential => 1,
+            ParallelPolicy::Threads(n) => (*n).max(1),
+            ParallelPolicy::Auto => {
+                // Thread startup costs tens of microseconds; only fan out when each
+                // worker gets a meaningful slice of work.
+                if rows >= 4 && rows.saturating_mul(cols) >= 64 * 1024 {
+                    std::thread::available_parallelism().map_or(1, usize::from)
+                } else {
+                    1
+                }
+            }
+        };
+        limit.min(rows.max(1))
+    }
+}
 
 /// Configuration of the HAAN normalization approximation.
 ///
@@ -23,7 +62,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(config.n_sub, Some(256));
 /// assert_eq!(config.skip_range, Some((50, 60)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HaanConfig {
     /// Human-readable label for reports.
     pub label: String,
@@ -36,6 +75,8 @@ pub struct HaanConfig {
     /// Number of Newton iterations in the fast inverse square root; `None` uses the
     /// exact square root (no bit-trick approximation).
     pub invsqrt_newton_iterations: Option<u32>,
+    /// Row-parallelism policy of the batched normalization engine.
+    pub parallel: ParallelPolicy,
 }
 
 impl HaanConfig {
@@ -55,6 +96,7 @@ impl HaanConfig {
             skip_range: None,
             format: Format::Fp32,
             invsqrt_newton_iterations: None,
+            parallel: ParallelPolicy::Sequential,
         }
     }
 
@@ -67,6 +109,7 @@ impl HaanConfig {
             skip_range: Some((50, 60)),
             format: Format::Int8,
             invsqrt_newton_iterations: Some(1),
+            parallel: ParallelPolicy::Sequential,
         }
     }
 
@@ -79,6 +122,7 @@ impl HaanConfig {
             skip_range: Some((55, 62)),
             format: Format::Fp16,
             invsqrt_newton_iterations: Some(1),
+            parallel: ParallelPolicy::Sequential,
         }
     }
 
@@ -91,6 +135,7 @@ impl HaanConfig {
             skip_range: Some((85, 92)),
             format: Format::Fp16,
             invsqrt_newton_iterations: Some(1),
+            parallel: ParallelPolicy::Sequential,
         }
     }
 
@@ -138,6 +183,7 @@ impl Default for HaanConfig {
             skip_range: None,
             format: Format::Fp16,
             invsqrt_newton_iterations: Some(1),
+            parallel: ParallelPolicy::Sequential,
         }
     }
 }
@@ -185,6 +231,13 @@ impl HaanConfigBuilder {
         self
     }
 
+    /// Sets the row-parallelism policy of the batched normalization engine.
+    #[must_use]
+    pub fn parallel(mut self, policy: ParallelPolicy) -> Self {
+        self.config.parallel = policy;
+        self
+    }
+
     /// Finishes building.
     #[must_use]
     pub fn build(self) -> HaanConfig {
@@ -219,8 +272,10 @@ mod tests {
         assert!(HaanConfig::llama_7b_paper().validate(65).is_ok());
         assert!(HaanConfig::llama_7b_paper().validate(40).is_err());
         assert!(HaanConfig::gpt2_1_5b_paper().validate(97).is_ok());
-        let mut bad = HaanConfig::default();
-        bad.n_sub = Some(0);
+        let bad = HaanConfig {
+            n_sub: Some(0),
+            ..HaanConfig::default()
+        };
         assert!(bad.validate(10).is_err());
         let reversed = HaanConfig::builder().skip_range(20, 10).build();
         assert!(reversed.validate(65).is_err());
@@ -251,7 +306,30 @@ mod tests {
         let config = HaanConfig::opt_2_7b_paper().rescaled_subsample(2560, 128);
         assert_eq!(config.n_sub, Some(64));
         // Without subsampling, rescaling is a no-op.
-        assert_eq!(HaanConfig::unoptimized().rescaled_subsample(4096, 64).n_sub, None);
+        assert_eq!(
+            HaanConfig::unoptimized().rescaled_subsample(4096, 64).n_sub,
+            None
+        );
+    }
+
+    #[test]
+    fn parallel_policy_worker_counts() {
+        assert_eq!(ParallelPolicy::Sequential.worker_count(100, 4096), 1);
+        assert_eq!(ParallelPolicy::Threads(4).worker_count(100, 4096), 4);
+        // Degenerate thread counts fall back to sequential; requests are clamped to
+        // the number of rows.
+        assert_eq!(ParallelPolicy::Threads(0).worker_count(100, 4096), 1);
+        assert_eq!(ParallelPolicy::Threads(8).worker_count(2, 16), 2);
+        // Auto stays sequential for small batches.
+        assert_eq!(ParallelPolicy::Auto.worker_count(2, 8), 1);
+        assert!(ParallelPolicy::Auto.worker_count(64, 4096) >= 1);
+        assert_eq!(ParallelPolicy::default(), ParallelPolicy::Sequential);
+
+        let config = HaanConfig::builder()
+            .parallel(ParallelPolicy::Threads(2))
+            .build();
+        assert_eq!(config.parallel, ParallelPolicy::Threads(2));
+        assert_eq!(HaanConfig::default().parallel, ParallelPolicy::Sequential);
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl fmt::Display for HaanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HaanError::InvalidProfiles(msg) => write!(f, "invalid calibration profiles: {msg}"),
-            HaanError::NoSkippableRange { num_layers, min_gap } => write!(
+            HaanError::NoSkippableRange {
+                num_layers,
+                min_gap,
+            } => write!(
                 f,
                 "no skippable range found over {num_layers} layers with minimum gap {min_gap}"
             ),

@@ -7,10 +7,9 @@ use crate::skipping::SkipPlan;
 use haan_llm::norm::{Normalizer, ReferenceNormalizer};
 use haan_llm::tasks::{TaskSpec, TaskSuite};
 use haan_llm::TransformerModel;
-use serde::{Deserialize, Serialize};
 
 /// Accuracy of one configuration on one task suite.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskScore {
     /// Short task name (`"WG"`, `"PQ"`, …).
     pub task: String,
@@ -19,7 +18,7 @@ pub struct TaskScore {
 }
 
 /// One row of an accuracy table: a configuration label plus its per-task accuracies.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccuracyRow {
     /// Configuration label ("Original", "HAAN", ablation labels…).
     pub label: String,
@@ -230,7 +229,9 @@ mod tests {
             correlation: 0.0,
             calibration_anchor_log_isd: 4.0,
         };
-        let broken = evaluator.evaluate_haan(&model, &config, Some(bad_plan)).unwrap();
+        let broken = evaluator
+            .evaluate_haan(&model, &config, Some(bad_plan))
+            .unwrap();
         assert!(
             broken.mean_accuracy() < original.mean_accuracy(),
             "broken {} vs original {}",
@@ -252,20 +253,32 @@ mod tests {
         let row = AccuracyRow {
             label: "x".into(),
             scores: vec![
-                TaskScore { task: "WG".into(), accuracy: 0.7 },
-                TaskScore { task: "PQ".into(), accuracy: 0.8 },
+                TaskScore {
+                    task: "WG".into(),
+                    accuracy: 0.7,
+                },
+                TaskScore {
+                    task: "PQ".into(),
+                    accuracy: 0.8,
+                },
             ],
         };
         assert!((row.mean_accuracy() - 0.75).abs() < 1e-12);
         assert_eq!(row.task_accuracy("PQ"), Some(0.8));
         assert_eq!(row.task_accuracy("HS"), None);
-        let empty = AccuracyRow { label: "e".into(), scores: vec![] };
+        let empty = AccuracyRow {
+            label: "e".into(),
+            scores: vec![],
+        };
         assert_eq!(empty.mean_accuracy(), 0.0);
         assert_eq!(evaluatorless_degradation_len(), 0);
     }
 
     fn evaluatorless_degradation_len() -> usize {
-        let a = AccuracyRow { label: "a".into(), scores: vec![] };
+        let a = AccuracyRow {
+            label: "a".into(),
+            scores: vec![],
+        };
         degradation(&a, &a).len()
     }
 

@@ -18,7 +18,13 @@
 //! * [`normalizer`] — [`HaanNormalizer`], a drop-in
 //!   [`Normalizer`](haan_llm::norm::Normalizer) that applies skipping, subsampling,
 //!   quantization and the fast inverse square root, so any `haan-llm` model can be
-//!   evaluated with HAAN statistics.
+//!   evaluated with HAAN statistics. Besides the per-token scalar path it implements
+//!   the **batched engine**
+//!   ([`normalize_matrix_into`](haan_llm::norm::Normalizer::normalize_matrix_into)):
+//!   one call per normalization site processes a whole `seq × E` matrix with the
+//!   per-site decisions hoisted out of the row loop, a reused scratch buffer, fused
+//!   chunked kernels, per-row skip anchors, and an optional row-parallel path gated
+//!   by [`ParallelPolicy`] in [`HaanConfig`].
 //! * [`calibration`] — the offline calibration pipeline (run a calibration set, gather
 //!   ISD profiles, run Algorithm 1).
 //! * [`evaluate`] — accuracy-evaluation helpers used to regenerate Tables I and II.
@@ -63,7 +69,7 @@ pub mod skipping;
 pub mod subsample;
 
 pub use calibration::{CalibrationOutcome, Calibrator};
-pub use config::{HaanConfig, HaanConfigBuilder};
+pub use config::{HaanConfig, HaanConfigBuilder, ParallelPolicy};
 pub use error::HaanError;
 pub use normalizer::{HaanNormalizer, NormalizerTelemetry};
 pub use predictor::{cal_decay, IsdPredictor};

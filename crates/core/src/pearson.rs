@@ -108,7 +108,7 @@ mod tests {
             ys in proptest::collection::vec(-100.0f64..100.0, 3..64),
         ) {
             if let Ok(r) = pearson_against_index(&ys) {
-                prop_assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9);
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
             }
         }
 

@@ -1,7 +1,6 @@
 //! The log-linear ISD predictor of Eq. 3 and the `cal_decay` slope fit.
 
 use crate::error::HaanError;
-use serde::{Deserialize, Serialize};
 
 /// Fits the decay coefficient `e` of Algorithm 1's `calDecay`: the least-squares slope
 /// of the given `log(ISD)` values against their layer offsets `0, 1, 2, …`.
@@ -43,7 +42,7 @@ pub fn cal_decay(log_isds: &[f64]) -> Result<f64, HaanError> {
 /// The anchor `log(ISD_i)` is observed at run time (the last layer before the skip
 /// range still computes its ISD); the decay coefficient `e` is fitted offline by
 /// [`cal_decay`] during calibration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IsdPredictor {
     anchor_layer: usize,
     decay: f64,
@@ -154,9 +153,7 @@ mod tests {
         assert_eq!(predictor.decay(), -0.04);
         let anchor_log = -1.0;
         assert!((predictor.predict_log_isd(anchor_log, 50).unwrap() + 1.0).abs() < 1e-12);
-        assert!(
-            (predictor.predict_log_isd(anchor_log, 60).unwrap() - (-1.0 - 0.4)).abs() < 1e-12
-        );
+        assert!((predictor.predict_log_isd(anchor_log, 60).unwrap() - (-1.0 - 0.4)).abs() < 1e-12);
         assert!(predictor.predict_log_isd(anchor_log, 49).is_err());
     }
 

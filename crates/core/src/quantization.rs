@@ -7,10 +7,9 @@
 //! exactly what the accelerator's fixed-point internal datapath does.
 
 use haan_numerics::Format;
-use serde::{Deserialize, Serialize};
 
 /// The quantization policy applied to normalization operands.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuantizationPolicy {
     format: Format,
     /// When false, the statistics are computed on the unquantized input (the policy is
@@ -49,14 +48,33 @@ impl QuantizationPolicy {
         self.enabled
     }
 
+    /// True when applying the policy cannot change any value (disabled, or FP32
+    /// round-trip). The batched engine uses this to skip the scratch-buffer copy on
+    /// the statistics path.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        !self.enabled || self.format == Format::Fp32
+    }
+
     /// Applies the policy to an operand vector, returning the values the statistics
     /// datapath would observe.
     #[must_use]
     pub fn apply(&self, z: &[f32]) -> Vec<f32> {
-        if !self.enabled {
-            return z.to_vec();
+        let mut out = Vec::new();
+        self.apply_into(z, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`QuantizationPolicy::apply`]: clears `out` and
+    /// fills it with the quantized operands, reusing its capacity. The batched
+    /// normalization engine calls this once per row with one scratch buffer.
+    pub fn apply_into(&self, z: &[f32], out: &mut Vec<f32>) {
+        if self.enabled {
+            self.format.round_trip_into(z, out);
+        } else {
+            out.clear();
+            out.extend_from_slice(z);
         }
-        self.format.round_trip(z)
     }
 
     /// Mean squared quantization error introduced on a vector (diagnostic).

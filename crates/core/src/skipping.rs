@@ -10,10 +10,9 @@
 use crate::error::HaanError;
 use crate::pearson::pearson_against_index;
 use crate::predictor::{cal_decay, IsdPredictor};
-use serde::{Deserialize, Serialize};
 
 /// The result of Algorithm 1: which layers to skip and how to predict their ISD.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SkipPlan {
     /// First layer of the skip range (the *anchor*: its ISD is still computed and used
     /// as `log(ISD_i)` in Eq. 3).
@@ -88,7 +87,7 @@ impl SkipPlan {
 }
 
 /// The ISD-skipping range search (Algorithm 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IsdSkipAlgorithm {
     /// Minimum gap `M` between the range endpoints.
     pub min_gap: usize,
@@ -146,7 +145,7 @@ impl IsdSkipAlgorithm {
                 };
                 let is_better = best
                     .as_ref()
-                    .map_or(true, |plan| correlation < plan.correlation);
+                    .is_none_or(|plan| correlation < plan.correlation);
                 if is_better {
                     let decay = cal_decay(window)?;
                     best = Some(SkipPlan {
@@ -177,7 +176,9 @@ pub fn mean_profile(profiles: &[Vec<f64>]) -> Result<Vec<f64>, HaanError> {
     };
     let num_layers = first.len();
     if num_layers == 0 {
-        return Err(HaanError::InvalidProfiles("profiles have zero layers".to_string()));
+        return Err(HaanError::InvalidProfiles(
+            "profiles have zero layers".to_string(),
+        ));
     }
     let mut mean = vec![0.0f64; num_layers];
     for profile in profiles {
@@ -298,7 +299,7 @@ mod tests {
         assert!(without_tail.end < profiles[0].len() - 2);
         // The unrestricted search may or may not pick the tail, but the restricted one
         // must not.
-        assert!(with_tail.end <= profiles[0].len() - 1);
+        assert!(with_tail.end < profiles[0].len());
     }
 
     proptest! {

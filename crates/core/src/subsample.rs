@@ -8,7 +8,6 @@
 
 use crate::error::HaanError;
 use haan_numerics::stats::{VectorStats, DEFAULT_EPS};
-use serde::{Deserialize, Serialize};
 
 /// Subsampled mean / ISD estimator.
 ///
@@ -24,13 +23,13 @@ use serde::{Deserialize, Serialize};
 /// assert!(rel < 0.2);
 /// # Ok::<(), haan::HaanError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SubsampleEstimator {
     n_sub: usize,
 }
 
 /// Statistics estimated from a subsampled input.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SubsampledStats {
     /// Estimated mean (from the prefix).
     pub mean: f32,
@@ -85,7 +84,7 @@ impl SubsampleEstimator {
     ///
     /// Same conditions as [`SubsampleEstimator::estimate`].
     pub fn isd_relative_error(&self, z: &[f32]) -> Result<f64, HaanError> {
-        let estimate = self.estimate(&z.to_vec())?;
+        let estimate = self.estimate(z)?;
         let exact = VectorStats::try_compute(z)
             .map_err(HaanError::from)?
             .isd(DEFAULT_EPS);
@@ -139,17 +138,26 @@ mod tests {
         for seed in 0..20 {
             let xs = gaussian_input(4096, seed);
             err_small += SubsampleEstimator::new(64).isd_relative_error(&xs).unwrap();
-            err_large += SubsampleEstimator::new(1024).isd_relative_error(&xs).unwrap();
+            err_large += SubsampleEstimator::new(1024)
+                .isd_relative_error(&xs)
+                .unwrap();
         }
-        assert!(err_large < err_small, "large {err_large} vs small {err_small}");
+        assert!(
+            err_large < err_small,
+            "large {err_large} vs small {err_small}"
+        );
     }
 
     #[test]
     fn full_length_subsample_is_exact() {
         let xs = gaussian_input(512, 3);
-        let err = SubsampleEstimator::new(512).isd_relative_error(&xs).unwrap();
+        let err = SubsampleEstimator::new(512)
+            .isd_relative_error(&xs)
+            .unwrap();
         assert!(err < 1e-6);
-        let err_clamped = SubsampleEstimator::new(10_000).isd_relative_error(&xs).unwrap();
+        let err_clamped = SubsampleEstimator::new(10_000)
+            .isd_relative_error(&xs)
+            .unwrap();
         assert!(err_clamped < 1e-6);
     }
 
@@ -160,7 +168,11 @@ mod tests {
         let mut worst: f64 = 0.0;
         for seed in 0..10 {
             let xs = gaussian_input(4096, 100 + seed);
-            worst = worst.max(SubsampleEstimator::new(256).isd_relative_error(&xs).unwrap());
+            worst = worst.max(
+                SubsampleEstimator::new(256)
+                    .isd_relative_error(&xs)
+                    .unwrap(),
+            );
         }
         assert!(worst < 0.2, "worst-case relative error {worst}");
     }

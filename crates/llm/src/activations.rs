@@ -2,10 +2,9 @@
 
 use crate::norm::{NormSite, Normalizer};
 use haan_numerics::stats::{VectorStats, Welford, DEFAULT_EPS};
-use serde::{Deserialize, Serialize};
 
 /// The statistics of one normalization-layer invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NormObservation {
     /// Global normalization-layer index.
     pub layer_index: usize,
@@ -26,7 +25,7 @@ impl NormObservation {
 }
 
 /// Per-layer aggregate of observations across many tokens/samples.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LayerProfile {
     /// Welford accumulator over the observed `log(ISD)` values.
     pub log_isd: Welford,
@@ -130,17 +129,40 @@ impl<N: Normalizer> RecordingNormalizer<N> {
     }
 }
 
-impl<N: Normalizer> Normalizer for RecordingNormalizer<N> {
-    fn normalize(&mut self, site: NormSite, z: &[f32], gamma: &[f32], beta: &[f32]) -> Vec<f32> {
+impl<N: Normalizer> RecordingNormalizer<N> {
+    fn record(&mut self, layer_index: usize, z: &[f32]) {
         if let Ok(stats) = VectorStats::try_compute(z) {
             self.observations.push(NormObservation {
-                layer_index: site.layer_index,
+                layer_index,
                 mean: stats.mean,
                 variance: stats.variance,
                 isd: stats.isd(DEFAULT_EPS),
             });
         }
+    }
+}
+
+impl<N: Normalizer> Normalizer for RecordingNormalizer<N> {
+    fn normalize(&mut self, site: NormSite, z: &[f32], gamma: &[f32], beta: &[f32]) -> Vec<f32> {
+        self.record(site.layer_index, z);
         self.inner.normalize(site, z, gamma, beta)
+    }
+
+    fn normalize_matrix_into(
+        &mut self,
+        site: NormSite,
+        input: &crate::tensor::Matrix,
+        gamma: &[f32],
+        beta: &[f32],
+        out: &mut crate::tensor::Matrix,
+    ) {
+        // Record per row, then delegate the whole batch so the inner normalizer's
+        // batched (fused) path stays engaged — recording must not change the result.
+        for row in 0..input.rows() {
+            self.record(site.layer_index, input.row(row));
+        }
+        self.inner
+            .normalize_matrix_into(site, input, gamma, beta, out);
     }
 
     fn begin_sequence(&mut self) {

@@ -4,13 +4,12 @@ use crate::error::LlmError;
 use crate::init::gaussian_matrix;
 use crate::tensor::Matrix;
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 
 /// A multi-head causal self-attention layer with full (not KV-cached) computation.
 ///
 /// The projection weights are stored as `E × E` matrices; heads are processed by
 /// slicing the projected queries/keys/values column-wise.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiHeadAttention {
     embedding_dim: usize,
     num_heads: usize,
@@ -31,7 +30,7 @@ impl MultiHeadAttention {
     #[must_use]
     pub fn new(rng: &mut StdRng, embedding_dim: usize, num_heads: usize, output_gain: f32) -> Self {
         assert!(
-            embedding_dim % num_heads == 0,
+            embedding_dim.is_multiple_of(num_heads),
             "head count must divide the embedding dimension"
         );
         let std = (1.0 / embedding_dim as f32).sqrt();
@@ -86,20 +85,25 @@ impl MultiHeadAttention {
         let scale = 1.0 / (head_dim as f32).sqrt();
         let mut concat = Matrix::zeros(seq, self.embedding_dim);
 
+        // One set of scratch buffers reused across heads: the per-head loop performs
+        // no allocation.
+        let mut q = Matrix::zeros(seq, head_dim);
+        let mut k = Matrix::zeros(seq, head_dim);
+        let mut v = Matrix::zeros(seq, head_dim);
+        let mut scores = Matrix::zeros(seq, seq);
+        let mut head_out = Matrix::zeros(seq, head_dim);
+
         for head in 0..self.num_heads {
             let col_start = head * head_dim;
-            let q = slice_columns(&queries, col_start, head_dim);
-            let k = slice_columns(&keys, col_start, head_dim);
-            let v = slice_columns(&values, col_start, head_dim);
+            queries.columns_into(col_start, head_dim, &mut q)?;
+            keys.columns_into(col_start, head_dim, &mut k)?;
+            values.columns_into(col_start, head_dim, &mut v)?;
 
-            let mut scores = q.matmul_transposed(&k)?.scale(scale);
+            q.matmul_transposed_into(&k, &mut scores)?;
+            scores.scale_in_place(scale);
             scores.causal_softmax_rows();
-            let head_out = scores.matmul(&v)?;
-            for row in 0..seq {
-                for col in 0..head_dim {
-                    concat.set(row, col_start + col, head_out.get(row, col));
-                }
-            }
+            scores.matmul_into(&v, &mut head_out)?;
+            concat.set_columns(col_start, &head_out)?;
         }
         concat.matmul(&self.w_output)
     }
@@ -113,16 +117,6 @@ impl MultiHeadAttention {
         // Four projections plus the two score/value matmuls.
         4 * s * e * e + 2 * s * s * e
     }
-}
-
-fn slice_columns(m: &Matrix, start: usize, width: usize) -> Matrix {
-    let mut out = Matrix::zeros(m.rows(), width);
-    for row in 0..m.rows() {
-        for col in 0..width {
-            out.set(row, col, m.get(row, start + col));
-        }
-    }
-    out
 }
 
 #[cfg(test)]

@@ -8,10 +8,9 @@ use crate::mlp::FeedForward;
 use crate::norm::{NormSite, Normalizer};
 use crate::tensor::Matrix;
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 
 /// One decoder block with its two normalization layers' learnable parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransformerBlock {
     block_index: usize,
     norm_kind: NormKind,
@@ -86,8 +85,8 @@ impl TransformerBlock {
             &self.gamma_attn,
             &self.beta_attn,
         );
-        let attn_out = self.attention.forward(&normed_attn)?;
-        let after_attn = hidden.add(&attn_out)?;
+        let mut after_attn = self.attention.forward(&normed_attn)?;
+        after_attn.add_assign(hidden)?;
 
         let normed_mlp = self.apply_norm(
             &after_attn,
@@ -96,10 +95,13 @@ impl TransformerBlock {
             &self.gamma_mlp,
             &self.beta_mlp,
         );
-        let mlp_out = self.mlp.forward(&normed_mlp)?;
-        after_attn.add(&mlp_out)
+        let mut out = self.mlp.forward(&normed_mlp)?;
+        out.add_assign(&after_attn)?;
+        Ok(out)
     }
 
+    /// Normalizes all rows at one site through the batched normalizer API (one call
+    /// per site, so the normalizer can hoist per-site decisions out of the row loop).
     fn apply_norm<N: Normalizer + ?Sized>(
         &self,
         hidden: &Matrix,
@@ -112,12 +114,7 @@ impl TransformerBlock {
             layer_index,
             kind: self.norm_kind,
         };
-        let mut out = Matrix::zeros(hidden.rows(), hidden.cols());
-        for row in 0..hidden.rows() {
-            let normalized = normalizer.normalize(site, hidden.row(row), gamma, beta);
-            out.row_mut(row).copy_from_slice(&normalized);
-        }
-        out
+        normalizer.normalize_matrix(site, hidden, gamma, beta)
     }
 
     /// Multiply-accumulate count of the block for a given sequence length.
@@ -156,7 +153,10 @@ mod tests {
         let out = b.forward(&hidden, &mut ReferenceNormalizer::new()).unwrap();
         let var_in = VectorStats::compute(hidden.as_slice()).variance;
         let var_out = VectorStats::compute(out.as_slice()).variance;
-        assert!(var_out > var_in, "block 0 should add variance to the stream");
+        assert!(
+            var_out > var_in,
+            "block 0 should add variance to the stream"
+        );
     }
 
     #[test]

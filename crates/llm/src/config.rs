@@ -8,11 +8,10 @@
 //! in milliseconds.
 
 use crate::error::LlmError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The normalization flavour a model uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NormKind {
     /// LayerNorm (GPT-2, OPT, Megatron-LM).
     LayerNorm,
@@ -30,7 +29,7 @@ impl fmt::Display for NormKind {
 }
 
 /// The model families evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelFamily {
     /// LLaMA-style (RMSNorm, SwiGLU MLP, no biases).
     Llama,
@@ -51,7 +50,7 @@ impl fmt::Display for ModelFamily {
 }
 
 /// Configuration of a decoder-only transformer.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelConfig {
     /// Human-readable name (e.g. `"LLaMA-7B"`).
     pub name: String,
@@ -91,7 +90,7 @@ impl ModelConfig {
     /// (pre-attention and pre-MLP) plus the optional final normalization.
     #[must_use]
     pub fn num_norm_layers(&self) -> usize {
-         2 * self.num_blocks + usize::from(self.final_norm)
+        2 * self.num_blocks + usize::from(self.final_norm)
     }
 
     /// Approximate parameter count of the configured model (not the paper-scale one).
@@ -120,7 +119,7 @@ impl ModelConfig {
                 "all dimensions must be non-zero".to_string(),
             ));
         }
-        if self.embedding_dim % self.num_heads != 0 {
+        if !self.embedding_dim.is_multiple_of(self.num_heads) {
             return Err(LlmError::InvalidConfig(format!(
                 "embedding dim {} is not divisible by head count {}",
                 self.embedding_dim, self.num_heads
@@ -138,7 +137,7 @@ impl ModelConfig {
         // Keep the head count a divisor of the embedding width.
         let num_heads = (1..=num_heads)
             .rev()
-            .find(|h| embedding_dim % h == 0)
+            .find(|h| embedding_dim.is_multiple_of(*h))
             .unwrap_or(1);
         Self {
             name: format!("{} (scaled)", self.name),

@@ -8,7 +8,6 @@
 use crate::error::LlmError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// A synthetic corpus generator.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(calibration.iter().all(|s| s.len() == 16));
 /// # Ok::<(), haan_llm::LlmError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyntheticCorpus {
     vocab_size: usize,
     zipf_exponent: f64,
@@ -56,7 +55,10 @@ impl SyntheticCorpus {
     /// Returns [`LlmError::InvalidSequenceLength`] when `length` is zero.
     pub fn sample_sequence(&self, length: usize, rng: &mut StdRng) -> Result<Vec<u32>, LlmError> {
         if length == 0 {
-            return Err(LlmError::InvalidSequenceLength { length, max: usize::MAX });
+            return Err(LlmError::InvalidSequenceLength {
+                length,
+                max: usize::MAX,
+            });
         }
         let weights: Vec<f64> = (1..=self.vocab_size)
             .map(|rank| 1.0 / (rank as f64).powf(self.zipf_exponent))

@@ -43,7 +43,10 @@ impl fmt::Display for LlmError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             LlmError::TokenOutOfRange { token, vocab } => {
-                write!(f, "token id {token} is outside the vocabulary of size {vocab}")
+                write!(
+                    f,
+                    "token id {token} is outside the vocabulary of size {vocab}"
+                )
             }
             LlmError::InvalidSequenceLength { length, max } => {
                 write!(f, "invalid sequence length {length} (maximum {max})")
@@ -70,10 +73,16 @@ mod tests {
         assert!(err.to_string().contains("matmul"));
         assert!(err.to_string().contains("(2, 3)"));
 
-        let err = LlmError::TokenOutOfRange { token: 300, vocab: 256 };
+        let err = LlmError::TokenOutOfRange {
+            token: 300,
+            vocab: 256,
+        };
         assert!(err.to_string().contains("300"));
 
-        let err = LlmError::InvalidSequenceLength { length: 0, max: 128 };
+        let err = LlmError::InvalidSequenceLength {
+            length: 0,
+            max: 128,
+        };
         assert!(err.to_string().contains("0"));
     }
 

@@ -5,14 +5,13 @@ use crate::error::LlmError;
 use crate::init::gaussian_matrix;
 use crate::tensor::{gelu, silu, Matrix};
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 
 /// A position-wise feed-forward network.
 ///
 /// GPT-2/OPT use the classic two-matrix GeLU MLP; LLaMA uses the gated SwiGLU variant
 /// with three matrices. Both are supported so that the LLaMA-7B and GPT-2/OPT subjects
 /// of the paper exercise their actual block structure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeedForward {
     family: ModelFamily,
     embedding_dim: usize,
@@ -81,15 +80,16 @@ impl FeedForward {
                 rhs: (self.embedding_dim, self.mlp_dim),
             });
         }
-        let hidden = input.matmul(&self.w_in)?;
-        let activated = match &self.w_gate {
-            None => hidden.map(gelu),
+        let mut hidden = input.matmul(&self.w_in)?;
+        match &self.w_gate {
+            None => hidden.map_in_place(gelu),
             Some(w_gate) => {
-                let gate = input.matmul(w_gate)?.map(silu);
-                elementwise_product(&hidden, &gate)?
+                let mut gate = input.matmul(w_gate)?;
+                gate.map_in_place(silu);
+                hidden.mul_assign(&gate)?;
             }
-        };
-        activated.matmul(&self.w_out)
+        }
+        hidden.matmul(&self.w_out)
     }
 
     /// Number of multiply-accumulate operations for a sequence of the given length.
@@ -98,23 +98,6 @@ impl FeedForward {
         let matrices = if self.is_gated() { 3 } else { 2 };
         matrices * seq_len as u64 * self.embedding_dim as u64 * self.mlp_dim as u64
     }
-}
-
-fn elementwise_product(a: &Matrix, b: &Matrix) -> Result<Matrix, LlmError> {
-    if a.shape() != b.shape() {
-        return Err(LlmError::ShapeMismatch {
-            op: "elementwise product",
-            lhs: a.shape(),
-            rhs: b.shape(),
-        });
-    }
-    let data = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(x, y)| x * y)
-        .collect();
-    Matrix::from_vec(a.rows(), a.cols(), data)
 }
 
 #[cfg(test)]

@@ -8,7 +8,6 @@ use crate::norm::{NormSite, Normalizer};
 use crate::tensor::{log_softmax, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// A decoder-only transformer with seeded random weights.
 ///
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(logits.shape(), (4, 64));
 /// # Ok::<(), haan_llm::LlmError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransformerModel {
     config: ModelConfig,
     token_embedding: Matrix,
@@ -137,13 +136,8 @@ impl TransformerModel {
                 layer_index: 2 * self.blocks.len(),
                 kind: self.config.norm_kind(),
             };
-            let mut out = Matrix::zeros(hidden.rows(), hidden.cols());
-            for row in 0..hidden.rows() {
-                let normalized =
-                    normalizer.normalize(site, hidden.row(row), &self.final_gamma, &self.final_beta);
-                out.row_mut(row).copy_from_slice(&normalized);
-            }
-            hidden = out;
+            hidden =
+                normalizer.normalize_matrix(site, &hidden, &self.final_gamma, &self.final_beta);
         }
         Ok(hidden)
     }
@@ -229,7 +223,8 @@ impl TransformerModel {
     #[must_use]
     pub fn mac_count(&self, seq_len: usize) -> u64 {
         let block_macs: u64 = self.blocks.iter().map(|b| b.mac_count(seq_len)).sum();
-        let head_macs = seq_len as u64 * self.config.embedding_dim as u64 * self.config.vocab_size as u64;
+        let head_macs =
+            seq_len as u64 * self.config.embedding_dim as u64 * self.config.vocab_size as u64;
         block_macs + head_macs
     }
 }
@@ -268,7 +263,9 @@ mod tests {
             .forward_hidden(&tokens, &mut ReferenceNormalizer::new())
             .unwrap();
         assert_eq!(hidden.shape(), (5, 32));
-        let logits = model.logits(&tokens, &mut ReferenceNormalizer::new()).unwrap();
+        let logits = model
+            .logits(&tokens, &mut ReferenceNormalizer::new())
+            .unwrap();
         assert_eq!(logits.shape(), (5, 64));
         assert_eq!(model.num_norm_layers(), 9);
     }
@@ -287,7 +284,9 @@ mod tests {
     fn different_normalizers_give_similar_but_not_identical_outputs() {
         let model = tiny_model();
         let tokens = [3u32, 7, 11, 13];
-        let exact = model.logits(&tokens, &mut ReferenceNormalizer::new()).unwrap();
+        let exact = model
+            .logits(&tokens, &mut ReferenceNormalizer::new())
+            .unwrap();
         // LayerNorm-only normalizer on an (effectively LayerNorm) GPT-2 model matches.
         let with_ln = model.logits(&tokens, &mut LayerNorm::new()).unwrap();
         assert_eq!(exact, with_ln);
@@ -297,7 +296,9 @@ mod tests {
     fn scoring_prefers_the_model_own_prediction() {
         let model = tiny_model();
         let prompt = [1u32, 2, 3];
-        let logits = model.logits(&prompt, &mut ReferenceNormalizer::new()).unwrap();
+        let logits = model
+            .logits(&prompt, &mut ReferenceNormalizer::new())
+            .unwrap();
         let last = logits.row(2);
         let best = last
             .iter()
@@ -312,8 +313,12 @@ mod tests {
             .map(|(i, _)| i as u32)
             .unwrap();
         let mut norm = ReferenceNormalizer::new();
-        let score_best = model.score_continuation(&prompt, &[best], &mut norm).unwrap();
-        let score_worst = model.score_continuation(&prompt, &[worst], &mut norm).unwrap();
+        let score_best = model
+            .score_continuation(&prompt, &[best], &mut norm)
+            .unwrap();
+        let score_worst = model
+            .score_continuation(&prompt, &[worst], &mut norm)
+            .unwrap();
         assert!(score_best > score_worst);
         assert!(model.score_continuation(&prompt, &[], &mut norm).is_err());
     }

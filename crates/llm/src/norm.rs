@@ -1,16 +1,25 @@
 //! Normalization operations and the [`Normalizer`] trait the HAAN algorithm plugs into.
 //!
-//! The model calls the normalizer once per normalization layer per token vector and
-//! tells it *which* normalization layer (global index) it is computing, so an
-//! implementation can keep cross-layer state — exactly what HAAN's ISD-skipping
+//! The model invokes the normalizer through two entry points:
+//!
+//! * [`Normalizer::normalize`] — one token vector at a time, the original scalar path
+//!   (kept as the reference oracle);
+//! * [`Normalizer::normalize_matrix_into`] — the batched hot path: a whole `seq × E`
+//!   hidden-state matrix per normalization site, writing into a caller-provided
+//!   matrix. The default implementation loops the scalar path (so custom normalizers
+//!   keep working unchanged); the built-in normalizers override it with the fused,
+//!   allocation-free kernels of [`haan_numerics::stats`].
+//!
+//! Each invocation carries *which* normalization layer (global index) it is computing,
+//! so an implementation can keep cross-layer state — exactly what HAAN's ISD-skipping
 //! predictor needs.
 
 use crate::config::NormKind;
-use haan_numerics::stats::{VectorStats, DEFAULT_EPS};
-use serde::{Deserialize, Serialize};
+use crate::tensor::Matrix;
+use haan_numerics::stats::{normalize_rows_into, RowNormMode, VectorStats, DEFAULT_EPS};
 
 /// Identifies one normalization-layer invocation within a forward pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NormSite {
     /// Global index of the normalization layer, in execution order (0-based).
     pub layer_index: usize,
@@ -41,6 +50,54 @@ pub trait Normalizer {
     /// Normalizes the vector `z` with the learnable scale `gamma` and shift `beta`.
     fn normalize(&mut self, site: NormSite, z: &[f32], gamma: &[f32], beta: &[f32]) -> Vec<f32>;
 
+    /// Normalizes every row of `input` at the same [`NormSite`], writing into `out`.
+    ///
+    /// This is the batched hot path the transformer forward pass uses: one call per
+    /// normalization site instead of one per token, so implementations can hoist
+    /// per-site decisions (skip plan lookup, quantization policy, scratch buffers)
+    /// out of the row loop. The default implementation delegates to
+    /// [`Normalizer::normalize`] row by row, preserving the exact observable behavior
+    /// (site order, per-row statistics) for third-party implementations.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `out` has a different shape from `input`, or when
+    /// `gamma` / `beta` do not have `input.cols()` elements (programmer error, same
+    /// contract as the `debug_assert`s of the scalar path but enforced always since
+    /// batched callers construct `out` themselves).
+    fn normalize_matrix_into(
+        &mut self,
+        site: NormSite,
+        input: &Matrix,
+        gamma: &[f32],
+        beta: &[f32],
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            input.shape(),
+            out.shape(),
+            "normalize_matrix_into shape mismatch"
+        );
+        for row in 0..input.rows() {
+            let normalized = self.normalize(site, input.row(row), gamma, beta);
+            out.row_mut(row).copy_from_slice(&normalized);
+        }
+    }
+
+    /// Convenience wrapper over [`Normalizer::normalize_matrix_into`] that allocates
+    /// the output matrix (once per call, not once per row).
+    fn normalize_matrix(
+        &mut self,
+        site: NormSite,
+        input: &Matrix,
+        gamma: &[f32],
+        beta: &[f32],
+    ) -> Matrix {
+        let mut out = Matrix::zeros(input.rows(), input.cols());
+        self.normalize_matrix_into(site, input, gamma, beta, &mut out);
+        out
+    }
+
     /// Called before the first normalization layer of each token's forward pass.
     fn begin_sequence(&mut self) {}
 
@@ -50,8 +107,56 @@ pub trait Normalizer {
     }
 }
 
+impl NormKind {
+    /// The numerics-crate row mode equivalent to this normalization kind.
+    #[must_use]
+    pub fn row_mode(self) -> RowNormMode {
+        match self {
+            NormKind::LayerNorm => RowNormMode::LayerNorm,
+            NormKind::RmsNorm => RowNormMode::RmsNorm,
+        }
+    }
+}
+
+/// Shared fused batch kernel for the exact (reference) normalizers.
+fn exact_batch_into(
+    kind: NormKind,
+    eps: f32,
+    input: &Matrix,
+    gamma: &[f32],
+    beta: &[f32],
+    out: &mut Matrix,
+) {
+    assert_eq!(
+        input.shape(),
+        out.shape(),
+        "normalize_matrix_into shape mismatch"
+    );
+    let cols = input.cols();
+    assert_eq!(
+        gamma.len(),
+        cols,
+        "normalize_matrix_into gamma length mismatch"
+    );
+    assert_eq!(
+        beta.len(),
+        cols,
+        "normalize_matrix_into beta length mismatch"
+    );
+    normalize_rows_into(
+        input.as_slice(),
+        cols,
+        gamma,
+        beta,
+        kind.row_mode(),
+        eps,
+        out.as_mut_slice(),
+    )
+    .expect("buffer shapes were validated above");
+}
+
 /// Reference (exact, FP32) LayerNorm: `s = γ · (z − μ)/σ + β`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LayerNorm {
     eps: f32,
 }
@@ -81,13 +186,24 @@ impl Normalizer for LayerNorm {
         normalize_with_stats(z, gamma, beta, NormKind::LayerNorm, self.eps, None, None)
     }
 
+    fn normalize_matrix_into(
+        &mut self,
+        _site: NormSite,
+        input: &Matrix,
+        gamma: &[f32],
+        beta: &[f32],
+        out: &mut Matrix,
+    ) {
+        exact_batch_into(NormKind::LayerNorm, self.eps, input, gamma, beta, out);
+    }
+
     fn description(&self) -> String {
         "reference LayerNorm (FP32)".to_string()
     }
 }
 
 /// Reference (exact, FP32) RMSNorm: `s = γ · z / rms(z) + β`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RmsNorm {
     eps: f32,
 }
@@ -117,6 +233,17 @@ impl Normalizer for RmsNorm {
         normalize_with_stats(z, gamma, beta, NormKind::RmsNorm, self.eps, None, None)
     }
 
+    fn normalize_matrix_into(
+        &mut self,
+        _site: NormSite,
+        input: &Matrix,
+        gamma: &[f32],
+        beta: &[f32],
+        out: &mut Matrix,
+    ) {
+        exact_batch_into(NormKind::RmsNorm, self.eps, input, gamma, beta, out);
+    }
+
     fn description(&self) -> String {
         "reference RMSNorm (FP32)".to_string()
     }
@@ -124,7 +251,7 @@ impl Normalizer for RmsNorm {
 
 /// A reference normalizer that dispatches on the site's [`NormKind`], used as the
 /// "Original" configuration in the accuracy tables.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ReferenceNormalizer {
     eps: f32,
 }
@@ -140,6 +267,17 @@ impl ReferenceNormalizer {
 impl Normalizer for ReferenceNormalizer {
     fn normalize(&mut self, site: NormSite, z: &[f32], gamma: &[f32], beta: &[f32]) -> Vec<f32> {
         normalize_with_stats(z, gamma, beta, site.kind, self.eps, None, None)
+    }
+
+    fn normalize_matrix_into(
+        &mut self,
+        site: NormSite,
+        input: &Matrix,
+        gamma: &[f32],
+        beta: &[f32],
+        out: &mut Matrix,
+    ) {
+        exact_batch_into(site.kind, self.eps, input, gamma, beta, out);
     }
 
     fn description(&self) -> String {
@@ -247,7 +385,10 @@ mod tests {
         let rms_out = reference.normalize(site(NormKind::RmsNorm), &z, &gamma, &beta);
         assert_ne!(ln_out, rms_out);
         let mut ln = LayerNorm::new();
-        assert_eq!(ln.normalize(site(NormKind::LayerNorm), &z, &gamma, &beta), ln_out);
+        assert_eq!(
+            ln.normalize(site(NormKind::LayerNorm), &z, &gamma, &beta),
+            ln_out
+        );
         assert!(reference.description().contains("reference"));
     }
 
@@ -257,12 +398,21 @@ mod tests {
         let gamma = vec![1.0f32; 4];
         let beta = vec![0.0f32; 4];
         let exact = normalize_with_stats(&z, &gamma, &beta, NormKind::LayerNorm, 0.0, None, None);
-        let forced =
-            normalize_with_stats(&z, &gamma, &beta, NormKind::LayerNorm, 0.0, Some(0.0), Some(1.0));
+        let forced = normalize_with_stats(
+            &z,
+            &gamma,
+            &beta,
+            NormKind::LayerNorm,
+            0.0,
+            Some(0.0),
+            Some(1.0),
+        );
         assert_ne!(exact, forced);
         // With mean 0 and ISD 1 the "normalized" output is just the input.
         assert_eq!(forced, z);
-        assert!(normalize_with_stats(&[], &[], &[], NormKind::LayerNorm, 0.0, None, None).is_empty());
+        assert!(
+            normalize_with_stats(&[], &[], &[], NormKind::LayerNorm, 0.0, None, None).is_empty()
+        );
     }
 
     #[test]
@@ -270,11 +420,83 @@ mod tests {
         assert_eq!(LayerNorm::with_eps(1e-3).eps(), 1e-3);
         assert_eq!(RmsNorm::with_eps(1e-3).eps(), 1e-3);
         assert_eq!(LayerNorm::new().eps(), DEFAULT_EPS);
-        assert_eq!(RmsNorm::default().eps(), 0.0_f32.max(RmsNorm::default().eps()));
+        assert_eq!(
+            RmsNorm::default().eps(),
+            0.0_f32.max(RmsNorm::default().eps())
+        );
         let mut ln = LayerNorm::new();
         ln.begin_sequence(); // default impl is a no-op
         assert!(ln.description().contains("LayerNorm"));
         assert!(RmsNorm::new().description().contains("RMSNorm"));
+    }
+
+    #[test]
+    fn batched_reference_matches_scalar_reference() {
+        // The fused batched kernel must agree with the scalar oracle row by row for
+        // both kinds, including rows that straddle the chunk-lane width.
+        let cols = 37;
+        let rows = 5;
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 97 % 41) as f32 - 20.0) / 4.0)
+            .collect();
+        let input = Matrix::from_vec(rows, cols, data).unwrap();
+        let gamma: Vec<f32> = (0..cols).map(|i| 1.0 + (i % 7) as f32 * 0.05).collect();
+        let beta: Vec<f32> = (0..cols).map(|i| (i % 4) as f32 * 0.1 - 0.15).collect();
+        for kind in [NormKind::LayerNorm, NormKind::RmsNorm] {
+            let mut reference = ReferenceNormalizer::new();
+            let batched = reference.normalize_matrix(site(kind), &input, &gamma, &beta);
+            for row in 0..rows {
+                let scalar = reference.normalize(site(kind), input.row(row), &gamma, &beta);
+                for (col, (a, b)) in batched.row(row).iter().zip(&scalar).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-5 * b.abs().max(1.0),
+                        "{kind}: row {row} col {col}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_batched_impl_loops_the_scalar_path() {
+        // A normalizer that does not override the batched entry point must observe
+        // one scalar call per row, in row order.
+        struct Recorder(Vec<usize>);
+        impl Normalizer for Recorder {
+            fn normalize(&mut self, _s: NormSite, z: &[f32], _g: &[f32], _b: &[f32]) -> Vec<f32> {
+                self.0.push(z.len());
+                z.to_vec()
+            }
+        }
+        let input = Matrix::from_vec(3, 4, (0..12).map(|i| i as f32).collect()).unwrap();
+        let gamma = vec![1.0f32; 4];
+        let beta = vec![0.0f32; 4];
+        let mut recorder = Recorder(Vec::new());
+        let out = recorder.normalize_matrix(site(NormKind::LayerNorm), &input, &gamma, &beta);
+        assert_eq!(out, input);
+        assert_eq!(recorder.0, vec![4, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn batched_entry_point_rejects_mismatched_output() {
+        let input = Matrix::zeros(2, 4);
+        let mut out = Matrix::zeros(2, 3);
+        let gamma = vec![1.0f32; 4];
+        let beta = vec![0.0f32; 4];
+        LayerNorm::new().normalize_matrix_into(
+            site(NormKind::LayerNorm),
+            &input,
+            &gamma,
+            &beta,
+            &mut out,
+        );
+    }
+
+    #[test]
+    fn norm_kind_maps_to_row_mode() {
+        assert_eq!(NormKind::LayerNorm.row_mode(), RowNormMode::LayerNorm);
+        assert_eq!(NormKind::RmsNorm.row_mode(), RowNormMode::RmsNorm);
     }
 
     proptest! {

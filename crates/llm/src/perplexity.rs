@@ -6,10 +6,9 @@
 use crate::error::LlmError;
 use crate::model::TransformerModel;
 use crate::norm::Normalizer;
-use serde::{Deserialize, Serialize};
 
 /// Result of a perplexity evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerplexityResult {
     /// Average next-token negative log-likelihood (nats per token).
     pub average_nll: f64,

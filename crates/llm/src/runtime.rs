@@ -9,10 +9,9 @@
 //! Away from the reference point the physical model governs how each class scales.
 
 use crate::config::{ModelConfig, ModelFamily};
-use serde::{Deserialize, Serialize};
 
 /// The operation classes of Fig. 1(b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// Linear-layer matrix multiplications.
     Matmul,
@@ -35,7 +34,7 @@ impl OpClass {
 }
 
 /// Which inference-side optimizations are applied (the "after optimization" bars).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OptimizationConfig {
     /// FlashAttention-style fused softmax (the paper cites an 80 % softmax-latency
     /// reduction).
@@ -65,7 +64,7 @@ impl OptimizationConfig {
 }
 
 /// Per-class runtime of one forward pass, in milliseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeBreakdown {
     /// Matmul time (ms).
     pub matmul_ms: f64,
@@ -112,14 +111,14 @@ impl RuntimeBreakdown {
 }
 
 /// Measured Fig. 1(b) shares used for calibration: `(matmul, softmax, norm, other)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct MeasuredShares {
     original: [f64; 4],
     optimized: [f64; 4],
 }
 
 /// The analytic GPU runtime model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuRuntimeModel {
     /// Matmul throughput in multiply-accumulates per second (FP16 tensor cores with a
     /// realistic utilisation factor).
@@ -219,8 +218,11 @@ impl GpuRuntimeModel {
             return physical;
         };
         // Calibrate each class at the reference point (original configuration).
-        let reference =
-            self.physical_breakdown(config, self.calibration_seq_len, OptimizationConfig::original());
+        let reference = self.physical_breakdown(
+            config,
+            self.calibration_seq_len,
+            OptimizationConfig::original(),
+        );
         let reference_total = reference.total_ms();
         let scale = |class_time: f64, measured_share: f64, reference_class: f64| {
             if reference_class == 0.0 {
@@ -231,7 +233,11 @@ impl GpuRuntimeModel {
         };
         RuntimeBreakdown {
             matmul_ms: scale(physical.matmul_ms, shares.original[0], reference.matmul_ms),
-            softmax_ms: scale(physical.softmax_ms, shares.original[1], reference.softmax_ms),
+            softmax_ms: scale(
+                physical.softmax_ms,
+                shares.original[1],
+                reference.softmax_ms,
+            ),
             normalization_ms: scale(
                 physical.normalization_ms,
                 shares.original[2],
@@ -245,7 +251,8 @@ impl GpuRuntimeModel {
     /// Figs. 8(b) and 9.
     #[must_use]
     pub fn normalization_latency_us(&self, config: &ModelConfig, seq_len: usize) -> f64 {
-        let elems = config.num_norm_layers() as f64 * seq_len as f64 * config.paper_embedding_dim as f64;
+        let elems =
+            config.num_norm_layers() as f64 * seq_len as f64 * config.paper_embedding_dim as f64;
         elems / self.norm_elems_per_sec * 1e6
             + config.num_norm_layers() as f64 * self.norm_launch_overhead_us
     }

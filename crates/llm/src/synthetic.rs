@@ -13,10 +13,9 @@
 use crate::config::ModelConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// A generative model of per-layer `log(ISD)` profiles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IsdProfileModel {
     /// Number of normalization layers in the profile.
     pub num_layers: usize,
@@ -110,7 +109,8 @@ impl IsdProfileModel {
         let token_offset: f64 = rng.gen_range(-0.25..0.25);
         (0..self.num_layers)
             .map(|l| {
-                let mut v = self.expected_log_isd(l) + token_offset
+                let mut v = self.expected_log_isd(l)
+                    + token_offset
                     + rng.gen_range(-self.noise_std..self.noise_std);
                 if l + Self::TAIL_LAYERS >= self.num_layers {
                     v += rng.gen_range(-self.tail_fluctuation..self.tail_fluctuation);

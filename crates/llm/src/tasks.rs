@@ -21,16 +21,15 @@
 //! shows up as an accuracy drop, mirroring the paper's evaluation protocol
 //! (lm-eval-harness likelihood ranking).
 
-use crate::error::LlmError;
 use crate::dataset::SyntheticCorpus;
+use crate::error::LlmError;
 use crate::model::TransformerModel;
 use crate::norm::Normalizer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Specification of one synthetic task suite.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
     /// Full task name (e.g. `"WinoGrande (synthetic)"`).
     pub name: String,
@@ -78,7 +77,7 @@ impl TaskSpec {
 }
 
 /// One multiple-choice item.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskItem {
     /// Prompt token sequence.
     pub prompt: Vec<u32>,
@@ -89,7 +88,7 @@ pub struct TaskItem {
 }
 
 /// Accuracy of one evaluation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskAccuracy {
     /// Number of correctly answered items.
     pub correct: usize,
@@ -110,7 +109,7 @@ impl TaskAccuracy {
 }
 
 /// A generated task suite bound to a particular model's vocabulary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSuite {
     spec: TaskSpec,
     items: Vec<TaskItem>,
@@ -281,7 +280,11 @@ mod tests {
             .evaluate(&model, &mut ReferenceNormalizer::new())
             .unwrap();
         // Expected accuracy ≈ 1 − 0.5 = 0.5; allow generous sampling slack.
-        assert!(acc.accuracy() > 0.25 && acc.accuracy() < 0.8, "{}", acc.accuracy());
+        assert!(
+            acc.accuracy() > 0.25 && acc.accuracy() < 0.8,
+            "{}",
+            acc.accuracy()
+        );
     }
 
     #[test]
@@ -311,17 +314,20 @@ mod tests {
 
     #[test]
     fn accuracy_helper_handles_empty() {
-        let acc = TaskAccuracy { correct: 0, total: 0 };
+        let acc = TaskAccuracy {
+            correct: 0,
+            total: 0,
+        };
         assert_eq!(acc.accuracy(), 0.0);
     }
 
     #[test]
     fn generation_is_deterministic() {
         let model = tiny_model();
-        let a = TaskSuite::generate(&tiny_spec(0.3), &model, &mut ReferenceNormalizer::new())
-            .unwrap();
-        let b = TaskSuite::generate(&tiny_spec(0.3), &model, &mut ReferenceNormalizer::new())
-            .unwrap();
+        let a =
+            TaskSuite::generate(&tiny_spec(0.3), &model, &mut ReferenceNormalizer::new()).unwrap();
+        let b =
+            TaskSuite::generate(&tiny_spec(0.3), &model, &mut ReferenceNormalizer::new()).unwrap();
         assert_eq!(a, b);
     }
 }

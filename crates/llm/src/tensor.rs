@@ -5,7 +5,6 @@
 //! simulation reproducible and easy to audit.
 
 use crate::error::LlmError;
-use serde::{Deserialize, Serialize};
 
 /// A row-major `rows × cols` matrix of `f32`.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(c.get(1, 0), 3.0);
 /// # Ok::<(), haan_llm::LlmError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -157,12 +156,36 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutably borrows the underlying row-major buffer (used by the batched kernels).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
     /// Matrix multiplication `self × rhs`.
     ///
     /// # Errors
     ///
     /// Returns [`LlmError::ShapeMismatch`] when `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LlmError> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix multiplication `self × rhs` into a caller-provided output matrix.
+    ///
+    /// The kernel is cache-blocked over the `k` (reduction) and `j` (output column)
+    /// dimensions: each `k`-panel of `rhs` is streamed against a row of `self` while
+    /// the corresponding slice of the output row stays hot, and the inner `j` loop is
+    /// a contiguous multiply-add the compiler can vectorise. For every output element
+    /// the reduction still runs in ascending-`k` order, so results are bit-identical
+    /// to the naive triple loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when `self.cols() != rhs.rows()` or when
+    /// `out` is not `self.rows() × rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LlmError> {
         if self.cols != rhs.rows {
             return Err(LlmError::ShapeMismatch {
                 op: "matmul",
@@ -170,21 +193,33 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
+        if out.shape() != (self.rows, rhs.cols) {
+            return Err(LlmError::ShapeMismatch {
+                op: "matmul (output)",
+                lhs: (self.rows, rhs.cols),
+                rhs: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        let n = rhs.cols;
+        for jj in (0..n).step_by(Self::BLOCK) {
+            let j_end = (jj + Self::BLOCK).min(n);
+            for kk in (0..self.cols).step_by(Self::BLOCK) {
+                let k_end = (kk + Self::BLOCK).min(self.cols);
+                for i in 0..self.rows {
+                    let a_panel = &self.data[i * self.cols + kk..i * self.cols + k_end];
+                    let out_tile = &mut out.data[i * n + jj..i * n + j_end];
+                    let rhs_panel = rhs.data[kk * n..k_end * n].chunks_exact(n);
+                    for (&a, rhs_row) in a_panel.iter().zip(rhs_panel) {
+                        let rhs_tile = &rhs_row[jj..j_end];
+                        for (o, &b) in out_tile.iter_mut().zip(rhs_tile) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix multiplication with the transpose of `rhs` (`self × rhsᵀ`), used for
@@ -194,6 +229,24 @@ impl Matrix {
     ///
     /// Returns [`LlmError::ShapeMismatch`] when `self.cols() != rhs.cols()`.
     pub fn matmul_transposed(&self, rhs: &Matrix) -> Result<Matrix, LlmError> {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_transposed_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// `self × rhsᵀ` into a caller-provided output matrix.
+    ///
+    /// Both operands are traversed row-major (that is the point of the transposed
+    /// form), so the kernel is a tiled batch of dot products: `rhs` rows are walked in
+    /// blocks that stay cache-resident across consecutive `self` rows, and each dot
+    /// product runs over four independent accumulator lanes to break the addition
+    /// dependency chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when `self.cols() != rhs.cols()` or when
+    /// `out` is not `self.rows() × rhs.rows()`.
+    pub fn matmul_transposed_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LlmError> {
         if self.cols != rhs.cols {
             return Err(LlmError::ShapeMismatch {
                 op: "matmul_transposed",
@@ -201,17 +254,31 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let dot: f32 = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
-                out.data[i * rhs.rows + j] = dot;
+        if out.shape() != (self.rows, rhs.rows) {
+            return Err(LlmError::ShapeMismatch {
+                op: "matmul_transposed (output)",
+                lhs: (self.rows, rhs.rows),
+                rhs: out.shape(),
+            });
+        }
+        let n = rhs.rows;
+        for jj in (0..n).step_by(Self::BLOCK) {
+            let j_end = (jj + Self::BLOCK).min(n);
+            for i in 0..self.rows {
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                for j in jj..j_end {
+                    let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                    out.data[i * n + j] = dot_unrolled(a_row, b_row);
+                }
             }
         }
-        Ok(out)
+        Ok(())
     }
+
+    /// Block edge (in elements) of the cache-blocked kernels: 64 × 64 f32 tiles are
+    /// 16 KiB, comfortably inside a typical 32–48 KiB L1 data cache alongside the
+    /// operand rows.
+    const BLOCK: usize = 64;
 
     /// Elementwise addition.
     ///
@@ -219,6 +286,17 @@ impl Matrix {
     ///
     /// Returns [`LlmError::ShapeMismatch`] when the shapes differ.
     pub fn add(&self, rhs: &Matrix) -> Result<Matrix, LlmError> {
+        let mut out = self.clone();
+        out.add_assign(rhs)?;
+        Ok(out)
+    }
+
+    /// In-place elementwise addition `self += rhs` (no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the shapes differ.
+    pub fn add_assign(&mut self, rhs: &Matrix) -> Result<(), LlmError> {
         if self.shape() != rhs.shape() {
             return Err(LlmError::ShapeMismatch {
                 op: "add",
@@ -226,17 +304,30 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(a, b)| a + b)
-            .collect();
-        Ok(Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        })
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place elementwise multiplication `self *= rhs` (no allocation), used by the
+    /// gated (SwiGLU) MLP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the shapes differ.
+    pub fn mul_assign(&mut self, rhs: &Matrix) -> Result<(), LlmError> {
+        if self.shape() != rhs.shape() {
+            return Err(LlmError::ShapeMismatch {
+                op: "elementwise product",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a *= b;
+        }
+        Ok(())
     }
 
     /// Adds a row vector to every row (broadcast bias addition).
@@ -271,6 +362,13 @@ impl Matrix {
         }
     }
 
+    /// Scales every element in place (no allocation).
+    pub fn scale_in_place(&mut self, factor: f32) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
     /// Applies a function elementwise.
     #[must_use]
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Matrix {
@@ -279,6 +377,78 @@ impl Matrix {
             cols: self.cols,
             data: self.data.iter().map(|&v| f(v)).collect(),
         }
+    }
+
+    /// Applies a function elementwise in place (no allocation).
+    pub fn map_in_place<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Copies the column window `[start, start + width)` of every row into `out`
+    /// (which must be `self.rows() × width`), used to slice attention heads without
+    /// allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the window exceeds `self.cols()` or
+    /// `out` has the wrong shape.
+    pub fn columns_into(
+        &self,
+        start: usize,
+        width: usize,
+        out: &mut Matrix,
+    ) -> Result<(), LlmError> {
+        if start + width > self.cols {
+            return Err(LlmError::ShapeMismatch {
+                op: "columns_into",
+                lhs: self.shape(),
+                rhs: (start, width),
+            });
+        }
+        if out.shape() != (self.rows, width) {
+            return Err(LlmError::ShapeMismatch {
+                op: "columns_into (output)",
+                lhs: (self.rows, width),
+                rhs: out.shape(),
+            });
+        }
+        for row in 0..self.rows {
+            let src = &self.data[row * self.cols + start..row * self.cols + start + width];
+            out.data[row * width..(row + 1) * width].copy_from_slice(src);
+        }
+        Ok(())
+    }
+
+    /// Writes `src` (which must be `self.rows() × width`) into the column window
+    /// `[start, start + width)` of every row — the inverse of [`Matrix::columns_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the window exceeds `self.cols()` or
+    /// `src` has the wrong shape.
+    pub fn set_columns(&mut self, start: usize, src: &Matrix) -> Result<(), LlmError> {
+        let width = src.cols;
+        if start + width > self.cols {
+            return Err(LlmError::ShapeMismatch {
+                op: "set_columns",
+                lhs: self.shape(),
+                rhs: (start, width),
+            });
+        }
+        if src.rows != self.rows {
+            return Err(LlmError::ShapeMismatch {
+                op: "set_columns (source)",
+                lhs: self.shape(),
+                rhs: src.shape(),
+            });
+        }
+        for row in 0..self.rows {
+            let dst = &mut self.data[row * self.cols + start..row * self.cols + start + width];
+            dst.copy_from_slice(&src.data[row * width..(row + 1) * width]);
+        }
+        Ok(())
     }
 
     /// In-place causal row softmax: row `i` only attends to columns `0..=i`.
@@ -310,6 +480,26 @@ impl Matrix {
     pub fn frobenius_norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
     }
+}
+
+/// Dot product over four independent accumulator lanes (breaks the floating-point
+/// addition dependency chain so the loop pipelines/vectorises).
+#[must_use]
+fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 4];
+    let mut a_chunks = a.chunks_exact(4);
+    let mut b_chunks = b.chunks_exact(4);
+    for (ac, bc) in (&mut a_chunks).zip(&mut b_chunks) {
+        for lane in 0..4 {
+            lanes[lane] += ac[lane] * bc[lane];
+        }
+    }
+    let mut acc = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+    for (x, y) in a_chunks.remainder().iter().zip(b_chunks.remainder()) {
+        acc += x * y;
+    }
+    acc
 }
 
 /// Numerically stable log-softmax of a vector.
@@ -403,9 +593,127 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_match_allocating_kernels() {
+        // Deterministic pseudo-random matrices large enough to cross block boundaries.
+        let gen = |rows: usize, cols: usize, seed: u64| {
+            let mut state = seed;
+            let data: Vec<f32> = (0..rows * cols)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) as f32 / 2f32.powi(31)) - 1.0
+                })
+                .collect();
+            Matrix::from_vec(rows, cols, data).unwrap()
+        };
+        let a = gen(70, 130, 1);
+        let b = gen(130, 90, 2);
+        let mut out = Matrix::zeros(70, 90);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+
+        let bt = gen(90, 130, 3);
+        let mut out_t = Matrix::zeros(70, 90);
+        a.matmul_transposed_into(&bt, &mut out_t).unwrap();
+        assert_eq!(out_t, a.matmul_transposed(&bt).unwrap());
+
+        // Wrong output shapes are rejected, not silently resized.
+        let mut bad = Matrix::zeros(3, 3);
+        assert!(a.matmul_into(&b, &mut bad).is_err());
+        assert!(a.matmul_transposed_into(&bt, &mut bad).is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_reference() {
+        // Straddles the 64-wide block edge in every dimension.
+        let rows = 65;
+        let inner = 129;
+        let cols = 67;
+        let mut state = 9u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / 2f32.powi(31)) - 1.0
+        };
+        let a = Matrix::from_vec(rows, inner, (0..rows * inner).map(|_| next()).collect()).unwrap();
+        let b = Matrix::from_vec(inner, cols, (0..inner * cols).map(|_| next()).collect()).unwrap();
+        let blocked = a.matmul(&b).unwrap();
+        // Naive ijk reference.
+        let mut naive = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let mut acc = 0.0f32;
+                for k in 0..inner {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                naive.set(i, j, acc);
+            }
+        }
+        for i in 0..rows {
+            for j in 0..cols {
+                let (x, y) = (blocked.get(i, j), naive.get(i, j));
+                assert!(
+                    (x - y).abs() <= 1e-4 * y.abs().max(1.0),
+                    "({i}, {j}): {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_helpers_match_allocating_forms() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.5, 2.0], &[-1.0, 0.25]]).unwrap();
+
+        let mut sum = a.clone();
+        sum.add_assign(&b).unwrap();
+        assert_eq!(sum, a.add(&b).unwrap());
+
+        let mut scaled = a.clone();
+        scaled.scale_in_place(-2.0);
+        assert_eq!(scaled, a.scale(-2.0));
+
+        let mut mapped = a.clone();
+        mapped.map_in_place(|v| v * v);
+        assert_eq!(mapped, a.map(|v| v * v));
+
+        let mut product = a.clone();
+        product.mul_assign(&b).unwrap();
+        assert_eq!(product.get(0, 1), -4.0);
+
+        assert!(sum.add_assign(&Matrix::zeros(1, 1)).is_err());
+        assert!(sum.mul_assign(&Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn column_windows_round_trip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]]).unwrap();
+        let mut window = Matrix::zeros(2, 2);
+        m.columns_into(1, 2, &mut window).unwrap();
+        assert_eq!(
+            window,
+            Matrix::from_rows(&[&[2.0, 3.0], &[6.0, 7.0]]).unwrap()
+        );
+
+        let mut target = Matrix::zeros(2, 4);
+        target.set_columns(2, &window).unwrap();
+        assert_eq!(target.get(0, 2), 2.0);
+        assert_eq!(target.get(1, 3), 7.0);
+        assert_eq!(target.get(0, 0), 0.0);
+
+        assert!(m.columns_into(3, 2, &mut window).is_err());
+        assert!(m.columns_into(0, 2, &mut Matrix::zeros(1, 2)).is_err());
+        let mut small = Matrix::zeros(2, 3);
+        assert!(small.set_columns(2, &window).is_err());
+        assert!(small.set_columns(0, &Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
     fn causal_softmax_masks_future_positions() {
-        let mut m = Matrix::from_rows(&[&[1.0, 5.0, 9.0], &[1.0, 1.0, 9.0], &[1.0, 1.0, 1.0]])
-            .unwrap();
+        let mut m =
+            Matrix::from_rows(&[&[1.0, 5.0, 9.0], &[1.0, 1.0, 9.0], &[1.0, 1.0, 1.0]]).unwrap();
         m.causal_softmax_rows();
         // Row 0 can only see itself.
         assert!((m.get(0, 0) - 1.0).abs() < 1e-6);

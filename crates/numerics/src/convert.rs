@@ -10,7 +10,6 @@ use crate::error::NumericError;
 use crate::fixed::{Fixed, QFormat};
 use crate::format::Format;
 use crate::fp16::Fp16;
-use serde::{Deserialize, Serialize};
 
 /// A floating-point to fixed-point converter (FP2FX unit).
 ///
@@ -28,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((fx.to_f64() - 1.5).abs() < 1e-3);
 /// assert!(!unit.is_bypass());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpToFx {
     input_format: Format,
     target: QFormat,
@@ -108,7 +107,7 @@ impl FpToFx {
 /// the fast-inverse-square-root bit trick operates on an FP32 pattern) and at the
 /// output of the normalization unit. When quantization is enabled the output stays in
 /// fixed point and the unit is bypassed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FxToFp {
     output_format: Format,
 }
@@ -197,8 +196,10 @@ mod tests {
     #[test]
     fn fp32_conversion_preserves_value_within_resolution() {
         let unit = FpToFx::new(Format::Fp32, QFormat::Q16_16);
-        let fx = unit.convert(2.718_281_8);
-        assert!((fx.to_f64() - 2.718_281_8).abs() < QFormat::Q16_16.resolution());
+        let fx = unit.convert(std::f32::consts::E);
+        assert!(
+            (fx.to_f64() - f64::from(std::f32::consts::E)).abs() < QFormat::Q16_16.resolution()
+        );
         assert_eq!(unit.latency_cycles(), 1);
         assert!(!unit.is_bypass());
     }

@@ -30,6 +30,15 @@ pub enum NumericError {
     },
     /// The inverse square root of a non-positive value was requested.
     NonPositive(f64),
+    /// A batched kernel was handed buffers of inconsistent lengths.
+    LengthMismatch {
+        /// Which buffer was inconsistent.
+        what: &'static str,
+        /// The length the kernel expected.
+        expected: usize,
+        /// The length it received.
+        actual: usize,
+    },
     /// A quantizer was constructed with a non-finite or non-positive scale.
     InvalidScale(f32),
 }
@@ -38,7 +47,10 @@ impl fmt::Display for NumericError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NumericError::FixedOverflow { value, format } => {
-                write!(f, "value {value} does not fit in fixed-point format {format}")
+                write!(
+                    f,
+                    "value {value} does not fit in fixed-point format {format}"
+                )
             }
             NumericError::QFormatMismatch { lhs, rhs } => {
                 write!(f, "fixed-point format mismatch: {lhs} vs {rhs}")
@@ -54,6 +66,14 @@ impl fmt::Display for NumericError {
             NumericError::NonPositive(v) => {
                 write!(f, "inverse square root requires a positive input, got {v}")
             }
+            NumericError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "length mismatch: {what} has {actual} elements, expected {expected}"
+            ),
             NumericError::InvalidScale(s) => write!(f, "invalid quantization scale {s}"),
         }
     }

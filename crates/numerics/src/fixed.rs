@@ -8,7 +8,6 @@
 //! clamping logic would.
 
 use crate::error::NumericError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A fixed-point format `Qm.n`: `m` integer bits (including sign) and `n` fraction bits.
@@ -24,7 +23,7 @@ use std::fmt;
 /// assert_eq!(q.total_bits(), 32);
 /// assert!(q.max_value() > 32767.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QFormat {
     int_bits: u32,
     frac_bits: u32,
@@ -141,7 +140,7 @@ impl Default for QFormat {
 /// let sum = a.saturating_add(b);
 /// assert!((sum.to_f64() - 3.75).abs() < q.resolution());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fixed {
     raw: i64,
     format: QFormat,
@@ -302,7 +301,10 @@ impl Fixed {
             i128::from(self.format.min_raw()),
             i128::from(self.format.max_raw()),
         ) as i64;
-        Ok(Self { raw, format: self.format })
+        Ok(Self {
+            raw,
+            format: self.format,
+        })
     }
 
     /// Multiplies by a power of two using a shift, as the hardware does when the
@@ -356,11 +358,8 @@ impl SaturatingShl for i64 {
                 0
             }
         } else {
-            self.checked_shl(shift).unwrap_or(if self >= 0 {
-                i64::MAX
-            } else {
-                i64::MIN
-            })
+            self.checked_shl(shift)
+                .unwrap_or(if self >= 0 { i64::MAX } else { i64::MIN })
         }
     }
 }

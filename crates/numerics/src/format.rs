@@ -3,7 +3,6 @@
 use crate::fixed::QFormat;
 use crate::fp16::Fp16;
 use crate::quant::Int8Quantizer;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The external numeric formats the accelerator can be configured for
@@ -19,11 +18,12 @@ use std::fmt;
 /// let rounded = Format::Fp16.round_trip(&xs);
 /// assert_eq!(rounded.len(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Format {
     /// IEEE 754 binary32. The "original" precision in the paper's accuracy tables.
     Fp32,
     /// IEEE 754 binary16.
+    #[default]
     Fp16,
     /// Signed 8-bit integers with a per-tensor symmetric scale.
     Int8,
@@ -68,20 +68,29 @@ impl Format {
     /// how the paper applies INT8 quantization over the normalization input.
     #[must_use]
     pub fn round_trip(&self, values: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.round_trip_into(values, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Format::round_trip`]: clears `out` and fills it
+    /// with the rounded values, reusing its capacity. The batched normalization engine
+    /// calls this once per row with one scratch buffer.
+    pub fn round_trip_into(&self, values: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(values.len());
         match self {
-            Format::Fp32 => values.to_vec(),
-            Format::Fp16 => values.iter().map(|&v| Fp16::from_f32(v).to_f32()).collect(),
+            Format::Fp32 => out.extend_from_slice(values),
+            Format::Fp16 => out.extend(values.iter().map(|&v| Fp16::from_f32(v).to_f32())),
             Format::Int8 => match Int8Quantizer::fit(values) {
-                Ok(q) => {
-                    let ints = q.quantize_slice(values);
-                    q.dequantize_slice(&ints)
-                }
-                Err(_) => values.to_vec(),
+                Ok(q) => out.extend(values.iter().map(|&v| q.dequantize(q.quantize(v)))),
+                Err(_) => out.extend_from_slice(values),
             },
-            Format::Fixed(q) => values
-                .iter()
-                .map(|&v| crate::fixed::Fixed::from_f64(f64::from(v), *q).to_f32())
-                .collect(),
+            Format::Fixed(q) => out.extend(
+                values
+                    .iter()
+                    .map(|&v| crate::fixed::Fixed::from_f64(f64::from(v), *q).to_f32()),
+            ),
         }
     }
 
@@ -109,12 +118,6 @@ impl Format {
     #[must_use]
     pub fn paper_formats() -> [Format; 3] {
         [Format::Int8, Format::Fp16, Format::Fp32]
-    }
-}
-
-impl Default for Format {
-    fn default() -> Self {
-        Format::Fp16
     }
 }
 

@@ -5,7 +5,6 @@
 //! provides the rounding behaviour an FP16 interface would introduce: values are
 //! stored as the 16-bit pattern and converted with round-to-nearest-even.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An IEEE 754 binary16 value stored as its bit pattern.
@@ -18,7 +17,7 @@ use std::fmt;
 /// // Half precision has ~3 decimal digits.
 /// assert!((x.to_f32() - 1.0 / 3.0).abs() < 1e-3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Fp16(u16);
 
 const EXP_BITS: u32 = 5;

@@ -17,7 +17,6 @@
 //!   telemetry used by the accelerator simulator.
 
 use crate::error::NumericError;
-use serde::{Deserialize, Serialize};
 
 /// The magic constant used to seed the inverse square root (cited as `0x5f3759df` in the
 /// paper, Eq. 8).
@@ -121,7 +120,7 @@ pub fn relative_error(x: f32, iterations: u32) -> Result<f64, NumericError> {
 /// assert!((y - 0.5).abs() < 1e-2);
 /// # Ok::<(), haan_numerics::NumericError>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InvSqrtUnit {
     iterations: u32,
     operations: u64,
@@ -238,7 +237,10 @@ mod tests {
         for &x in &[0.07f32, 0.5, 1.0, 1.5, 2.0, 10.0, 1000.0] {
             let approx = mitchell_log2(x).unwrap();
             let exact = f64::from(x).log2();
-            assert!((approx - exact).abs() < 0.06, "x={x} approx={approx} exact={exact}");
+            assert!(
+                (approx - exact).abs() < 0.06,
+                "x={x} approx={approx} exact={exact}"
+            );
         }
         assert!(mitchell_log2(0.0).is_err());
         assert!(mitchell_log2(-3.0).is_err());

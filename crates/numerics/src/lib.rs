@@ -14,7 +14,12 @@
 //!   Newton refinement) implemented by the Square Root Inverter (Fig. 5), together
 //!   with the Mitchell logarithm approximation and its σ ≈ 0.450465 correction.
 //! * [`stats`] — reference, one-pass, streaming (Welford) and subsampled statistics
-//!   (mean, variance, inverse standard deviation) used throughout the algorithm.
+//!   (mean, variance, inverse standard deviation) used throughout the algorithm,
+//!   plus the fused batched kernels behind the hot normalization path:
+//!   [`stats::VectorStats::compute_chunked`] (lane-parallel one-pass statistics) and
+//!   [`stats::normalize_rows_into`] (statistics + affine apply per row into a
+//!   caller-provided buffer, no allocation). The scalar routines stay as the
+//!   reference oracle; the fused kernels are property-tested against them.
 //!
 //! # Example
 //!

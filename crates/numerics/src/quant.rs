@@ -1,7 +1,6 @@
 //! Symmetric INT8 quantization, as applied to normalization operands in Section III-C.
 
 use crate::error::NumericError;
-use serde::{Deserialize, Serialize};
 
 /// A symmetric per-tensor INT8 quantizer: `q = clamp(round(x / scale), -127, 127)`.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((back[2] - 2.0).abs() < q.scale());
 /// # Ok::<(), haan_numerics::NumericError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Int8Quantizer {
     scale: f32,
 }

@@ -6,20 +6,30 @@
 //!   LayerNorm does),
 //! * [`VectorStats::compute_one_pass`] — the `E[x²] − E[x]²` formulation the input
 //!   statistics calculator implements in hardware (Eq. 5),
+//! * [`VectorStats::compute_chunked`] — a shift-centred one-pass formulation over
+//!   [`CHUNK_LANES`] independent accumulator lanes, the SIMD-amenable kernel the
+//!   batched normalization engine is built on,
 //! * [`VectorStats::compute_subsampled`] — statistics from only the first `Nsub`
 //!   elements (Eq. 4),
+//! * [`normalize_row_into`] / [`normalize_rows_into`] — the fused hot path: statistics
+//!   and the affine transform `(x − μ)·isd·γ + β` in one traversal per row, writing
+//!   into a caller-provided buffer (no allocation),
 //! * [`Welford`] — a streaming accumulator used by the activation profiler,
 //! * [`isd`] / [`rms`] helpers shared across crates.
+//!
+//! The scalar routines are the reference oracle; every chunked/fused kernel is tested
+//! to agree with them within tight tolerance (≤ 1e-5 relative on normalized outputs;
+//! bit-exact is not required — the lane-parallel summation order differs, exactly as
+//! a hardware adder tree's does).
 
 use crate::error::NumericError;
-use serde::{Deserialize, Serialize};
 
 /// A small epsilon matching the default of PyTorch's `LayerNorm` (1e-5), used to keep
 /// the ISD finite for (nearly) constant inputs.
 pub const DEFAULT_EPS: f32 = 1e-5;
 
 /// Mean, variance and derived statistics of a vector.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VectorStats {
     /// Arithmetic mean.
     pub mean: f32,
@@ -95,6 +105,81 @@ impl VectorStats {
         })
     }
 
+    /// Computes mean and variance with a shift-centred one-pass formulation over
+    /// [`CHUNK_LANES`] independent accumulator lanes.
+    ///
+    /// This is the SIMD-amenable form of [`VectorStats::compute_one_pass`]:
+    ///
+    /// * every element is shifted by the first element before accumulation
+    ///   (`Var(x − c) = Var(x)`), which removes the catastrophic `E[x²] − E[x]²`
+    ///   cancellation for data whose mean dwarfs its spread;
+    /// * the running `Σd` / `Σd²` chains are split across [`CHUNK_LANES`] f32 lanes so the
+    ///   compiler keeps vector registers full, and every [`CHUNK_BLOCK`] elements the
+    ///   lanes are flushed into f64 totals, bounding the f32 rounding error per block
+    ///   regardless of row length.
+    ///
+    /// The summation order therefore differs from the scalar kernel — like a hardware
+    /// adder tree — but the result agrees with the two-pass reference within tight
+    /// tolerance. Inputs that underflow or overflow the f32 accumulators (subnormal
+    /// scales, magnitudes near `f32::MAX`, NaN) fall back to the exact
+    /// [`VectorStats::compute_one_pass`] path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::EmptyInput`] for an empty slice.
+    pub fn compute_chunked(values: &[f32]) -> Result<Self, NumericError> {
+        if values.is_empty() {
+            return Err(NumericError::EmptyInput);
+        }
+        let shift = values[0];
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        for block in values.chunks(CHUNK_BLOCK) {
+            let mut sum_lanes = [0.0f32; CHUNK_LANES];
+            let mut sq_lanes = [0.0f32; CHUNK_LANES];
+            let mut chunks = block.chunks_exact(CHUNK_LANES);
+            for chunk in &mut chunks {
+                for lane in 0..CHUNK_LANES {
+                    let d = chunk[lane] - shift;
+                    sum_lanes[lane] += d;
+                    sq_lanes[lane] += d * d;
+                }
+            }
+            for (lane, &v) in chunks.remainder().iter().enumerate() {
+                let d = v - shift;
+                sum_lanes[lane] += d;
+                sq_lanes[lane] += d * d;
+            }
+            // Pairwise lane reduction keeps the tree shape deterministic.
+            let mut width = CHUNK_LANES / 2;
+            while width > 0 {
+                for lane in 0..width {
+                    sum_lanes[lane] += sum_lanes[lane + width];
+                    sq_lanes[lane] += sq_lanes[lane + width];
+                }
+                width /= 2;
+            }
+            sum += f64::from(sum_lanes[0]);
+            sum_sq += f64::from(sq_lanes[0]);
+        }
+        // Underflow (squares of subnormal-scale shifts vanish in f32), overflow and
+        // NaN all disqualify the fast accumulators; recompute exactly.
+        let healthy = sum.is_finite()
+            && sum_sq.is_finite()
+            && (sum_sq >= 1e-30 || (sum_sq == 0.0 && sum == 0.0));
+        if !healthy {
+            return Self::compute_one_pass(values);
+        }
+        let n = values.len() as f64;
+        let shifted_mean = sum / n;
+        let variance = (sum_sq / n - shifted_mean * shifted_mean).max(0.0);
+        Ok(Self {
+            mean: (f64::from(shift) + shifted_mean) as f32,
+            variance: variance as f32,
+            count: values.len(),
+        })
+    }
+
     /// Computes statistics from only the first `n_sub` elements (the paper's
     /// subsampling: "we simply truncate the first Nsub elements within the input").
     ///
@@ -147,6 +232,151 @@ pub fn rms(values: &[f32]) -> Result<f32, NumericError> {
     Ok(VectorStats::try_compute(values)?.rms(DEFAULT_EPS))
 }
 
+/// Number of independent accumulator lanes in the chunked/fused kernels.
+pub const CHUNK_LANES: usize = 16;
+
+/// Elements accumulated in f32 lanes between f64 flushes in
+/// [`VectorStats::compute_chunked`]: 16 additions per lane per block keeps the f32
+/// rounding error a few ULP while amortising the f64 conversion.
+pub const CHUNK_BLOCK: usize = 256;
+
+/// Which statistic the fused row kernels normalize by.
+///
+/// This mirrors the normalization kinds of the transformer substrate without depending
+/// on it (the LLM crate sits above the numerics crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowNormMode {
+    /// `γ · (x − μ)/σ + β` — recentre and rescale.
+    LayerNorm,
+    /// `γ · x / rms(x) + β` — rescale only.
+    RmsNorm,
+}
+
+/// Applies the affine normalization `(x − μ)·isd·γ + β` (or the RMSNorm form) with
+/// caller-provided statistics, writing into `out`.
+///
+/// This is the software equivalent of the accelerator's normalization units consuming
+/// the statistics produced by the input statistics calculator: the statistics path and
+/// the apply path are decoupled, so HAAN can inject subsampled or predicted statistics.
+/// For [`RowNormMode::RmsNorm`], `mean` is ignored and `isd` is interpreted as `1/rms`.
+///
+/// # Errors
+///
+/// Returns [`NumericError::LengthMismatch`] when `gamma`, `beta` or `out` disagree with
+/// `z` in length.
+pub fn apply_norm_into(
+    z: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    mode: RowNormMode,
+    mean: f32,
+    isd: f32,
+    out: &mut [f32],
+) -> Result<(), NumericError> {
+    check_len("gamma", z.len(), gamma.len())?;
+    check_len("beta", z.len(), beta.len())?;
+    check_len("out", z.len(), out.len())?;
+    // Re-slice to one common length so the compiler can hoist every bounds check and
+    // vectorise the loops.
+    let n = z.len();
+    let (z, gamma, beta, out) = (&z[..n], &gamma[..n], &beta[..n], &mut out[..n]);
+    match mode {
+        RowNormMode::LayerNorm => {
+            for i in 0..n {
+                out[i] = (z[i] - mean) * (gamma[i] * isd) + beta[i];
+            }
+        }
+        RowNormMode::RmsNorm => {
+            for i in 0..n {
+                out[i] = gamma[i] * (z[i] * isd) + beta[i];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fused normalization of one row: chunked one-pass statistics plus the affine apply,
+/// writing into `out` without allocating. Returns the statistics that were used so
+/// callers (telemetry, anchor tracking) don't recompute them.
+///
+/// # Errors
+///
+/// Returns [`NumericError::EmptyInput`] for an empty row and
+/// [`NumericError::LengthMismatch`] for inconsistent buffer lengths.
+pub fn normalize_row_into(
+    z: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    mode: RowNormMode,
+    eps: f32,
+    out: &mut [f32],
+) -> Result<VectorStats, NumericError> {
+    let stats = VectorStats::compute_chunked(z)?;
+    let isd = match mode {
+        RowNormMode::LayerNorm => stats.isd(eps),
+        RowNormMode::RmsNorm => 1.0 / stats.rms(eps),
+    };
+    apply_norm_into(z, gamma, beta, mode, stats.mean, isd, out)?;
+    Ok(stats)
+}
+
+/// Fused batched normalization: every `cols`-wide row of the row-major `data` buffer
+/// is normalized into the matching row of `out` with exact (full-width, chunked)
+/// statistics. One traversal per row, zero allocation.
+///
+/// This is the engine the batched `Normalizer` implementations dispatch to; the HAAN
+/// normalizer composes [`VectorStats::compute_chunked`] over a subsampled prefix with
+/// [`apply_norm_into`] instead, injecting its estimated statistics.
+///
+/// # Errors
+///
+/// Returns [`NumericError::LengthMismatch`] when `data` is not a whole number of rows
+/// or when `gamma` / `beta` / `out` lengths disagree, and
+/// [`NumericError::EmptyInput`] when `cols` is zero while `data` is non-empty.
+pub fn normalize_rows_into(
+    data: &[f32],
+    cols: usize,
+    gamma: &[f32],
+    beta: &[f32],
+    mode: RowNormMode,
+    eps: f32,
+    out: &mut [f32],
+) -> Result<(), NumericError> {
+    if cols == 0 {
+        return if data.is_empty() {
+            Ok(())
+        } else {
+            Err(NumericError::EmptyInput)
+        };
+    }
+    if !data.len().is_multiple_of(cols) {
+        return Err(NumericError::LengthMismatch {
+            what: "data",
+            expected: data.len().div_ceil(cols) * cols,
+            actual: data.len(),
+        });
+    }
+    check_len("gamma", cols, gamma.len())?;
+    check_len("beta", cols, beta.len())?;
+    check_len("out", data.len(), out.len())?;
+    for (row, out_row) in data.chunks_exact(cols).zip(out.chunks_exact_mut(cols)) {
+        normalize_row_into(row, gamma, beta, mode, eps, out_row)?;
+    }
+    Ok(())
+}
+
+fn check_len(what: &'static str, expected: usize, actual: usize) -> Result<(), NumericError> {
+    if expected == actual {
+        Ok(())
+    } else {
+        Err(NumericError::LengthMismatch {
+            what,
+            expected,
+            actual,
+        })
+    }
+}
+
 /// Streaming mean/variance accumulator (Welford's algorithm).
 ///
 /// Used by the activation profiler to aggregate ISD statistics over many tokens without
@@ -164,7 +394,7 @@ pub fn rms(values: &[f32]) -> Result<f32, NumericError> {
 /// assert!((acc.mean() - 2.5).abs() < 1e-6);
 /// assert!((acc.population_variance() - 1.25).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Welford {
     count: u64,
     mean: f64,
@@ -238,8 +468,8 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
     }
@@ -291,7 +521,9 @@ mod tests {
 
     #[test]
     fn one_pass_matches_two_pass_for_well_conditioned_data() {
-        let xs: Vec<f32> = (0..512).map(|i| ((i * 37) % 101) as f32 / 10.0 - 5.0).collect();
+        let xs: Vec<f32> = (0..512)
+            .map(|i| ((i * 37) % 101) as f32 / 10.0 - 5.0)
+            .collect();
         let a = VectorStats::compute(&xs);
         let b = VectorStats::compute_one_pass(&xs).unwrap();
         assert!((a.mean - b.mean).abs() < 1e-4);
@@ -378,6 +610,256 @@ mod tests {
         assert!((relative_error(1.1, 1.0) - 0.1).abs() < 1e-12);
     }
 
+    /// Scalar oracle for the fused kernels: two-pass statistics, then the affine
+    /// transform element by element.
+    fn normalize_row_reference(
+        z: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        mode: RowNormMode,
+        eps: f32,
+    ) -> Vec<f32> {
+        let stats = VectorStats::compute(z);
+        match mode {
+            RowNormMode::LayerNorm => {
+                let isd = stats.isd(eps);
+                z.iter()
+                    .zip(gamma.iter().zip(beta))
+                    .map(|(&x, (&g, &b))| g * (x - stats.mean) * isd + b)
+                    .collect()
+            }
+            RowNormMode::RmsNorm => {
+                let inv_rms = 1.0 / stats.rms(eps);
+                z.iter()
+                    .zip(gamma.iter().zip(beta))
+                    .map(|(&x, (&g, &b))| g * x * inv_rms + b)
+                    .collect()
+            }
+        }
+    }
+
+    /// The edge shapes every chunked/fused kernel must handle: a single element, a
+    /// lane-width row, rows straddling the lane width, and a paper-width row.
+    const EDGE_LENGTHS: [usize; 8] = [1, 2, 7, 8, 9, 13, 127, 4096];
+
+    fn varied_row(len: usize, scale: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| (((i * 2654435761) % 1000) as f32 / 250.0 - 2.0) * scale)
+            .collect()
+    }
+
+    #[test]
+    fn chunked_matches_two_pass_on_edge_shapes() {
+        for len in EDGE_LENGTHS {
+            for scale in [1.0f32, 1e-3, 1e3] {
+                let xs = varied_row(len, scale);
+                let reference = VectorStats::compute(&xs);
+                let chunked = VectorStats::compute_chunked(&xs).unwrap();
+                assert_eq!(chunked.count, reference.count);
+                assert!(
+                    relative_error(f64::from(chunked.mean), f64::from(reference.mean)) < 1e-5
+                        || (chunked.mean - reference.mean).abs() < 1e-6,
+                    "len {len} scale {scale}: mean {} vs {}",
+                    chunked.mean,
+                    reference.mean
+                );
+                assert!(
+                    relative_error(f64::from(chunked.variance), f64::from(reference.variance))
+                        < 1e-4
+                        || (chunked.variance - reference.variance).abs() < 1e-9,
+                    "len {len} scale {scale}: variance {} vs {}",
+                    chunked.variance,
+                    reference.variance
+                );
+            }
+        }
+        assert!(VectorStats::compute_chunked(&[]).is_err());
+    }
+
+    #[test]
+    fn chunked_handles_constant_and_subnormal_rows() {
+        // Constant rows: zero variance regardless of summation order.
+        for len in EDGE_LENGTHS {
+            let xs = vec![3.25f32; len];
+            let s = VectorStats::compute_chunked(&xs).unwrap();
+            assert!((s.mean - 3.25).abs() < 1e-6);
+            assert!(
+                s.variance.abs() < 1e-9,
+                "len {len}: variance {}",
+                s.variance
+            );
+        }
+        // Subnormal-scale values must not flush to garbage (accumulation is f64).
+        let tiny: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) * 1.0e-38).collect();
+        let reference = VectorStats::compute(&tiny);
+        let chunked = VectorStats::compute_chunked(&tiny).unwrap();
+        assert!((chunked.mean - reference.mean).abs() <= f32::EPSILON * 1e-35);
+        assert!(relative_error(f64::from(chunked.variance), f64::from(reference.variance)) < 1e-4);
+    }
+
+    #[test]
+    fn fused_row_matches_scalar_reference_on_edge_shapes() {
+        for mode in [RowNormMode::LayerNorm, RowNormMode::RmsNorm] {
+            for len in EDGE_LENGTHS {
+                let z = varied_row(len, 1.5);
+                let gamma: Vec<f32> = (0..len).map(|i| 1.0 + (i % 5) as f32 * 0.1).collect();
+                let beta: Vec<f32> = (0..len).map(|i| (i % 3) as f32 * 0.2 - 0.2).collect();
+                let reference = normalize_row_reference(&z, &gamma, &beta, mode, DEFAULT_EPS);
+                let mut fused = vec![0.0f32; len];
+                let stats =
+                    normalize_row_into(&z, &gamma, &beta, mode, DEFAULT_EPS, &mut fused).unwrap();
+                assert_eq!(stats.count, len);
+                for (i, (f, r)) in fused.iter().zip(&reference).enumerate() {
+                    assert!(
+                        (f - r).abs() <= 1e-6 * r.abs().max(1.0),
+                        "{mode:?} len {len} element {i}: {f} vs {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_batch_matches_per_row_kernel() {
+        let cols = 13; // deliberately not a multiple of the lane width
+        let rows = 7;
+        let data: Vec<f32> = (0..rows * cols).map(|i| (i as f32).sin() * 2.0).collect();
+        let gamma = vec![1.1f32; cols];
+        let beta = vec![-0.3f32; cols];
+        let mut batched = vec![0.0f32; rows * cols];
+        normalize_rows_into(
+            &data,
+            cols,
+            &gamma,
+            &beta,
+            RowNormMode::LayerNorm,
+            DEFAULT_EPS,
+            &mut batched,
+        )
+        .unwrap();
+        for row in 0..rows {
+            let mut single = vec![0.0f32; cols];
+            normalize_row_into(
+                &data[row * cols..(row + 1) * cols],
+                &gamma,
+                &beta,
+                RowNormMode::LayerNorm,
+                DEFAULT_EPS,
+                &mut single,
+            )
+            .unwrap();
+            assert_eq!(&batched[row * cols..(row + 1) * cols], &single[..]);
+        }
+    }
+
+    #[test]
+    fn batched_kernel_validates_shapes() {
+        let mut out = vec![0.0f32; 8];
+        // Empty input with zero cols is a no-op.
+        assert!(normalize_rows_into(
+            &[],
+            0,
+            &[],
+            &[],
+            RowNormMode::LayerNorm,
+            DEFAULT_EPS,
+            &mut []
+        )
+        .is_ok());
+        // Non-empty input with zero cols is an error.
+        assert!(normalize_rows_into(
+            &[1.0],
+            0,
+            &[],
+            &[],
+            RowNormMode::LayerNorm,
+            DEFAULT_EPS,
+            &mut out
+        )
+        .is_err());
+        // Ragged data length.
+        assert!(normalize_rows_into(
+            &[1.0, 2.0, 3.0],
+            2,
+            &[1.0, 1.0],
+            &[0.0, 0.0],
+            RowNormMode::LayerNorm,
+            DEFAULT_EPS,
+            &mut out[..3]
+        )
+        .is_err());
+        // Mismatched gamma / beta / out.
+        let z = [1.0f32, 2.0, 3.0, 4.0];
+        let mut out4 = [0.0f32; 4];
+        assert!(apply_norm_into(
+            &z,
+            &[1.0; 3],
+            &[0.0; 4],
+            RowNormMode::LayerNorm,
+            0.0,
+            1.0,
+            &mut out4
+        )
+        .is_err());
+        assert!(apply_norm_into(
+            &z,
+            &[1.0; 4],
+            &[0.0; 2],
+            RowNormMode::LayerNorm,
+            0.0,
+            1.0,
+            &mut out4
+        )
+        .is_err());
+        assert!(apply_norm_into(
+            &z,
+            &[1.0; 4],
+            &[0.0; 4],
+            RowNormMode::LayerNorm,
+            0.0,
+            1.0,
+            &mut out4[..2]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn apply_norm_into_honours_injected_statistics() {
+        // With mean 0 and ISD 1 LayerNorm apply is the affine identity.
+        let z = [1.0f32, -2.0, 3.0, -4.0];
+        let gamma = [2.0f32; 4];
+        let beta = [1.0f32; 4];
+        let mut out = [0.0f32; 4];
+        apply_norm_into(
+            &z,
+            &gamma,
+            &beta,
+            RowNormMode::LayerNorm,
+            0.0,
+            1.0,
+            &mut out,
+        )
+        .unwrap();
+        for (o, &x) in out.iter().zip(&z) {
+            assert!((o - (2.0 * x + 1.0)).abs() < 1e-6);
+        }
+        // RMSNorm ignores the mean entirely.
+        let mut rms_out = [0.0f32; 4];
+        apply_norm_into(
+            &z,
+            &gamma,
+            &beta,
+            RowNormMode::RmsNorm,
+            1.0e9,
+            0.5,
+            &mut rms_out,
+        )
+        .unwrap();
+        for (o, &x) in rms_out.iter().zip(&z) {
+            assert!((o - (2.0 * x * 0.5 + 1.0)).abs() < 1e-6);
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_variance_is_non_negative(xs in proptest::collection::vec(-100.0f32..100.0, 1..256)) {
@@ -392,6 +874,33 @@ mod tests {
             let b = VectorStats::compute_one_pass(&xs).unwrap();
             prop_assert!((a.mean - b.mean).abs() < 1e-3);
             prop_assert!((a.variance - b.variance).abs() < 1e-2);
+        }
+
+        #[test]
+        fn prop_chunked_close_to_two_pass(xs in proptest::collection::vec(-10.0f32..10.0, 1..300)) {
+            let a = VectorStats::compute(&xs);
+            let b = VectorStats::compute_chunked(&xs).unwrap();
+            prop_assert!((a.mean - b.mean).abs() < 1e-4);
+            prop_assert!((a.variance - b.variance).abs() < 1e-3);
+            prop_assert!(b.variance >= 0.0);
+        }
+
+        #[test]
+        fn prop_fused_row_close_to_scalar_reference(
+            xs in proptest::collection::vec(-8.0f32..8.0, 1..200),
+            gamma_scale in 0.5f32..2.0,
+            beta_shift in -1.0f32..1.0,
+        ) {
+            let gamma = vec![gamma_scale; xs.len()];
+            let beta = vec![beta_shift; xs.len()];
+            for mode in [RowNormMode::LayerNorm, RowNormMode::RmsNorm] {
+                let reference = normalize_row_reference(&xs, &gamma, &beta, mode, DEFAULT_EPS);
+                let mut fused = vec![0.0f32; xs.len()];
+                normalize_row_into(&xs, &gamma, &beta, mode, DEFAULT_EPS, &mut fused).unwrap();
+                for (f, r) in fused.iter().zip(&reference) {
+                    prop_assert!((f - r).abs() <= 1e-5 * r.abs().max(1.0), "{f} vs {r}");
+                }
+            }
         }
 
         #[test]

@@ -6,7 +6,9 @@
 
 use haan::{HaanConfig, SkipPlan};
 use haan_accel::{AccelConfig, HaanAccelerator};
-use haan_baselines::{compare_engines, DfxEngine, GpuNormEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine};
+use haan_baselines::{
+    compare_engines, DfxEngine, GpuNormEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine,
+};
 use haan_llm::NormKind;
 use haan_numerics::Format;
 
@@ -36,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Functional run of one normalization layer over a small batch of token vectors.
     let tokens: Vec<Vec<f32>> = (0..8)
-        .map(|t| (0..1600).map(|i| ((i * 7 + t * 13) % 29) as f32 / 7.0 - 2.0).collect())
+        .map(|t| {
+            (0..1600)
+                .map(|i| ((i * 7 + t * 13) % 29) as f32 / 7.0 - 2.0)
+                .collect()
+        })
         .collect();
     let gamma = vec![1.0f32; 1600];
     let beta = vec![0.0f32; 1600];

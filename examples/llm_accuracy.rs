@@ -13,7 +13,11 @@ use haan_numerics::Format;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ModelConfig::llama_7b().scaled_down(48, 96);
     let model = TransformerModel::new(&config, 42)?;
-    println!("model: {} ({} normalization layers, RMSNorm)", config.name, model.num_norm_layers());
+    println!(
+        "model: {} ({} normalization layers, RMSNorm)",
+        config.name,
+        model.num_norm_layers()
+    );
 
     // Small suites keep the example fast; the binaries in `haan-bench` use larger ones.
     let specs: Vec<TaskSpec> = TaskSpec::paper_suites(10, 5)
@@ -27,8 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let evaluator = AccuracyEvaluator::with_specs(&model, &specs)?;
 
     // Calibrate the decay on the model itself, then evaluate three configurations.
-    let calibration = Calibrator::new(10, 12).with_min_gap(6).calibrate_model(&model, 7)?;
-    let good_plan = SkipPlan::for_fixed_range(&[calibration.mean_log_isd.clone()], 50, 60)?;
+    let calibration = Calibrator::new(10, 12)
+        .with_min_gap(6)
+        .calibrate_model(&model, 7)?;
+    let good_plan =
+        SkipPlan::for_fixed_range(std::slice::from_ref(&calibration.mean_log_isd), 50, 60)?;
     let bad_plan = SkipPlan {
         start: 2,
         end: 30,
@@ -49,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let bad = evaluator.evaluate_haan(
         &model,
-        &HaanConfig::builder().label("HAAN (early skip range, broken)").build(),
+        &HaanConfig::builder()
+            .label("HAAN (early skip range, broken)")
+            .build(),
         Some(bad_plan),
     )?;
 

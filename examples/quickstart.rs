@@ -12,11 +12,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build a laptop-scale GPT-2-style model (paper layer structure, shrunk width).
     let config = ModelConfig::gpt2_117m().scaled_down(64, 128);
     let model = TransformerModel::new(&config, 2024)?;
-    println!("model: {} with {} normalization layers", config.name, model.num_norm_layers());
+    println!(
+        "model: {} with {} normalization layers",
+        config.name,
+        model.num_norm_layers()
+    );
 
     // 2. Calibrate: run a synthetic calibration set, record per-layer log(ISD), and let
     //    Algorithm 1 pick the skip range and decay coefficient.
-    let outcome = Calibrator::new(16, 24).with_min_gap(6).calibrate_model(&model, 7)?;
+    let outcome = Calibrator::new(16, 24)
+        .with_min_gap(6)
+        .calibrate_model(&model, 7)?;
     println!(
         "Algorithm 1 selected skip range ({}, {}) with decay {:.4} (correlation {:.3})",
         outcome.plan.start, outcome.plan.end, outcome.plan.decay, outcome.plan.correlation
@@ -48,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "next-token prediction: exact = {}, HAAN = {} ({})",
         argmax(exact.row(last)),
         argmax(approx.row(last)),
-        if argmax(exact.row(last)) == argmax(approx.row(last)) { "match" } else { "MISMATCH" }
+        if argmax(exact.row(last)) == argmax(approx.row(last)) {
+            "match"
+        } else {
+            "MISMATCH"
+        }
     );
 
     // 5. Inspect what HAAN actually did.

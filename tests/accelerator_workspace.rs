@@ -52,7 +52,10 @@ fn subsampling_and_skipping_reduce_latency_or_energy() {
     let unoptimized = HaanAccelerator::new(AccelConfig::haan_v1(), HaanConfig::unoptimized());
     let subsampled = HaanAccelerator::new(
         AccelConfig::haan_v1(),
-        HaanConfig::builder().subsample(1280).format(Format::Fp16).build(),
+        HaanConfig::builder()
+            .subsample(1280)
+            .format(Format::Fp16)
+            .build(),
     );
     let full_report = unoptimized.workload(2560, 65, 256, NormKind::LayerNorm);
     let sub_report = subsampled.workload(2560, 65, 256, NormKind::LayerNorm);
@@ -66,7 +69,10 @@ fn subsampling_and_skipping_reduce_latency_or_energy() {
     // The latency lever: reallocating parallelism (HAAN-v2-style) under subsampling.
     let v2 = HaanAccelerator::new(
         AccelConfig::haan_v2(),
-        HaanConfig::builder().subsample(1280).format(Format::Fp16).build(),
+        HaanConfig::builder()
+            .subsample(1280)
+            .format(Format::Fp16)
+            .build(),
     );
     let v2_report = v2.workload(2560, 65, 256, NormKind::LayerNorm);
     assert!(v2_report.latency_us < full_report.latency_us);

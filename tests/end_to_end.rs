@@ -4,7 +4,9 @@
 use haan::evaluate::{degradation, AccuracyEvaluator};
 use haan::{Calibrator, HaanConfig, HaanNormalizer, SkipPlan};
 use haan_accel::{AccelConfig, HaanAccelerator};
-use haan_baselines::{DfxEngine, EndToEndModel, GpuNormEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine};
+use haan_baselines::{
+    DfxEngine, EndToEndModel, GpuNormEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine,
+};
 use haan_llm::norm::{Normalizer, ReferenceNormalizer};
 use haan_llm::runtime::{GpuRuntimeModel, OptimizationConfig};
 use haan_llm::synthetic::IsdProfileModel;
@@ -37,7 +39,9 @@ fn calibrated_haan_normalizer_preserves_model_predictions() {
     let trials = 10;
     for seed in 0..trials {
         let tokens: Vec<u32> = (0..6).map(|i| ((seed * 11 + i * 7) % 64) as u32).collect();
-        let exact = model.logits(&tokens, &mut reference).expect("exact forward");
+        let exact = model
+            .logits(&tokens, &mut reference)
+            .expect("exact forward");
         let approx = model.logits(&tokens, &mut haan).expect("haan forward");
         let last = tokens.len() - 1;
         let argmax = |row: &[f32]| {
@@ -61,7 +65,10 @@ fn calibrated_haan_normalizer_preserves_model_predictions() {
         let cosine = dot / (na.sqrt() * nb.sqrt());
         assert!(cosine > 0.88, "logit cosine similarity dropped to {cosine}");
     }
-    assert!(matches >= 5, "only {matches}/{trials} predictions preserved");
+    assert!(
+        matches >= 5,
+        "only {matches}/{trials} predictions preserved"
+    );
     assert!(haan.telemetry().calls > 0);
 }
 
@@ -78,8 +85,14 @@ fn table1_style_degradation_is_small_for_good_configs() {
         .collect();
     let evaluator = AccuracyEvaluator::with_specs(&model, &specs).expect("suites");
     let original = evaluator.evaluate_original(&model).expect("original row");
-    let config = HaanConfig::builder().label("HAAN").subsample(16).format(Format::Int8).build();
-    let haan = evaluator.evaluate_haan(&model, &config, None).expect("haan row");
+    let config = HaanConfig::builder()
+        .label("HAAN")
+        .subsample(16)
+        .format(Format::Int8)
+        .build();
+    let haan = evaluator
+        .evaluate_haan(&model, &config, None)
+        .expect("haan row");
     let mean_drop: f64 = degradation(&original, &haan)
         .iter()
         .map(|(_, d)| d)
@@ -92,16 +105,27 @@ fn table1_style_degradation_is_small_for_good_configs() {
 fn accelerator_and_software_normalizer_agree_functionally() {
     // The accelerator's fixed-point datapath and the software HAAN normalizer must agree
     // on the normalized output to within quantization error.
-    let algorithm = HaanConfig::builder().subsample(64).format(Format::Fp16).build();
+    let algorithm = HaanConfig::builder()
+        .subsample(64)
+        .format(Format::Fp16)
+        .build();
     let mut accel = HaanAccelerator::new(AccelConfig::haan_v1(), algorithm.clone());
     let mut software = HaanNormalizer::new(algorithm);
 
-    let z: Vec<f32> = (0..256).map(|i| ((i * 37) % 101) as f32 / 20.0 - 2.5).collect();
+    let z: Vec<f32> = (0..256)
+        .map(|i| ((i * 37) % 101) as f32 / 20.0 - 2.5)
+        .collect();
     let gamma = vec![1.0f32; 256];
     let beta = vec![0.0f32; 256];
 
     let hardware_out = accel
-        .normalize_layer(&[z.clone()], &gamma, &beta, NormKind::LayerNorm, 0)
+        .normalize_layer(
+            std::slice::from_ref(&z),
+            &gamma,
+            &beta,
+            NormKind::LayerNorm,
+            0,
+        )
         .expect("hardware run");
     let software_out = software.normalize(
         haan_llm::norm::NormSite {
@@ -131,14 +155,20 @@ fn calibration_on_paper_scale_profiles_matches_paper_ranges() {
     assert!(outcome.plan.correlation < -0.99);
     // The plan translated into an accelerator reduces the workload's statistics energy.
     let haan_cfg = HaanConfig::llama_7b_paper();
-    let with_plan = HaanAccelerator::new(AccelConfig::haan_v1(), haan_cfg.clone()).with_plan(outcome.plan);
-    let skipped = with_plan.workload(4096, 65, 128, NormKind::RmsNorm).skipped_layers;
+    let with_plan =
+        HaanAccelerator::new(AccelConfig::haan_v1(), haan_cfg.clone()).with_plan(outcome.plan);
+    let skipped = with_plan
+        .workload(4096, 65, 128, NormKind::RmsNorm)
+        .skipped_layers;
     assert!(skipped >= 10);
 }
 
 #[test]
 fn baseline_ordering_matches_figure9() {
-    let algorithm = HaanConfig::builder().subsample(800).format(Format::Fp16).build();
+    let algorithm = HaanConfig::builder()
+        .subsample(800)
+        .format(Format::Fp16)
+        .build();
     let plan = SkipPlan {
         start: 85,
         end: 95,
@@ -177,7 +207,11 @@ fn baseline_ordering_matches_figure9() {
 fn fig1b_and_e2e_claims_hold_in_the_models() {
     // Fig. 1(b): normalization becomes the dominant non-matmul cost after optimization.
     let gpu = GpuRuntimeModel::a100();
-    let breakdown = gpu.breakdown(&ModelConfig::gpt2_117m(), 2048, OptimizationConfig::optimized());
+    let breakdown = gpu.breakdown(
+        &ModelConfig::gpt2_117m(),
+        2048,
+        OptimizationConfig::optimized(),
+    );
     assert!(breakdown.fractions()[2] > 0.30);
 
     // Section V-B: a ~10x normalization speedup on a host whose norm share is ~12% gives
