@@ -1,0 +1,288 @@
+//! [`AccelSimBackend`] — the accelerator simulator as a batched-engine backend.
+//!
+//! `haan_accel` sits *above* the `haan` core crate in the dependency graph, so the
+//! core's [`NormBackend`] trait cannot name this type directly. Instead the backend
+//! registers itself in the core's [external backend registry](haan::backend) under
+//! [`haan::backend::ACCEL_SIM_BACKEND`]; once [`AccelSimBackend::install`] has run,
+//! selecting [`BackendSelection::AccelSim`](haan::BackendSelection) in a
+//! [`HaanConfig`](haan::HaanConfig) routes every
+//! `Normalizer::normalize_matrix_into` call through the cycle-level datapath model:
+//!
+//! * statistics come from the fixed-point [`InputStatisticsCalculator`] (Fig. 4)
+//!   over the quantized subsampled prefix;
+//! * the ISD comes from the [`SquareRootInverter`] (Fig. 5), or arrives predicted
+//!   for skipped layers exactly as the scalar ISD predictor unit would produce it;
+//! * the affine transform runs through the [`NormalizationUnit`] (Fig. 6), including
+//!   its external-format output rounding;
+//! * each batch is timed with the inter-sample [`pipeline`](crate::pipeline) model,
+//!   accumulating total cycles across the run.
+//!
+//! The outputs therefore match the software backends only within the tolerance of
+//! the hardware datapath — fixed-point accumulation, the fast-inverse-square-root
+//! seed + Newton refinement, and external-format rounding each contribute; the
+//! parity tests budget a 5e-2 relative envelope on normalized outputs, against the
+//! ≤ 1e-5 the software backends hold (see `tests/backend_dispatch.rs`).
+
+use crate::config::AccelConfig;
+use crate::isc::InputStatisticsCalculator;
+use crate::norm_unit::NormalizationUnit;
+use crate::pipeline::{pipeline_latency, StageTiming};
+use crate::predictor_unit::IsdPredictorUnit;
+use crate::sqrt_inv::SquareRootInverter;
+use haan::backend::{register_backend, BatchRequest, NormBackend, ACCEL_SIM_BACKEND};
+use haan_llm::NormKind;
+use haan_numerics::stats::RowNormMode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The normalization kind a numerics-level row mode corresponds to.
+fn norm_kind(mode: RowNormMode) -> NormKind {
+    match mode {
+        RowNormMode::LayerNorm => NormKind::LayerNorm,
+        RowNormMode::RmsNorm => NormKind::RmsNorm,
+    }
+}
+
+/// The cycle-level accelerator simulator behind the batched-engine backend trait.
+///
+/// Functional results go through the fixed-point datapath units; timing goes through
+/// the pipeline model and accumulates in [`AccelSimBackend::total_cycles`]. The type
+/// is internally synchronised (`&self` everywhere), so one instance can be shared —
+/// via [`Arc`] — between a normalizer and the test or report that reads its counters.
+#[derive(Debug)]
+pub struct AccelSimBackend {
+    config: AccelConfig,
+    total_cycles: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl AccelSimBackend {
+    /// A backend simulating the given hardware configuration.
+    #[must_use]
+    pub fn new(config: AccelConfig) -> Self {
+        Self {
+            config,
+            total_cycles: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// The simulated hardware configuration.
+    #[must_use]
+    pub fn config(&self) -> &AccelConfig {
+        &self.config
+    }
+
+    /// Total pipelined cycles accumulated over every batch this backend executed.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles.load(Ordering::Relaxed)
+    }
+
+    /// Number of batches (normalization sites) this backend executed.
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Registers the HAAN-v1 configuration in the core backend registry, making
+    /// [`BackendSelection::AccelSim`](haan::BackendSelection) resolvable from a
+    /// plain [`HaanConfig`](haan::HaanConfig). Idempotent; later calls (or
+    /// [`AccelSimBackend::install_with`]) replace the registered configuration.
+    pub fn install() {
+        Self::install_with(AccelConfig::haan_v1());
+    }
+
+    /// Registers a specific hardware configuration in the core backend registry.
+    pub fn install_with(config: AccelConfig) {
+        register_backend(ACCEL_SIM_BACKEND, move |_algorithm| {
+            Arc::new(AccelSimBackend::new(config)) as Arc<dyn NormBackend>
+        });
+    }
+}
+
+impl NormBackend for AccelSimBackend {
+    fn name(&self) -> &'static str {
+        "accel-sim"
+    }
+
+    fn normalize_batch(
+        &self,
+        request: &BatchRequest<'_>,
+        out: &mut [f32],
+        mut isds_out: Option<&mut [f32]>,
+        scratch: &mut Vec<f32>,
+    ) {
+        let isc = InputStatisticsCalculator::new(&self.config);
+        let sri = SquareRootInverter::new(&self.config);
+        let nu = NormalizationUnit::new(&self.config);
+        let kind = norm_kind(request.mode);
+        let cols = request.cols;
+        for (r, (z, out_row)) in request
+            .data
+            .chunks_exact(cols)
+            .zip(out.chunks_exact_mut(cols))
+            .enumerate()
+        {
+            let (mean, isd) = if let Some(predicted) = request.predicted_isd {
+                // Skipped layer: the ISD arrives from the predictor unit; only the
+                // LayerNorm mean still streams (mean-only) through the statistics
+                // calculator.
+                let mean = match kind {
+                    NormKind::LayerNorm => {
+                        request
+                            .quantization
+                            .apply_into(&z[..request.prefix_len], scratch);
+                        isc.compute(scratch, request.prefix_len, true)
+                            .map_or(0.0, |stats| stats.mean)
+                    }
+                    NormKind::RmsNorm => 0.0,
+                };
+                (mean, predicted[r])
+            } else {
+                request
+                    .quantization
+                    .apply_into(&z[..request.prefix_len], scratch);
+                let stats = isc
+                    .compute(scratch, request.prefix_len, false)
+                    .expect("batched buffers were validated by the caller");
+                let second_moment = match kind {
+                    NormKind::LayerNorm => stats.variance,
+                    NormKind::RmsNorm => stats.variance + stats.mean * stats.mean,
+                };
+                let isd = sri
+                    .compute(second_moment)
+                    .expect("fixed-point second moments are finite and non-negative")
+                    .isd;
+                if let Some(isds) = isds_out.as_deref_mut() {
+                    isds[r] = isd;
+                }
+                (stats.mean, isd)
+            };
+            let normalized = nu
+                .normalize(z, mean, isd, request.gamma, request.beta, kind)
+                .expect("batched buffers were validated by the caller");
+            out_row.copy_from_slice(&normalized.output);
+        }
+
+        // Pipelined timing of the batch: same stage composition as
+        // `HaanAccelerator::layer_stage_timing`, driven by this request's decisions.
+        let skipped = request.predicted_isd.is_some();
+        let stages = StageTiming {
+            isc: if skipped && kind == NormKind::RmsNorm {
+                // RMSNorm needs no mean, so a skipped layer bypasses the statistics path.
+                1
+            } else {
+                isc.stage_cycles(request.prefix_len)
+            },
+            sqrt_inv: if skipped {
+                IsdPredictorUnit::LATENCY_CYCLES
+            } else {
+                sri.cycles()
+            },
+            norm: nu.stage_cycles(cols),
+        };
+        let report = pipeline_latency(stages, request.rows() as u64, self.config.pipelines as u64);
+        self.total_cycles
+            .fetch_add(report.total_cycles, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haan::quantization::QuantizationPolicy;
+    use haan_numerics::stats::{VectorStats, DEFAULT_EPS};
+
+    fn request<'a>(
+        data: &'a [f32],
+        cols: usize,
+        gamma: &'a [f32],
+        beta: &'a [f32],
+        quantization: &'a QuantizationPolicy,
+    ) -> BatchRequest<'a> {
+        BatchRequest {
+            data,
+            cols,
+            gamma,
+            beta,
+            mode: RowNormMode::LayerNorm,
+            eps: DEFAULT_EPS,
+            prefix_len: cols,
+            quantization,
+            newton_iterations: Some(1),
+            predicted_isd: None,
+        }
+    }
+
+    #[test]
+    fn simulated_rows_normalize_and_accumulate_cycles() {
+        let backend = AccelSimBackend::new(AccelConfig::haan_v1());
+        assert_eq!(backend.name(), "accel-sim");
+        assert_eq!(backend.config().pd, 128);
+        let cols = 256;
+        let rows = 3;
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 31) % 23) as f32 / 5.0 - 2.0)
+            .collect();
+        let gamma = vec![1.0f32; cols];
+        let beta = vec![0.0f32; cols];
+        let quantization = QuantizationPolicy::new(haan_numerics::Format::Fp16);
+        let req = request(&data, cols, &gamma, &beta, &quantization);
+        let mut out = vec![0.0f32; rows * cols];
+        let mut isds = vec![0.0f32; rows];
+        backend.normalize_batch(&req, &mut out, Some(&mut isds), &mut Vec::new());
+        for row in out.chunks_exact(cols) {
+            let stats = VectorStats::compute(row);
+            assert!(stats.mean.abs() < 1e-2);
+            assert!((stats.variance - 1.0).abs() < 5e-2);
+        }
+        for isd in isds {
+            assert!(isd > 0.0);
+        }
+        assert!(backend.total_cycles() > 0);
+        assert_eq!(backend.batches(), 1);
+    }
+
+    #[test]
+    fn predicted_isds_bypass_the_square_root_inverter() {
+        let backend = AccelSimBackend::new(AccelConfig::haan_v1());
+        let cols = 64;
+        let data: Vec<f32> = (0..cols).map(|i| (i as f32).sin()).collect();
+        let gamma = vec![1.0f32; cols];
+        let beta = vec![0.0f32; cols];
+        let quantization = QuantizationPolicy::disabled();
+        let mut computed_req = request(&data, cols, &gamma, &beta, &quantization);
+        let mut computed = vec![0.0f32; cols];
+        let mut isds = vec![0.0f32; 1];
+        backend.normalize_batch(
+            &computed_req,
+            &mut computed,
+            Some(&mut isds),
+            &mut Vec::new(),
+        );
+        // Re-run with the computed ISD injected as a prediction: same output.
+        let predicted_isds = isds.clone();
+        computed_req.predicted_isd = Some(&predicted_isds);
+        let mut predicted = vec![0.0f32; cols];
+        backend.normalize_batch(&computed_req, &mut predicted, None, &mut Vec::new());
+        for (a, b) in computed.iter().zip(&predicted) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        // The skipped batch replaces the inverter stage with the predictor's fixed
+        // latency, so it can never be slower per vector.
+        assert_eq!(backend.batches(), 2);
+    }
+
+    #[test]
+    fn install_makes_the_selection_resolvable() {
+        AccelSimBackend::install();
+        let resolved =
+            haan::backend::resolve_backend(ACCEL_SIM_BACKEND, &haan::HaanConfig::default())
+                .expect("install registered the factory");
+        assert_eq!(resolved.name(), "accel-sim");
+        AccelSimBackend::install_with(AccelConfig::haan_v2());
+        assert!(haan::backend::registered_backends().contains(&ACCEL_SIM_BACKEND));
+    }
+}

@@ -14,7 +14,11 @@
 //! [`memory`] implements the flattened chunked layout of Fig. 7, [`pipeline`] composes
 //! the stages across token vectors (inter-sample pipelining), [`resources`] and
 //! [`power`] model FPGA cost (Alveo U280 budget, Table III), and [`accelerator`] ties
-//! everything into [`HaanAccelerator`], the functional + timing top level.
+//! everything into [`HaanAccelerator`], the functional + timing top level. [`backend`]
+//! additionally exposes the datapath as an execution backend ([`AccelSimBackend`]) of
+//! the core crate's batched normalization engine, so
+//! `haan::BackendSelection::AccelSim` routes `normalize_matrix_into` calls through
+//! the simulator.
 //!
 //! # Example
 //!
@@ -37,6 +41,7 @@
 
 pub mod accelerator;
 pub mod adder_tree;
+pub mod backend;
 pub mod config;
 pub mod error;
 pub mod isc;
@@ -49,6 +54,7 @@ pub mod resources;
 pub mod sqrt_inv;
 
 pub use accelerator::{HaanAccelerator, LayerRun, WorkloadReport};
+pub use backend::AccelSimBackend;
 pub use config::AccelConfig;
 pub use error::AccelError;
 pub use pipeline::{PipelineReport, StageTiming};

@@ -2,12 +2,15 @@
 //! normalization engine.
 //!
 //! Measures ns/element of the normalization paths (scalar oracle vs fused batched vs
-//! row-parallel) on paper-width (4096-element) rows, plus matmul GFLOP/s of the
-//! cache-blocked kernels, and writes the numbers to `BENCH_norm.json` (first CLI
-//! argument overrides the output path). Future PRs diff this file to keep the perf
-//! trajectory honest.
+//! row-parallel) on paper-width (4096-element) rows, plus per-backend ns/element of
+//! the dispatchable execution backends (`BackendSelection::{Scalar, Fused, Parallel,
+//! AccelSim}`) through the same `normalize_matrix_into` entry point, plus matmul
+//! GFLOP/s of the cache-blocked kernels, and writes the numbers to `BENCH_norm.json`
+//! (first CLI argument overrides the output path). Future PRs diff this file to keep
+//! the perf trajectory honest.
 
-use haan::{HaanConfig, HaanNormalizer, ParallelPolicy};
+use haan::{BackendSelection, HaanConfig, HaanNormalizer, ParallelPolicy};
+use haan_accel::AccelSimBackend;
 use haan_bench::json::JsonValue;
 use haan_bench::timing::{measure_default, Measurement};
 use haan_bench::{print_experiment_header, MarkdownTable};
@@ -85,7 +88,13 @@ fn main() {
     let haan_sequential = PathResult {
         name: "haan_exact_sequential",
         measurement: {
-            let mut norm = HaanNormalizer::new(HaanConfig::unoptimized());
+            // Pin the fused sequential backend explicitly so this field keeps
+            // measuring the sequential kernel whatever the `Auto` heuristic does.
+            let config = HaanConfig {
+                backend: BackendSelection::Fused,
+                ..HaanConfig::unoptimized()
+            };
+            let mut norm = HaanNormalizer::new(config);
             let mut out = Matrix::zeros(ROWS, COLS);
             measure_default(|| {
                 norm.normalize_matrix_into(site, &input, &gamma, &beta, &mut out);
@@ -120,6 +129,59 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+
+    // Per-backend dispatch: the same `normalize_matrix_into` call routed through each
+    // execution backend of the engine on an exact-statistics config, so differences
+    // are pure execution cost. The accelerator simulator is a functional/timing
+    // model, not a fast path — its number is reported for completeness, not compared.
+    AccelSimBackend::install();
+    let backend_paths: Vec<PathResult> = [
+        (
+            "scalar",
+            BackendSelection::Scalar,
+            ParallelPolicy::Sequential,
+        ),
+        ("fused", BackendSelection::Fused, ParallelPolicy::Sequential),
+        (
+            "parallel",
+            BackendSelection::Parallel,
+            ParallelPolicy::Threads(workers),
+        ),
+        (
+            "accel_sim",
+            BackendSelection::AccelSim,
+            ParallelPolicy::Sequential,
+        ),
+    ]
+    .into_iter()
+    .map(|(name, backend, parallel)| PathResult {
+        name,
+        measurement: {
+            let config = HaanConfig {
+                backend,
+                parallel,
+                ..HaanConfig::unoptimized()
+            };
+            let mut norm = HaanNormalizer::new(config);
+            let mut out = Matrix::zeros(ROWS, COLS);
+            measure_default(|| {
+                norm.normalize_matrix_into(site, &input, &gamma, &beta, &mut out);
+                std::hint::black_box(out.get(0, 0));
+            })
+        },
+    })
+    .collect();
+    let backend_scalar_ns = backend_paths[0].ns_per_element();
+    let mut backend_table =
+        MarkdownTable::new(vec!["backend", "ns/element", "speedup vs scalar backend"]);
+    for path in &backend_paths {
+        backend_table.push_row(vec![
+            path.name.to_string(),
+            format!("{:.3}", path.ns_per_element()),
+            format!("{:.2}x", backend_scalar_ns / path.ns_per_element()),
+        ]);
+    }
+    println!("{}", backend_table.render());
 
     // Matmul GFLOP/s of the cache-blocked kernels on a square problem.
     let n = 256;
@@ -171,6 +233,22 @@ fn main() {
         (
             "normalization",
             JsonValue::object(paths.iter().map(|p| (p.name, path_json(p)))),
+        ),
+        (
+            "backends",
+            JsonValue::object(backend_paths.iter().map(|p| {
+                (
+                    p.name,
+                    JsonValue::object([
+                        ("ns_per_element", JsonValue::from(p.ns_per_element())),
+                        (
+                            "speedup_vs_scalar_backend",
+                            JsonValue::from(backend_scalar_ns / p.ns_per_element()),
+                        ),
+                        ("iterations", JsonValue::from(p.measurement.iterations)),
+                    ]),
+                )
+            })),
         ),
         (
             "matmul",

@@ -1,0 +1,600 @@
+//! Execution backends of the batched normalization engine.
+//!
+//! The HAAN *policy* decisions — which layers skip their ISD, how long the subsampled
+//! prefix is, which operand format the statistics path sees — are made once per
+//! normalization site by [`HaanNormalizer`](crate::HaanNormalizer) and encoded into a
+//! plain-data [`BatchRequest`]. *Execution* of the row sweep is then delegated to a
+//! [`NormBackend`], so the same batched API can run on different substrates:
+//!
+//! * [`ScalarBackend`] — the two-pass reference oracle, one simple row at a time.
+//!   Slowest, numerically the most robust; every other backend is parity-tested
+//!   against it.
+//! * [`FusedBackend`] — the chunked one-pass statistics kernel
+//!   ([`VectorStats::compute_chunked`]) fused with the affine apply, allocation-free.
+//!   This is the default software hot path; when a request needs no HAAN
+//!   approximation at all it lowers to [`normalize_rows_into`] directly.
+//! * [`ParallelBackend`] — the fused kernel fanned out over scoped worker threads,
+//!   honoring [`ParallelPolicy`]. Row kernels are independent, so its output is
+//!   bit-identical to [`FusedBackend`].
+//! * `AccelSimBackend` (in the `haan_accel` crate) — the cycle-level model of the
+//!   paper's accelerator datapath (fixed-point statistics calculator, square root
+//!   inverter, normalization units), bridged through the [external backend
+//!   registry](register_backend) because `haan_accel` sits *above* this crate in the
+//!   dependency graph.
+//!
+//! Which backend runs is chosen by [`BackendSelection`](crate::BackendSelection) in
+//! [`HaanConfig`](crate::HaanConfig); `Auto` picks between the fused and parallel
+//! paths from the batch shape, operand format and thread policy (an explicitly
+//! sequential policy is always honored). See `ARCHITECTURE.md` at the repository
+//! root for the full dispatch diagram.
+//!
+//! # Contract
+//!
+//! A backend receives a request whose buffers have already been validated (row-major
+//! `data` of `rows × cols`, `gamma`/`beta`/output rows of length `cols`,
+//! `1 ≤ prefix_len ≤ cols`). It must:
+//!
+//! 1. normalize every row of `data` into the matching row of `out`;
+//! 2. for rows *without* a predicted ISD, estimate statistics from the quantized
+//!    `prefix_len`-element prefix and report the ISD it used through `isds_out`
+//!    (when provided) so the caller can record skip anchors;
+//! 3. for rows *with* a predicted ISD, apply `predicted_isd[row]` as-is and estimate
+//!    only the mean (LayerNorm) from the prefix.
+//!
+//! Telemetry is *not* a backend concern: element-read accounting is fully determined
+//! by the request shape, so the caller computes it uniformly for every backend.
+
+use crate::config::ParallelPolicy;
+use crate::quantization::QuantizationPolicy;
+use haan_numerics::invsqrt::fast_inv_sqrt;
+use haan_numerics::stats::{
+    apply_norm_into, normalize_rows_into, RowNormMode, VectorStats, DEFAULT_EPS,
+};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Registry name of the accelerator-simulator backend provided by `haan_accel`
+/// (see [`register_backend`]).
+pub const ACCEL_SIM_BACKEND: &str = "accel-sim";
+
+/// One fully-resolved batched normalization request.
+///
+/// Everything the HAAN normalizer decides per site (skipping, subsampling,
+/// quantization, inverse-square-root flavour) is hoisted into plain data here, so
+/// backends only choose *how* to execute the row sweep, never *what* to compute.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRequest<'a> {
+    /// Row-major input, `rows × cols`.
+    pub data: &'a [f32],
+    /// Row width (embedding dimension).
+    pub cols: usize,
+    /// Learnable scale, `cols` elements.
+    pub gamma: &'a [f32],
+    /// Learnable shift, `cols` elements.
+    pub beta: &'a [f32],
+    /// Which normalization statistic the rows are scaled by.
+    pub mode: RowNormMode,
+    /// Epsilon added to the squared statistic before inversion. (The accelerator
+    /// simulator ignores this field: its square root inverter carries the hardware's
+    /// fixed epsilon, [`DEFAULT_EPS`].)
+    pub eps: f32,
+    /// The statistics path reads only the first `prefix_len` elements of each row
+    /// (the paper's `Nsub` subsampling); always in `1..=cols`.
+    pub prefix_len: usize,
+    /// Operand quantization applied to the statistics path (the apply path always
+    /// sees the full-precision input).
+    pub quantization: &'a QuantizationPolicy,
+    /// Newton iterations of the fast inverse square root; `None` = exact square root.
+    pub newton_iterations: Option<u32>,
+    /// Per-row predicted ISDs for a skipped site (`rows` elements). `None` means the
+    /// site computes statistics normally.
+    pub predicted_isd: Option<&'a [f32]>,
+}
+
+impl BatchRequest<'_> {
+    /// Number of rows in the request.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.data.len().checked_div(self.cols).unwrap_or(0)
+    }
+
+    /// True when the request applies no HAAN approximation at all: full-width exact
+    /// statistics, untouched operands, exact square root, no prediction. Such
+    /// requests lower to the plain fused batch kernel.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.prefix_len == self.cols
+            && self.quantization.is_identity()
+            && self.newton_iterations.is_none()
+            && self.predicted_isd.is_none()
+            && self.eps == DEFAULT_EPS
+    }
+}
+
+/// An execution backend of the batched normalization engine.
+///
+/// Implementations are stateless or internally synchronised (`&self` receiver): one
+/// backend value may serve many normalizer clones. See the [module docs](self) for
+/// the execution contract and the list of built-in backends.
+pub trait NormBackend: std::fmt::Debug + Send + Sync {
+    /// Short stable identifier used in reports and benchmarks (e.g. `"fused"`).
+    fn name(&self) -> &'static str;
+
+    /// Executes the row sweep of one batched normalization site.
+    ///
+    /// `out` is the `rows × cols` output buffer, `isds_out` (when provided) receives
+    /// the ISD used for every row that computed statistics, and `scratch` is a
+    /// caller-owned buffer sequential backends may reuse for quantized prefixes
+    /// (its contents are unspecified on entry and on exit).
+    fn normalize_batch(
+        &self,
+        request: &BatchRequest<'_>,
+        out: &mut [f32],
+        isds_out: Option<&mut [f32]>,
+        scratch: &mut Vec<f32>,
+    );
+}
+
+/// The ISD-like statistic for a row mode: `1/σ` for LayerNorm, `1/rms` for RMSNorm
+/// (both are "the ISD" in the paper's terminology), computed with the fast inverse
+/// square root when `newton_iterations` is set.
+#[must_use]
+pub fn tracked_isd(
+    mode: RowNormMode,
+    mean: f32,
+    variance: f32,
+    eps: f32,
+    newton_iterations: Option<u32>,
+) -> f32 {
+    let squared = match mode {
+        RowNormMode::LayerNorm => variance,
+        RowNormMode::RmsNorm => variance + mean * mean,
+    };
+    match newton_iterations {
+        Some(iterations) => fast_inv_sqrt(squared + eps, iterations),
+        None => 1.0 / (squared + eps).sqrt(),
+    }
+}
+
+/// Statistics of one quantized row prefix, via the given stat kernel.
+fn prefix_stats(
+    request: &BatchRequest<'_>,
+    z: &[f32],
+    scratch: &mut Vec<f32>,
+    stats_fn: fn(&[f32]) -> Option<VectorStats>,
+) -> Option<VectorStats> {
+    if request.quantization.is_identity() {
+        // No format to apply: skip the scratch-buffer round trip entirely.
+        stats_fn(&z[..request.prefix_len])
+    } else {
+        request
+            .quantization
+            .apply_into(&z[..request.prefix_len], scratch);
+        stats_fn(scratch)
+    }
+}
+
+/// The shared software row sweep: every backend below is this loop with a different
+/// statistics kernel (and, for the parallel backend, a different thread layout).
+///
+/// `row_offset` is the index of `data`'s first row within the whole request, used to
+/// look up predicted ISDs when the rows are chunked across workers.
+fn sweep_rows(
+    request: &BatchRequest<'_>,
+    row_offset: usize,
+    data: &[f32],
+    out: &mut [f32],
+    mut isds_out: Option<&mut [f32]>,
+    scratch: &mut Vec<f32>,
+    stats_fn: fn(&[f32]) -> Option<VectorStats>,
+) {
+    let cols = request.cols;
+    for (r, (z, out_row)) in data
+        .chunks_exact(cols)
+        .zip(out.chunks_exact_mut(cols))
+        .enumerate()
+    {
+        if let Some(predicted) = request.predicted_isd {
+            let isd = predicted[row_offset + r];
+            // The mean (LayerNorm only) is still estimated from the subsampled
+            // prefix; this is cheap because only the prefix entries are read.
+            let mean = match request.mode {
+                RowNormMode::LayerNorm => {
+                    prefix_stats(request, z, scratch, stats_fn).map_or(0.0, |stats| stats.mean)
+                }
+                RowNormMode::RmsNorm => 0.0,
+            };
+            apply_norm_into(
+                z,
+                request.gamma,
+                request.beta,
+                request.mode,
+                mean,
+                isd,
+                out_row,
+            )
+            .expect("batched buffers were validated by the caller");
+        } else {
+            match prefix_stats(request, z, scratch, stats_fn) {
+                Some(stats) => {
+                    let isd = tracked_isd(
+                        request.mode,
+                        stats.mean,
+                        stats.variance,
+                        request.eps,
+                        request.newton_iterations,
+                    );
+                    if let Some(isds) = isds_out.as_deref_mut() {
+                        isds[r] = isd;
+                    }
+                    apply_norm_into(
+                        z,
+                        request.gamma,
+                        request.beta,
+                        request.mode,
+                        stats.mean,
+                        isd,
+                        out_row,
+                    )
+                    .expect("batched buffers were validated by the caller");
+                }
+                // Unreachable with cols > 0; mirror the scalar path's identity
+                // fallback anyway.
+                None => out_row.copy_from_slice(z),
+            }
+        }
+    }
+}
+
+/// The two-pass reference oracle: per-row statistics via the numerically robust
+/// two-pass mean/variance, sequential row loop. The slowest backend, kept as the
+/// parity baseline every other backend is tested against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScalarBackend;
+
+impl NormBackend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn normalize_batch(
+        &self,
+        request: &BatchRequest<'_>,
+        out: &mut [f32],
+        isds_out: Option<&mut [f32]>,
+        scratch: &mut Vec<f32>,
+    ) {
+        sweep_rows(request, 0, request.data, out, isds_out, scratch, |z| {
+            VectorStats::try_compute(z).ok()
+        });
+    }
+}
+
+/// The fused sequential hot path: shift-centred chunked one-pass statistics
+/// ([`VectorStats::compute_chunked`]) fused with the affine apply, one reused
+/// scratch buffer, zero allocation per row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusedBackend;
+
+impl NormBackend for FusedBackend {
+    fn name(&self) -> &'static str {
+        "fused"
+    }
+
+    fn normalize_batch(
+        &self,
+        request: &BatchRequest<'_>,
+        out: &mut [f32],
+        isds_out: Option<&mut [f32]>,
+        scratch: &mut Vec<f32>,
+    ) {
+        if request.is_exact() && isds_out.is_none() {
+            // No HAAN approximation and no anchor recording: the plain fused batch
+            // kernel does the whole sweep in one call.
+            normalize_rows_into(
+                request.data,
+                request.cols,
+                request.gamma,
+                request.beta,
+                request.mode,
+                request.eps,
+                out,
+            )
+            .expect("batched buffers were validated by the caller");
+            return;
+        }
+        sweep_rows(request, 0, request.data, out, isds_out, scratch, |z| {
+            VectorStats::compute_chunked(z).ok()
+        });
+    }
+}
+
+/// The row-parallel path: the fused kernel over chunks of rows on scoped worker
+/// threads. Row kernels are independent, so the output is bit-identical to
+/// [`FusedBackend`] for any worker count — the policy only trades latency against
+/// thread overhead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelBackend {
+    policy: ParallelPolicy,
+}
+
+impl ParallelBackend {
+    /// A parallel backend honoring the given row-parallelism policy.
+    #[must_use]
+    pub fn new(policy: ParallelPolicy) -> Self {
+        Self { policy }
+    }
+
+    /// The row-parallelism policy.
+    #[must_use]
+    pub fn policy(&self) -> ParallelPolicy {
+        self.policy
+    }
+}
+
+impl NormBackend for ParallelBackend {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn normalize_batch(
+        &self,
+        request: &BatchRequest<'_>,
+        out: &mut [f32],
+        isds_out: Option<&mut [f32]>,
+        scratch: &mut Vec<f32>,
+    ) {
+        let rows = request.rows();
+        let workers = self.policy.worker_count(rows, request.cols);
+        if workers <= 1 {
+            FusedBackend.normalize_batch(request, out, isds_out, scratch);
+            return;
+        }
+        let rows_per_worker = rows.div_ceil(workers);
+        let chunk = rows_per_worker * request.cols;
+        let mut isds_chunks = isds_out.map(|isds| isds.chunks_mut(rows_per_worker));
+        std::thread::scope(|scope| {
+            for (index, (data_chunk, out_chunk)) in request
+                .data
+                .chunks(chunk)
+                .zip(out.chunks_mut(chunk))
+                .enumerate()
+            {
+                let isds_chunk = isds_chunks.as_mut().and_then(Iterator::next);
+                scope.spawn(move || {
+                    let mut scratch = Vec::new();
+                    sweep_rows(
+                        request,
+                        index * rows_per_worker,
+                        data_chunk,
+                        out_chunk,
+                        isds_chunk,
+                        &mut scratch,
+                        |z| VectorStats::compute_chunked(z).ok(),
+                    );
+                });
+            }
+        });
+    }
+}
+
+type BackendFactory = Box<dyn Fn(&crate::HaanConfig) -> Arc<dyn NormBackend> + Send + Sync>;
+
+fn registry() -> &'static Mutex<HashMap<&'static str, BackendFactory>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<&'static str, BackendFactory>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Registers (or replaces) an external backend factory under a stable name.
+///
+/// This is the dependency-inversion seam for backends that live *above* this crate:
+/// `haan_accel::AccelSimBackend::install()` registers itself under
+/// [`ACCEL_SIM_BACKEND`] so that selecting
+/// [`BackendSelection::AccelSim`](crate::BackendSelection) in a
+/// [`HaanConfig`](crate::HaanConfig)
+/// reaches the accelerator simulator without a dependency cycle. Future explicit-SIMD
+/// or GPU backends plug in the same way.
+///
+/// The factory runs under the registry lock, so it must not call back into the
+/// registry.
+pub fn register_backend(
+    name: &'static str,
+    factory: impl Fn(&crate::HaanConfig) -> Arc<dyn NormBackend> + Send + Sync + 'static,
+) {
+    registry()
+        .lock()
+        .expect("backend registry poisoned")
+        .insert(name, Box::new(factory));
+}
+
+/// Instantiates a registered external backend for an algorithm configuration, or
+/// `None` when nothing is registered under `name`.
+#[must_use]
+pub fn resolve_backend(name: &str, config: &crate::HaanConfig) -> Option<Arc<dyn NormBackend>> {
+    registry()
+        .lock()
+        .expect("backend registry poisoned")
+        .get(name)
+        .map(|factory| factory(config))
+}
+
+/// Names of the currently registered external backends, sorted.
+#[must_use]
+pub fn registered_backends() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = registry()
+        .lock()
+        .expect("backend registry poisoned")
+        .keys()
+        .copied()
+        .collect();
+    names.sort_unstable();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haan_llm::Matrix;
+
+    fn request<'a>(
+        data: &'a [f32],
+        cols: usize,
+        gamma: &'a [f32],
+        beta: &'a [f32],
+        quantization: &'a QuantizationPolicy,
+    ) -> BatchRequest<'a> {
+        BatchRequest {
+            data,
+            cols,
+            gamma,
+            beta,
+            mode: RowNormMode::LayerNorm,
+            eps: DEFAULT_EPS,
+            prefix_len: cols,
+            quantization,
+            newton_iterations: None,
+            predicted_isd: None,
+        }
+    }
+
+    fn varied_matrix(rows: usize, cols: usize) -> Matrix {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i as u64 * 2654435761) % 1000) as f32 / 250.0 - 2.0)
+            .collect();
+        Matrix::from_vec(rows, cols, data).expect("consistent shape")
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_fused_for_any_worker_count() {
+        let input = varied_matrix(9, 70);
+        let gamma = vec![1.1f32; 70];
+        let beta = vec![-0.2f32; 70];
+        let quantization = QuantizationPolicy::new(haan_numerics::Format::Fp16);
+        let mut req = request(input.as_slice(), 70, &gamma, &beta, &quantization);
+        req.prefix_len = 33;
+        req.newton_iterations = Some(1);
+
+        let mut fused_out = vec![0.0f32; 9 * 70];
+        let mut fused_isds = vec![0.0f32; 9];
+        FusedBackend.normalize_batch(&req, &mut fused_out, Some(&mut fused_isds), &mut Vec::new());
+        for workers in [2usize, 3, 5, 16] {
+            let backend = ParallelBackend::new(ParallelPolicy::Threads(workers));
+            assert_eq!(backend.policy(), ParallelPolicy::Threads(workers));
+            let mut out = vec![0.0f32; 9 * 70];
+            let mut isds = vec![0.0f32; 9];
+            backend.normalize_batch(&req, &mut out, Some(&mut isds), &mut Vec::new());
+            assert_eq!(out, fused_out, "{workers} workers diverged");
+            assert_eq!(isds, fused_isds, "{workers} workers: ISDs diverged");
+        }
+    }
+
+    #[test]
+    fn exact_requests_lower_to_the_plain_fused_kernel() {
+        let input = varied_matrix(4, 64);
+        let gamma = vec![1.0f32; 64];
+        let beta = vec![0.0f32; 64];
+        let quantization = QuantizationPolicy::disabled();
+        let req = request(input.as_slice(), 64, &gamma, &beta, &quantization);
+        assert!(req.is_exact());
+        assert_eq!(req.rows(), 4);
+
+        let mut lowered = vec![0.0f32; 4 * 64];
+        FusedBackend.normalize_batch(&req, &mut lowered, None, &mut Vec::new());
+        let mut reference = vec![0.0f32; 4 * 64];
+        normalize_rows_into(
+            input.as_slice(),
+            64,
+            &gamma,
+            &beta,
+            RowNormMode::LayerNorm,
+            DEFAULT_EPS,
+            &mut reference,
+        )
+        .unwrap();
+        assert_eq!(lowered, reference);
+    }
+
+    #[test]
+    fn predicted_rows_apply_the_given_isd() {
+        let quantization = QuantizationPolicy::disabled();
+        let data = [2.0f32, 4.0, 6.0, 8.0];
+        let gamma = [1.0f32, 1.0];
+        let beta = [0.0f32, 0.0];
+        let predicted = [1.0f32, 0.5];
+        let mut req = request(&data, 2, &gamma, &beta, &quantization);
+        req.predicted_isd = Some(&predicted);
+        let mut out = vec![0.0f32; 4];
+        for backend in [&ScalarBackend as &dyn NormBackend, &FusedBackend] {
+            backend.normalize_batch(&req, &mut out, None, &mut Vec::new());
+            // Row 0: mean 3, isd 1 → (2−3)·1, (4−3)·1. Row 1: mean 7, isd 0.5.
+            assert_eq!(out, vec![-1.0, 1.0, -0.5, 0.5], "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        #[derive(Debug)]
+        struct Dummy;
+        impl NormBackend for Dummy {
+            fn name(&self) -> &'static str {
+                "dummy"
+            }
+            fn normalize_batch(
+                &self,
+                request: &BatchRequest<'_>,
+                out: &mut [f32],
+                _isds_out: Option<&mut [f32]>,
+                _scratch: &mut Vec<f32>,
+            ) {
+                out.copy_from_slice(request.data);
+            }
+        }
+        assert!(resolve_backend("test-dummy", &crate::HaanConfig::default()).is_none());
+        register_backend("test-dummy", |_| Arc::new(Dummy));
+        let resolved =
+            resolve_backend("test-dummy", &crate::HaanConfig::default()).expect("registered above");
+        assert_eq!(resolved.name(), "dummy");
+        assert!(registered_backends().contains(&"test-dummy"));
+    }
+
+    #[test]
+    fn tracked_isd_modes_newton_and_eps() {
+        // LayerNorm tracks 1/σ; RMSNorm folds the mean back in.
+        let exact = tracked_isd(RowNormMode::LayerNorm, 5.0, 4.0, DEFAULT_EPS, None);
+        assert!((exact - 0.5).abs() < 1e-4);
+        let rms = tracked_isd(RowNormMode::RmsNorm, 3.0, 0.0, DEFAULT_EPS, None);
+        assert!((rms - 1.0 / 3.0).abs() < 1e-4);
+        let fast = tracked_isd(RowNormMode::LayerNorm, 0.0, 4.0, DEFAULT_EPS, Some(1));
+        assert!((fast - 0.5).abs() < 2e-3);
+        // A custom epsilon floors the ISD of a zero-variance row.
+        let floored = tracked_isd(RowNormMode::LayerNorm, 0.0, 0.0, 1e-2, None);
+        assert!((floored - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backends_honor_a_custom_eps() {
+        // A constant row has zero variance: the output spread is set entirely by the
+        // requested epsilon, so a larger eps must shrink the ISD accordingly.
+        let quantization = QuantizationPolicy::disabled();
+        let data = [2.0f32, 2.0, 2.0, 2.0];
+        let gamma = [1.0f32; 4];
+        let beta = [0.0f32; 4];
+        let mut req = request(&data, 4, &gamma, &beta, &quantization);
+        req.mode = RowNormMode::RmsNorm;
+        req.eps = 1.0e-2;
+        assert!(!req.is_exact());
+        for backend in [&ScalarBackend as &dyn NormBackend, &FusedBackend] {
+            let mut out = vec![0.0f32; 4];
+            let mut isds = vec![0.0f32; 1];
+            backend.normalize_batch(&req, &mut out, Some(&mut isds), &mut Vec::new());
+            // 1/rms with rms² = 4 + 1e-2.
+            let expected = 1.0 / (4.0f32 + 1.0e-2).sqrt();
+            assert!(
+                (isds[0] - expected).abs() < 1e-6,
+                "{}: {} vs {expected}",
+                backend.name(),
+                isds[0]
+            );
+        }
+    }
+}

@@ -23,8 +23,13 @@
 //!   ([`normalize_matrix_into`](haan_llm::norm::Normalizer::normalize_matrix_into)):
 //!   one call per normalization site processes a whole `seq × E` matrix with the
 //!   per-site decisions hoisted out of the row loop, a reused scratch buffer, fused
-//!   chunked kernels, per-row skip anchors, and an optional row-parallel path gated
-//!   by [`ParallelPolicy`] in [`HaanConfig`].
+//!   chunked kernels, and per-row skip anchors.
+//! * [`backend`] — the execution backends of the batched engine and the
+//!   [`NormBackend`] trait they implement: the two-pass scalar
+//!   oracle, the fused chunked kernel, the row-parallel path (gated by
+//!   [`ParallelPolicy`]), and — through the external registry — `haan_accel`'s
+//!   cycle-level accelerator simulator. [`BackendSelection`] in [`HaanConfig`] picks
+//!   the backend per site (or lets the `Auto` heuristic decide per batch shape).
 //! * [`calibration`] — the offline calibration pipeline (run a calibration set, gather
 //!   ISD profiles, run Algorithm 1).
 //! * [`evaluate`] — accuracy-evaluation helpers used to regenerate Tables I and II.
@@ -57,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod calibration;
 pub mod config;
 pub mod error;
@@ -68,8 +74,9 @@ pub mod quantization;
 pub mod skipping;
 pub mod subsample;
 
+pub use backend::NormBackend;
 pub use calibration::{CalibrationOutcome, Calibrator};
-pub use config::{HaanConfig, HaanConfigBuilder, ParallelPolicy};
+pub use config::{BackendKind, BackendSelection, HaanConfig, HaanConfigBuilder, ParallelPolicy};
 pub use error::HaanError;
 pub use normalizer::{HaanNormalizer, NormalizerTelemetry};
 pub use predictor::{cal_decay, IsdPredictor};

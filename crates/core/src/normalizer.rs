@@ -17,21 +17,33 @@
 //! reference oracle. [`Normalizer::normalize_matrix_into`] is the batched engine: one
 //! call per normalization site processes every row of the sequence with the per-site
 //! decisions (skip lookup, subsample length, quantization policy) hoisted out of the
-//! row loop, one reusable scratch buffer, fused chunked kernels, and an optional
-//! row-parallel path gated by [`crate::config::ParallelPolicy`]. The batched path also
-//! tracks the skip-anchor ISD *per row* (per token), where the scalar path can only
-//! remember the last row it saw — so batched skipping predicts each token from its own
-//! anchor observation, which is both closer to the paper and measurably more accurate
-//! on multi-token sequences.
+//! row loop into a [`crate::backend::BatchRequest`], then dispatched to the execution
+//! backend selected by [`crate::config::BackendSelection`] — the two-pass scalar
+//! oracle, the fused chunked kernel, the `std::thread::scope` row-parallel path
+//! (honoring [`crate::config::ParallelPolicy`]), or the cycle-level accelerator
+//! simulator registered by `haan_accel`. The batched path also tracks the skip-anchor
+//! ISD *per row* (per token), where the scalar path can only remember the last row it
+//! saw — so batched skipping predicts each token from its own anchor observation,
+//! which is both closer to the paper and measurably more accurate on multi-token
+//! sequences.
+//!
+//! Backend selection applies to the **batched path only**: the per-token scalar path
+//! always runs the in-process software reference regardless of
+//! [`crate::config::BackendSelection`] (it is the oracle the backends are tested
+//! against), which is why [`Normalizer::description`] labels the selection as the
+//! *batched* backend.
 
-use crate::config::HaanConfig;
+use crate::backend::{
+    self, BatchRequest, FusedBackend, NormBackend, ParallelBackend, ScalarBackend,
+};
+use crate::config::{BackendKind, BackendSelection, HaanConfig, ParallelPolicy};
 use crate::quantization::QuantizationPolicy;
 use crate::skipping::SkipPlan;
 use crate::subsample::SubsampleEstimator;
 use haan_llm::norm::{normalize_with_stats, NormSite, Normalizer};
 use haan_llm::{Matrix, NormKind};
-use haan_numerics::invsqrt::fast_inv_sqrt;
-use haan_numerics::stats::{apply_norm_into, VectorStats, DEFAULT_EPS};
+use haan_numerics::stats::DEFAULT_EPS;
+use std::sync::Arc;
 
 /// Counters describing what the normalizer actually did, used by reports and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -86,6 +98,13 @@ pub struct HaanNormalizer {
     row_anchors: Vec<f64>,
     /// Scratch buffer for quantized prefixes, reused across rows and calls.
     scratch: Vec<f32>,
+    /// Scratch buffer for per-row predicted ISDs at skipped sites, reused across
+    /// calls so the skipped hot path stays allocation-free.
+    predicted_scratch: Vec<f32>,
+    /// Externally-provided execution backend (the accelerator simulator, or anything
+    /// attached with [`HaanNormalizer::with_external_backend`]); lazily resolved from
+    /// the [`crate::backend`] registry when [`BackendSelection::AccelSim`] is active.
+    external: Option<Arc<dyn NormBackend>>,
     telemetry: NormalizerTelemetry,
 }
 
@@ -110,8 +129,20 @@ impl HaanNormalizer {
             anchor_log_isd: None,
             row_anchors: Vec::new(),
             scratch: Vec::new(),
+            predicted_scratch: Vec::new(),
+            external: None,
             telemetry: NormalizerTelemetry::default(),
         }
+    }
+
+    /// Attaches an externally-constructed execution backend, used when the
+    /// configuration selects [`BackendSelection::AccelSim`]. Without an attached
+    /// backend that selection falls back to the [`crate::backend`] registry (where
+    /// `haan_accel::AccelSimBackend::install()` registers itself).
+    #[must_use]
+    pub fn with_external_backend(mut self, backend: Arc<dyn NormBackend>) -> Self {
+        self.external = Some(backend);
+        self
     }
 
     /// Attaches a calibrated [`SkipPlan`] (replacing any fixed range from the config).
@@ -156,143 +187,52 @@ impl HaanNormalizer {
     /// `1/rms` for RMSNorm (both are "the ISD" in the paper's terminology, since each is
     /// the factor the normalized output is proportional to).
     fn tracked_isd(&self, kind: NormKind, mean: f32, variance: f32) -> f32 {
-        tracked_isd(kind, mean, variance, self.config.invsqrt_newton_iterations)
-    }
-}
-
-/// Accumulates one worker's telemetry into the normalizer's counters.
-fn merge_telemetry(total: &mut NormalizerTelemetry, part: &NormalizerTelemetry) {
-    total.calls += part.calls;
-    total.skipped_isd += part.skipped_isd;
-    total.subsampled += part.subsampled;
-    total.elements_read += part.elements_read;
-    total.elements_total += part.elements_total;
-}
-
-/// Free-function form of [`HaanNormalizer::tracked_isd`], shared with the batched row
-/// workers (which run without a `&self` borrow on worker threads).
-fn tracked_isd(kind: NormKind, mean: f32, variance: f32, newton_iterations: Option<u32>) -> f32 {
-    let squared = match kind {
-        NormKind::LayerNorm => variance,
-        NormKind::RmsNorm => variance + mean * mean,
-    };
-    match newton_iterations {
-        Some(iterations) => fast_inv_sqrt(squared + DEFAULT_EPS, iterations),
-        None => 1.0 / (squared + DEFAULT_EPS).sqrt(),
-    }
-}
-
-/// Immutable per-site context of one batched normalization call: every decision that
-/// the scalar path re-derives per token, hoisted out of the row loop and shareable
-/// across worker threads.
-struct SiteContext<'a> {
-    kind: NormKind,
-    layer_index: usize,
-    cols: usize,
-    prefix_len: usize,
-    skipped: bool,
-    quantization: &'a QuantizationPolicy,
-    newton_iterations: Option<u32>,
-    plan: Option<&'a SkipPlan>,
-    /// Anchor `log(ISD)` used for rows without a per-row anchor observation.
-    fallback_anchor_log: f64,
-}
-
-/// Per-worker mutable state: one scratch buffer plus local telemetry, merged after the
-/// (possibly parallel) row sweep.
-#[derive(Default)]
-struct RowWorker {
-    scratch: Vec<f32>,
-    telemetry: NormalizerTelemetry,
-}
-
-impl SiteContext<'_> {
-    /// Statistics-path read of one row: quantized subsampled prefix into the worker's
-    /// scratch buffer, chunked one-pass statistics, telemetry accounting.
-    fn prefix_stats(&self, z: &[f32], worker: &mut RowWorker) -> Option<VectorStats> {
-        worker.telemetry.elements_read += self.prefix_len as u64;
-        if self.prefix_len < self.cols {
-            worker.telemetry.subsampled += 1;
-        }
-        if self.quantization.is_identity() {
-            // No format to apply: skip the scratch-buffer round trip entirely.
-            VectorStats::compute_chunked(&z[..self.prefix_len]).ok()
-        } else {
-            self.quantization
-                .apply_into(&z[..self.prefix_len], &mut worker.scratch);
-            VectorStats::compute_chunked(&worker.scratch).ok()
-        }
+        backend::tracked_isd(
+            kind.row_mode(),
+            mean,
+            variance,
+            DEFAULT_EPS,
+            self.config.invsqrt_newton_iterations,
+        )
     }
 
-    /// Processes a contiguous chunk of rows.
-    ///
-    /// `anchors_in` holds the per-row anchor `log(ISD)` observations for skipped
-    /// sites; `anchors_out` receives them at anchor sites. Both are pre-chunked to
-    /// match `data` / `out`.
-    // One argument per parallel-chunked buffer; bundling them into a struct would
-    // just move the same arity into a constructor.
-    #[allow(clippy::too_many_arguments)]
-    fn process_rows(
-        &self,
-        data: &[f32],
-        gamma: &[f32],
-        beta: &[f32],
-        out: &mut [f32],
-        anchors_in: Option<&[f64]>,
-        mut anchors_out: Option<&mut [f64]>,
-        worker: &mut RowWorker,
-    ) {
-        let mode = self.kind.row_mode();
-        for (r, (z, out_row)) in data
-            .chunks_exact(self.cols)
-            .zip(out.chunks_exact_mut(self.cols))
-            .enumerate()
-        {
-            worker.telemetry.calls += 1;
-            worker.telemetry.elements_total += self.cols as u64;
-            if self.skipped {
-                worker.telemetry.skipped_isd += 1;
-                let anchor_log = anchors_in.map_or(self.fallback_anchor_log, |a| a[r]);
-                let predicted_log = self
-                    .plan
-                    .map(|plan| {
-                        plan.predictor()
-                            .predict_log_isd(anchor_log, self.layer_index)
-                            .unwrap_or(anchor_log)
-                    })
-                    .unwrap_or(anchor_log);
-                let isd = predicted_log.exp() as f32;
-                // The mean (LayerNorm only) is still estimated from the subsampled
-                // prefix; this is cheap because only the prefix entries are read.
-                let mean = match self.kind {
-                    NormKind::LayerNorm => {
-                        self.prefix_stats(z, worker).map_or(0.0, |stats| stats.mean)
-                    }
-                    NormKind::RmsNorm => 0.0,
-                };
-                apply_norm_into(z, gamma, beta, mode, mean, isd, out_row)
-                    .expect("batched buffers were validated by the caller");
-            } else {
-                match self.prefix_stats(z, worker) {
-                    Some(stats) => {
-                        let isd = tracked_isd(
-                            self.kind,
-                            stats.mean,
-                            stats.variance,
-                            self.newton_iterations,
-                        );
-                        if let Some(anchors) = anchors_out.as_deref_mut() {
-                            anchors[r] = f64::from(isd).ln();
-                        }
-                        apply_norm_into(z, gamma, beta, mode, stats.mean, isd, out_row)
-                            .expect("batched buffers were validated by the caller");
-                    }
-                    // Unreachable with cols > 0; mirror the scalar path's identity
-                    // fallback anyway.
-                    None => out_row.copy_from_slice(z),
-                }
+    /// The [`ParallelPolicy`] the row-parallel backend should honor: the configured
+    /// policy, except that when [`BackendSelection::Auto`] escalates an `Auto`-policy
+    /// configuration past the format-aware threshold (where the policy's own
+    /// format-blind threshold would have stayed at one worker), the host's available
+    /// parallelism is pinned explicitly.
+    fn effective_parallel_policy(&self) -> ParallelPolicy {
+        match (self.config.backend, self.config.parallel) {
+            (BackendSelection::Auto, ParallelPolicy::Auto) => {
+                ParallelPolicy::Threads(std::thread::available_parallelism().map_or(1, usize::from))
             }
+            (_, policy) => policy,
         }
+    }
+
+    /// Resolves the external backend used by [`BackendSelection::AccelSim`]: the one
+    /// attached with [`HaanNormalizer::with_external_backend`], or the registry entry
+    /// under [`backend::ACCEL_SIM_BACKEND`] (cached after the first lookup).
+    ///
+    /// # Panics
+    ///
+    /// Panics when neither is available — selecting the accelerator backend without
+    /// `haan_accel::AccelSimBackend::install()` is a configuration error.
+    fn external_backend(&mut self) -> Arc<dyn NormBackend> {
+        if let Some(attached) = &self.external {
+            return Arc::clone(attached);
+        }
+        let resolved = backend::resolve_backend(backend::ACCEL_SIM_BACKEND, &self.config)
+            .unwrap_or_else(|| {
+                panic!(
+                    "BackendSelection::AccelSim selected but no '{}' backend is registered; \
+                     call haan_accel::AccelSimBackend::install() or attach one with \
+                     HaanNormalizer::with_external_backend",
+                    backend::ACCEL_SIM_BACKEND
+                )
+            });
+        self.external = Some(Arc::clone(&resolved));
+        resolved
     }
 }
 
@@ -418,90 +358,105 @@ impl Normalizer for HaanNormalizer {
                 .as_ref()
                 .map_or(0.0, |plan| plan.calibration_anchor_log_isd)
         });
-        let context = SiteContext {
-            kind: site.kind,
-            layer_index: site.layer_index,
+
+        // Resolve the execution backend for this batch shape up front (the external
+        // accelerator backend needs `&mut self` for its lazy registry cache, so it
+        // cannot overlap the request's borrows below).
+        let kind =
+            self.config
+                .backend
+                .resolve(rows, cols, self.config.format, self.config.parallel);
+        let external = (kind == BackendKind::AccelSim).then(|| self.external_backend());
+        let mut scratch = std::mem::take(&mut self.scratch);
+
+        // Skipped sites: the predictor is policy, not execution, so it runs here and
+        // backends see plain per-row ISDs (consumed from the per-row anchors when the
+        // anchor site has been seen with this row count, the scalar fallback anchor
+        // otherwise). The member buffer keeps the skipped hot path allocation-free.
+        let mut predicted = std::mem::take(&mut self.predicted_scratch);
+        predicted.clear();
+        if skipped {
+            let anchors = (self.row_anchors.len() == rows).then_some(self.row_anchors.as_slice());
+            let plan = self.plan.as_ref();
+            predicted.extend((0..rows).map(|row| {
+                let anchor_log = anchors.map_or(fallback_anchor_log, |a| a[row]);
+                let predicted_log = plan
+                    .map(|plan| {
+                        plan.predictor()
+                            .predict_log_isd(anchor_log, site.layer_index)
+                            .unwrap_or(anchor_log)
+                    })
+                    .unwrap_or(anchor_log);
+                predicted_log.exp() as f32
+            }));
+        }
+
+        let request = BatchRequest {
+            data: input.as_slice(),
             cols,
+            gamma,
+            beta,
+            mode: site.kind.row_mode(),
+            eps: DEFAULT_EPS,
             prefix_len,
-            skipped,
             quantization: &self.quantization,
             newton_iterations: self.config.invsqrt_newton_iterations,
-            plan: self.plan.as_ref(),
-            fallback_anchor_log,
+            predicted_isd: skipped.then_some(predicted.as_slice()),
         };
 
-        // Per-row anchors: consumed at skipped sites, produced at the anchor site.
-        let anchors_in =
-            (skipped && self.row_anchors.len() == rows).then_some(self.row_anchors.as_slice());
-        let mut anchors_out = if is_anchor {
-            vec![fallback_anchor_log; rows]
+        // Per-row ISDs come back from the backend only at the anchor site.
+        let mut isds = if is_anchor {
+            vec![fallback_anchor_log.exp() as f32; rows]
         } else {
             Vec::new()
         };
-
-        let workers = self.config.parallel.worker_count(rows, cols);
-        let data = input.as_slice();
-        let out_slice = out.as_mut_slice();
-        if workers <= 1 {
-            let mut worker = RowWorker {
-                scratch: std::mem::take(&mut self.scratch),
-                telemetry: NormalizerTelemetry::default(),
-            };
-            context.process_rows(
-                data,
-                gamma,
-                beta,
-                out_slice,
-                anchors_in,
-                is_anchor.then_some(anchors_out.as_mut_slice()),
-                &mut worker,
-            );
-            self.scratch = worker.scratch;
-            merge_telemetry(&mut self.telemetry, &worker.telemetry);
-        } else {
-            let rows_per_worker = rows.div_ceil(workers);
-            let chunk = rows_per_worker * cols;
-            let mut telemetries: Vec<NormalizerTelemetry> = Vec::with_capacity(workers);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(workers);
-                let mut anchors_out_chunks = anchors_out.chunks_mut(rows_per_worker);
-                for (data_chunk, out_chunk) in data.chunks(chunk).zip(out_slice.chunks_mut(chunk)) {
-                    let anchors_in_chunk = anchors_in
-                        .map(|a| &a[handles.len() * rows_per_worker..][..data_chunk.len() / cols]);
-                    let anchors_out_chunk = if is_anchor {
-                        anchors_out_chunks.next()
-                    } else {
-                        None
-                    };
-                    let context = &context;
-                    handles.push(scope.spawn(move || {
-                        let mut worker = RowWorker::default();
-                        context.process_rows(
-                            data_chunk,
-                            gamma,
-                            beta,
-                            out_chunk,
-                            anchors_in_chunk,
-                            anchors_out_chunk,
-                            &mut worker,
-                        );
-                        worker.telemetry
-                    }));
-                }
-                for handle in handles {
-                    telemetries.push(handle.join().expect("row worker panicked"));
-                }
-            });
-            for telemetry in &telemetries {
-                merge_telemetry(&mut self.telemetry, telemetry);
+        let parallel_backend;
+        let backend: &dyn NormBackend = match kind {
+            BackendKind::Scalar => &ScalarBackend,
+            BackendKind::Fused => &FusedBackend,
+            BackendKind::Parallel => {
+                // Constructed only when selected: the effective policy may query the
+                // host's available parallelism, which is a syscall.
+                parallel_backend = ParallelBackend::new(self.effective_parallel_policy());
+                &parallel_backend
             }
+            BackendKind::AccelSim => external.as_deref().expect("resolved above"),
+        };
+        backend.normalize_batch(
+            &request,
+            out.as_mut_slice(),
+            is_anchor.then_some(isds.as_mut_slice()),
+            &mut scratch,
+        );
+        self.scratch = scratch;
+        self.predicted_scratch = predicted;
+
+        // Telemetry is fully determined by the request shape, so it is accounted
+        // uniformly here rather than inside each backend. Skipped RMSNorm sites read
+        // nothing (no mean is needed); every other site reads the subsampled prefix
+        // of every row.
+        let stats_rows = if skipped && site.kind == NormKind::RmsNorm {
+            0
+        } else {
+            rows as u64
+        };
+        self.telemetry.calls += rows as u64;
+        self.telemetry.elements_total += (rows * cols) as u64;
+        self.telemetry.elements_read += stats_rows * prefix_len as u64;
+        if prefix_len < cols {
+            self.telemetry.subsampled += stats_rows;
+        }
+        if skipped {
+            self.telemetry.skipped_isd += rows as u64;
         }
 
         if is_anchor {
             // Keep the scalar-path anchor consistent with its last-row-wins
             // semantics, then adopt the per-row observations for batched skipping.
-            self.anchor_log_isd = anchors_out.last().copied();
-            self.row_anchors = anchors_out;
+            self.anchor_log_isd = isds.last().map(|&isd| f64::from(isd).ln());
+            self.row_anchors.clear();
+            self.row_anchors
+                .extend(isds.iter().map(|&isd| f64::from(isd).ln()));
         }
     }
 
@@ -520,8 +475,8 @@ impl Normalizer for HaanNormalizer {
             None => "full input".to_string(),
         };
         format!(
-            "HAAN normalizer [{}; {}; {}; {}]",
-            self.config.label, skip, sub, self.config.format
+            "HAAN normalizer [{}; {}; {}; {}; {} batched backend]",
+            self.config.label, skip, sub, self.config.format, self.config.backend
         )
     }
 }

@@ -7,7 +7,7 @@
 //!
 //! * [`tensor`] — a minimal row-major matrix type with the handful of operations a
 //!   decoder-only transformer needs (matmul, softmax, GeLU).
-//! * [`norm`] — the [`Normalizer`](norm::Normalizer) trait plus reference LayerNorm and
+//! * [`norm`] — the [`Normalizer`] trait plus reference LayerNorm and
 //!   RMSNorm implementations. The HAAN normalizer in the `haan` crate plugs into the
 //!   same trait, so a model can be evaluated with either.
 //! * [`model`] / [`block`] / [`attention`] / [`mlp`] — a from-scratch Pre-LN

@@ -8,7 +8,9 @@
 //!   hidden-state matrix per normalization site, writing into a caller-provided
 //!   matrix. The default implementation loops the scalar path (so custom normalizers
 //!   keep working unchanged); the built-in normalizers override it with the fused,
-//!   allocation-free kernels of [`haan_numerics::stats`].
+//!   allocation-free kernels of [`haan_numerics::stats`], and the HAAN normalizer
+//!   (in the `haan` core crate) dispatches it to a configurable execution backend —
+//!   scalar oracle, fused, row-parallel, or the cycle-level accelerator simulator.
 //!
 //! Each invocation carries *which* normalization layer (global index) it is computing,
 //! so an implementation can keep cross-layer state — exactly what HAAN's ISD-skipping
@@ -54,10 +56,33 @@ pub trait Normalizer {
     ///
     /// This is the batched hot path the transformer forward pass uses: one call per
     /// normalization site instead of one per token, so implementations can hoist
-    /// per-site decisions (skip plan lookup, quantization policy, scratch buffers)
-    /// out of the row loop. The default implementation delegates to
-    /// [`Normalizer::normalize`] row by row, preserving the exact observable behavior
-    /// (site order, per-row statistics) for third-party implementations.
+    /// per-site decisions (skip plan lookup, quantization policy, scratch buffers,
+    /// execution-backend selection) out of the row loop. The default implementation
+    /// delegates to [`Normalizer::normalize`] row by row, preserving the exact
+    /// observable behavior (site order, per-row statistics) for third-party
+    /// implementations; the built-in normalizers override it with fused batch
+    /// kernels, and the HAAN normalizer dispatches it to a configurable execution
+    /// backend (scalar / fused / row-parallel / accelerator-simulated).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use haan_llm::norm::{NormSite, Normalizer, ReferenceNormalizer};
+    /// use haan_llm::{Matrix, NormKind};
+    ///
+    /// let input = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 4.0, 3.0, 2.0, 1.0])?;
+    /// let gamma = vec![1.0f32; 4];
+    /// let beta = vec![0.0f32; 4];
+    /// let site = NormSite { layer_index: 0, kind: NormKind::LayerNorm };
+    /// let mut out = Matrix::zeros(2, 4);
+    /// ReferenceNormalizer::new().normalize_matrix_into(site, &input, &gamma, &beta, &mut out);
+    /// // Every row is normalized independently to (close to) zero mean.
+    /// for row in 0..2 {
+    ///     let mean: f32 = out.row(row).iter().sum::<f32>() / 4.0;
+    ///     assert!(mean.abs() < 1e-5);
+    /// }
+    /// # Ok::<(), haan_llm::LlmError>(())
+    /// ```
     ///
     /// # Panics
     ///

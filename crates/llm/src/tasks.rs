@@ -9,7 +9,7 @@
 //! selection. Each synthetic suite is built as follows:
 //!
 //! 1. prompts and candidate continuations are sampled from the seeded
-//!    [`SyntheticCorpus`](crate::dataset::SyntheticCorpus);
+//!    [`SyntheticCorpus`];
 //! 2. the *gold* label of an item is the choice the reference (exact-FP32) model ranks
 //!    highest;
 //! 3. a per-suite fraction of gold labels (`label_noise`) is then flipped to a random

@@ -21,6 +21,12 @@
 //! to agree with them within tight tolerance (≤ 1e-5 relative on normalized outputs;
 //! bit-exact is not required — the lane-parallel summation order differs, exactly as
 //! a hardware adder tree's does).
+//!
+//! These kernels are the substrate of the core crate's execution backends: the
+//! `haan::backend` module composes [`VectorStats::compute_chunked`] /
+//! [`apply_norm_into`] / [`normalize_rows_into`] into scalar, fused and row-parallel
+//! backends behind one dispatchable trait (see `ARCHITECTURE.md` at the repository
+//! root for the full layering).
 
 use crate::error::NumericError;
 
@@ -327,6 +333,24 @@ pub fn normalize_row_into(
 /// This is the engine the batched `Normalizer` implementations dispatch to; the HAAN
 /// normalizer composes [`VectorStats::compute_chunked`] over a subsampled prefix with
 /// [`apply_norm_into`] instead, injecting its estimated statistics.
+///
+/// # Examples
+///
+/// ```
+/// use haan_numerics::stats::{normalize_rows_into, RowNormMode, DEFAULT_EPS};
+///
+/// // Two rows of three elements, normalized independently into one output buffer.
+/// let data = [1.0f32, 2.0, 3.0, 10.0, 20.0, 30.0];
+/// let gamma = [1.0f32; 3];
+/// let beta = [0.0f32; 3];
+/// let mut out = [0.0f32; 6];
+/// normalize_rows_into(&data, 3, &gamma, &beta, RowNormMode::LayerNorm, DEFAULT_EPS, &mut out)?;
+/// // LayerNorm is scale-invariant, so both rows normalize to the same values…
+/// assert!((out[0] - out[3]).abs() < 1e-4);
+/// // …and each normalized row has (close to) zero mean.
+/// assert!(out.iter().take(3).sum::<f32>().abs() < 1e-5);
+/// # Ok::<(), haan_numerics::NumericError>(())
+/// ```
 ///
 /// # Errors
 ///

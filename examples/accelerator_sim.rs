@@ -2,13 +2,21 @@
 //! layer, inspect its resource / power / latency estimates, and compare against the
 //! DFX, SOLE, MHAA and GPU baselines on the GPT2-1.5B workload.
 //!
+//! The simulator is also reachable as an execution *backend* of the batched
+//! normalization engine: after `AccelSimBackend::install()`, building a
+//! `HaanNormalizer` with `HaanConfig::builder().backend(BackendSelection::AccelSim)`
+//! routes every `normalize_matrix_into` call through the fixed-point datapath and
+//! the pipeline cycle model — the final section below does exactly that (see
+//! `ARCHITECTURE.md` for the dispatch diagram).
+//!
 //! Run with: `cargo run --release --example accelerator_sim`
 
-use haan::{HaanConfig, SkipPlan};
-use haan_accel::{AccelConfig, HaanAccelerator};
+use haan::{BackendSelection, HaanConfig, HaanNormalizer, SkipPlan};
+use haan_accel::{AccelConfig, AccelSimBackend, HaanAccelerator};
 use haan_baselines::{
     compare_engines, DfxEngine, GpuNormEngine, MhaaEngine, NormEngine, NormWorkload, SoleEngine,
 };
+use haan_llm::norm::{NormSite, Normalizer};
 use haan_llm::NormKind;
 use haan_numerics::Format;
 
@@ -79,5 +87,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             row.engine, row.normalized_latency, row.normalized_power
         );
     }
+
+    // The simulator as a dispatchable backend: install it in the core backend
+    // registry, then drive it through the exact same `normalize_matrix_into` call
+    // path the software backends use.
+    AccelSimBackend::install();
+    let backend_config = HaanConfig::builder()
+        .label("HAAN (accel-sim backend)")
+        .subsample(800)
+        .format(Format::Fp16)
+        .backend(BackendSelection::AccelSim)
+        .build();
+    let mut normalizer = HaanNormalizer::new(backend_config);
+    let batch = haan_llm::Matrix::from_vec(
+        tokens.len(),
+        1600,
+        tokens.iter().flatten().copied().collect(),
+    )?;
+    let site = NormSite {
+        layer_index: 0,
+        kind: NormKind::LayerNorm,
+    };
+    let normalized = normalizer.normalize_matrix(site, &batch, &gamma, &beta);
+    println!(
+        "\naccel-sim backend via normalize_matrix_into: {} ({} rows normalized, {:.0}% of elements read)",
+        normalizer.description(),
+        normalized.rows(),
+        normalizer.telemetry().read_fraction() * 100.0
+    );
     Ok(())
 }

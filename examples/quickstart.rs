@@ -1,9 +1,16 @@
 //! Quickstart: calibrate HAAN on a model, attach the resulting skip plan to the HAAN
 //! normalizer, and compare its outputs and telemetry against exact normalization.
 //!
+//! The normalizer's execution backend is selected through the configuration
+//! (`HaanConfig::builder().backend(BackendSelection::…)`): `Auto` (the default)
+//! picks between the fused and row-parallel software kernels per batch shape and
+//! thread policy, `Scalar` pins the two-pass oracle, and `AccelSim` routes the same calls through
+//! the cycle-level accelerator simulator (see `examples/accelerator_sim.rs` and
+//! `ARCHITECTURE.md` for the dispatch diagram).
+//!
 //! Run with: `cargo run --release --example quickstart`
 
-use haan::{Calibrator, HaanConfig, HaanNormalizer};
+use haan::{BackendSelection, Calibrator, HaanConfig, HaanNormalizer};
 use haan_llm::norm::ReferenceNormalizer;
 use haan_llm::{ModelConfig, TransformerModel};
 use haan_numerics::Format;
@@ -29,11 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Build the HAAN normalizer: subsampled statistics, FP16 operands, fast inverse
-    //    square root, plus the calibrated skip plan.
+    //    square root, plus the calibrated skip plan. `BackendSelection::Auto` lets the
+    //    engine pick the execution backend (fused vs row-parallel) per batch shape;
+    //    pin `Scalar`, `Fused`, `Parallel` or `AccelSim` here to force one.
     let haan_config = HaanConfig::builder()
         .label("HAAN quickstart")
         .subsample(32)
         .format(Format::Fp16)
+        .backend(BackendSelection::Auto)
         .build();
     let mut haan = HaanNormalizer::new(haan_config).with_plan(outcome.plan);
     let mut reference = ReferenceNormalizer::new();
