@@ -4,10 +4,11 @@
 //! Measures ns/element of the normalization paths (scalar oracle vs fused batched vs
 //! row-parallel) on paper-width (4096-element) rows, plus per-backend ns/element of
 //! the dispatchable execution backends (`BackendSelection::{Scalar, Fused, Parallel,
-//! AccelSim}`) through the same `normalize_matrix_into` entry point, plus matmul
-//! GFLOP/s of the cache-blocked kernels, and writes the numbers to `BENCH_norm.json`
-//! (first CLI argument overrides the output path). Future PRs diff this file to keep
-//! the perf trajectory honest.
+//! AccelSim}`) through the same `normalize_matrix_into` entry point, plus the
+//! serving-layer throughput of `haan_serve` (concurrent clients through one
+//! `ServeEngine`), plus matmul GFLOP/s of the cache-blocked kernels, and writes the
+//! numbers to `BENCH_norm.json` (first CLI argument overrides the output path).
+//! Future PRs diff this file to keep the perf trajectory honest.
 
 use haan::{BackendSelection, HaanConfig, HaanNormalizer, ParallelPolicy};
 use haan_accel::AccelSimBackend;
@@ -16,6 +17,7 @@ use haan_bench::timing::{measure_default, Measurement};
 use haan_bench::{print_experiment_header, MarkdownTable};
 use haan_llm::norm::{NormSite, Normalizer, ReferenceNormalizer};
 use haan_llm::{Matrix, NormKind};
+use haan_serve::{SchedulerPolicy, ServeConfig, ServeEngine, ServingStats};
 
 const ROWS: usize = 16;
 const COLS: usize = 4096;
@@ -25,6 +27,68 @@ fn input_matrix() -> Matrix {
         .map(|i| ((i as u64 * 2654435761) % 1000) as f32 / 250.0 - 2.0)
         .collect();
     Matrix::from_vec(ROWS, COLS, data).expect("consistent shape")
+}
+
+const SERVING_CLIENTS: usize = 4;
+const SERVING_REQUESTS_PER_CLIENT: usize = 64;
+const SERVING_ROWS: usize = 4;
+const SERVING_COLS: usize = 1024;
+
+/// Drives `SERVING_CLIENTS` concurrent client threads through one `ServeEngine`
+/// (exact-statistics config, fused backend) and returns the engine's serving stats
+/// plus the end-to-end request throughput.
+fn run_serving_benchmark() -> (ServingStats, f64) {
+    let mut engine = ServeEngine::start(ServeConfig {
+        normalizer: HaanConfig {
+            backend: BackendSelection::Fused,
+            ..HaanConfig::unoptimized()
+        },
+        scheduler: SchedulerPolicy {
+            max_batch_rows: SERVING_CLIENTS * SERVING_ROWS,
+            max_wait_us: 500,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let gamma = vec![1.0f32; SERVING_COLS];
+    let beta = vec![0.0f32; SERVING_COLS];
+    let started = std::time::Instant::now();
+    let clients: Vec<_> = (0..SERVING_CLIENTS)
+        .map(|client| {
+            let mut session = engine.session();
+            let gamma = gamma.clone();
+            let beta = beta.clone();
+            std::thread::spawn(move || {
+                for request in 0..SERVING_REQUESTS_PER_CLIENT {
+                    let site = NormSite {
+                        layer_index: request % 4,
+                        kind: NormKind::LayerNorm,
+                    };
+                    let data: Vec<f32> = (0..SERVING_ROWS * SERVING_COLS)
+                        .map(|i| {
+                            let x = (i + request * 131 + client * 7919) as u64;
+                            ((x * 2654435761) % 1000) as f32 / 250.0 - 2.0
+                        })
+                        .collect();
+                    let input = Matrix::from_vec(SERVING_ROWS, SERVING_COLS, data)
+                        .expect("consistent shape");
+                    std::hint::black_box(
+                        session
+                            .normalize(site, &input, &gamma, &beta)
+                            .expect("serving round trip"),
+                    );
+                }
+            })
+        })
+        .collect();
+    for handle in clients {
+        handle.join().expect("serving client thread");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    let requests_per_s = (SERVING_CLIENTS * SERVING_REQUESTS_PER_CLIENT) as f64 / elapsed;
+    engine.shutdown();
+    (stats, requests_per_s)
 }
 
 struct PathResult {
@@ -183,6 +247,35 @@ fn main() {
     }
     println!("{}", backend_table.render());
 
+    // Serving layer: concurrent clients streaming requests through one ServeEngine,
+    // measuring end-to-end request throughput and how well the scheduler coalesces.
+    let (serving_stats, serving_requests_per_s) = run_serving_benchmark();
+    let mut serving_table = MarkdownTable::new(vec!["serving metric", "value"]);
+    serving_table.push_row(vec![
+        "requests/s".to_string(),
+        format!("{serving_requests_per_s:.0}"),
+    ]);
+    serving_table.push_row(vec![
+        "mean batch occupancy (requests)".to_string(),
+        format!("{:.2}", serving_stats.mean_batch_occupancy_requests()),
+    ]);
+    serving_table.push_row(vec![
+        "mean batch occupancy (rows)".to_string(),
+        format!("{:.1}", serving_stats.mean_batch_occupancy_rows()),
+    ]);
+    serving_table.push_row(vec![
+        "queue wait p50 / p99 (µs)".to_string(),
+        format!(
+            "{} / {}",
+            serving_stats.p50_queue_wait_us, serving_stats.p99_queue_wait_us
+        ),
+    ]);
+    serving_table.push_row(vec![
+        "engine ns/element".to_string(),
+        format!("{:.2}", serving_stats.ns_per_element()),
+    ]);
+    println!("{}", serving_table.render());
+
     // Matmul GFLOP/s of the cache-blocked kernels on a square problem.
     let n = 256;
     let a = Matrix::from_vec(n, n, (0..n * n).map(|i| (i as f32).sin()).collect()).unwrap();
@@ -249,6 +342,39 @@ fn main() {
                     ]),
                 )
             })),
+        ),
+        (
+            "serving",
+            JsonValue::object([
+                ("clients", JsonValue::from(SERVING_CLIENTS)),
+                (
+                    "requests_per_client",
+                    JsonValue::from(SERVING_REQUESTS_PER_CLIENT),
+                ),
+                ("rows_per_request", JsonValue::from(SERVING_ROWS)),
+                ("cols", JsonValue::from(SERVING_COLS)),
+                ("requests_per_s", JsonValue::from(serving_requests_per_s)),
+                (
+                    "mean_batch_occupancy_requests",
+                    JsonValue::from(serving_stats.mean_batch_occupancy_requests()),
+                ),
+                (
+                    "mean_batch_occupancy_rows",
+                    JsonValue::from(serving_stats.mean_batch_occupancy_rows()),
+                ),
+                (
+                    "p50_queue_wait_us",
+                    JsonValue::from(serving_stats.p50_queue_wait_us),
+                ),
+                (
+                    "p99_queue_wait_us",
+                    JsonValue::from(serving_stats.p99_queue_wait_us),
+                ),
+                (
+                    "engine_ns_per_element",
+                    JsonValue::from(serving_stats.ns_per_element()),
+                ),
+            ]),
         ),
         (
             "matmul",

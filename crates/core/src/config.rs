@@ -551,6 +551,24 @@ mod tests {
     }
 
     #[test]
+    fn partial_construction_via_struct_update_syntax() {
+        // Ergonomics contract used by examples and the serving layer: every
+        // engine-facing config must support `..Default::default()` construction.
+        let config = HaanConfig {
+            n_sub: Some(128),
+            backend: BackendSelection::Fused,
+            ..Default::default()
+        };
+        assert_eq!(config.n_sub, Some(128));
+        assert_eq!(config.backend, BackendSelection::Fused);
+        assert_eq!(config.parallel, ParallelPolicy::default());
+        assert_eq!(config.format, HaanConfig::default().format);
+        // The enums themselves carry defaults usable in that position.
+        assert_eq!(ParallelPolicy::default(), ParallelPolicy::Sequential);
+        assert_eq!(BackendSelection::default(), BackendSelection::Auto);
+    }
+
+    #[test]
     fn default_and_unoptimized() {
         assert_eq!(HaanConfig::default().format, Format::Fp16);
         let unopt = HaanConfig::unoptimized();

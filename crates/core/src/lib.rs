@@ -78,7 +78,7 @@ pub use backend::NormBackend;
 pub use calibration::{CalibrationOutcome, Calibrator};
 pub use config::{BackendKind, BackendSelection, HaanConfig, HaanConfigBuilder, ParallelPolicy};
 pub use error::HaanError;
-pub use normalizer::{HaanNormalizer, NormalizerTelemetry};
+pub use normalizer::{AnchorState, HaanNormalizer, NormalizerTelemetry};
 pub use predictor::{cal_decay, IsdPredictor};
 pub use skipping::{IsdSkipAlgorithm, SkipPlan};
 pub use subsample::SubsampleEstimator;

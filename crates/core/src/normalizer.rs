@@ -82,6 +82,110 @@ impl NormalizerTelemetry {
     }
 }
 
+/// A resumable snapshot of the skip-anchor state of a [`HaanNormalizer`].
+///
+/// ISD skipping predicts a skipped layer's `log(ISD)` from the anchor layer's
+/// observation (Eq. 3), which is per-sequence, per-token state. The normalizer keeps
+/// it internally during a forward pass; this type makes it *portable*: a serving
+/// layer can snapshot the state after a client's request
+/// ([`HaanNormalizer::anchor_state`]), park it in a per-client session, and restore
+/// it before the client's next request ([`HaanNormalizer::set_anchor_state`]) — even
+/// when one shared normalizer interleaves batches from many clients in between.
+///
+/// The state has two tiers, mirroring the scalar and batched paths:
+///
+/// * a per-row `log(ISD)` vector (one entry per token of the last anchor-site batch),
+///   consumed at skipped sites when the row count still matches;
+/// * a scalar last-row-wins fallback, used when it does not.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnchorState {
+    /// `log(ISD)` observed at the anchor layer of the current sequence, if any
+    /// (scalar path: one value, last row wins).
+    anchor_log_isd: Option<f64>,
+    /// Per-row `log(ISD)` anchors of the current sequence (batched path; empty until
+    /// an anchor site has been processed).
+    row_anchors: Vec<f64>,
+}
+
+impl AnchorState {
+    /// The empty state: no anchor observed yet (a fresh sequence).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reassembles a state from its parts: the scalar last-row-wins anchor and the
+    /// per-row anchor `log(ISD)`s.
+    #[must_use]
+    pub fn from_parts(anchor_log_isd: Option<f64>, row_anchors: Vec<f64>) -> Self {
+        Self {
+            anchor_log_isd,
+            row_anchors,
+        }
+    }
+
+    /// The scalar (last-row-wins) anchor `log(ISD)`, if an anchor site has been seen.
+    #[must_use]
+    pub fn scalar_log_isd(&self) -> Option<f64> {
+        self.anchor_log_isd
+    }
+
+    /// The per-row anchor `log(ISD)`s of the last anchor-site batch.
+    #[must_use]
+    pub fn row_log_isds(&self) -> &[f64] {
+        &self.row_anchors
+    }
+
+    /// True when no anchor has been observed at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.anchor_log_isd.is_none() && self.row_anchors.is_empty()
+    }
+
+    /// Resolves the anchor `log(ISD)` each of `rows` rows would predict from: the
+    /// per-row anchors when the row count matches, otherwise the scalar fallback (or
+    /// `calibration_fallback` when nothing has been observed). This is exactly the
+    /// resolution rule of the batched skipped-site path, exposed so a serving layer
+    /// can assemble one coalesced batch from many sessions' states.
+    pub fn resolved_row_logs(&self, rows: usize, calibration_fallback: f64) -> Vec<f64> {
+        self.row_log_iter(rows, calibration_fallback).collect()
+    }
+
+    /// The single implementation of the anchor-resolution rule, shared by
+    /// [`AnchorState::resolved_row_logs`] and the batched skipped-site path of
+    /// [`HaanNormalizer`] — they must never drift apart, or scheduler-assembled
+    /// batches stop being bit-identical to solo execution.
+    fn row_log_iter(
+        &self,
+        rows: usize,
+        calibration_fallback: f64,
+    ) -> impl Iterator<Item = f64> + '_ {
+        let per_row = (self.row_anchors.len() == rows).then_some(self.row_anchors.as_slice());
+        let fallback = self.anchor_log_isd.unwrap_or(calibration_fallback);
+        (0..rows).map(move |row| per_row.map_or(fallback, |anchors| anchors[row]))
+    }
+
+    /// The per-session slice of a batch-level anchor snapshot: the given row range
+    /// of the per-row tier, with the scalar tier set to its last row — exactly how
+    /// the batched path records anchors (last-row-wins), so a serving layer can
+    /// hand each member of a coalesced batch the state it would have had running
+    /// alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` exceeds the per-row tier.
+    #[must_use]
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> AnchorState {
+        let rows = &self.row_anchors[range];
+        AnchorState::from_parts(rows.last().copied(), rows.to_vec())
+    }
+
+    fn clear(&mut self) {
+        self.anchor_log_isd = None;
+        self.row_anchors.clear();
+    }
+}
+
 /// The HAAN normalizer.
 ///
 /// See the crate-level example for end-to-end usage with a transformer model.
@@ -90,12 +194,9 @@ pub struct HaanNormalizer {
     config: HaanConfig,
     plan: Option<SkipPlan>,
     quantization: QuantizationPolicy,
-    /// `log(ISD)` observed at the anchor layer of the current sequence, if any
-    /// (scalar path: one value, last row wins).
-    anchor_log_isd: Option<f64>,
-    /// Per-row `log(ISD)` anchors of the current sequence (batched path; empty until
-    /// an anchor site has been processed).
-    row_anchors: Vec<f64>,
+    /// Skip-anchor state of the current sequence (snapshot/restore via
+    /// [`HaanNormalizer::anchor_state`] / [`HaanNormalizer::set_anchor_state`]).
+    anchors: AnchorState,
     /// Scratch buffer for quantized prefixes, reused across rows and calls.
     scratch: Vec<f32>,
     /// Scratch buffer for per-row predicted ISDs at skipped sites, reused across
@@ -126,8 +227,7 @@ impl HaanNormalizer {
             config,
             plan,
             quantization,
-            anchor_log_isd: None,
-            row_anchors: Vec::new(),
+            anchors: AnchorState::new(),
             scratch: Vec::new(),
             predicted_scratch: Vec::new(),
             external: None,
@@ -176,6 +276,46 @@ impl HaanNormalizer {
     #[must_use]
     pub fn telemetry(&self) -> NormalizerTelemetry {
         self.telemetry
+    }
+
+    /// Snapshots the current skip-anchor state (per-row anchors plus the scalar
+    /// fallback) so it can be parked outside the normalizer — e.g. in a per-client
+    /// serving session — and restored later with
+    /// [`HaanNormalizer::set_anchor_state`].
+    #[must_use]
+    pub fn anchor_state(&self) -> AnchorState {
+        self.anchors.clone()
+    }
+
+    /// Restores a previously snapshotted skip-anchor state, replacing whatever the
+    /// normalizer currently holds. A serving layer uses this to resume a client's
+    /// sequence on a shared normalizer that served other clients in between; pass
+    /// [`AnchorState::new`] to start from a fresh sequence (equivalent to
+    /// [`Normalizer::begin_sequence`]).
+    pub fn set_anchor_state(&mut self, state: AnchorState) {
+        self.anchors = state;
+    }
+
+    /// True when the attached skip plan skips this site's ISD (predicted instead of
+    /// computed). This and [`HaanNormalizer::is_anchor_site`] are the site-role
+    /// policy the batched path applies internally, exposed so a serving layer
+    /// assembling batches can never disagree with it.
+    #[must_use]
+    pub fn is_skipped_site(&self, layer_index: usize) -> bool {
+        self.plan
+            .as_ref()
+            .is_some_and(|plan| plan.is_skipped(layer_index))
+    }
+
+    /// True when this site records fresh skip anchors (the plan's anchor layer,
+    /// itself not skipped).
+    #[must_use]
+    pub fn is_anchor_site(&self, layer_index: usize) -> bool {
+        !self.is_skipped_site(layer_index)
+            && self
+                .plan
+                .as_ref()
+                .is_some_and(|plan| plan.is_anchor(layer_index))
     }
 
     /// Resets the telemetry counters.
@@ -244,10 +384,7 @@ impl Normalizer for HaanNormalizer {
         self.telemetry.calls += 1;
         self.telemetry.elements_total += z.len() as u64;
 
-        let skipped = self
-            .plan
-            .as_ref()
-            .is_some_and(|plan| plan.is_skipped(site.layer_index));
+        let skipped = self.is_skipped_site(site.layer_index);
 
         // The statistics path: quantized operands, subsampled prefix.
         let n_sub = self.config.n_sub.unwrap_or(z.len());
@@ -257,6 +394,7 @@ impl Normalizer for HaanNormalizer {
             self.telemetry.skipped_isd += 1;
             let plan = self.plan.as_ref().expect("skipped implies a plan");
             let anchor_log = self
+                .anchors
                 .anchor_log_isd
                 .unwrap_or(plan.calibration_anchor_log_isd);
             let predicted = plan
@@ -293,12 +431,8 @@ impl Normalizer for HaanNormalizer {
             };
             let isd = self.tracked_isd(site.kind, stats.mean, stats.variance);
             // Record the anchor observation for the predictor.
-            if self
-                .plan
-                .as_ref()
-                .is_some_and(|plan| plan.is_anchor(site.layer_index))
-            {
-                self.anchor_log_isd = Some(f64::from(isd).ln());
+            if self.is_anchor_site(site.layer_index) {
+                self.anchors.anchor_log_isd = Some(f64::from(isd).ln());
             }
             (stats.mean, isd)
         };
@@ -343,21 +477,14 @@ impl Normalizer for HaanNormalizer {
         );
 
         // Per-site decisions, hoisted out of the row loop.
-        let skipped = self
+        let skipped = self.is_skipped_site(site.layer_index);
+        let is_anchor = self.is_anchor_site(site.layer_index);
+        let prefix_len = self.config.n_sub.unwrap_or(cols).max(1).min(cols);
+        let calibration_fallback = self
             .plan
             .as_ref()
-            .is_some_and(|plan| plan.is_skipped(site.layer_index));
-        let is_anchor = !skipped
-            && self
-                .plan
-                .as_ref()
-                .is_some_and(|plan| plan.is_anchor(site.layer_index));
-        let prefix_len = self.config.n_sub.unwrap_or(cols).max(1).min(cols);
-        let fallback_anchor_log = self.anchor_log_isd.unwrap_or_else(|| {
-            self.plan
-                .as_ref()
-                .map_or(0.0, |plan| plan.calibration_anchor_log_isd)
-        });
+            .map_or(0.0, |plan| plan.calibration_anchor_log_isd);
+        let fallback_anchor_log = self.anchors.anchor_log_isd.unwrap_or(calibration_fallback);
 
         // Resolve the execution backend for this batch shape up front (the external
         // accelerator backend needs `&mut self` for its lazy registry cache, so it
@@ -376,19 +503,19 @@ impl Normalizer for HaanNormalizer {
         let mut predicted = std::mem::take(&mut self.predicted_scratch);
         predicted.clear();
         if skipped {
-            let anchors = (self.row_anchors.len() == rows).then_some(self.row_anchors.as_slice());
             let plan = self.plan.as_ref();
-            predicted.extend((0..rows).map(|row| {
-                let anchor_log = anchors.map_or(fallback_anchor_log, |a| a[row]);
-                let predicted_log = plan
-                    .map(|plan| {
-                        plan.predictor()
-                            .predict_log_isd(anchor_log, site.layer_index)
-                            .unwrap_or(anchor_log)
-                    })
-                    .unwrap_or(anchor_log);
-                predicted_log.exp() as f32
-            }));
+            predicted.extend(self.anchors.row_log_iter(rows, calibration_fallback).map(
+                |anchor_log| {
+                    let predicted_log = plan
+                        .map(|plan| {
+                            plan.predictor()
+                                .predict_log_isd(anchor_log, site.layer_index)
+                                .unwrap_or(anchor_log)
+                        })
+                        .unwrap_or(anchor_log);
+                    predicted_log.exp() as f32
+                },
+            ));
         }
 
         let request = BatchRequest {
@@ -453,16 +580,16 @@ impl Normalizer for HaanNormalizer {
         if is_anchor {
             // Keep the scalar-path anchor consistent with its last-row-wins
             // semantics, then adopt the per-row observations for batched skipping.
-            self.anchor_log_isd = isds.last().map(|&isd| f64::from(isd).ln());
-            self.row_anchors.clear();
-            self.row_anchors
+            self.anchors.anchor_log_isd = isds.last().map(|&isd| f64::from(isd).ln());
+            self.anchors.row_anchors.clear();
+            self.anchors
+                .row_anchors
                 .extend(isds.iter().map(|&isd| f64::from(isd).ln()));
         }
     }
 
     fn begin_sequence(&mut self) {
-        self.anchor_log_isd = None;
-        self.row_anchors.clear();
+        self.anchors.clear();
     }
 
     fn description(&self) -> String {
@@ -626,10 +753,10 @@ mod tests {
         haan.begin_sequence();
         let z = gaussian(64, 5, 1.0);
         let _ = haan.normalize(site(0, NormKind::LayerNorm), &z, &gamma, &beta);
-        assert!(haan.anchor_log_isd.is_some());
+        assert!(haan.anchors.anchor_log_isd.is_some());
         // A new sequence forgets it and falls back to the calibration anchor.
         haan.begin_sequence();
-        assert!(haan.anchor_log_isd.is_none());
+        assert!(haan.anchors.anchor_log_isd.is_none());
         let out = haan.normalize(site(1, NormKind::LayerNorm), &z, &gamma, &beta);
         // With the calibration anchor ISD of 0.25, outputs are about a quarter of the
         // unit-ISD normalization.
@@ -840,6 +967,103 @@ mod tests {
         assert_eq!(batched.shape(), (6, 64));
         assert!(haan.telemetry().calls >= 6 * 9);
         assert!(haan.telemetry().read_fraction() < 1.0);
+    }
+
+    #[test]
+    fn anchor_state_snapshot_restores_skip_prediction() {
+        // Interleaving another client's batch between a session's anchor site and its
+        // skipped site must not change the session's prediction, as long as the
+        // session's anchor state is restored first.
+        let plan = SkipPlan {
+            start: 0,
+            end: 2,
+            decay: 0.0,
+            correlation: -1.0,
+            calibration_anchor_log_isd: 0.0,
+        };
+        let config = HaanConfig::builder().build();
+        let gamma = vec![1.0f32; 64];
+        let beta = vec![0.0f32; 64];
+        let input = gaussian_matrix(3, 64, 11, 1.4);
+        let intruder = gaussian_matrix(5, 64, 99, 6.0);
+
+        // Uninterrupted run: anchor at layer 0, prediction at layer 1.
+        let mut sequential = HaanNormalizer::new(config.clone()).with_plan(plan);
+        sequential.begin_sequence();
+        let _ = sequential.normalize_matrix(site(0, NormKind::LayerNorm), &input, &gamma, &beta);
+        let expected =
+            sequential.normalize_matrix(site(1, NormKind::LayerNorm), &input, &gamma, &beta);
+
+        // Shared-normalizer run: snapshot after the anchor site, serve an unrelated
+        // batch (which overwrites the anchors), restore, then predict.
+        let mut shared = HaanNormalizer::new(config).with_plan(plan);
+        shared.begin_sequence();
+        let _ = shared.normalize_matrix(site(0, NormKind::LayerNorm), &input, &gamma, &beta);
+        let saved = shared.anchor_state();
+        assert_eq!(saved.row_log_isds().len(), 3);
+        assert!(saved.scalar_log_isd().is_some());
+        assert!(!saved.is_empty());
+        let _ = shared.normalize_matrix(site(0, NormKind::LayerNorm), &intruder, &gamma, &beta);
+        assert_ne!(
+            shared.anchor_state(),
+            saved,
+            "intruder must move the anchors"
+        );
+        shared.set_anchor_state(saved);
+        let resumed = shared.normalize_matrix(site(1, NormKind::LayerNorm), &input, &gamma, &beta);
+        assert_eq!(resumed, expected, "restored anchor state diverged");
+    }
+
+    #[test]
+    fn anchor_state_resolution_rules() {
+        let empty = AnchorState::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.resolved_row_logs(2, -0.5), vec![-0.5, -0.5]);
+        let state = AnchorState::from_parts(Some(-1.0), vec![-1.5, -2.0]);
+        // Matching row count: per-row anchors win.
+        assert_eq!(state.resolved_row_logs(2, 0.0), vec![-1.5, -2.0]);
+        // Mismatched row count: the scalar fallback is broadcast.
+        assert_eq!(state.resolved_row_logs(3, 0.0), vec![-1.0, -1.0, -1.0]);
+        assert_eq!(state.row_log_isds(), &[-1.5, -2.0]);
+        assert_eq!(state.scalar_log_isd(), Some(-1.0));
+        // Slicing a batch-level snapshot applies the batched path's last-row-wins
+        // rule per segment.
+        let batch = AnchorState::from_parts(Some(-9.0), vec![-1.0, -2.0, -3.0, -4.0]);
+        let segment = batch.slice_rows(1..3);
+        assert_eq!(segment.row_log_isds(), &[-2.0, -3.0]);
+        assert_eq!(segment.scalar_log_isd(), Some(-3.0));
+        assert!(batch.slice_rows(0..0).is_empty());
+        // A restored empty state behaves like begin_sequence.
+        let mut haan = HaanNormalizer::new(HaanConfig::default());
+        haan.set_anchor_state(state);
+        assert!(!haan.anchor_state().is_empty());
+        haan.set_anchor_state(AnchorState::new());
+        assert!(haan.anchor_state().is_empty());
+    }
+
+    #[test]
+    fn site_role_queries_match_the_plan() {
+        let plan = SkipPlan {
+            start: 2,
+            end: 5,
+            decay: -0.1,
+            correlation: -1.0,
+            calibration_anchor_log_isd: 0.0,
+        };
+        let haan = HaanNormalizer::new(HaanConfig::builder().build()).with_plan(plan);
+        // Layer 2 is the anchor (computes and records); 3..=5 are skipped.
+        assert!(haan.is_anchor_site(2));
+        assert!(!haan.is_skipped_site(2));
+        for layer in 3..=5 {
+            assert!(haan.is_skipped_site(layer), "layer {layer}");
+            assert!(!haan.is_anchor_site(layer), "layer {layer}");
+        }
+        assert!(!haan.is_skipped_site(0));
+        assert!(!haan.is_anchor_site(0));
+        // No plan: every site is a plain computed site.
+        let plain = HaanNormalizer::new(HaanConfig::default());
+        assert!(!plain.is_skipped_site(2));
+        assert!(!plain.is_anchor_site(2));
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //!   HellaSwag and ARC-easy/challenge.
 //! * [`perplexity`] — perplexity evaluation of a model under a given normalizer.
 //! * [`runtime`] — an analytic GPU runtime-breakdown model reproducing Fig. 1(b).
+//! * [`streaming`] — [`StreamingModel`], a greedy decode stream that pushes every
+//!   normalization site of each step through any [`Normalizer`] — including a
+//!   serving-layer session sharing one batched engine across many streams.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +44,7 @@ pub mod model;
 pub mod norm;
 pub mod perplexity;
 pub mod runtime;
+pub mod streaming;
 pub mod synthetic;
 pub mod tasks;
 pub mod tensor;
@@ -49,4 +53,5 @@ pub use config::{ModelConfig, ModelFamily, NormKind};
 pub use error::LlmError;
 pub use model::TransformerModel;
 pub use norm::{LayerNorm, Normalizer, RmsNorm};
+pub use streaming::StreamingModel;
 pub use tensor::Matrix;

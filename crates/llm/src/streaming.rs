@@ -1,0 +1,202 @@
+//! Greedy streaming decode on top of [`TransformerModel`].
+//!
+//! [`StreamingModel`] holds the growing token buffer of one decode stream and
+//! advances it one token per [`StreamingModel::decode_step`] call through any
+//! [`Normalizer`] — including a serving-layer session, which is how many concurrent
+//! decode streams share one batched normalization engine. Each step re-runs the full
+//! forward pass (there is no KV cache yet; see `ROADMAP.md`), so every normalization
+//! site sees the whole `seq × E` hidden-state matrix and streams through the batched
+//! [`Normalizer::normalize_matrix_into`] entry point.
+
+use crate::error::LlmError;
+use crate::model::TransformerModel;
+use crate::norm::Normalizer;
+
+/// One greedy decode stream over a shared model.
+///
+/// # Example
+///
+/// ```
+/// use haan_llm::norm::ReferenceNormalizer;
+/// use haan_llm::streaming::StreamingModel;
+/// use haan_llm::{ModelConfig, TransformerModel};
+///
+/// let model = TransformerModel::new(&ModelConfig::tiny_test(), 42)?;
+/// let mut stream = StreamingModel::new(&model, &[1, 5, 9])?;
+/// let mut norm = ReferenceNormalizer::new();
+/// let next = stream.decode_step(&mut norm)?;
+/// assert_eq!(stream.generated(), &[next]);
+/// assert_eq!(stream.tokens().len(), 4);
+/// # Ok::<(), haan_llm::LlmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingModel<'m> {
+    model: &'m TransformerModel,
+    tokens: Vec<u32>,
+    prompt_len: usize,
+}
+
+impl<'m> StreamingModel<'m> {
+    /// Starts a decode stream from a prompt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::InvalidSequenceLength`] or [`LlmError::TokenOutOfRange`]
+    /// when the prompt is empty, too long, or out of vocabulary.
+    pub fn new(model: &'m TransformerModel, prompt: &[u32]) -> Result<Self, LlmError> {
+        model.validate_tokens(prompt)?;
+        Ok(Self {
+            model,
+            tokens: prompt.to_vec(),
+            prompt_len: prompt.len(),
+        })
+    }
+
+    /// The model this stream decodes with.
+    #[must_use]
+    pub fn model(&self) -> &'m TransformerModel {
+        self.model
+    }
+
+    /// The full token buffer: prompt followed by generated tokens.
+    #[must_use]
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+
+    /// The tokens generated so far (excluding the prompt).
+    #[must_use]
+    pub fn generated(&self) -> &[u32] {
+        &self.tokens[self.prompt_len..]
+    }
+
+    /// Length of the original prompt.
+    #[must_use]
+    pub fn prompt_len(&self) -> usize {
+        self.prompt_len
+    }
+
+    /// Remaining decode capacity before the model's maximum sequence length.
+    #[must_use]
+    pub fn remaining_capacity(&self) -> usize {
+        self.model
+            .config()
+            .max_seq_len
+            .saturating_sub(self.tokens.len())
+    }
+
+    /// Runs one greedy decode step: a full forward pass through `normalizer`, the
+    /// arg-max of the final position's logits appended to the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::InvalidSequenceLength`] when the stream is already at the
+    /// model's maximum sequence length, or any forward-pass error.
+    pub fn decode_step<N: Normalizer + ?Sized>(
+        &mut self,
+        normalizer: &mut N,
+    ) -> Result<u32, LlmError> {
+        if self.remaining_capacity() == 0 {
+            return Err(LlmError::InvalidSequenceLength {
+                length: self.tokens.len() + 1,
+                max: self.model.config().max_seq_len,
+            });
+        }
+        let logits = self.model.logits(&self.tokens, normalizer)?;
+        let last = logits.row(self.tokens.len() - 1);
+        let next = last
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i as u32)
+            .expect("non-empty vocabulary");
+        self.tokens.push(next);
+        Ok(next)
+    }
+
+    /// Runs up to `steps` greedy decode steps, returning the generated tokens (the
+    /// suffix appended by this call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`StreamingModel::decode_step`] error.
+    pub fn decode<N: Normalizer + ?Sized>(
+        &mut self,
+        steps: usize,
+        normalizer: &mut N,
+    ) -> Result<Vec<u32>, LlmError> {
+        let mut generated = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            generated.push(self.decode_step(normalizer)?);
+        }
+        Ok(generated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::norm::ReferenceNormalizer;
+
+    fn tiny_model() -> TransformerModel {
+        TransformerModel::new(&ModelConfig::tiny_test(), 42).expect("valid test model")
+    }
+
+    #[test]
+    fn decode_step_matches_manual_argmax() {
+        let model = tiny_model();
+        let prompt = [1u32, 5, 9];
+        let mut stream = StreamingModel::new(&model, &prompt).unwrap();
+        assert_eq!(stream.prompt_len(), 3);
+        assert_eq!(stream.model().seed(), model.seed());
+        let mut norm = ReferenceNormalizer::new();
+        let next = stream.decode_step(&mut norm).unwrap();
+
+        let logits = model
+            .logits(&prompt, &mut ReferenceNormalizer::new())
+            .unwrap();
+        let expected = logits
+            .row(prompt.len() - 1)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i as u32)
+            .unwrap();
+        assert_eq!(next, expected);
+        assert_eq!(stream.tokens(), &[1, 5, 9, next]);
+        assert_eq!(stream.generated(), &[next]);
+    }
+
+    #[test]
+    fn multi_step_decode_is_deterministic() {
+        let model = tiny_model();
+        let mut a = StreamingModel::new(&model, &[2u32, 4, 6]).unwrap();
+        let mut b = StreamingModel::new(&model, &[2u32, 4, 6]).unwrap();
+        let ga = a.decode(4, &mut ReferenceNormalizer::new()).unwrap();
+        let gb = b.decode(4, &mut ReferenceNormalizer::new()).unwrap();
+        assert_eq!(ga, gb);
+        assert_eq!(ga.len(), 4);
+        assert_eq!(a.generated(), ga.as_slice());
+    }
+
+    #[test]
+    fn decode_stops_at_max_sequence_length() {
+        let model = tiny_model();
+        let max = model.config().max_seq_len;
+        let prompt: Vec<u32> = (0..max as u32 - 1).map(|i| i % 8).collect();
+        let mut stream = StreamingModel::new(&model, &prompt).unwrap();
+        assert_eq!(stream.remaining_capacity(), 1);
+        let mut norm = ReferenceNormalizer::new();
+        stream.decode_step(&mut norm).unwrap();
+        assert_eq!(stream.remaining_capacity(), 0);
+        assert!(stream.decode_step(&mut norm).is_err());
+    }
+
+    #[test]
+    fn invalid_prompts_are_rejected() {
+        let model = tiny_model();
+        assert!(StreamingModel::new(&model, &[]).is_err());
+        assert!(StreamingModel::new(&model, &[9999]).is_err());
+    }
+}

@@ -1,0 +1,515 @@
+//! The serving engine: bounded request queue → scheduler → batched normalization →
+//! per-client response routing.
+
+use crate::error::ServeError;
+use crate::request::{NormParams, NormRequest, NormResponse, PendingResponse};
+use crate::scheduler::{BatchKey, ReadyBatch, Scheduler, SchedulerPolicy};
+use crate::session::Session;
+use crate::telemetry::{Recorder, ServingStats};
+use haan::{AnchorState, HaanConfig, HaanNormalizer, SkipPlan};
+use haan_llm::norm::Normalizer;
+use haan_llm::Matrix;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the worker sleeps between queue polls when no flush deadline is nearer,
+/// which bounds shutdown latency.
+const IDLE_TICK_US: u64 = 2_000;
+
+/// Configuration of a [`ServeEngine`].
+///
+/// Every field has a serviceable default, so partial construction works:
+///
+/// ```
+/// use haan::HaanConfig;
+/// use haan_serve::{SchedulerPolicy, ServeConfig};
+///
+/// let config = ServeConfig {
+///     normalizer: HaanConfig::builder().subsample(64).build(),
+///     scheduler: SchedulerPolicy {
+///         max_batch_rows: 16,
+///         ..Default::default()
+///     },
+///     ..Default::default()
+/// };
+/// assert!(config.plan.is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The HAAN configuration of the engine's shared normalizer. Use
+    /// [`BackendSelection::Fused`](haan::BackendSelection) for deterministic
+    /// parity with direct `normalize_matrix_into` calls.
+    pub normalizer: HaanConfig,
+    /// Calibrated skip plan attached to the shared normalizer, if any.
+    pub plan: Option<SkipPlan>,
+    /// Coalescing policy of the request-batching scheduler.
+    pub scheduler: SchedulerPolicy,
+    /// Bound of the submission queue, in requests; submissions block (backpressure)
+    /// while the queue is full. Values of 0 act as 1.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            normalizer: HaanConfig::default(),
+            plan: None,
+            scheduler: SchedulerPolicy::default(),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// One in-flight request: the public request plus its response route.
+pub(crate) struct WorkItem {
+    request: NormRequest,
+    reply: mpsc::Sender<Result<NormResponse, ServeError>>,
+    /// Engine-clock timestamp of *submission* (not worker admission), so queue-wait
+    /// telemetry and max-wait flushes include time spent in the bounded channel —
+    /// which is exactly where backpressure queuing happens.
+    enqueued_us: u64,
+}
+
+/// The submission side of the bounded work queue, cloned into every session.
+pub(crate) type WorkSender = SyncSender<WorkItem>;
+
+/// State shared between the engine handle, its sessions, and the worker thread.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    epoch: Instant,
+    closed: AtomicBool,
+    /// Requests accepted by `submit_via` but not yet received by the worker.
+    /// Closes the shutdown race: a submitter increments *before* checking
+    /// `closed`, so the drain can wait for every accepted request to land in the
+    /// queue instead of missing ones sent concurrently with shutdown.
+    in_flight: AtomicU64,
+    params: Mutex<HashMap<u64, Vec<Arc<NormParams>>>>,
+    recorder: Recorder,
+}
+
+impl Shared {
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// FNV-1a over the parameter bit patterns, used only to bucket the intern table
+    /// (and the sessions' lock-free memo of it).
+    pub(crate) fn params_fingerprint(gamma: &[f32], beta: &[f32]) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |value: u64| {
+            hash ^= value;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(gamma.len() as u64);
+        for &v in gamma.iter().chain(beta) {
+            mix(u64::from(v.to_bits()));
+        }
+        hash
+    }
+
+    pub(crate) fn intern_params(&self, gamma: &[f32], beta: &[f32]) -> Arc<NormParams> {
+        let fingerprint = Self::params_fingerprint(gamma, beta);
+        let mut table = self.params.lock().expect("params intern table poisoned");
+        let bucket = table.entry(fingerprint).or_default();
+        if let Some(existing) = bucket
+            .iter()
+            .find(|p| p.gamma() == gamma && p.beta() == beta)
+        {
+            return Arc::clone(existing);
+        }
+        let interned = Arc::new(
+            NormParams::new(gamma.to_vec(), beta.to_vec())
+                .expect("interned parameters are shape-checked by the caller"),
+        );
+        bucket.push(Arc::clone(&interned));
+        interned
+    }
+}
+
+pub(crate) fn submit_via(
+    shared: &Shared,
+    tx: &SyncSender<WorkItem>,
+    request: NormRequest,
+) -> Result<PendingResponse, ServeError> {
+    request.validate()?;
+    // Announce the submission before checking `closed` (both SeqCst): either the
+    // shutdown drain observes our in-flight count and waits for the send, or we
+    // observe `closed` and never send. No accepted request can fall between.
+    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+    if shared.closed.load(Ordering::SeqCst) {
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        return Err(ServeError::Shutdown);
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let sent = tx.send(WorkItem {
+        request,
+        reply: reply_tx,
+        enqueued_us: shared.now_us(),
+    });
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    sent.map_err(|_| ServeError::Shutdown)?;
+    Ok(PendingResponse { rx: reply_rx })
+}
+
+/// The request-batching serving engine.
+///
+/// Many concurrent clients (each holding a [`Session`], or calling
+/// [`ServeEngine::submit`] directly) feed normalization requests into a bounded
+/// queue; a worker thread coalesces compatible requests — same site, same width,
+/// same interned parameters — into one batched `normalize_matrix_into` call per
+/// scheduler tick and routes the per-row results back to each submitter, together
+/// with its updated skip-anchor state. See `ARCHITECTURE.md` ("Serving layer") for
+/// the data-flow diagram.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    tx: SyncSender<WorkItem>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("closed", &self.shared.closed.load(Ordering::Relaxed))
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeEngine {
+    /// Starts an engine: spawns the scheduler/worker thread and returns the handle
+    /// clients create sessions from.
+    #[must_use]
+    pub fn start(config: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            epoch: Instant::now(),
+            closed: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            params: Mutex::new(HashMap::new()),
+            recorder: Recorder::default(),
+        });
+        let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("haan-serve-worker".to_string())
+            .spawn(move || worker_loop(&worker_shared, &rx, &config))
+            .expect("spawn serving worker");
+        Self {
+            shared,
+            tx,
+            worker: Some(worker),
+        }
+    }
+
+    /// Creates a client session. Sessions are independent `Send` handles: each owns
+    /// its stream's skip-anchor state and can live on its own thread.
+    #[must_use]
+    pub fn session(&self) -> Session {
+        Session::new(Arc::clone(&self.shared), self.tx.clone())
+    }
+
+    /// Interns `γ`/`β` parameter vectors, returning the engine-wide shared handle.
+    /// Content-equal vectors always return the same `Arc`, which is what makes
+    /// requests from different clients coalescible (see
+    /// [`BatchKey`]).
+    #[must_use]
+    pub fn intern_params(&self, gamma: &[f32], beta: &[f32]) -> Arc<NormParams> {
+        self.shared.intern_params(gamma, beta)
+    }
+
+    /// Submits one request, returning a handle to the (possibly not yet produced)
+    /// response. Blocks only while the submission queue is full (backpressure).
+    ///
+    /// Most clients use the higher-level [`Session::normalize`] instead, which
+    /// manages the anchor-state round trip automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] for malformed requests and
+    /// [`ServeError::Shutdown`] once the engine has been shut down.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use haan::AnchorState;
+    /// use haan_llm::norm::NormSite;
+    /// use haan_llm::NormKind;
+    /// use haan_serve::{NormRequest, ServeConfig, ServeEngine};
+    ///
+    /// let mut engine = ServeEngine::start(ServeConfig::default());
+    /// let params = engine.intern_params(&[1.0; 4], &[0.0; 4]);
+    /// let pending = engine.submit(NormRequest {
+    ///     site: NormSite { layer_index: 0, kind: NormKind::LayerNorm },
+    ///     cols: 4,
+    ///     data: vec![2.0, 4.0, 6.0, 8.0],
+    ///     params,
+    ///     anchors: AnchorState::new(),
+    /// })?;
+    /// let response = pending.wait()?;
+    /// assert_eq!(response.data.len(), 4);
+    /// // LayerNorm output is (close to) zero-mean.
+    /// let mean: f32 = response.data.iter().sum::<f32>() / 4.0;
+    /// assert!(mean.abs() < 1e-3);
+    /// engine.shutdown();
+    /// # Ok::<(), haan_serve::ServeError>(())
+    /// ```
+    pub fn submit(&self, request: NormRequest) -> Result<PendingResponse, ServeError> {
+        submit_via(&self.shared, &self.tx, request)
+    }
+
+    /// Serving statistics accumulated so far (occupancy, queue waits, execution
+    /// cost). Safe to call at any time, including after shutdown.
+    #[must_use]
+    pub fn stats(&self) -> ServingStats {
+        self.shared.recorder.stats()
+    }
+
+    /// Shuts the engine down gracefully: new submissions fail with
+    /// [`ServeError::Shutdown`], every request accepted before that — including
+    /// ones racing this call — is drained and answered, then the worker exits.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.shared.closed.store(true, Ordering::SeqCst);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &mpsc::Receiver<WorkItem>, config: &ServeConfig) {
+    let mut normalizer = HaanNormalizer::new(config.normalizer.clone());
+    if let Some(plan) = config.plan {
+        normalizer = normalizer.with_plan(plan);
+    }
+    let mut scheduler: Scheduler<WorkItem> = Scheduler::new(config.scheduler);
+    loop {
+        if shared.closed.load(Ordering::SeqCst) {
+            // Graceful drain: answer everything accepted before `closed` was
+            // observed. `in_flight` covers submitters racing the shutdown (they
+            // increment before checking `closed`), so once it reads zero every
+            // accepted request has finished its queue insert and one more sweep
+            // of the channel sees it.
+            loop {
+                while let Ok(item) = rx.try_recv() {
+                    admit(&mut scheduler, item);
+                }
+                while let Some(batch) = scheduler.pop_any() {
+                    execute_batch(shared, &mut normalizer, batch);
+                }
+                if shared.in_flight.load(Ordering::SeqCst) > 0 {
+                    std::thread::yield_now();
+                    continue;
+                }
+                // In-flight hit zero after the sweep above; one last look catches
+                // a queue insert that completed in between.
+                match rx.try_recv() {
+                    Ok(item) => admit(&mut scheduler, item),
+                    Err(_) => return,
+                }
+            }
+        }
+        let now = shared.now_us();
+        let wait_us = scheduler
+            .next_deadline_us()
+            .map_or(IDLE_TICK_US, |deadline| deadline.saturating_sub(now))
+            .min(IDLE_TICK_US);
+        match rx.recv_timeout(Duration::from_micros(wait_us)) {
+            Ok(item) => {
+                admit(&mut scheduler, item);
+                // Greedily drain everything already buffered so one wake-up sees
+                // the full backlog (this is where coalescing happens).
+                while let Ok(more) = rx.try_recv() {
+                    admit(&mut scheduler, more);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Engine handle and every session are gone: drain and exit.
+                while let Some(batch) = scheduler.pop_any() {
+                    execute_batch(shared, &mut normalizer, batch);
+                }
+                return;
+            }
+        }
+        let now = shared.now_us();
+        while let Some(batch) = scheduler.pop_ready(now) {
+            execute_batch(shared, &mut normalizer, batch);
+        }
+    }
+}
+
+fn admit(scheduler: &mut Scheduler<WorkItem>, item: WorkItem) {
+    let key = BatchKey::of(&item.request);
+    let rows = item.request.rows();
+    // The scheduler's clock is the submission timestamp, so max-wait flushes and
+    // queue-wait telemetry measure true request age, including channel dwell.
+    let enqueued_us = item.enqueued_us;
+    scheduler.admit(key, rows, enqueued_us, item);
+}
+
+/// Executes one coalesced batch: gather rows (and, at skipped sites, per-session
+/// anchors), run the batched engine once, scatter rows (and, at anchor sites,
+/// updated anchors) back per request.
+fn execute_batch(shared: &Shared, normalizer: &mut HaanNormalizer, batch: ReadyBatch<WorkItem>) {
+    let cols = batch.key.cols;
+    let rows = batch.rows;
+    let site = batch.key.site;
+    let params = Arc::clone(&batch.entries[0].item.request.params);
+    // Site role under the engine's plan — queried from the normalizer itself (the
+    // same policy the batched path applies), so serve-side batch assembly can
+    // never disagree with solo execution about a site.
+    let skipped = normalizer.is_skipped_site(site.layer_index);
+    let is_anchor = normalizer.is_anchor_site(site.layer_index);
+
+    let mut data = Vec::with_capacity(rows * cols);
+    for entry in &batch.entries {
+        data.extend_from_slice(&entry.item.request.data);
+    }
+    // Anchors are gathered only where the site consumes them: resolve each
+    // session's state into one per-row vector, so every row predicts from *its
+    // own* session's history even inside a mixed batch.
+    if skipped {
+        let calibration_fallback = normalizer
+            .plan()
+            .map_or(0.0, |plan| plan.calibration_anchor_log_isd);
+        let mut combined_anchors = Vec::with_capacity(rows);
+        for entry in &batch.entries {
+            let request = &entry.item.request;
+            combined_anchors.extend(
+                request
+                    .anchors
+                    .resolved_row_logs(request.rows(), calibration_fallback),
+            );
+        }
+        normalizer.set_anchor_state(AnchorState::from_parts(None, combined_anchors));
+    }
+    let input = Matrix::from_vec(rows, cols, data).expect("validated request shapes");
+    let mut out = Matrix::zeros(rows, cols);
+
+    let dispatched_us = shared.now_us();
+    let started = Instant::now();
+    normalizer.normalize_matrix_into(site, &input, params.gamma(), params.beta(), &mut out);
+    let exec_ns = started.elapsed().as_nanos();
+
+    // A snapshot is taken only where the site produced fresh anchors.
+    let snapshot = is_anchor.then(|| normalizer.anchor_state());
+    // Record the batch *before* routing replies: a client must never observe its
+    // response while the batch is still missing from the statistics.
+    let queue_waits: Vec<u64> = batch
+        .entries
+        .iter()
+        .map(|entry| dispatched_us.saturating_sub(entry.enqueued_us))
+        .collect();
+    shared.recorder.record_batch(
+        batch.entries.len() as u64,
+        rows as u64,
+        (rows * cols) as u64,
+        exec_ns,
+        queue_waits.iter().copied(),
+    );
+    // Scatter: per-request row segments plus, at anchor sites, each session's
+    // slice of the observed anchors (last-row-wins scalar tier, the same rule the
+    // batched path applies — see `AnchorState::slice_rows`).
+    let mut row_offset = 0usize;
+    for (entry, queue_wait_us) in batch.entries.into_iter().zip(queue_waits) {
+        let item = entry.item;
+        let request_rows = item.request.rows();
+        let segment = &out.as_slice()[row_offset * cols..(row_offset + request_rows) * cols];
+        let anchors = match &snapshot {
+            Some(observed) => observed.slice_rows(row_offset..row_offset + request_rows),
+            None => item.request.anchors,
+        };
+        // A client that gave up (dropped the receiver) is not an engine error.
+        let _ = item.reply.send(Ok(NormResponse {
+            data: segment.to_vec(),
+            anchors,
+            queue_wait_us,
+        }));
+        row_offset += request_rows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haan::BackendSelection;
+    use haan_llm::norm::NormSite;
+    use haan_llm::NormKind;
+
+    fn fused_config() -> ServeConfig {
+        ServeConfig {
+            normalizer: HaanConfig::builder()
+                .backend(BackendSelection::Fused)
+                .build(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn submit_rejects_malformed_requests() {
+        let mut engine = ServeEngine::start(fused_config());
+        let params = engine.intern_params(&[1.0; 4], &[0.0; 4]);
+        let site = NormSite {
+            layer_index: 0,
+            kind: NormKind::LayerNorm,
+        };
+        let ragged = NormRequest {
+            site,
+            cols: 4,
+            data: vec![0.0; 6],
+            params,
+            anchors: AnchorState::new(),
+        };
+        assert!(matches!(
+            engine.submit(ragged),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_rejects_new_work() {
+        let mut engine = ServeEngine::start(fused_config());
+        let params = engine.intern_params(&[1.0; 2], &[0.0; 2]);
+        engine.shutdown();
+        engine.shutdown();
+        let site = NormSite {
+            layer_index: 0,
+            kind: NormKind::LayerNorm,
+        };
+        let request = NormRequest {
+            site,
+            cols: 2,
+            data: vec![1.0, 2.0],
+            params,
+            anchors: AnchorState::new(),
+        };
+        assert!(matches!(engine.submit(request), Err(ServeError::Shutdown)));
+    }
+
+    #[test]
+    fn interning_is_content_addressed() {
+        let engine = ServeEngine::start(fused_config());
+        let a = engine.intern_params(&[1.0, 2.0], &[0.0, 0.5]);
+        let b = engine.intern_params(&[1.0, 2.0], &[0.0, 0.5]);
+        let c = engine.intern_params(&[1.0, 2.0], &[0.0, 0.6]);
+        assert!(Arc::ptr_eq(&a, &b), "equal content must share the Arc");
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn debug_impl_reports_state() {
+        let engine = ServeEngine::start(fused_config());
+        let rendered = format!("{engine:?}");
+        assert!(rendered.contains("ServeEngine"));
+    }
+}

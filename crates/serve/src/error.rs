@@ -1,0 +1,36 @@
+//! Error type of the serving layer.
+
+use std::fmt;
+
+/// Errors surfaced by the serving engine and sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The engine has shut down (or its worker is gone); the request was not, or may
+    /// not have been, executed.
+    Shutdown,
+    /// The request was malformed (shape mismatch, empty batch, zero width).
+    InvalidRequest(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Shutdown => write!(f, "serving engine has shut down"),
+            ServeError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ServeError::Shutdown.to_string().contains("shut down"));
+        let invalid = ServeError::InvalidRequest("cols = 0".to_string());
+        assert!(invalid.to_string().contains("cols = 0"));
+    }
+}

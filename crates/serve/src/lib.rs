@@ -1,0 +1,70 @@
+//! Async serving layer of the HAAN reproduction: continuous batching of many
+//! concurrent normalization streams over one shared batched engine.
+//!
+//! HAAN's premise is that normalization is a *serving-time* bottleneck, and fused
+//! normalization kernels pay off most when many concurrent token streams share one
+//! engine. This crate supplies that front end on top of the `haan` core:
+//!
+//! * [`ServeEngine`] — the engine: a bounded MPSC submission queue (backpressure by
+//!   blocking), a worker thread running the request-batching [`Scheduler`], and the
+//!   shared [`HaanNormalizer`](haan::HaanNormalizer) every batch dispatches through
+//!   (so all of [`BackendSelection`](haan::BackendSelection)'s execution backends —
+//!   fused, row-parallel, accelerator-simulated — serve traffic unchanged).
+//! * [`Scheduler`] / [`SchedulerPolicy`] — pure coalescing logic with an injected
+//!   clock: requests merge only when compatible (same site, width, and interned
+//!   `γ`/`β`, see [`BatchKey`]), and a batch dispatches when it reaches
+//!   `max_batch_rows` or its oldest request has waited `max_wait_us`.
+//! * [`Session`] — the per-client handle. Each session owns its stream's
+//!   skip-anchor state ([`AnchorState`](haan::AnchorState)) and round-trips it
+//!   through every request, so ISD skipping predicts each stream's tokens from that
+//!   stream's own anchor history even though batches interleave many streams.
+//!   Sessions implement [`Normalizer`](haan_llm::norm::Normalizer), so a
+//!   [`StreamingModel`](haan_llm::StreamingModel) decode loop can push all its
+//!   normalization sites through the engine unchanged.
+//! * [`ServingStats`] — per-batch telemetry: batch occupancy, queue-wait
+//!   percentiles, ns/element.
+//!
+//! Everything runs on `std::thread` (the build container is offline — no async
+//! runtime); a tokio adapter is a listed follow-up in `ROADMAP.md`. See
+//! `ARCHITECTURE.md` ("Serving layer") for the queue → scheduler → backend →
+//! response-routing diagram.
+//!
+//! # Example
+//!
+//! ```
+//! use haan::{BackendSelection, HaanConfig};
+//! use haan_llm::norm::NormSite;
+//! use haan_llm::{Matrix, NormKind};
+//! use haan_serve::{ServeConfig, ServeEngine};
+//!
+//! let mut engine = ServeEngine::start(ServeConfig {
+//!     normalizer: HaanConfig::builder()
+//!         .backend(BackendSelection::Fused)
+//!         .build(),
+//!     ..Default::default()
+//! });
+//! let mut session = engine.session();
+//! let site = NormSite { layer_index: 0, kind: NormKind::LayerNorm };
+//! let input = Matrix::from_vec(1, 4, vec![2.0, 4.0, 6.0, 8.0])?;
+//! let out = session.normalize(site, &input, &[1.0; 4], &[0.0; 4])?;
+//! assert_eq!(out.shape(), (1, 4));
+//! engine.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod request;
+pub mod scheduler;
+pub mod session;
+pub mod telemetry;
+
+pub use engine::{ServeConfig, ServeEngine};
+pub use error::ServeError;
+pub use request::{NormParams, NormRequest, NormResponse, PendingResponse};
+pub use scheduler::{BatchKey, Entry, QueueOrdering, ReadyBatch, Scheduler, SchedulerPolicy};
+pub use session::Session;
+pub use telemetry::ServingStats;

@@ -1,0 +1,200 @@
+//! Request/response types of the serving engine.
+
+use crate::error::ServeError;
+use haan::AnchorState;
+use haan_llm::norm::NormSite;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Interned per-site normalization parameters (the learnable `γ` / `β` vectors).
+///
+/// Requests carry an `Arc<NormParams>` instead of raw slices so the scheduler can
+/// decide batch compatibility by pointer identity: two requests coalesce only when
+/// they share the *same interned* parameters (see
+/// [`ServeEngine::intern_params`](crate::ServeEngine::intern_params), which
+/// deduplicates by content so every client naming the same `γ`/`β` gets the same
+/// `Arc`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormParams {
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+}
+
+impl NormParams {
+    /// Builds a parameter pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] when the vectors are empty or have
+    /// different lengths.
+    pub fn new(gamma: Vec<f32>, beta: Vec<f32>) -> Result<Self, ServeError> {
+        if gamma.is_empty() {
+            return Err(ServeError::InvalidRequest(
+                "normalization parameters must not be empty".to_string(),
+            ));
+        }
+        if gamma.len() != beta.len() {
+            return Err(ServeError::InvalidRequest(format!(
+                "gamma has {} elements but beta has {}",
+                gamma.len(),
+                beta.len()
+            )));
+        }
+        Ok(Self { gamma, beta })
+    }
+
+    /// The learnable scale vector.
+    #[must_use]
+    pub fn gamma(&self) -> &[f32] {
+        &self.gamma
+    }
+
+    /// The learnable shift vector.
+    #[must_use]
+    pub fn beta(&self) -> &[f32] {
+        &self.beta
+    }
+
+    /// Row width the parameters apply to.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.gamma.len()
+    }
+}
+
+/// One normalization request submitted to the engine: a row-major block of rows that
+/// all belong to the same client stream and normalization site.
+#[derive(Debug, Clone)]
+pub struct NormRequest {
+    /// Which normalization site (global layer index + kind) the rows belong to.
+    pub site: NormSite,
+    /// Row width; `data.len()` must be a non-zero multiple of it.
+    pub cols: usize,
+    /// Row-major input rows.
+    pub data: Vec<f32>,
+    /// Interned normalization parameters (from
+    /// [`ServeEngine::intern_params`](crate::ServeEngine::intern_params)).
+    pub params: Arc<NormParams>,
+    /// The submitting stream's skip-anchor state. The engine resumes the stream's
+    /// sequence from it and returns the updated state in the response.
+    pub anchors: AnchorState,
+}
+
+impl NormRequest {
+    /// Number of rows in the request.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.data.len().checked_div(self.cols).unwrap_or(0)
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), ServeError> {
+        if self.cols == 0 {
+            return Err(ServeError::InvalidRequest(
+                "row width must be at least 1".to_string(),
+            ));
+        }
+        if self.data.is_empty() || !self.data.len().is_multiple_of(self.cols) {
+            return Err(ServeError::InvalidRequest(format!(
+                "data length {} is not a non-zero multiple of cols {}",
+                self.data.len(),
+                self.cols
+            )));
+        }
+        if self.params.cols() != self.cols {
+            return Err(ServeError::InvalidRequest(format!(
+                "params are {} wide but the request is {} wide",
+                self.params.cols(),
+                self.cols
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The engine's answer to one [`NormRequest`].
+#[derive(Debug, Clone)]
+pub struct NormResponse {
+    /// Normalized rows, row-major, same shape as the request.
+    pub data: Vec<f32>,
+    /// The stream's skip-anchor state after this site (pass it back in the next
+    /// request to keep the stream's skip prediction coherent).
+    pub anchors: AnchorState,
+    /// Time the request spent queued before its batch was dispatched, microseconds.
+    pub queue_wait_us: u64,
+}
+
+/// A response that has been routed but possibly not produced yet; resolve it with
+/// [`PendingResponse::wait`].
+#[derive(Debug)]
+pub struct PendingResponse {
+    pub(crate) rx: mpsc::Receiver<Result<NormResponse, ServeError>>,
+}
+
+impl PendingResponse {
+    /// Blocks until the engine has executed the batch containing this request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Shutdown`] when the engine stopped before answering.
+    pub fn wait(self) -> Result<NormResponse, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Shutdown)?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haan_llm::NormKind;
+
+    fn params(cols: usize) -> Arc<NormParams> {
+        Arc::new(NormParams::new(vec![1.0; cols], vec![0.0; cols]).unwrap())
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(NormParams::new(vec![], vec![]).is_err());
+        assert!(NormParams::new(vec![1.0], vec![]).is_err());
+        let p = NormParams::new(vec![1.0, 2.0], vec![0.0, 0.1]).unwrap();
+        assert_eq!(p.cols(), 2);
+        assert_eq!(p.gamma(), &[1.0, 2.0]);
+        assert_eq!(p.beta(), &[0.0, 0.1]);
+    }
+
+    #[test]
+    fn request_validation() {
+        let site = NormSite {
+            layer_index: 0,
+            kind: NormKind::LayerNorm,
+        };
+        let good = NormRequest {
+            site,
+            cols: 4,
+            data: vec![0.0; 8],
+            params: params(4),
+            anchors: AnchorState::new(),
+        };
+        assert_eq!(good.rows(), 2);
+        assert!(good.validate().is_ok());
+
+        let zero_cols = NormRequest {
+            cols: 0,
+            ..good.clone()
+        };
+        assert!(zero_cols.validate().is_err());
+        let ragged = NormRequest {
+            data: vec![0.0; 7],
+            ..good.clone()
+        };
+        assert!(ragged.validate().is_err());
+        let empty = NormRequest {
+            data: Vec::new(),
+            ..good.clone()
+        };
+        assert!(empty.validate().is_err());
+        let wrong_params = NormRequest {
+            params: params(5),
+            ..good
+        };
+        assert!(wrong_params.validate().is_err());
+    }
+}

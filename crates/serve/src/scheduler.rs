@@ -1,0 +1,456 @@
+//! The request-batching scheduler: pure coalescing logic with an injected clock.
+//!
+//! The scheduler is deliberately thread-free and side-effect-free: time arrives as
+//! explicit `now_us` arguments and requests as [`Scheduler::admit`] calls, so every
+//! interleaving the serving engine can produce is reproducible in a plain unit test
+//! (see the tests at the bottom of this module). The engine's worker thread owns one
+//! scheduler and drives it from its queue; nothing here blocks.
+//!
+//! Coalescing rule: requests merge into one batch only when they share a
+//! [`BatchKey`] — the same normalization site, the same row width, and the *same
+//! interned parameter vectors* (pointer identity, see
+//! [`NormParams`](crate::NormParams)). A batch is dispatched when its rows reach
+//! [`SchedulerPolicy::max_batch_rows`] or its oldest request has waited
+//! [`SchedulerPolicy::max_wait_us`], whichever happens first.
+
+use crate::request::NormRequest;
+use haan_llm::norm::NormSite;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Compatibility key of one batch: requests coalesce iff their keys are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    /// Normalization site (global layer index + kind).
+    pub site: NormSite,
+    /// Row width.
+    pub cols: usize,
+    /// Identity token of the interned parameter vectors (the `Arc` pointer), so
+    /// batches never mix different `γ`/`β`.
+    pub params_token: usize,
+}
+
+impl BatchKey {
+    /// The key of a request (parameters compared by interned identity).
+    #[must_use]
+    pub fn of(request: &NormRequest) -> Self {
+        Self {
+            site: request.site,
+            cols: request.cols,
+            params_token: Arc::as_ptr(&request.params) as usize,
+        }
+    }
+}
+
+/// How the scheduler picks among multiple dispatch-ready batch groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueOrdering {
+    /// Dispatch the group holding the oldest request first (fair, latency-oriented).
+    #[default]
+    Fifo,
+    /// Dispatch the fullest group first (occupancy-oriented; ties fall back to the
+    /// oldest request).
+    SizeBinned,
+}
+
+/// The coalescing policy of the serving engine.
+///
+/// All fields have serviceable defaults, so partial construction works:
+///
+/// ```
+/// use haan_serve::SchedulerPolicy;
+///
+/// let policy = SchedulerPolicy {
+///     max_batch_rows: 64,
+///     ..Default::default()
+/// };
+/// assert_eq!(policy.max_wait_us, SchedulerPolicy::default().max_wait_us);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SchedulerPolicy {
+    /// Dispatch a group as soon as it holds this many rows (whole requests only;
+    /// a single larger request still dispatches alone). Values of 0 act as 1.
+    pub max_batch_rows: usize,
+    /// Dispatch a group once its oldest request has waited this long, full or not.
+    pub max_wait_us: u64,
+    /// Selection order among dispatch-ready groups.
+    pub ordering: QueueOrdering,
+}
+
+impl Default for SchedulerPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch_rows: 32,
+            max_wait_us: 200,
+            ordering: QueueOrdering::Fifo,
+        }
+    }
+}
+
+/// One admitted request plus its scheduling metadata. Generic over the payload so
+/// the coalescing logic is unit-testable without channels or threads.
+#[derive(Debug)]
+pub struct Entry<T> {
+    /// The admitted payload (the engine uses its in-flight work item).
+    pub item: T,
+    /// Rows the payload contributes to its batch.
+    pub rows: usize,
+    /// Injected-clock timestamp of admission, microseconds.
+    pub enqueued_us: u64,
+}
+
+/// A dispatch-ready batch: whole requests sharing one [`BatchKey`].
+#[derive(Debug)]
+pub struct ReadyBatch<T> {
+    /// The shared compatibility key.
+    pub key: BatchKey,
+    /// The member requests, in admission order.
+    pub entries: Vec<Entry<T>>,
+    /// Total rows across the members.
+    pub rows: usize,
+}
+
+#[derive(Debug)]
+struct Group<T> {
+    key: BatchKey,
+    entries: VecDeque<Entry<T>>,
+    rows: usize,
+}
+
+impl<T> Group<T> {
+    fn oldest_us(&self) -> u64 {
+        self.entries.front().map_or(u64::MAX, |e| e.enqueued_us)
+    }
+}
+
+/// The request-batching scheduler. See the [module docs](self) for the coalescing
+/// rule and the determinism contract.
+#[derive(Debug)]
+pub struct Scheduler<T> {
+    policy: SchedulerPolicy,
+    groups: Vec<Group<T>>,
+}
+
+impl<T> Scheduler<T> {
+    /// Creates an empty scheduler under the given policy.
+    #[must_use]
+    pub fn new(policy: SchedulerPolicy) -> Self {
+        Self {
+            policy,
+            groups: Vec::new(),
+        }
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.policy
+    }
+
+    /// Effective row threshold (a zero configuration acts as 1).
+    fn max_rows(&self) -> usize {
+        self.policy.max_batch_rows.max(1)
+    }
+
+    /// Admits one request into its compatibility group.
+    pub fn admit(&mut self, key: BatchKey, rows: usize, enqueued_us: u64, item: T) {
+        let entry = Entry {
+            item,
+            rows: rows.max(1),
+            enqueued_us,
+        };
+        if let Some(group) = self.groups.iter_mut().find(|g| g.key == key) {
+            group.rows += entry.rows;
+            group.entries.push_back(entry);
+        } else {
+            let rows = entry.rows;
+            self.groups.push(Group {
+                key,
+                entries: VecDeque::from([entry]),
+                rows,
+            });
+        }
+    }
+
+    /// Total queued rows.
+    #[must_use]
+    pub fn pending_rows(&self) -> usize {
+        self.groups.iter().map(|g| g.rows).sum()
+    }
+
+    /// Total queued requests.
+    #[must_use]
+    pub fn pending_requests(&self) -> usize {
+        self.groups.iter().map(|g| g.entries.len()).sum()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The earliest instant (injected-clock microseconds) at which a currently
+    /// queued request hits its max-wait flush, or `None` when nothing is queued.
+    /// The engine sleeps until this deadline at the latest.
+    #[must_use]
+    pub fn next_deadline_us(&self) -> Option<u64> {
+        self.groups
+            .iter()
+            .map(|g| g.oldest_us().saturating_add(self.policy.max_wait_us))
+            .min()
+    }
+
+    fn group_is_ready(&self, group: &Group<T>, now_us: u64) -> bool {
+        group.rows >= self.max_rows()
+            || now_us.saturating_sub(group.oldest_us()) >= self.policy.max_wait_us
+    }
+
+    /// Pops the next dispatch-ready batch, or `None` when no group is ready yet.
+    /// Call repeatedly until `None`: a group larger than `max_batch_rows` dispatches
+    /// as several batches.
+    pub fn pop_ready(&mut self, now_us: u64) -> Option<ReadyBatch<T>> {
+        let index = self
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| self.group_is_ready(g, now_us))
+            .min_by_key(|(_, g)| match self.policy.ordering {
+                QueueOrdering::Fifo => (0usize, g.oldest_us()),
+                // Fullest first: invert rows so min_by_key picks the largest, with
+                // the oldest request breaking ties.
+                QueueOrdering::SizeBinned => (usize::MAX - g.rows, g.oldest_us()),
+            })
+            .map(|(i, _)| i)?;
+        Some(self.pop_from(index))
+    }
+
+    /// Pops a batch regardless of readiness (oldest group first), used to drain the
+    /// queue on shutdown. Returns `None` only when the scheduler is empty.
+    pub fn pop_any(&mut self) -> Option<ReadyBatch<T>> {
+        let index = self
+            .groups
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, g)| g.oldest_us())
+            .map(|(i, _)| i)?;
+        Some(self.pop_from(index))
+    }
+
+    /// Takes whole requests from the front of a group until the row threshold is
+    /// reached (always at least one request).
+    fn pop_from(&mut self, index: usize) -> ReadyBatch<T> {
+        let max_rows = self.max_rows();
+        let group = &mut self.groups[index];
+        let mut entries = Vec::new();
+        let mut rows = 0usize;
+        while let Some(front) = group.entries.front() {
+            if !entries.is_empty() && rows + front.rows > max_rows {
+                break;
+            }
+            let entry = group.entries.pop_front().expect("front exists");
+            rows += entry.rows;
+            group.rows -= entry.rows;
+            entries.push(entry);
+            if rows >= max_rows {
+                break;
+            }
+        }
+        let key = group.key;
+        if group.entries.is_empty() {
+            self.groups.swap_remove(index);
+        }
+        ReadyBatch { key, entries, rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::NormParams;
+    use haan_llm::NormKind;
+
+    fn key(layer: usize, cols: usize, token: usize) -> BatchKey {
+        BatchKey {
+            site: NormSite {
+                layer_index: layer,
+                kind: NormKind::LayerNorm,
+            },
+            cols,
+            params_token: token,
+        }
+    }
+
+    fn policy(max_batch_rows: usize, max_wait_us: u64, ordering: QueueOrdering) -> SchedulerPolicy {
+        SchedulerPolicy {
+            max_batch_rows,
+            max_wait_us,
+            ordering,
+        }
+    }
+
+    #[test]
+    fn defaults_are_usable_with_struct_update_syntax() {
+        let policy = SchedulerPolicy {
+            max_batch_rows: 8,
+            ..Default::default()
+        };
+        assert_eq!(policy.max_batch_rows, 8);
+        assert_eq!(policy.ordering, QueueOrdering::Fifo);
+        assert!(policy.max_wait_us > 0);
+    }
+
+    #[test]
+    fn incompatible_requests_never_share_a_batch() {
+        // Same instant, same rows — but four distinct keys (site / width / params).
+        let mut sched: Scheduler<u32> = Scheduler::new(policy(64, 100, QueueOrdering::Fifo));
+        sched.admit(key(0, 16, 1), 1, 0, 10);
+        sched.admit(key(1, 16, 1), 1, 0, 11); // different site
+        sched.admit(key(0, 32, 1), 1, 0, 12); // different width
+        sched.admit(key(0, 16, 2), 1, 0, 13); // different params identity
+        sched.admit(key(0, 16, 1), 1, 0, 14); // compatible with the first
+        assert_eq!(sched.pending_requests(), 5);
+
+        // Nothing is full, so nothing dispatches before the wait elapses…
+        assert!(sched.pop_ready(50).is_none());
+        // …and at the deadline each key flushes separately, FIFO by oldest.
+        let mut batches = Vec::new();
+        while let Some(batch) = sched.pop_ready(100) {
+            batches.push(batch);
+        }
+        assert_eq!(batches.len(), 4);
+        let first = &batches[0];
+        assert_eq!(first.key, key(0, 16, 1));
+        let items: Vec<u32> = first.entries.iter().map(|e| e.item).collect();
+        assert_eq!(items, vec![10, 14], "only compatible requests coalesced");
+        assert!(sched.is_empty());
+    }
+
+    #[test]
+    fn full_group_dispatches_immediately_without_waiting() {
+        let mut sched: Scheduler<u32> = Scheduler::new(policy(4, 1_000_000, QueueOrdering::Fifo));
+        for i in 0..4 {
+            sched.admit(key(0, 8, 1), 1, 0, i);
+            if i < 3 {
+                assert!(sched.pop_ready(0).is_none(), "partial batch must wait");
+            }
+        }
+        let batch = sched.pop_ready(0).expect("4 rows reached the threshold");
+        assert_eq!(batch.rows, 4);
+        assert_eq!(batch.entries.len(), 4);
+        assert!(sched.is_empty());
+    }
+
+    #[test]
+    fn max_wait_flush_fires_exactly_at_the_deadline() {
+        let mut sched: Scheduler<u32> = Scheduler::new(policy(100, 250, QueueOrdering::Fifo));
+        sched.admit(key(0, 8, 1), 2, 1_000, 7);
+        assert_eq!(sched.next_deadline_us(), Some(1_250));
+        assert!(sched.pop_ready(1_249).is_none());
+        let batch = sched.pop_ready(1_250).expect("deadline reached");
+        assert_eq!(batch.rows, 2);
+        assert_eq!(sched.next_deadline_us(), None);
+    }
+
+    #[test]
+    fn oversized_requests_dispatch_alone_and_whole() {
+        let mut sched: Scheduler<u32> = Scheduler::new(policy(4, 100, QueueOrdering::Fifo));
+        sched.admit(key(0, 8, 1), 10, 0, 1); // single request above the row cap
+        sched.admit(key(0, 8, 1), 1, 0, 2);
+        let batch = sched.pop_ready(0).expect("over-threshold group is ready");
+        assert_eq!(batch.rows, 10, "requests are never split");
+        assert_eq!(batch.entries.len(), 1);
+        // The small follower stays queued until its own trigger.
+        assert_eq!(sched.pending_rows(), 1);
+    }
+
+    #[test]
+    fn threshold_takes_whole_requests_only() {
+        let mut sched: Scheduler<u32> = Scheduler::new(policy(4, 100, QueueOrdering::Fifo));
+        sched.admit(key(0, 8, 1), 3, 0, 1);
+        sched.admit(key(0, 8, 1), 3, 5, 2);
+        // 6 rows ≥ 4: ready, but the second request does not fit next to the first.
+        let batch = sched.pop_ready(10).expect("ready");
+        assert_eq!(batch.rows, 3);
+        assert_eq!(batch.entries.len(), 1);
+        // The remainder flushes on its own wait.
+        assert!(sched.pop_ready(10).is_none());
+        let rest = sched.pop_ready(105).expect("max-wait flush");
+        assert_eq!(rest.entries[0].item, 2);
+    }
+
+    #[test]
+    fn fifo_prefers_oldest_and_size_binned_prefers_fullest() {
+        let admit_all = |sched: &mut Scheduler<u32>| {
+            sched.admit(key(0, 8, 1), 1, 0, 1); // oldest, small group
+            sched.admit(key(1, 8, 1), 2, 10, 2); // newer, bigger group
+            sched.admit(key(1, 8, 1), 2, 20, 3);
+        };
+        let mut fifo: Scheduler<u32> = Scheduler::new(policy(64, 50, QueueOrdering::Fifo));
+        admit_all(&mut fifo);
+        assert_eq!(fifo.pop_ready(100).unwrap().key, key(0, 8, 1));
+
+        let mut binned: Scheduler<u32> = Scheduler::new(policy(64, 50, QueueOrdering::SizeBinned));
+        admit_all(&mut binned);
+        let first = binned.pop_ready(100).unwrap();
+        assert_eq!(first.key, key(1, 8, 1));
+        assert_eq!(first.rows, 4);
+    }
+
+    #[test]
+    fn shutdown_drain_empties_the_queue_ignoring_readiness() {
+        let mut sched: Scheduler<u32> = Scheduler::new(policy(64, 1_000_000, QueueOrdering::Fifo));
+        sched.admit(key(0, 8, 1), 1, 0, 1);
+        sched.admit(key(1, 8, 1), 2, 1, 2);
+        sched.admit(key(0, 8, 1), 1, 2, 3);
+        assert!(sched.pop_ready(10).is_none(), "nothing is ready yet");
+        let mut drained_rows = 0;
+        let mut batches = 0;
+        while let Some(batch) = sched.pop_any() {
+            drained_rows += batch.rows;
+            batches += 1;
+        }
+        assert_eq!(drained_rows, 4);
+        assert_eq!(batches, 2, "drain still coalesces compatible requests");
+        assert!(sched.is_empty());
+        assert!(sched.pop_any().is_none());
+    }
+
+    #[test]
+    fn zero_row_threshold_acts_as_one() {
+        let mut sched: Scheduler<u32> = Scheduler::new(policy(0, 100, QueueOrdering::Fifo));
+        sched.admit(key(0, 8, 1), 1, 0, 1);
+        assert!(sched.pop_ready(0).is_some());
+        assert_eq!(sched.policy().max_batch_rows, 0);
+    }
+
+    #[test]
+    fn batch_key_uses_interned_identity() {
+        let params = std::sync::Arc::new(NormParams::new(vec![1.0; 4], vec![0.0; 4]).unwrap());
+        let site = NormSite {
+            layer_index: 3,
+            kind: NormKind::RmsNorm,
+        };
+        let request = crate::NormRequest {
+            site,
+            cols: 4,
+            data: vec![0.0; 4],
+            params: params.clone(),
+            anchors: haan::AnchorState::new(),
+        };
+        let twin = crate::NormRequest {
+            params: params.clone(),
+            ..request.clone()
+        };
+        assert_eq!(BatchKey::of(&request), BatchKey::of(&twin));
+        let other = crate::NormRequest {
+            params: std::sync::Arc::new(NormParams::new(vec![1.0; 4], vec![0.0; 4]).unwrap()),
+            ..request.clone()
+        };
+        assert_ne!(
+            BatchKey::of(&request),
+            BatchKey::of(&other),
+            "content-equal but separately allocated params must not coalesce"
+        );
+    }
+}

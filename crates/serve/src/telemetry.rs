@@ -1,0 +1,194 @@
+//! Per-batch serving telemetry: occupancy, queue wait, execution cost.
+
+use std::sync::Mutex;
+
+/// How many of the most recent per-request queue waits the percentile window
+/// keeps. Bounded so a long-running engine neither grows without limit nor slows
+/// down `stats()` over time; the mean stays exact over the whole lifetime.
+const QUEUE_WAIT_WINDOW: usize = 4096;
+
+/// Aggregated serving statistics, snapshotted by
+/// [`ServeEngine::stats`](crate::ServeEngine::stats).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServingStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Rows normalized.
+    pub rows: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Elements (rows × cols) normalized.
+    pub elements: u64,
+    /// Total time spent inside the batched engine, nanoseconds.
+    pub exec_ns: u128,
+    /// Mean queue wait across *all* requests served so far, microseconds.
+    pub mean_queue_wait_us: f64,
+    /// Median queue wait over the most recent requests (a bounded window of the
+    /// last few thousand), microseconds.
+    pub p50_queue_wait_us: u64,
+    /// 99th-percentile queue wait over the same recent window, microseconds.
+    pub p99_queue_wait_us: u64,
+}
+
+impl ServingStats {
+    /// Mean requests coalesced per dispatched batch (> 1 means the scheduler is
+    /// actually batching concurrent clients).
+    #[must_use]
+    pub fn mean_batch_occupancy_requests(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean rows per dispatched batch.
+    #[must_use]
+    pub fn mean_batch_occupancy_rows(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.rows as f64 / self.batches as f64
+        }
+    }
+
+    /// Engine-side normalization cost per element, nanoseconds.
+    #[must_use]
+    pub fn ns_per_element(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.exec_ns as f64 / self.elements as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    requests: u64,
+    rows: u64,
+    batches: u64,
+    elements: u64,
+    exec_ns: u128,
+    total_queue_wait_us: u128,
+    /// Ring buffer of the most recent [`QUEUE_WAIT_WINDOW`] per-request waits.
+    queue_waits_us: Vec<u64>,
+    next_wait_slot: usize,
+}
+
+/// Interior-mutable recorder shared between the worker thread (writes) and the
+/// engine handle (reads).
+#[derive(Debug, Default)]
+pub(crate) struct Recorder {
+    inner: Mutex<Inner>,
+}
+
+impl Recorder {
+    pub(crate) fn record_batch(
+        &self,
+        requests: u64,
+        rows: u64,
+        elements: u64,
+        exec_ns: u128,
+        queue_waits_us: impl IntoIterator<Item = u64>,
+    ) {
+        let mut inner = self.inner.lock().expect("telemetry lock poisoned");
+        inner.requests += requests;
+        inner.rows += rows;
+        inner.batches += 1;
+        inner.elements += elements;
+        inner.exec_ns += exec_ns;
+        for wait in queue_waits_us {
+            inner.total_queue_wait_us += u128::from(wait);
+            if inner.queue_waits_us.len() < QUEUE_WAIT_WINDOW {
+                inner.queue_waits_us.push(wait);
+            } else {
+                let slot = inner.next_wait_slot;
+                inner.queue_waits_us[slot] = wait;
+            }
+            inner.next_wait_slot = (inner.next_wait_slot + 1) % QUEUE_WAIT_WINDOW;
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ServingStats {
+        let inner = self.inner.lock().expect("telemetry lock poisoned");
+        let mut waits = inner.queue_waits_us.clone();
+        waits.sort_unstable();
+        let percentile = |p: f64| -> u64 {
+            if waits.is_empty() {
+                0
+            } else {
+                let index = ((waits.len() - 1) as f64 * p).round() as usize;
+                waits[index.min(waits.len() - 1)]
+            }
+        };
+        let mean = if inner.requests == 0 {
+            0.0
+        } else {
+            inner.total_queue_wait_us as f64 / inner.requests as f64
+        };
+        ServingStats {
+            requests: inner.requests,
+            rows: inner.rows,
+            batches: inner.batches,
+            elements: inner.elements,
+            exec_ns: inner.exec_ns,
+            mean_queue_wait_us: mean,
+            p50_queue_wait_us: percentile(0.50),
+            p99_queue_wait_us: percentile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_all_zero() {
+        let stats = Recorder::default().stats();
+        assert_eq!(stats, ServingStats::default());
+        assert_eq!(stats.mean_batch_occupancy_requests(), 0.0);
+        assert_eq!(stats.mean_batch_occupancy_rows(), 0.0);
+        assert_eq!(stats.ns_per_element(), 0.0);
+    }
+
+    #[test]
+    fn batches_aggregate_and_percentiles_are_ordered() {
+        let recorder = Recorder::default();
+        recorder.record_batch(3, 6, 384, 1_000, [10, 20, 30]);
+        recorder.record_batch(1, 2, 128, 500, [100]);
+        let stats = recorder.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.rows, 8);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.elements, 512);
+        assert_eq!(stats.exec_ns, 1_500);
+        assert_eq!(stats.mean_batch_occupancy_requests(), 2.0);
+        assert_eq!(stats.mean_batch_occupancy_rows(), 4.0);
+        assert!((stats.mean_queue_wait_us - 40.0).abs() < 1e-9);
+        assert!(stats.p50_queue_wait_us <= stats.p99_queue_wait_us);
+        assert_eq!(stats.p99_queue_wait_us, 100);
+        assert!((stats.ns_per_element() - 1_500.0 / 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_window_is_bounded_but_the_mean_stays_exact() {
+        let recorder = Recorder::default();
+        // Far more waits than the window holds: old entries (all zeros) must be
+        // evicted, so the window percentiles reflect only the recent plateau while
+        // the mean still accounts for the full history.
+        recorder.record_batch(
+            2 * QUEUE_WAIT_WINDOW as u64,
+            2 * QUEUE_WAIT_WINDOW as u64,
+            1,
+            1,
+            std::iter::repeat_n(0u64, QUEUE_WAIT_WINDOW),
+        );
+        recorder.record_batch(0, 0, 0, 0, std::iter::repeat_n(1_000u64, QUEUE_WAIT_WINDOW));
+        let stats = recorder.stats();
+        assert_eq!(stats.p50_queue_wait_us, 1_000);
+        assert_eq!(stats.p99_queue_wait_us, 1_000);
+        assert!((stats.mean_queue_wait_us - 500.0).abs() < 1e-9);
+    }
+}

@@ -14,6 +14,7 @@ use haan::{BackendSelection, Calibrator, HaanConfig, HaanNormalizer};
 use haan_llm::norm::ReferenceNormalizer;
 use haan_llm::{ModelConfig, TransformerModel};
 use haan_numerics::Format;
+use haan_repro::diagnostics::next_token_delta;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build a laptop-scale GPT-2-style model (paper layer structure, shrunk width).
@@ -48,27 +49,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut haan = HaanNormalizer::new(haan_config).with_plan(outcome.plan);
     let mut reference = ReferenceNormalizer::new();
 
-    // 4. Run the same tokens through both normalizers and compare the next-token choice.
+    // 4. Run the same tokens through both normalizers and compare the next-token
+    //    logits. HAAN is an approximation and this untrained, laptop-scale model has
+    //    near-tied top logits, so an occasional argmax flip is expected quantization
+    //    noise — report the accuracy delta instead of a binary match/mismatch.
     let tokens = [3u32, 17, 31, 45, 59, 73];
     let exact = model.logits(&tokens, &mut reference)?;
     let approx = model.logits(&tokens, &mut haan)?;
     let last = tokens.len() - 1;
-    let argmax = |row: &[f32]| {
-        row.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
-            .map(|(i, _)| i)
-            .expect("non-empty row")
-    };
+    // The same metric `tests/end_to_end.rs::quickstart_accuracy_delta_stays_pinned`
+    // asserts on, so the printed numbers and the pinned thresholds cannot drift.
+    let delta = next_token_delta(exact.row(last), approx.row(last));
     println!(
-        "next-token prediction: exact = {}, HAAN = {} ({})",
-        argmax(exact.row(last)),
-        argmax(approx.row(last)),
-        if argmax(exact.row(last)) == argmax(approx.row(last)) {
-            "match"
-        } else {
-            "MISMATCH"
-        }
+        "next-token logits: exact argmax = {}, HAAN argmax = {} \
+         (exact choice ranked #{} of {} by HAAN)",
+        delta.exact_choice,
+        delta.approx_choice,
+        delta.rank_of_exact_choice,
+        exact.row(last).len()
+    );
+    println!(
+        "accuracy delta: mean |Δlogit| = {:.4} ({:.1}% of the exact logit spread {:.3})",
+        delta.mean_abs_delta,
+        100.0 * delta.mean_abs_delta / delta.exact_spread,
+        delta.exact_spread
     );
 
     // 5. Inspect what HAAN actually did.

@@ -73,6 +73,51 @@ fn calibrated_haan_normalizer_preserves_model_predictions() {
 }
 
 #[test]
+fn quickstart_accuracy_delta_stays_pinned() {
+    // Pins the behavior behind `examples/quickstart.rs` (same model seed,
+    // calibration, config and tokens). The exact and HAAN argmax can differ — this
+    // untrained 64-wide model has near-tied top logits, so a flip is expected
+    // quantization noise, which is why the example reports an accuracy delta rather
+    // than a binary match. What must hold: HAAN ranks the exact model's choice near
+    // the very top, and the mean logit perturbation stays a fraction of the logit
+    // spread.
+    let config = ModelConfig::gpt2_117m().scaled_down(64, 128);
+    let model = TransformerModel::new(&config, 2024).expect("quickstart model");
+    let outcome = Calibrator::new(16, 24)
+        .with_min_gap(6)
+        .calibrate_model(&model, 7)
+        .expect("quickstart calibration");
+    let haan_config = HaanConfig::builder()
+        .label("HAAN quickstart")
+        .subsample(32)
+        .format(Format::Fp16)
+        .build();
+    let mut haan = HaanNormalizer::new(haan_config).with_plan(outcome.plan);
+    let mut reference = ReferenceNormalizer::new();
+    let tokens = [3u32, 17, 31, 45, 59, 73];
+    let exact = model
+        .logits(&tokens, &mut reference)
+        .expect("exact forward");
+    let approx = model.logits(&tokens, &mut haan).expect("haan forward");
+    let last = tokens.len() - 1;
+
+    // The exact computation the example prints (shared helper — no drift).
+    let delta = haan_repro::diagnostics::next_token_delta(exact.row(last), approx.row(last));
+    assert!(
+        delta.rank_of_exact_choice <= 5,
+        "HAAN ranked the exact choice #{} of {} — the quickstart accuracy story broke",
+        delta.rank_of_exact_choice,
+        exact.row(last).len()
+    );
+    assert!(
+        delta.mean_abs_delta < 0.5 * delta.exact_spread,
+        "mean |Δlogit| {:.4} exceeded half the exact logit spread {:.4}",
+        delta.mean_abs_delta,
+        delta.exact_spread
+    );
+}
+
+#[test]
 fn table1_style_degradation_is_small_for_good_configs() {
     let model = tiny_model();
     let specs: Vec<TaskSpec> = TaskSpec::paper_suites(6, 3)

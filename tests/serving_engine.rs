@@ -1,0 +1,265 @@
+//! Integration suite of the serving layer: many concurrent client threads
+//! streaming through one `ServeEngine` must produce *bit-identical* results to each
+//! client running alone on a private `HaanNormalizer`, while the scheduler actually
+//! coalesces their requests into shared batches.
+//!
+//! Determinism rests on two engine contracts: row kernels are row-local (the fused
+//! backend normalizes every row independently), and skip-anchor state is per
+//! session (each request round-trips its own `AnchorState`), so batch composition
+//! can never leak one stream's statistics into another.
+
+use haan::{BackendSelection, HaanConfig, HaanNormalizer, SkipPlan};
+use haan_llm::norm::{NormSite, Normalizer};
+use haan_llm::{Matrix, NormKind, StreamingModel, TransformerModel};
+use haan_numerics::Format;
+use haan_serve::{QueueOrdering, SchedulerPolicy, ServeConfig, ServeEngine};
+
+const COLS: usize = 64;
+const ROWS_PER_REQUEST: usize = 2;
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 32;
+
+/// Layers cycle anchor → skipped → skipped → plain, exercising every anchor-state
+/// transition on every client.
+const LAYER_CYCLE: usize = 4;
+
+fn skip_plan() -> SkipPlan {
+    SkipPlan {
+        start: 0,
+        end: 2,
+        decay: -0.05,
+        correlation: -1.0,
+        calibration_anchor_log_isd: -0.25,
+    }
+}
+
+fn haan_config() -> HaanConfig {
+    // The fused backend is the deterministic hot path: bit-identical whether rows
+    // arrive as one caller's matrix or as a scheduler-assembled batch.
+    HaanConfig::builder()
+        .label("serving integration")
+        .subsample(32)
+        .format(Format::Fp16)
+        .backend(BackendSelection::Fused)
+        .build()
+}
+
+fn site(layer_index: usize) -> NormSite {
+    NormSite {
+        layer_index,
+        kind: NormKind::LayerNorm,
+    }
+}
+
+/// Deterministic per-client, per-request input block (each client has a distinct
+/// scale, so anchor mix-ups would be loud).
+fn client_input(client: usize, request: usize) -> Matrix {
+    let scale = 1.0 + client as f32 * 0.75;
+    let data: Vec<f32> = (0..ROWS_PER_REQUEST * COLS)
+        .map(|i| {
+            let x = (i + request * 131 + client * 7919) as u64;
+            (((x * 2654435761) % 1000) as f32 / 250.0 - 2.0) * scale
+        })
+        .collect();
+    Matrix::from_vec(ROWS_PER_REQUEST, COLS, data).expect("consistent shape")
+}
+
+fn client_workload(client: usize) -> Vec<(NormSite, Matrix)> {
+    (0..REQUESTS_PER_CLIENT)
+        .map(|request| (site(request % LAYER_CYCLE), client_input(client, request)))
+        .collect()
+}
+
+#[test]
+fn eight_concurrent_clients_match_sequential_execution_bit_for_bit() {
+    let mut engine = ServeEngine::start(ServeConfig {
+        normalizer: haan_config(),
+        plan: Some(skip_plan()),
+        scheduler: SchedulerPolicy {
+            // 8 clients × 2 rows: a full phase-aligned round dispatches immediately;
+            // stragglers flush after 3 ms so drifting clients still coalesce.
+            max_batch_rows: CLIENTS * ROWS_PER_REQUEST,
+            max_wait_us: 3_000,
+            ordering: QueueOrdering::Fifo,
+        },
+        queue_capacity: 64,
+    });
+    let gamma: Vec<f32> = (0..COLS).map(|i| 1.0 + (i % 5) as f32 * 0.1).collect();
+    let beta: Vec<f32> = (0..COLS).map(|i| (i % 3) as f32 * 0.2 - 0.2).collect();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let mut session = engine.session();
+            let gamma = gamma.clone();
+            let beta = beta.clone();
+            std::thread::spawn(move || {
+                client_workload(client)
+                    .into_iter()
+                    .map(|(site, input)| {
+                        session
+                            .normalize(site, &input, &gamma, &beta)
+                            .expect("serving round trip")
+                    })
+                    .collect::<Vec<Matrix>>()
+            })
+        })
+        .collect();
+    let served: Vec<Vec<Matrix>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect();
+
+    // Per-client sequential oracle: a private normalizer walking the same calls.
+    for (client, outputs) in served.iter().enumerate() {
+        let mut private = HaanNormalizer::new(haan_config()).with_plan(skip_plan());
+        for (request, ((site, input), out)) in
+            client_workload(client).iter().zip(outputs).enumerate()
+        {
+            let expected = private.normalize_matrix(*site, input, &gamma, &beta);
+            assert_eq!(
+                out, &expected,
+                "client {client} request {request} diverged from sequential execution"
+            );
+        }
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.requests, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
+    assert_eq!(
+        stats.rows,
+        (CLIENTS * REQUESTS_PER_CLIENT * ROWS_PER_REQUEST) as u64
+    );
+    assert!(
+        stats.mean_batch_occupancy_requests() > 1.0,
+        "no coalescing happened: {:.2} requests/batch over {} batches",
+        stats.mean_batch_occupancy_requests(),
+        stats.batches
+    );
+    assert!(stats.mean_batch_occupancy_rows() > 1.0);
+    assert!(stats.p50_queue_wait_us <= stats.p99_queue_wait_us);
+    engine.shutdown();
+}
+
+#[test]
+fn sessions_with_different_histories_never_share_predicted_isds() {
+    // Two sessions interleave on one engine with wildly different activation
+    // scales. The skipped site's prediction must come from each session's own
+    // anchor: any cross-talk would show up against the private references.
+    let mut engine = ServeEngine::start(ServeConfig {
+        normalizer: haan_config(),
+        plan: Some(skip_plan()),
+        ..Default::default()
+    });
+    let gamma = vec![1.0f32; COLS];
+    let beta = vec![0.0f32; COLS];
+    let mut quiet = engine.session();
+    let mut loud = engine.session();
+    let quiet_input = client_input(0, 0);
+    let loud_input = {
+        let scaled: Vec<f32> = client_input(0, 0)
+            .as_slice()
+            .iter()
+            .map(|v| v * 16.0)
+            .collect();
+        Matrix::from_vec(ROWS_PER_REQUEST, COLS, scaled).expect("consistent shape")
+    };
+
+    // Interleaved: anchor site for both, then skipped site for both.
+    let quiet_anchor = quiet
+        .normalize(site(0), &quiet_input, &gamma, &beta)
+        .unwrap();
+    let loud_anchor = loud.normalize(site(0), &loud_input, &gamma, &beta).unwrap();
+    let quiet_skip = quiet
+        .normalize(site(1), &quiet_input, &gamma, &beta)
+        .unwrap();
+    let loud_skip = loud.normalize(site(1), &loud_input, &gamma, &beta).unwrap();
+    assert_ne!(
+        quiet.anchor_state(),
+        loud.anchor_state(),
+        "different histories must leave different anchors"
+    );
+
+    for (name, input, anchor_out, skip_out) in [
+        ("quiet", &quiet_input, quiet_anchor, quiet_skip),
+        ("loud", &loud_input, loud_anchor, loud_skip),
+    ] {
+        let mut private = HaanNormalizer::new(haan_config()).with_plan(skip_plan());
+        let expected_anchor = private.normalize_matrix(site(0), input, &gamma, &beta);
+        let expected_skip = private.normalize_matrix(site(1), input, &gamma, &beta);
+        assert_eq!(anchor_out, expected_anchor, "{name}: anchor site diverged");
+        assert_eq!(skip_out, expected_skip, "{name}: skipped site diverged");
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn streaming_decode_through_sessions_matches_private_normalizers() {
+    // Two decode streams share the engine through sessions-as-normalizers; each
+    // must generate exactly the tokens of a private HAAN normalizer decode.
+    let model = TransformerModel::new(&haan_llm::ModelConfig::tiny_test(), 17).unwrap();
+    let mut engine = ServeEngine::start(ServeConfig {
+        normalizer: haan_config(),
+        plan: Some(skip_plan()),
+        ..Default::default()
+    });
+    let prompts: [&[u32]; 2] = [&[1, 9, 17], &[4, 8, 15, 16]];
+    for prompt in prompts {
+        let mut session = engine.session();
+        let mut served_stream = StreamingModel::new(&model, prompt).unwrap();
+        let served = served_stream.decode(5, &mut session).unwrap();
+
+        let mut private = HaanNormalizer::new(haan_config()).with_plan(skip_plan());
+        let mut private_stream = StreamingModel::new(&model, prompt).unwrap();
+        let expected = private_stream.decode(5, &mut private).unwrap();
+        assert_eq!(served, expected, "prompt {prompt:?} decoded differently");
+        assert_eq!(served_stream.generated(), expected.as_slice());
+    }
+    assert!(engine.stats().requests > 0);
+    engine.shutdown();
+}
+
+#[test]
+fn shutdown_drains_queued_requests_and_coalesces_them() {
+    // A policy that never dispatches on its own: requests pile up in the
+    // scheduler until shutdown, which must still answer every one of them —
+    // and, since they are compatible, as a single coalesced batch.
+    let mut engine = ServeEngine::start(ServeConfig {
+        normalizer: haan_config(),
+        scheduler: SchedulerPolicy {
+            max_batch_rows: usize::MAX,
+            max_wait_us: u64::MAX,
+            ordering: QueueOrdering::Fifo,
+        },
+        ..Default::default()
+    });
+    let params = engine.intern_params(&[1.0; COLS], &[0.0; COLS]);
+    let pending: Vec<_> = (0..3)
+        .map(|request| {
+            engine
+                .submit(haan_serve::NormRequest {
+                    site: site(0),
+                    cols: COLS,
+                    data: client_input(request, request).as_slice().to_vec(),
+                    params: params.clone(),
+                    anchors: haan::AnchorState::new(),
+                })
+                .expect("submission while open")
+        })
+        .collect();
+    engine.shutdown();
+    for (request, handle) in pending.into_iter().enumerate() {
+        let response = handle.wait().expect("drained on shutdown");
+        assert_eq!(
+            response.data.len(),
+            ROWS_PER_REQUEST * COLS,
+            "request {request}"
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.requests, 3);
+    assert_eq!(
+        stats.batches, 1,
+        "compatible drained requests must coalesce"
+    );
+    assert_eq!(stats.mean_batch_occupancy_requests(), 3.0);
+}
