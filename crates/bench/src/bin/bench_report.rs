@@ -16,7 +16,7 @@ use haan_bench::json::JsonValue;
 use haan_bench::timing::{measure_default, Measurement};
 use haan_bench::{print_experiment_header, MarkdownTable};
 use haan_llm::norm::{NormSite, Normalizer, ReferenceNormalizer};
-use haan_llm::{Matrix, NormKind};
+use haan_llm::{Matrix, ModelConfig, ModelFamily, NormKind, StreamingModel, TransformerModel};
 use haan_serve::{SchedulerPolicy, ServeConfig, ServeEngine, ServingStats};
 
 const ROWS: usize = 16;
@@ -89,6 +89,96 @@ fn run_serving_benchmark() -> (ServingStats, f64) {
     let requests_per_s = (SERVING_CLIENTS * SERVING_REQUESTS_PER_CLIENT) as f64 / elapsed;
     engine.shutdown();
     (stats, requests_per_s)
+}
+
+/// Sequence lengths of the decode benchmark (the sequence length *reached* after
+/// the timed steps).
+const DECODE_SEQS: [usize; 2] = [64, 256];
+/// Greedy steps timed per run (after one untimed step that absorbs the prefill).
+const DECODE_TIMED_STEPS: usize = 7;
+/// Runs per configuration; tokens/s is aggregated over all of them.
+const DECODE_RUNS: usize = 3;
+
+/// The decode-benchmark subject: laptop-scale widths but a 256-position context,
+/// so the O(seq²) vs O(seq) difference at `DECODE_SEQS` is what dominates.
+fn decode_bench_model() -> TransformerModel {
+    let config = ModelConfig {
+        name: "decode-bench".to_string(),
+        family: ModelFamily::Gpt2,
+        num_blocks: 2,
+        embedding_dim: 64,
+        num_heads: 4,
+        mlp_dim: 128,
+        vocab_size: 128,
+        max_seq_len: *DECODE_SEQS.iter().max().expect("non-empty"),
+        final_norm: true,
+        paper_embedding_dim: 64,
+    };
+    TransformerModel::new(&config, 42).expect("valid decode benchmark model")
+}
+
+struct DecodePoint {
+    seq: usize,
+    prefill_tokens_per_s: f64,
+    cached_tokens_per_s: f64,
+    full_recompute_tokens_per_s: f64,
+}
+
+impl DecodePoint {
+    fn cached_speedup(&self) -> f64 {
+        self.cached_tokens_per_s / self.full_recompute_tokens_per_s
+    }
+}
+
+/// Measures prefill throughput plus cached vs full-recompute greedy decode
+/// tokens/s at sequence length `seq`. Both decode paths run the same
+/// `StreamingModel` loop through the same normalizer type; the only variable is
+/// whether the prefix is recomputed (`new_full_recompute`) or cached (`new`).
+fn run_decode_benchmark(model: &TransformerModel, seq: usize) -> DecodePoint {
+    let vocab = model.config().vocab_size as u32;
+    let prompt: Vec<u32> = (0..(seq - DECODE_TIMED_STEPS - 1) as u32)
+        .map(|i| i % vocab)
+        .collect();
+
+    let mut prefill_elapsed = 0.0f64;
+    let mut cached_elapsed = 0.0f64;
+    let mut full_elapsed = 0.0f64;
+    for _ in 0..DECODE_RUNS {
+        // Prefill: one batched incremental pass over the whole prompt.
+        let mut ctx = model.start_decode();
+        let mut norm = ReferenceNormalizer::new();
+        let started = std::time::Instant::now();
+        std::hint::black_box(ctx.prefill(&prompt, &mut norm).expect("prefill"));
+        prefill_elapsed += started.elapsed().as_secs_f64();
+
+        // Cached decode: the first (untimed) step absorbs the prompt prefill,
+        // then every timed step feeds exactly one token.
+        let mut stream = StreamingModel::new(model, &prompt).expect("valid prompt");
+        let mut norm = ReferenceNormalizer::new();
+        stream.decode_step(&mut norm).expect("warm-up step");
+        let started = std::time::Instant::now();
+        for _ in 0..DECODE_TIMED_STEPS {
+            std::hint::black_box(stream.decode_step(&mut norm).expect("cached step"));
+        }
+        cached_elapsed += started.elapsed().as_secs_f64();
+
+        // Full-recompute oracle: same loop, whole prefix re-run every step.
+        let mut stream = StreamingModel::new_full_recompute(model, &prompt).expect("valid prompt");
+        let mut norm = ReferenceNormalizer::new();
+        stream.decode_step(&mut norm).expect("warm-up step");
+        let started = std::time::Instant::now();
+        for _ in 0..DECODE_TIMED_STEPS {
+            std::hint::black_box(stream.decode_step(&mut norm).expect("full step"));
+        }
+        full_elapsed += started.elapsed().as_secs_f64();
+    }
+    let timed_tokens = (DECODE_RUNS * DECODE_TIMED_STEPS) as f64;
+    DecodePoint {
+        seq,
+        prefill_tokens_per_s: (DECODE_RUNS * prompt.len()) as f64 / prefill_elapsed,
+        cached_tokens_per_s: timed_tokens / cached_elapsed,
+        full_recompute_tokens_per_s: timed_tokens / full_elapsed,
+    }
 }
 
 struct PathResult {
@@ -276,6 +366,32 @@ fn main() {
     ]);
     println!("{}", serving_table.render());
 
+    // Decode path: prefill throughput plus cached vs full-recompute greedy decode
+    // tokens/s on a 256-position model — the payoff of the stateful
+    // DecodeContext/KV-cache API over the stateless O(seq²) loop.
+    let decode_model = decode_bench_model();
+    let decode_points: Vec<DecodePoint> = DECODE_SEQS
+        .iter()
+        .map(|&seq| run_decode_benchmark(&decode_model, seq))
+        .collect();
+    let mut decode_table = MarkdownTable::new(vec![
+        "seq",
+        "prefill tok/s",
+        "cached decode tok/s",
+        "full-recompute tok/s",
+        "cached speedup",
+    ]);
+    for point in &decode_points {
+        decode_table.push_row(vec![
+            point.seq.to_string(),
+            format!("{:.0}", point.prefill_tokens_per_s),
+            format!("{:.0}", point.cached_tokens_per_s),
+            format!("{:.0}", point.full_recompute_tokens_per_s),
+            format!("{:.1}x", point.cached_speedup()),
+        ]);
+    }
+    println!("{}", decode_table.render());
+
     // Matmul GFLOP/s of the cache-blocked kernels on a square problem.
     let n = 256;
     let a = Matrix::from_vec(n, n, (0..n * n).map(|i| (i as f32).sin()).collect()).unwrap();
@@ -377,6 +493,56 @@ fn main() {
             ]),
         ),
         (
+            "decode",
+            JsonValue::object(
+                [
+                    (
+                        "model".to_string(),
+                        JsonValue::object([
+                            ("blocks", JsonValue::from(decode_model.config().num_blocks)),
+                            (
+                                "embedding_dim",
+                                JsonValue::from(decode_model.config().embedding_dim),
+                            ),
+                            (
+                                "vocab_size",
+                                JsonValue::from(decode_model.config().vocab_size),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "timed_steps_per_run".to_string(),
+                        JsonValue::from(DECODE_TIMED_STEPS),
+                    ),
+                    ("runs".to_string(), JsonValue::from(DECODE_RUNS)),
+                ]
+                .into_iter()
+                .chain(decode_points.iter().map(|point| {
+                    (
+                        format!("seq_{}", point.seq),
+                        JsonValue::object([
+                            (
+                                "prefill_tokens_per_s",
+                                JsonValue::from(point.prefill_tokens_per_s),
+                            ),
+                            (
+                                "cached_decode_tokens_per_s",
+                                JsonValue::from(point.cached_tokens_per_s),
+                            ),
+                            (
+                                "full_recompute_decode_tokens_per_s",
+                                JsonValue::from(point.full_recompute_tokens_per_s),
+                            ),
+                            (
+                                "cached_speedup_vs_full_recompute",
+                                JsonValue::from(point.cached_speedup()),
+                            ),
+                        ]),
+                    )
+                })),
+            ),
+        ),
+        (
             "matmul",
             JsonValue::object([
                 ("blocked_gflops", JsonValue::from(gflops(&matmul))),
@@ -397,5 +563,12 @@ fn main() {
     assert!(
         fused_speedup >= 1.0,
         "fused path regressed below the scalar oracle ({fused_speedup:.2}x)"
+    );
+    let longest = decode_points.last().expect("at least one decode point");
+    assert!(
+        longest.cached_speedup() >= 3.0,
+        "cached decode regressed to {:.2}x of full recompute at seq {}",
+        longest.cached_speedup(),
+        longest.seq
     );
 }

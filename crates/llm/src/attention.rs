@@ -1,9 +1,101 @@
-//! Multi-head causal self-attention.
+//! Multi-head causal self-attention, with both a full-sequence path and an
+//! incremental KV-cached path.
+//!
+//! [`MultiHeadAttention::forward`] recomputes the whole `seq × seq` score matrix —
+//! the reference oracle. [`MultiHeadAttention::forward_cached`] appends freshly
+//! projected key/value rows to an [`AttentionKvCache`] and attends only the new
+//! query rows against the cache, making decode O(seq) per token. The two are
+//! bit-identical on the positions they both compute: projections are row-local
+//! matmuls, the offset causal softmax shares the zero-offset reduction order, and
+//! masked score columns contribute exact `+0.0` terms to the value reduction.
 
 use crate::error::LlmError;
 use crate::init::gaussian_matrix;
 use crate::tensor::Matrix;
 use rand::rngs::StdRng;
+
+/// Per-layer key/value cache of one decode stream: the projected K and V rows of
+/// every position processed so far, stored full-width (heads concatenated, exactly
+/// as [`MultiHeadAttention::forward`] lays them out before head slicing).
+///
+/// Storage is preallocated at `capacity × E`, so appending rows during decode never
+/// allocates. One cache belongs to one attention layer of one stream; a
+/// [`DecodeContext`](crate::model::DecodeContext) owns one per block.
+#[derive(Debug, Clone)]
+pub struct AttentionKvCache {
+    keys: Matrix,
+    values: Matrix,
+    len: usize,
+}
+
+/// Equality is *logical*: two caches are equal when they hold the same live K/V
+/// rows (same width, same length). Capacity and stale storage beyond `len` —
+/// e.g. rows retained by [`AttentionKvCache::clear`] — do not participate.
+impl PartialEq for AttentionKvCache {
+    fn eq(&self, other: &Self) -> bool {
+        let live = self.len * self.keys.cols();
+        self.len == other.len
+            && self.keys.cols() == other.keys.cols()
+            && self.keys.as_slice()[..live] == other.keys.as_slice()[..live]
+            && self.values.as_slice()[..live] == other.values.as_slice()[..live]
+    }
+}
+
+impl AttentionKvCache {
+    /// Creates an empty cache with room for `capacity` positions of an
+    /// `embedding_dim`-wide attention layer.
+    #[must_use]
+    pub fn new(capacity: usize, embedding_dim: usize) -> Self {
+        Self {
+            keys: Matrix::zeros(capacity, embedding_dim),
+            values: Matrix::zeros(capacity, embedding_dim),
+            len: 0,
+        }
+    }
+
+    /// Number of positions cached so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no position has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of positions the cache can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.keys.rows()
+    }
+
+    /// Width of the cached rows.
+    #[must_use]
+    pub fn embedding_dim(&self) -> usize {
+        self.keys.cols()
+    }
+
+    /// Forgets every cached position (the storage is retained), as at the start of
+    /// a new sequence.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Appends projected key/value rows for the next positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the rows do not fit the remaining
+    /// capacity or have the wrong width.
+    fn append(&mut self, keys: &Matrix, values: &Matrix) -> Result<(), LlmError> {
+        self.keys.set_rows(self.len, keys)?;
+        self.values.set_rows(self.len, values)?;
+        self.len += keys.rows();
+        Ok(())
+    }
+}
 
 /// A multi-head causal self-attention layer with full (not KV-cached) computation.
 ///
@@ -108,6 +200,75 @@ impl MultiHeadAttention {
         concat.matmul(&self.w_output)
     }
 
+    /// Runs causal self-attention incrementally: projects the `new × E` input rows,
+    /// appends their K/V rows to `cache`, and attends the new query rows against
+    /// the whole cache (prefix plus the rows just appended). Returns the `new × E`
+    /// output for the new positions only.
+    ///
+    /// Passing the entire sequence through one call (prefill) is bit-identical to
+    /// [`MultiHeadAttention::forward`]; passing it in chunks (decode) is
+    /// bit-identical to recomputing the full prefix and keeping the last rows,
+    /// because every kernel involved reduces in the same order either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the input width differs from the
+    /// configured embedding dimension, the cache was built for a different width,
+    /// or the new rows exceed the cache capacity.
+    pub fn forward_cached(
+        &self,
+        input: &Matrix,
+        cache: &mut AttentionKvCache,
+    ) -> Result<Matrix, LlmError> {
+        if input.cols() != self.embedding_dim || cache.embedding_dim() != self.embedding_dim {
+            return Err(LlmError::ShapeMismatch {
+                op: "attention forward_cached",
+                lhs: input.shape(),
+                rhs: (cache.capacity(), cache.embedding_dim()),
+            });
+        }
+        let offset = cache.len();
+        let new = input.rows();
+        let total = offset + new;
+        if total > cache.capacity() {
+            return Err(LlmError::ShapeMismatch {
+                op: "attention forward_cached (capacity)",
+                lhs: (total, self.embedding_dim),
+                rhs: (cache.capacity(), cache.embedding_dim()),
+            });
+        }
+        let queries = input.matmul(&self.w_query)?;
+        let new_keys = input.matmul(&self.w_key)?;
+        let new_values = input.matmul(&self.w_value)?;
+        cache.append(&new_keys, &new_values)?;
+
+        let head_dim = self.head_dim();
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let mut concat = Matrix::zeros(new, self.embedding_dim);
+
+        // Scratch reused across heads, exactly like the full path; `k`/`v` view the
+        // populated cache prefix (cached rows plus the ones just appended).
+        let mut q = Matrix::zeros(new, head_dim);
+        let mut k = Matrix::zeros(total, head_dim);
+        let mut v = Matrix::zeros(total, head_dim);
+        let mut scores = Matrix::zeros(new, total);
+        let mut head_out = Matrix::zeros(new, head_dim);
+
+        for head in 0..self.num_heads {
+            let col_start = head * head_dim;
+            queries.columns_into(col_start, head_dim, &mut q)?;
+            cache.keys.window_into(0, col_start, &mut k)?;
+            cache.values.window_into(0, col_start, &mut v)?;
+
+            q.matmul_transposed_into(&k, &mut scores)?;
+            scores.scale_in_place(scale);
+            scores.causal_softmax_rows_offset(offset);
+            scores.matmul_into(&v, &mut head_out)?;
+            concat.set_columns(col_start, &head_out)?;
+        }
+        concat.matmul(&self.w_output)
+    }
+
     /// Number of multiply-accumulate operations for a sequence of the given length,
     /// used by the analytic runtime model.
     #[must_use]
@@ -116,6 +277,19 @@ impl MultiHeadAttention {
         let s = seq_len as u64;
         // Four projections plus the two score/value matmuls.
         4 * s * e * e + 2 * s * s * e
+    }
+
+    /// Multiply-accumulate operations of one KV-cached decode step: processing the
+    /// single token at position `seq_len - 1` with `seq_len - 1` positions already
+    /// cached. Affine in `seq_len` (four one-row projections plus two
+    /// length-`seq_len` score/value reductions per head), where the full-recompute
+    /// path pays [`MultiHeadAttention::mac_count`]`(seq_len)` — quadratic — for the
+    /// same token.
+    #[must_use]
+    pub fn mac_count_decode_step(&self, seq_len: usize) -> u64 {
+        let e = self.embedding_dim as u64;
+        let s = seq_len as u64;
+        4 * e * e + 2 * s * e
     }
 }
 
@@ -196,5 +370,98 @@ mod tests {
         let attn = attention(32, 4);
         assert!(attn.mac_count(64) > attn.mac_count(32));
         assert_eq!(attn.mac_count(1), 4 * 32 * 32 + 2 * 32);
+    }
+
+    #[test]
+    fn cached_prefill_is_bit_identical_to_the_full_path() {
+        let attn = attention(32, 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let input = crate::init::gaussian_matrix(&mut rng, 6, 32, 1.0);
+        let full = attn.forward(&input).unwrap();
+        let mut cache = AttentionKvCache::new(8, 32);
+        let cached = attn.forward_cached(&input, &mut cache).unwrap();
+        assert_eq!(full, cached);
+        assert_eq!(cache.len(), 6);
+        assert!(!cache.is_empty());
+        assert_eq!(cache.capacity(), 8);
+        assert_eq!(cache.embedding_dim(), 32);
+    }
+
+    #[test]
+    fn incremental_decode_matches_full_recompute_bit_for_bit() {
+        // Feed the sequence token by token; every step's output row must equal the
+        // last row of a full forward pass over the prefix so far.
+        let attn = attention(16, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = crate::init::gaussian_matrix(&mut rng, 5, 16, 1.0);
+        let mut cache = AttentionKvCache::new(5, 16);
+        for step in 0..5 {
+            let mut row = Matrix::zeros(1, 16);
+            row.row_mut(0).copy_from_slice(input.row(step));
+            let out = attn.forward_cached(&row, &mut cache).unwrap();
+            let mut prefix = Matrix::zeros(step + 1, 16);
+            for p in 0..=step {
+                prefix.row_mut(p).copy_from_slice(input.row(p));
+            }
+            let oracle = attn.forward(&prefix).unwrap();
+            assert_eq!(out.row(0), oracle.row(step), "step {step}");
+        }
+        assert_eq!(cache.len(), 5);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_path_rejects_bad_shapes_and_overflow() {
+        let attn = attention(16, 2);
+        let mut cache = AttentionKvCache::new(2, 16);
+        assert!(attn
+            .forward_cached(&Matrix::zeros(1, 8), &mut cache)
+            .is_err());
+        let mut narrow = AttentionKvCache::new(4, 8);
+        assert!(attn
+            .forward_cached(&Matrix::zeros(1, 16), &mut narrow)
+            .is_err());
+        assert!(attn
+            .forward_cached(&Matrix::zeros(3, 16), &mut cache)
+            .is_err());
+        attn.forward_cached(&Matrix::zeros(2, 16), &mut cache)
+            .unwrap();
+        assert!(attn
+            .forward_cached(&Matrix::zeros(1, 16), &mut cache)
+            .is_err());
+    }
+
+    #[test]
+    fn cache_equality_ignores_stale_storage_and_capacity() {
+        let attn = attention(16, 2);
+        let mut rng = StdRng::seed_from_u64(8);
+        let old = crate::init::gaussian_matrix(&mut rng, 4, 16, 1.0);
+        let fresh = crate::init::gaussian_matrix(&mut rng, 2, 16, 1.0);
+        // `reused` keeps stale rows from a previous stream after clear(); `clean`
+        // never saw them. Logically the two caches are the same stream state.
+        let mut reused = AttentionKvCache::new(6, 16);
+        attn.forward_cached(&old, &mut reused).unwrap();
+        reused.clear();
+        attn.forward_cached(&fresh, &mut reused).unwrap();
+        let mut clean = AttentionKvCache::new(4, 16);
+        attn.forward_cached(&fresh, &mut clean).unwrap();
+        assert_eq!(reused, clean);
+        // Different live content still compares unequal.
+        let mut other = AttentionKvCache::new(4, 16);
+        attn.forward_cached(&old, &mut other).unwrap();
+        assert_ne!(clean, other);
+    }
+
+    #[test]
+    fn decode_step_macs_are_affine_in_sequence_length() {
+        let attn = attention(32, 4);
+        // Second difference of an affine function is zero: O(seq) per token.
+        let d1 = attn.mac_count_decode_step(64) - attn.mac_count_decode_step(32);
+        let d2 = attn.mac_count_decode_step(96) - attn.mac_count_decode_step(64);
+        assert_eq!(d1, d2);
+        // The full-recompute cost of the same token is quadratic and much larger.
+        assert!(attn.mac_count(256) > 16 * attn.mac_count_decode_step(256));
+        assert_eq!(attn.mac_count_decode_step(1), 4 * 32 * 32 + 2 * 32);
     }
 }

@@ -1,6 +1,6 @@
 //! A Pre-LN transformer block: `x + Attn(Norm(x))` followed by `x + MLP(Norm(x))`.
 
-use crate::attention::MultiHeadAttention;
+use crate::attention::{AttentionKvCache, MultiHeadAttention};
 use crate::config::{ModelConfig, NormKind};
 use crate::error::LlmError;
 use crate::init::{depth_gain, gaussian_vector};
@@ -100,6 +100,52 @@ impl TransformerBlock {
         Ok(out)
     }
 
+    /// Runs the block incrementally over the `new × E` hidden-state rows of the
+    /// newest positions, attending against (and appending to) the block's KV
+    /// `cache`. Normalization, residuals and the MLP are row-local, so only the new
+    /// rows flow through them; the attention sublayer is the only place the prefix
+    /// is consulted. Bit-identical to [`TransformerBlock::forward`] over the full
+    /// prefix, restricted to the new rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] if the hidden-state width is
+    /// inconsistent with the block's weights or the rows exceed the cache capacity.
+    pub fn forward_cached<N: Normalizer + ?Sized>(
+        &self,
+        hidden: &Matrix,
+        normalizer: &mut N,
+        cache: &mut AttentionKvCache,
+    ) -> Result<Matrix, LlmError> {
+        if hidden.cols() != self.gamma_attn.len() {
+            return Err(LlmError::ShapeMismatch {
+                op: "block forward_cached",
+                lhs: hidden.shape(),
+                rhs: (self.gamma_attn.len(), self.gamma_attn.len()),
+            });
+        }
+        let normed_attn = self.apply_norm(
+            hidden,
+            normalizer,
+            self.first_norm_index(),
+            &self.gamma_attn,
+            &self.beta_attn,
+        );
+        let mut after_attn = self.attention.forward_cached(&normed_attn, cache)?;
+        after_attn.add_assign(hidden)?;
+
+        let normed_mlp = self.apply_norm(
+            &after_attn,
+            normalizer,
+            self.first_norm_index() + 1,
+            &self.gamma_mlp,
+            &self.beta_mlp,
+        );
+        let mut out = self.mlp.forward(&normed_mlp)?;
+        out.add_assign(&after_attn)?;
+        Ok(out)
+    }
+
     /// Normalizes all rows at one site through the batched normalizer API (one call
     /// per site, so the normalizer can hoist per-site decisions out of the row loop).
     fn apply_norm<N: Normalizer + ?Sized>(
@@ -121,6 +167,15 @@ impl TransformerBlock {
     #[must_use]
     pub fn mac_count(&self, seq_len: usize) -> u64 {
         self.attention.mac_count(seq_len) + self.mlp.mac_count(seq_len)
+    }
+
+    /// Multiply-accumulate count of one KV-cached decode step at sequence length
+    /// `seq_len`: one token through the MLP plus the incremental attention cost.
+    /// Affine in `seq_len`, where a full-recompute step pays
+    /// [`TransformerBlock::mac_count`]`(seq_len)`.
+    #[must_use]
+    pub fn mac_count_decode_step(&self, seq_len: usize) -> u64 {
+        self.attention.mac_count_decode_step(seq_len) + self.mlp.mac_count(1)
     }
 }
 
@@ -203,5 +258,42 @@ mod tests {
         let b = block(0);
         assert!(b.mac_count(16) > 0);
         assert!(b.mac_count(32) > b.mac_count(16));
+    }
+
+    #[test]
+    fn cached_block_matches_full_forward_row_by_row() {
+        let b = block(1);
+        let mut rng = StdRng::seed_from_u64(11);
+        let hidden = crate::init::gaussian_matrix(&mut rng, 5, 32, 1.0);
+        let full = b.forward(&hidden, &mut ReferenceNormalizer::new()).unwrap();
+        // Prefill rows 0..3 in one call, then decode rows 3 and 4 one at a time.
+        let mut cache = AttentionKvCache::new(5, 32);
+        let mut prefix = Matrix::zeros(3, 32);
+        for row in 0..3 {
+            prefix.row_mut(row).copy_from_slice(hidden.row(row));
+        }
+        let mut norm = ReferenceNormalizer::new();
+        let prefill = b.forward_cached(&prefix, &mut norm, &mut cache).unwrap();
+        for row in 0..3 {
+            assert_eq!(prefill.row(row), full.row(row), "prefill row {row}");
+        }
+        for step in 3..5 {
+            let mut row = Matrix::zeros(1, 32);
+            row.row_mut(0).copy_from_slice(hidden.row(step));
+            let out = b.forward_cached(&row, &mut norm, &mut cache).unwrap();
+            assert_eq!(out.row(0), full.row(step), "decode row {step}");
+        }
+        assert!(b
+            .forward_cached(&Matrix::zeros(1, 16), &mut norm, &mut cache)
+            .is_err());
+    }
+
+    #[test]
+    fn block_decode_step_macs_are_affine_in_sequence_length() {
+        let b = block(0);
+        let d1 = b.mac_count_decode_step(64) - b.mac_count_decode_step(32);
+        let d2 = b.mac_count_decode_step(96) - b.mac_count_decode_step(64);
+        assert_eq!(d1, d2);
+        assert!(b.mac_count(128) > b.mac_count_decode_step(128));
     }
 }

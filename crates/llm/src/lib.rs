@@ -27,7 +27,10 @@
 //! * [`runtime`] — an analytic GPU runtime-breakdown model reproducing Fig. 1(b).
 //! * [`streaming`] — [`StreamingModel`], a greedy decode stream that pushes every
 //!   normalization site of each step through any [`Normalizer`] — including a
-//!   serving-layer session sharing one batched engine across many streams.
+//!   serving-layer session sharing one batched engine across many streams. Streams
+//!   ride the incremental forward-pass API ([`TransformerModel::start_decode`] /
+//!   [`DecodeContext`], per-block [`AttentionKvCache`]s) so decode is O(seq) per
+//!   token; the full-recompute path is kept as the parity oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,9 +52,10 @@ pub mod synthetic;
 pub mod tasks;
 pub mod tensor;
 
+pub use attention::AttentionKvCache;
 pub use config::{ModelConfig, ModelFamily, NormKind};
 pub use error::LlmError;
-pub use model::TransformerModel;
+pub use model::{DecodeContext, TransformerModel};
 pub use norm::{LayerNorm, Normalizer, RmsNorm};
 pub use streaming::StreamingModel;
 pub use tensor::Matrix;

@@ -1,5 +1,16 @@
 //! The decoder-only transformer model tying embeddings, blocks and the final norm together.
+//!
+//! Two forward-pass APIs coexist:
+//!
+//! * the stateless full-sequence calls ([`TransformerModel::logits`] and friends),
+//!   which recompute the whole prefix every time — the reference oracle;
+//! * the stateful incremental API: [`TransformerModel::start_decode`] creates a
+//!   [`DecodeContext`] owning one [`AttentionKvCache`] per block, and
+//!   [`DecodeContext::prefill`] / [`DecodeContext::step`] advance it with O(seq)
+//!   work per token instead of O(seq²). The two are bit-identical (see
+//!   `tests/kv_decode.rs`).
 
+use crate::attention::AttentionKvCache;
 use crate::block::TransformerBlock;
 use crate::config::ModelConfig;
 use crate::error::LlmError;
@@ -95,6 +106,12 @@ impl TransformerModel {
                 max: self.config.max_seq_len,
             });
         }
+        self.check_vocab(tokens)
+    }
+
+    /// The vocabulary half of token validation, shared by the stateless path and
+    /// [`DecodeContext`] (whose length check is position-offset-aware instead).
+    fn check_vocab(&self, tokens: &[u32]) -> Result<(), LlmError> {
         for &t in tokens {
             if t as usize >= self.config.vocab_size {
                 return Err(LlmError::TokenOutOfRange {
@@ -104,6 +121,39 @@ impl TransformerModel {
             }
         }
         Ok(())
+    }
+
+    /// Embeds `tokens` at absolute positions `position_offset..` — the shared
+    /// entry of the stateless forward pass (`position_offset == 0`) and the
+    /// incremental one, so the two can never disagree on the embedding rule.
+    fn embed_rows(&self, tokens: &[u32], position_offset: usize) -> Matrix {
+        let e = self.config.embedding_dim;
+        let mut hidden = Matrix::zeros(tokens.len(), e);
+        for (row, &token) in tokens.iter().enumerate() {
+            let tok_row = self.token_embedding.row(token as usize);
+            let pos_row = self.position_embedding.row(position_offset + row);
+            for (col, value) in hidden.row_mut(row).iter_mut().enumerate() {
+                *value = tok_row[col] + pos_row[col];
+            }
+        }
+        hidden
+    }
+
+    /// Applies the optional final normalization layer — shared by the stateless
+    /// and incremental paths so the final `NormSite` index stays in one place.
+    fn apply_final_norm<N: Normalizer + ?Sized>(
+        &self,
+        hidden: Matrix,
+        normalizer: &mut N,
+    ) -> Matrix {
+        if !self.config.final_norm {
+            return hidden;
+        }
+        let site = NormSite {
+            layer_index: 2 * self.blocks.len(),
+            kind: self.config.norm_kind(),
+        };
+        normalizer.normalize_matrix(site, &hidden, &self.final_gamma, &self.final_beta)
     }
 
     /// Runs the model up to (and including) the final normalization layer, returning the
@@ -119,27 +169,11 @@ impl TransformerModel {
     ) -> Result<Matrix, LlmError> {
         self.validate_tokens(tokens)?;
         normalizer.begin_sequence();
-        let e = self.config.embedding_dim;
-        let mut hidden = Matrix::zeros(tokens.len(), e);
-        for (pos, &token) in tokens.iter().enumerate() {
-            let tok_row = self.token_embedding.row(token as usize);
-            let pos_row = self.position_embedding.row(pos);
-            for (col, value) in hidden.row_mut(pos).iter_mut().enumerate() {
-                *value = tok_row[col] + pos_row[col];
-            }
-        }
+        let mut hidden = self.embed_rows(tokens, 0);
         for block in &self.blocks {
             hidden = block.forward(&hidden, normalizer)?;
         }
-        if self.config.final_norm {
-            let site = NormSite {
-                layer_index: 2 * self.blocks.len(),
-                kind: self.config.norm_kind(),
-            };
-            hidden =
-                normalizer.normalize_matrix(site, &hidden, &self.final_gamma, &self.final_beta);
-        }
-        Ok(hidden)
+        Ok(self.apply_final_norm(hidden, normalizer))
     }
 
     /// Runs the model and projects onto the (tied) vocabulary, returning `seq × vocab`
@@ -226,6 +260,205 @@ impl TransformerModel {
         let head_macs =
             seq_len as u64 * self.config.embedding_dim as u64 * self.config.vocab_size as u64;
         block_macs + head_macs
+    }
+
+    /// Multiply-accumulate count of one KV-cached decode step at sequence length
+    /// `seq_len` (one new token, `seq_len - 1` cached positions): incremental
+    /// attention plus one token through every MLP and the vocabulary head. Affine
+    /// in `seq_len`; the stateless API pays [`TransformerModel::mac_count`]
+    /// `(seq_len)` — quadratic in attention, linear everywhere else — for the same
+    /// token.
+    #[must_use]
+    pub fn mac_count_decode_step(&self, seq_len: usize) -> u64 {
+        let block_macs: u64 = self
+            .blocks
+            .iter()
+            .map(|b| b.mac_count_decode_step(seq_len))
+            .sum();
+        let head_macs = self.config.embedding_dim as u64 * self.config.vocab_size as u64;
+        block_macs + head_macs
+    }
+
+    /// Starts an incremental decode stream: a [`DecodeContext`] with one empty
+    /// KV cache per block, sized for the model's maximum sequence length.
+    #[must_use]
+    pub fn start_decode(&self) -> DecodeContext<'_> {
+        let e = self.config.embedding_dim;
+        let capacity = self.config.max_seq_len;
+        DecodeContext {
+            model: self,
+            caches: self
+                .blocks
+                .iter()
+                .map(|_| AttentionKvCache::new(capacity, e))
+                .collect(),
+            len: 0,
+        }
+    }
+}
+
+/// The stateful side of the incremental forward-pass API: one decode stream's
+/// per-block KV caches plus its position counter.
+///
+/// A context is created by [`TransformerModel::start_decode`], filled with the
+/// prompt by [`DecodeContext::prefill`], and advanced one token at a time by
+/// [`DecodeContext::step`] — each step costs O(seq) instead of the O(seq²) a
+/// stateless [`TransformerModel::logits`] call pays. Both entry points run the new
+/// rows through the given [`Normalizer`] exactly as a fresh full forward pass
+/// would (including [`Normalizer::begin_sequence`]), so stateful normalizers — the
+/// HAAN skip predictor, a serving-engine session — observe the same per-site
+/// call pattern for the new token as under full recompute, and the produced
+/// logits are bit-identical to it.
+///
+/// # Example
+///
+/// ```
+/// use haan_llm::norm::ReferenceNormalizer;
+/// use haan_llm::{ModelConfig, TransformerModel};
+///
+/// let model = TransformerModel::new(&ModelConfig::tiny_test(), 42)?;
+/// let mut ctx = model.start_decode();
+/// let mut norm = ReferenceNormalizer::new();
+/// let prompt_logits = ctx.prefill(&[1, 5, 9], &mut norm)?;
+/// // Bit-identical to the stateless full-sequence call.
+/// let oracle = model.logits(&[1, 5, 9], &mut ReferenceNormalizer::new())?;
+/// assert_eq!(prompt_logits, oracle);
+/// // One more token costs O(seq), not a full recompute.
+/// let step_logits = ctx.step(3, &mut norm)?;
+/// assert_eq!(step_logits.len(), 64);
+/// assert_eq!(ctx.len(), 4);
+/// # Ok::<(), haan_llm::LlmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodeContext<'m> {
+    model: &'m TransformerModel,
+    /// One KV cache per transformer block, in block order.
+    caches: Vec<AttentionKvCache>,
+    /// Number of positions processed so far.
+    len: usize,
+}
+
+impl<'m> DecodeContext<'m> {
+    /// The model this context decodes with.
+    #[must_use]
+    pub fn model(&self) -> &'m TransformerModel {
+        self.model
+    }
+
+    /// Number of positions already processed (prompt plus generated).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no position has been processed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remaining positions before the model's maximum sequence length.
+    #[must_use]
+    pub fn remaining_capacity(&self) -> usize {
+        self.model.config.max_seq_len - self.len
+    }
+
+    /// Forgets the stream: clears every block's KV cache (retaining the storage)
+    /// and rewinds the position counter, ready for a fresh prompt.
+    pub fn reset(&mut self) {
+        for cache in &mut self.caches {
+            cache.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Feeds the next `tokens` through the model in one batched incremental pass,
+    /// returning the `tokens.len() × vocab` logits of the new positions. Called
+    /// once with the whole prompt this is the prefill phase; [`DecodeContext::step`]
+    /// is the one-token special case.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::InvalidSequenceLength`] when `tokens` is empty or would
+    /// grow the stream past the model's maximum sequence length,
+    /// [`LlmError::TokenOutOfRange`] for out-of-vocabulary tokens, and any
+    /// forward-pass shape error.
+    pub fn prefill<N: Normalizer + ?Sized>(
+        &mut self,
+        tokens: &[u32],
+        normalizer: &mut N,
+    ) -> Result<Matrix, LlmError> {
+        let hidden = self.advance(tokens, normalizer)?;
+        hidden.matmul_transposed(&self.model.token_embedding)
+    }
+
+    /// Feeds the next `tokens` and returns only the *final* position's logits —
+    /// the greedy-decode prefill entry. Hidden states still advance for every
+    /// token (their K/V rows land in the caches), but only the last row is
+    /// projected onto the vocabulary, saving the `(n-1) × E × vocab` MACs
+    /// [`DecodeContext::prefill`] spends on rows a decode loop discards. The
+    /// projection is row-local, so the returned row is bit-identical to the last
+    /// row of [`DecodeContext::prefill`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DecodeContext::prefill`].
+    pub fn prefill_last<N: Normalizer + ?Sized>(
+        &mut self,
+        tokens: &[u32],
+        normalizer: &mut N,
+    ) -> Result<Vec<f32>, LlmError> {
+        let hidden = self.advance(tokens, normalizer)?;
+        let mut last = Matrix::zeros(1, hidden.cols());
+        last.row_mut(0)
+            .copy_from_slice(hidden.row(hidden.rows() - 1));
+        let logits = last.matmul_transposed(&self.model.token_embedding)?;
+        Ok(logits.row(0).to_vec())
+    }
+
+    /// Feeds one token and returns the logits row predicting its successor.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DecodeContext::prefill`].
+    pub fn step<N: Normalizer + ?Sized>(
+        &mut self,
+        token: u32,
+        normalizer: &mut N,
+    ) -> Result<Vec<f32>, LlmError> {
+        self.prefill_last(&[token], normalizer)
+    }
+
+    /// Embeds the new tokens at their absolute positions and runs them through
+    /// every block's cached path plus the final norm, returning the new rows'
+    /// hidden states.
+    fn advance<N: Normalizer + ?Sized>(
+        &mut self,
+        tokens: &[u32],
+        normalizer: &mut N,
+    ) -> Result<Matrix, LlmError> {
+        let config = &self.model.config;
+        if tokens.is_empty() {
+            return Err(LlmError::InvalidSequenceLength {
+                length: 0,
+                max: config.max_seq_len,
+            });
+        }
+        if self.len + tokens.len() > config.max_seq_len {
+            return Err(LlmError::InvalidSequenceLength {
+                length: self.len + tokens.len(),
+                max: config.max_seq_len,
+            });
+        }
+        self.model.check_vocab(tokens)?;
+        normalizer.begin_sequence();
+        let mut hidden = self.model.embed_rows(tokens, self.len);
+        for (block, cache) in self.model.blocks.iter().zip(&mut self.caches) {
+            hidden = block.forward_cached(&hidden, normalizer, cache)?;
+        }
+        let hidden = self.model.apply_final_norm(hidden, normalizer);
+        self.len += tokens.len();
+        Ok(hidden)
     }
 }
 
@@ -341,5 +574,96 @@ mod tests {
     fn mac_count_scales_with_sequence_length() {
         let model = tiny_model();
         assert!(model.mac_count(16) > model.mac_count(8));
+    }
+
+    #[test]
+    fn decode_step_macs_are_linear_per_token() {
+        // The cached decode step is affine in sequence length (zero second
+        // difference), i.e. O(seq) work per token; the stateless path's cost for
+        // the same token grows quadratically.
+        let model = tiny_model();
+        let d1 = model.mac_count_decode_step(16) - model.mac_count_decode_step(8);
+        let d2 = model.mac_count_decode_step(24) - model.mac_count_decode_step(16);
+        assert_eq!(d1, d2, "decode-step MACs must be affine in seq_len");
+        let full_d1 = model.mac_count(16) - model.mac_count(8);
+        let full_d2 = model.mac_count(24) - model.mac_count(16);
+        assert!(
+            full_d2 > full_d1,
+            "full-recompute MACs must grow superlinearly"
+        );
+        assert!(model.mac_count(32) > model.mac_count_decode_step(32));
+    }
+
+    #[test]
+    fn decode_context_prefill_matches_stateless_logits() {
+        let model = tiny_model();
+        let tokens = [3u32, 7, 11, 13, 2];
+        let mut ctx = model.start_decode();
+        assert!(ctx.is_empty());
+        let cached = ctx
+            .prefill(&tokens, &mut ReferenceNormalizer::new())
+            .unwrap();
+        let oracle = model
+            .logits(&tokens, &mut ReferenceNormalizer::new())
+            .unwrap();
+        assert_eq!(cached, oracle);
+        assert_eq!(ctx.len(), 5);
+        assert_eq!(ctx.model().seed(), model.seed());
+        assert_eq!(ctx.remaining_capacity(), model.config().max_seq_len - 5);
+    }
+
+    #[test]
+    fn prefill_last_is_the_last_row_of_prefill() {
+        let model = tiny_model();
+        let tokens = [1u32, 8, 2, 19];
+        let mut full_ctx = model.start_decode();
+        let full = full_ctx
+            .prefill(&tokens, &mut ReferenceNormalizer::new())
+            .unwrap();
+        let mut last_ctx = model.start_decode();
+        let last = last_ctx
+            .prefill_last(&tokens, &mut ReferenceNormalizer::new())
+            .unwrap();
+        assert_eq!(last.as_slice(), full.row(tokens.len() - 1));
+        assert_eq!(last_ctx.len(), full_ctx.len());
+    }
+
+    #[test]
+    fn decode_context_steps_match_full_recompute() {
+        let model = tiny_model();
+        let mut ctx = model.start_decode();
+        let mut norm = ReferenceNormalizer::new();
+        let mut tokens = vec![5u32];
+        ctx.prefill(&tokens, &mut norm).unwrap();
+        for &next in &[9u32, 1, 30, 12] {
+            tokens.push(next);
+            let stepped = ctx.step(next, &mut norm).unwrap();
+            let oracle = model
+                .logits(&tokens, &mut ReferenceNormalizer::new())
+                .unwrap();
+            assert_eq!(stepped.as_slice(), oracle.row(tokens.len() - 1));
+        }
+        ctx.reset();
+        assert!(ctx.is_empty());
+        // After a reset the context replays a fresh stream bit-identically.
+        let replay = ctx.prefill(&tokens, &mut norm).unwrap();
+        let oracle = model
+            .logits(&tokens, &mut ReferenceNormalizer::new())
+            .unwrap();
+        assert_eq!(replay, oracle);
+    }
+
+    #[test]
+    fn decode_context_validates_tokens_and_capacity() {
+        let model = tiny_model();
+        let mut ctx = model.start_decode();
+        let mut norm = ReferenceNormalizer::new();
+        assert!(ctx.prefill(&[], &mut norm).is_err());
+        assert!(ctx.prefill(&[999], &mut norm).is_err());
+        let max = model.config().max_seq_len;
+        let full: Vec<u32> = (0..max as u32).map(|i| i % 8).collect();
+        ctx.prefill(&full, &mut norm).unwrap();
+        assert_eq!(ctx.remaining_capacity(), 0);
+        assert!(ctx.step(0, &mut norm).is_err());
     }
 }

@@ -3,13 +3,15 @@
 //! [`StreamingModel`] holds the growing token buffer of one decode stream and
 //! advances it one token per [`StreamingModel::decode_step`] call through any
 //! [`Normalizer`] — including a serving-layer session, which is how many concurrent
-//! decode streams share one batched normalization engine. Each step re-runs the full
-//! forward pass (there is no KV cache yet; see `ROADMAP.md`), so every normalization
-//! site sees the whole `seq × E` hidden-state matrix and streams through the batched
-//! [`Normalizer::normalize_matrix_into`] entry point.
+//! decode streams share one batched normalization engine. By default the stream
+//! rides a [`DecodeContext`]: the prompt is prefilled into per-block KV caches on
+//! the first step and every later step feeds exactly one token, so per-step work is
+//! O(seq) instead of the O(seq²) full recompute. The old full-prefix path is kept
+//! as the parity oracle behind [`StreamingModel::new_full_recompute`]; the two
+//! generate bit-identical tokens (see `tests/kv_decode.rs`).
 
 use crate::error::LlmError;
-use crate::model::TransformerModel;
+use crate::model::{DecodeContext, TransformerModel};
 use crate::norm::Normalizer;
 
 /// One greedy decode stream over a shared model.
@@ -32,21 +34,45 @@ use crate::norm::Normalizer;
 #[derive(Debug, Clone)]
 pub struct StreamingModel<'m> {
     model: &'m TransformerModel,
+    /// KV-cached decode state; `None` selects the full-prefix-recompute oracle.
+    /// Its `len()` is the number of leading tokens already fed, so the unfed
+    /// suffix of `tokens` is always `tokens[context.len()..]` — no second
+    /// counter to keep in sync.
+    context: Option<DecodeContext<'m>>,
     tokens: Vec<u32>,
     prompt_len: usize,
 }
 
 impl<'m> StreamingModel<'m> {
-    /// Starts a decode stream from a prompt.
+    /// Starts a KV-cached decode stream from a prompt: the prompt is prefilled
+    /// into the stream's [`DecodeContext`] on the first
+    /// [`StreamingModel::decode_step`] and each later step feeds one token.
     ///
     /// # Errors
     ///
     /// Returns [`LlmError::InvalidSequenceLength`] or [`LlmError::TokenOutOfRange`]
     /// when the prompt is empty, too long, or out of vocabulary.
     pub fn new(model: &'m TransformerModel, prompt: &[u32]) -> Result<Self, LlmError> {
+        let mut stream = Self::new_full_recompute(model, prompt)?;
+        stream.context = Some(model.start_decode());
+        Ok(stream)
+    }
+
+    /// Starts a decode stream that re-runs the full prefix every step — the
+    /// stateless oracle the cached path is tested against. Same greedy decoding,
+    /// same contract, O(seq²) per step.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`StreamingModel::new`].
+    pub fn new_full_recompute(
+        model: &'m TransformerModel,
+        prompt: &[u32],
+    ) -> Result<Self, LlmError> {
         model.validate_tokens(prompt)?;
         Ok(Self {
             model,
+            context: None,
             tokens: prompt.to_vec(),
             prompt_len: prompt.len(),
         })
@@ -56,6 +82,13 @@ impl<'m> StreamingModel<'m> {
     #[must_use]
     pub fn model(&self) -> &'m TransformerModel {
         self.model
+    }
+
+    /// True when the stream advances through a KV cache instead of recomputing the
+    /// full prefix every step.
+    #[must_use]
+    pub fn is_cached(&self) -> bool {
+        self.context.is_some()
     }
 
     /// The full token buffer: prompt followed by generated tokens.
@@ -85,13 +118,15 @@ impl<'m> StreamingModel<'m> {
             .saturating_sub(self.tokens.len())
     }
 
-    /// Runs one greedy decode step: a full forward pass through `normalizer`, the
-    /// arg-max of the final position's logits appended to the stream.
+    /// Runs one greedy decode step: the unprocessed suffix of the token buffer
+    /// (the whole prompt on the first call, one token afterwards) is fed through
+    /// `normalizer`, and the arg-max of the final position's logits is appended to
+    /// the stream. In full-recompute mode the entire buffer is re-run instead.
     ///
     /// # Errors
     ///
-    /// Returns [`LlmError::InvalidSequenceLength`] when the stream is already at the
-    /// model's maximum sequence length, or any forward-pass error.
+    /// Returns [`LlmError::InvalidSequenceLength`] when the stream is already at
+    /// the model's maximum sequence length, or any forward-pass error.
     pub fn decode_step<N: Normalizer + ?Sized>(
         &mut self,
         normalizer: &mut N,
@@ -102,9 +137,20 @@ impl<'m> StreamingModel<'m> {
                 max: self.model.config().max_seq_len,
             });
         }
-        let logits = self.model.logits(&self.tokens, normalizer)?;
-        let last = logits.row(self.tokens.len() - 1);
-        let next = last
+        let last_logits: Vec<f32> = match &mut self.context {
+            None => {
+                let logits = self.model.logits(&self.tokens, normalizer)?;
+                logits.row(self.tokens.len() - 1).to_vec()
+            }
+            Some(context) => {
+                // Feed whatever the context has not seen yet — the prompt on the
+                // first step, exactly one token per step afterwards — projecting
+                // only the final position onto the vocabulary.
+                let pending = &self.tokens[context.len()..];
+                context.prefill_last(pending, normalizer)?
+            }
+        };
+        let next = last_logits
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
@@ -150,6 +196,7 @@ mod tests {
         let mut stream = StreamingModel::new(&model, &prompt).unwrap();
         assert_eq!(stream.prompt_len(), 3);
         assert_eq!(stream.model().seed(), model.seed());
+        assert!(stream.is_cached());
         let mut norm = ReferenceNormalizer::new();
         let next = stream.decode_step(&mut norm).unwrap();
 
@@ -181,16 +228,33 @@ mod tests {
     }
 
     #[test]
+    fn cached_and_full_recompute_streams_generate_identical_tokens() {
+        let model = tiny_model();
+        let prompt = [7u32, 3, 1, 12];
+        let mut cached = StreamingModel::new(&model, &prompt).unwrap();
+        let mut oracle = StreamingModel::new_full_recompute(&model, &prompt).unwrap();
+        assert!(cached.is_cached());
+        assert!(!oracle.is_cached());
+        let from_cache = cached.decode(6, &mut ReferenceNormalizer::new()).unwrap();
+        let from_oracle = oracle.decode(6, &mut ReferenceNormalizer::new()).unwrap();
+        assert_eq!(from_cache, from_oracle);
+    }
+
+    #[test]
     fn decode_stops_at_max_sequence_length() {
         let model = tiny_model();
         let max = model.config().max_seq_len;
         let prompt: Vec<u32> = (0..max as u32 - 1).map(|i| i % 8).collect();
-        let mut stream = StreamingModel::new(&model, &prompt).unwrap();
-        assert_eq!(stream.remaining_capacity(), 1);
-        let mut norm = ReferenceNormalizer::new();
-        stream.decode_step(&mut norm).unwrap();
-        assert_eq!(stream.remaining_capacity(), 0);
-        assert!(stream.decode_step(&mut norm).is_err());
+        for mut stream in [
+            StreamingModel::new(&model, &prompt).unwrap(),
+            StreamingModel::new_full_recompute(&model, &prompt).unwrap(),
+        ] {
+            assert_eq!(stream.remaining_capacity(), 1);
+            let mut norm = ReferenceNormalizer::new();
+            stream.decode_step(&mut norm).unwrap();
+            assert_eq!(stream.remaining_capacity(), 0);
+            assert!(stream.decode_step(&mut norm).is_err());
+        }
     }
 
     #[test]
@@ -198,5 +262,6 @@ mod tests {
         let model = tiny_model();
         assert!(StreamingModel::new(&model, &[]).is_err());
         assert!(StreamingModel::new(&model, &[9999]).is_err());
+        assert!(StreamingModel::new_full_recompute(&model, &[]).is_err());
     }
 }

@@ -414,11 +414,8 @@ impl Matrix {
                 rhs: out.shape(),
             });
         }
-        for row in 0..self.rows {
-            let src = &self.data[row * self.cols + start..row * self.cols + start + width];
-            out.data[row * width..(row + 1) * width].copy_from_slice(src);
-        }
-        Ok(())
+        // A column window is the all-rows special case of the general window copy.
+        self.window_into(0, start, out)
     }
 
     /// Writes `src` (which must be `self.rows() × width`) into the column window
@@ -451,13 +448,75 @@ impl Matrix {
         Ok(())
     }
 
+    /// Copies an `out.rows() × out.cols()` window of `self` starting at
+    /// `(row_start, col_start)` into `out`. The KV-cached attention path uses this
+    /// to slice a per-head key/value panel out of the populated prefix of a cache
+    /// matrix without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the window exceeds `self`'s bounds.
+    pub fn window_into(
+        &self,
+        row_start: usize,
+        col_start: usize,
+        out: &mut Matrix,
+    ) -> Result<(), LlmError> {
+        if row_start + out.rows > self.rows || col_start + out.cols > self.cols {
+            return Err(LlmError::ShapeMismatch {
+                op: "window_into",
+                lhs: self.shape(),
+                rhs: (row_start + out.rows, col_start + out.cols),
+            });
+        }
+        for row in 0..out.rows {
+            let src_base = (row_start + row) * self.cols + col_start;
+            out.data[row * out.cols..(row + 1) * out.cols]
+                .copy_from_slice(&self.data[src_base..src_base + out.cols]);
+        }
+        Ok(())
+    }
+
+    /// Writes `src` into the row window `[row_start, row_start + src.rows())` of
+    /// `self` — the row-axis sibling of [`Matrix::set_columns`], used to append
+    /// freshly projected K/V rows into a preallocated cache matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the widths differ or the window
+    /// exceeds `self.rows()`.
+    pub fn set_rows(&mut self, row_start: usize, src: &Matrix) -> Result<(), LlmError> {
+        if src.cols != self.cols || row_start + src.rows > self.rows {
+            return Err(LlmError::ShapeMismatch {
+                op: "set_rows",
+                lhs: self.shape(),
+                rhs: (row_start + src.rows, src.cols),
+            });
+        }
+        let dst_base = row_start * self.cols;
+        self.data[dst_base..dst_base + src.data.len()].copy_from_slice(&src.data);
+        Ok(())
+    }
+
     /// In-place causal row softmax: row `i` only attends to columns `0..=i`.
     /// Columns above the diagonal are set to zero probability.
     pub fn causal_softmax_rows(&mut self) {
+        self.causal_softmax_rows_offset(0);
+    }
+
+    /// In-place causal row softmax for rows that sit `offset` positions into the
+    /// sequence: row `i` of this matrix holds the scores of absolute position
+    /// `offset + i`, so it attends to columns `0..=offset + i`. With `offset == 0`
+    /// this is exactly [`Matrix::causal_softmax_rows`]; the KV-cached decode path
+    /// uses a nonzero offset so freshly appended query rows score causally against
+    /// the whole cache. The reduction order (max, exponentiate, sum, divide, in
+    /// ascending column order) is shared with the zero-offset path, keeping the two
+    /// bit-identical on the positions they both compute.
+    pub fn causal_softmax_rows_offset(&mut self, offset: usize) {
         for i in 0..self.rows {
             let cols = self.cols;
             let row = self.row_mut(i);
-            let limit = (i + 1).min(cols);
+            let limit = (offset + i + 1).min(cols);
             let max = row[..limit]
                 .iter()
                 .fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
@@ -708,6 +767,61 @@ mod tests {
         let mut small = Matrix::zeros(2, 3);
         assert!(small.set_columns(2, &window).is_err());
         assert!(small.set_columns(0, &Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn window_into_copies_interior_blocks() {
+        let m = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0, 4.0],
+            &[5.0, 6.0, 7.0, 8.0],
+            &[9.0, 10.0, 11.0, 12.0],
+        ])
+        .unwrap();
+        let mut window = Matrix::zeros(2, 2);
+        m.window_into(1, 1, &mut window).unwrap();
+        assert_eq!(
+            window,
+            Matrix::from_rows(&[&[6.0, 7.0], &[10.0, 11.0]]).unwrap()
+        );
+        // Row-range-only windows are how the cache prefix is sliced.
+        let mut prefix = Matrix::zeros(2, 4);
+        m.window_into(0, 0, &mut prefix).unwrap();
+        assert_eq!(prefix.row(1), m.row(1));
+        assert!(m.window_into(2, 0, &mut window).is_err());
+        assert!(m.window_into(0, 3, &mut window).is_err());
+    }
+
+    #[test]
+    fn set_rows_appends_into_preallocated_storage() {
+        let mut cache = Matrix::zeros(4, 3);
+        let first = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        let rest = Matrix::from_rows(&[&[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
+        cache.set_rows(0, &first).unwrap();
+        cache.set_rows(1, &rest).unwrap();
+        assert_eq!(cache.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(cache.row(2), &[7.0, 8.0, 9.0]);
+        assert_eq!(cache.row(3), &[0.0, 0.0, 0.0]);
+        assert!(cache.set_rows(3, &rest).is_err());
+        assert!(cache.set_rows(0, &Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn offset_causal_softmax_matches_the_suffix_of_the_full_softmax() {
+        // The bottom two rows of a 4-row causal softmax must be reproducible by a
+        // 2-row matrix at offset 2 — that is exactly the cached-decode contract.
+        let data: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let mut full = Matrix::from_vec(4, 4, data.clone()).unwrap();
+        full.causal_softmax_rows();
+        let mut suffix = Matrix::from_vec(2, 4, data[8..].to_vec()).unwrap();
+        suffix.causal_softmax_rows_offset(2);
+        for row in 0..2 {
+            assert_eq!(suffix.row(row), full.row(row + 2), "row {row}");
+        }
+        // Offsets past the width saturate instead of panicking.
+        let mut wide = Matrix::from_vec(1, 3, vec![0.0, 1.0, 2.0]).unwrap();
+        wide.causal_softmax_rows_offset(10);
+        let sum: f32 = wide.row(0).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
     }
 
     #[test]

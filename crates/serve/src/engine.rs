@@ -211,6 +211,23 @@ impl ServeEngine {
         Session::new(Arc::clone(&self.shared), self.tx.clone())
     }
 
+    /// Starts a KV-cached decode stream over `model`, normalizing through a fresh
+    /// session of this engine: each generated token runs one incremental forward
+    /// pass (per-block K/V caches, O(seq) work) whose normalization sites are
+    /// coalesced with other in-flight streams by the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] when the prompt is empty, too long
+    /// for the model, or out of vocabulary.
+    pub fn decode_stream<'m>(
+        &self,
+        model: &'m haan_llm::TransformerModel,
+        prompt: &[u32],
+    ) -> Result<crate::DecodeStream<'m>, ServeError> {
+        crate::DecodeStream::new(self.session(), model, prompt)
+    }
+
     /// Interns `γ`/`β` parameter vectors, returning the engine-wide shared handle.
     /// Content-equal vectors always return the same `Arc`, which is what makes
     /// requests from different clients coalescible (see

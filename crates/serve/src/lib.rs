@@ -21,6 +21,11 @@
 //!   Sessions implement [`Normalizer`](haan_llm::norm::Normalizer), so a
 //!   [`StreamingModel`](haan_llm::StreamingModel) decode loop can push all its
 //!   normalization sites through the engine unchanged.
+//! * [`DecodeStream`] — a session bundled with a KV-cached
+//!   [`DecodeContext`](haan_llm::DecodeContext)-backed decode loop
+//!   ([`ServeEngine::decode_stream`]): per-token work is O(seq) — the prefix is
+//!   never recomputed — and each step's single-row normalization requests coalesce
+//!   with every other in-flight stream's.
 //! * [`ServingStats`] — per-batch telemetry: batch occupancy, queue-wait
 //!   percentiles, ns/element.
 //!
@@ -55,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod decode;
 pub mod engine;
 pub mod error;
 pub mod request;
@@ -62,6 +68,7 @@ pub mod scheduler;
 pub mod session;
 pub mod telemetry;
 
+pub use decode::DecodeStream;
 pub use engine::{ServeConfig, ServeEngine};
 pub use error::ServeError;
 pub use request::{NormParams, NormRequest, NormResponse, PendingResponse};

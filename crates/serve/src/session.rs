@@ -20,7 +20,10 @@ use std::sync::Arc;
 ///
 /// Sessions also implement the [`Normalizer`] trait, so a whole transformer forward
 /// pass — e.g. [`StreamingModel::decode_step`](haan_llm::StreamingModel) — can push
-/// every normalization site through the serving engine unchanged.
+/// every normalization site through the serving engine unchanged. For token
+/// generation, prefer [`ServeEngine::decode_stream`](crate::ServeEngine::decode_stream),
+/// which pairs a session with a KV-cached [`DecodeContext`](haan_llm::DecodeContext)
+/// so each step submits only the new token's rows instead of the whole prefix.
 #[derive(Debug)]
 pub struct Session {
     shared: Arc<Shared>,

@@ -1,0 +1,231 @@
+//! Parity suite of the stateful incremental forward-pass API: KV-cached decode
+//! (`DecodeContext` / `StreamingModel` / serve-layer `DecodeStream`) must be
+//! **bit-identical** to the stateless full-prefix recompute oracle, over edge
+//! shapes and across HAAN skip-anchor sites.
+//!
+//! Why exact equality is the right bar: every operation outside the attention
+//! score matrix is row-local (embeddings, norms, MLP, residuals, logit
+//! projection), the blocked matmul kernels reduce each output element in
+//! ascending-k order regardless of how many rows are in flight, the offset causal
+//! softmax shares the zero-offset reduction order, and masked score columns
+//! contribute exact `+0.0` terms — so the cached path computes the same floats,
+//! not merely close ones. HAAN's skip predictor keeps the property because its
+//! per-row anchors are recorded and consumed within one pass over the same rows.
+
+use haan::{BackendSelection, HaanConfig, HaanNormalizer, SkipPlan};
+use haan_llm::norm::ReferenceNormalizer;
+use haan_llm::{ModelConfig, StreamingModel, TransformerModel};
+use haan_numerics::Format;
+use haan_serve::{ServeConfig, ServeEngine};
+
+fn model() -> TransformerModel {
+    TransformerModel::new(&ModelConfig::tiny_test(), 42).expect("valid test model")
+}
+
+fn haan_config() -> HaanConfig {
+    // Subsampled FP16 statistics on the fused backend: the serving hot path, and
+    // deterministic whether rows arrive one at a time or as a whole prefix.
+    HaanConfig::builder()
+        .label("kv-decode parity")
+        .subsample(16)
+        .format(Format::Fp16)
+        .backend(BackendSelection::Fused)
+        .build()
+}
+
+/// Skip plans straddling the interesting site boundaries of the 9-site test model
+/// (sites 0..=7 are block norms, site 8 is the final norm): one plan anchored
+/// mid-stack, one whose skip range runs through the final-norm site.
+fn skip_plans() -> [SkipPlan; 2] {
+    let plan = |start: usize, end: usize| SkipPlan {
+        start,
+        end,
+        decay: -0.05,
+        correlation: -1.0,
+        calibration_anchor_log_isd: -0.25,
+    };
+    [plan(2, 5), plan(6, 8)]
+}
+
+#[test]
+fn cached_prefill_matches_stateless_forward_over_edge_shapes() {
+    let model = model();
+    let max = model.config().max_seq_len;
+    let prompts: Vec<Vec<u32>> = vec![
+        vec![5],                                              // single token
+        vec![1, 5, 9],                                        // short
+        (0..max as u32).map(|i| i % 8).collect(),             // exactly max_seq
+        (0..(max as u32 - 1)).map(|i| (i * 3) % 8).collect(), // max_seq - 1
+    ];
+    for prompt in &prompts {
+        // Exact statistics.
+        let mut ctx = model.start_decode();
+        let cached = ctx
+            .prefill(prompt, &mut ReferenceNormalizer::new())
+            .expect("cached prefill");
+        let oracle = model
+            .logits(prompt, &mut ReferenceNormalizer::new())
+            .expect("stateless oracle");
+        assert_eq!(cached, oracle, "reference: prompt len {}", prompt.len());
+
+        // HAAN skipping/subsampling/quantization across both skip plans.
+        for plan in skip_plans() {
+            let mut ctx = model.start_decode();
+            let mut cached_norm = HaanNormalizer::new(haan_config()).with_plan(plan);
+            let cached = ctx.prefill(prompt, &mut cached_norm).expect("haan prefill");
+            let mut oracle_norm = HaanNormalizer::new(haan_config()).with_plan(plan);
+            let oracle = model.logits(prompt, &mut oracle_norm).expect("haan oracle");
+            assert_eq!(
+                cached,
+                oracle,
+                "haan plan ({}, {}): prompt len {}",
+                plan.start,
+                plan.end,
+                prompt.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_steps_match_full_recompute_across_anchor_sites() {
+    // Step the context one token at a time; each step's logits row must equal the
+    // last row of a stateless full-prefix pass, for both exact statistics and a
+    // skip plan whose anchor/skipped boundary the pass crosses every step.
+    let model = model();
+    let tokens: Vec<u32> = vec![3, 7, 11, 13, 2, 9, 31, 4];
+    for plan in skip_plans() {
+        let mut ctx = model.start_decode();
+        let mut cached_norm = HaanNormalizer::new(haan_config()).with_plan(plan);
+        let mut oracle_norm = HaanNormalizer::new(haan_config()).with_plan(plan);
+        ctx.prefill(&tokens[..2], &mut cached_norm)
+            .expect("prefill");
+        for n in 3..=tokens.len() {
+            let stepped = ctx
+                .step(tokens[n - 1], &mut cached_norm)
+                .expect("cached step");
+            let oracle = model
+                .logits(&tokens[..n], &mut oracle_norm)
+                .expect("stateless oracle");
+            assert_eq!(
+                stepped.as_slice(),
+                oracle.row(n - 1),
+                "plan ({}, {}) step {n}",
+                plan.start,
+                plan.end
+            );
+        }
+        // The anchor states both normalizers hold afterwards describe the same
+        // last pass: cached saw 1 row, the oracle saw the full prefix, and the
+        // new token's row anchor must agree (it is the last row either way).
+        let cached_rows = cached_norm.anchor_state().row_log_isds().to_vec();
+        let oracle_rows = oracle_norm.anchor_state().row_log_isds().to_vec();
+        assert_eq!(cached_rows.len(), 1);
+        assert_eq!(cached_rows.last(), oracle_rows.last());
+    }
+}
+
+#[test]
+fn prompt_of_one_token_decodes_to_max_seq() {
+    // Shape edge: a 1-token prompt, decoded greedily to the model's capacity.
+    let model = model();
+    let mut cached = StreamingModel::new(&model, &[5]).unwrap();
+    let mut oracle = StreamingModel::new_full_recompute(&model, &[5]).unwrap();
+    let steps = model.config().max_seq_len - 1;
+    let mut cached_norm = ReferenceNormalizer::new();
+    let mut oracle_norm = ReferenceNormalizer::new();
+    let generated_cached = cached.decode(steps, &mut cached_norm).unwrap();
+    let generated_oracle = oracle.decode(steps, &mut oracle_norm).unwrap();
+    assert_eq!(generated_cached, generated_oracle);
+    assert_eq!(cached.remaining_capacity(), 0);
+    assert!(cached.decode_step(&mut cached_norm).is_err());
+    assert!(oracle.decode_step(&mut oracle_norm).is_err());
+}
+
+#[test]
+fn prefill_of_exactly_max_seq_fills_the_context() {
+    let model = model();
+    let max = model.config().max_seq_len;
+    let prompt: Vec<u32> = (0..max as u32).map(|i| (i * 5) % 8).collect();
+    let mut ctx = model.start_decode();
+    let mut norm = HaanNormalizer::new(haan_config()).with_plan(skip_plans()[0]);
+    let logits = ctx
+        .prefill(&prompt, &mut norm)
+        .expect("full-capacity prefill");
+    assert_eq!(logits.shape(), (max, model.config().vocab_size));
+    assert_eq!(ctx.remaining_capacity(), 0);
+    assert!(ctx.step(0, &mut norm).is_err(), "no capacity left");
+    // Reset reclaims the stream without reallocating.
+    ctx.reset();
+    assert_eq!(ctx.remaining_capacity(), max);
+}
+
+#[test]
+fn interleaved_engine_decode_streams_match_solo_full_recompute() {
+    // Two KV-cached decode streams share one ServeEngine, their single-row
+    // normalization requests interleaving (and coalescing) in the scheduler. Each
+    // stream must generate exactly the tokens of a full-recompute decode on a
+    // private HAAN normalizer — incremental, batched, multi-tenant decode changes
+    // nothing observable.
+    let model = model();
+    let plan = skip_plans()[0];
+    let mut engine = ServeEngine::start(ServeConfig {
+        normalizer: haan_config(),
+        plan: Some(plan),
+        ..Default::default()
+    });
+    let prompts: [&[u32]; 2] = [&[1, 9, 17], &[4, 8, 15, 16, 23]];
+    let mut streams: Vec<_> = prompts
+        .iter()
+        .map(|prompt| engine.decode_stream(&model, prompt).expect("valid prompt"))
+        .collect();
+    const STEPS: usize = 6;
+    for _ in 0..STEPS {
+        for stream in &mut streams {
+            stream.step().expect("engine decode step");
+        }
+    }
+    for (prompt, stream) in prompts.iter().zip(&streams) {
+        let mut private = HaanNormalizer::new(haan_config()).with_plan(plan);
+        let mut oracle = StreamingModel::new_full_recompute(&model, prompt).unwrap();
+        let expected = oracle.decode(STEPS, &mut private).unwrap();
+        assert_eq!(
+            stream.generated(),
+            expected.as_slice(),
+            "prompt {prompt:?} diverged from solo full recompute"
+        );
+    }
+    assert!(engine.stats().requests > 0);
+    engine.shutdown();
+}
+
+#[test]
+fn streaming_through_a_session_is_incremental_and_identical() {
+    // The pre-existing serving path (StreamingModel + Session-as-Normalizer) now
+    // rides the KV cache by default; it must keep matching a private normalizer
+    // while submitting 1-row requests after prefill.
+    let model = model();
+    let plan = skip_plans()[1];
+    let mut engine = ServeEngine::start(ServeConfig {
+        normalizer: haan_config(),
+        plan: Some(plan),
+        ..Default::default()
+    });
+    let prompt = [6u32, 2, 27];
+    let mut session = engine.session();
+    let mut served_stream = StreamingModel::new(&model, &prompt).unwrap();
+    let served = served_stream.decode(4, &mut session).unwrap();
+
+    let mut private = HaanNormalizer::new(haan_config()).with_plan(plan);
+    let mut private_stream = StreamingModel::new_full_recompute(&model, &prompt).unwrap();
+    let expected = private_stream.decode(4, &mut private).unwrap();
+    assert_eq!(served, expected);
+
+    let stats = engine.stats();
+    // 1 prefill pass over 3 rows + 3 single-row passes, 9 sites each: the row
+    // count proves the prefix was never resubmitted.
+    let sites = model.num_norm_layers() as u64;
+    assert_eq!(stats.requests, 4 * sites);
+    assert_eq!(stats.rows, (3 + 3) * sites);
+    engine.shutdown();
+}
