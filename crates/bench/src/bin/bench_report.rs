@@ -17,7 +17,7 @@ use haan_bench::timing::{measure_default, Measurement};
 use haan_bench::{print_experiment_header, MarkdownTable};
 use haan_llm::norm::{NormSite, Normalizer, ReferenceNormalizer};
 use haan_llm::{Matrix, ModelConfig, ModelFamily, NormKind, StreamingModel, TransformerModel};
-use haan_serve::{SchedulerPolicy, ServeConfig, ServeEngine, ServingStats};
+use haan_serve::{KvPoolPolicy, SchedulerPolicy, ServeConfig, ServeEngine, ServingStats};
 
 const ROWS: usize = 16;
 const COLS: usize = 4096;
@@ -178,6 +178,97 @@ fn run_decode_benchmark(model: &TransformerModel, seq: usize) -> DecodePoint {
         prefill_tokens_per_s: (DECODE_RUNS * prompt.len()) as f64 / prefill_elapsed,
         cached_tokens_per_s: timed_tokens / cached_elapsed,
         full_recompute_tokens_per_s: timed_tokens / full_elapsed,
+    }
+}
+
+/// Concurrent stream counts of the batched multi-stream decode benchmark.
+const MULTI_STREAM_COUNTS: [usize; 3] = [1, 8, 64];
+/// Lockstep ticks timed per stream count (after the untimed prefill tick).
+const MULTI_STREAM_TICKS: usize = 12;
+/// Prompt length of every stream in the multi-stream benchmark.
+const MULTI_STREAM_PROMPT: usize = 4;
+
+struct MultiStreamPoint {
+    streams: usize,
+    aggregate_tokens_per_s: f64,
+    /// Rows per engine batch over the timed lockstep ticks only (one row per
+    /// stream per site when the group is the lone tenant).
+    rows_per_batch: f64,
+    requests_per_batch: f64,
+    /// Pool pages actually materialized while all streams were alive, in bytes.
+    paged_pool_bytes: usize,
+    /// What the same streams would preallocate under dense per-stream caches.
+    dense_equivalent_bytes: usize,
+}
+
+/// Advances `streams` concurrent decode streams in lockstep through one
+/// `ServeEngine::decode_group`: every tick issues one fused normalization
+/// request per site carrying one row per stream, which is the batching width
+/// the paged pool + multi-stream step exist to produce.
+fn run_multi_stream_benchmark(model: &TransformerModel, streams: usize) -> MultiStreamPoint {
+    let config = model.config();
+    let rows_per_stream_block = MULTI_STREAM_PROMPT + MULTI_STREAM_TICKS + 1;
+    let mut engine = ServeEngine::start(ServeConfig {
+        normalizer: HaanConfig {
+            backend: BackendSelection::Fused,
+            ..HaanConfig::unoptimized()
+        },
+        scheduler: SchedulerPolicy {
+            // One lockstep request per site carries `streams` rows: meeting the
+            // threshold exactly dispatches it immediately, so the single-stream
+            // point measures compute, not the max-wait timer.
+            max_batch_rows: streams,
+            max_wait_us: 200,
+            ..Default::default()
+        },
+        kv_pool: KvPoolPolicy {
+            page_rows: 16,
+            capacity_rows: 2 * streams * config.num_blocks * rows_per_stream_block,
+        },
+        ..Default::default()
+    });
+    let vocab = config.vocab_size as u32;
+    let prompts: Vec<Vec<u32>> = (0..streams)
+        .map(|s| {
+            (0..MULTI_STREAM_PROMPT as u32)
+                .map(|i| (s as u32 * 13 + i * 5) % vocab)
+                .collect()
+        })
+        .collect();
+    let prompt_refs: Vec<&[u32]> = prompts.iter().map(Vec::as_slice).collect();
+    let mut group = engine
+        .decode_group(model, &prompt_refs)
+        .expect("valid multi-stream prompts");
+    // Untimed prefill tick (per-stream passes: prompts differ in length in
+    // general), then timed lockstep ticks.
+    group.step_all().expect("prefill tick");
+    let after_prefill = engine.stats();
+    let started = std::time::Instant::now();
+    for _ in 0..MULTI_STREAM_TICKS {
+        group.step_all().expect("lockstep tick");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    let pool = engine.kv_pool(config.embedding_dim);
+    let paged_pool_bytes = pool.bytes_materialized();
+    let dense_equivalent_bytes = streams
+        * config.num_blocks
+        * 2
+        * config.max_seq_len
+        * config.embedding_dim
+        * std::mem::size_of::<f32>();
+    drop(group);
+    engine.shutdown();
+    let tick_batches = stats.batches - after_prefill.batches;
+    let tick_rows = stats.rows - after_prefill.rows;
+    let tick_requests = stats.requests - after_prefill.requests;
+    MultiStreamPoint {
+        streams,
+        aggregate_tokens_per_s: (streams * MULTI_STREAM_TICKS) as f64 / elapsed,
+        rows_per_batch: tick_rows as f64 / tick_batches.max(1) as f64,
+        requests_per_batch: tick_requests as f64 / tick_batches.max(1) as f64,
+        paged_pool_bytes,
+        dense_equivalent_bytes,
     }
 }
 
@@ -392,6 +483,31 @@ fn main() {
     }
     println!("{}", decode_table.render());
 
+    // Batched multi-stream decode: N concurrent streams in lockstep through one
+    // engine decode group — one fused normalization request per site per tick,
+    // one row per stream — with K/V rows paged out of the engine's shared pool.
+    let multi_points: Vec<MultiStreamPoint> = MULTI_STREAM_COUNTS
+        .iter()
+        .map(|&streams| run_multi_stream_benchmark(&decode_model, streams))
+        .collect();
+    let mut multi_table = MarkdownTable::new(vec![
+        "streams",
+        "aggregate tok/s",
+        "rows/batch",
+        "paged pool bytes",
+        "dense-equivalent bytes",
+    ]);
+    for point in &multi_points {
+        multi_table.push_row(vec![
+            point.streams.to_string(),
+            format!("{:.0}", point.aggregate_tokens_per_s),
+            format!("{:.1}", point.rows_per_batch),
+            point.paged_pool_bytes.to_string(),
+            point.dense_equivalent_bytes.to_string(),
+        ]);
+    }
+    println!("{}", multi_table.render());
+
     // Matmul GFLOP/s of the cache-blocked kernels on a square problem.
     let n = 256;
     let a = Matrix::from_vec(n, n, (0..n * n).map(|i| (i as f32).sin()).collect()).unwrap();
@@ -543,6 +659,40 @@ fn main() {
             ),
         ),
         (
+            "multi_stream_decode",
+            JsonValue::object(
+                [
+                    ("ticks".to_string(), JsonValue::from(MULTI_STREAM_TICKS)),
+                    (
+                        "prompt_tokens".to_string(),
+                        JsonValue::from(MULTI_STREAM_PROMPT),
+                    ),
+                ]
+                .into_iter()
+                .chain(multi_points.iter().map(|point| {
+                    (
+                        format!("streams_{}", point.streams),
+                        JsonValue::object([
+                            (
+                                "aggregate_tokens_per_s",
+                                JsonValue::from(point.aggregate_tokens_per_s),
+                            ),
+                            ("rows_per_batch", JsonValue::from(point.rows_per_batch)),
+                            (
+                                "requests_per_batch",
+                                JsonValue::from(point.requests_per_batch),
+                            ),
+                            ("paged_pool_bytes", JsonValue::from(point.paged_pool_bytes)),
+                            (
+                                "dense_equivalent_bytes",
+                                JsonValue::from(point.dense_equivalent_bytes),
+                            ),
+                        ]),
+                    )
+                })),
+            ),
+        ),
+        (
             "matmul",
             JsonValue::object([
                 ("blocked_gflops", JsonValue::from(gflops(&matmul))),
@@ -570,5 +720,20 @@ fn main() {
         "cached decode regressed to {:.2}x of full recompute at seq {}",
         longest.cached_speedup(),
         longest.seq
+    );
+    let widest = multi_points
+        .last()
+        .expect("at least one multi-stream point");
+    assert!(
+        widest.rows_per_batch > 1.0,
+        "batched multi-stream decode at {} streams put only {:.2} rows per site per tick",
+        widest.streams,
+        widest.rows_per_batch
+    );
+    assert!(
+        widest.paged_pool_bytes < widest.dense_equivalent_bytes,
+        "paged K/V ({} bytes) should undercut dense per-stream caches ({} bytes)",
+        widest.paged_pool_bytes,
+        widest.dense_equivalent_bytes
     );
 }

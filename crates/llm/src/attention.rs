@@ -1,16 +1,20 @@
-//! Multi-head causal self-attention, with both a full-sequence path and an
-//! incremental KV-cached path.
+//! Multi-head causal self-attention, with a full-sequence path and two
+//! incremental KV-cached paths.
 //!
 //! [`MultiHeadAttention::forward`] recomputes the whole `seq × seq` score matrix —
 //! the reference oracle. [`MultiHeadAttention::forward_cached`] appends freshly
-//! projected key/value rows to an [`AttentionKvCache`] and attends only the new
-//! query rows against the cache, making decode O(seq) per token. The two are
+//! projected key/value rows to a dense [`AttentionKvCache`] and attends only the
+//! new query rows against the cache, making decode O(seq) per token;
+//! [`MultiHeadAttention::forward_paged`] is the same computation over a
+//! pool-backed [`crate::paging::PagedKvCache`]. All three are
 //! bit-identical on the positions they both compute: projections are row-local
-//! matmuls, the offset causal softmax shares the zero-offset reduction order, and
-//! masked score columns contribute exact `+0.0` terms to the value reduction.
+//! matmuls, the offset causal softmax shares the zero-offset reduction order,
+//! masked score columns contribute exact `+0.0` terms to the value reduction, and
+//! the paged gather produces the very panels the dense window copy produces.
 
 use crate::error::LlmError;
 use crate::init::gaussian_matrix;
+use crate::paging::{KvStore, PagedKvCache};
 use crate::tensor::Matrix;
 use rand::rngs::StdRng;
 
@@ -81,6 +85,13 @@ impl AttentionKvCache {
     /// a new sequence.
     pub fn clear(&mut self) {
         self.len = 0;
+    }
+
+    /// Forgets every position past `len` (no-op when the cache is already that
+    /// short) — the rollback primitive a failed multi-block pass uses to restore
+    /// a consistent stream state.
+    pub(crate) fn truncate(&mut self, len: usize) {
+        self.len = self.len.min(len);
     }
 
     /// Appends projected key/value rows for the next positions.
@@ -228,8 +239,7 @@ impl MultiHeadAttention {
             });
         }
         let offset = cache.len();
-        let new = input.rows();
-        let total = offset + new;
+        let total = offset + input.rows();
         if total > cache.capacity() {
             return Err(LlmError::ShapeMismatch {
                 op: "attention forward_cached (capacity)",
@@ -237,11 +247,94 @@ impl MultiHeadAttention {
                 rhs: (cache.capacity(), cache.embedding_dim()),
             });
         }
+        let queries = self.project_and_append(input, |keys, values| cache.append(keys, values))?;
+        self.attend_cached(&queries, offset, total, |col_start, k, v| {
+            cache.keys.window_into(0, col_start, k)?;
+            cache.values.window_into(0, col_start, v)
+        })
+    }
+
+    /// [`MultiHeadAttention::forward_cached`] over pool-backed paged storage:
+    /// projects the new rows, appends their K/V rows to `cache` (borrowing pool
+    /// pages as needed), and attends the new queries against the whole cache.
+    /// Bit-identical to the dense path — the paged gather fills the same per-head
+    /// scratch panels the dense window copy fills, in the same row order, and
+    /// every kernel downstream is shared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the input width differs from the
+    /// configured embedding dimension or the cache was pooled at a different
+    /// width, and [`LlmError::KvPoolExhausted`] when the pool cannot supply the
+    /// pages the appended rows need (the cache is left unchanged).
+    pub fn forward_paged(
+        &self,
+        input: &Matrix,
+        cache: &mut PagedKvCache,
+    ) -> Result<Matrix, LlmError> {
+        if input.cols() != self.embedding_dim || cache.embedding_dim() != self.embedding_dim {
+            return Err(LlmError::ShapeMismatch {
+                op: "attention forward_paged",
+                lhs: input.shape(),
+                rhs: (cache.len(), cache.embedding_dim()),
+            });
+        }
+        let offset = cache.len();
+        let total = offset + input.rows();
+        let queries = self.project_and_append(input, |keys, values| cache.append(keys, values))?;
+        // One pool-lock acquisition gathers every live row at full width; the
+        // per-head loop then slices panels from the local copy exactly as the
+        // dense path slices its cache matrices — lock-free and byte-identical.
+        let mut keys_all = Matrix::zeros(total, self.embedding_dim);
+        let mut values_all = Matrix::zeros(total, self.embedding_dim);
+        cache.gather_window(0, &mut keys_all, &mut values_all);
+        self.attend_cached(&queries, offset, total, |col_start, k, v| {
+            keys_all.window_into(0, col_start, k)?;
+            values_all.window_into(0, col_start, v)
+        })
+    }
+
+    /// [`MultiHeadAttention::forward_cached`] /
+    /// [`MultiHeadAttention::forward_paged`] dispatched on a [`KvStore`].
+    ///
+    /// # Errors
+    ///
+    /// The contract of whichever storage path runs.
+    pub fn forward_kv(&self, input: &Matrix, kv: &mut KvStore) -> Result<Matrix, LlmError> {
+        match kv {
+            KvStore::Dense(cache) => self.forward_cached(input, cache),
+            KvStore::Paged(cache) => self.forward_paged(input, cache),
+        }
+    }
+
+    /// The shared front half of the cached paths: projects the new rows and hands
+    /// the fresh K/V rows to the storage-specific `append`, returning the
+    /// projected queries.
+    fn project_and_append(
+        &self,
+        input: &Matrix,
+        append: impl FnOnce(&Matrix, &Matrix) -> Result<(), LlmError>,
+    ) -> Result<Matrix, LlmError> {
         let queries = input.matmul(&self.w_query)?;
         let new_keys = input.matmul(&self.w_key)?;
         let new_values = input.matmul(&self.w_value)?;
-        cache.append(&new_keys, &new_values)?;
+        append(&new_keys, &new_values)?;
+        Ok(queries)
+    }
 
+    /// The shared back half of the cached paths: the per-head score/softmax/value
+    /// loop over `total` cached positions, with the storage-specific `gather`
+    /// filling the per-head K/V scratch panels (rows in position order). Every
+    /// numeric kernel lives here, which is what makes dense and paged storage
+    /// bit-identical by construction.
+    fn attend_cached(
+        &self,
+        queries: &Matrix,
+        offset: usize,
+        total: usize,
+        mut gather: impl FnMut(usize, &mut Matrix, &mut Matrix) -> Result<(), LlmError>,
+    ) -> Result<Matrix, LlmError> {
+        let new = queries.rows();
         let head_dim = self.head_dim();
         let scale = 1.0 / (head_dim as f32).sqrt();
         let mut concat = Matrix::zeros(new, self.embedding_dim);
@@ -257,8 +350,7 @@ impl MultiHeadAttention {
         for head in 0..self.num_heads {
             let col_start = head * head_dim;
             queries.columns_into(col_start, head_dim, &mut q)?;
-            cache.keys.window_into(0, col_start, &mut k)?;
-            cache.values.window_into(0, col_start, &mut v)?;
+            gather(col_start, &mut k, &mut v)?;
 
             q.matmul_transposed_into(&k, &mut scores)?;
             scores.scale_in_place(scale);
@@ -451,6 +543,54 @@ mod tests {
         let mut other = AttentionKvCache::new(4, 16);
         attn.forward_cached(&old, &mut other).unwrap();
         assert_ne!(clean, other);
+    }
+
+    #[test]
+    fn paged_path_is_bit_identical_to_the_dense_cache() {
+        use crate::paging::{KvBlockPool, KvStore, PagedKvCache};
+        let attn = attention(16, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let input = crate::init::gaussian_matrix(&mut rng, 6, 16, 1.0);
+        let pool = KvBlockPool::shared(16, 2, 16);
+        let mut dense = KvStore::Dense(AttentionKvCache::new(6, 16));
+        let mut paged = KvStore::Paged(PagedKvCache::new(pool));
+        // Prefill three rows at once, then decode one row at a time; every chunk
+        // must agree bit for bit between the two storages.
+        let mut prefix = Matrix::zeros(3, 16);
+        for row in 0..3 {
+            prefix.row_mut(row).copy_from_slice(input.row(row));
+        }
+        let out_dense = attn.forward_kv(&prefix, &mut dense).unwrap();
+        let out_paged = attn.forward_kv(&prefix, &mut paged).unwrap();
+        assert_eq!(out_dense, out_paged, "prefill");
+        for step in 3..6 {
+            let mut row = Matrix::zeros(1, 16);
+            row.row_mut(0).copy_from_slice(input.row(step));
+            let out_dense = attn.forward_kv(&row, &mut dense).unwrap();
+            let out_paged = attn.forward_kv(&row, &mut paged).unwrap();
+            assert_eq!(out_dense, out_paged, "step {step}");
+        }
+        assert_eq!(dense.len(), paged.len());
+    }
+
+    #[test]
+    fn paged_path_surfaces_pool_exhaustion_without_corrupting_the_cache() {
+        use crate::paging::{KvBlockPool, PagedKvCache};
+        let attn = attention(16, 2);
+        let pool = KvBlockPool::shared(4, 2, 16);
+        let mut cache = PagedKvCache::new(pool);
+        attn.forward_paged(&Matrix::zeros(4, 16), &mut cache)
+            .unwrap();
+        let err = attn
+            .forward_paged(&Matrix::zeros(1, 16), &mut cache)
+            .unwrap_err();
+        assert!(matches!(err, LlmError::KvPoolExhausted { .. }));
+        assert_eq!(cache.len(), 4, "failed step must leave the cache intact");
+        // Width mismatches are still shape errors, not pool errors.
+        assert!(matches!(
+            attn.forward_paged(&Matrix::zeros(1, 8), &mut cache),
+            Err(LlmError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

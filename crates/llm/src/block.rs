@@ -6,6 +6,7 @@ use crate::error::LlmError;
 use crate::init::{depth_gain, gaussian_vector};
 use crate::mlp::FeedForward;
 use crate::norm::{NormSite, Normalizer};
+use crate::paging::KvStore;
 use crate::tensor::Matrix;
 use rand::rngs::StdRng;
 
@@ -117,6 +118,99 @@ impl TransformerBlock {
         normalizer: &mut N,
         cache: &mut AttentionKvCache,
     ) -> Result<Matrix, LlmError> {
+        self.forward_cached_inner(hidden, normalizer, |attention, normed| {
+            attention.forward_cached(normed, cache)
+        })
+    }
+
+    /// [`TransformerBlock::forward_cached`] over any [`KvStore`] — pool-backed
+    /// paged storage (the default of
+    /// [`TransformerModel::start_decode`](crate::TransformerModel::start_decode))
+    /// or the dense oracle. Identical contract and bit-identical outputs.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TransformerBlock::forward_cached`], plus
+    /// [`LlmError::KvPoolExhausted`] when paged storage cannot grow.
+    pub fn forward_cached_kv<N: Normalizer + ?Sized>(
+        &self,
+        hidden: &Matrix,
+        normalizer: &mut N,
+        kv: &mut KvStore,
+    ) -> Result<Matrix, LlmError> {
+        self.forward_cached_inner(hidden, normalizer, |attention, normed| {
+            attention.forward_kv(normed, kv)
+        })
+    }
+
+    /// Advances many decode streams through the block in lockstep: row `s` of
+    /// `hidden` is the newest position of stream `s`, whose K/V storage is
+    /// `caches[s]`. Both normalization sites and the MLP run **once over the
+    /// whole row batch** (they are row-local, so stacking rows changes no float);
+    /// only the attention sublayer loops per stream, each row attending against
+    /// its own cache. This is the per-block half of
+    /// [`TransformerModel::step_many`](crate::TransformerModel::step_many), and
+    /// the reason a batched multi-stream tick issues one
+    /// [`Normalizer::normalize_matrix_into`] call per site instead of one per
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the hidden width is inconsistent
+    /// with the block's weights or `caches` does not match the row count, plus
+    /// any single-stream cached-path error.
+    pub fn forward_cached_many<N: Normalizer + ?Sized>(
+        &self,
+        hidden: &Matrix,
+        normalizer: &mut N,
+        caches: &mut [&mut KvStore],
+    ) -> Result<Matrix, LlmError> {
+        if hidden.cols() != self.gamma_attn.len() || hidden.rows() != caches.len() {
+            return Err(LlmError::ShapeMismatch {
+                op: "block forward_cached_many",
+                lhs: hidden.shape(),
+                rhs: (caches.len(), self.gamma_attn.len()),
+            });
+        }
+        let e = self.gamma_attn.len();
+        let normed_attn = self.apply_norm(
+            hidden,
+            normalizer,
+            self.first_norm_index(),
+            &self.gamma_attn,
+            &self.beta_attn,
+        );
+        // Per-stream attention: one 1-row cached pass per stream, stacked back
+        // into the row batch. The row buffer is reused across streams.
+        let mut after_attn = Matrix::zeros(hidden.rows(), e);
+        let mut row_buf = Matrix::zeros(1, e);
+        for (s, kv) in caches.iter_mut().enumerate() {
+            row_buf.row_mut(0).copy_from_slice(normed_attn.row(s));
+            let attended = self.attention.forward_kv(&row_buf, kv)?;
+            after_attn.set_rows(s, &attended)?;
+        }
+        after_attn.add_assign(hidden)?;
+
+        let normed_mlp = self.apply_norm(
+            &after_attn,
+            normalizer,
+            self.first_norm_index() + 1,
+            &self.gamma_mlp,
+            &self.beta_mlp,
+        );
+        let mut out = self.mlp.forward(&normed_mlp)?;
+        out.add_assign(&after_attn)?;
+        Ok(out)
+    }
+
+    /// The single body of the cached block paths; `attend` supplies the
+    /// storage-specific attention sublayer.
+    fn forward_cached_inner<N: Normalizer + ?Sized>(
+        &self,
+        hidden: &Matrix,
+        normalizer: &mut N,
+        attend: impl FnOnce(&MultiHeadAttention, &Matrix) -> Result<Matrix, LlmError>,
+    ) -> Result<Matrix, LlmError> {
         if hidden.cols() != self.gamma_attn.len() {
             return Err(LlmError::ShapeMismatch {
                 op: "block forward_cached",
@@ -131,7 +225,7 @@ impl TransformerBlock {
             &self.gamma_attn,
             &self.beta_attn,
         );
-        let mut after_attn = self.attention.forward_cached(&normed_attn, cache)?;
+        let mut after_attn = attend(&self.attention, &normed_attn)?;
         after_attn.add_assign(hidden)?;
 
         let normed_mlp = self.apply_norm(
@@ -285,6 +379,51 @@ mod tests {
         }
         assert!(b
             .forward_cached(&Matrix::zeros(1, 16), &mut norm, &mut cache)
+            .is_err());
+    }
+
+    #[test]
+    fn lockstep_rows_match_independent_single_stream_steps() {
+        use crate::paging::{KvBlockPool, KvStore, PagedKvCache};
+        // Three streams with different prefixes, advanced one token each: the
+        // lockstep row batch must reproduce each stream's solo 1-row step bit for
+        // bit (normalization and the MLP are row-local; attention is per-stream).
+        let b = block(0);
+        let mut rng = StdRng::seed_from_u64(21);
+        let prefixes: Vec<Matrix> = [2usize, 4, 1]
+            .iter()
+            .map(|&rows| crate::init::gaussian_matrix(&mut rng, rows, 32, 1.0))
+            .collect();
+        let step_rows = crate::init::gaussian_matrix(&mut rng, 3, 32, 1.0);
+
+        let pool = KvBlockPool::shared(64, 4, 32);
+        let mut lockstep_kv: Vec<KvStore> = Vec::new();
+        let mut solo_kv: Vec<KvStore> = Vec::new();
+        let mut norm = ReferenceNormalizer::new();
+        for prefix in &prefixes {
+            for kvs in [&mut lockstep_kv, &mut solo_kv] {
+                let mut kv = KvStore::Paged(PagedKvCache::new(std::sync::Arc::clone(&pool)));
+                b.forward_cached_kv(prefix, &mut norm, &mut kv).unwrap();
+                kvs.push(kv);
+            }
+        }
+        let mut caches: Vec<&mut KvStore> = lockstep_kv.iter_mut().collect();
+        let batched = b
+            .forward_cached_many(&step_rows, &mut ReferenceNormalizer::new(), &mut caches)
+            .unwrap();
+        for (s, kv) in solo_kv.iter_mut().enumerate() {
+            let mut row = Matrix::zeros(1, 32);
+            row.row_mut(0).copy_from_slice(step_rows.row(s));
+            let solo = b
+                .forward_cached_kv(&row, &mut ReferenceNormalizer::new(), kv)
+                .unwrap();
+            assert_eq!(batched.row(s), solo.row(0), "stream {s}");
+            assert_eq!(lockstep_kv[s].len(), kv.len());
+        }
+        // Mismatched cache counts and widths are rejected.
+        let mut caches: Vec<&mut KvStore> = lockstep_kv.iter_mut().take(2).collect();
+        assert!(b
+            .forward_cached_many(&step_rows, &mut ReferenceNormalizer::new(), &mut caches)
             .is_err());
     }
 

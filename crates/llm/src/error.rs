@@ -28,6 +28,15 @@ pub enum LlmError {
         /// The maximum supported length.
         max: usize,
     },
+    /// The shared K/V block pool had no free page left for an allocation. The
+    /// stream that hit the limit is left unchanged (nothing was partially
+    /// appended); callers can evict, retire a stream, or retry later.
+    KvPoolExhausted {
+        /// Pages the allocation needed.
+        requested_pages: usize,
+        /// Pages the pool had free at the time.
+        free_pages: usize,
+    },
     /// The model configuration was internally inconsistent.
     InvalidConfig(String),
     /// A task item had no choices or an out-of-range gold label.
@@ -51,6 +60,13 @@ impl fmt::Display for LlmError {
             LlmError::InvalidSequenceLength { length, max } => {
                 write!(f, "invalid sequence length {length} (maximum {max})")
             }
+            LlmError::KvPoolExhausted {
+                requested_pages,
+                free_pages,
+            } => write!(
+                f,
+                "K/V block pool exhausted: {requested_pages} page(s) requested, {free_pages} free"
+            ),
             LlmError::InvalidConfig(msg) => write!(f, "invalid model configuration: {msg}"),
             LlmError::InvalidTaskItem(msg) => write!(f, "invalid task item: {msg}"),
         }
@@ -84,6 +100,13 @@ mod tests {
             max: 128,
         };
         assert!(err.to_string().contains("0"));
+
+        let err = LlmError::KvPoolExhausted {
+            requested_pages: 3,
+            free_pages: 1,
+        };
+        assert!(err.to_string().contains("pool exhausted"));
+        assert!(err.to_string().contains("3"));
     }
 
     #[test]

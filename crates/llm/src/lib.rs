@@ -25,12 +25,18 @@
 //!   HellaSwag and ARC-easy/challenge.
 //! * [`perplexity`] — perplexity evaluation of a model under a given normalizer.
 //! * [`runtime`] — an analytic GPU runtime-breakdown model reproducing Fig. 1(b).
+//! * [`paging`] — the paged K/V subsystem: a shared [`KvBlockPool`] of fixed-size
+//!   pages, per-stream page tables ([`paging::PagedKvCache`]), the
+//!   [`KvStore`] storage dispatch, and the [`EvictionPolicy`] of streams that
+//!   outlive `max_seq_len`.
 //! * [`streaming`] — [`StreamingModel`], a greedy decode stream that pushes every
 //!   normalization site of each step through any [`Normalizer`] — including a
 //!   serving-layer session sharing one batched engine across many streams. Streams
 //!   ride the incremental forward-pass API ([`TransformerModel::start_decode`] /
-//!   [`DecodeContext`], per-block [`AttentionKvCache`]s) so decode is O(seq) per
-//!   token; the full-recompute path is kept as the parity oracle.
+//!   [`DecodeContext`]) so decode is O(seq) per token, with K/V rows paged out of
+//!   a [`KvBlockPool`] by default (dense [`AttentionKvCache`] storage and the
+//!   full-recompute loop are both kept as parity oracles). Many streams advance
+//!   in lockstep through [`TransformerModel::step_many`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +51,7 @@ pub mod init;
 pub mod mlp;
 pub mod model;
 pub mod norm;
+pub mod paging;
 pub mod perplexity;
 pub mod runtime;
 pub mod streaming;
@@ -57,5 +64,6 @@ pub use config::{ModelConfig, ModelFamily, NormKind};
 pub use error::LlmError;
 pub use model::{DecodeContext, TransformerModel};
 pub use norm::{LayerNorm, Normalizer, RmsNorm};
+pub use paging::{EvictionPolicy, KvBlockPool, KvStore};
 pub use streaming::StreamingModel;
 pub use tensor::Matrix;

@@ -5,10 +5,19 @@
 //! * the stateless full-sequence calls ([`TransformerModel::logits`] and friends),
 //!   which recompute the whole prefix every time — the reference oracle;
 //! * the stateful incremental API: [`TransformerModel::start_decode`] creates a
-//!   [`DecodeContext`] owning one [`AttentionKvCache`] per block, and
-//!   [`DecodeContext::prefill`] / [`DecodeContext::step`] advance it with O(seq)
-//!   work per token instead of O(seq²). The two are bit-identical (see
+//!   [`DecodeContext`] whose per-block K/V rows live in pool-backed pages (a
+//!   private [`KvBlockPool`] by default, a shared one via
+//!   [`TransformerModel::start_decode_in`]; the dense [`AttentionKvCache`] mode
+//!   of [`TransformerModel::start_decode_dense`] is kept as the parity oracle),
+//!   and [`DecodeContext::prefill`] / [`DecodeContext::step`] advance it with
+//!   O(seq) work per token instead of O(seq²). All modes are bit-identical (see
 //!   `tests/kv_decode.rs`).
+//!
+//! Many concurrent streams advance together through
+//! [`TransformerModel::step_many`]: one token per stream per call, with every
+//! row-local stage (normalization, MLP, logit projection) executed once over the
+//! stacked rows — which is how a serving engine turns per-stream decode into
+//! wide fused normalization batches.
 
 use crate::attention::AttentionKvCache;
 use crate::block::TransformerBlock;
@@ -16,9 +25,11 @@ use crate::config::ModelConfig;
 use crate::error::LlmError;
 use crate::init::{gaussian_matrix, gaussian_vector};
 use crate::norm::{NormSite, Normalizer};
+use crate::paging::{EvictionPolicy, KvBlockPool, KvStore, PagedKvCache};
 use crate::tensor::{log_softmax, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// A decoder-only transformer with seeded random weights.
 ///
@@ -279,36 +290,190 @@ impl TransformerModel {
         block_macs + head_macs
     }
 
-    /// Starts an incremental decode stream: a [`DecodeContext`] with one empty
-    /// KV cache per block, sized for the model's maximum sequence length.
+    /// Rows per page of the private pool [`TransformerModel::start_decode`]
+    /// creates (shared pools choose their own page size).
+    pub const DEFAULT_KV_PAGE_ROWS: usize = 16;
+
+    /// Starts an incremental decode stream: a [`DecodeContext`] whose per-block
+    /// K/V rows are paged out of a private [`KvBlockPool`]. Pages materialize
+    /// lazily as the stream grows, so a short stream touches far less memory
+    /// than the dense `max_seq × E` preallocation of
+    /// [`TransformerModel::start_decode_dense`]; to share one pool across many
+    /// streams use [`TransformerModel::start_decode_in`].
+    ///
+    /// The private pool's capacity is twice the full-stream footprint — a bound,
+    /// not an allocation — so a sliding-window eviction (which transiently holds
+    /// the old window and the recomputed one) always has headroom.
     #[must_use]
     pub fn start_decode(&self) -> DecodeContext<'_> {
+        let e = self.config.embedding_dim;
+        let capacity = 2 * self.config.max_seq_len * self.blocks.len().max(1);
+        let page_rows = Self::DEFAULT_KV_PAGE_ROWS.min(self.config.max_seq_len);
+        let pool = KvBlockPool::shared(capacity, page_rows, e);
+        self.start_decode_in(&pool)
+            .expect("a freshly sized private pool always matches the model")
+    }
+
+    /// Starts an incremental decode stream whose K/V pages come from `pool`,
+    /// shared with any number of other streams (of this or any other model with
+    /// the same embedding width). Memory is bounded by the pool, not by
+    /// `streams × max_seq`; when the pool runs dry, the stream's next
+    /// `prefill`/`step` fails with the typed [`LlmError::KvPoolExhausted`]
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the pool rows are not
+    /// `embedding_dim` wide.
+    pub fn start_decode_in(&self, pool: &Arc<KvBlockPool>) -> Result<DecodeContext<'_>, LlmError> {
+        let e = self.config.embedding_dim;
+        if pool.embedding_dim() != e {
+            return Err(LlmError::ShapeMismatch {
+                op: "start_decode_in (pool width)",
+                lhs: (pool.page_rows(), pool.embedding_dim()),
+                rhs: (self.config.max_seq_len, e),
+            });
+        }
+        Ok(DecodeContext {
+            model: self,
+            kv: self
+                .blocks
+                .iter()
+                .map(|_| KvStore::Paged(PagedKvCache::new(Arc::clone(pool))))
+                .collect(),
+            len: 0,
+            history: Vec::new(),
+            eviction: EvictionPolicy::Reject,
+        })
+    }
+
+    /// Starts an incremental decode stream on dense per-block
+    /// [`AttentionKvCache`]s, each preallocated at `max_seq × E` — the storage
+    /// parity oracle the paged default is tested against (`tests/kv_decode.rs`).
+    #[must_use]
+    pub fn start_decode_dense(&self) -> DecodeContext<'_> {
         let e = self.config.embedding_dim;
         let capacity = self.config.max_seq_len;
         DecodeContext {
             model: self,
-            caches: self
+            kv: self
                 .blocks
                 .iter()
-                .map(|_| AttentionKvCache::new(capacity, e))
+                .map(|_| KvStore::Dense(AttentionKvCache::new(capacity, e)))
                 .collect(),
             len: 0,
+            history: Vec::new(),
+            eviction: EvictionPolicy::Reject,
         }
+    }
+
+    /// Advances many decode streams one token each, in lockstep: `tokens[s]` is
+    /// fed to `contexts[s]`, and the returned matrix holds one logits row per
+    /// stream (row `s` predicts the successor of `tokens[s]`).
+    ///
+    /// The point is batching width for the normalizer: every row-local stage —
+    /// both normalization sites of every block, the final norm, the MLPs, the
+    /// vocabulary projection — runs **once over the stacked `S × E` rows**, so a
+    /// fused [`Normalizer::normalize_matrix_into`] implementation sees `S` rows
+    /// per site per tick instead of one. Only attention is per-stream (each row
+    /// attends against its own cache). Outputs are bit-identical to stepping
+    /// each context alone with its own normalizer run: every shared kernel is
+    /// row-local, and HAAN's skip-anchor state is per-row within a pass, so row
+    /// `s` records and consumes only its own anchors.
+    ///
+    /// Streams may sit at different positions; streams under
+    /// [`EvictionPolicy::SlidingWindow`] are evicted (per stream, before the
+    /// lockstep pass) exactly as a solo [`DecodeContext::step`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::InvalidConfig`] when `contexts` is empty, does not
+    /// match `tokens`, or contains a context of a different model;
+    /// [`LlmError::InvalidSequenceLength`] when a non-windowed stream is at
+    /// capacity; and any single-stream forward-pass error. On error, no
+    /// context's position counter has advanced past the failed pass.
+    pub fn step_many<N: Normalizer + ?Sized>(
+        &self,
+        contexts: &mut [&mut DecodeContext<'_>],
+        tokens: &[u32],
+        normalizer: &mut N,
+    ) -> Result<Matrix, LlmError> {
+        if contexts.is_empty() || contexts.len() != tokens.len() {
+            return Err(LlmError::InvalidConfig(format!(
+                "step_many: {} contexts for {} tokens",
+                contexts.len(),
+                tokens.len()
+            )));
+        }
+        for ctx in contexts.iter() {
+            if !std::ptr::eq(ctx.model, self) {
+                return Err(LlmError::InvalidConfig(
+                    "step_many: every context must belong to the same model".to_string(),
+                ));
+            }
+        }
+        self.check_vocab(tokens)?;
+        // Per-stream eviction first, exactly as a solo step would apply it.
+        for ctx in contexts.iter_mut() {
+            ctx.make_room(1, normalizer)?;
+        }
+        normalizer.begin_sequence();
+        let e = self.config.embedding_dim;
+        let mut hidden = Matrix::zeros(tokens.len(), e);
+        for (s, (&token, ctx)) in tokens.iter().zip(contexts.iter()).enumerate() {
+            let tok_row = self.token_embedding.row(token as usize);
+            let pos_row = self.position_embedding.row(ctx.len);
+            for (col, value) in hidden.row_mut(s).iter_mut().enumerate() {
+                *value = tok_row[col] + pos_row[col];
+            }
+        }
+        for (b, block) in self.blocks.iter().enumerate() {
+            let mut caches: Vec<&mut KvStore> =
+                contexts.iter_mut().map(|ctx| &mut ctx.kv[b]).collect();
+            match block.forward_cached_many(&hidden, normalizer, &mut caches) {
+                Ok(out) => hidden = out,
+                Err(err) => {
+                    // Roll every stream's caches back to the pre-pass length so a
+                    // failed tick (e.g. pool exhaustion mid-stack) is retryable.
+                    for ctx in contexts.iter_mut() {
+                        let len = ctx.len;
+                        for kv in &mut ctx.kv {
+                            kv.truncate(len);
+                        }
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        let hidden = self.apply_final_norm(hidden, normalizer);
+        for (ctx, &token) in contexts.iter_mut().zip(tokens) {
+            ctx.len += 1;
+            ctx.history.push(token);
+        }
+        hidden.matmul_transposed(&self.token_embedding)
     }
 }
 
 /// The stateful side of the incremental forward-pass API: one decode stream's
-/// per-block KV caches plus its position counter.
+/// per-block K/V storage plus its position counter.
 ///
-/// A context is created by [`TransformerModel::start_decode`], filled with the
-/// prompt by [`DecodeContext::prefill`], and advanced one token at a time by
-/// [`DecodeContext::step`] — each step costs O(seq) instead of the O(seq²) a
-/// stateless [`TransformerModel::logits`] call pays. Both entry points run the new
-/// rows through the given [`Normalizer`] exactly as a fresh full forward pass
-/// would (including [`Normalizer::begin_sequence`]), so stateful normalizers — the
-/// HAAN skip predictor, a serving-engine session — observe the same per-site
-/// call pattern for the new token as under full recompute, and the produced
-/// logits are bit-identical to it.
+/// A context is created by [`TransformerModel::start_decode`] (paged storage on
+/// a private pool), [`TransformerModel::start_decode_in`] (paged storage on a
+/// shared pool) or [`TransformerModel::start_decode_dense`] (the dense parity
+/// oracle), filled with the prompt by [`DecodeContext::prefill`], and advanced
+/// one token at a time by [`DecodeContext::step`] — each step costs O(seq)
+/// instead of the O(seq²) a stateless [`TransformerModel::logits`] call pays.
+/// Both entry points run the new rows through the given [`Normalizer`] exactly
+/// as a fresh full forward pass would (including
+/// [`Normalizer::begin_sequence`]), so stateful normalizers — the HAAN skip
+/// predictor, a serving-engine session — observe the same per-site call pattern
+/// for the new token as under full recompute, and the produced logits are
+/// bit-identical to it.
+///
+/// Streams meant to outlive `max_seq_len` opt into
+/// [`EvictionPolicy::SlidingWindow`] via [`DecodeContext::with_eviction`]; the
+/// context then drops its oldest positions (freeing their pool pages) and
+/// recomputes the kept window instead of failing.
 ///
 /// # Example
 ///
@@ -329,13 +494,19 @@ impl TransformerModel {
 /// assert_eq!(ctx.len(), 4);
 /// # Ok::<(), haan_llm::LlmError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DecodeContext<'m> {
     model: &'m TransformerModel,
-    /// One KV cache per transformer block, in block order.
-    caches: Vec<AttentionKvCache>,
+    /// One K/V store per transformer block, in block order (paged by default,
+    /// dense for the oracle).
+    kv: Vec<KvStore>,
     /// Number of positions processed so far.
     len: usize,
+    /// The tokens currently resident in the caches, oldest first — `len` long.
+    /// Kept so sliding-window eviction can recompute the retained suffix.
+    history: Vec<u32>,
+    /// What happens when the stream would outgrow `max_seq_len`.
+    eviction: EvictionPolicy,
 }
 
 impl<'m> DecodeContext<'m> {
@@ -357,19 +528,51 @@ impl<'m> DecodeContext<'m> {
         self.len == 0
     }
 
-    /// Remaining positions before the model's maximum sequence length.
+    /// Remaining positions before the model's maximum sequence length. Under
+    /// [`EvictionPolicy::SlidingWindow`] reaching zero triggers an eviction on
+    /// the next feed rather than an error.
     #[must_use]
     pub fn remaining_capacity(&self) -> usize {
         self.model.config.max_seq_len - self.len
     }
 
-    /// Forgets the stream: clears every block's KV cache (retaining the storage)
-    /// and rewinds the position counter, ready for a fresh prompt.
+    /// The tokens currently resident in the K/V caches (the whole stream until
+    /// the first eviction, the retained window afterwards).
+    #[must_use]
+    pub fn resident_tokens(&self) -> &[u32] {
+        &self.history
+    }
+
+    /// True when the K/V rows live in pool pages (the default); false for the
+    /// dense oracle of [`TransformerModel::start_decode_dense`].
+    #[must_use]
+    pub fn is_paged(&self) -> bool {
+        matches!(self.kv.first(), Some(KvStore::Paged(_)) | None)
+    }
+
+    /// The configured eviction policy.
+    #[must_use]
+    pub fn eviction(&self) -> EvictionPolicy {
+        self.eviction
+    }
+
+    /// Sets the eviction policy (builder style). `keep_last` is validated at
+    /// eviction time: it must leave room for the incoming tokens.
+    #[must_use]
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
+
+    /// Forgets the stream: clears every block's K/V storage (paged stores return
+    /// their pages to the pool) and rewinds the position counter, ready for a
+    /// fresh prompt.
     pub fn reset(&mut self) {
-        for cache in &mut self.caches {
-            cache.clear();
+        for kv in &mut self.kv {
+            kv.clear();
         }
         self.len = 0;
+        self.history.clear();
     }
 
     /// Feeds the next `tokens` through the model in one batched incremental pass,
@@ -431,19 +634,33 @@ impl<'m> DecodeContext<'m> {
 
     /// Embeds the new tokens at their absolute positions and runs them through
     /// every block's cached path plus the final norm, returning the new rows'
-    /// hidden states.
+    /// hidden states. Applies the eviction policy first when the tokens would
+    /// not fit.
     fn advance<N: Normalizer + ?Sized>(
         &mut self,
         tokens: &[u32],
         normalizer: &mut N,
     ) -> Result<Matrix, LlmError> {
-        let config = &self.model.config;
         if tokens.is_empty() {
             return Err(LlmError::InvalidSequenceLength {
                 length: 0,
-                max: config.max_seq_len,
+                max: self.model.config.max_seq_len,
             });
         }
+        self.make_room(tokens.len(), normalizer)?;
+        self.advance_within_capacity(tokens, normalizer)
+    }
+
+    /// [`DecodeContext::advance`] once room is guaranteed — also the re-prefill
+    /// pass of an eviction. On any error the caches are rolled back to the
+    /// pre-pass length, so a failed pass (e.g. pool exhaustion mid-stack) leaves
+    /// the stream consistent and retryable.
+    fn advance_within_capacity<N: Normalizer + ?Sized>(
+        &mut self,
+        tokens: &[u32],
+        normalizer: &mut N,
+    ) -> Result<Matrix, LlmError> {
+        let config = &self.model.config;
         if self.len + tokens.len() > config.max_seq_len {
             return Err(LlmError::InvalidSequenceLength {
                 length: self.len + tokens.len(),
@@ -453,12 +670,92 @@ impl<'m> DecodeContext<'m> {
         self.model.check_vocab(tokens)?;
         normalizer.begin_sequence();
         let mut hidden = self.model.embed_rows(tokens, self.len);
-        for (block, cache) in self.model.blocks.iter().zip(&mut self.caches) {
-            hidden = block.forward_cached(&hidden, normalizer, cache)?;
+        let mut pass = || -> Result<Matrix, LlmError> {
+            for (block, kv) in self.model.blocks.iter().zip(&mut self.kv) {
+                hidden = block.forward_cached_kv(&hidden, normalizer, kv)?;
+            }
+            let out = std::mem::replace(&mut hidden, Matrix::zeros(0, 0));
+            Ok(self.model.apply_final_norm(out, normalizer))
+        };
+        match pass() {
+            Ok(out) => {
+                self.len += tokens.len();
+                self.history.extend_from_slice(tokens);
+                Ok(out)
+            }
+            Err(err) => {
+                for kv in &mut self.kv {
+                    kv.truncate(self.len);
+                }
+                Err(err)
+            }
         }
-        let hidden = self.model.apply_final_norm(hidden, normalizer);
-        self.len += tokens.len();
-        Ok(hidden)
+    }
+
+    /// Ensures `incoming` more positions fit, applying the eviction policy if
+    /// not.
+    fn make_room<N: Normalizer + ?Sized>(
+        &mut self,
+        incoming: usize,
+        normalizer: &mut N,
+    ) -> Result<(), LlmError> {
+        let max = self.model.config.max_seq_len;
+        if self.len + incoming <= max {
+            return Ok(());
+        }
+        match self.eviction {
+            EvictionPolicy::Reject => Err(LlmError::InvalidSequenceLength {
+                length: self.len + incoming,
+                max,
+            }),
+            EvictionPolicy::SlidingWindow { keep_last } => {
+                if keep_last + incoming > max {
+                    // The window itself leaves no room for the incoming tokens.
+                    return Err(LlmError::InvalidSequenceLength {
+                        length: keep_last + incoming,
+                        max,
+                    });
+                }
+                self.evict_to(keep_last, normalizer)
+            }
+        }
+    }
+
+    /// Drops every position but the newest `keep_last`, freeing their K/V pages,
+    /// and recomputes the kept suffix re-embedded at positions `0..keep_last` —
+    /// one incremental pass, after which the context is bit-identical to a fresh
+    /// one prefilled with the kept tokens.
+    fn evict_to<N: Normalizer + ?Sized>(
+        &mut self,
+        keep_last: usize,
+        normalizer: &mut N,
+    ) -> Result<(), LlmError> {
+        let keep = keep_last.min(self.len);
+        let kept: Vec<u32> = self.history[self.history.len() - keep..].to_vec();
+        // Recompute the kept window into *fresh* stores before touching the
+        // live ones, so eviction is all-or-nothing: a failed recompute (e.g.
+        // pool pressure from concurrent streams) drops the fresh stores —
+        // returning their pages — and leaves the stream exactly as it was,
+        // still consistent and retryable. The price is transiently holding the
+        // old window and the kept window at once (`keep_last` extra rows per
+        // block); pools serving windowed streams are sized with that headroom.
+        let mut fresh: Vec<KvStore> = self.kv.iter().map(KvStore::fresh_like).collect();
+        if !kept.is_empty() {
+            // The same pass a fresh context's prefill over `kept` would run —
+            // begin_sequence, every block site, the final norm — so stateful
+            // normalizers observe an identical call pattern and the recomputed
+            // window is bit-identical to that fresh prefill.
+            normalizer.begin_sequence();
+            let mut hidden = self.model.embed_rows(&kept, 0);
+            for (block, kv) in self.model.blocks.iter().zip(&mut fresh) {
+                hidden = block.forward_cached_kv(&hidden, normalizer, kv)?;
+            }
+            let _ = self.model.apply_final_norm(hidden, normalizer);
+        }
+        self.kv = fresh; // the old stores drop here, freeing their pages
+        self.len = keep;
+        self.history = kept;
+        Ok(())
     }
 }
 
@@ -651,6 +948,230 @@ mod tests {
             .logits(&tokens, &mut ReferenceNormalizer::new())
             .unwrap();
         assert_eq!(replay, oracle);
+    }
+
+    #[test]
+    fn paged_default_matches_the_dense_oracle_bit_for_bit() {
+        let model = tiny_model();
+        let tokens = [3u32, 7, 11, 13, 2];
+        let mut paged = model.start_decode();
+        assert!(paged.is_paged());
+        let mut dense = model.start_decode_dense();
+        assert!(!dense.is_paged());
+        let from_paged = paged
+            .prefill(&tokens[..3], &mut ReferenceNormalizer::new())
+            .unwrap();
+        let from_dense = dense
+            .prefill(&tokens[..3], &mut ReferenceNormalizer::new())
+            .unwrap();
+        assert_eq!(from_paged, from_dense);
+        for &token in &tokens[3..] {
+            let stepped_paged = paged.step(token, &mut ReferenceNormalizer::new()).unwrap();
+            let stepped_dense = dense.step(token, &mut ReferenceNormalizer::new()).unwrap();
+            assert_eq!(stepped_paged, stepped_dense);
+        }
+        assert_eq!(paged.resident_tokens(), &tokens);
+        assert_eq!(dense.resident_tokens(), &tokens);
+    }
+
+    #[test]
+    fn streams_share_a_pool_and_return_pages_on_reset() {
+        use crate::paging::KvBlockPool;
+        let model = tiny_model();
+        let pool = KvBlockPool::shared(
+            2 * model.config().max_seq_len * model.config().num_blocks,
+            8,
+            model.config().embedding_dim,
+        );
+        let mut a = model.start_decode_in(&pool).unwrap();
+        let mut b = model.start_decode_in(&pool).unwrap();
+        a.prefill(&[1, 2, 3], &mut ReferenceNormalizer::new())
+            .unwrap();
+        b.prefill(&[4, 5], &mut ReferenceNormalizer::new()).unwrap();
+        // One page per block per stream at this length.
+        assert_eq!(pool.pages_in_use(), 2 * model.config().num_blocks);
+        // Interleaved growth stays bit-identical to the stateless oracle.
+        let stepped = a.step(9, &mut ReferenceNormalizer::new()).unwrap();
+        let oracle = model
+            .logits(&[1, 2, 3, 9], &mut ReferenceNormalizer::new())
+            .unwrap();
+        assert_eq!(stepped.as_slice(), oracle.row(3));
+        a.reset();
+        assert_eq!(pool.pages_in_use(), model.config().num_blocks);
+        drop(b);
+        assert_eq!(pool.pages_in_use(), 0);
+        // A mismatched pool width is a shape error.
+        let narrow = KvBlockPool::shared(64, 8, 16);
+        assert!(model.start_decode_in(&narrow).is_err());
+    }
+
+    #[test]
+    fn pool_exhaustion_mid_pass_is_typed_and_retryable() {
+        use crate::paging::KvBlockPool;
+        let model = tiny_model();
+        // Six 1-row pages: a 2-token prefill needs 2 pages per block × 4 blocks,
+        // so the pool runs dry mid-stack (after block 2).
+        let pool = KvBlockPool::shared(6, 1, model.config().embedding_dim);
+        let mut ctx = model.start_decode_in(&pool).unwrap();
+        let err = ctx
+            .prefill(&[1, 2], &mut ReferenceNormalizer::new())
+            .unwrap_err();
+        assert!(matches!(err, LlmError::KvPoolExhausted { .. }));
+        // The failed pass rolled back: the stream is still empty and consistent,
+        // and every page grabbed by the aborted pass was returned.
+        assert!(ctx.is_empty());
+        assert_eq!(pool.pages_in_use(), 0);
+        // A shorter prompt fits (4 blocks × 1 page) and matches the oracle.
+        let logits = ctx.prefill(&[1], &mut ReferenceNormalizer::new()).unwrap();
+        let oracle = model.logits(&[1], &mut ReferenceNormalizer::new()).unwrap();
+        assert_eq!(logits, oracle);
+    }
+
+    #[test]
+    fn step_many_matches_individual_steps_bit_for_bit() {
+        use crate::paging::KvBlockPool;
+        let model = tiny_model();
+        let pool = KvBlockPool::shared(
+            4 * model.config().max_seq_len * model.config().num_blocks,
+            8,
+            model.config().embedding_dim,
+        );
+        let prompts: [&[u32]; 3] = [&[1, 5, 9], &[2, 4], &[7, 3, 1, 12]];
+        let mut lockstep: Vec<DecodeContext> = prompts
+            .iter()
+            .map(|p| {
+                let mut ctx = model.start_decode_in(&pool).unwrap();
+                ctx.prefill(p, &mut ReferenceNormalizer::new()).unwrap();
+                ctx
+            })
+            .collect();
+        let mut solo: Vec<DecodeContext> = prompts
+            .iter()
+            .map(|p| {
+                let mut ctx = model.start_decode();
+                ctx.prefill(p, &mut ReferenceNormalizer::new()).unwrap();
+                ctx
+            })
+            .collect();
+        for round in 0..3u32 {
+            let tokens: Vec<u32> = (0..3u32).map(|s| (round * 7 + s) % 8).collect();
+            let mut refs: Vec<&mut DecodeContext> = lockstep.iter_mut().collect();
+            let batched = model
+                .step_many(&mut refs, &tokens, &mut ReferenceNormalizer::new())
+                .unwrap();
+            assert_eq!(batched.shape(), (3, model.config().vocab_size));
+            for (s, ctx) in solo.iter_mut().enumerate() {
+                let solo_logits = ctx
+                    .step(tokens[s], &mut ReferenceNormalizer::new())
+                    .unwrap();
+                assert_eq!(batched.row(s), solo_logits.as_slice(), "stream {s}");
+            }
+        }
+        for (ctx, solo_ctx) in lockstep.iter().zip(&solo) {
+            assert_eq!(ctx.len(), solo_ctx.len());
+            assert_eq!(ctx.resident_tokens(), solo_ctx.resident_tokens());
+        }
+    }
+
+    #[test]
+    fn step_many_rejects_mismatched_inputs() {
+        let model = tiny_model();
+        let other = TransformerModel::new(&ModelConfig::tiny_test(), 7).unwrap();
+        let mut ctx = model.start_decode();
+        let mut foreign = other.start_decode();
+        let mut norm = ReferenceNormalizer::new();
+        let empty: &mut [&mut DecodeContext] = &mut [];
+        assert!(model.step_many(empty, &[], &mut norm).is_err());
+        assert!(model
+            .step_many(&mut [&mut ctx], &[1, 2], &mut norm)
+            .is_err());
+        assert!(model
+            .step_many(&mut [&mut foreign], &[1], &mut norm)
+            .is_err());
+        assert!(model.step_many(&mut [&mut ctx], &[999], &mut norm).is_err());
+    }
+
+    #[test]
+    fn sliding_window_eviction_stays_parity_correct_within_the_window() {
+        use crate::paging::EvictionPolicy;
+        let model = tiny_model();
+        let max = model.config().max_seq_len;
+        let keep = max / 2;
+        let mut ctx = model
+            .start_decode()
+            .with_eviction(EvictionPolicy::SlidingWindow { keep_last: keep });
+        assert_eq!(
+            ctx.eviction(),
+            EvictionPolicy::SlidingWindow { keep_last: keep }
+        );
+        let mut history: Vec<u32> = (0..max as u32).map(|i| i % 8).collect();
+        ctx.prefill(&history, &mut ReferenceNormalizer::new())
+            .unwrap();
+        assert_eq!(ctx.remaining_capacity(), 0);
+        // Step well past the model's maximum sequence length. Before each step,
+        // mirror the eviction rule to compute the oracle window.
+        for round in 0..(max + 3) as u32 {
+            let token = (round * 3) % 8;
+            let mut window: Vec<u32> = history.clone();
+            if window.len() + 1 > max {
+                window = window[window.len() - keep..].to_vec();
+            }
+            window.push(token);
+            let stepped = ctx.step(token, &mut ReferenceNormalizer::new()).unwrap();
+            let oracle = model
+                .logits(&window, &mut ReferenceNormalizer::new())
+                .unwrap();
+            assert_eq!(
+                stepped.as_slice(),
+                oracle.row(window.len() - 1),
+                "round {round}"
+            );
+            assert_eq!(ctx.resident_tokens(), window.as_slice());
+            history = window;
+        }
+        // A window that leaves no room for the incoming tokens is rejected.
+        let mut hopeless = model
+            .start_decode()
+            .with_eviction(EvictionPolicy::SlidingWindow { keep_last: max });
+        let full: Vec<u32> = (0..max as u32).map(|i| i % 8).collect();
+        hopeless
+            .prefill(&full, &mut ReferenceNormalizer::new())
+            .unwrap();
+        assert!(matches!(
+            hopeless.step(0, &mut ReferenceNormalizer::new()),
+            Err(LlmError::InvalidSequenceLength { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_eviction_is_all_or_nothing() {
+        use crate::paging::{EvictionPolicy, KvBlockPool};
+        let model = tiny_model();
+        let max = model.config().max_seq_len;
+        let blocks = model.config().num_blocks;
+        // Exactly one full window per block: no headroom for the eviction
+        // recompute, which transiently needs the old window plus the kept one.
+        let pool = KvBlockPool::shared(max * blocks, max, model.config().embedding_dim);
+        let mut ctx = model
+            .start_decode_in(&pool)
+            .unwrap()
+            .with_eviction(EvictionPolicy::SlidingWindow { keep_last: max / 2 });
+        let prompt: Vec<u32> = (0..max as u32).map(|i| i % 8).collect();
+        let mut norm = ReferenceNormalizer::new();
+        ctx.prefill(&prompt, &mut norm).unwrap();
+        let err = ctx.step(1, &mut norm).unwrap_err();
+        assert!(matches!(err, LlmError::KvPoolExhausted { .. }));
+        // The stream is untouched: the old window is still fully resident and
+        // answers exactly as before the failed eviction.
+        assert_eq!(ctx.len(), max);
+        assert_eq!(ctx.resident_tokens(), prompt.as_slice());
+        // Once pressure is gone (reset returns the pages), decoding resumes.
+        ctx.reset();
+        let logits = ctx.prefill(&[1, 2], &mut norm).unwrap();
+        let oracle = model
+            .logits(&[1, 2], &mut ReferenceNormalizer::new())
+            .unwrap();
+        assert_eq!(logits, oracle);
     }
 
     #[test]

@@ -1,0 +1,659 @@
+//! Paged key/value storage: a shared block pool, per-stream page tables, and the
+//! eviction policy of long-lived decode streams.
+//!
+//! The dense [`AttentionKvCache`] preallocates `max_seq × E` K and V matrices per
+//! block per stream — simple, and kept as the parity oracle — but it means a
+//! thousand mostly-short streams reserve a thousand full-length caches. Paged
+//! storage splits K/V rows into fixed-size **pages** owned by one shared
+//! [`KvBlockPool`]: every stream's [`PagedKvCache`] holds only a *page table*
+//! (pool page ids, in position order) and borrows pages on demand, so resident
+//! memory tracks the tokens actually cached, across all streams, instead of
+//! `streams × max_seq`. Freed pages (stream reset, eviction, drop) return to the
+//! pool's free list and are reused by whichever stream appends next.
+//!
+//! Gathered reads keep the numerics bit-identical to the dense cache: an
+//! attention call copies the live rows, in position order, into the same
+//! per-head scratch panels the dense path fills with
+//! [`Matrix::window_into`] — the downstream matmul/softmax kernels never know
+//! which storage the rows came from (see
+//! [`MultiHeadAttention::forward_paged`](crate::attention::MultiHeadAttention::forward_paged)).
+//!
+//! # Example
+//!
+//! ```
+//! use haan_llm::paging::KvBlockPool;
+//! use haan_llm::norm::ReferenceNormalizer;
+//! use haan_llm::{ModelConfig, TransformerModel};
+//!
+//! let model = TransformerModel::new(&ModelConfig::tiny_test(), 42)?;
+//! // One pool, many streams: each borrows pages as it grows.
+//! let pool = KvBlockPool::shared(256, 8, model.config().embedding_dim);
+//! let mut a = model.start_decode_in(&pool)?;
+//! let mut b = model.start_decode_in(&pool)?;
+//! a.prefill(&[1, 5, 9], &mut ReferenceNormalizer::new())?;
+//! b.prefill(&[2, 4], &mut ReferenceNormalizer::new())?;
+//! assert!(pool.pages_in_use() > 0);
+//! drop((a, b));
+//! assert_eq!(pool.pages_in_use(), 0); // pages return to the free list
+//! # Ok::<(), haan_llm::LlmError>(())
+//! ```
+
+use crate::attention::AttentionKvCache;
+use crate::error::LlmError;
+use crate::tensor::Matrix;
+use std::sync::{Arc, Mutex};
+
+/// What a [`DecodeContext`](crate::DecodeContext) does when the next tokens would
+/// grow the stream past the model's `max_seq_len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Refuse with [`LlmError::InvalidSequenceLength`] — the historical behavior,
+    /// and the default.
+    #[default]
+    Reject,
+    /// Keep only the newest `keep_last` positions: the context recomputes the
+    /// kept suffix (re-embedded at positions `0..keep_last`) into fresh pages in
+    /// one incremental pass, then drops the old window's pages. After an
+    /// eviction the stream is bit-identical to a fresh context prefilled with
+    /// the kept suffix — "parity-correct within the window" — which is the only
+    /// sound semantics under absolute position embeddings (stale K/V rows were
+    /// projected at positions that no longer exist). Eviction costs one
+    /// `keep_last`-row pass, amortized over the `max_seq_len - keep_last` steps
+    /// until the window fills again.
+    ///
+    /// Eviction is **all-or-nothing**: the recomputed window lands in fresh
+    /// stores first, so a failed recompute (e.g. [`LlmError::KvPoolExhausted`]
+    /// under concurrent pool pressure) leaves the stream untouched and
+    /// retryable. The flip side is transient double residency — old window plus
+    /// kept window at once — so pools serving windowed streams need
+    /// `keep_last` rows per block of headroom beyond the steady state.
+    SlidingWindow {
+        /// Positions retained per eviction; must leave room for the incoming
+        /// tokens (`keep_last + incoming ≤ max_seq_len`).
+        keep_last: usize,
+    },
+}
+
+/// Bookkeeping behind the pool mutex: page storage (grown lazily, page by page,
+/// up to the configured capacity) and the free list.
+#[derive(Debug)]
+struct PoolInner {
+    /// Key rows of every materialized page, `page_rows × embedding_dim` each,
+    /// indexed by page id.
+    keys: Vec<f32>,
+    /// Value rows, same layout as `keys`.
+    values: Vec<f32>,
+    /// Ids of materialized pages currently unowned (LIFO, so recently freed —
+    /// cache-warm — pages are handed out first).
+    free: Vec<usize>,
+    /// Next never-materialized page id; allocation prefers the free list and
+    /// only materializes fresh storage when it is empty.
+    next_fresh: usize,
+    /// High-water mark of pages in use, for capacity-planning telemetry.
+    peak_in_use: usize,
+}
+
+/// A shared pool of fixed-size K/V pages, the backing store of every
+/// [`PagedKvCache`].
+///
+/// One pool serves every attention layer of every stream whose embedding width
+/// matches: a page is just `page_rows` full-width K rows plus the matching V
+/// rows, so block index and stream identity live entirely in the page tables
+/// that reference it. The pool is `Sync` (interior mutex) and is shared as
+/// `Arc<KvBlockPool>` — see [`KvBlockPool::shared`].
+///
+/// Capacity is a hard bound: when the free list is empty and every page has been
+/// materialized, allocation fails with the typed
+/// [`LlmError::KvPoolExhausted`] and the failed append leaves the requesting
+/// cache unchanged. Sizing heuristic: `capacity_rows ≈ expected concurrent
+/// streams × num_blocks × expected live positions per stream` (see
+/// `ROADMAP.md`).
+#[derive(Debug)]
+pub struct KvBlockPool {
+    page_rows: usize,
+    embedding_dim: usize,
+    num_pages: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl KvBlockPool {
+    /// Creates a pool able to hold `capacity_rows` K/V row pairs of width
+    /// `embedding_dim`, in pages of `page_rows` rows (the capacity is rounded up
+    /// to whole pages). Storage is materialized lazily, page by page, as streams
+    /// grow — a fresh pool owns no row data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any argument is zero.
+    #[must_use]
+    pub fn new(capacity_rows: usize, page_rows: usize, embedding_dim: usize) -> Self {
+        assert!(
+            capacity_rows > 0 && page_rows > 0 && embedding_dim > 0,
+            "pool dimensions must be nonzero"
+        );
+        Self {
+            page_rows,
+            embedding_dim,
+            num_pages: capacity_rows.div_ceil(page_rows),
+            inner: Mutex::new(PoolInner {
+                keys: Vec::new(),
+                values: Vec::new(),
+                free: Vec::new(),
+                next_fresh: 0,
+                peak_in_use: 0,
+            }),
+        }
+    }
+
+    /// [`KvBlockPool::new`] wrapped in the `Arc` every sharing site needs.
+    #[must_use]
+    pub fn shared(capacity_rows: usize, page_rows: usize, embedding_dim: usize) -> Arc<Self> {
+        Arc::new(Self::new(capacity_rows, page_rows, embedding_dim))
+    }
+
+    /// Rows per page.
+    #[must_use]
+    pub fn page_rows(&self) -> usize {
+        self.page_rows
+    }
+
+    /// Width of the stored rows.
+    #[must_use]
+    pub fn embedding_dim(&self) -> usize {
+        self.embedding_dim
+    }
+
+    /// Total pages the pool may materialize (the hard capacity bound).
+    #[must_use]
+    pub fn pages_total(&self) -> usize {
+        self.num_pages
+    }
+
+    /// Total K/V row pairs the pool may hold.
+    #[must_use]
+    pub fn capacity_rows(&self) -> usize {
+        self.num_pages * self.page_rows
+    }
+
+    /// Pages currently owned by some cache's page table.
+    #[must_use]
+    pub fn pages_in_use(&self) -> usize {
+        let inner = self.lock();
+        inner.next_fresh - inner.free.len()
+    }
+
+    /// Highest number of simultaneously owned pages observed so far.
+    #[must_use]
+    pub fn peak_pages_in_use(&self) -> usize {
+        self.lock().peak_in_use
+    }
+
+    /// Pages still allocatable (free-listed plus never materialized).
+    #[must_use]
+    pub fn pages_free(&self) -> usize {
+        let inner = self.lock();
+        self.num_pages - (inner.next_fresh - inner.free.len())
+    }
+
+    /// Bytes of K/V storage materialized so far (monotone: freed pages stay
+    /// materialized on the free list for reuse).
+    #[must_use]
+    pub fn bytes_materialized(&self) -> usize {
+        self.lock().next_fresh * self.page_bytes()
+    }
+
+    /// Bytes of K/V storage currently referenced by page tables.
+    #[must_use]
+    pub fn bytes_in_use(&self) -> usize {
+        self.pages_in_use() * self.page_bytes()
+    }
+
+    /// Bytes one page occupies once materialized (K plus V rows).
+    #[must_use]
+    pub fn page_bytes(&self) -> usize {
+        2 * self.page_elements() * std::mem::size_of::<f32>()
+    }
+
+    /// Elements of one page's key (equivalently, value) storage.
+    fn page_elements(&self) -> usize {
+        self.page_rows * self.embedding_dim
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        self.inner.lock().expect("kv pool lock poisoned")
+    }
+
+    /// Allocates `count` pages all-or-nothing, so a failed grow never leaves a
+    /// cache holding rows it cannot store.
+    fn alloc_pages(&self, count: usize) -> Result<Vec<usize>, LlmError> {
+        let mut inner = self.lock();
+        let free = self.num_pages - (inner.next_fresh - inner.free.len());
+        if count > free {
+            return Err(LlmError::KvPoolExhausted {
+                requested_pages: count,
+                free_pages: free,
+            });
+        }
+        let mut pages = Vec::with_capacity(count);
+        for _ in 0..count {
+            if let Some(page) = inner.free.pop() {
+                pages.push(page);
+            } else {
+                let page = inner.next_fresh;
+                inner.next_fresh += 1;
+                let len = inner.next_fresh * self.page_elements();
+                inner.keys.resize(len, 0.0);
+                inner.values.resize(len, 0.0);
+                pages.push(page);
+            }
+        }
+        let in_use = inner.next_fresh - inner.free.len();
+        inner.peak_in_use = inner.peak_in_use.max(in_use);
+        Ok(pages)
+    }
+
+    /// Returns pages to the free list.
+    fn release_pages(&self, pages: &[usize]) {
+        if pages.is_empty() {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.free.extend_from_slice(pages);
+        debug_assert!(
+            inner.free.len() <= inner.next_fresh,
+            "released more pages than were ever allocated"
+        );
+    }
+
+    /// Writes `keys`/`values` rows (same shape, width `embedding_dim`) into the
+    /// pages of one cache, starting at logical row `start_row` of its page table.
+    fn write_rows(&self, pages: &[usize], start_row: usize, keys: &Matrix, values: &Matrix) {
+        let e = self.embedding_dim;
+        let mut inner = self.lock();
+        for r in 0..keys.rows() {
+            let logical = start_row + r;
+            let page = pages[logical / self.page_rows];
+            let slot = logical % self.page_rows;
+            let dst = (page * self.page_rows + slot) * e;
+            inner.keys[dst..dst + e].copy_from_slice(keys.row(r));
+            inner.values[dst..dst + e].copy_from_slice(values.row(r));
+        }
+    }
+
+    /// Gathers the column window `[col_start, col_start + k_out.cols())` of the
+    /// first `k_out.rows()` logical rows of one cache into scratch matrices, in
+    /// position order — the paged equivalent of [`Matrix::window_into`] on a
+    /// dense cache, producing byte-identical panels. One lock acquisition covers
+    /// the whole window, so the attention path gathers all heads' rows at full
+    /// width in a single visit instead of taking the pool lock once per head.
+    fn gather_window(
+        &self,
+        pages: &[usize],
+        col_start: usize,
+        k_out: &mut Matrix,
+        v_out: &mut Matrix,
+    ) {
+        let e = self.embedding_dim;
+        let width = k_out.cols();
+        let rows = k_out.rows();
+        let inner = self.lock();
+        for r in 0..rows {
+            let page = pages[r / self.page_rows];
+            let slot = r % self.page_rows;
+            let src = (page * self.page_rows + slot) * e + col_start;
+            k_out
+                .row_mut(r)
+                .copy_from_slice(&inner.keys[src..src + width]);
+            v_out
+                .row_mut(r)
+                .copy_from_slice(&inner.values[src..src + width]);
+        }
+    }
+}
+
+/// One attention layer's K/V rows of one stream, resident in pool pages.
+///
+/// The cache owns a page table (`Vec` of pool page ids, position order) and its
+/// live length; everything else lives in the shared [`KvBlockPool`]. Pages are
+/// borrowed on append and returned on [`PagedKvCache::clear`] or drop. The paged
+/// cache is the default storage of
+/// [`TransformerModel::start_decode`](crate::TransformerModel::start_decode);
+/// the dense [`AttentionKvCache`] remains available through
+/// [`TransformerModel::start_decode_dense`](crate::TransformerModel::start_decode_dense)
+/// as the parity oracle.
+#[derive(Debug)]
+pub struct PagedKvCache {
+    pool: Arc<KvBlockPool>,
+    /// Page ids in position order: logical row `r` lives in
+    /// `pages[r / page_rows]` at slot `r % page_rows`.
+    pages: Vec<usize>,
+    len: usize,
+}
+
+impl PagedKvCache {
+    /// Creates an empty cache borrowing from `pool`. No page is allocated until
+    /// the first append.
+    #[must_use]
+    pub fn new(pool: Arc<KvBlockPool>) -> Self {
+        Self {
+            pool,
+            pages: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of positions cached so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no position has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Width of the cached rows.
+    #[must_use]
+    pub fn embedding_dim(&self) -> usize {
+        self.pool.embedding_dim()
+    }
+
+    /// The cache's page table: pool page ids in position order.
+    #[must_use]
+    pub fn page_table(&self) -> &[usize] {
+        &self.pages
+    }
+
+    /// The pool this cache borrows from.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<KvBlockPool> {
+        &self.pool
+    }
+
+    /// Forgets every cached position and returns the pages to the pool.
+    pub fn clear(&mut self) {
+        self.pool.release_pages(&self.pages);
+        self.pages.clear();
+        self.len = 0;
+    }
+
+    /// Forgets every position past `len`, returning now-unreferenced pages to
+    /// the pool — the rollback primitive a failed multi-block pass uses to
+    /// restore a consistent stream state.
+    pub(crate) fn truncate(&mut self, len: usize) {
+        if len >= self.len {
+            return;
+        }
+        self.len = len;
+        let keep_pages = len.div_ceil(self.pool.page_rows());
+        self.pool.release_pages(&self.pages[keep_pages..]);
+        self.pages.truncate(keep_pages);
+    }
+
+    /// Appends projected key/value rows for the next positions, borrowing fresh
+    /// pages from the pool as needed (all-or-nothing: on failure the cache is
+    /// unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the rows have the wrong width and
+    /// [`LlmError::KvPoolExhausted`] when the pool cannot supply the pages.
+    pub(crate) fn append(&mut self, keys: &Matrix, values: &Matrix) -> Result<(), LlmError> {
+        let e = self.pool.embedding_dim();
+        if keys.cols() != e || values.shape() != keys.shape() {
+            return Err(LlmError::ShapeMismatch {
+                op: "paged kv append",
+                lhs: keys.shape(),
+                rhs: (values.rows(), e),
+            });
+        }
+        let page_rows = self.pool.page_rows();
+        let needed_pages = (self.len + keys.rows()).div_ceil(page_rows);
+        if needed_pages > self.pages.len() {
+            let grown = self.pool.alloc_pages(needed_pages - self.pages.len())?;
+            self.pages.extend(grown);
+        }
+        self.pool.write_rows(&self.pages, self.len, keys, values);
+        self.len += keys.rows();
+        Ok(())
+    }
+
+    /// Gathers a column window of every live row into scratch matrices under
+    /// one pool-lock acquisition (see [`KvBlockPool::gather_window`]); the
+    /// attention path calls this once per pass at full width and slices
+    /// per-head panels from the local copy, lock-free.
+    pub(crate) fn gather_window(&self, col_start: usize, k_out: &mut Matrix, v_out: &mut Matrix) {
+        debug_assert!(k_out.rows() <= self.len && k_out.shape() == v_out.shape());
+        self.pool
+            .gather_window(&self.pages, col_start, k_out, v_out);
+    }
+}
+
+impl Drop for PagedKvCache {
+    fn drop(&mut self) {
+        self.pool.release_pages(&self.pages);
+    }
+}
+
+/// The K/V storage of one attention layer of one decode stream: pool-backed
+/// pages (the default) or the dense preallocated cache (the parity oracle).
+///
+/// [`TransformerBlock::forward_cached_kv`](crate::block::TransformerBlock::forward_cached_kv)
+/// dispatches on this, so every decode entry point —
+/// [`DecodeContext`](crate::DecodeContext), `step_many`, the serving layer —
+/// works identically over either storage.
+#[derive(Debug)]
+pub enum KvStore {
+    /// Dense `max_seq × E` preallocated storage ([`AttentionKvCache`]).
+    Dense(AttentionKvCache),
+    /// Pool-backed paged storage ([`PagedKvCache`]).
+    Paged(PagedKvCache),
+}
+
+impl KvStore {
+    /// Number of positions cached so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            KvStore::Dense(cache) => cache.len(),
+            KvStore::Paged(cache) => cache.len(),
+        }
+    }
+
+    /// True when no position has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forgets every cached position (paged storage returns its pages to the
+    /// pool; dense storage is retained).
+    pub fn clear(&mut self) {
+        match self {
+            KvStore::Dense(cache) => cache.clear(),
+            KvStore::Paged(cache) => cache.clear(),
+        }
+    }
+
+    /// Forgets every position past `len` (see the per-storage `truncate`).
+    pub(crate) fn truncate(&mut self, len: usize) {
+        match self {
+            KvStore::Dense(cache) => cache.truncate(len),
+            KvStore::Paged(cache) => cache.truncate(len),
+        }
+    }
+
+    /// A fresh, empty store of the same kind and backing: same pool for paged
+    /// storage, same capacity/width for dense. Sliding-window eviction builds
+    /// its recomputed window here first, so a failed recompute can drop the
+    /// fresh stores (returning their pages) without touching the live stream.
+    #[must_use]
+    pub(crate) fn fresh_like(&self) -> KvStore {
+        match self {
+            KvStore::Dense(cache) => KvStore::Dense(AttentionKvCache::new(
+                cache.capacity(),
+                cache.embedding_dim(),
+            )),
+            KvStore::Paged(cache) => KvStore::Paged(PagedKvCache::new(Arc::clone(cache.pool()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::gaussian_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rows(n: usize, e: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gaussian_matrix(&mut rng, n, e, 1.0)
+    }
+
+    #[test]
+    fn pool_materializes_lazily_and_rounds_capacity_up_to_pages() {
+        let pool = KvBlockPool::shared(10, 4, 8);
+        assert_eq!(pool.pages_total(), 3);
+        assert_eq!(pool.capacity_rows(), 12);
+        assert_eq!(pool.page_rows(), 4);
+        assert_eq!(pool.embedding_dim(), 8);
+        assert_eq!(pool.bytes_materialized(), 0);
+        assert_eq!(pool.pages_in_use(), 0);
+        assert_eq!(pool.pages_free(), 3);
+
+        let mut cache = PagedKvCache::new(Arc::clone(&pool));
+        cache.append(&rows(5, 8, 1), &rows(5, 8, 2)).unwrap();
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.page_table().len(), 2);
+        assert_eq!(pool.pages_in_use(), 2);
+        assert_eq!(pool.bytes_materialized(), 2 * pool.page_bytes());
+        assert_eq!(pool.bytes_in_use(), 2 * pool.page_bytes());
+        assert_eq!(pool.peak_pages_in_use(), 2);
+        assert_eq!(cache.pool().pages_free(), 1);
+        assert_eq!(cache.embedding_dim(), 8);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn freed_pages_are_reused_before_fresh_ones() {
+        let pool = KvBlockPool::shared(16, 4, 8);
+        let mut a = PagedKvCache::new(Arc::clone(&pool));
+        a.append(&rows(8, 8, 1), &rows(8, 8, 2)).unwrap();
+        let first_tables: Vec<usize> = a.page_table().to_vec();
+        a.clear();
+        assert_eq!(pool.pages_in_use(), 0);
+        assert_eq!(pool.bytes_materialized(), 2 * pool.page_bytes());
+
+        let mut b = PagedKvCache::new(Arc::clone(&pool));
+        b.append(&rows(8, 8, 3), &rows(8, 8, 4)).unwrap();
+        // No new materialization: b runs entirely on a's freed pages.
+        assert_eq!(pool.bytes_materialized(), 2 * pool.page_bytes());
+        let mut reused: Vec<usize> = b.page_table().to_vec();
+        reused.sort_unstable();
+        let mut original = first_tables;
+        original.sort_unstable();
+        assert_eq!(reused, original);
+    }
+
+    #[test]
+    fn exhaustion_is_a_typed_error_and_leaves_the_cache_unchanged() {
+        let pool = KvBlockPool::shared(8, 4, 8);
+        let mut cache = PagedKvCache::new(Arc::clone(&pool));
+        cache.append(&rows(6, 8, 1), &rows(6, 8, 2)).unwrap();
+        // 6 rows hold 2 pages; 8 more rows would need 2 further pages with 0 free.
+        let err = cache.append(&rows(8, 8, 3), &rows(8, 8, 4)).unwrap_err();
+        assert_eq!(
+            err,
+            LlmError::KvPoolExhausted {
+                requested_pages: 2,
+                free_pages: 0,
+            }
+        );
+        assert_eq!(cache.len(), 6, "failed append must not change the cache");
+        assert_eq!(cache.page_table().len(), 2);
+        // Appending within the remaining slack of the last page still works.
+        cache.append(&rows(2, 8, 5), &rows(2, 8, 6)).unwrap();
+        assert_eq!(cache.len(), 8);
+    }
+
+    #[test]
+    fn append_rejects_mismatched_shapes() {
+        let pool = KvBlockPool::shared(8, 4, 8);
+        let mut cache = PagedKvCache::new(pool);
+        assert!(cache.append(&rows(2, 4, 1), &rows(2, 4, 2)).is_err());
+        assert!(cache.append(&rows(2, 8, 1), &rows(3, 8, 2)).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn gathered_panels_match_the_dense_window() {
+        // The same rows written through a paged cache and a dense one must gather
+        // byte-identical per-head panels.
+        let e = 16;
+        let pool = KvBlockPool::shared(32, 4, e);
+        let mut paged = PagedKvCache::new(pool);
+        let mut dense_keys = Matrix::zeros(12, e);
+        let mut dense_values = Matrix::zeros(12, e);
+        let mut len = 0;
+        for (chunk, seed) in [(5usize, 10u64), (1, 20), (6, 30)] {
+            let k = rows(chunk, e, seed);
+            let v = rows(chunk, e, seed + 1);
+            paged.append(&k, &v).unwrap();
+            dense_keys.set_rows(len, &k).unwrap();
+            dense_values.set_rows(len, &v).unwrap();
+            len += chunk;
+        }
+        for col_start in [0, 4, 8] {
+            let mut k_paged = Matrix::zeros(len, 4);
+            let mut v_paged = Matrix::zeros(len, 4);
+            paged.gather_window(col_start, &mut k_paged, &mut v_paged);
+            let mut k_dense = Matrix::zeros(len, 4);
+            let mut v_dense = Matrix::zeros(len, 4);
+            dense_keys.window_into(0, col_start, &mut k_dense).unwrap();
+            dense_values
+                .window_into(0, col_start, &mut v_dense)
+                .unwrap();
+            assert_eq!(k_paged, k_dense, "keys at col {col_start}");
+            assert_eq!(v_paged, v_dense, "values at col {col_start}");
+        }
+    }
+
+    #[test]
+    fn drop_returns_pages_to_the_pool() {
+        let pool = KvBlockPool::shared(8, 2, 4);
+        {
+            let mut cache = PagedKvCache::new(Arc::clone(&pool));
+            cache.append(&rows(3, 4, 1), &rows(3, 4, 2)).unwrap();
+            assert_eq!(pool.pages_in_use(), 2);
+        }
+        assert_eq!(pool.pages_in_use(), 0);
+        assert_eq!(pool.peak_pages_in_use(), 2);
+    }
+
+    #[test]
+    fn kv_store_dispatches_len_and_clear() {
+        let pool = KvBlockPool::shared(8, 2, 4);
+        let mut paged = KvStore::Paged(PagedKvCache::new(Arc::clone(&pool)));
+        assert!(paged.is_empty());
+        if let KvStore::Paged(cache) = &mut paged {
+            cache.append(&rows(3, 4, 1), &rows(3, 4, 2)).unwrap();
+        }
+        assert_eq!(paged.len(), 3);
+        paged.clear();
+        assert!(paged.is_empty());
+        assert_eq!(pool.pages_in_use(), 0);
+
+        let mut dense = KvStore::Dense(AttentionKvCache::new(4, 4));
+        assert!(dense.is_empty());
+        dense.clear();
+        assert_eq!(dense.len(), 0);
+    }
+
+    #[test]
+    fn eviction_policy_default_rejects() {
+        assert_eq!(EvictionPolicy::default(), EvictionPolicy::Reject);
+    }
+}

@@ -4,15 +4,23 @@
 //! advances it one token per [`StreamingModel::decode_step`] call through any
 //! [`Normalizer`] — including a serving-layer session, which is how many concurrent
 //! decode streams share one batched normalization engine. By default the stream
-//! rides a [`DecodeContext`]: the prompt is prefilled into per-block KV caches on
-//! the first step and every later step feeds exactly one token, so per-step work is
-//! O(seq) instead of the O(seq²) full recompute. The old full-prefix path is kept
-//! as the parity oracle behind [`StreamingModel::new_full_recompute`]; the two
+//! rides a [`DecodeContext`] whose per-block K/V rows are **paged out of a
+//! [`KvBlockPool`](crate::KvBlockPool)** (a private pool under
+//! [`StreamingModel::new`]; pass a pool-backed context to
+//! [`StreamingModel::from_context`] to share one pool across many streams): the
+//! prompt is prefilled on the first step and every later step feeds exactly one
+//! token, so per-step work is O(seq) instead of the O(seq²) full recompute.
+//!
+//! Two parity oracles are kept deliberately, one per axis of the fast path:
+//! [`StreamingModel::new_full_recompute`] re-runs the whole prefix every step
+//! (the *incrementality* oracle), and [`TransformerModel::start_decode_dense`]
+//! provides dense preallocated K/V storage (the *paging* oracle). All paths
 //! generate bit-identical tokens (see `tests/kv_decode.rs`).
 
 use crate::error::LlmError;
 use crate::model::{DecodeContext, TransformerModel};
 use crate::norm::Normalizer;
+use crate::paging::EvictionPolicy;
 
 /// One greedy decode stream over a shared model.
 ///
@@ -31,21 +39,24 @@ use crate::norm::Normalizer;
 /// assert_eq!(stream.tokens().len(), 4);
 /// # Ok::<(), haan_llm::LlmError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct StreamingModel<'m> {
     model: &'m TransformerModel,
     /// KV-cached decode state; `None` selects the full-prefix-recompute oracle.
-    /// Its `len()` is the number of leading tokens already fed, so the unfed
-    /// suffix of `tokens` is always `tokens[context.len()..]` — no second
-    /// counter to keep in sync.
     context: Option<DecodeContext<'m>>,
     tokens: Vec<u32>,
+    /// Leading tokens of `tokens` already fed to the context; the unfed suffix
+    /// is `tokens[fed..]`. Tracked separately from `context.len()` because a
+    /// sliding-window eviction shrinks the context without un-feeding anything.
+    fed: usize,
     prompt_len: usize,
 }
 
 impl<'m> StreamingModel<'m> {
-    /// Starts a KV-cached decode stream from a prompt: the prompt is prefilled
-    /// into the stream's [`DecodeContext`] on the first
+    /// Starts a KV-cached decode stream from a prompt, on the pool-backed paged
+    /// storage of [`TransformerModel::start_decode`] (a private pool; use
+    /// [`StreamingModel::from_context`] to ride a shared one): the prompt is
+    /// prefilled into the stream's [`DecodeContext`] on the first
     /// [`StreamingModel::decode_step`] and each later step feeds one token.
     ///
     /// # Errors
@@ -53,14 +64,42 @@ impl<'m> StreamingModel<'m> {
     /// Returns [`LlmError::InvalidSequenceLength`] or [`LlmError::TokenOutOfRange`]
     /// when the prompt is empty, too long, or out of vocabulary.
     pub fn new(model: &'m TransformerModel, prompt: &[u32]) -> Result<Self, LlmError> {
-        let mut stream = Self::new_full_recompute(model, prompt)?;
-        stream.context = Some(model.start_decode());
-        Ok(stream)
+        Self::from_context(model.start_decode(), prompt)
+    }
+
+    /// Starts a KV-cached decode stream on a caller-built [`DecodeContext`] —
+    /// e.g. one borrowing pages from a shared [`KvBlockPool`](crate::KvBlockPool)
+    /// via [`TransformerModel::start_decode_in`], the dense parity oracle of
+    /// [`TransformerModel::start_decode_dense`], or a context configured with a
+    /// sliding-window [`EvictionPolicy`] so the stream can generate past the
+    /// model's maximum sequence length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::InvalidConfig`] when the context has already been fed,
+    /// plus the prompt contract of [`StreamingModel::new`].
+    pub fn from_context(context: DecodeContext<'m>, prompt: &[u32]) -> Result<Self, LlmError> {
+        if !context.is_empty() {
+            return Err(LlmError::InvalidConfig(
+                "streaming decode requires an unused decode context".to_string(),
+            ));
+        }
+        let model = context.model();
+        model.validate_tokens(prompt)?;
+        Ok(Self {
+            model,
+            context: Some(context),
+            tokens: prompt.to_vec(),
+            fed: 0,
+            prompt_len: prompt.len(),
+        })
     }
 
     /// Starts a decode stream that re-runs the full prefix every step — the
-    /// stateless oracle the cached path is tested against. Same greedy decoding,
-    /// same contract, O(seq²) per step.
+    /// stateless *incrementality* oracle the cached paths are tested against
+    /// (storage parity is covered separately by
+    /// [`TransformerModel::start_decode_dense`]). Same greedy decoding, same
+    /// contract, O(seq²) per step.
     ///
     /// # Errors
     ///
@@ -74,6 +113,7 @@ impl<'m> StreamingModel<'m> {
             model,
             context: None,
             tokens: prompt.to_vec(),
+            fed: 0,
             prompt_len: prompt.len(),
         })
     }
@@ -110,12 +150,23 @@ impl<'m> StreamingModel<'m> {
     }
 
     /// Remaining decode capacity before the model's maximum sequence length.
+    /// A cached stream under a sliding-window [`EvictionPolicy`] keeps decoding
+    /// past zero: the context evicts its oldest positions instead of failing.
     #[must_use]
     pub fn remaining_capacity(&self) -> usize {
         self.model
             .config()
             .max_seq_len
             .saturating_sub(self.tokens.len())
+    }
+
+    /// True when the stream survives running out of capacity by sliding-window
+    /// eviction instead of erroring.
+    #[must_use]
+    pub fn is_windowed(&self) -> bool {
+        self.context.as_ref().is_some_and(|context| {
+            matches!(context.eviction(), EvictionPolicy::SlidingWindow { .. })
+        })
     }
 
     /// Runs one greedy decode step: the unprocessed suffix of the token buffer
@@ -126,17 +177,19 @@ impl<'m> StreamingModel<'m> {
     /// # Errors
     ///
     /// Returns [`LlmError::InvalidSequenceLength`] when the stream is already at
-    /// the model's maximum sequence length, or any forward-pass error.
+    /// the model's maximum sequence length (unless windowed), or any forward-pass
+    /// error.
     pub fn decode_step<N: Normalizer + ?Sized>(
         &mut self,
         normalizer: &mut N,
     ) -> Result<u32, LlmError> {
-        if self.remaining_capacity() == 0 {
+        if self.remaining_capacity() == 0 && !self.is_windowed() {
             return Err(LlmError::InvalidSequenceLength {
                 length: self.tokens.len() + 1,
                 max: self.model.config().max_seq_len,
             });
         }
+        let fed_after = self.tokens.len();
         let last_logits: Vec<f32> = match &mut self.context {
             None => {
                 let logits = self.model.logits(&self.tokens, normalizer)?;
@@ -146,10 +199,11 @@ impl<'m> StreamingModel<'m> {
                 // Feed whatever the context has not seen yet — the prompt on the
                 // first step, exactly one token per step afterwards — projecting
                 // only the final position onto the vocabulary.
-                let pending = &self.tokens[context.len()..];
+                let pending = &self.tokens[self.fed..];
                 context.prefill_last(pending, normalizer)?
             }
         };
+        self.fed = fed_after;
         let next = last_logits
             .iter()
             .enumerate()
@@ -263,5 +317,71 @@ mod tests {
         assert!(StreamingModel::new(&model, &[]).is_err());
         assert!(StreamingModel::new(&model, &[9999]).is_err());
         assert!(StreamingModel::new_full_recompute(&model, &[]).is_err());
+    }
+
+    #[test]
+    fn from_context_requires_a_fresh_context_and_supports_shared_pools() {
+        use crate::paging::KvBlockPool;
+        let model = tiny_model();
+        let pool = KvBlockPool::shared(
+            model.config().max_seq_len * model.config().num_blocks,
+            8,
+            model.config().embedding_dim,
+        );
+        let ctx = model.start_decode_in(&pool).unwrap();
+        let mut pooled = StreamingModel::from_context(ctx, &[2, 4, 6]).unwrap();
+        let mut private = StreamingModel::new(&model, &[2, 4, 6]).unwrap();
+        let a = pooled.decode(4, &mut ReferenceNormalizer::new()).unwrap();
+        let b = private.decode(4, &mut ReferenceNormalizer::new()).unwrap();
+        assert_eq!(a, b, "pool sharing must not change the generated tokens");
+        assert!(pool.pages_in_use() > 0);
+
+        let mut used = model.start_decode();
+        used.prefill(&[1], &mut ReferenceNormalizer::new()).unwrap();
+        assert!(StreamingModel::from_context(used, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn windowed_streams_decode_past_the_model_maximum() {
+        use crate::paging::EvictionPolicy;
+        let model = tiny_model();
+        let max = model.config().max_seq_len;
+        let keep = max / 2;
+        let ctx = model
+            .start_decode()
+            .with_eviction(EvictionPolicy::SlidingWindow { keep_last: keep });
+        let mut stream = StreamingModel::from_context(ctx, &[3, 1, 4]).unwrap();
+        assert!(stream.is_windowed());
+        let mut norm = ReferenceNormalizer::new();
+        // Run well past max_seq_len; an unwindowed stream would error at max.
+        let steps = max + 5;
+        let generated = stream.decode(steps, &mut norm).unwrap();
+        assert_eq!(generated.len(), steps);
+        assert_eq!(stream.tokens().len(), 3 + steps);
+        assert!(stream.tokens().len() > max);
+        // Every token after the first eviction must match a manual greedy oracle
+        // over the resident window (stateless full recompute of the window).
+        let mut window: Vec<u32> = vec![3, 1, 4];
+        for &token in &generated {
+            let logits = model
+                .logits(&window, &mut ReferenceNormalizer::new())
+                .unwrap();
+            let expected = logits
+                .row(window.len() - 1)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i as u32)
+                .unwrap();
+            assert_eq!(token, expected);
+            if window.len() + 1 > max {
+                window = window[window.len() - keep..].to_vec();
+            }
+            window.push(token);
+        }
+        let mut unwindowed = StreamingModel::new(&model, &[3, 1, 4]).unwrap();
+        assert!(!unwindowed.is_windowed());
+        unwindowed.decode(max - 3, &mut norm).unwrap();
+        assert!(unwindowed.decode_step(&mut norm).is_err());
     }
 }

@@ -8,7 +8,7 @@ use crate::session::Session;
 use crate::telemetry::{Recorder, ServingStats};
 use haan::{AnchorState, HaanConfig, HaanNormalizer, SkipPlan};
 use haan_llm::norm::Normalizer;
-use haan_llm::Matrix;
+use haan_llm::{KvBlockPool, Matrix};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
@@ -51,6 +51,9 @@ pub struct ServeConfig {
     /// Bound of the submission queue, in requests; submissions block (backpressure)
     /// while the queue is full. Values of 0 act as 1.
     pub queue_capacity: usize,
+    /// Sizing of the shared K/V block pools behind
+    /// [`ServeEngine::decode_stream`] / [`ServeEngine::decode_group`].
+    pub kv_pool: KvPoolPolicy,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +63,35 @@ impl Default for ServeConfig {
             plan: None,
             scheduler: SchedulerPolicy::default(),
             queue_capacity: 64,
+            kv_pool: KvPoolPolicy::default(),
+        }
+    }
+}
+
+/// Sizing of the engine's shared [`KvBlockPool`]s: every decode stream the
+/// engine starts borrows its K/V pages from one pool per embedding width, so
+/// memory is bounded by the pool instead of `streams × max_seq × E`.
+///
+/// Sizing heuristic (see `ROADMAP.md`): `capacity_rows ≈ expected concurrent
+/// streams × model blocks × expected live positions per stream`. Pool pages are
+/// materialized lazily, so an over-provisioned capacity only bounds, it does
+/// not allocate; an under-provisioned one surfaces as
+/// [`LlmError::KvPoolExhausted`](haan_llm::LlmError) on the stream that could
+/// not grow (never as a panic, and never corrupting the stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvPoolPolicy {
+    /// Rows per page. Smaller pages waste less slack per block/stream but grow
+    /// page tables faster; 16 suits decode (1 row per step) with short prompts.
+    pub page_rows: usize,
+    /// Total K/V row pairs per pool (one pool per distinct embedding width).
+    pub capacity_rows: usize,
+}
+
+impl Default for KvPoolPolicy {
+    fn default() -> Self {
+        Self {
+            page_rows: 16,
+            capacity_rows: 16_384,
         }
     }
 }
@@ -168,6 +200,10 @@ pub struct ServeEngine {
     shared: Arc<Shared>,
     tx: SyncSender<WorkItem>,
     worker: Option<JoinHandle<()>>,
+    /// Shared K/V block pools of the engine's decode streams, one per distinct
+    /// embedding width (created on first use).
+    kv_pools: Mutex<Vec<Arc<KvBlockPool>>>,
+    kv_pool_policy: KvPoolPolicy,
 }
 
 impl std::fmt::Debug for ServeEngine {
@@ -192,6 +228,7 @@ impl ServeEngine {
             recorder: Recorder::default(),
         });
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
+        let kv_pool_policy = config.kv_pool;
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("haan-serve-worker".to_string())
@@ -201,6 +238,8 @@ impl ServeEngine {
             shared,
             tx,
             worker: Some(worker),
+            kv_pools: Mutex::new(Vec::new()),
+            kv_pool_policy,
         }
     }
 
@@ -211,21 +250,89 @@ impl ServeEngine {
         Session::new(Arc::clone(&self.shared), self.tx.clone())
     }
 
+    /// The engine's shared K/V block pool for streams of the given embedding
+    /// width, created (lazily, sized by [`KvPoolPolicy`]) on first use. Every
+    /// stream of [`ServeEngine::decode_stream`] and
+    /// [`ServeEngine::decode_group`] borrows its pages here, so concurrent
+    /// streams share one bounded arena instead of each preallocating
+    /// `max_seq × E` per block.
+    #[must_use]
+    pub fn kv_pool(&self, embedding_dim: usize) -> Arc<KvBlockPool> {
+        let mut pools = self.kv_pools.lock().expect("kv pool registry poisoned");
+        if let Some(pool) = pools
+            .iter()
+            .find(|pool| pool.embedding_dim() == embedding_dim)
+        {
+            return Arc::clone(pool);
+        }
+        let pool = KvBlockPool::shared(
+            self.kv_pool_policy.capacity_rows.max(1),
+            self.kv_pool_policy.page_rows.max(1),
+            embedding_dim,
+        );
+        pools.push(Arc::clone(&pool));
+        pool
+    }
+
     /// Starts a KV-cached decode stream over `model`, normalizing through a fresh
     /// session of this engine: each generated token runs one incremental forward
-    /// pass (per-block K/V caches, O(seq) work) whose normalization sites are
-    /// coalesced with other in-flight streams by the scheduler.
+    /// pass whose normalization sites are coalesced with other in-flight streams
+    /// by the scheduler. The stream's K/V rows are paged out of the engine's
+    /// shared pool ([`ServeEngine::kv_pool`]), so any number of streams share one
+    /// bounded arena.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidRequest`] when the prompt is empty, too long
     /// for the model, or out of vocabulary.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use haan_llm::{ModelConfig, TransformerModel};
+    /// use haan_serve::{ServeConfig, ServeEngine};
+    ///
+    /// let model = TransformerModel::new(&ModelConfig::tiny_test(), 42)?;
+    /// let mut engine = ServeEngine::start(ServeConfig::default());
+    /// let mut stream = engine.decode_stream(&model, &[1, 5, 9])?;
+    /// let token = stream.step()?; // one O(seq) forward pass through the engine
+    /// assert_eq!(stream.generated(), &[token]);
+    /// // The stream's K/V pages live in the engine's shared pool.
+    /// assert!(engine.kv_pool(model.config().embedding_dim).pages_in_use() > 0);
+    /// engine.shutdown();
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn decode_stream<'m>(
         &self,
         model: &'m haan_llm::TransformerModel,
         prompt: &[u32],
     ) -> Result<crate::DecodeStream<'m>, ServeError> {
-        crate::DecodeStream::new(self.session(), model, prompt)
+        let pool = self.kv_pool(model.config().embedding_dim);
+        crate::DecodeStream::new(self.session(), &pool, model, prompt)
+    }
+
+    /// Starts a **batched multi-stream** decode group: `prompts.len()` KV-cached
+    /// streams that advance in lockstep, one token per stream per
+    /// [`DecodeGroup::step_all`](crate::DecodeGroup::step_all) tick. Each tick
+    /// gathers every ready stream and runs one incremental pass over the stacked
+    /// rows, so the engine executes **one fused `normalize_matrix_into` call per
+    /// site with one row per stream** — wide batches by construction, where
+    /// independent [`ServeEngine::decode_stream`]s only coalesce when their
+    /// client threads happen to overlap. K/V pages come from the engine's shared
+    /// pool; tokens are bit-identical to each stream decoding alone (see
+    /// `tests/kv_decode.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] when `prompts` is empty or any
+    /// prompt is empty, too long for the model, or out of vocabulary.
+    pub fn decode_group<'m>(
+        &self,
+        model: &'m haan_llm::TransformerModel,
+        prompts: &[&[u32]],
+    ) -> Result<crate::DecodeGroup<'m>, ServeError> {
+        let pool = self.kv_pool(model.config().embedding_dim);
+        crate::DecodeGroup::new(self.session(), &pool, model, prompts)
     }
 
     /// Interns `γ`/`β` parameter vectors, returning the engine-wide shared handle.

@@ -24,17 +24,29 @@
 //! * [`DecodeStream`] — a session bundled with a KV-cached
 //!   [`DecodeContext`](haan_llm::DecodeContext)-backed decode loop
 //!   ([`ServeEngine::decode_stream`]): per-token work is O(seq) — the prefix is
-//!   never recomputed — and each step's single-row normalization requests coalesce
-//!   with every other in-flight stream's.
+//!   never recomputed — K/V rows are paged out of the engine's shared
+//!   [`KvBlockPool`](haan_llm::KvBlockPool) (sized by [`KvPoolPolicy`], so
+//!   memory is bounded by the pool instead of `streams × max_seq`), and each
+//!   step's single-row normalization requests coalesce with every other
+//!   in-flight stream's.
+//! * [`DecodeGroup`] — batched multi-stream decode
+//!   ([`ServeEngine::decode_group`]): every tick advances all ready streams in
+//!   lockstep through one incremental pass, so each normalization site executes
+//!   as **one fused call carrying one row per stream** — guaranteed batching
+//!   width, where independent streams only coalesce when their threads happen to
+//!   overlap.
 //! * [`ServingStats`] — per-batch telemetry: batch occupancy, queue-wait
 //!   percentiles, ns/element.
 //!
 //! Everything runs on `std::thread` (the build container is offline — no async
 //! runtime); a tokio adapter is a listed follow-up in `ROADMAP.md`. See
-//! `ARCHITECTURE.md` ("Serving layer") for the queue → scheduler → backend →
-//! response-routing diagram.
+//! `docs/SERVING.md` for the full serving guide (queue → scheduler → backend →
+//! response walkthrough, policy tuning, anchor-state lifetime, decode-stream
+//! batching semantics) and `ARCHITECTURE.md` for the diagrams.
 //!
-//! # Example
+//! # Examples
+//!
+//! Raw normalization requests through a [`Session`]:
 //!
 //! ```
 //! use haan::{BackendSelection, HaanConfig};
@@ -56,6 +68,23 @@
 //! engine.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Batched multi-stream decode over pooled K/V pages:
+//!
+//! ```
+//! use haan_llm::{ModelConfig, TransformerModel};
+//! use haan_serve::{ServeConfig, ServeEngine};
+//!
+//! let model = TransformerModel::new(&ModelConfig::tiny_test(), 42)?;
+//! let mut engine = ServeEngine::start(ServeConfig::default());
+//! let prompts: [&[u32]; 2] = [&[1, 5, 9], &[2, 4]];
+//! let mut group = engine.decode_group(&model, &prompts)?;
+//! group.decode(3)?; // 3 ticks × 2 streams, one fused request per site per tick
+//! assert_eq!(group.generated(0).len(), 3);
+//! assert_eq!(group.generated(1).len(), 3);
+//! engine.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,14 +92,16 @@
 pub mod decode;
 pub mod engine;
 pub mod error;
+pub mod multi;
 pub mod request;
 pub mod scheduler;
 pub mod session;
 pub mod telemetry;
 
 pub use decode::DecodeStream;
-pub use engine::{ServeConfig, ServeEngine};
+pub use engine::{KvPoolPolicy, ServeConfig, ServeEngine};
 pub use error::ServeError;
+pub use multi::DecodeGroup;
 pub use request::{NormParams, NormRequest, NormResponse, PendingResponse};
 pub use scheduler::{BatchKey, Entry, QueueOrdering, ReadyBatch, Scheduler, SchedulerPolicy};
 pub use session::Session;

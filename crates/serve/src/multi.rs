@@ -1,0 +1,378 @@
+//! Batched multi-stream decode: many KV-cached streams advanced in lockstep
+//! through one engine session.
+//!
+//! A single [`DecodeStream`](crate::DecodeStream) submits one **single-row**
+//! normalization request per site per token; the scheduler only widens the batch
+//! when other client threads happen to be in flight at the same instant. A
+//! [`DecodeGroup`] removes the luck: each [`DecodeGroup::step_all`] tick gathers
+//! every ready stream and advances them through
+//! [`TransformerModel::step_many`] — one incremental pass over the stacked rows,
+//! so the engine worker executes **one fused `normalize_matrix_into` call per
+//! normalization site with one row per stream**. Attention stays per-stream
+//! (each row attends against its own paged K/V cache); every row-local stage
+//! (both norm sites per block, the MLPs, the final norm, the logit projection)
+//! runs batched.
+//!
+//! Parity: generated tokens are bit-identical to each stream decoding alone on a
+//! private normalizer. Row kernels are row-local, and HAAN's skip-anchor state
+//! is per-row within a pass, so row `s` of a lockstep tick records and consumes
+//! exactly the anchors stream `s` would see solo (`tests/kv_decode.rs`).
+
+use crate::error::ServeError;
+use crate::session::Session;
+use haan_llm::{DecodeContext, KvBlockPool, LlmError, TransformerModel};
+use std::sync::Arc;
+
+/// One member stream of a [`DecodeGroup`]: its decode context (paged K/V), its
+/// token buffer and the count of tokens already fed.
+#[derive(Debug)]
+struct GroupStream<'m> {
+    context: DecodeContext<'m>,
+    /// Prompt followed by generated tokens; the unfed suffix is `tokens[fed..]`
+    /// (the whole prompt before the first tick, exactly one token afterwards).
+    tokens: Vec<u32>,
+    fed: usize,
+    prompt_len: usize,
+}
+
+impl GroupStream<'_> {
+    /// True when the stream can accept one more token this tick.
+    fn is_ready(&self) -> bool {
+        self.context.remaining_capacity() > 0
+    }
+}
+
+/// A set of KV-cached greedy decode streams advanced in lockstep through one
+/// [`ServeEngine`](crate::ServeEngine) session.
+///
+/// Created by [`ServeEngine::decode_group`](crate::ServeEngine::decode_group).
+/// The first [`DecodeGroup::step_all`] prefills each stream's prompt (prompts
+/// have different lengths, so prefills run per stream); every later tick feeds
+/// one token per ready stream in a single batched pass. Streams that reach the
+/// model's maximum sequence length simply stop contributing rows — their slots
+/// report `None`.
+///
+/// # Panics
+///
+/// Like every [`Session`]-driven forward pass, a tick panics with a descriptive
+/// message if the engine shuts down mid-pass.
+#[derive(Debug)]
+pub struct DecodeGroup<'m> {
+    model: &'m TransformerModel,
+    session: Session,
+    streams: Vec<GroupStream<'m>>,
+}
+
+impl<'m> DecodeGroup<'m> {
+    /// Builds a group of `prompts.len()` streams whose K/V pages come from
+    /// `pool` and whose normalization runs through `session`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] when `prompts` is empty or any
+    /// prompt fails the model's token validation, or when the pool width does
+    /// not match the model.
+    pub(crate) fn new(
+        session: Session,
+        pool: &Arc<KvBlockPool>,
+        model: &'m TransformerModel,
+        prompts: &[&[u32]],
+    ) -> Result<Self, ServeError> {
+        if prompts.is_empty() {
+            return Err(ServeError::InvalidRequest(
+                "a decode group needs at least one prompt".to_string(),
+            ));
+        }
+        let invalid = |err: LlmError| ServeError::InvalidRequest(err.to_string());
+        let mut streams = Vec::with_capacity(prompts.len());
+        for prompt in prompts {
+            model.validate_tokens(prompt).map_err(invalid)?;
+            streams.push(GroupStream {
+                context: model.start_decode_in(pool).map_err(invalid)?,
+                tokens: prompt.to_vec(),
+                fed: 0,
+                prompt_len: prompt.len(),
+            });
+        }
+        Ok(Self {
+            model,
+            session,
+            streams,
+        })
+    }
+
+    /// The model the group decodes with.
+    #[must_use]
+    pub fn model(&self) -> &'m TransformerModel {
+        self.model
+    }
+
+    /// The group's engine session (e.g. to inspect its skip-anchor state).
+    #[must_use]
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Number of member streams.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True when the group has no streams (never, for an engine-built group).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Number of streams that can still accept a token.
+    #[must_use]
+    pub fn ready_streams(&self) -> usize {
+        self.streams.iter().filter(|s| s.is_ready()).count()
+    }
+
+    /// Stream `index`'s full token buffer: prompt followed by generated tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    #[must_use]
+    pub fn tokens(&self, index: usize) -> &[u32] {
+        &self.streams[index].tokens
+    }
+
+    /// Stream `index`'s generated tokens (excluding the prompt).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    #[must_use]
+    pub fn generated(&self, index: usize) -> &[u32] {
+        let stream = &self.streams[index];
+        &stream.tokens[stream.prompt_len..]
+    }
+
+    /// Stream `index`'s remaining capacity before the model's maximum sequence
+    /// length.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    #[must_use]
+    pub fn remaining_capacity(&self, index: usize) -> usize {
+        self.streams[index].context.remaining_capacity()
+    }
+
+    /// Advances every ready stream one greedy token and returns, per stream,
+    /// the token it generated this tick (`None` for streams at capacity).
+    ///
+    /// On the first call each stream's prompt is prefilled (separate incremental
+    /// passes — prompts differ in length); on every later call the ready
+    /// streams advance together through [`TransformerModel::step_many`]: one
+    /// batched pass, one fused normalization request per site carrying one row
+    /// per stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any forward-pass error ([`LlmError`]). A failed tick is
+    /// **retry-safe**: every underlying pass rolls back on error, so streams
+    /// that had not advanced yet are unchanged, streams that already advanced
+    /// this tick keep their token (visible through [`DecodeGroup::tokens`]),
+    /// and calling `step_all` again resumes exactly where the tick stopped —
+    /// still-unfed prompts prefill, everything else locksteps.
+    pub fn step_all(&mut self) -> Result<Vec<Option<u32>>, LlmError> {
+        let mut results = vec![None; self.streams.len()];
+        // Prefill pass: any stream that has not fed its prompt yet — all of
+        // them on the first tick, only the unfed remainder after a failed one.
+        for (slot, stream) in results.iter_mut().zip(&mut self.streams) {
+            if stream.fed > 0 {
+                continue;
+            }
+            let logits = stream
+                .context
+                .prefill_last(&stream.tokens, &mut self.session)?;
+            stream.fed = stream.tokens.len();
+            let next = argmax(&logits);
+            stream.tokens.push(next);
+            *slot = Some(next);
+        }
+        // Lockstep pass: every ready stream not already stepped above
+        // contributes one row. (A stream is in the lockstep set iff its result
+        // slot is still empty and it has capacity — both filters below must
+        // agree, and nothing in between mutates either.)
+        let ready: Vec<usize> = self
+            .streams
+            .iter()
+            .enumerate()
+            .filter(|(i, stream)| results[*i].is_none() && stream.is_ready())
+            .map(|(i, _)| i)
+            .collect();
+        if ready.is_empty() {
+            return Ok(results);
+        }
+        let tokens: Vec<u32> = ready
+            .iter()
+            .map(|&i| {
+                let stream = &self.streams[i];
+                debug_assert_eq!(stream.fed + 1, stream.tokens.len());
+                stream.tokens[stream.fed]
+            })
+            .collect();
+        let mut contexts: Vec<&mut DecodeContext<'m>> = self
+            .streams
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, stream)| results[*i].is_none() && stream.is_ready())
+            .map(|(_, stream)| &mut stream.context)
+            .collect();
+        let logits = self
+            .model
+            .step_many(&mut contexts, &tokens, &mut self.session)?;
+        for (row, &i) in ready.iter().enumerate() {
+            let stream = &mut self.streams[i];
+            stream.fed += 1;
+            let next = argmax(logits.row(row));
+            stream.tokens.push(next);
+            results[i] = Some(next);
+        }
+        Ok(results)
+    }
+
+    /// Runs up to `ticks` lockstep rounds, returning the total number of tokens
+    /// generated (streams stop contributing once they reach capacity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`DecodeGroup::step_all`] error.
+    pub fn decode(&mut self, ticks: usize) -> Result<usize, LlmError> {
+        let mut generated = 0;
+        for _ in 0..ticks {
+            generated += self.step_all()?.iter().flatten().count();
+        }
+        Ok(generated)
+    }
+}
+
+/// Greedy arg-max over a logits row.
+fn argmax(logits: &[f32]) -> u32 {
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i as u32)
+        .expect("non-empty vocabulary")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{ServeConfig, ServeEngine};
+    use haan::{BackendSelection, HaanConfig};
+    use haan_llm::norm::ReferenceNormalizer;
+    use haan_llm::{ModelConfig, StreamingModel, TransformerModel};
+
+    fn engine() -> ServeEngine {
+        ServeEngine::start(ServeConfig {
+            normalizer: HaanConfig {
+                backend: BackendSelection::Fused,
+                ..HaanConfig::unoptimized()
+            },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn group_matches_private_full_recompute_streams() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 23).unwrap();
+        let mut engine = engine();
+        let prompts: [&[u32]; 3] = [&[2, 9, 4], &[1, 7], &[5, 5, 5, 5]];
+        let mut group = engine.decode_group(&model, &prompts).unwrap();
+        assert_eq!(group.len(), 3);
+        assert!(!group.is_empty());
+        assert_eq!(group.model().seed(), 23);
+        const TICKS: usize = 5;
+        let generated = group.decode(TICKS).unwrap();
+        assert_eq!(generated, 3 * TICKS);
+        for (i, prompt) in prompts.iter().enumerate() {
+            let mut oracle = StreamingModel::new_full_recompute(&model, prompt).unwrap();
+            let expected = oracle
+                .decode(TICKS, &mut ReferenceNormalizer::new())
+                .unwrap();
+            assert_eq!(group.generated(i), expected.as_slice(), "stream {i}");
+            assert_eq!(group.tokens(i).len(), prompt.len() + TICKS);
+        }
+        // Lockstep ticks carry one row per stream: rows/batch must exceed 1.
+        assert!(engine.stats().mean_batch_occupancy_rows() > 1.0);
+        let _ = group.session().anchor_state();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn exhausted_streams_stop_contributing_rows() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 23).unwrap();
+        let max = model.config().max_seq_len;
+        let mut engine = engine();
+        // One stream a single token from the end, one with plenty of room.
+        let long: Vec<u32> = (0..(max as u32 - 1)).map(|i| i % 8).collect();
+        let prompts: [&[u32]; 2] = [&long, &[3, 1]];
+        let mut group = engine.decode_group(&model, &prompts).unwrap();
+        let first = group.step_all().unwrap();
+        assert!(first.iter().all(Option::is_some), "prefill tick fills both");
+        assert_eq!(
+            group.remaining_capacity(0),
+            1,
+            "one slot left after prefill"
+        );
+        let second = group.step_all().unwrap();
+        assert!(second.iter().all(Option::is_some));
+        assert_eq!(group.remaining_capacity(0), 0);
+        assert_eq!(group.ready_streams(), 1);
+        let third = group.step_all().unwrap();
+        assert!(third[0].is_none(), "full stream must be skipped, not error");
+        assert!(third[1].is_some());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn a_failed_prefill_tick_is_retry_safe() {
+        use crate::engine::KvPoolPolicy;
+        use haan_llm::LlmError;
+        // An engine pool with room for one stream's prompt but not two: the
+        // first tick prefills stream 0, then fails with the typed pool error on
+        // stream 1. Retrying must neither panic nor re-feed stream 0 — the tick
+        // resumes at the still-unfed stream and fails the same typed way while
+        // the pressure persists.
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 23).unwrap();
+        let mut engine = ServeEngine::start(ServeConfig {
+            normalizer: HaanConfig {
+                backend: BackendSelection::Fused,
+                ..HaanConfig::unoptimized()
+            },
+            kv_pool: KvPoolPolicy {
+                page_rows: 4,
+                capacity_rows: 24,
+            },
+            ..Default::default()
+        });
+        let prompts: [&[u32]; 2] = [&[1, 2, 3, 4], &[5, 6, 7, 8]];
+        let mut group = engine.decode_group(&model, &prompts).unwrap();
+        for _ in 0..2 {
+            let err = group.step_all().unwrap_err();
+            assert!(matches!(err, LlmError::KvPoolExhausted { .. }), "{err:?}");
+            // Stream 0 advanced exactly once across both attempts; stream 1
+            // never advanced.
+            assert_eq!(group.tokens(0).len(), prompts[0].len() + 1);
+            assert_eq!(group.tokens(1).len(), prompts[1].len());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn invalid_groups_are_rejected() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 23).unwrap();
+        let mut engine = engine();
+        assert!(engine.decode_group(&model, &[]).is_err());
+        let bad: [&[u32]; 2] = [&[1, 2], &[40_000]];
+        assert!(engine.decode_group(&model, &bad).is_err());
+        engine.shutdown();
+    }
+}

@@ -1,13 +1,17 @@
 //! Incremental decode demo: KV-cached streams served by one `ServeEngine`.
 //!
 //! Two decode streams share the engine; each owns a `DecodeStream` — a serving
-//! `Session` bundled with a `DecodeContext` holding per-block K/V caches — so
+//! `Session` bundled with a `DecodeContext` whose per-block K/V rows are paged
+//! out of the engine's shared `KvBlockPool` (the pool-backed default) — so
 //! every generated token runs one O(seq) forward pass submitting single-row
 //! normalization requests (concurrent client threads would coalesce in the
-//! scheduler; this demo steps the streams alternately from one thread). The demo
-//! checks both streams against the stateless full-recompute oracle on a private
-//! HAAN normalizer: engine-batched, incremental, multi-tenant decode must be
-//! **bit-identical** to solo full recompute.
+//! scheduler; this demo steps the streams alternately from one thread — see
+//! `examples/multi_stream.rs` for the lockstep `DecodeGroup` that batches by
+//! construction). The demo checks both streams against the stateless
+//! full-recompute oracle (`StreamingModel::new_full_recompute`, the
+//! incrementality oracle) on a private HAAN normalizer: engine-batched,
+//! incremental, multi-tenant decode must be **bit-identical** to solo full
+//! recompute.
 //!
 //! Run with: `cargo run --release --example decode`
 

@@ -1,7 +1,9 @@
 //! Parity suite of the stateful incremental forward-pass API: KV-cached decode
-//! (`DecodeContext` / `StreamingModel` / serve-layer `DecodeStream`) must be
-//! **bit-identical** to the stateless full-prefix recompute oracle, over edge
-//! shapes and across HAAN skip-anchor sites.
+//! (`DecodeContext` / `StreamingModel` / serve-layer `DecodeStream` /
+//! `DecodeGroup`) must be **bit-identical** to the stateless full-prefix
+//! recompute oracle, over edge shapes and across HAAN skip-anchor sites — and
+//! paged pool-backed K/V storage must be bit-identical to the dense
+//! `start_decode_dense` storage oracle.
 //!
 //! Why exact equality is the right bar: every operation outside the attention
 //! score matrix is row-local (embeddings, norms, MLP, residuals, logit
@@ -11,12 +13,16 @@
 //! contribute exact `+0.0` terms — so the cached path computes the same floats,
 //! not merely close ones. HAAN's skip predictor keeps the property because its
 //! per-row anchors are recorded and consumed within one pass over the same rows.
+//! Paged storage adds nothing numeric: the page gather fills the very per-head
+//! panels the dense window copy fills, in the same row order.
 
 use haan::{BackendSelection, HaanConfig, HaanNormalizer, SkipPlan};
 use haan_llm::norm::ReferenceNormalizer;
-use haan_llm::{ModelConfig, StreamingModel, TransformerModel};
+use haan_llm::{
+    EvictionPolicy, KvBlockPool, LlmError, ModelConfig, StreamingModel, TransformerModel,
+};
 use haan_numerics::Format;
-use haan_serve::{ServeConfig, ServeEngine};
+use haan_serve::{KvPoolPolicy, ServeConfig, ServeEngine};
 
 fn model() -> TransformerModel {
     TransformerModel::new(&ModelConfig::tiny_test(), 42).expect("valid test model")
@@ -158,6 +164,226 @@ fn prefill_of_exactly_max_seq_fills_the_context() {
     // Reset reclaims the stream without reallocating.
     ctx.reset();
     assert_eq!(ctx.remaining_capacity(), max);
+}
+
+#[test]
+fn paged_decode_is_bit_identical_to_the_dense_oracle_across_skip_sites() {
+    // The tentpole parity bar: pool-backed paged K/V storage (shared pool, two
+    // interleaved streams) against the dense preallocated oracle, under HAAN
+    // subsampled/quantized statistics and both skip plans — prefill and
+    // step-by-step decode, bit for bit.
+    let model = model();
+    let pool = KvBlockPool::shared(
+        2 * model.config().max_seq_len * model.config().num_blocks,
+        4,
+        model.config().embedding_dim,
+    );
+    let prompts: [&[u32]; 2] = [&[3, 7, 11], &[1, 2, 3, 4, 5]];
+    for plan in skip_plans() {
+        let mut paged: Vec<_> = prompts
+            .iter()
+            .map(|prompt| {
+                let mut ctx = model.start_decode_in(&pool).expect("matching pool width");
+                assert!(ctx.is_paged());
+                let mut norm = HaanNormalizer::new(haan_config()).with_plan(plan);
+                let logits = ctx.prefill(prompt, &mut norm).expect("paged prefill");
+                (ctx, norm, logits)
+            })
+            .collect();
+        let mut dense: Vec<_> = prompts
+            .iter()
+            .map(|prompt| {
+                let mut ctx = model.start_decode_dense();
+                assert!(!ctx.is_paged());
+                let mut norm = HaanNormalizer::new(haan_config()).with_plan(plan);
+                let logits = ctx.prefill(prompt, &mut norm).expect("dense prefill");
+                (ctx, norm, logits)
+            })
+            .collect();
+        for ((_, _, from_paged), (_, _, from_dense)) in paged.iter().zip(&dense) {
+            assert_eq!(from_paged, from_dense, "prefill, plan {plan:?}");
+        }
+        // Interleave the streams' steps so their pool pages interleave too.
+        for step in 0..6u32 {
+            for (s, ((paged_ctx, paged_norm, _), (dense_ctx, dense_norm, _))) in
+                paged.iter_mut().zip(&mut dense).enumerate()
+            {
+                let token = (step * 5 + s as u32) % 8;
+                let from_paged = paged_ctx.step(token, paged_norm).expect("paged step");
+                let from_dense = dense_ctx.step(token, dense_norm).expect("dense step");
+                assert_eq!(from_paged, from_dense, "stream {s} step {step}");
+            }
+        }
+    }
+    drop(pool);
+}
+
+#[test]
+fn windowed_stream_outlives_max_seq_and_stays_parity_correct() {
+    // Sliding-window eviction under a HAAN skip plan: a stream decoding far past
+    // max_seq_len must, at every step, match the stateless oracle over the
+    // resident window (the satellite acceptance bar for eviction).
+    let model = model();
+    let max = model.config().max_seq_len;
+    let keep = max / 2;
+    let plan = skip_plans()[0];
+    let mut ctx = model
+        .start_decode()
+        .with_eviction(EvictionPolicy::SlidingWindow { keep_last: keep });
+    let mut norm = HaanNormalizer::new(haan_config()).with_plan(plan);
+    let mut window: Vec<u32> = vec![4, 2, 7];
+    ctx.prefill(&window, &mut norm).expect("prefill");
+    for round in 0..(2 * max) as u32 {
+        let token = (round * 3 + 1) % 8;
+        if window.len() + 1 > max {
+            window = window[window.len() - keep..].to_vec();
+        }
+        window.push(token);
+        let stepped = ctx.step(token, &mut norm).expect("windowed step");
+        let mut oracle_norm = HaanNormalizer::new(haan_config()).with_plan(plan);
+        let oracle = model
+            .logits(&window, &mut oracle_norm)
+            .expect("stateless oracle over the window");
+        assert_eq!(
+            stepped.as_slice(),
+            oracle.row(window.len() - 1),
+            "round {round}"
+        );
+        assert_eq!(ctx.resident_tokens(), window.as_slice());
+    }
+    assert!(
+        ctx.len() <= max,
+        "the context must never exceed the model maximum"
+    );
+}
+
+#[test]
+fn pool_pressure_is_a_typed_error_and_the_stream_stays_consistent() {
+    // A pool too small for the stream's growth: the step that cannot get a page
+    // fails with the typed KvPoolExhausted (no panic), the failed pass rolls
+    // back, and the rolled-back stream still answers correctly after a reset.
+    let model = model();
+    let blocks = model.config().num_blocks;
+    // Room for 12 positions per block — less than max_seq_len (32).
+    let pool = KvBlockPool::shared(12 * blocks, 4, model.config().embedding_dim);
+    let mut ctx = model.start_decode_in(&pool).expect("pool matches model");
+    let mut norm = ReferenceNormalizer::new();
+    let mut tokens: Vec<u32> = vec![1, 2, 3, 4];
+    ctx.prefill(&tokens, &mut norm).expect("prefill fits");
+    let mut err = None;
+    for round in 0..16u32 {
+        let token = round % 8;
+        match ctx.step(token, &mut norm) {
+            Ok(_) => tokens.push(token),
+            Err(e) => {
+                err = Some(e);
+                break;
+            }
+        }
+    }
+    let err = err.expect("the pool must run out before 16 more tokens");
+    assert!(
+        matches!(err, LlmError::KvPoolExhausted { .. }),
+        "expected a typed pool-exhaustion error, got {err:?}"
+    );
+    // Rollback left the stream exactly where it was before the failed step:
+    // another pass over the same state must match the stateless oracle.
+    assert_eq!(ctx.len(), tokens.len());
+    assert_eq!(ctx.resident_tokens(), tokens.as_slice());
+    ctx.reset();
+    assert_eq!(pool.pages_in_use(), 0, "reset returns every page");
+    let logits = ctx
+        .prefill(&[5, 6, 7], &mut norm)
+        .expect("post-reset prefill");
+    let oracle = model
+        .logits(&[5, 6, 7], &mut ReferenceNormalizer::new())
+        .expect("oracle");
+    assert_eq!(logits, oracle);
+}
+
+#[test]
+fn windowed_stream_runs_forever_in_bounded_pool_memory() {
+    // A pool sized for one full window plus eviction headroom per block
+    // (eviction recomputes the kept window into fresh pages before freeing the
+    // old ones): an endless stream never exhausts the pool and peak residency
+    // stays within the bound.
+    let model = model();
+    let max = model.config().max_seq_len;
+    let blocks = model.config().num_blocks;
+    let pool = KvBlockPool::shared(2 * max * blocks, 4, model.config().embedding_dim);
+    let mut ctx = model
+        .start_decode_in(&pool)
+        .expect("pool matches model")
+        .with_eviction(EvictionPolicy::SlidingWindow { keep_last: max / 2 });
+    let mut norm = ReferenceNormalizer::new();
+    ctx.prefill(&[3, 1, 4], &mut norm).expect("prefill");
+    for round in 0..(3 * max) as u32 {
+        ctx.step(round % 8, &mut norm)
+            .expect("windowed stream must never exhaust its bounded pool");
+    }
+    assert!(ctx.len() <= max);
+    assert!(
+        pool.peak_pages_in_use() <= pool.pages_total(),
+        "peak residency {} exceeded the pool bound {}",
+        pool.peak_pages_in_use(),
+        pool.pages_total()
+    );
+}
+
+#[test]
+fn engine_decode_group_matches_solo_full_recompute_with_skipping() {
+    // The batched multi-stream step through the engine: four streams advanced in
+    // lockstep (one fused request per site per tick, one row per stream) under a
+    // HAAN skip plan must generate exactly the tokens of four solo
+    // full-recompute decodes on private normalizers.
+    let model = model();
+    let plan = skip_plans()[0];
+    let mut engine = ServeEngine::start(ServeConfig {
+        normalizer: haan_config(),
+        plan: Some(plan),
+        kv_pool: KvPoolPolicy {
+            page_rows: 8,
+            capacity_rows: 4 * model.config().max_seq_len * model.config().num_blocks,
+        },
+        ..Default::default()
+    });
+    let prompts: [&[u32]; 4] = [&[1, 9, 17], &[4, 8, 15, 16, 23], &[2], &[6, 6, 6]];
+    let mut group = engine
+        .decode_group(&model, &prompts)
+        .expect("valid prompts");
+    const TICKS: usize = 6;
+    for _ in 0..TICKS {
+        let results = group.step_all().expect("lockstep tick");
+        assert!(results.iter().all(Option::is_some));
+    }
+    for (i, prompt) in prompts.iter().enumerate() {
+        let mut private = HaanNormalizer::new(haan_config()).with_plan(plan);
+        let mut oracle = StreamingModel::new_full_recompute(&model, prompt).unwrap();
+        let expected = oracle.decode(TICKS, &mut private).unwrap();
+        assert_eq!(
+            group.generated(i),
+            expected.as_slice(),
+            "stream {i} diverged from solo full recompute"
+        );
+    }
+    // Lockstep ticks carry one row per stream — the batch occupancy the whole
+    // exercise exists to produce.
+    let stats = engine.stats();
+    assert!(
+        stats.mean_batch_occupancy_rows() > 1.0,
+        "expected > 1 row per site per tick, got {}",
+        stats.mean_batch_occupancy_rows()
+    );
+    // All pages come from one engine pool, bounded and shared.
+    let pool = engine.kv_pool(model.config().embedding_dim);
+    assert!(pool.pages_in_use() > 0);
+    drop(group);
+    assert_eq!(
+        pool.pages_in_use(),
+        0,
+        "dropped streams release their pages"
+    );
+    engine.shutdown();
 }
 
 #[test]

@@ -82,7 +82,7 @@ fn eight_concurrent_clients_match_sequential_execution_bit_for_bit() {
             max_wait_us: 3_000,
             ordering: QueueOrdering::Fifo,
         },
-        queue_capacity: 64,
+        ..Default::default()
     });
     let gamma: Vec<f32> = (0..COLS).map(|i| 1.0 + (i % 5) as f32 * 0.1).collect();
     let beta: Vec<f32> = (0..COLS).map(|i| (i % 3) as f32 * 0.2 - 0.2).collect();
