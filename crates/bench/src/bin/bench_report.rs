@@ -272,6 +272,120 @@ fn run_multi_stream_benchmark(model: &TransformerModel, streams: usize) -> Multi
     }
 }
 
+/// Overload factor of the robustness drill: offered streams per pool-sized slot.
+const ROBUSTNESS_OVERLOAD: usize = 4;
+/// Streams the drill pool is sized for (full-length, to the model maximum).
+const ROBUSTNESS_POOL_STREAMS: usize = 2;
+/// Seed of the drill's fault injector; the drill is bit-reproducible per seed.
+const ROBUSTNESS_SEED: u64 = 0xC0FFEE;
+
+struct RobustnessPoint {
+    offered: u64,
+    admitted: u64,
+    queued: u64,
+    shed: u64,
+    preemptions: u64,
+    resumes: u64,
+    resume_reprefill_rows: u64,
+    completed: u64,
+    drill_ticks: u64,
+    pool_exhausted_retries: u64,
+    injected_exhaustions: u64,
+    p99_queue_wait_us: u64,
+}
+
+impl RobustnessPoint {
+    fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// The overload drill of `tests/serving_chaos.rs`, measured: a pool sized for
+/// `ROBUSTNESS_POOL_STREAMS` full-length streams is offered `ROBUSTNESS_OVERLOAD`×
+/// as many prompts under seeded pool-exhaustion injection, and the group runs
+/// until every admitted stream completes. The numbers are the admission split,
+/// the preemption/resume traffic (with its re-prefill cost), and the engine's
+/// p99 queue wait under that pressure.
+fn run_robustness_benchmark() -> RobustnessPoint {
+    use haan_serve::{AdmissionPolicy, FaultPlan, SeededFaults, StreamStatus};
+    let model = TransformerModel::new(&ModelConfig::tiny_test(), 42).expect("valid drill model");
+    let config = model.config();
+    let max = config.max_seq_len;
+    let faults = std::sync::Arc::new(SeededFaults::new(
+        ROBUSTNESS_SEED,
+        FaultPlan {
+            exhaust_probability: 0.1,
+            max_exhaustions: 4,
+            ..Default::default()
+        },
+    ));
+    let mut engine = ServeEngine::start(ServeConfig {
+        normalizer: HaanConfig {
+            backend: BackendSelection::Fused,
+            ..HaanConfig::unoptimized()
+        },
+        kv_pool: KvPoolPolicy {
+            page_rows: 4,
+            capacity_rows: ROBUSTNESS_POOL_STREAMS * max * config.num_blocks,
+        },
+        admission: AdmissionPolicy {
+            queue_above: 0.75,
+            max_queued: 3,
+            retry_after_us: 500,
+            reserve_rows: max,
+        },
+        faults: Some(faults.clone() as std::sync::Arc<dyn haan_serve::FaultInjector>),
+        ..Default::default()
+    });
+    let offered = ROBUSTNESS_OVERLOAD * ROBUSTNESS_POOL_STREAMS;
+    let prompts: Vec<Vec<u32>> = (0..offered as u32)
+        .map(|i| vec![i % 8, (i + 3) % 8, (i * 5 + 1) % 8, (i + 1) % 8])
+        .collect();
+    let prompt_refs: Vec<&[u32]> = prompts.iter().map(Vec::as_slice).collect();
+    let mut group = engine
+        .decode_group(&model, &prompt_refs)
+        .expect("overload is not a constructor error");
+    let mut pool_exhausted_retries = 0u64;
+    loop {
+        match group.step_all() {
+            Ok(_) => {}
+            Err(haan_llm::LlmError::KvPoolExhausted { .. }) => {
+                pool_exhausted_retries += 1;
+                continue;
+            }
+            Err(err) => panic!("only pool exhaustion is expected in the drill: {err:?}"),
+        }
+        let settled = (0..group.len())
+            .all(|i| matches!(group.status(i), StreamStatus::Finished | StreamStatus::Shed));
+        if settled {
+            break;
+        }
+    }
+    let stats = group.stats();
+    let injected = faults.injected();
+    let p99_queue_wait_us = engine.stats().p99_queue_wait_us;
+    drop(group);
+    engine.shutdown();
+    RobustnessPoint {
+        offered: stats.offered,
+        admitted: stats.admitted,
+        queued: stats.queued,
+        shed: stats.shed,
+        preemptions: stats.preemptions,
+        resumes: stats.resumes,
+        resume_reprefill_rows: stats.resume_reprefill_rows,
+        completed: stats.completed,
+        drill_ticks: stats.ticks,
+        pool_exhausted_retries,
+        injected_exhaustions: injected.exhaustions,
+        p99_queue_wait_us,
+    }
+}
+
 struct PathResult {
     name: &'static str,
     measurement: Measurement,
@@ -508,6 +622,42 @@ fn main() {
     }
     println!("{}", multi_table.render());
 
+    // Robustness under overload: the 4× oversubscription drill with seeded
+    // fault injection — admission split, preemption/resume traffic, queue wait.
+    let robustness = run_robustness_benchmark();
+    let mut robustness_table = MarkdownTable::new(vec!["robustness metric", "value"]);
+    robustness_table.push_row(vec![
+        "offered / admitted / queued / shed".to_string(),
+        format!(
+            "{} / {} / {} / {}",
+            robustness.offered, robustness.admitted, robustness.queued, robustness.shed
+        ),
+    ]);
+    robustness_table.push_row(vec![
+        "shed rate".to_string(),
+        format!("{:.2}", robustness.shed_rate()),
+    ]);
+    robustness_table.push_row(vec![
+        "preemptions / resumes".to_string(),
+        format!("{} / {}", robustness.preemptions, robustness.resumes),
+    ]);
+    robustness_table.push_row(vec![
+        "resume re-prefill rows".to_string(),
+        robustness.resume_reprefill_rows.to_string(),
+    ]);
+    robustness_table.push_row(vec![
+        "injected exhaustions / typed retries".to_string(),
+        format!(
+            "{} / {}",
+            robustness.injected_exhaustions, robustness.pool_exhausted_retries
+        ),
+    ]);
+    robustness_table.push_row(vec![
+        "p99 queue wait under overload (µs)".to_string(),
+        robustness.p99_queue_wait_us.to_string(),
+    ]);
+    println!("{}", robustness_table.render());
+
     // Matmul GFLOP/s of the cache-blocked kernels on a square problem.
     let n = 256;
     let a = Matrix::from_vec(n, n, (0..n * n).map(|i| (i as f32).sin()).collect()).unwrap();
@@ -693,6 +843,42 @@ fn main() {
             ),
         ),
         (
+            "robustness",
+            JsonValue::object([
+                ("overload_factor", JsonValue::from(ROBUSTNESS_OVERLOAD)),
+                (
+                    "pool_sized_for_streams",
+                    JsonValue::from(ROBUSTNESS_POOL_STREAMS),
+                ),
+                ("seed", JsonValue::from(ROBUSTNESS_SEED)),
+                ("offered", JsonValue::from(robustness.offered)),
+                ("admitted", JsonValue::from(robustness.admitted)),
+                ("queued", JsonValue::from(robustness.queued)),
+                ("shed", JsonValue::from(robustness.shed)),
+                ("shed_rate", JsonValue::from(robustness.shed_rate())),
+                ("preemptions", JsonValue::from(robustness.preemptions)),
+                ("resumes", JsonValue::from(robustness.resumes)),
+                (
+                    "resume_reprefill_rows",
+                    JsonValue::from(robustness.resume_reprefill_rows),
+                ),
+                ("completed", JsonValue::from(robustness.completed)),
+                ("drill_ticks", JsonValue::from(robustness.drill_ticks)),
+                (
+                    "pool_exhausted_retries",
+                    JsonValue::from(robustness.pool_exhausted_retries),
+                ),
+                (
+                    "injected_exhaustions",
+                    JsonValue::from(robustness.injected_exhaustions),
+                ),
+                (
+                    "p99_queue_wait_us",
+                    JsonValue::from(robustness.p99_queue_wait_us),
+                ),
+            ]),
+        ),
+        (
             "matmul",
             JsonValue::object([
                 ("blocked_gflops", JsonValue::from(gflops(&matmul))),
@@ -735,5 +921,13 @@ fn main() {
         "paged K/V ({} bytes) should undercut dense per-stream caches ({} bytes)",
         widest.paged_pool_bytes,
         widest.dense_equivalent_bytes
+    );
+    assert_eq!(
+        robustness.admitted, robustness.completed,
+        "every admitted stream of the overload drill must complete"
+    );
+    assert!(
+        robustness.shed > 0 && robustness.preemptions > 0 && robustness.resumes > 0,
+        "a 4x overload drill with no shedding or preemption measured nothing"
     );
 }

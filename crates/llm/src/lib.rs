@@ -64,6 +64,6 @@ pub use config::{ModelConfig, ModelFamily, NormKind};
 pub use error::LlmError;
 pub use model::{DecodeContext, TransformerModel};
 pub use norm::{LayerNorm, Normalizer, RmsNorm};
-pub use paging::{EvictionPolicy, KvBlockPool, KvStore};
+pub use paging::{AllocFaultHook, EvictionPolicy, KvBlockPool, KvStore};
 pub use streaming::StreamingModel;
 pub use tensor::Matrix;

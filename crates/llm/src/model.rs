@@ -564,6 +564,14 @@ impl<'m> DecodeContext<'m> {
         self
     }
 
+    /// Sets the eviction policy in place — the non-consuming counterpart of
+    /// [`DecodeContext::with_eviction`], for contexts already embedded in a
+    /// larger structure (e.g. a serving-layer decode group configuring one
+    /// member stream as windowed).
+    pub fn set_eviction(&mut self, eviction: EvictionPolicy) {
+        self.eviction = eviction;
+    }
+
     /// Forgets the stream: clears every block's K/V storage (paged stores return
     /// their pages to the pool) and rewinds the position counter, ready for a
     /// fresh prompt.

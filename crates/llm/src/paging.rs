@@ -41,7 +41,15 @@
 use crate::attention::AttentionKvCache;
 use crate::error::LlmError;
 use crate::tensor::Matrix;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A fault hook consulted on every page allocation: given the requested page
+/// count and the pool's current free pages, returning `true` makes the
+/// allocation fail with [`LlmError::KvPoolExhausted`] exactly as a genuinely
+/// exhausted pool would (all-or-nothing, caller state untouched). Installed via
+/// [`KvBlockPool::set_alloc_fault`] by deterministic fault-injection harnesses;
+/// see `haan_serve::faults`.
+pub type AllocFaultHook = Arc<dyn Fn(usize, usize) -> bool + Send + Sync>;
 
 /// What a [`DecodeContext`](crate::DecodeContext) does when the next tokens would
 /// grow the stream past the model's `max_seq_len`.
@@ -108,12 +116,26 @@ struct PoolInner {
 /// cache unchanged. Sizing heuristic: `capacity_rows ≈ expected concurrent
 /// streams × num_blocks × expected live positions per stream` (see
 /// `ROADMAP.md`).
-#[derive(Debug)]
 pub struct KvBlockPool {
     page_rows: usize,
     embedding_dim: usize,
     num_pages: usize,
     inner: Mutex<PoolInner>,
+    /// Optional allocation fault hook (deterministic fault injection), behind
+    /// its own mutex and *cloned out before* the inner lock is taken, so a hook
+    /// can never deadlock the pool however it is implemented.
+    alloc_fault: Mutex<Option<AllocFaultHook>>,
+}
+
+impl std::fmt::Debug for KvBlockPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvBlockPool")
+            .field("page_rows", &self.page_rows)
+            .field("embedding_dim", &self.embedding_dim)
+            .field("num_pages", &self.num_pages)
+            .field("pages_in_use", &self.pages_in_use())
+            .finish_non_exhaustive()
+    }
 }
 
 impl KvBlockPool {
@@ -142,6 +164,7 @@ impl KvBlockPool {
                 next_fresh: 0,
                 peak_in_use: 0,
             }),
+            alloc_fault: Mutex::new(None),
         }
     }
 
@@ -220,12 +243,44 @@ impl KvBlockPool {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
-        self.inner.lock().expect("kv pool lock poisoned")
+        // Poison recovery: every critical section below either completes its
+        // writes or never started them (page-id bookkeeping is updated before
+        // the row copies, and the copies are plain slice writes that cannot
+        // observe torn state), so the inner data stays consistent even if a
+        // thread panicked while holding the guard.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Installs (or, with `None`, removes) a deterministic allocation fault
+    /// hook: before every page allocation the hook sees the requested page
+    /// count and the current free count, and returning `true` fails the
+    /// allocation with the same typed [`LlmError::KvPoolExhausted`] (and the
+    /// same all-or-nothing caller rollback) a genuinely dry pool produces.
+    pub fn set_alloc_fault(&self, hook: Option<AllocFaultHook>) {
+        *self
+            .alloc_fault
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = hook;
     }
 
     /// Allocates `count` pages all-or-nothing, so a failed grow never leaves a
     /// cache holding rows it cannot store.
     fn alloc_pages(&self, count: usize) -> Result<Vec<usize>, LlmError> {
+        // Clone the hook out before taking the inner lock (see `alloc_fault`).
+        let hook = self
+            .alloc_fault
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        if let Some(hook) = hook {
+            let free = self.pages_free();
+            if hook(count, free) {
+                return Err(LlmError::KvPoolExhausted {
+                    requested_pages: count,
+                    free_pages: free,
+                });
+            }
+        }
         let mut inner = self.lock();
         let free = self.num_pages - (inner.next_fresh - inner.free.len());
         if count > free {
@@ -655,5 +710,52 @@ mod tests {
     #[test]
     fn eviction_policy_default_rejects() {
         assert_eq!(EvictionPolicy::default(), EvictionPolicy::Reject);
+    }
+
+    #[test]
+    fn alloc_fault_hook_injects_typed_exhaustion_and_uninstalls_cleanly() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = KvBlockPool::shared(16, 4, 8);
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen_hook = Arc::clone(&seen);
+        pool.set_alloc_fault(Some(Arc::new(move |requested, free| {
+            seen_hook.fetch_add(1, Ordering::SeqCst);
+            assert!(free <= 4, "free pages reported to the hook");
+            requested >= 1
+        })));
+        let mut cache = PagedKvCache::new(Arc::clone(&pool));
+        let err = cache.append(&rows(2, 8, 1), &rows(2, 8, 2)).unwrap_err();
+        assert_eq!(
+            err,
+            LlmError::KvPoolExhausted {
+                requested_pages: 1,
+                free_pages: 4,
+            },
+            "injected fault must be indistinguishable from real exhaustion"
+        );
+        assert!(cache.is_empty(), "failed append leaves the cache unchanged");
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+        // Uninstalling restores normal allocation.
+        pool.set_alloc_fault(None);
+        cache.append(&rows(2, 8, 1), &rows(2, 8, 2)).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(seen.load(Ordering::SeqCst), 1, "removed hook is not called");
+    }
+
+    #[test]
+    fn pool_lock_recovers_from_poisoning() {
+        let pool = KvBlockPool::shared(8, 4, 8);
+        let poisoner = Arc::clone(&pool);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("poison the pool lock on purpose");
+        })
+        .join();
+        // Every entry point still works: the pool recovers the guard instead of
+        // cascading the panic into unrelated streams.
+        let mut cache = PagedKvCache::new(Arc::clone(&pool));
+        cache.append(&rows(3, 8, 1), &rows(3, 8, 2)).unwrap();
+        assert_eq!(pool.pages_in_use(), 1);
+        assert_eq!(pool.pages_free(), 1);
     }
 }

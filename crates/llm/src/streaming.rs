@@ -50,6 +50,10 @@ pub struct StreamingModel<'m> {
     /// sliding-window eviction shrinks the context without un-feeding anything.
     fed: usize,
     prompt_len: usize,
+    /// Tokens that were resident in the K/V caches when the stream was parked
+    /// (see [`StreamingModel::park`]); `None` while the stream is live. The
+    /// next step re-prefills `parked ++ tokens[fed..]` into fresh pages.
+    parked: Option<Vec<u32>>,
 }
 
 impl<'m> StreamingModel<'m> {
@@ -92,6 +96,7 @@ impl<'m> StreamingModel<'m> {
             tokens: prompt.to_vec(),
             fed: 0,
             prompt_len: prompt.len(),
+            parked: None,
         })
     }
 
@@ -115,6 +120,7 @@ impl<'m> StreamingModel<'m> {
             tokens: prompt.to_vec(),
             fed: 0,
             prompt_len: prompt.len(),
+            parked: None,
         })
     }
 
@@ -169,10 +175,48 @@ impl<'m> StreamingModel<'m> {
         })
     }
 
+    /// True when the stream is parked: its K/V pages have been handed back to
+    /// the pool by [`StreamingModel::park`] and the next step will transparently
+    /// re-prefill the captured resident window.
+    #[must_use]
+    pub fn is_parked(&self) -> bool {
+        self.parked.is_some()
+    }
+
+    /// Parks the stream — the preemption primitive of overload-safe serving:
+    /// the tokens currently resident in the K/V caches are captured and every
+    /// page is returned to the pool, so other streams can use the memory. The
+    /// stream stays fully usable: the next [`StreamingModel::decode_step`]
+    /// re-prefills the captured window (plus any unfed suffix) into fresh pages
+    /// in one incremental pass, and the tokens it then generates are
+    /// bit-identical to never having parked — the post-resume state is exactly
+    /// the fresh-context-prefilled-with-resident-tokens state that cached
+    /// decode is already bit-equal to (see `tests/kv_decode.rs`).
+    ///
+    /// Returns `true` when the call released pages; `false` for the stateless
+    /// full-recompute oracle (nothing to free), an already-parked stream, or a
+    /// stream that has not fed anything yet.
+    pub fn park(&mut self) -> bool {
+        match &mut self.context {
+            None => false,
+            Some(context) => {
+                if self.parked.is_some() || context.is_empty() {
+                    return false;
+                }
+                self.parked = Some(context.resident_tokens().to_vec());
+                context.reset();
+                true
+            }
+        }
+    }
+
     /// Runs one greedy decode step: the unprocessed suffix of the token buffer
     /// (the whole prompt on the first call, one token afterwards) is fed through
     /// `normalizer`, and the arg-max of the final position's logits is appended to
     /// the stream. In full-recompute mode the entire buffer is re-run instead.
+    /// A parked stream first re-prefills its captured resident window (see
+    /// [`StreamingModel::park`]); if that re-prefill fails — e.g. the pool is
+    /// still exhausted — the stream stays parked and retryable.
     ///
     /// # Errors
     ///
@@ -195,13 +239,37 @@ impl<'m> StreamingModel<'m> {
                 let logits = self.model.logits(&self.tokens, normalizer)?;
                 logits.row(self.tokens.len() - 1).to_vec()
             }
-            Some(context) => {
+            Some(context) => match self.parked.as_ref() {
                 // Feed whatever the context has not seen yet — the prompt on the
                 // first step, exactly one token per step afterwards — projecting
                 // only the final position onto the vocabulary.
-                let pending = &self.tokens[self.fed..];
-                context.prefill_last(pending, normalizer)?
-            }
+                None => {
+                    let pending = &self.tokens[self.fed..];
+                    context.prefill_last(pending, normalizer)?
+                }
+                // Resume: one re-prefill of the captured resident window plus
+                // the unfed suffix. If the window plus suffix no longer fits, a
+                // windowed stream keeps only its `keep_last` newest resident
+                // tokens — exactly the eviction a solo step at that point would
+                // have applied, so resumption stays bit-identical.
+                Some(resident) => {
+                    let tail = self.tokens.len() - self.fed;
+                    let max = self.model.config().max_seq_len;
+                    let mut feed = resident.clone();
+                    if let EvictionPolicy::SlidingWindow { keep_last } = context.eviction() {
+                        if feed.len() + tail > max {
+                            let keep = keep_last.min(feed.len());
+                            feed.drain(..feed.len() - keep);
+                        }
+                    }
+                    feed.extend_from_slice(&self.tokens[self.fed..]);
+                    // A failed re-prefill rolls the (empty) context back and
+                    // keeps `parked`, so the stream stays parked and retryable.
+                    let logits = context.prefill_last(&feed, normalizer)?;
+                    self.parked = None;
+                    logits
+                }
+            },
         };
         self.fed = fed_after;
         let next = last_logits
@@ -339,6 +407,68 @@ mod tests {
         let mut used = model.start_decode();
         used.prefill(&[1], &mut ReferenceNormalizer::new()).unwrap();
         assert!(StreamingModel::from_context(used, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn parked_streams_resume_bit_identically() {
+        let model = tiny_model();
+        let prompt = [2u32, 7, 3];
+        let mut stream = StreamingModel::new(&model, &prompt).unwrap();
+        let mut oracle = StreamingModel::new(&model, &prompt).unwrap();
+        let mut norm = ReferenceNormalizer::new();
+        let mut oracle_norm = ReferenceNormalizer::new();
+        stream.decode(3, &mut norm).unwrap();
+        oracle.decode(3, &mut oracle_norm).unwrap();
+        assert!(!stream.is_parked());
+        assert!(stream.park(), "a fed cached stream parks");
+        assert!(stream.is_parked());
+        assert!(!stream.park(), "double park is a no-op");
+        let resumed = stream.decode(4, &mut norm).unwrap();
+        let expected = oracle.decode(4, &mut oracle_norm).unwrap();
+        assert_eq!(resumed, expected, "resume must be bit-identical");
+        assert!(!stream.is_parked());
+
+        let mut stateless = StreamingModel::new_full_recompute(&model, &prompt).unwrap();
+        assert!(!stateless.park(), "full recompute holds no pages");
+        let mut unfed = StreamingModel::new(&model, &prompt).unwrap();
+        assert!(!unfed.park(), "nothing resident before the first step");
+    }
+
+    #[test]
+    fn park_frees_pages_and_a_failed_resume_stays_parked() {
+        use crate::paging::KvBlockPool;
+        let model = tiny_model();
+        // 8 pages of 4 rows: exactly enough for one 5-token stream's 2 pages per
+        // block (4 blocks).
+        let pool = KvBlockPool::shared(32, 4, model.config().embedding_dim);
+        let ctx = model.start_decode_in(&pool).unwrap();
+        let mut a = StreamingModel::from_context(ctx, &[2, 7, 3]).unwrap();
+        let mut oracle = StreamingModel::new(&model, &[2, 7, 3]).unwrap();
+        let mut norm = ReferenceNormalizer::new();
+        let mut oracle_norm = ReferenceNormalizer::new();
+        a.decode_step(&mut norm).unwrap();
+        oracle.decode_step(&mut oracle_norm).unwrap();
+        assert_eq!(pool.pages_in_use(), 4);
+        assert!(a.park());
+        assert_eq!(pool.pages_in_use(), 0, "park returns every page");
+
+        // Another stream takes the whole pool while `a` is parked.
+        let ctx = model.start_decode_in(&pool).unwrap();
+        let mut b = StreamingModel::from_context(ctx, &[1, 2, 3, 4, 5]).unwrap();
+        b.decode_step(&mut norm).unwrap();
+        assert_eq!(pool.pages_free(), 0);
+
+        // Resume needs 2 pages per block for its 5 rows: typed failure, still
+        // parked, still retryable.
+        let err = a.decode_step(&mut norm).unwrap_err();
+        assert!(matches!(err, LlmError::KvPoolExhausted { .. }), "{err:?}");
+        assert!(a.is_parked());
+
+        drop(b);
+        let resumed = a.decode_step(&mut norm).unwrap();
+        let expected = oracle.decode_step(&mut oracle_norm).unwrap();
+        assert_eq!(resumed, expected, "post-pressure resume is bit-identical");
+        assert!(!a.is_parked());
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //! is that incrementality oracle, and the dense K/V storage of
 //! `TransformerModel::start_decode_dense` is the paging oracle (both exercised in
 //! `tests/kv_decode.rs`).
+//!
+//! Standalone streams pass through the engine's admission control:
+//! [`ServeEngine::decode_stream`](crate::ServeEngine::decode_stream) estimates
+//! the stream's page footprint against live pool pressure and returns
+//! [`ServeError::Shed`] (with a retry-after hint) instead of letting a new
+//! stream race an overcommitted pool. A stream with nothing to queue behind it
+//! either starts or sheds — the queue-and-resume path belongs to
+//! [`DecodeGroup`](crate::DecodeGroup), which owns its members' lifecycles.
 
 use crate::error::ServeError;
 use crate::session::Session;

@@ -1,8 +1,10 @@
 //! The serving engine: bounded request queue → scheduler → batched normalization →
 //! per-client response routing.
 
+use crate::admission::{AdmissionController, AdmissionDecision, AdmissionPolicy, AdmissionStats};
 use crate::error::ServeError;
-use crate::request::{NormParams, NormRequest, NormResponse, PendingResponse};
+use crate::faults::{FaultAction, FaultInjector};
+use crate::request::{CancelHandle, NormParams, NormRequest, NormResponse, PendingResponse};
 use crate::scheduler::{BatchKey, ReadyBatch, Scheduler, SchedulerPolicy};
 use crate::session::Session;
 use crate::telemetry::{Recorder, ServingStats};
@@ -12,7 +14,7 @@ use haan_llm::{KvBlockPool, Matrix};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -54,6 +56,16 @@ pub struct ServeConfig {
     /// Sizing of the shared K/V block pools behind
     /// [`ServeEngine::decode_stream`] / [`ServeEngine::decode_group`].
     pub kv_pool: KvPoolPolicy,
+    /// Watermark policy of the admission controller gating new decode streams
+    /// against live pool pressure (see [`AdmissionPolicy`]).
+    pub admission: AdmissionPolicy,
+    /// Bounded-retry policy of the worker's batch dispatch (see [`RetryPolicy`]).
+    pub retry: RetryPolicy,
+    /// Optional deterministic fault injector, threaded through pool allocation
+    /// and the worker's batch dispatch (see [`crate::faults`]). `None` in
+    /// production; chaos drills install a
+    /// [`SeededFaults`](crate::SeededFaults).
+    pub faults: Option<Arc<dyn FaultInjector>>,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +76,33 @@ impl Default for ServeConfig {
             scheduler: SchedulerPolicy::default(),
             queue_capacity: 64,
             kv_pool: KvPoolPolicy::default(),
+            admission: AdmissionPolicy::default(),
+            retry: RetryPolicy::default(),
+            faults: None,
+        }
+    }
+}
+
+/// Bounded retry with exponential backoff for failed worker batches. The
+/// normalization path itself is infallible, so retries only trigger under
+/// fault injection today — but the worker is written against this policy so a
+/// future fallible backend inherits bounded, typed failure for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Most attempts per batch (the first try included). Values of 0 act as 1.
+    /// When every attempt fails, all member requests are answered with
+    /// [`ServeError::RetriesExhausted`].
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, microseconds; doubles per further
+    /// attempt.
+    pub backoff_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_us: 100,
         }
     }
 }
@@ -104,6 +143,9 @@ pub(crate) struct WorkItem {
     /// telemetry and max-wait flushes include time spent in the bounded channel —
     /// which is exactly where backpressure queuing happens.
     enqueued_us: u64,
+    /// Client-shared cancellation flag; the worker answers a cancelled request
+    /// with [`ServeError::Cancelled`] instead of executing it.
+    cancel: CancelHandle,
 }
 
 /// The submission side of the bounded work queue, cloned into every session.
@@ -119,13 +161,22 @@ pub(crate) struct Shared {
     /// `closed`, so the drain can wait for every accepted request to land in the
     /// queue instead of missing ones sent concurrently with shutdown.
     in_flight: AtomicU64,
+    /// True while the worker thread lives. Cleared (by the worker's drop guard)
+    /// only when the worker *panics*, so clients can distinguish a typed
+    /// [`ServeError::WorkerDied`] from a clean [`ServeError::Shutdown`]. Behind
+    /// an `Arc` so each [`PendingResponse`] can consult it without `Shared`.
+    worker_alive: Arc<AtomicBool>,
     params: Mutex<HashMap<u64, Vec<Arc<NormParams>>>>,
     recorder: Recorder,
 }
 
 impl Shared {
-    fn now_us(&self) -> u64 {
+    pub(crate) fn now_us(&self) -> u64 {
         u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    pub(crate) fn worker_is_alive(&self) -> bool {
+        self.worker_alive.load(Ordering::SeqCst)
     }
 
     /// FNV-1a over the parameter bit patterns, used only to bucket the intern table
@@ -145,7 +196,11 @@ impl Shared {
 
     pub(crate) fn intern_params(&self, gamma: &[f32], beta: &[f32]) -> Arc<NormParams> {
         let fingerprint = Self::params_fingerprint(gamma, beta);
-        let mut table = self.params.lock().expect("params intern table poisoned");
+        // Poison recovery: the table only ever grows by fully constructed
+        // entries (push of a finished Arc), so a thread that panicked while
+        // holding the lock cannot have left a half-built bucket behind. Losing
+        // interning entirely because one client thread crashed would be worse.
+        let mut table = self.params.lock().unwrap_or_else(PoisonError::into_inner);
         let bucket = table.entry(fingerprint).or_default();
         if let Some(existing) = bucket
             .iter()
@@ -176,15 +231,35 @@ pub(crate) fn submit_via(
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         return Err(ServeError::Shutdown);
     }
+    // A dead worker will never drain the queue; fail typed instead of blocking
+    // on a full channel (or silently queueing work nobody will execute).
+    if !shared.worker_is_alive() {
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        return Err(ServeError::WorkerDied);
+    }
     let (reply_tx, reply_rx) = mpsc::channel();
+    let cancel = CancelHandle::default();
     let sent = tx.send(WorkItem {
         request,
         reply: reply_tx,
         enqueued_us: shared.now_us(),
+        cancel: cancel.clone(),
     });
     shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-    sent.map_err(|_| ServeError::Shutdown)?;
-    Ok(PendingResponse { rx: reply_rx })
+    // The receiver only disappears when the worker is gone: died (guard clears
+    // the flag) or exited after shutdown.
+    sent.map_err(|_| {
+        if shared.worker_is_alive() {
+            ServeError::Shutdown
+        } else {
+            ServeError::WorkerDied
+        }
+    })?;
+    Ok(PendingResponse {
+        rx: reply_rx,
+        cancel,
+        worker_alive: Arc::clone(&shared.worker_alive),
+    })
 }
 
 /// The request-batching serving engine.
@@ -204,6 +279,10 @@ pub struct ServeEngine {
     /// embedding width (created on first use).
     kv_pools: Mutex<Vec<Arc<KvBlockPool>>>,
     kv_pool_policy: KvPoolPolicy,
+    /// Admission controller shared by every stream/group this engine starts.
+    admission: Arc<AdmissionController>,
+    /// Fault injector installed into every pool this engine creates.
+    faults: Option<Arc<dyn FaultInjector>>,
 }
 
 impl std::fmt::Debug for ServeEngine {
@@ -224,15 +303,32 @@ impl ServeEngine {
             epoch: Instant::now(),
             closed: AtomicBool::new(false),
             in_flight: AtomicU64::new(0),
+            worker_alive: Arc::new(AtomicBool::new(true)),
             params: Mutex::new(HashMap::new()),
             recorder: Recorder::default(),
         });
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let kv_pool_policy = config.kv_pool;
+        let admission = Arc::new(AdmissionController::new(config.admission));
+        let faults = config.faults.clone();
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("haan-serve-worker".to_string())
-            .spawn(move || worker_loop(&worker_shared, &rx, &config))
+            .spawn(move || {
+                // Clears `worker_alive` iff the worker unwinds (fault-injected
+                // panic, poisoned invariant, …) — a clean exit leaves the flag
+                // set so pending clients map to `Shutdown`, not `WorkerDied`.
+                struct AliveGuard(Arc<AtomicBool>);
+                impl Drop for AliveGuard {
+                    fn drop(&mut self) {
+                        if std::thread::panicking() {
+                            self.0.store(false, Ordering::SeqCst);
+                        }
+                    }
+                }
+                let _guard = AliveGuard(Arc::clone(&worker_shared.worker_alive));
+                worker_loop(&worker_shared, &rx, &config);
+            })
             .expect("spawn serving worker");
         Self {
             shared,
@@ -240,6 +336,8 @@ impl ServeEngine {
             worker: Some(worker),
             kv_pools: Mutex::new(Vec::new()),
             kv_pool_policy,
+            admission,
+            faults,
         }
     }
 
@@ -258,7 +356,9 @@ impl ServeEngine {
     /// `max_seq × E` per block.
     #[must_use]
     pub fn kv_pool(&self, embedding_dim: usize) -> Arc<KvBlockPool> {
-        let mut pools = self.kv_pools.lock().expect("kv pool registry poisoned");
+        // Poison recovery: the registry only ever grows by fully constructed
+        // pools, so no half-built state can leak past a panicking thread.
+        let mut pools = self.kv_pools.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(pool) = pools
             .iter()
             .find(|pool| pool.embedding_dim() == embedding_dim)
@@ -270,8 +370,42 @@ impl ServeEngine {
             self.kv_pool_policy.page_rows.max(1),
             embedding_dim,
         );
+        if let Some(injector) = &self.faults {
+            let injector = Arc::clone(injector);
+            pool.set_alloc_fault(Some(Arc::new(move |requested, free| {
+                injector.on_pool_alloc(requested, free)
+            })));
+        }
         pools.push(Arc::clone(&pool));
         pool
+    }
+
+    /// The engine's admission controller (shared with every
+    /// [`DecodeGroup`](crate::DecodeGroup) it starts).
+    #[must_use]
+    pub fn admission(&self) -> Arc<AdmissionController> {
+        Arc::clone(&self.admission)
+    }
+
+    /// Admission telemetry accumulated so far (offered / admitted / queued /
+    /// shed stream counts).
+    #[must_use]
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    /// Microseconds elapsed on the engine clock, the time base of
+    /// [`NormRequest::deadline_us`].
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        self.shared.now_us()
+    }
+
+    /// False once the worker thread has died (panicked); submissions then fail
+    /// with [`ServeError::WorkerDied`] instead of hanging.
+    #[must_use]
+    pub fn worker_is_alive(&self) -> bool {
+        self.shared.worker_is_alive()
     }
 
     /// Starts a KV-cached decode stream over `model`, normalizing through a fresh
@@ -284,7 +418,11 @@ impl ServeEngine {
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidRequest`] when the prompt is empty, too long
-    /// for the model, or out of vocabulary.
+    /// for the model, or out of vocabulary, and [`ServeError::Shed`] when the
+    /// admission controller refuses the stream (a standalone stream has no
+    /// group to wait in, so a would-queue decision sheds too; retry after the
+    /// carried hint, or use [`ServeEngine::decode_group`], whose queued
+    /// streams resume automatically).
     ///
     /// # Examples
     ///
@@ -308,6 +446,18 @@ impl ServeEngine {
         prompt: &[u32],
     ) -> Result<crate::DecodeStream<'m>, ServeError> {
         let pool = self.kv_pool(model.config().embedding_dim);
+        let est = self
+            .admission
+            .page_estimate(&pool, model.config().num_blocks, prompt.len());
+        // `queued_now = usize::MAX`: a standalone stream cannot wait in a
+        // group, so its queue is always "full" and would-queue offers shed.
+        match self.admission.offer(&pool, est, 0, usize::MAX) {
+            AdmissionDecision::Admit => self.admission.note_admitted(),
+            AdmissionDecision::Queue => unreachable!("queue is reported full"),
+            AdmissionDecision::Shed { retry_after_us } => {
+                return Err(ServeError::Shed { retry_after_us });
+            }
+        }
         crate::DecodeStream::new(self.session(), &pool, model, prompt)
     }
 
@@ -332,7 +482,7 @@ impl ServeEngine {
         prompts: &[&[u32]],
     ) -> Result<crate::DecodeGroup<'m>, ServeError> {
         let pool = self.kv_pool(model.config().embedding_dim);
-        crate::DecodeGroup::new(self.session(), &pool, model, prompts)
+        crate::DecodeGroup::new(self.session(), &pool, model, prompts, self.admission())
     }
 
     /// Interns `γ`/`β` parameter vectors, returning the engine-wide shared handle.
@@ -371,6 +521,7 @@ impl ServeEngine {
     ///     data: vec![2.0, 4.0, 6.0, 8.0],
     ///     params,
     ///     anchors: AnchorState::new(),
+    ///     deadline_us: None,
     /// })?;
     /// let response = pending.wait()?;
     /// assert_eq!(response.data.len(), 4);
@@ -415,6 +566,8 @@ fn worker_loop(shared: &Shared, rx: &mpsc::Receiver<WorkItem>, config: &ServeCon
         normalizer = normalizer.with_plan(plan);
     }
     let mut scheduler: Scheduler<WorkItem> = Scheduler::new(config.scheduler);
+    // Monotone batch-attempt counter, fed to the fault injector.
+    let mut attempt_index: u64 = 0;
     loop {
         if shared.closed.load(Ordering::SeqCst) {
             // Graceful drain: answer everything accepted before `closed` was
@@ -424,10 +577,11 @@ fn worker_loop(shared: &Shared, rx: &mpsc::Receiver<WorkItem>, config: &ServeCon
             // of the channel sees it.
             loop {
                 while let Ok(item) = rx.try_recv() {
-                    admit(&mut scheduler, item);
+                    admit(shared, &mut scheduler, item);
                 }
+                sweep_dead_requests(shared, &mut scheduler);
                 while let Some(batch) = scheduler.pop_any() {
-                    execute_batch(shared, &mut normalizer, batch);
+                    dispatch_batch(shared, &mut normalizer, config, &mut attempt_index, batch);
                 }
                 if shared.in_flight.load(Ordering::SeqCst) > 0 {
                     std::thread::yield_now();
@@ -436,7 +590,7 @@ fn worker_loop(shared: &Shared, rx: &mpsc::Receiver<WorkItem>, config: &ServeCon
                 // In-flight hit zero after the sweep above; one last look catches
                 // a queue insert that completed in between.
                 match rx.try_recv() {
-                    Ok(item) => admit(&mut scheduler, item),
+                    Ok(item) => admit(shared, &mut scheduler, item),
                     Err(_) => return,
                 }
             }
@@ -448,36 +602,135 @@ fn worker_loop(shared: &Shared, rx: &mpsc::Receiver<WorkItem>, config: &ServeCon
             .min(IDLE_TICK_US);
         match rx.recv_timeout(Duration::from_micros(wait_us)) {
             Ok(item) => {
-                admit(&mut scheduler, item);
+                admit(shared, &mut scheduler, item);
                 // Greedily drain everything already buffered so one wake-up sees
                 // the full backlog (this is where coalescing happens).
                 while let Ok(more) = rx.try_recv() {
-                    admit(&mut scheduler, more);
+                    admit(shared, &mut scheduler, more);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => {
                 // Engine handle and every session are gone: drain and exit.
+                sweep_dead_requests(shared, &mut scheduler);
                 while let Some(batch) = scheduler.pop_any() {
-                    execute_batch(shared, &mut normalizer, batch);
+                    dispatch_batch(shared, &mut normalizer, config, &mut attempt_index, batch);
                 }
                 return;
             }
         }
+        // Answer expired/cancelled requests typed *before* assembling batches,
+        // so a request behind a slow batch never executes past its deadline —
+        // and never waits unboundedly.
+        sweep_dead_requests(shared, &mut scheduler);
         let now = shared.now_us();
         while let Some(batch) = scheduler.pop_ready(now) {
-            execute_batch(shared, &mut normalizer, batch);
+            dispatch_batch(shared, &mut normalizer, config, &mut attempt_index, batch);
         }
     }
 }
 
-fn admit(scheduler: &mut Scheduler<WorkItem>, item: WorkItem) {
+fn admit(shared: &Shared, scheduler: &mut Scheduler<WorkItem>, item: WorkItem) {
+    // Expired-on-arrival or already-cancelled requests are answered typed
+    // immediately instead of occupying the queue.
+    if item.cancel.is_cancelled() {
+        let _ = item.reply.send(Err(ServeError::Cancelled));
+        return;
+    }
+    if item
+        .request
+        .deadline_us
+        .is_some_and(|deadline| deadline <= shared.now_us())
+    {
+        let _ = item.reply.send(Err(ServeError::TimedOut));
+        return;
+    }
     let key = BatchKey::of(&item.request);
     let rows = item.request.rows();
     // The scheduler's clock is the submission timestamp, so max-wait flushes and
     // queue-wait telemetry measure true request age, including channel dwell.
     let enqueued_us = item.enqueued_us;
     scheduler.admit(key, rows, enqueued_us, item);
+}
+
+/// Answers every queued request whose deadline elapsed ([`ServeError::TimedOut`])
+/// or whose client cancelled ([`ServeError::Cancelled`]), removing them from
+/// the scheduler. This is what bounds client waits: whatever happens to the
+/// batches ahead of it, a deadline request is answered no later than the
+/// worker's next wake-up.
+fn sweep_dead_requests(shared: &Shared, scheduler: &mut Scheduler<WorkItem>) {
+    let now = shared.now_us();
+    let dead = scheduler.drain_matching(|entry| {
+        entry.item.cancel.is_cancelled()
+            || entry
+                .item
+                .request
+                .deadline_us
+                .is_some_and(|deadline| deadline <= now)
+    });
+    for entry in dead {
+        let error = if entry.item.cancel.is_cancelled() {
+            ServeError::Cancelled
+        } else {
+            ServeError::TimedOut
+        };
+        let _ = entry.item.reply.send(Err(error));
+    }
+}
+
+/// Runs one batch through the fault injector and the bounded-retry policy,
+/// then executes it. A failed attempt backs off exponentially and re-consults
+/// the injector; when the attempt budget is spent, every member request is
+/// answered with [`ServeError::RetriesExhausted`] — clients always get *an*
+/// answer.
+fn dispatch_batch(
+    shared: &Shared,
+    normalizer: &mut HaanNormalizer,
+    config: &ServeConfig,
+    attempt_index: &mut u64,
+    batch: ReadyBatch<WorkItem>,
+) {
+    let max_attempts = config.retry.max_attempts.max(1);
+    let mut attempts: u32 = 0;
+    loop {
+        attempts += 1;
+        let action = config.faults.as_ref().map_or(FaultAction::None, |faults| {
+            let index = *attempt_index;
+            *attempt_index += 1;
+            faults.on_worker_batch(index)
+        });
+        match action {
+            FaultAction::None => {}
+            FaultAction::SlowUs(us) => std::thread::sleep(Duration::from_micros(us)),
+            FaultAction::FailBatch => {
+                if attempts >= max_attempts {
+                    for entry in batch.entries {
+                        let _ = entry
+                            .item
+                            .reply
+                            .send(Err(ServeError::RetriesExhausted { attempts }));
+                    }
+                    return;
+                }
+                // Exponential backoff, capped so the shift cannot overflow.
+                let backoff = config.retry.backoff_us << (attempts - 1).min(16);
+                std::thread::sleep(Duration::from_micros(backoff));
+                continue;
+            }
+            FaultAction::PanicWorker => {
+                // Clear the liveness flag *before* unwinding: the panic drops
+                // the batch's reply senders while it unwinds `worker_loop`,
+                // which is before the thread-level `AliveGuard` runs — a
+                // client woken by that hangup must already see the flag down,
+                // or it would misread the death as a clean `Shutdown`.
+                shared.worker_alive.store(false, Ordering::SeqCst);
+                let index = *attempt_index - 1;
+                panic!("fault injection: worker killed at batch attempt {index}")
+            }
+        }
+        execute_batch(shared, normalizer, batch);
+        return;
+    }
 }
 
 /// Executes one coalesced batch: gather rows (and, at skipped sites, per-session
@@ -592,6 +845,7 @@ mod tests {
             data: vec![0.0; 6],
             params,
             anchors: AnchorState::new(),
+            deadline_us: None,
         };
         assert!(matches!(
             engine.submit(ragged),
@@ -616,8 +870,127 @@ mod tests {
             data: vec![1.0, 2.0],
             params,
             anchors: AnchorState::new(),
+            deadline_us: None,
         };
         assert!(matches!(engine.submit(request), Err(ServeError::Shutdown)));
+    }
+
+    fn simple_request(engine: &ServeEngine, deadline_us: Option<u64>) -> NormRequest {
+        NormRequest {
+            site: NormSite {
+                layer_index: 0,
+                kind: NormKind::LayerNorm,
+            },
+            cols: 2,
+            data: vec![1.0, 2.0],
+            params: engine.intern_params(&[1.0; 2], &[0.0; 2]),
+            anchors: AnchorState::new(),
+            deadline_us,
+        }
+    }
+
+    #[test]
+    fn expired_deadlines_resolve_typed_not_hung() {
+        let mut engine = ServeEngine::start(fused_config());
+        // A deadline already in the past: answered TimedOut on admission.
+        let expired = simple_request(&engine, Some(0));
+        let pending = engine.submit(expired).expect("submission is accepted");
+        assert!(matches!(pending.wait(), Err(ServeError::TimedOut)));
+        // A generous deadline executes normally.
+        let alive = simple_request(&engine, Some(engine.now_us() + 5_000_000));
+        let response = engine.submit(alive).unwrap().wait().expect("in time");
+        assert_eq!(response.data.len(), 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn cancelled_requests_resolve_typed_not_hung() {
+        let mut engine = ServeEngine::start(fused_config());
+        let request = simple_request(&engine, None);
+        let pending = engine.submit(request).expect("submission is accepted");
+        pending.cancel_handle().cancel();
+        assert!(matches!(pending.wait(), Err(ServeError::Cancelled)));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn a_dead_worker_fails_submissions_typed_instead_of_hanging() {
+        use crate::faults::{FaultPlan, SeededFaults};
+        let mut engine = ServeEngine::start(ServeConfig {
+            faults: Some(Arc::new(SeededFaults::new(
+                7,
+                FaultPlan {
+                    panic_at_batch: Some(0),
+                    ..Default::default()
+                },
+            ))),
+            ..fused_config()
+        });
+        // The first batch panics the worker mid-stream: the submitted request
+        // must resolve to WorkerDied, never hang.
+        let pending = engine.submit(simple_request(&engine, None)).unwrap();
+        assert!(matches!(pending.wait(), Err(ServeError::WorkerDied)));
+        assert!(!engine.worker_is_alive());
+        // Later submissions fail fast with the same typed error.
+        assert!(matches!(
+            engine.submit(simple_request(&engine, None)),
+            Err(ServeError::WorkerDied)
+        ));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn failed_batches_retry_then_exhaust_typed() {
+        use crate::faults::{FaultPlan, SeededFaults};
+        let faults = Arc::new(SeededFaults::new(
+            3,
+            FaultPlan {
+                fail_probability: 1.0,
+                max_failed_batches: 2,
+                ..Default::default()
+            },
+        ));
+        // Two attempts always fail; with a 2-attempt budget the first request
+        // exhausts its retries, after which the spent fault budget lets the
+        // next request through.
+        let mut engine = ServeEngine::start(ServeConfig {
+            faults: Some(faults.clone()),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                backoff_us: 10,
+            },
+            ..fused_config()
+        });
+        let pending = engine.submit(simple_request(&engine, None)).unwrap();
+        assert!(matches!(
+            pending.wait(),
+            Err(ServeError::RetriesExhausted { attempts: 2 })
+        ));
+        assert_eq!(faults.injected().failed_batches, 2);
+        let response = engine.submit(simple_request(&engine, None)).unwrap().wait();
+        assert!(response.is_ok(), "budget spent, batches execute again");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn standalone_streams_shed_when_the_pool_is_hot() {
+        use haan_llm::{ModelConfig, TransformerModel};
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 42).unwrap();
+        let blocks = model.config().num_blocks;
+        let engine = ServeEngine::start(ServeConfig {
+            // 4 pages of 4 rows; the watermark (0.75) allows 3 pages.
+            kv_pool: KvPoolPolicy {
+                page_rows: 4,
+                capacity_rows: 16,
+            },
+            ..fused_config()
+        });
+        // tiny_test has 4 blocks: even a 1-token prompt estimates 4 pages > 3.
+        assert_eq!(blocks, 4);
+        let err = engine.decode_stream(&model, &[1]).expect_err("must shed");
+        assert!(matches!(err, ServeError::Shed { .. }));
+        let stats = engine.admission_stats();
+        assert_eq!((stats.offered, stats.shed, stats.admitted), (1, 1, 0));
     }
 
     #[test]

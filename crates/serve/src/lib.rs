@@ -37,6 +37,22 @@
 //!   overlap.
 //! * [`ServingStats`] — per-batch telemetry: batch occupancy, queue-wait
 //!   percentiles, ns/element.
+//! * [`AdmissionController`] / [`AdmissionPolicy`] — overload safety: new
+//!   streams are admitted, queued, or shed (typed [`ServeError::Shed`] with a
+//!   retry-after hint) against live [`KvBlockPool`](haan_llm::KvBlockPool)
+//!   pressure, and a [`DecodeGroup`] under pool pressure *preempts* its
+//!   youngest stream (freeing its pages, keeping its token history) and
+//!   transparently re-prefills it when pages free — bit-identical to a stream
+//!   that was never preempted. Per-request deadlines
+//!   ([`Session::set_request_timeout_us`]), client cancellation
+//!   ([`PendingResponse::cancel_handle`]), bounded batch retry
+//!   ([`RetryPolicy`]) and dead-worker detection ([`ServeError::WorkerDied`])
+//!   guarantee no client ever blocks forever.
+//! * [`faults`] — a deterministic fault-injection harness
+//!   ([`FaultInjector`] / [`SeededFaults`]): seeded, budgeted pool
+//!   exhaustion, slow batches, failed batches and worker kills, threaded
+//!   through the real allocation and dispatch paths so chaos drills reproduce
+//!   exactly per seed (see `tests/serving_chaos.rs` and `examples/chaos.rs`).
 //!
 //! Everything runs on `std::thread` (the build container is offline — no async
 //! runtime); a tokio adapter is a listed follow-up in `ROADMAP.md`. See
@@ -89,20 +105,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod decode;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod multi;
 pub mod request;
 pub mod scheduler;
 pub mod session;
 pub mod telemetry;
 
+pub use admission::{AdmissionController, AdmissionDecision, AdmissionPolicy, AdmissionStats};
 pub use decode::DecodeStream;
-pub use engine::{KvPoolPolicy, ServeConfig, ServeEngine};
+pub use engine::{KvPoolPolicy, RetryPolicy, ServeConfig, ServeEngine};
 pub use error::ServeError;
-pub use multi::DecodeGroup;
-pub use request::{NormParams, NormRequest, NormResponse, PendingResponse};
+pub use faults::{FaultAction, FaultInjector, FaultPlan, InjectedFaults, SeededFaults};
+pub use multi::{DecodeGroup, GroupStats, StreamStatus};
+pub use request::{CancelHandle, NormParams, NormRequest, NormResponse, PendingResponse};
 pub use scheduler::{BatchKey, Entry, QueueOrdering, ReadyBatch, Scheduler, SchedulerPolicy};
 pub use session::Session;
 pub use telemetry::ServingStats;

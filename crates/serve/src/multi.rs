@@ -1,5 +1,5 @@
 //! Batched multi-stream decode: many KV-cached streams advanced in lockstep
-//! through one engine session.
+//! through one engine session, with admission control and preempt/resume.
 //!
 //! A single [`DecodeStream`](crate::DecodeStream) submits one **single-row**
 //! normalization request per site per token; the scheduler only widens the batch
@@ -13,32 +13,127 @@
 //! (both norm sites per block, the MLPs, the final norm, the logit projection)
 //! runs batched.
 //!
-//! Parity: generated tokens are bit-identical to each stream decoding alone on a
-//! private normalizer. Row kernels are row-local, and HAAN's skip-anchor state
-//! is per-row within a pass, so row `s` of a lockstep tick records and consumes
-//! exactly the anchors stream `s` would see solo (`tests/kv_decode.rs`).
+//! # Overload behavior
+//!
+//! Streams share a bounded [`KvBlockPool`], so a group can be *offered* more
+//! work than the pool holds. Three mechanisms make that safe (see
+//! `docs/SERVING.md`, "Overload behavior"):
+//!
+//! * **Admission** — every prompt is offered to the engine's
+//!   [`AdmissionController`] at construction. Streams past the watermark are
+//!   *queued* (they hold zero pages until pages free up); streams past the
+//!   queue bound are *shed* ([`StreamStatus::Shed`] — their slots never
+//!   decode, and the count is visible in [`GroupStats`]).
+//! * **Preemption** — when a lockstep tick hits pool exhaustion, the group
+//!   parks a victim (fewest tokens decoded, ties to the least recently
+//!   advanced): its pages are freed but its token history is kept, and the
+//!   tick retries with the survivors.
+//! * **Resume** — each tick first re-prefills queued streams (parked victims
+//!   and never-started admissions alike) as soon as their pages fit, in one
+//!   catch-up pass over `resident ++ unfed` tokens.
+//!
+//! Parity: generated tokens are bit-identical to each stream decoding alone on
+//! a private normalizer — **including streams that were preempted and
+//! resumed**, because a resume replays exactly the K/V rows the stream held at
+//! park time (`tests/serving_chaos.rs` drills this under injected faults).
+//! Row kernels are row-local, and HAAN's skip-anchor state is per-row within a
+//! pass, so row `s` of a lockstep tick records and consumes exactly the
+//! anchors stream `s` would see solo (`tests/kv_decode.rs`).
 
+use crate::admission::{AdmissionController, AdmissionDecision};
 use crate::error::ServeError;
 use crate::session::Session;
-use haan_llm::{DecodeContext, KvBlockPool, LlmError, TransformerModel};
+use haan_llm::{DecodeContext, EvictionPolicy, KvBlockPool, LlmError, TransformerModel};
 use std::sync::Arc;
 
+/// Lifecycle state of one [`DecodeGroup`] member stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamStatus {
+    /// Waiting for pool pages: admitted-but-not-started, or parked by a
+    /// preemption. Holds zero pages; resumes automatically.
+    Queued,
+    /// Resident: holds pages and advances in lockstep ticks.
+    Active,
+    /// Reached the model's maximum sequence length; pages released.
+    Finished,
+    /// Refused by admission control; this slot never decodes.
+    Shed,
+    /// Cancelled by [`DecodeGroup::cancel`]; pages released, history kept.
+    Cancelled,
+}
+
+/// Monotone per-group robustness counters, snapshotted by
+/// [`DecodeGroup::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Prompts offered to admission control at construction.
+    pub offered: u64,
+    /// Streams that started decoding (immediately or after queueing).
+    pub admitted: u64,
+    /// Offers that had to wait at construction time.
+    pub queued: u64,
+    /// Offers refused; their slots never decode.
+    pub shed: u64,
+    /// Streams parked under pool pressure (mid-tick or via
+    /// [`DecodeGroup::preempt`]).
+    pub preemptions: u64,
+    /// Parked streams successfully re-prefilled.
+    pub resumes: u64,
+    /// Rows re-prefilled by those resumes — the recompute cost of preemption.
+    pub resume_reprefill_rows: u64,
+    /// Streams that reached the model's maximum sequence length.
+    pub completed: u64,
+    /// [`DecodeGroup::step_all`] ticks executed (failed ticks included).
+    pub ticks: u64,
+}
+
 /// One member stream of a [`DecodeGroup`]: its decode context (paged K/V), its
-/// token buffer and the count of tokens already fed.
+/// token buffer, and its overload-lifecycle state.
 #[derive(Debug)]
 struct GroupStream<'m> {
     context: DecodeContext<'m>,
     /// Prompt followed by generated tokens; the unfed suffix is `tokens[fed..]`
-    /// (the whole prompt before the first tick, exactly one token afterwards).
+    /// (the whole prompt before the stream first activates, exactly one token
+    /// afterwards).
     tokens: Vec<u32>,
     fed: usize,
     prompt_len: usize,
+    status: StreamStatus,
+    /// The K/V-resident tokens captured when the stream was parked; a resume
+    /// re-prefills exactly these plus the unfed suffix. `None` for streams
+    /// that have never been parked (their catch-up feed is just `tokens[fed..]`).
+    parked_resident: Option<Vec<u32>>,
+    /// Tick at which the stream last advanced — the preemption tie-breaker
+    /// (least recently advanced loses).
+    last_advanced_tick: u64,
+    /// Whether this stream's activation has been reported to admission.
+    activated: bool,
 }
 
 impl GroupStream<'_> {
-    /// True when the stream can accept one more token this tick.
-    fn is_ready(&self) -> bool {
-        self.context.remaining_capacity() > 0
+    /// True when the stream contributes a row to this tick's lockstep pass:
+    /// active with room to grow, or active under a sliding window (which
+    /// evicts instead of stopping).
+    fn is_lockstep_ready(&self) -> bool {
+        matches!(self.status, StreamStatus::Active)
+            && (self.context.remaining_capacity() > 0 || self.is_windowed())
+    }
+
+    fn is_windowed(&self) -> bool {
+        matches!(
+            self.context.eviction(),
+            EvictionPolicy::SlidingWindow { .. }
+        )
+    }
+
+    /// Parks the stream: captures its K/V-resident tokens, frees its pages,
+    /// and re-queues it. The unfed token (if any) stays in `tokens`, so the
+    /// resume feed reconstructs the exact solo state.
+    fn park(&mut self) {
+        debug_assert!(matches!(self.status, StreamStatus::Active));
+        self.parked_resident = Some(self.context.resident_tokens().to_vec());
+        self.context.reset();
+        self.status = StreamStatus::Queued;
     }
 }
 
@@ -46,11 +141,13 @@ impl GroupStream<'_> {
 /// [`ServeEngine`](crate::ServeEngine) session.
 ///
 /// Created by [`ServeEngine::decode_group`](crate::ServeEngine::decode_group).
-/// The first [`DecodeGroup::step_all`] prefills each stream's prompt (prompts
-/// have different lengths, so prefills run per stream); every later tick feeds
-/// one token per ready stream in a single batched pass. Streams that reach the
-/// model's maximum sequence length simply stop contributing rows — their slots
-/// report `None`.
+/// Each [`DecodeGroup::step_all`] tick retires streams at capacity, resumes
+/// queued streams whose pages now fit (prompts have different lengths, so
+/// these catch-up prefills run per stream), then feeds one token per active
+/// stream in a single batched pass. Streams that reach the model's maximum
+/// sequence length stop contributing rows — their slots report `None` — and
+/// streams queued, shed, or cancelled report `None` until (unless) they
+/// activate. See the [module docs](self) for the overload lifecycle.
 ///
 /// # Panics
 ///
@@ -61,22 +158,31 @@ pub struct DecodeGroup<'m> {
     model: &'m TransformerModel,
     session: Session,
     streams: Vec<GroupStream<'m>>,
+    pool: Arc<KvBlockPool>,
+    admission: Arc<AdmissionController>,
+    stats: GroupStats,
 }
 
 impl<'m> DecodeGroup<'m> {
     /// Builds a group of `prompts.len()` streams whose K/V pages come from
-    /// `pool` and whose normalization runs through `session`.
+    /// `pool`, whose normalization runs through `session`, and whose admission
+    /// is decided by `admission`: each prompt is offered in order, with
+    /// already-accepted prompts' page estimates counting against the
+    /// watermark, so an oversubscribed construction queues (and eventually
+    /// sheds) the tail instead of letting every stream race the pool.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidRequest`] when `prompts` is empty or any
     /// prompt fails the model's token validation, or when the pool width does
-    /// not match the model.
+    /// not match the model. Overload is **not** an error: shed slots come back
+    /// as [`StreamStatus::Shed`] and simply never decode.
     pub(crate) fn new(
         session: Session,
         pool: &Arc<KvBlockPool>,
         model: &'m TransformerModel,
         prompts: &[&[u32]],
+        admission: Arc<AdmissionController>,
     ) -> Result<Self, ServeError> {
         if prompts.is_empty() {
             return Err(ServeError::InvalidRequest(
@@ -84,20 +190,51 @@ impl<'m> DecodeGroup<'m> {
             ));
         }
         let invalid = |err: LlmError| ServeError::InvalidRequest(err.to_string());
+        let blocks = model.config().num_blocks;
+        let mut stats = GroupStats::default();
         let mut streams = Vec::with_capacity(prompts.len());
+        // Pages spoken for by prompts accepted earlier in this construction
+        // (they are not resident yet, so the pool cannot see them).
+        let mut projected_pages = 0usize;
+        let mut queued_here = 0usize;
         for prompt in prompts {
             model.validate_tokens(prompt).map_err(invalid)?;
+            let est = admission.page_estimate(pool, blocks, prompt.len());
+            stats.offered += 1;
+            let status = match admission.offer(pool, est, projected_pages, queued_here) {
+                AdmissionDecision::Admit => {
+                    projected_pages += est;
+                    StreamStatus::Queued
+                }
+                AdmissionDecision::Queue => {
+                    projected_pages += est;
+                    queued_here += 1;
+                    stats.queued += 1;
+                    StreamStatus::Queued
+                }
+                AdmissionDecision::Shed { .. } => {
+                    stats.shed += 1;
+                    StreamStatus::Shed
+                }
+            };
             streams.push(GroupStream {
                 context: model.start_decode_in(pool).map_err(invalid)?,
                 tokens: prompt.to_vec(),
                 fed: 0,
                 prompt_len: prompt.len(),
+                status,
+                parked_resident: None,
+                last_advanced_tick: 0,
+                activated: false,
             });
         }
         Ok(Self {
             model,
             session,
             streams,
+            pool: Arc::clone(pool),
+            admission,
+            stats,
         })
     }
 
@@ -113,7 +250,7 @@ impl<'m> DecodeGroup<'m> {
         &self.session
     }
 
-    /// Number of member streams.
+    /// Number of member streams (shed slots included).
     #[must_use]
     pub fn len(&self) -> usize {
         self.streams.len()
@@ -125,10 +262,31 @@ impl<'m> DecodeGroup<'m> {
         self.streams.is_empty()
     }
 
-    /// Number of streams that can still accept a token.
+    /// Number of streams that can still make progress: lockstep-ready actives
+    /// plus queued streams waiting to (re)start.
     #[must_use]
     pub fn ready_streams(&self) -> usize {
-        self.streams.iter().filter(|s| s.is_ready()).count()
+        self.streams
+            .iter()
+            .filter(|s| matches!(s.status, StreamStatus::Queued) || s.is_lockstep_ready())
+            .count()
+    }
+
+    /// Stream `index`'s lifecycle state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    #[must_use]
+    pub fn status(&self, index: usize) -> StreamStatus {
+        self.streams[index].status
+    }
+
+    /// The group's robustness counters (admission split, preemptions, resumes
+    /// and their re-prefill cost, completions, ticks).
+    #[must_use]
+    pub fn stats(&self) -> GroupStats {
+        self.stats
     }
 
     /// Stream `index`'s full token buffer: prompt followed by generated tokens.
@@ -153,89 +311,288 @@ impl<'m> DecodeGroup<'m> {
     }
 
     /// Stream `index`'s remaining capacity before the model's maximum sequence
-    /// length.
+    /// length: the live context's room for active streams, the room the
+    /// stream *would* have for queued ones, zero for finished, shed, or
+    /// cancelled slots.
     ///
     /// # Panics
     ///
     /// Panics when `index` is out of bounds.
     #[must_use]
     pub fn remaining_capacity(&self, index: usize) -> usize {
-        self.streams[index].context.remaining_capacity()
+        let stream = &self.streams[index];
+        match stream.status {
+            StreamStatus::Active => stream.context.remaining_capacity(),
+            StreamStatus::Queued => {
+                // The rows the stream will hold right after its (re)prefill.
+                let resident = stream
+                    .parked_resident
+                    .as_ref()
+                    .map_or(stream.tokens.len(), Vec::len);
+                self.model.config().max_seq_len.saturating_sub(resident)
+            }
+            StreamStatus::Finished | StreamStatus::Shed | StreamStatus::Cancelled => 0,
+        }
     }
 
-    /// Advances every ready stream one greedy token and returns, per stream,
-    /// the token it generated this tick (`None` for streams at capacity).
-    ///
-    /// On the first call each stream's prompt is prefilled (separate incremental
-    /// passes — prompts differ in length); on every later call the ready
-    /// streams advance together through [`TransformerModel::step_many`]: one
-    /// batched pass, one fused normalization request per site carrying one row
-    /// per stream.
+    /// Sets stream `index`'s K/V eviction policy (e.g. a sliding window so the
+    /// stream can outlive `max_seq_len`). Must be called before the stream
+    /// first activates — mid-stream policy changes would break the park/resume
+    /// parity contract.
     ///
     /// # Errors
     ///
-    /// Propagates any forward-pass error ([`LlmError`]). A failed tick is
-    /// **retry-safe**: every underlying pass rolls back on error, so streams
-    /// that had not advanced yet are unchanged, streams that already advanced
-    /// this tick keep their token (visible through [`DecodeGroup::tokens`]),
-    /// and calling `step_all` again resumes exactly where the tick stopped —
-    /// still-unfed prompts prefill, everything else locksteps.
-    pub fn step_all(&mut self) -> Result<Vec<Option<u32>>, LlmError> {
-        let mut results = vec![None; self.streams.len()];
-        // Prefill pass: any stream that has not fed its prompt yet — all of
-        // them on the first tick, only the unfed remainder after a failed one.
-        for (slot, stream) in results.iter_mut().zip(&mut self.streams) {
-            if stream.fed > 0 {
+    /// Returns [`ServeError::InvalidRequest`] when the stream has already fed
+    /// tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn set_eviction(
+        &mut self,
+        index: usize,
+        eviction: EvictionPolicy,
+    ) -> Result<(), ServeError> {
+        let stream = &mut self.streams[index];
+        if stream.fed > 0 {
+            return Err(ServeError::InvalidRequest(
+                "eviction policy must be set before the stream's first tick".to_string(),
+            ));
+        }
+        stream.context.set_eviction(eviction);
+        Ok(())
+    }
+
+    /// Forcibly parks an active stream: frees its pool pages while keeping its
+    /// token history, exactly as a pressure-triggered preemption would. The
+    /// stream re-queues and resumes automatically. Returns `false` (and does
+    /// nothing) for streams that are not active or are about to finish.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn preempt(&mut self, index: usize) -> bool {
+        if !self.streams[index].is_lockstep_ready() {
+            return false;
+        }
+        self.streams[index].park();
+        self.stats.preemptions += 1;
+        true
+    }
+
+    /// Cancels a queued or active stream: frees its pages, keeps its token
+    /// history, and marks it [`StreamStatus::Cancelled`] — it never decodes
+    /// again. Returns `false` for streams already finished, shed, or
+    /// cancelled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn cancel(&mut self, index: usize) -> bool {
+        let stream = &mut self.streams[index];
+        match stream.status {
+            StreamStatus::Queued | StreamStatus::Active => {
+                stream.context.reset();
+                stream.parked_resident = None;
+                stream.status = StreamStatus::Cancelled;
+                true
+            }
+            StreamStatus::Finished | StreamStatus::Shed | StreamStatus::Cancelled => false,
+        }
+    }
+
+    /// Retires active streams that can no longer accept a token, releasing
+    /// their pool pages (windowed streams evict instead of finishing).
+    fn finish_exhausted_streams(&mut self) {
+        for stream in &mut self.streams {
+            if matches!(stream.status, StreamStatus::Active)
+                && stream.context.remaining_capacity() == 0
+                && !stream.is_windowed()
+            {
+                stream.context.reset();
+                stream.status = StreamStatus::Finished;
+                self.stats.completed += 1;
+            }
+        }
+    }
+
+    /// Builds the catch-up feed of a queued stream: the K/V rows it held when
+    /// parked (trimmed to the eviction window when the resume would overflow
+    /// `max_seq_len`, mirroring the eviction a never-parked stream would have
+    /// performed) followed by its unfed tokens.
+    fn resume_feed(&self, index: usize) -> Vec<u32> {
+        let stream = &self.streams[index];
+        let tail = stream.tokens.len() - stream.fed;
+        let mut feed = stream.parked_resident.clone().unwrap_or_default();
+        if let EvictionPolicy::SlidingWindow { keep_last } = stream.context.eviction() {
+            if feed.len() + tail > self.model.config().max_seq_len {
+                let keep = keep_last.min(feed.len());
+                feed.drain(..feed.len() - keep);
+            }
+        }
+        feed.extend_from_slice(&stream.tokens[stream.fed..]);
+        feed
+    }
+
+    /// (Re)starts queued streams whose pages now fit, oldest slot first. A
+    /// pool-exhausted attempt rolls back, leaves the stream queued, and stops
+    /// the pass (later streams would only fail the same way this tick).
+    fn resume_queued_streams(
+        &mut self,
+        results: &mut [Option<u32>],
+        tick: u64,
+    ) -> Result<(), LlmError> {
+        let page_rows = self.pool.page_rows();
+        let blocks = self.model.config().num_blocks;
+        for (index, slot) in results.iter_mut().enumerate() {
+            if !matches!(self.streams[index].status, StreamStatus::Queued) {
                 continue;
             }
-            let logits = stream
-                .context
-                .prefill_last(&stream.tokens, &mut self.session)?;
-            stream.fed = stream.tokens.len();
-            let next = argmax(&logits);
-            stream.tokens.push(next);
-            *slot = Some(next);
+            let feed = self.resume_feed(index);
+            // Cheap gate: skip the attempt when the pool visibly lacks pages.
+            let est = blocks * feed.len().div_ceil(page_rows);
+            if est > self.pool.pages_free() {
+                continue;
+            }
+            let stream = &mut self.streams[index];
+            match stream.context.prefill_last(&feed, &mut self.session) {
+                Ok(logits) => {
+                    let resumed = stream.parked_resident.take().is_some();
+                    stream.fed = stream.tokens.len();
+                    stream.status = StreamStatus::Active;
+                    stream.last_advanced_tick = tick;
+                    let next = argmax(&logits);
+                    stream.tokens.push(next);
+                    *slot = Some(next);
+                    if resumed {
+                        self.stats.resumes += 1;
+                        self.stats.resume_reprefill_rows += feed.len() as u64;
+                    }
+                    if !stream.activated {
+                        stream.activated = true;
+                        self.stats.admitted += 1;
+                        self.admission.note_admitted();
+                    }
+                }
+                // Lost the race for pages (or hit an injected exhaustion):
+                // the pass rolled back, the stream stays queued and retryable.
+                Err(LlmError::KvPoolExhausted { .. }) => break,
+                Err(err) => return Err(err),
+            }
         }
-        // Lockstep pass: every ready stream not already stepped above
-        // contributes one row. (A stream is in the lockstep set iff its result
-        // slot is still empty and it has capacity — both filters below must
-        // agree, and nothing in between mutates either.)
-        let ready: Vec<usize> = self
-            .streams
+        Ok(())
+    }
+
+    /// Picks the preemption victim among the lockstep-ready streams: fewest
+    /// tokens decoded, ties to the least recently advanced, then the lowest
+    /// index — a deterministic order, so drills reproduce exactly.
+    fn preemption_victim(&self, ready: &[usize]) -> usize {
+        ready
             .iter()
-            .enumerate()
-            .filter(|(i, stream)| results[*i].is_none() && stream.is_ready())
-            .map(|(i, _)| i)
-            .collect();
-        if ready.is_empty() {
-            return Ok(results);
-        }
-        let tokens: Vec<u32> = ready
-            .iter()
-            .map(|&i| {
+            .copied()
+            .min_by_key(|&i| {
                 let stream = &self.streams[i];
-                debug_assert_eq!(stream.fed + 1, stream.tokens.len());
-                stream.tokens[stream.fed]
+                (
+                    stream.tokens.len() - stream.prompt_len,
+                    stream.last_advanced_tick,
+                    i,
+                )
             })
-            .collect();
-        let mut contexts: Vec<&mut DecodeContext<'m>> = self
-            .streams
-            .iter_mut()
-            .enumerate()
-            .filter(|(i, stream)| results[*i].is_none() && stream.is_ready())
-            .map(|(_, stream)| &mut stream.context)
-            .collect();
-        let logits = self
-            .model
-            .step_many(&mut contexts, &tokens, &mut self.session)?;
-        for (row, &i) in ready.iter().enumerate() {
-            let stream = &mut self.streams[i];
-            stream.fed += 1;
-            let next = argmax(logits.row(row));
-            stream.tokens.push(next);
-            results[i] = Some(next);
+            .expect("ready set is non-empty")
+    }
+
+    /// Advances the group one tick and returns, per stream, the token it
+    /// generated (`None` for slots that did not advance: at capacity, still
+    /// queued, shed, or cancelled).
+    ///
+    /// Tick order: retire streams at capacity (freeing their pages), resume
+    /// queued streams whose pages now fit (separate catch-up prefills —
+    /// feeds differ in length), then advance every active stream together
+    /// through [`TransformerModel::step_many`]: one batched pass, one fused
+    /// normalization request per site carrying one row per stream. When that
+    /// pass hits pool exhaustion, the group parks a victim (fewest tokens
+    /// decoded, ties to least recently advanced) and retries with the
+    /// survivors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors ([`LlmError`]), including
+    /// [`LlmError::KvPoolExhausted`] when even a single stream cannot make
+    /// progress (parking the last ready stream cannot free enough pages for
+    /// its own resume). A failed tick is **retry-safe**: every underlying pass
+    /// rolls back on error, so streams keep a consistent token/K-V state —
+    /// parked streams stay queued, advanced streams keep their token — and
+    /// calling `step_all` again resumes exactly where the tick stopped.
+    pub fn step_all(&mut self) -> Result<Vec<Option<u32>>, LlmError> {
+        self.stats.ticks += 1;
+        let tick = self.stats.ticks;
+        let mut results = vec![None; self.streams.len()];
+        self.finish_exhausted_streams();
+        self.resume_queued_streams(&mut results, tick)?;
+        // Lockstep pass with preempt-and-retry: every active stream not
+        // already stepped by a resume above contributes one row.
+        loop {
+            let ready: Vec<usize> = self
+                .streams
+                .iter()
+                .enumerate()
+                .filter(|(i, stream)| results[*i].is_none() && stream.is_lockstep_ready())
+                .map(|(i, _)| i)
+                .collect();
+            if ready.is_empty() {
+                return Ok(results);
+            }
+            let tokens: Vec<u32> = ready
+                .iter()
+                .map(|&i| {
+                    let stream = &self.streams[i];
+                    debug_assert_eq!(stream.fed + 1, stream.tokens.len());
+                    stream.tokens[stream.fed]
+                })
+                .collect();
+            let mut contexts: Vec<&mut DecodeContext<'m>> = self
+                .streams
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| ready.contains(i))
+                .map(|(_, stream)| &mut stream.context)
+                .collect();
+            match self
+                .model
+                .step_many(&mut contexts, &tokens, &mut self.session)
+            {
+                Ok(logits) => {
+                    for (row, &i) in ready.iter().enumerate() {
+                        let stream = &mut self.streams[i];
+                        stream.fed += 1;
+                        stream.last_advanced_tick = tick;
+                        let next = argmax(logits.row(row));
+                        stream.tokens.push(next);
+                        results[i] = Some(next);
+                    }
+                    return Ok(results);
+                }
+                Err(LlmError::KvPoolExhausted {
+                    requested_pages,
+                    free_pages,
+                }) => {
+                    if ready.len() == 1 {
+                        // Parking the only ready stream cannot help: its own
+                        // resume would need at least the pages it holds now.
+                        return Err(LlmError::KvPoolExhausted {
+                            requested_pages,
+                            free_pages,
+                        });
+                    }
+                    // The failed pass rolled every context back; park the
+                    // victim and retry with one fewer stream.
+                    let victim = self.preemption_victim(&ready);
+                    self.streams[victim].park();
+                    self.stats.preemptions += 1;
+                }
+                Err(err) => return Err(err),
+            }
         }
-        Ok(results)
     }
 
     /// Runs up to `ticks` lockstep rounds, returning the total number of tokens
@@ -265,7 +622,8 @@ fn argmax(logits: &[f32]) -> u32 {
 
 #[cfg(test)]
 mod tests {
-    use crate::engine::{ServeConfig, ServeEngine};
+    use super::*;
+    use crate::engine::{KvPoolPolicy, ServeConfig, ServeEngine};
     use haan::{BackendSelection, HaanConfig};
     use haan_llm::norm::ReferenceNormalizer;
     use haan_llm::{ModelConfig, StreamingModel, TransformerModel};
@@ -299,7 +657,11 @@ mod tests {
                 .unwrap();
             assert_eq!(group.generated(i), expected.as_slice(), "stream {i}");
             assert_eq!(group.tokens(i).len(), prompt.len() + TICKS);
+            assert_eq!(group.status(i), StreamStatus::Active);
         }
+        let stats = group.stats();
+        assert_eq!((stats.offered, stats.admitted, stats.shed), (3, 3, 0));
+        assert_eq!(stats.ticks, TICKS as u64);
         // Lockstep ticks carry one row per stream: rows/batch must exceed 1.
         assert!(engine.stats().mean_batch_occupancy_rows() > 1.0);
         let _ = group.session().anchor_state();
@@ -329,24 +691,26 @@ mod tests {
         let third = group.step_all().unwrap();
         assert!(third[0].is_none(), "full stream must be skipped, not error");
         assert!(third[1].is_some());
+        assert_eq!(group.status(0), StreamStatus::Finished);
+        assert_eq!(group.stats().completed, 1);
         engine.shutdown();
     }
 
     #[test]
-    fn a_failed_prefill_tick_is_retry_safe() {
-        use crate::engine::KvPoolPolicy;
-        use haan_llm::LlmError;
+    fn pool_pressure_queues_streams_and_stuck_groups_fail_typed() {
         // An engine pool with room for one stream's prompt but not two: the
-        // first tick prefills stream 0, then fails with the typed pool error on
-        // stream 1. Retrying must neither panic nor re-feed stream 0 — the tick
-        // resumes at the still-unfed stream and fails the same typed way while
-        // the pressure persists.
+        // second stream queues at admission, the first activates on tick 1 —
+        // and once neither the active stream can grow nor the queued one fit,
+        // ticks fail with the typed pool error, retry-safely.
         let model = TransformerModel::new(&ModelConfig::tiny_test(), 23).unwrap();
         let mut engine = ServeEngine::start(ServeConfig {
             normalizer: HaanConfig {
                 backend: BackendSelection::Fused,
                 ..HaanConfig::unoptimized()
             },
+            // 6 pages of 4 rows; each 4-token prompt estimates 4 pages
+            // (tiny_test has 4 blocks), so the watermark (4.5 pages) admits
+            // exactly one.
             kv_pool: KvPoolPolicy {
                 page_rows: 4,
                 capacity_rows: 24,
@@ -355,14 +719,78 @@ mod tests {
         });
         let prompts: [&[u32]; 2] = [&[1, 2, 3, 4], &[5, 6, 7, 8]];
         let mut group = engine.decode_group(&model, &prompts).unwrap();
+        assert_eq!(group.stats().queued, 1);
+        let first = group.step_all().unwrap();
+        assert!(first[0].is_some(), "admitted stream prefills");
+        assert!(first[1].is_none(), "queued stream waits without erroring");
+        assert_eq!(group.status(0), StreamStatus::Active);
+        assert_eq!(group.status(1), StreamStatus::Queued);
+        // Stream 0 now holds 4 full pages; growing it needs one page per
+        // block (4 > 2 free), and stream 1's resume needs 4. Nobody can move:
+        // the tick fails typed, and retries neither panic nor corrupt state.
         for _ in 0..2 {
             let err = group.step_all().unwrap_err();
             assert!(matches!(err, LlmError::KvPoolExhausted { .. }), "{err:?}");
-            // Stream 0 advanced exactly once across both attempts; stream 1
-            // never advanced.
             assert_eq!(group.tokens(0).len(), prompts[0].len() + 1);
             assert_eq!(group.tokens(1).len(), prompts[1].len());
         }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn preempted_streams_resume_bit_identically() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 23).unwrap();
+        let mut engine = engine();
+        let prompts: [&[u32]; 2] = [&[2, 9, 4], &[1, 7, 3]];
+        let mut group = engine.decode_group(&model, &prompts).unwrap();
+        group.decode(2).unwrap();
+        // Park stream 0 by hand: its pages free, its history stays.
+        let pages_before = engine.kv_pool(model.config().embedding_dim).pages_in_use();
+        assert!(group.preempt(0));
+        assert_eq!(group.status(0), StreamStatus::Queued);
+        assert!(
+            engine.kv_pool(model.config().embedding_dim).pages_in_use() < pages_before,
+            "preemption must free the victim's pages"
+        );
+        assert!(
+            !group.preempt(0),
+            "queued streams cannot be preempted again"
+        );
+        // The next ticks resume it transparently…
+        group.decode(3).unwrap();
+        assert_eq!(group.status(0), StreamStatus::Active);
+        let stats = group.stats();
+        assert_eq!((stats.preemptions, stats.resumes), (1, 1));
+        assert!(stats.resume_reprefill_rows > 0);
+        // …and both streams still match their solo oracles exactly.
+        for (i, prompt) in prompts.iter().enumerate() {
+            let mut oracle = StreamingModel::new_full_recompute(&model, prompt).unwrap();
+            let expected = oracle.decode(5, &mut ReferenceNormalizer::new()).unwrap();
+            assert_eq!(group.generated(i), expected.as_slice(), "stream {i}");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn cancelled_streams_free_pages_and_never_decode_again() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 23).unwrap();
+        let mut engine = engine();
+        let prompts: [&[u32]; 2] = [&[2, 9, 4], &[1, 7, 3]];
+        let mut group = engine.decode_group(&model, &prompts).unwrap();
+        group.decode(2).unwrap();
+        let generated_at_cancel = group.generated(0).len();
+        assert!(group.cancel(0));
+        assert!(!group.cancel(0), "cancel is not idempotent-true");
+        assert_eq!(group.status(0), StreamStatus::Cancelled);
+        assert_eq!(group.remaining_capacity(0), 0);
+        let results = group.step_all().unwrap();
+        assert!(results[0].is_none());
+        assert!(results[1].is_some());
+        assert_eq!(
+            group.generated(0).len(),
+            generated_at_cancel,
+            "cancelled streams keep their history but stop decoding"
+        );
         engine.shutdown();
     }
 
@@ -373,6 +801,20 @@ mod tests {
         assert!(engine.decode_group(&model, &[]).is_err());
         let bad: [&[u32]; 2] = [&[1, 2], &[40_000]];
         assert!(engine.decode_group(&model, &bad).is_err());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn eviction_changes_are_rejected_after_the_first_tick() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 23).unwrap();
+        let mut engine = engine();
+        let prompts: [&[u32]; 1] = [&[2, 9, 4]];
+        let mut group = engine.decode_group(&model, &prompts).unwrap();
+        assert!(group
+            .set_eviction(0, EvictionPolicy::SlidingWindow { keep_last: 8 })
+            .is_ok());
+        group.step_all().unwrap();
+        assert!(group.set_eviction(0, EvictionPolicy::Reject).is_err());
         engine.shutdown();
     }
 }

@@ -3,6 +3,7 @@
 use crate::error::ServeError;
 use haan::AnchorState;
 use haan_llm::norm::NormSite;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -78,6 +79,12 @@ pub struct NormRequest {
     /// The submitting stream's skip-anchor state. The engine resumes the stream's
     /// sequence from it and returns the updated state in the response.
     pub anchors: AnchorState,
+    /// Optional absolute deadline on the engine clock (microseconds since
+    /// engine start — see [`ServeEngine::now_us`](crate::ServeEngine::now_us)).
+    /// A request still queued when its deadline elapses is answered with
+    /// [`ServeError::TimedOut`] instead of being executed, so no client blocks
+    /// forever behind a slow batch. `None` means wait indefinitely.
+    pub deadline_us: Option<u64>,
 }
 
 impl NormRequest {
@@ -123,21 +130,73 @@ pub struct NormResponse {
     pub queue_wait_us: u64,
 }
 
+/// A client-side handle for cancelling one queued request.
+///
+/// Cloneable and thread-safe; calling [`CancelHandle::cancel`] marks the
+/// request so the worker answers it with [`ServeError::Cancelled`] instead of
+/// executing it. Cancellation is cooperative: a request already inside a
+/// dispatched batch still executes and returns its response.
+#[derive(Debug, Clone, Default)]
+pub struct CancelHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelHandle {
+    /// Marks the request cancelled.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`CancelHandle::cancel`] has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
 /// A response that has been routed but possibly not produced yet; resolve it with
 /// [`PendingResponse::wait`].
 #[derive(Debug)]
 pub struct PendingResponse {
     pub(crate) rx: mpsc::Receiver<Result<NormResponse, ServeError>>,
+    pub(crate) cancel: CancelHandle,
+    /// The engine's worker-liveness flag: cleared when the worker thread dies,
+    /// so an unanswered request maps to [`ServeError::WorkerDied`] instead of
+    /// the generic [`ServeError::Shutdown`].
+    pub(crate) worker_alive: Arc<AtomicBool>,
 }
 
 impl PendingResponse {
+    /// A handle that cancels this request while it is still queued.
+    #[must_use]
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.cancel.clone()
+    }
+
     /// Blocks until the engine has executed the batch containing this request.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Shutdown`] when the engine stopped before answering.
+    /// Returns [`ServeError::WorkerDied`] when the worker thread died before
+    /// answering, and [`ServeError::Shutdown`] when the engine stopped cleanly
+    /// first. Requests that missed their deadline or were cancelled resolve to
+    /// [`ServeError::TimedOut`] / [`ServeError::Cancelled`].
     pub fn wait(self) -> Result<NormResponse, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::Shutdown)?
+        self.rx.recv().map_err(|_| {
+            // A panicking worker drops this request's reply sender while it
+            // unwinds — *before* its drop guard clears the liveness flag — so
+            // give the guard a bounded grace before classifying the hangup.
+            // (A clean shutdown answers every accepted request explicitly, so
+            // a bare hangup almost always means death; the grace only delays
+            // the rare racing clean-exit classification by ≤10 ms.)
+            for _ in 0..100 {
+                if !self.worker_alive.load(Ordering::SeqCst) {
+                    return ServeError::WorkerDied;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            ServeError::Shutdown
+        })?
     }
 }
 
@@ -172,6 +231,7 @@ mod tests {
             data: vec![0.0; 8],
             params: params(4),
             anchors: AnchorState::new(),
+            deadline_us: None,
         };
         assert_eq!(good.rows(), 2);
         assert!(good.validate().is_ok());
@@ -196,5 +256,14 @@ mod tests {
             ..good
         };
         assert!(wrong_params.validate().is_err());
+    }
+
+    #[test]
+    fn cancel_handles_share_one_flag() {
+        let handle = CancelHandle::default();
+        let clone = handle.clone();
+        assert!(!clone.is_cancelled());
+        handle.cancel();
+        assert!(clone.is_cancelled());
     }
 }

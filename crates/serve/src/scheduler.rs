@@ -225,6 +225,32 @@ impl<T> Scheduler<T> {
         Some(self.pop_from(index))
     }
 
+    /// Removes and returns every queued entry matching `predicate`, preserving
+    /// admission order within each group. The engine's worker uses this to
+    /// sweep out expired-deadline and cancelled requests so they can be
+    /// answered with a typed error instead of executing (or silently waiting)
+    /// — group row counts stay consistent and emptied groups are dropped.
+    pub fn drain_matching<F>(&mut self, mut predicate: F) -> Vec<Entry<T>>
+    where
+        F: FnMut(&Entry<T>) -> bool,
+    {
+        let mut drained = Vec::new();
+        for group in &mut self.groups {
+            let mut kept = VecDeque::with_capacity(group.entries.len());
+            while let Some(entry) = group.entries.pop_front() {
+                if predicate(&entry) {
+                    group.rows -= entry.rows;
+                    drained.push(entry);
+                } else {
+                    kept.push_back(entry);
+                }
+            }
+            group.entries = kept;
+        }
+        self.groups.retain(|g| !g.entries.is_empty());
+        drained
+    }
+
     /// Pops a batch regardless of readiness (oldest group first), used to drain the
     /// queue on shutdown. Returns `None` only when the scheduler is empty.
     pub fn pop_any(&mut self) -> Option<ReadyBatch<T>> {
@@ -417,6 +443,25 @@ mod tests {
     }
 
     #[test]
+    fn drain_matching_removes_only_matches_and_keeps_rows_consistent() {
+        let mut sched: Scheduler<u32> = Scheduler::new(policy(64, 1_000_000, QueueOrdering::Fifo));
+        sched.admit(key(0, 8, 1), 2, 0, 1);
+        sched.admit(key(0, 8, 1), 1, 5, 2);
+        sched.admit(key(1, 8, 1), 3, 6, 3);
+        // Drain the odd items (1 and 3), leaving item 2 queued.
+        let drained = sched.drain_matching(|entry| entry.item % 2 == 1);
+        let items: Vec<u32> = drained.iter().map(|e| e.item).collect();
+        assert_eq!(items, vec![1, 3]);
+        assert_eq!(sched.pending_requests(), 1);
+        assert_eq!(sched.pending_rows(), 1);
+        // The survivor still flushes normally, and empty groups are gone.
+        let batch = sched.pop_ready(1_000_010).expect("survivor flushes");
+        assert_eq!(batch.entries[0].item, 2);
+        assert!(sched.is_empty());
+        assert!(sched.drain_matching(|_| true).is_empty());
+    }
+
+    #[test]
     fn zero_row_threshold_acts_as_one() {
         let mut sched: Scheduler<u32> = Scheduler::new(policy(0, 100, QueueOrdering::Fifo));
         sched.admit(key(0, 8, 1), 1, 0, 1);
@@ -437,6 +482,7 @@ mod tests {
             data: vec![0.0; 4],
             params: params.clone(),
             anchors: haan::AnchorState::new(),
+            deadline_us: None,
         };
         let twin = crate::NormRequest {
             params: params.clone(),

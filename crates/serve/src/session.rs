@@ -33,6 +33,8 @@ pub struct Session {
     /// the steady state skips the engine-global intern lock: a forward pass names
     /// the same few `γ`/`β` vectors every time.
     params_memo: Vec<(u64, Arc<crate::NormParams>)>,
+    /// Per-request timeout applied to every submission, microseconds.
+    request_timeout_us: Option<u64>,
 }
 
 impl Session {
@@ -42,7 +44,22 @@ impl Session {
             tx,
             anchors: AnchorState::new(),
             params_memo: Vec::new(),
+            request_timeout_us: None,
         }
+    }
+
+    /// Sets (or clears) a per-request timeout: every subsequent submission
+    /// carries `now + timeout` as its [`NormRequest::deadline_us`], so a
+    /// request stuck behind slow batches resolves to
+    /// [`ServeError::TimedOut`] instead of blocking its client forever.
+    pub fn set_request_timeout_us(&mut self, timeout_us: Option<u64>) {
+        self.request_timeout_us = timeout_us;
+    }
+
+    /// The per-request timeout, if one is set.
+    #[must_use]
+    pub fn request_timeout_us(&self) -> Option<u64> {
+        self.request_timeout_us
     }
 
     /// Resolves `γ`/`β` to the engine-wide interned `Arc`, consulting the
@@ -83,8 +100,12 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::InvalidRequest`] on shape mismatches and
-    /// [`ServeError::Shutdown`] when the engine stopped before answering.
+    /// Returns [`ServeError::InvalidRequest`] on shape mismatches,
+    /// [`ServeError::Shutdown`] when the engine stopped before answering,
+    /// [`ServeError::WorkerDied`] when its worker thread is gone, and
+    /// [`ServeError::TimedOut`] when a session timeout
+    /// ([`Session::set_request_timeout_us`]) elapsed while the request was
+    /// still queued.
     ///
     /// # Examples
     ///
@@ -128,6 +149,9 @@ impl Session {
             )));
         }
         let params = self.interned_params(gamma, beta);
+        let deadline_us = self
+            .request_timeout_us
+            .map(|timeout| self.shared.now_us().saturating_add(timeout));
         let pending = submit_via(
             &self.shared,
             &self.tx,
@@ -137,6 +161,7 @@ impl Session {
                 data: input.as_slice().to_vec(),
                 params,
                 anchors: self.anchors.clone(),
+                deadline_us,
             },
         )?;
         let response = pending.wait()?;
@@ -274,6 +299,28 @@ mod tests {
         assert!(b.description().contains("serving"));
         b.begin_sequence();
         assert!(b.anchor_state().is_empty());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn session_timeouts_resolve_typed() {
+        let mut engine = engine();
+        let mut session = engine.session();
+        // An already-elapsed timeout: the request expires on arrival.
+        session.set_request_timeout_us(Some(0));
+        assert_eq!(session.request_timeout_us(), Some(0));
+        let input = Matrix::zeros(1, 4);
+        assert_eq!(
+            session
+                .normalize(site(0), &input, &[1.0; 4], &[0.0; 4])
+                .unwrap_err(),
+            ServeError::TimedOut
+        );
+        // Clearing the timeout restores normal service on the same session.
+        session.set_request_timeout_us(None);
+        assert!(session
+            .normalize(site(0), &input, &[1.0; 4], &[0.0; 4])
+            .is_ok());
         engine.shutdown();
     }
 

@@ -1,6 +1,6 @@
 //! Per-batch serving telemetry: occupancy, queue wait, execution cost.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// How many of the most recent per-request queue waits the percentile window
 /// keeps. Bounded so a long-running engine neither grows without limit nor slows
@@ -84,6 +84,14 @@ pub(crate) struct Recorder {
 }
 
 impl Recorder {
+    /// Telemetry counters are monotone aggregates with no cross-field
+    /// invariants that a panicking writer could leave half-established, so a
+    /// poisoned lock is recovered rather than propagated: the engine must keep
+    /// serving (and reporting stats) even after a worker thread died mid-batch.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     pub(crate) fn record_batch(
         &self,
         requests: u64,
@@ -92,7 +100,7 @@ impl Recorder {
         exec_ns: u128,
         queue_waits_us: impl IntoIterator<Item = u64>,
     ) {
-        let mut inner = self.inner.lock().expect("telemetry lock poisoned");
+        let mut inner = self.lock();
         inner.requests += requests;
         inner.rows += rows;
         inner.batches += 1;
@@ -111,7 +119,7 @@ impl Recorder {
     }
 
     pub(crate) fn stats(&self) -> ServingStats {
-        let inner = self.inner.lock().expect("telemetry lock poisoned");
+        let inner = self.lock();
         let mut waits = inner.queue_waits_us.clone();
         waits.sort_unstable();
         let percentile = |p: f64| -> u64 {
@@ -170,6 +178,24 @@ mod tests {
         assert!(stats.p50_queue_wait_us <= stats.p99_queue_wait_us);
         assert_eq!(stats.p99_queue_wait_us, 100);
         assert!((stats.ns_per_element() - 1_500.0 / 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorder_survives_a_poisoned_lock() {
+        let recorder = std::sync::Arc::new(Recorder::default());
+        recorder.record_batch(1, 1, 16, 100, [5]);
+        let poisoner = std::sync::Arc::clone(&recorder);
+        std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("poison the telemetry lock");
+        })
+        .join()
+        .unwrap_err();
+        // Reads and writes keep working on the recovered lock.
+        recorder.record_batch(1, 1, 16, 100, [15]);
+        let stats = recorder.stats();
+        assert_eq!(stats.requests, 2);
+        assert!((stats.mean_queue_wait_us - 10.0).abs() < 1e-9);
     }
 
     #[test]

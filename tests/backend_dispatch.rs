@@ -274,6 +274,7 @@ fn scheduler_assembled_batch_is_bit_identical_to_direct_fused_batch() {
                         data: input.row(row).to_vec(),
                         params: params.clone(),
                         anchors: anchors[row].clone(),
+                        deadline_us: None,
                     })
                     .expect("engine is open")
             })

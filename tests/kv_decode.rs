@@ -258,6 +258,85 @@ fn windowed_stream_outlives_max_seq_and_stays_parity_correct() {
 }
 
 #[test]
+fn windowed_stream_survives_preemption_and_stays_parity_correct() {
+    // The overload-issue satellite: a sliding-window stream that is repeatedly
+    // *parked* (the preemption primitive — pages freed, token history kept) and
+    // transparently resumed, including past max_seq_len where the resume must
+    // re-apply the window trim, generates exactly what (a) a never-parked twin
+    // generates and (b) a fresh-context stateless oracle over the resident
+    // window predicts — under the HAAN fused/FP16/subsampled config with a
+    // skip plan, the serving hot path.
+    let model = model();
+    let max = model.config().max_seq_len;
+    let blocks = model.config().num_blocks;
+    let keep = max / 2;
+    let plan = skip_plans()[0];
+    let window_policy = EvictionPolicy::SlidingWindow { keep_last: keep };
+    let pool = KvBlockPool::shared(2 * max * blocks, 4, model.config().embedding_dim);
+    let twin_pool = KvBlockPool::shared(2 * max * blocks, 4, model.config().embedding_dim);
+    let prompt: [u32; 3] = [4, 2, 7];
+    let mut preempted = StreamingModel::from_context(
+        model
+            .start_decode_in(&pool)
+            .expect("pool matches model")
+            .with_eviction(window_policy),
+        &prompt,
+    )
+    .expect("windowed stream");
+    let mut twin = StreamingModel::from_context(
+        model
+            .start_decode_in(&twin_pool)
+            .expect("pool matches model")
+            .with_eviction(window_policy),
+        &prompt,
+    )
+    .expect("twin stream");
+    let mut norm = HaanNormalizer::new(haan_config()).with_plan(plan);
+    let mut twin_norm = HaanNormalizer::new(haan_config()).with_plan(plan);
+    // Manually tracked resident window, for the fresh-context oracle: the
+    // first step feeds the whole prompt, every later step feeds the previous
+    // round's token (evicting first when the window would overflow).
+    let mut window: Vec<u32> = prompt.to_vec();
+    let mut pending: Option<u32> = None;
+    let mut parks = 0;
+    for round in 0..2 * max as u32 {
+        if let Some(token) = pending.take() {
+            if window.len() + 1 > max {
+                window = window[window.len() - keep..].to_vec();
+            }
+            window.push(token);
+        }
+        // Park on a cadence that lands before, during, and after the first
+        // window wrap-around.
+        if round % 7 == 3 {
+            assert!(preempted.park(), "an active stream must park");
+            assert!(preempted.is_parked());
+            assert_eq!(pool.pages_in_use(), 0, "parking returns every page");
+            parks += 1;
+        }
+        let ours = preempted.decode_step(&mut norm).expect("resume and step");
+        let expected = twin.decode_step(&mut twin_norm).expect("twin step");
+        assert_eq!(ours, expected, "round {round}: parked ≠ never-parked");
+        let mut oracle_norm = HaanNormalizer::new(haan_config()).with_plan(plan);
+        let oracle = model
+            .logits(&window, &mut oracle_norm)
+            .expect("fresh-context oracle over the resident window");
+        let last = oracle.row(window.len() - 1);
+        let oracle_token = last
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i as u32)
+            .expect("non-empty vocabulary");
+        assert_eq!(ours, oracle_token, "round {round}: ≠ fresh-context oracle");
+        pending = Some(ours);
+    }
+    assert!(parks >= 8, "the cadence must have parked through the wrap");
+    assert!(!preempted.is_parked());
+    assert_eq!(preempted.tokens(), twin.tokens());
+}
+
+#[test]
 fn pool_pressure_is_a_typed_error_and_the_stream_stays_consistent() {
     // A pool too small for the stream's growth: the step that cannot get a page
     // fails with the typed KvPoolExhausted (no panic), the failed pass rolls

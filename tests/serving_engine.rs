@@ -242,6 +242,7 @@ fn shutdown_drains_queued_requests_and_coalesces_them() {
                     data: client_input(request, request).as_slice().to_vec(),
                     params: params.clone(),
                     anchors: haan::AnchorState::new(),
+                    deadline_us: None,
                 })
                 .expect("submission while open")
         })
