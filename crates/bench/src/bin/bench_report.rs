@@ -151,6 +151,22 @@ fn run_decode_benchmark(model: &TransformerModel, seq: usize) -> DecodePoint {
         std::hint::black_box(ctx.prefill(&prompt, &mut norm).expect("prefill"));
         prefill_elapsed += started.elapsed().as_secs_f64();
 
+        // Constant-factor guard (ROADMAP): the context's reusable attention
+        // scratch reaches its high-water mark on the first post-prefill step
+        // (amortized Vec doubling absorbs the per-step row growth) and must
+        // never grow again — steady-state decode allocates nothing per step.
+        ctx.step(0, &mut norm).expect("scratch warm-up step");
+        let scratch_capacity = ctx.scratch_capacity();
+        assert!(scratch_capacity > 0, "the warmed scratch cannot be empty");
+        for step in 0..DECODE_TIMED_STEPS as u32 {
+            ctx.step(step % vocab, &mut norm).expect("steady step");
+        }
+        assert_eq!(
+            ctx.scratch_capacity(),
+            scratch_capacity,
+            "attention scratch grew during steady-state decode at seq {seq}"
+        );
+
         // Cached decode: the first (untimed) step absorbs the prompt prefill,
         // then every timed step feeds exactly one token.
         let mut stream = StreamingModel::new(model, &prompt).expect("valid prompt");
@@ -383,6 +399,185 @@ fn run_robustness_benchmark() -> RobustnessPoint {
         pool_exhausted_retries,
         injected_exhaustions: injected.exhaustions,
         p99_queue_wait_us,
+    }
+}
+
+/// Resident streams of the continuous-batching benchmark.
+const CONTINUOUS_WIDTH: usize = 8;
+/// Prompt-chunk bound of the chunked configuration (rows per stream per tick).
+const CONTINUOUS_CHUNK: usize = 16;
+/// Long prompts joined mid-flight, one at a time.
+const CONTINUOUS_JOINS: usize = 8;
+/// Length of each joining prompt (3 chunk ticks to first token).
+const CONTINUOUS_JOIN_PROMPT: usize = 48;
+/// Shared-prefix length of the page-sharing comparison (whole pages).
+const CONTINUOUS_PREFIX_TOKENS: usize = 64;
+
+struct ContinuousBatchingPoint {
+    chunked_occupancy_rows: f64,
+    unchunked_occupancy_rows: f64,
+    join_latency_p50_us: u64,
+    join_latency_p99_us: u64,
+    join_first_token_ticks: u64,
+    max_resident_token_delay_ticks: u64,
+    shared_pool_bytes: usize,
+    unshared_pool_bytes: usize,
+}
+
+/// One continuous-batching join drill: `CONTINUOUS_WIDTH` resident streams
+/// decode while `CONTINUOUS_JOINS` long prompts join one at a time. Returns
+/// the group's mean tick occupancy, each join's wall-clock latency to first
+/// token (µs) and tick count, and the worst per-tick token delay any already
+/// resident stream suffered while a join was prefilling (the acceptance bar:
+/// 0 under chunking — residents never miss a tick).
+fn run_continuous_join_drill(model: &TransformerModel, chunk: usize) -> (f64, Vec<u64>, u64, u64) {
+    let config = model.config();
+    let vocab = config.vocab_size as u32;
+    let mut engine = ServeEngine::start(ServeConfig {
+        normalizer: HaanConfig {
+            backend: BackendSelection::Fused,
+            ..HaanConfig::unoptimized()
+        },
+        prefill_chunk_rows: chunk,
+        kv_pool: KvPoolPolicy {
+            page_rows: 16,
+            capacity_rows: 8192,
+        },
+        ..Default::default()
+    });
+    let prompts: Vec<Vec<u32>> = (0..CONTINUOUS_WIDTH)
+        .map(|s| (0..4u32).map(|i| (s as u32 * 13 + i * 5) % vocab).collect())
+        .collect();
+    let prompt_refs: Vec<&[u32]> = prompts.iter().map(Vec::as_slice).collect();
+    let mut group = engine
+        .decode_group(model, &prompt_refs)
+        .expect("valid resident prompts");
+    // Warm ticks: every resident emits from here on.
+    for _ in 0..2 {
+        group.step_all().expect("warm-up tick");
+    }
+    let mut resident: Vec<usize> = (0..CONTINUOUS_WIDTH).collect();
+    let mut join_latencies_us = Vec::with_capacity(CONTINUOUS_JOINS);
+    let mut join_ticks_total = 0u64;
+    let mut max_delay_ticks = 0u64;
+    for join in 0..CONTINUOUS_JOINS {
+        let prompt: Vec<u32> = (0..CONTINUOUS_JOIN_PROMPT as u32)
+            .map(|i| (i * 29 + join as u32 * 7 + 3) % vocab)
+            .collect();
+        let started = std::time::Instant::now();
+        let index = group.add_stream(&prompt).expect("join offer");
+        let mut delay_this_join = 0u64;
+        loop {
+            join_ticks_total += 1;
+            let results = group.step_all().expect("join tick");
+            delay_this_join += resident.iter().filter(|&&i| results[i].is_none()).count() as u64;
+            if results[index].is_some() {
+                break;
+            }
+        }
+        join_latencies_us.push(started.elapsed().as_micros() as u64);
+        max_delay_ticks = max_delay_ticks.max(delay_this_join);
+        resident.push(index);
+        group.step_all().expect("settle tick");
+    }
+    let occupancy = group.stats().mean_tick_occupancy_rows();
+    drop(group);
+    engine.shutdown();
+    (
+        occupancy,
+        join_latencies_us,
+        join_ticks_total,
+        max_delay_ticks,
+    )
+}
+
+/// Measures the continuous-batching tentpole: tick occupancy with vs without
+/// chunked prefill over the same join drill, join latency percentiles under
+/// chunking, and the live pool footprint of `CONTINUOUS_WIDTH` streams behind
+/// one interned `CONTINUOUS_PREFIX_TOKENS`-token prefix vs the same streams
+/// each materializing their own copy.
+fn run_continuous_batching_benchmark(model: &TransformerModel) -> ContinuousBatchingPoint {
+    let config = model.config();
+    let vocab = config.vocab_size as u32;
+    let (chunked_occupancy_rows, mut join_latencies_us, join_ticks, max_delay) =
+        run_continuous_join_drill(model, CONTINUOUS_CHUNK);
+    let (unchunked_occupancy_rows, _, _, _) = run_continuous_join_drill(model, 0);
+    join_latencies_us.sort_unstable();
+    let percentile = |p: f64| {
+        let rank = ((join_latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        join_latencies_us[rank]
+    };
+
+    // Page sharing: the same suffix streams behind one interned prefix vs
+    // each paying the prefix themselves, live bytes after a few ticks.
+    let serve_config = || ServeConfig {
+        normalizer: HaanConfig {
+            backend: BackendSelection::Fused,
+            ..HaanConfig::unoptimized()
+        },
+        kv_pool: KvPoolPolicy {
+            page_rows: 16,
+            capacity_rows: 8192,
+        },
+        ..Default::default()
+    };
+    let prefix_tokens: Vec<u32> = (0..CONTINUOUS_PREFIX_TOKENS as u32)
+        .map(|i| (i * 11) % vocab)
+        .collect();
+    let suffixes: Vec<Vec<u32>> = (0..CONTINUOUS_WIDTH as u32)
+        .map(|s| vec![s % vocab, (s * 17 + 3) % vocab])
+        .collect();
+    let base_prompt: [u32; 3] = [1, 2, 3];
+
+    let mut shared_engine = ServeEngine::start(serve_config());
+    let prefix = shared_engine
+        .intern_prefix(model, &prefix_tokens)
+        .expect("whole-page prefix");
+    let mut shared_group = shared_engine
+        .decode_group(model, &[&base_prompt])
+        .expect("base stream");
+    for suffix in &suffixes {
+        shared_group
+            .add_stream_with_prefix(&prefix, suffix)
+            .expect("attach to shared prefix");
+    }
+    for _ in 0..4 {
+        shared_group.step_all().expect("shared tick");
+    }
+    let shared_pool_bytes = shared_engine.kv_pool(config.embedding_dim).bytes_in_use();
+    drop(shared_group);
+    shared_engine.shutdown();
+
+    let mut unshared_engine = ServeEngine::start(serve_config());
+    let full_prompts: Vec<Vec<u32>> = suffixes
+        .iter()
+        .map(|suffix| {
+            let mut prompt = prefix_tokens.clone();
+            prompt.extend_from_slice(suffix);
+            prompt
+        })
+        .collect();
+    let mut unshared_refs: Vec<&[u32]> = vec![&base_prompt];
+    unshared_refs.extend(full_prompts.iter().map(Vec::as_slice));
+    let mut unshared_group = unshared_engine
+        .decode_group(model, &unshared_refs)
+        .expect("unshared prompts");
+    for _ in 0..4 {
+        unshared_group.step_all().expect("unshared tick");
+    }
+    let unshared_pool_bytes = unshared_engine.kv_pool(config.embedding_dim).bytes_in_use();
+    drop(unshared_group);
+    unshared_engine.shutdown();
+
+    ContinuousBatchingPoint {
+        chunked_occupancy_rows,
+        unchunked_occupancy_rows,
+        join_latency_p50_us: percentile(0.5),
+        join_latency_p99_us: percentile(0.99),
+        join_first_token_ticks: join_ticks / CONTINUOUS_JOINS as u64,
+        max_resident_token_delay_ticks: max_delay,
+        shared_pool_bytes,
+        unshared_pool_bytes,
     }
 }
 
@@ -658,6 +853,42 @@ fn main() {
     ]);
     println!("{}", robustness_table.render());
 
+    // Continuous batching: chunked-prefill occupancy vs one-shot activation,
+    // join latency while residents keep ticking, and the live pool footprint
+    // of prefix sharing vs per-stream prefix copies.
+    let continuous = run_continuous_batching_benchmark(&decode_model);
+    let mut continuous_table = MarkdownTable::new(vec!["continuous batching metric", "value"]);
+    continuous_table.push_row(vec![
+        "mean tick occupancy rows (chunked / unchunked)".to_string(),
+        format!(
+            "{:.1} / {:.1}",
+            continuous.chunked_occupancy_rows, continuous.unchunked_occupancy_rows
+        ),
+    ]);
+    continuous_table.push_row(vec![
+        "join latency p50 / p99 (µs)".to_string(),
+        format!(
+            "{} / {}",
+            continuous.join_latency_p50_us, continuous.join_latency_p99_us
+        ),
+    ]);
+    continuous_table.push_row(vec![
+        "mean ticks to a joiner's first token".to_string(),
+        continuous.join_first_token_ticks.to_string(),
+    ]);
+    continuous_table.push_row(vec![
+        "resident tokens delayed during joins".to_string(),
+        continuous.max_resident_token_delay_ticks.to_string(),
+    ]);
+    continuous_table.push_row(vec![
+        "pool bytes, shared / unshared prefix".to_string(),
+        format!(
+            "{} / {}",
+            continuous.shared_pool_bytes, continuous.unshared_pool_bytes
+        ),
+    ]);
+    println!("{}", continuous_table.render());
+
     // Matmul GFLOP/s of the cache-blocked kernels on a square problem.
     let n = 256;
     let a = Matrix::from_vec(n, n, (0..n * n).map(|i| (i as f32).sin()).collect()).unwrap();
@@ -879,6 +1110,51 @@ fn main() {
             ]),
         ),
         (
+            "continuous_batching",
+            JsonValue::object([
+                ("resident_streams", JsonValue::from(CONTINUOUS_WIDTH)),
+                ("prefill_chunk_rows", JsonValue::from(CONTINUOUS_CHUNK)),
+                ("joins", JsonValue::from(CONTINUOUS_JOINS)),
+                (
+                    "join_prompt_tokens",
+                    JsonValue::from(CONTINUOUS_JOIN_PROMPT),
+                ),
+                ("prefix_tokens", JsonValue::from(CONTINUOUS_PREFIX_TOKENS)),
+                (
+                    "chunked_tick_occupancy_rows",
+                    JsonValue::from(continuous.chunked_occupancy_rows),
+                ),
+                (
+                    "unchunked_tick_occupancy_rows",
+                    JsonValue::from(continuous.unchunked_occupancy_rows),
+                ),
+                (
+                    "join_latency_p50_us",
+                    JsonValue::from(continuous.join_latency_p50_us),
+                ),
+                (
+                    "join_latency_p99_us",
+                    JsonValue::from(continuous.join_latency_p99_us),
+                ),
+                (
+                    "join_first_token_ticks",
+                    JsonValue::from(continuous.join_first_token_ticks),
+                ),
+                (
+                    "resident_token_delay_ticks",
+                    JsonValue::from(continuous.max_resident_token_delay_ticks),
+                ),
+                (
+                    "shared_prefix_pool_bytes",
+                    JsonValue::from(continuous.shared_pool_bytes),
+                ),
+                (
+                    "unshared_prefix_pool_bytes",
+                    JsonValue::from(continuous.unshared_pool_bytes),
+                ),
+            ]),
+        ),
+        (
             "matmul",
             JsonValue::object([
                 ("blocked_gflops", JsonValue::from(gflops(&matmul))),
@@ -929,5 +1205,21 @@ fn main() {
     assert!(
         robustness.shed > 0 && robustness.preemptions > 0 && robustness.resumes > 0,
         "a 4x overload drill with no shedding or preemption measured nothing"
+    );
+    assert!(
+        continuous.chunked_occupancy_rows > continuous.unchunked_occupancy_rows,
+        "chunked prefill ({:.1} rows/tick) must out-batch one-shot activation ({:.1})",
+        continuous.chunked_occupancy_rows,
+        continuous.unchunked_occupancy_rows
+    );
+    assert_eq!(
+        continuous.max_resident_token_delay_ticks, 0,
+        "a joining prompt delayed a resident stream's token past its tick"
+    );
+    assert!(
+        continuous.shared_pool_bytes < continuous.unshared_pool_bytes,
+        "prefix sharing ({} bytes) should undercut per-stream copies ({} bytes)",
+        continuous.shared_pool_bytes,
+        continuous.unshared_pool_bytes
     );
 }

@@ -108,6 +108,76 @@ impl AttentionKvCache {
     }
 }
 
+/// Reusable scratch for the cached attention paths: the per-head panels, score
+/// matrix, and (for paged storage) the full-width gather panels that
+/// [`MultiHeadAttention::forward_cached`]/[`MultiHeadAttention::forward_paged`]
+/// would otherwise allocate on every step.
+///
+/// A [`DecodeContext`](crate::model::DecodeContext) owns one scratch and passes
+/// it to every step, so the O(sequence-length) buffers of a long-lived decode
+/// stream are allocated once and reused; [`AttnScratch::reserve`] pre-sizes
+/// them to the stream's maximum so steady-state decode performs no growth at
+/// all (pinned by [`AttnScratch::buffer_capacity`] telemetry in the decode
+/// bench). The buffers carry no state between calls — every path overwrites
+/// what it reads — so one scratch may serve any number of streams as long as
+/// calls do not interleave.
+#[derive(Debug, Default)]
+pub struct AttnScratch {
+    concat: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    scores: Matrix,
+    head_out: Matrix,
+    keys_all: Matrix,
+    values_all: Matrix,
+}
+
+impl AttnScratch {
+    /// An empty scratch; buffers grow on first use (or via
+    /// [`AttnScratch::reserve`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows every buffer to the sizes an attention call with `new_rows` fresh
+    /// query rows over `total_rows` cached positions needs, so later calls at
+    /// or below those sizes allocate nothing.
+    pub fn reserve(
+        &mut self,
+        new_rows: usize,
+        total_rows: usize,
+        embedding_dim: usize,
+        num_heads: usize,
+    ) {
+        let head_dim = embedding_dim / num_heads.max(1);
+        self.concat.resize(new_rows, embedding_dim);
+        self.q.resize(new_rows, head_dim);
+        self.k.resize(total_rows, head_dim);
+        self.v.resize(total_rows, head_dim);
+        self.scores.resize(new_rows, total_rows);
+        self.head_out.resize(new_rows, head_dim);
+        self.keys_all.resize(total_rows, embedding_dim);
+        self.values_all.resize(total_rows, embedding_dim);
+    }
+
+    /// Total elements the scratch buffers can hold without reallocating. Flat
+    /// across decode steps once the stream is warmed up — the decode bench
+    /// asserts exactly that.
+    #[must_use]
+    pub fn buffer_capacity(&self) -> usize {
+        self.concat.buffer_capacity()
+            + self.q.buffer_capacity()
+            + self.k.buffer_capacity()
+            + self.v.buffer_capacity()
+            + self.scores.buffer_capacity()
+            + self.head_out.buffer_capacity()
+            + self.keys_all.buffer_capacity()
+            + self.values_all.buffer_capacity()
+    }
+}
+
 /// A multi-head causal self-attention layer with full (not KV-cached) computation.
 ///
 /// The projection weights are stored as `E × E` matrices; heads are processed by
@@ -231,6 +301,22 @@ impl MultiHeadAttention {
         input: &Matrix,
         cache: &mut AttentionKvCache,
     ) -> Result<Matrix, LlmError> {
+        self.forward_cached_with(input, cache, &mut AttnScratch::new())
+    }
+
+    /// [`MultiHeadAttention::forward_cached`] reusing caller-owned scratch
+    /// buffers instead of allocating panels per call — the steady-state decode
+    /// path (see [`AttnScratch`]).
+    ///
+    /// # Errors
+    ///
+    /// The contract of [`MultiHeadAttention::forward_cached`].
+    pub fn forward_cached_with(
+        &self,
+        input: &Matrix,
+        cache: &mut AttentionKvCache,
+        scratch: &mut AttnScratch,
+    ) -> Result<Matrix, LlmError> {
         if input.cols() != self.embedding_dim || cache.embedding_dim() != self.embedding_dim {
             return Err(LlmError::ShapeMismatch {
                 op: "attention forward_cached",
@@ -248,7 +334,7 @@ impl MultiHeadAttention {
             });
         }
         let queries = self.project_and_append(input, |keys, values| cache.append(keys, values))?;
-        self.attend_cached(&queries, offset, total, |col_start, k, v| {
+        self.attend_cached(&queries, offset, total, scratch, |col_start, k, v| {
             cache.keys.window_into(0, col_start, k)?;
             cache.values.window_into(0, col_start, v)
         })
@@ -272,6 +358,21 @@ impl MultiHeadAttention {
         input: &Matrix,
         cache: &mut PagedKvCache,
     ) -> Result<Matrix, LlmError> {
+        self.forward_paged_with(input, cache, &mut AttnScratch::new())
+    }
+
+    /// [`MultiHeadAttention::forward_paged`] reusing caller-owned scratch
+    /// buffers — gather panels included — instead of allocating per call.
+    ///
+    /// # Errors
+    ///
+    /// The contract of [`MultiHeadAttention::forward_paged`].
+    pub fn forward_paged_with(
+        &self,
+        input: &Matrix,
+        cache: &mut PagedKvCache,
+        scratch: &mut AttnScratch,
+    ) -> Result<Matrix, LlmError> {
         if input.cols() != self.embedding_dim || cache.embedding_dim() != self.embedding_dim {
             return Err(LlmError::ShapeMismatch {
                 op: "attention forward_paged",
@@ -285,13 +386,36 @@ impl MultiHeadAttention {
         // One pool-lock acquisition gathers every live row at full width; the
         // per-head loop then slices panels from the local copy exactly as the
         // dense path slices its cache matrices — lock-free and byte-identical.
-        let mut keys_all = Matrix::zeros(total, self.embedding_dim);
-        let mut values_all = Matrix::zeros(total, self.embedding_dim);
-        cache.gather_window(0, &mut keys_all, &mut values_all);
-        self.attend_cached(&queries, offset, total, |col_start, k, v| {
-            keys_all.window_into(0, col_start, k)?;
-            values_all.window_into(0, col_start, v)
-        })
+        // Split borrows: the gather panels are read by the closure while the
+        // remaining scratch fields are written by the head loop.
+        let AttnScratch {
+            concat,
+            q,
+            k,
+            v,
+            scores,
+            head_out,
+            keys_all,
+            values_all,
+        } = scratch;
+        keys_all.resize(total, self.embedding_dim);
+        values_all.resize(total, self.embedding_dim);
+        cache.gather_window(0, keys_all, values_all);
+        self.attend_into(
+            &queries,
+            offset,
+            total,
+            |col_start, k, v| {
+                keys_all.window_into(0, col_start, k)?;
+                values_all.window_into(0, col_start, v)
+            },
+            concat,
+            q,
+            k,
+            v,
+            scores,
+            head_out,
+        )
     }
 
     /// [`MultiHeadAttention::forward_cached`] /
@@ -301,9 +425,23 @@ impl MultiHeadAttention {
     ///
     /// The contract of whichever storage path runs.
     pub fn forward_kv(&self, input: &Matrix, kv: &mut KvStore) -> Result<Matrix, LlmError> {
+        self.forward_kv_with(input, kv, &mut AttnScratch::new())
+    }
+
+    /// [`MultiHeadAttention::forward_kv`] reusing caller-owned scratch buffers.
+    ///
+    /// # Errors
+    ///
+    /// The contract of whichever storage path runs.
+    pub fn forward_kv_with(
+        &self,
+        input: &Matrix,
+        kv: &mut KvStore,
+        scratch: &mut AttnScratch,
+    ) -> Result<Matrix, LlmError> {
         match kv {
-            KvStore::Dense(cache) => self.forward_cached(input, cache),
-            KvStore::Paged(cache) => self.forward_paged(input, cache),
+            KvStore::Dense(cache) => self.forward_cached_with(input, cache, scratch),
+            KvStore::Paged(cache) => self.forward_paged_with(input, cache, scratch),
         }
     }
 
@@ -322,41 +460,72 @@ impl MultiHeadAttention {
         Ok(queries)
     }
 
-    /// The shared back half of the cached paths: the per-head score/softmax/value
-    /// loop over `total` cached positions, with the storage-specific `gather`
-    /// filling the per-head K/V scratch panels (rows in position order). Every
-    /// numeric kernel lives here, which is what makes dense and paged storage
-    /// bit-identical by construction.
+    /// The shared back half of the cached paths, resizing the caller's scratch
+    /// to this call's shapes (an allocation only when the stream outgrew every
+    /// earlier call) before running the head loop.
     fn attend_cached(
         &self,
         queries: &Matrix,
         offset: usize,
         total: usize,
+        scratch: &mut AttnScratch,
+        gather: impl FnMut(usize, &mut Matrix, &mut Matrix) -> Result<(), LlmError>,
+    ) -> Result<Matrix, LlmError> {
+        let AttnScratch {
+            concat,
+            q,
+            k,
+            v,
+            scores,
+            head_out,
+            ..
+        } = scratch;
+        self.attend_into(
+            queries, offset, total, gather, concat, q, k, v, scores, head_out,
+        )
+    }
+
+    /// The per-head score/softmax/value loop over `total` cached positions,
+    /// with the storage-specific `gather` filling the per-head K/V scratch
+    /// panels (rows in position order). Every numeric kernel lives here, which
+    /// is what makes dense and paged storage bit-identical by construction.
+    #[allow(clippy::too_many_arguments)] // the split-borrowed scratch fields
+    fn attend_into(
+        &self,
+        queries: &Matrix,
+        offset: usize,
+        total: usize,
         mut gather: impl FnMut(usize, &mut Matrix, &mut Matrix) -> Result<(), LlmError>,
+        concat: &mut Matrix,
+        q: &mut Matrix,
+        k: &mut Matrix,
+        v: &mut Matrix,
+        scores: &mut Matrix,
+        head_out: &mut Matrix,
     ) -> Result<Matrix, LlmError> {
         let new = queries.rows();
         let head_dim = self.head_dim();
         let scale = 1.0 / (head_dim as f32).sqrt();
-        let mut concat = Matrix::zeros(new, self.embedding_dim);
-
-        // Scratch reused across heads, exactly like the full path; `k`/`v` view the
-        // populated cache prefix (cached rows plus the ones just appended).
-        let mut q = Matrix::zeros(new, head_dim);
-        let mut k = Matrix::zeros(total, head_dim);
-        let mut v = Matrix::zeros(total, head_dim);
-        let mut scores = Matrix::zeros(new, total);
-        let mut head_out = Matrix::zeros(new, head_dim);
+        // Reshape (allocation-free at steady state); every element written
+        // below, so stale contents never leak: `concat` is covered column-block
+        // by column-block across the head loop, the rest per head.
+        concat.resize(new, self.embedding_dim);
+        q.resize(new, head_dim);
+        k.resize(total, head_dim);
+        v.resize(total, head_dim);
+        scores.resize(new, total);
+        head_out.resize(new, head_dim);
 
         for head in 0..self.num_heads {
             let col_start = head * head_dim;
-            queries.columns_into(col_start, head_dim, &mut q)?;
-            gather(col_start, &mut k, &mut v)?;
+            queries.columns_into(col_start, head_dim, q)?;
+            gather(col_start, k, v)?;
 
-            q.matmul_transposed_into(&k, &mut scores)?;
+            q.matmul_transposed_into(k, scores)?;
             scores.scale_in_place(scale);
             scores.causal_softmax_rows_offset(offset);
-            scores.matmul_into(&v, &mut head_out)?;
-            concat.set_columns(col_start, &head_out)?;
+            scores.matmul_into(v, head_out)?;
+            concat.set_columns(col_start, head_out)?;
         }
         concat.matmul(&self.w_output)
     }

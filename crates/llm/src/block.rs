@@ -1,6 +1,6 @@
 //! A Pre-LN transformer block: `x + Attn(Norm(x))` followed by `x + MLP(Norm(x))`.
 
-use crate::attention::{AttentionKvCache, MultiHeadAttention};
+use crate::attention::{AttentionKvCache, AttnScratch, MultiHeadAttention};
 use crate::config::{ModelConfig, NormKind};
 use crate::error::LlmError;
 use crate::init::{depth_gain, gaussian_vector};
@@ -143,6 +143,24 @@ impl TransformerBlock {
         })
     }
 
+    /// [`TransformerBlock::forward_cached_kv`] reusing caller-owned attention
+    /// scratch buffers — the allocation-free steady-state decode path.
+    ///
+    /// # Errors
+    ///
+    /// The contract of [`TransformerBlock::forward_cached_kv`].
+    pub fn forward_cached_kv_with<N: Normalizer + ?Sized>(
+        &self,
+        hidden: &Matrix,
+        normalizer: &mut N,
+        kv: &mut KvStore,
+        scratch: &mut AttnScratch,
+    ) -> Result<Matrix, LlmError> {
+        self.forward_cached_inner(hidden, normalizer, |attention, normed| {
+            attention.forward_kv_with(normed, kv, scratch)
+        })
+    }
+
     /// Advances many decode streams through the block in lockstep: row `s` of
     /// `hidden` is the newest position of stream `s`, whose K/V storage is
     /// `caches[s]`. Both normalization sites and the MLP run **once over the
@@ -165,11 +183,49 @@ impl TransformerBlock {
         normalizer: &mut N,
         caches: &mut [&mut KvStore],
     ) -> Result<Matrix, LlmError> {
-        if hidden.cols() != self.gamma_attn.len() || hidden.rows() != caches.len() {
+        let segments = vec![1usize; caches.len()];
+        let mut scratches: Vec<AttnScratch> = caches.iter().map(|_| AttnScratch::new()).collect();
+        let mut streams: Vec<(&mut KvStore, &mut AttnScratch)> = caches
+            .iter_mut()
+            .zip(scratches.iter_mut())
+            .map(|(kv, scratch)| (&mut **kv, scratch))
+            .collect();
+        self.forward_cached_segments(hidden, &segments, normalizer, &mut streams)
+    }
+
+    /// The generalization of [`TransformerBlock::forward_cached_many`] to
+    /// *variable-length* per-stream segments — the per-block half of continuous
+    /// batching. Stream `s` contributes `segments[s]` consecutive rows of
+    /// `hidden` (decode streams contribute one row, chunk-prefilling streams a
+    /// whole chunk), in stream order. Both normalization sites and the MLP run
+    /// once over the **entire stacked batch**; only the attention sublayer
+    /// loops per stream, each segment attending against (and appending to) its
+    /// own cache through its own reusable [`AttnScratch`]. Row-locality of
+    /// norm/MLP/residual means stacking changes no float, so every stream stays
+    /// bit-identical to its solo cached pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the hidden width is
+    /// inconsistent with the block's weights, `segments`/`streams` disagree, or
+    /// the segment rows do not sum to the batch rows — plus any single-stream
+    /// cached-path error (notably [`LlmError::KvPoolExhausted`]).
+    pub fn forward_cached_segments<N: Normalizer + ?Sized>(
+        &self,
+        hidden: &Matrix,
+        segments: &[usize],
+        normalizer: &mut N,
+        streams: &mut [(&mut KvStore, &mut AttnScratch)],
+    ) -> Result<Matrix, LlmError> {
+        let total: usize = segments.iter().sum();
+        if hidden.cols() != self.gamma_attn.len()
+            || hidden.rows() != total
+            || segments.len() != streams.len()
+        {
             return Err(LlmError::ShapeMismatch {
-                op: "block forward_cached_many",
+                op: "block forward_cached_segments",
                 lhs: hidden.shape(),
-                rhs: (caches.len(), self.gamma_attn.len()),
+                rhs: (total, self.gamma_attn.len()),
             });
         }
         let e = self.gamma_attn.len();
@@ -180,14 +236,17 @@ impl TransformerBlock {
             &self.gamma_attn,
             &self.beta_attn,
         );
-        // Per-stream attention: one 1-row cached pass per stream, stacked back
-        // into the row batch. The row buffer is reused across streams.
+        // Per-stream attention: one cached pass per segment, stacked back into
+        // the row batch. The segment buffer is reused across streams (grow-only).
         let mut after_attn = Matrix::zeros(hidden.rows(), e);
-        let mut row_buf = Matrix::zeros(1, e);
-        for (s, kv) in caches.iter_mut().enumerate() {
-            row_buf.row_mut(0).copy_from_slice(normed_attn.row(s));
-            let attended = self.attention.forward_kv(&row_buf, kv)?;
-            after_attn.set_rows(s, &attended)?;
+        let mut seg_buf = Matrix::default();
+        let mut start = 0;
+        for (&rows, (kv, scratch)) in segments.iter().zip(streams.iter_mut()) {
+            seg_buf.resize(rows, e);
+            normed_attn.window_into(start, 0, &mut seg_buf)?;
+            let attended = self.attention.forward_kv_with(&seg_buf, kv, scratch)?;
+            after_attn.set_rows(start, &attended)?;
+            start += rows;
         }
         after_attn.add_assign(hidden)?;
 

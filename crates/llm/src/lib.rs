@@ -59,11 +59,11 @@ pub mod synthetic;
 pub mod tasks;
 pub mod tensor;
 
-pub use attention::AttentionKvCache;
+pub use attention::{AttentionKvCache, AttnScratch};
 pub use config::{ModelConfig, ModelFamily, NormKind};
 pub use error::LlmError;
-pub use model::{DecodeContext, TransformerModel};
+pub use model::{DecodeContext, KvPrefix, TransformerModel};
 pub use norm::{LayerNorm, Normalizer, RmsNorm};
-pub use paging::{AllocFaultHook, EvictionPolicy, KvBlockPool, KvStore};
+pub use paging::{AllocFaultHook, EvictionPolicy, KvBlockPool, KvStore, PagedKvCache};
 pub use streaming::StreamingModel;
 pub use tensor::Matrix;

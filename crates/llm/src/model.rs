@@ -19,7 +19,7 @@
 //! stacked rows — which is how a serving engine turns per-stream decode into
 //! wide fused normalization batches.
 
-use crate::attention::AttentionKvCache;
+use crate::attention::{AttentionKvCache, AttnScratch};
 use crate::block::TransformerBlock;
 use crate::config::ModelConfig;
 use crate::error::LlmError;
@@ -344,6 +344,51 @@ impl TransformerModel {
             len: 0,
             history: Vec::new(),
             eviction: EvictionPolicy::Reject,
+            scratch: AttnScratch::new(),
+        })
+    }
+
+    /// Starts an incremental decode stream whose caches begin as the shared,
+    /// refcounted pages of an interned [`KvPrefix`]: the new context maps the
+    /// prefix's full pages (raising their refcounts — no row is copied) and is
+    /// positioned at `prefix.rows()`, ready for the prompt's *suffix*. Because
+    /// a prefix always covers whole pages, the context's first append starts a
+    /// fresh page — shared pages are never written, so every sharer stays
+    /// bit-identical to a solo stream that prefilled the same tokens itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::InvalidConfig`] when the prefix was captured from a
+    /// different model (seed, width, or depth mismatch).
+    pub fn start_decode_with_prefix(
+        &self,
+        prefix: &KvPrefix,
+    ) -> Result<DecodeContext<'_>, LlmError> {
+        if prefix.model_seed != self.seed
+            || prefix.embedding_dim != self.config.embedding_dim
+            || prefix.pages_per_block.len() != self.blocks.len()
+        {
+            return Err(LlmError::InvalidConfig(
+                "start_decode_with_prefix: prefix captured from a different model".to_string(),
+            ));
+        }
+        Ok(DecodeContext {
+            model: self,
+            kv: prefix
+                .pages_per_block
+                .iter()
+                .map(|pages| {
+                    KvStore::Paged(PagedKvCache::attach_prefix(
+                        &prefix.pool,
+                        pages,
+                        prefix.rows,
+                    ))
+                })
+                .collect(),
+            len: prefix.rows,
+            history: prefix.tokens.clone(),
+            eviction: EvictionPolicy::Reject,
+            scratch: AttnScratch::new(),
         })
     }
 
@@ -364,6 +409,7 @@ impl TransformerModel {
             len: 0,
             history: Vec::new(),
             eviction: EvictionPolicy::Reject,
+            scratch: AttnScratch::new(),
         }
     }
 
@@ -398,39 +444,101 @@ impl TransformerModel {
         tokens: &[u32],
         normalizer: &mut N,
     ) -> Result<Matrix, LlmError> {
-        if contexts.is_empty() || contexts.len() != tokens.len() {
+        if contexts.len() != tokens.len() {
             return Err(LlmError::InvalidConfig(format!(
                 "step_many: {} contexts for {} tokens",
                 contexts.len(),
                 tokens.len()
             )));
         }
+        let feeds: Vec<&[u32]> = tokens.iter().map(std::slice::from_ref).collect();
+        self.advance_many(contexts, &feeds, normalizer)
+    }
+
+    /// The continuous-batching generalization of [`TransformerModel::step_many`]:
+    /// advances every stream by its own *variable-length* feed in one batched
+    /// pass — decode streams feed one token, chunk-prefilling streams feed a
+    /// whole prompt chunk — and returns one logits row per stream, the row of
+    /// its **last** fed position (exactly what greedy decode and
+    /// [`DecodeContext::prefill_last`] consume).
+    ///
+    /// Every row-local stage — both normalization sites of every block, the
+    /// final norm, the MLPs, the vocabulary projection — runs once over all
+    /// stacked rows, so the fused normalizer sees `Σ feed lengths` rows per
+    /// site per tick; only attention loops per stream, each segment attending
+    /// against its own cache (see
+    /// [`TransformerBlock::forward_cached_segments`]). Bit-identity to solo
+    /// decode is preserved for the same reason as `step_many`: row-locality,
+    /// per-row HAAN anchor state within a pass, and shared reduction orders.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::InvalidConfig`] when `contexts` is empty, does not
+    /// match `feeds`, or contains a context of a different model;
+    /// [`LlmError::InvalidSequenceLength`] for an empty feed or a non-windowed
+    /// stream past capacity; and any single-stream forward-pass error. On
+    /// error every cache is rolled back to its pre-pass length, so a failed
+    /// tick (e.g. [`LlmError::KvPoolExhausted`] mid-stack) is retryable.
+    pub fn advance_many<N: Normalizer + ?Sized>(
+        &self,
+        contexts: &mut [&mut DecodeContext<'_>],
+        feeds: &[&[u32]],
+        normalizer: &mut N,
+    ) -> Result<Matrix, LlmError> {
+        if contexts.is_empty() || contexts.len() != feeds.len() {
+            return Err(LlmError::InvalidConfig(format!(
+                "advance_many: {} contexts for {} feeds",
+                contexts.len(),
+                feeds.len()
+            )));
+        }
         for ctx in contexts.iter() {
             if !std::ptr::eq(ctx.model, self) {
                 return Err(LlmError::InvalidConfig(
-                    "step_many: every context must belong to the same model".to_string(),
+                    "advance_many: every context must belong to the same model".to_string(),
                 ));
             }
         }
-        self.check_vocab(tokens)?;
-        // Per-stream eviction first, exactly as a solo step would apply it.
-        for ctx in contexts.iter_mut() {
-            ctx.make_room(1, normalizer)?;
+        for feed in feeds {
+            if feed.is_empty() {
+                return Err(LlmError::InvalidSequenceLength {
+                    length: 0,
+                    max: self.config.max_seq_len,
+                });
+            }
+            self.check_vocab(feed)?;
+        }
+        // Per-stream eviction first, exactly as a solo feed would apply it.
+        for (ctx, feed) in contexts.iter_mut().zip(feeds) {
+            ctx.make_room(feed.len(), normalizer)?;
         }
         normalizer.begin_sequence();
         let e = self.config.embedding_dim;
-        let mut hidden = Matrix::zeros(tokens.len(), e);
-        for (s, (&token, ctx)) in tokens.iter().zip(contexts.iter()).enumerate() {
-            let tok_row = self.token_embedding.row(token as usize);
-            let pos_row = self.position_embedding.row(ctx.len);
-            for (col, value) in hidden.row_mut(s).iter_mut().enumerate() {
-                *value = tok_row[col] + pos_row[col];
+        let segments: Vec<usize> = feeds.iter().map(|f| f.len()).collect();
+        let total: usize = segments.iter().sum();
+        let mut hidden = Matrix::zeros(total, e);
+        let mut start = 0;
+        for (feed, ctx) in feeds.iter().zip(contexts.iter()) {
+            for (offset, &token) in feed.iter().enumerate() {
+                let tok_row = self.token_embedding.row(token as usize);
+                let pos_row = self.position_embedding.row(ctx.len + offset);
+                for (col, value) in hidden.row_mut(start + offset).iter_mut().enumerate() {
+                    *value = tok_row[col] + pos_row[col];
+                }
             }
+            start += feed.len();
         }
         for (b, block) in self.blocks.iter().enumerate() {
-            let mut caches: Vec<&mut KvStore> =
-                contexts.iter_mut().map(|ctx| &mut ctx.kv[b]).collect();
-            match block.forward_cached_many(&hidden, normalizer, &mut caches) {
+            // Split borrows: each context lends this block's store and its own
+            // attention scratch for the per-stream halves of the pass.
+            let mut streams: Vec<(&mut KvStore, &mut AttnScratch)> = contexts
+                .iter_mut()
+                .map(|ctx| {
+                    let DecodeContext { kv, scratch, .. } = &mut **ctx;
+                    (&mut kv[b], &mut *scratch)
+                })
+                .collect();
+            match block.forward_cached_segments(&hidden, &segments, normalizer, &mut streams) {
                 Ok(out) => hidden = out,
                 Err(err) => {
                     // Roll every stream's caches back to the pre-pass length so a
@@ -446,11 +554,84 @@ impl TransformerModel {
             }
         }
         let hidden = self.apply_final_norm(hidden, normalizer);
-        for (ctx, &token) in contexts.iter_mut().zip(tokens) {
-            ctx.len += 1;
-            ctx.history.push(token);
+        // One output row per stream: its last fed position (the projection is
+        // row-local, so skipping the earlier prefill rows changes no float).
+        let mut last_rows = Matrix::zeros(contexts.len(), e);
+        let mut start = 0;
+        for (s, &rows) in segments.iter().enumerate() {
+            last_rows
+                .row_mut(s)
+                .copy_from_slice(hidden.row(start + rows - 1));
+            start += rows;
         }
-        hidden.matmul_transposed(&self.token_embedding)
+        for (ctx, feed) in contexts.iter_mut().zip(feeds) {
+            ctx.len += feed.len();
+            ctx.history.extend_from_slice(feed);
+        }
+        last_rows.matmul_transposed(&self.token_embedding)
+    }
+}
+
+/// A content-addressed, refcounted K/V prefix: the whole-page prefix of one
+/// decoded prompt, exported by [`DecodeContext::export_prefix`] and attachable
+/// to any number of new streams via
+/// [`TransformerModel::start_decode_with_prefix`]. All sharers map the *same*
+/// pool pages (the prefix holds one reference, each attached stream one more),
+/// so N streams with a common system prompt pay for its K/V rows once; the
+/// pages return to the pool when the last owner — prefix or stream — drops.
+#[derive(Debug)]
+pub struct KvPrefix {
+    /// The prompt tokens the shared rows cover (`rows` of them).
+    tokens: Vec<u32>,
+    /// Per block: the whole pages holding positions `0..rows`, in order.
+    pages_per_block: Vec<Vec<usize>>,
+    /// Shared positions — always a whole-page multiple, so an attached stream's
+    /// first append starts a fresh page and never writes a shared one.
+    rows: usize,
+    pool: Arc<KvBlockPool>,
+    model_seed: u64,
+    embedding_dim: usize,
+}
+
+impl KvPrefix {
+    /// The tokens the shared pages cover.
+    #[must_use]
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+
+    /// Shared positions per block (a whole-page multiple).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The pool owning the shared pages.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<KvBlockPool> {
+        &self.pool
+    }
+
+    /// Pool pages the prefix holds across all blocks (its footprint — what N
+    /// sharers split between them instead of paying N times).
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages_per_block.iter().map(Vec::len).sum()
+    }
+
+    /// Seed of the model whose forward pass produced the shared rows; a prefix
+    /// only attaches to contexts of the same model.
+    #[must_use]
+    pub fn model_seed(&self) -> u64 {
+        self.model_seed
+    }
+}
+
+impl Drop for KvPrefix {
+    fn drop(&mut self) {
+        for pages in &self.pages_per_block {
+            self.pool.release_pages(pages);
+        }
     }
 }
 
@@ -507,6 +688,9 @@ pub struct DecodeContext<'m> {
     history: Vec<u32>,
     /// What happens when the stream would outgrow `max_seq_len`.
     eviction: EvictionPolicy,
+    /// Reusable attention scratch (panels, scores, paged gather buffers), so
+    /// steady-state decode allocates nothing per step — see [`AttnScratch`].
+    scratch: AttnScratch,
 }
 
 impl<'m> DecodeContext<'m> {
@@ -570,6 +754,64 @@ impl<'m> DecodeContext<'m> {
     /// member stream as windowed).
     pub fn set_eviction(&mut self, eviction: EvictionPolicy) {
         self.eviction = eviction;
+    }
+
+    /// Elements the context's reusable attention scratch can hold without
+    /// reallocating — flat across steady-state decode steps (the decode bench
+    /// asserts no growth once a stream is warmed up).
+    #[must_use]
+    pub fn scratch_capacity(&self) -> usize {
+        self.scratch.buffer_capacity()
+    }
+
+    /// Captures the stream's whole-page K/V prefix as a shareable, refcounted
+    /// [`KvPrefix`]: the pages holding positions `0..⌊len/page_rows⌋·page_rows`
+    /// of every block (no row copied, each page's refcount raised), plus the
+    /// tokens they cover. A partially-filled tail page is *not* captured —
+    /// prefixes cover whole pages only, so attached streams never write shared
+    /// storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::InvalidConfig`] when the context uses dense storage
+    /// (there are no pool pages to share) or holds less than one full page of
+    /// positions.
+    pub fn export_prefix(&self) -> Result<KvPrefix, LlmError> {
+        let Some(KvStore::Paged(first)) = self.kv.first() else {
+            return Err(LlmError::InvalidConfig(
+                "export_prefix: only paged contexts can share pages".to_string(),
+            ));
+        };
+        let pool = Arc::clone(first.pool());
+        let page_rows = pool.page_rows();
+        let rows = (self.len / page_rows) * page_rows;
+        if rows == 0 {
+            return Err(LlmError::InvalidConfig(format!(
+                "export_prefix: {} positions held, less than one {page_rows}-row page",
+                self.len
+            )));
+        }
+        let full_pages = rows / page_rows;
+        let pages_per_block: Vec<Vec<usize>> = self
+            .kv
+            .iter()
+            .map(|kv| match kv {
+                KvStore::Paged(cache) => {
+                    let pages = &cache.page_table()[..full_pages];
+                    pool.retain_pages(pages);
+                    pages.to_vec()
+                }
+                KvStore::Dense(_) => unreachable!("contexts never mix storage kinds"),
+            })
+            .collect();
+        Ok(KvPrefix {
+            tokens: self.history[..rows].to_vec(),
+            pages_per_block,
+            rows,
+            pool,
+            model_seed: self.model.seed,
+            embedding_dim: self.model.config.embedding_dim,
+        })
     }
 
     /// Forgets the stream: clears every block's K/V storage (paged stores return
@@ -680,7 +922,8 @@ impl<'m> DecodeContext<'m> {
         let mut hidden = self.model.embed_rows(tokens, self.len);
         let mut pass = || -> Result<Matrix, LlmError> {
             for (block, kv) in self.model.blocks.iter().zip(&mut self.kv) {
-                hidden = block.forward_cached_kv(&hidden, normalizer, kv)?;
+                hidden =
+                    block.forward_cached_kv_with(&hidden, normalizer, kv, &mut self.scratch)?;
             }
             let out = std::mem::replace(&mut hidden, Matrix::zeros(0, 0));
             Ok(self.model.apply_final_norm(out, normalizer))

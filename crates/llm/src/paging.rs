@@ -94,6 +94,13 @@ struct PoolInner {
     /// Ids of materialized pages currently unowned (LIFO, so recently freed —
     /// cache-warm — pages are handed out first).
     free: Vec<usize>,
+    /// Reference count per materialized page id. Pages handed out by
+    /// [`KvBlockPool::alloc_pages`] start at 1; prefix sharing and cache forks
+    /// raise the count via `retain_pages`, and `release_pages` only free-lists
+    /// a page when its count reaches zero — so N streams mapping the same
+    /// prompt-prefix pages cannot double-free them, and a page with more than
+    /// one owner is never writable (enforced in `write_rows`).
+    refcounts: Vec<u32>,
     /// Next never-materialized page id; allocation prefers the free list and
     /// only materializes fresh storage when it is empty.
     next_fresh: usize,
@@ -161,6 +168,7 @@ impl KvBlockPool {
                 keys: Vec::new(),
                 values: Vec::new(),
                 free: Vec::new(),
+                refcounts: Vec::new(),
                 next_fresh: 0,
                 peak_in_use: 0,
             }),
@@ -223,6 +231,23 @@ impl KvBlockPool {
     #[must_use]
     pub fn bytes_materialized(&self) -> usize {
         self.lock().next_fresh * self.page_bytes()
+    }
+
+    /// Pages materialized so far (monotone high-water mark;
+    /// `bytes_materialized == pages_materialized × page_bytes` always holds,
+    /// and `pages_materialized == pages_in_use + free-listed pages` — the
+    /// reproducibility invariant the refcounting property tests pin).
+    #[must_use]
+    pub fn pages_materialized(&self) -> usize {
+        self.lock().next_fresh
+    }
+
+    /// Current reference count of one page: 0 for free or never-materialized
+    /// pages, 1 for uniquely owned ones, more when prefix sharing or cache
+    /// forks map the page into several page tables.
+    #[must_use]
+    pub fn page_refcount(&self, page: usize) -> u32 {
+        self.lock().refcounts.get(page).copied().unwrap_or(0)
     }
 
     /// Bytes of K/V storage currently referenced by page tables.
@@ -292,6 +317,8 @@ impl KvBlockPool {
         let mut pages = Vec::with_capacity(count);
         for _ in 0..count {
             if let Some(page) = inner.free.pop() {
+                debug_assert_eq!(inner.refcounts[page], 0, "free-listed page has owners");
+                inner.refcounts[page] = 1;
                 pages.push(page);
             } else {
                 let page = inner.next_fresh;
@@ -299,6 +326,7 @@ impl KvBlockPool {
                 let len = inner.next_fresh * self.page_elements();
                 inner.keys.resize(len, 0.0);
                 inner.values.resize(len, 0.0);
+                inner.refcounts.push(1);
                 pages.push(page);
             }
         }
@@ -307,21 +335,65 @@ impl KvBlockPool {
         Ok(pages)
     }
 
-    /// Returns pages to the free list.
-    fn release_pages(&self, pages: &[usize]) {
+    /// Drops one reference per listed page, free-listing each page whose count
+    /// reaches zero. Shared pages (prefix sharing, forks) survive until their
+    /// last owner releases them — the refcount is what makes a sharer's drop,
+    /// preemption, or rollback safe for everyone else.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a page is released more often than it was retained (a
+    /// double-free — always a bug, never an overload condition).
+    pub(crate) fn release_pages(&self, pages: &[usize]) {
         if pages.is_empty() {
             return;
         }
         let mut inner = self.lock();
-        inner.free.extend_from_slice(pages);
+        for &page in pages {
+            assert!(
+                inner.refcounts.get(page).is_some_and(|&rc| rc > 0),
+                "double-free of pool page {page}"
+            );
+            inner.refcounts[page] -= 1;
+            if inner.refcounts[page] == 0 {
+                inner.free.push(page);
+            }
+        }
         debug_assert!(
             inner.free.len() <= inner.next_fresh,
             "released more pages than were ever allocated"
         );
     }
 
+    /// Adds one reference per listed page (prefix attach, cache fork). Every
+    /// retain must be balanced by one [`KvBlockPool::release_pages`] entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a page is not currently owned (retaining a free page would
+    /// alias storage the next allocation hands out).
+    pub(crate) fn retain_pages(&self, pages: &[usize]) {
+        if pages.is_empty() {
+            return;
+        }
+        let mut inner = self.lock();
+        for &page in pages {
+            assert!(
+                inner.refcounts.get(page).is_some_and(|&rc| rc > 0),
+                "cannot retain unowned pool page {page}"
+            );
+            inner.refcounts[page] += 1;
+        }
+    }
+
     /// Writes `keys`/`values` rows (same shape, width `embedding_dim`) into the
     /// pages of one cache, starting at logical row `start_row` of its page table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a written page is shared (refcount > 1): writers must
+    /// copy-on-write first, or they would corrupt every other stream mapping
+    /// the page.
     fn write_rows(&self, pages: &[usize], start_row: usize, keys: &Matrix, values: &Matrix) {
         let e = self.embedding_dim;
         let mut inner = self.lock();
@@ -329,10 +401,27 @@ impl KvBlockPool {
             let logical = start_row + r;
             let page = pages[logical / self.page_rows];
             let slot = logical % self.page_rows;
+            assert!(
+                inner.refcounts[page] <= 1,
+                "write to shared pool page {page} (refcount {})",
+                inner.refcounts[page]
+            );
             let dst = (page * self.page_rows + slot) * e;
             inner.keys[dst..dst + e].copy_from_slice(keys.row(r));
             inner.values[dst..dst + e].copy_from_slice(values.row(r));
         }
+    }
+
+    /// Copies the first `rows` K/V rows of page `src` into page `dst` — the
+    /// copy half of copy-on-write, run under one lock acquisition.
+    fn copy_page_rows(&self, src: usize, dst: usize, rows: usize) {
+        let e = self.embedding_dim;
+        let len = rows.min(self.page_rows) * e;
+        let mut inner = self.lock();
+        let from = src * self.page_elements();
+        let to = dst * self.page_elements();
+        inner.keys.copy_within(from..from + len, to);
+        inner.values.copy_within(from..from + len, to);
     }
 
     /// Gathers the column window `[col_start, col_start + k_out.cols())` of the
@@ -434,10 +523,11 @@ impl PagedKvCache {
         self.len = 0;
     }
 
-    /// Forgets every position past `len`, returning now-unreferenced pages to
-    /// the pool — the rollback primitive a failed multi-block pass uses to
-    /// restore a consistent stream state.
-    pub(crate) fn truncate(&mut self, len: usize) {
+    /// Forgets every position past `len`, dropping one reference on each
+    /// now-unmapped page (shared pages stay alive for their other owners) —
+    /// the rollback primitive a failed multi-block pass uses to restore a
+    /// consistent stream state.
+    pub fn truncate(&mut self, len: usize) {
         if len >= self.len {
             return;
         }
@@ -447,15 +537,46 @@ impl PagedKvCache {
         self.pages.truncate(keep_pages);
     }
 
+    /// A cache whose first `len` rows are the given (whole, already-owned)
+    /// pages, shared by reference — the storage half of attaching an interned
+    /// prefix to a new stream. Raises each page's refcount.
+    pub(crate) fn attach_prefix(pool: &Arc<KvBlockPool>, pages: &[usize], len: usize) -> Self {
+        debug_assert!(len.div_ceil(pool.page_rows()) == pages.len());
+        pool.retain_pages(pages);
+        Self {
+            pool: Arc::clone(pool),
+            pages: pages.to_vec(),
+            len,
+        }
+    }
+
+    /// A second cache mapping the same rows: the page table is cloned and every
+    /// page's refcount raised — no row data is copied. Both caches read the
+    /// shared pages; the first to [`PagedKvCache::append`] past a shared page
+    /// copy-on-writes its private replacement, so neither ever observes the
+    /// other's writes.
+    #[must_use]
+    pub fn fork(&self) -> Self {
+        self.pool.retain_pages(&self.pages);
+        Self {
+            pool: Arc::clone(&self.pool),
+            pages: self.pages.clone(),
+            len: self.len,
+        }
+    }
+
     /// Appends projected key/value rows for the next positions, borrowing fresh
     /// pages from the pool as needed (all-or-nothing: on failure the cache is
-    /// unchanged).
+    /// unchanged). When the partially-filled tail page is shared with another
+    /// cache (after a [`PagedKvCache::fork`] or a prefix attach), the live tail
+    /// rows are first copied into a private page — copy-on-write — so shared
+    /// pages are never written.
     ///
     /// # Errors
     ///
     /// Returns [`LlmError::ShapeMismatch`] when the rows have the wrong width and
     /// [`LlmError::KvPoolExhausted`] when the pool cannot supply the pages.
-    pub(crate) fn append(&mut self, keys: &Matrix, values: &Matrix) -> Result<(), LlmError> {
+    pub fn append(&mut self, keys: &Matrix, values: &Matrix) -> Result<(), LlmError> {
         let e = self.pool.embedding_dim();
         if keys.cols() != e || values.shape() != keys.shape() {
             return Err(LlmError::ShapeMismatch {
@@ -465,11 +586,25 @@ impl PagedKvCache {
             });
         }
         let page_rows = self.pool.page_rows();
+        let tail_rows = self.len % page_rows;
+        let shared_tail = tail_rows != 0
+            && self
+                .pages
+                .last()
+                .is_some_and(|&page| self.pool.page_refcount(page) > 1);
         let needed_pages = (self.len + keys.rows()).div_ceil(page_rows);
-        if needed_pages > self.pages.len() {
-            let grown = self.pool.alloc_pages(needed_pages - self.pages.len())?;
-            self.pages.extend(grown);
+        let grow = needed_pages - self.pages.len() + usize::from(shared_tail);
+        // One all-or-nothing allocation covers both the growth and the private
+        // tail replacement, so a failed grow never leaves a half-forked table.
+        let mut grown = self.pool.alloc_pages(grow)?;
+        if shared_tail {
+            let fresh = grown.pop().expect("allocated with the grow batch");
+            let old = *self.pages.last().expect("shared tail implies a tail page");
+            self.pool.copy_page_rows(old, fresh, tail_rows);
+            *self.pages.last_mut().expect("tail page") = fresh;
+            self.pool.release_pages(&[old]);
         }
+        self.pages.extend(grown);
         self.pool.write_rows(&self.pages, self.len, keys, values);
         self.len += keys.rows();
         Ok(())
@@ -740,6 +875,89 @@ mod tests {
         cache.append(&rows(2, 8, 1), &rows(2, 8, 2)).unwrap();
         assert_eq!(cache.len(), 2);
         assert_eq!(seen.load(Ordering::SeqCst), 1, "removed hook is not called");
+    }
+
+    #[test]
+    fn fork_shares_pages_without_copying() {
+        let pool = KvBlockPool::shared(32, 4, 8);
+        let mut a = PagedKvCache::new(Arc::clone(&pool));
+        a.append(&rows(8, 8, 1), &rows(8, 8, 2)).unwrap();
+        let before = pool.bytes_materialized();
+        let b = a.fork();
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.page_table(), a.page_table());
+        assert_eq!(pool.bytes_materialized(), before, "fork copies no rows");
+        assert_eq!(pool.pages_in_use(), 2, "shared pages are counted once");
+        for &page in a.page_table() {
+            assert_eq!(pool.page_refcount(page), 2);
+        }
+        drop(b);
+        for &page in a.page_table() {
+            assert_eq!(pool.page_refcount(page), 1);
+        }
+        drop(a);
+        assert_eq!(pool.pages_in_use(), 0);
+    }
+
+    #[test]
+    fn divergent_append_copy_on_writes_only_the_shared_tail_page() {
+        let e = 8;
+        let pool = KvBlockPool::shared(64, 4, e);
+        let mut a = PagedKvCache::new(Arc::clone(&pool));
+        // 6 rows: one full page plus a half-filled tail page.
+        a.append(&rows(6, e, 1), &rows(6, e, 2)).unwrap();
+        let mut b = a.fork();
+        let full_page = a.page_table()[0];
+        let old_tail = a.page_table()[1];
+        // b diverges: its tail page must be replaced privately, the full page
+        // stays shared, and a's view of rows 0..6 is untouched.
+        b.append(&rows(3, e, 3), &rows(3, e, 4)).unwrap();
+        assert_eq!(
+            b.page_table()[0],
+            full_page,
+            "full prefix page still shared"
+        );
+        assert_ne!(b.page_table()[1], old_tail, "tail page was forked");
+        assert_eq!(pool.page_refcount(full_page), 2);
+        assert_eq!(pool.page_refcount(old_tail), 1, "a keeps the old tail");
+        // Gathered windows agree on the shared region and a never sees b's rows.
+        let mut ka = Matrix::zeros(6, e);
+        let mut va = Matrix::zeros(6, e);
+        a.gather_window(0, &mut ka, &mut va);
+        let mut kb = Matrix::zeros(6, e);
+        let mut vb = Matrix::zeros(6, e);
+        b.gather_window(0, &mut kb, &mut vb);
+        assert_eq!(ka, kb, "shared rows stay byte-identical after the fork");
+        // a appends too: its tail is again uniquely owned, no further copy.
+        let in_use = pool.pages_in_use();
+        a.append(&rows(1, e, 5), &rows(1, e, 6)).unwrap();
+        assert_eq!(
+            pool.pages_in_use(),
+            in_use,
+            "a writes its own tail in place"
+        );
+    }
+
+    #[test]
+    fn truncate_on_a_fork_releases_only_its_own_references() {
+        let pool = KvBlockPool::shared(32, 4, 8);
+        let mut a = PagedKvCache::new(Arc::clone(&pool));
+        a.append(&rows(12, 8, 1), &rows(12, 8, 2)).unwrap();
+        let mut b = a.fork();
+        b.truncate(4);
+        assert_eq!(pool.pages_in_use(), 3, "a still maps all three pages");
+        assert_eq!(pool.page_refcount(a.page_table()[0]), 2);
+        assert_eq!(pool.page_refcount(a.page_table()[2]), 1);
+        b.clear();
+        a.clear();
+        assert_eq!(pool.pages_in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-free")]
+    fn releasing_an_unowned_page_panics() {
+        let pool = KvBlockPool::new(8, 4, 8);
+        pool.release_pages(&[0]);
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub struct StreamingModel<'m> {
     /// (see [`StreamingModel::park`]); `None` while the stream is live. The
     /// next step re-prefills `parked ++ tokens[fed..]` into fresh pages.
     parked: Option<Vec<u32>>,
+    /// Upper bound on rows fed per incremental pass (0 = unbounded). See
+    /// [`StreamingModel::set_prefill_chunk_rows`].
+    prefill_chunk_rows: usize,
 }
 
 impl<'m> StreamingModel<'m> {
@@ -97,6 +100,7 @@ impl<'m> StreamingModel<'m> {
             fed: 0,
             prompt_len: prompt.len(),
             parked: None,
+            prefill_chunk_rows: 0,
         })
     }
 
@@ -121,6 +125,7 @@ impl<'m> StreamingModel<'m> {
             fed: 0,
             prompt_len: prompt.len(),
             parked: None,
+            prefill_chunk_rows: 0,
         })
     }
 
@@ -183,6 +188,26 @@ impl<'m> StreamingModel<'m> {
         self.parked.is_some()
     }
 
+    /// Bounds every incremental pass at `rows` K/V rows (0 — the default —
+    /// disables chunking): a long prompt is prefilled in `⌈len/rows⌉` bounded
+    /// chunks instead of one monolithic pass, so no single pass of a shared
+    /// engine is ever longer than one chunk. Chunked prefill is bit-identical
+    /// to one-shot prefill — feeding a prefix in chunks is exactly the cached
+    /// incrementality invariant `tests/kv_decode.rs` pins — and a chunk that
+    /// fails (e.g. pool exhaustion) leaves the earlier chunks resident, so the
+    /// next step resumes from the failed chunk, not from scratch.
+    ///
+    /// Ignored by the full-recompute oracle (it feeds no cache).
+    pub fn set_prefill_chunk_rows(&mut self, rows: usize) {
+        self.prefill_chunk_rows = rows;
+    }
+
+    /// The configured prefill chunk bound (0 = unbounded).
+    #[must_use]
+    pub fn prefill_chunk_rows(&self) -> usize {
+        self.prefill_chunk_rows
+    }
+
     /// Parks the stream — the preemption primitive of overload-safe serving:
     /// the tokens currently resident in the K/V caches are captured and every
     /// page is returned to the pool, so other streams can use the memory. The
@@ -242,8 +267,18 @@ impl<'m> StreamingModel<'m> {
             Some(context) => match self.parked.as_ref() {
                 // Feed whatever the context has not seen yet — the prompt on the
                 // first step, exactly one token per step afterwards — projecting
-                // only the final position onto the vocabulary.
+                // only the final position onto the vocabulary. With chunking
+                // enabled the pending feed is split into bounded passes; each
+                // completed chunk commits `fed` so a mid-prompt failure resumes
+                // from the failed chunk rather than re-feeding from scratch.
                 None => {
+                    if self.prefill_chunk_rows > 0 {
+                        while self.tokens.len() - self.fed > self.prefill_chunk_rows {
+                            let end = self.fed + self.prefill_chunk_rows;
+                            context.prefill_last(&self.tokens[self.fed..end], normalizer)?;
+                            self.fed = end;
+                        }
+                    }
                     let pending = &self.tokens[self.fed..];
                     context.prefill_last(pending, normalizer)?
                 }
@@ -263,9 +298,29 @@ impl<'m> StreamingModel<'m> {
                         }
                     }
                     feed.extend_from_slice(&self.tokens[self.fed..]);
-                    // A failed re-prefill rolls the (empty) context back and
-                    // keeps `parked`, so the stream stays parked and retryable.
-                    let logits = context.prefill_last(&feed, normalizer)?;
+                    // A failed re-prefill rolls the context back and keeps
+                    // `parked`, so the stream stays parked and retryable. The
+                    // resume feed is chunked like a live prefill, but commits
+                    // nothing until the whole window is resident: a mid-chunk
+                    // failure resets the context so the retry is all-or-nothing.
+                    let chunk = self.prefill_chunk_rows;
+                    let outcome = (|| {
+                        let mut start = 0;
+                        if chunk > 0 {
+                            while feed.len() - start > chunk {
+                                context.prefill_last(&feed[start..start + chunk], normalizer)?;
+                                start += chunk;
+                            }
+                        }
+                        context.prefill_last(&feed[start..], normalizer)
+                    })();
+                    let logits = match outcome {
+                        Ok(logits) => logits,
+                        Err(err) => {
+                            context.reset();
+                            return Err(err);
+                        }
+                    };
                     self.parked = None;
                     logits
                 }
@@ -360,6 +415,41 @@ mod tests {
         let from_cache = cached.decode(6, &mut ReferenceNormalizer::new()).unwrap();
         let from_oracle = oracle.decode(6, &mut ReferenceNormalizer::new()).unwrap();
         assert_eq!(from_cache, from_oracle);
+    }
+
+    #[test]
+    fn chunked_prefill_is_bit_identical_to_one_shot() {
+        let model = tiny_model();
+        let prompt: Vec<u32> = (0..13u32).map(|i| (i * 5 + 1) % 8).collect();
+        let mut oracle = StreamingModel::new(&model, &prompt).unwrap();
+        let expected = oracle.decode(5, &mut ReferenceNormalizer::new()).unwrap();
+        // Chunk sizes that divide the prompt, leave remainders, and straddle
+        // any page/anchor boundary must all produce identical tokens.
+        for chunk in [1usize, 2, 3, 4, 7, 13, 64] {
+            let mut stream = StreamingModel::new(&model, &prompt).unwrap();
+            stream.set_prefill_chunk_rows(chunk);
+            assert_eq!(stream.prefill_chunk_rows(), chunk);
+            let got = stream.decode(5, &mut ReferenceNormalizer::new()).unwrap();
+            assert_eq!(got, expected, "chunk={chunk} must not change the stream");
+        }
+    }
+
+    #[test]
+    fn chunked_parked_streams_resume_bit_identically() {
+        let model = tiny_model();
+        let prompt: Vec<u32> = (0..9u32).map(|i| (i * 3 + 2) % 8).collect();
+        let mut oracle = StreamingModel::new(&model, &prompt).unwrap();
+        let mut oracle_norm = ReferenceNormalizer::new();
+        oracle.decode(3, &mut oracle_norm).unwrap();
+        let expected = oracle.decode(4, &mut oracle_norm).unwrap();
+
+        let mut stream = StreamingModel::new(&model, &prompt).unwrap();
+        stream.set_prefill_chunk_rows(2);
+        let mut norm = ReferenceNormalizer::new();
+        stream.decode(3, &mut norm).unwrap();
+        assert!(stream.park());
+        let resumed = stream.decode(4, &mut norm).unwrap();
+        assert_eq!(resumed, expected, "chunked resume must be bit-identical");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::error::LlmError;
 /// assert_eq!(c.get(1, 0), 3.0);
 /// # Ok::<(), haan_llm::LlmError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -159,6 +159,26 @@ impl Matrix {
     /// Mutably borrows the underlying row-major buffer (used by the batched kernels).
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         &mut self.data
+    }
+
+    /// Reshapes the matrix in place to `rows × cols`, reusing the existing
+    /// buffer. The buffer only ever grows (`Vec::resize` keeps its capacity on
+    /// shrink), which is what makes reusable scratch matrices allocation-free
+    /// at steady state — see [`Matrix::buffer_capacity`]. Old element values do
+    /// not survive a reshape in any meaningful layout; callers must treat the
+    /// contents as uninitialized and overwrite every element they read.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Elements the underlying buffer can hold without reallocating — the
+    /// telemetry the no-allocation-growth assertions in the decode bench watch
+    /// across steps.
+    #[must_use]
+    pub fn buffer_capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Matrix multiplication `self × rhs`.

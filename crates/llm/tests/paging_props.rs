@@ -1,0 +1,171 @@
+//! Property tests of the refcounted K/V block pool under arbitrary
+//! fork/append/truncate/clear/drop interleavings (the primitives behind
+//! prefix sharing, preemption parking, and resume).
+//!
+//! The pool enforces its own safety invariants with panics — `release_pages`
+//! panics on a double-free, `write_rows` panics on a write to a page with
+//! refcount > 1 — so simply *surviving* a random op stream proves the
+//! copy-on-write append and the fork/truncate bookkeeping never release a page
+//! twice and never mutate a shared page. On top of that, after every op the
+//! pool's telemetry must be reproducible from the live page tables alone:
+//!
+//! * `pages_in_use` = number of **distinct** pages across all live tables
+//!   (shared pages count once — that is the whole point of sharing);
+//! * every live page's `page_refcount` = the number of tables holding it;
+//! * `bytes_materialized` = `pages_materialized × page_bytes`, monotone, and
+//!   at least as large as the distinct live footprint.
+
+use haan_llm::{KvBlockPool, Matrix, PagedKvCache};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const PAGE_ROWS: usize = 4;
+const CAPACITY_ROWS: usize = 64;
+const EMBED: usize = 4;
+const MAX_CACHES: usize = 8;
+
+/// Appends `rows` rows of distinct, call-unique values (all-or-nothing on
+/// pool exhaustion, which the op stream treats as a legal no-op).
+fn append_rows(cache: &mut PagedKvCache, rows: usize, stamp: &mut f32) -> bool {
+    let mut data = Vec::with_capacity(rows * EMBED);
+    for _ in 0..rows * EMBED {
+        *stamp += 1.0;
+        data.push(*stamp);
+    }
+    let keys = Matrix::from_vec(rows, EMBED, data.clone()).expect("shape");
+    let values = Matrix::from_vec(rows, EMBED, data).expect("shape");
+    cache.append(&keys, &values).is_ok()
+}
+
+/// Checks every telemetry invariant against the ground truth of the live
+/// page tables.
+fn check_invariants(pool: &Arc<KvBlockPool>, caches: &[PagedKvCache]) {
+    let mut holders: HashMap<usize, u32> = HashMap::new();
+    for cache in caches {
+        assert_eq!(
+            cache.page_table().len(),
+            cache.len().div_ceil(PAGE_ROWS),
+            "table length must cover exactly the cached rows"
+        );
+        for &page in cache.page_table() {
+            *holders.entry(page).or_insert(0) += 1;
+        }
+    }
+    assert_eq!(
+        pool.pages_in_use(),
+        holders.len(),
+        "pages_in_use must count shared pages once"
+    );
+    for (&page, &count) in &holders {
+        assert_eq!(
+            pool.page_refcount(page),
+            count,
+            "page {page} refcount must equal its number of live holders"
+        );
+    }
+    assert_eq!(
+        pool.bytes_materialized(),
+        pool.pages_materialized() * pool.page_bytes(),
+        "materialized bytes must be reproducible from the page count"
+    );
+    assert!(
+        pool.pages_materialized() >= holders.len(),
+        "materialized pages can never undercount the live footprint"
+    );
+    assert!(pool.pages_in_use() <= pool.pages_total());
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_fork_append_truncate_interleavings_keep_the_pool_consistent(
+        ops in proptest::collection::vec((0u8..6, 0u8..8, 1u8..12), 1..40)
+    ) {
+        let pool = KvBlockPool::shared(CAPACITY_ROWS, PAGE_ROWS, EMBED);
+        let mut caches = vec![PagedKvCache::new(Arc::clone(&pool))];
+        let mut stamp = 0.0f32;
+        let mut materialized_floor = 0usize;
+        for (kind, which, amount) in ops {
+            let index = which as usize % caches.len();
+            match kind {
+                // Append 1..=11 rows: exercises fresh pages, partial tails,
+                // and the copy-on-write path when the tail page is shared.
+                0 | 1 => {
+                    let _ = append_rows(&mut caches[index], amount as usize, &mut stamp);
+                }
+                // Fork: the clone maps the same pages (no copy at fork time).
+                2 => {
+                    if caches.len() < MAX_CACHES {
+                        let before = pool.bytes_materialized();
+                        let fork = caches[index].fork();
+                        prop_assert_eq!(fork.len(), caches[index].len());
+                        prop_assert_eq!(
+                            pool.bytes_materialized(),
+                            before,
+                            "fork must not materialize anything"
+                        );
+                        caches.push(fork);
+                    }
+                }
+                // Truncate to an arbitrary smaller length (a preemption or
+                // rollback): drops only this cache's references.
+                3 => {
+                    let len = caches[index].len();
+                    caches[index].truncate(len.saturating_sub(amount as usize));
+                }
+                // Clear (a park): releases every reference this cache holds.
+                4 => caches[index].clear(),
+                // Drop the cache entirely (stream teardown).
+                _ => {
+                    if caches.len() > 1 {
+                        caches.swap_remove(index);
+                    }
+                }
+            }
+            prop_assert!(
+                pool.pages_materialized() >= materialized_floor,
+                "materialization is monotone (pages are recycled, not unmapped)"
+            );
+            materialized_floor = pool.pages_materialized();
+            check_invariants(&pool, &caches);
+        }
+        // Teardown: every reference drains and the pool reads empty.
+        caches.clear();
+        assert_eq!(pool.pages_in_use(), 0, "all pages must return to the pool");
+        assert_eq!(pool.bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn forked_caches_diverge_without_ever_sharing_written_pages(
+        seed_rows in 1usize..24, grow_a in 1usize..12, grow_b in 1usize..12
+    ) {
+        let pool = KvBlockPool::shared(CAPACITY_ROWS, PAGE_ROWS, EMBED);
+        let mut stamp = 0.0f32;
+        let mut a = PagedKvCache::new(Arc::clone(&pool));
+        prop_assert!(append_rows(&mut a, seed_rows, &mut stamp));
+        let mut b = a.fork();
+        let shared_pages = pool.pages_in_use();
+        // Divergent appends: each side may copy-on-write the shared tail page
+        // (refcount 2 → each writer gets a private replacement) but must keep
+        // every full shared page mapped by both.
+        prop_assert!(append_rows(&mut a, grow_a, &mut stamp));
+        prop_assert!(append_rows(&mut b, grow_b, &mut stamp));
+        let full_shared = seed_rows / PAGE_ROWS;
+        for page_index in 0..full_shared {
+            prop_assert_eq!(
+                a.page_table()[page_index],
+                b.page_table()[page_index],
+                "full prefix pages stay shared after divergence"
+            );
+            prop_assert_eq!(pool.page_refcount(a.page_table()[page_index]), 2);
+        }
+        if seed_rows % PAGE_ROWS != 0 {
+            prop_assert!(
+                a.page_table()[full_shared] != b.page_table()[full_shared],
+                "a divergent partial tail must have been copied, not shared"
+            );
+        }
+        prop_assert!(shared_pages <= pool.pages_in_use());
+        check_invariants(&pool, &[a, b]);
+    }
+}

@@ -142,6 +142,25 @@ impl AdmissionController {
         blocks.max(1) * (rows + self.policy.reserve_rows).div_ceil(pool.page_rows())
     }
 
+    /// [`AdmissionController::page_estimate`] for a stream whose first
+    /// `shared_rows` positions map already-materialized pages of an interned
+    /// [`KvPrefix`](haan_llm::KvPrefix): the shared whole pages are refcounted,
+    /// not copied, so only the pages past the prefix count against the
+    /// watermark. `shared_rows` is always a whole-page multiple (the exporter
+    /// enforces it), so the subtraction is exact, not heuristic.
+    #[must_use]
+    pub fn page_estimate_shared(
+        &self,
+        pool: &KvBlockPool,
+        blocks: usize,
+        rows: usize,
+        shared_rows: usize,
+    ) -> usize {
+        let full = (rows + self.policy.reserve_rows).div_ceil(pool.page_rows());
+        let shared = (shared_rows / pool.page_rows()).min(full);
+        blocks.max(1) * (full - shared)
+    }
+
     /// The pure watermark decision for one stream: `est_pages` is the stream's
     /// own estimated footprint, `projected_pages` the combined estimate of
     /// streams already accepted in this offer batch but not yet resident (their
@@ -288,6 +307,21 @@ mod tests {
         ));
         // 10 pages exceeds the 7.5-page watermark but fits the pool: queue.
         assert_eq!(controller.decide(&pool, 10, 0, 0), AdmissionDecision::Queue);
+    }
+
+    #[test]
+    fn shared_prefix_rows_are_free_in_the_estimate() {
+        let pool = pool(); // 10 pages of 4 rows
+        let controller = AdmissionController::new(AdmissionPolicy::default());
+        // 12 total rows, 8 shared: only ceil(12/4) - 8/4 = 1 page per block.
+        assert_eq!(controller.page_estimate_shared(&pool, 4, 12, 8), 4);
+        // No sharing degenerates to the plain estimate.
+        assert_eq!(
+            controller.page_estimate_shared(&pool, 4, 12, 0),
+            controller.page_estimate(&pool, 4, 12)
+        );
+        // Sharing can never drive the estimate below zero.
+        assert_eq!(controller.page_estimate_shared(&pool, 4, 4, 40), 0);
     }
 
     #[test]

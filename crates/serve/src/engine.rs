@@ -59,6 +59,11 @@ pub struct ServeConfig {
     /// Watermark policy of the admission controller gating new decode streams
     /// against live pool pressure (see [`AdmissionPolicy`]).
     pub admission: AdmissionPolicy,
+    /// Per-tick prompt-chunk bound inherited by every
+    /// [`ServeEngine::decode_group`] (0 — the default — keeps one-shot
+    /// activation prefills). See
+    /// [`DecodeGroup::set_prefill_chunk_rows`](crate::DecodeGroup::set_prefill_chunk_rows).
+    pub prefill_chunk_rows: usize,
     /// Bounded-retry policy of the worker's batch dispatch (see [`RetryPolicy`]).
     pub retry: RetryPolicy,
     /// Optional deterministic fault injector, threaded through pool allocation
@@ -77,6 +82,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             kv_pool: KvPoolPolicy::default(),
             admission: AdmissionPolicy::default(),
+            prefill_chunk_rows: 0,
             retry: RetryPolicy::default(),
             faults: None,
         }
@@ -217,6 +223,22 @@ impl Shared {
     }
 }
 
+/// FNV-1a over a model seed and prompt tokens, used only to bucket the
+/// engine's prefix intern table (see [`ServeEngine::intern_prefix`]).
+fn prefix_fingerprint(model_seed: u64, tokens: &[u32]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |value: u64| {
+        hash ^= value;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(model_seed);
+    mix(tokens.len() as u64);
+    for &token in tokens {
+        mix(u64::from(token));
+    }
+    hash
+}
+
 pub(crate) fn submit_via(
     shared: &Shared,
     tx: &SyncSender<WorkItem>,
@@ -281,6 +303,12 @@ pub struct ServeEngine {
     kv_pool_policy: KvPoolPolicy,
     /// Admission controller shared by every stream/group this engine starts.
     admission: Arc<AdmissionController>,
+    /// Per-tick prompt-chunk bound handed to every decode group.
+    prefill_chunk_rows: usize,
+    /// Content-addressed interned K/V prefixes, bucketed by fingerprint. The
+    /// table holds one reference per prefix, so shared pages stay materialized
+    /// for the engine's lifetime even while no stream maps them.
+    prefixes: Mutex<HashMap<u64, Vec<Arc<haan_llm::KvPrefix>>>>,
     /// Fault injector installed into every pool this engine creates.
     faults: Option<Arc<dyn FaultInjector>>,
 }
@@ -310,6 +338,7 @@ impl ServeEngine {
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let kv_pool_policy = config.kv_pool;
         let admission = Arc::new(AdmissionController::new(config.admission));
+        let prefill_chunk_rows = config.prefill_chunk_rows;
         let faults = config.faults.clone();
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -337,6 +366,8 @@ impl ServeEngine {
             kv_pools: Mutex::new(Vec::new()),
             kv_pool_policy,
             admission,
+            prefill_chunk_rows,
+            prefixes: Mutex::new(HashMap::new()),
             faults,
         }
     }
@@ -482,7 +513,95 @@ impl ServeEngine {
         prompts: &[&[u32]],
     ) -> Result<crate::DecodeGroup<'m>, ServeError> {
         let pool = self.kv_pool(model.config().embedding_dim);
-        crate::DecodeGroup::new(self.session(), &pool, model, prompts, self.admission())
+        let mut group =
+            crate::DecodeGroup::new(self.session(), &pool, model, prompts, self.admission())?;
+        group.set_prefill_chunk_rows(self.prefill_chunk_rows);
+        Ok(group)
+    }
+
+    /// Interns the whole-page prefix of `tokens` for `model`, returning the
+    /// engine-wide shared handle. Content-equal prefixes (same model, same
+    /// leading tokens) always return the same `Arc`: the first call prefills
+    /// the shared rows once through a fresh session and exports their K/V
+    /// pages ([`DecodeContext::export_prefix`](haan_llm::DecodeContext::export_prefix));
+    /// every later call — and every stream attached via
+    /// [`DecodeGroup::add_stream_with_prefix`](crate::DecodeGroup::add_stream_with_prefix)
+    /// — maps those same refcounted pages instead of recomputing them. Only
+    /// `⌊len / page_rows⌋ × page_rows` leading tokens are shared (whole pages
+    /// only, so sharers never write a shared page); feed the remainder as part
+    /// of each stream's suffix. The table keeps prefixes materialized until
+    /// the engine drops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] when the tokens fail validation
+    /// or are too few to fill one page, and [`ServeError::Shed`] when the pool
+    /// has no room to materialize the prefix right now (retry after the hint).
+    pub fn intern_prefix(
+        &self,
+        model: &haan_llm::TransformerModel,
+        tokens: &[u32],
+    ) -> Result<Arc<haan_llm::KvPrefix>, ServeError> {
+        let pool = self.kv_pool(model.config().embedding_dim);
+        let page_rows = pool.page_rows();
+        let shared_rows = (tokens.len() / page_rows) * page_rows;
+        if shared_rows == 0 {
+            return Err(ServeError::InvalidRequest(format!(
+                "a prefix of {} tokens fills no whole page (page_rows = {page_rows})",
+                tokens.len()
+            )));
+        }
+        let shared_tokens = &tokens[..shared_rows];
+        model
+            .validate_tokens(shared_tokens)
+            .map_err(|err| ServeError::InvalidRequest(err.to_string()))?;
+        let fingerprint = prefix_fingerprint(model.seed(), shared_tokens);
+        let find = |bucket: &[Arc<haan_llm::KvPrefix>]| {
+            bucket
+                .iter()
+                .find(|prefix| {
+                    prefix.model_seed() == model.seed()
+                        && Arc::ptr_eq(prefix.pool(), &pool)
+                        && prefix.tokens() == shared_tokens
+                })
+                .cloned()
+        };
+        {
+            // Poison recovery: like `intern_params`, the table only grows by
+            // fully constructed entries.
+            let table = self.prefixes.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(existing) = table.get(&fingerprint).and_then(|b| find(b)) {
+                return Ok(existing);
+            }
+        }
+        // Miss: materialize outside the lock (the prefill blocks on the
+        // worker). A racing thread may intern the same prefix meanwhile; the
+        // re-check below keeps the table canonical and drops our duplicate
+        // (releasing its pages).
+        let mut session = self.session();
+        let mut context = model
+            .start_decode_in(&pool)
+            .map_err(|err| ServeError::InvalidRequest(err.to_string()))?;
+        context
+            .prefill_last(shared_tokens, &mut session)
+            .map_err(|err| match err {
+                haan_llm::LlmError::KvPoolExhausted { .. } => ServeError::Shed {
+                    retry_after_us: self.admission.policy().retry_after_us,
+                },
+                other => ServeError::InvalidRequest(other.to_string()),
+            })?;
+        let prefix = Arc::new(
+            context
+                .export_prefix()
+                .map_err(|err| ServeError::InvalidRequest(err.to_string()))?,
+        );
+        let mut table = self.prefixes.lock().unwrap_or_else(PoisonError::into_inner);
+        let bucket = table.entry(fingerprint).or_default();
+        if let Some(existing) = find(bucket) {
+            return Ok(existing);
+        }
+        bucket.push(Arc::clone(&prefix));
+        Ok(prefix)
     }
 
     /// Interns `γ`/`β` parameter vectors, returning the engine-wide shared handle.

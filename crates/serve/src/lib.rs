@@ -34,7 +34,14 @@
 //!   lockstep through one incremental pass, so each normalization site executes
 //!   as **one fused call carrying one row per stream** — guaranteed batching
 //!   width, where independent streams only coalesce when their threads happen to
-//!   overlap.
+//!   overlap. The group is *continuously batched*: prompts join mid-flight
+//!   ([`DecodeGroup::add_stream`]) and backfill retired slots, long prompts
+//!   prefill in bounded chunks stacked into the same batched passes as the
+//!   decode rows ([`ServeConfig::prefill_chunk_rows`]), and streams with a
+//!   common prompt prefix share its K/V pages through an interned, refcounted
+//!   [`KvPrefix`] ([`ServeEngine::intern_prefix`] /
+//!   [`DecodeGroup::add_stream_with_prefix`]) — all bit-identical to solo
+//!   decode.
 //! * [`ServingStats`] — per-batch telemetry: batch occupancy, queue-wait
 //!   percentiles, ns/element.
 //! * [`AdmissionController`] / [`AdmissionPolicy`] — overload safety: new
@@ -121,6 +128,7 @@ pub use decode::DecodeStream;
 pub use engine::{KvPoolPolicy, RetryPolicy, ServeConfig, ServeEngine};
 pub use error::ServeError;
 pub use faults::{FaultAction, FaultInjector, FaultPlan, InjectedFaults, SeededFaults};
+pub use haan_llm::KvPrefix;
 pub use multi::{DecodeGroup, GroupStats, StreamStatus};
 pub use request::{CancelHandle, NormParams, NormRequest, NormResponse, PendingResponse};
 pub use scheduler::{BatchKey, Entry, QueueOrdering, ReadyBatch, Scheduler, SchedulerPolicy};

@@ -6,12 +6,30 @@
 //! when other client threads happen to be in flight at the same instant. A
 //! [`DecodeGroup`] removes the luck: each [`DecodeGroup::step_all`] tick gathers
 //! every ready stream and advances them through
-//! [`TransformerModel::step_many`] — one incremental pass over the stacked rows,
-//! so the engine worker executes **one fused `normalize_matrix_into` call per
-//! normalization site with one row per stream**. Attention stays per-stream
-//! (each row attends against its own paged K/V cache); every row-local stage
-//! (both norm sites per block, the MLPs, the final norm, the logit projection)
-//! runs batched.
+//! [`TransformerModel::advance_many`] — one incremental pass over the stacked
+//! rows, so the engine worker executes **one fused `normalize_matrix_into`
+//! call per normalization site carrying every stream's rows**. Attention stays
+//! per-stream (each row attends against its own paged K/V cache); every
+//! row-local stage (both norm sites per block, the MLPs, the final norm, the
+//! logit projection) runs batched.
+//!
+//! # Continuous batching
+//!
+//! The group is continuously fed, not a fixed batch (see `docs/SERVING.md`,
+//! "Continuous batching"):
+//!
+//! * **Per-tick join/leave** — [`DecodeGroup::add_stream`] offers new prompts
+//!   mid-flight; retired, cancelled, and shed slots free capacity that queued
+//!   streams backfill on the next tick. [`GroupStats`] counts the churn
+//!   (`joins`/`leaves`) and the per-tick row occupancy (`occupied_rows`).
+//! * **Chunked prefill** — with [`DecodeGroup::set_prefill_chunk_rows`], a
+//!   joining stream's prompt is fed at most `prefill_chunk_rows` rows per tick
+//!   *inside the same batched pass* as the decode rows, so a long prompt never
+//!   stalls other streams behind a monolithic prefill.
+//! * **Prefix sharing** — [`DecodeGroup::add_stream_with_prefix`] attaches a
+//!   stream to an interned [`KvPrefix`]: the common prompt's whole K/V pages
+//!   are refcounted and mapped by every sharer instead of recomputed and
+//!   duplicated per stream.
 //!
 //! # Overload behavior
 //!
@@ -43,7 +61,7 @@
 use crate::admission::{AdmissionController, AdmissionDecision};
 use crate::error::ServeError;
 use crate::session::Session;
-use haan_llm::{DecodeContext, EvictionPolicy, KvBlockPool, LlmError, TransformerModel};
+use haan_llm::{DecodeContext, EvictionPolicy, KvBlockPool, KvPrefix, LlmError, TransformerModel};
 use std::sync::Arc;
 
 /// Lifecycle state of one [`DecodeGroup`] member stream.
@@ -85,6 +103,32 @@ pub struct GroupStats {
     pub completed: u64,
     /// [`DecodeGroup::step_all`] ticks executed (failed ticks included).
     pub ticks: u64,
+    /// Transitions *into* the active set: activations of queued streams
+    /// (first starts and preemption resumes alike), whether at construction
+    /// or joined mid-flight via [`DecodeGroup::add_stream`].
+    pub joins: u64,
+    /// Transitions *out of* the active set: parks (pressure or
+    /// [`DecodeGroup::preempt`]), completions, and cancellations of active
+    /// streams.
+    pub leaves: u64,
+    /// Total K/V rows fed through the batched lockstep passes — decode rows
+    /// plus, under chunked prefill, the prompt-chunk rows that ride the same
+    /// fused site requests. Unchunked catch-up prefills run as separate
+    /// per-stream passes and are *not* counted, so this divided by
+    /// [`GroupStats::ticks`] is exactly the batching width chunking buys.
+    pub occupied_rows: u64,
+}
+
+impl GroupStats {
+    /// Mean rows per tick in the batched lockstep pass (0 before any tick).
+    #[must_use]
+    pub fn mean_tick_occupancy_rows(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.occupied_rows as f64 / self.ticks as f64
+        }
+    }
 }
 
 /// One member stream of a [`DecodeGroup`]: its decode context (paged K/V), its
@@ -103,6 +147,13 @@ struct GroupStream<'m> {
     /// re-prefills exactly these plus the unfed suffix. `None` for streams
     /// that have never been parked (their catch-up feed is just `tokens[fed..]`).
     parked_resident: Option<Vec<u32>>,
+    /// Chunked-prefill backlog: catch-up tokens an activation moved out of
+    /// `tokens[fed..]` (and any trimmed resident window) that the lockstep
+    /// passes drain up to `prefill_chunk_rows` per tick. Always empty in
+    /// unchunked mode, where activation prefills the whole feed at once. The
+    /// stream emits a token only on the pass that drains the backlog — its
+    /// logits row is the last prompt position, exactly as one-shot prefill.
+    catchup: Vec<u32>,
     /// Tick at which the stream last advanced — the preemption tie-breaker
     /// (least recently advanced loses).
     last_advanced_tick: u64,
@@ -127,8 +178,9 @@ impl GroupStream<'_> {
     }
 
     /// Parks the stream: captures its K/V-resident tokens, frees its pages,
-    /// and re-queues it. The unfed token (if any) stays in `tokens`, so the
-    /// resume feed reconstructs the exact solo state.
+    /// and re-queues it. The unfed token (if any) stays in `tokens` — and a
+    /// mid-prefill chunked stream keeps its `catchup` backlog — so the resume
+    /// feed reconstructs the exact solo state.
     fn park(&mut self) {
         debug_assert!(matches!(self.status, StreamStatus::Active));
         self.parked_resident = Some(self.context.resident_tokens().to_vec());
@@ -161,6 +213,10 @@ pub struct DecodeGroup<'m> {
     pool: Arc<KvBlockPool>,
     admission: Arc<AdmissionController>,
     stats: GroupStats,
+    /// Upper bound on prompt rows fed per stream per tick (0 = unbounded:
+    /// activation prefills the whole catch-up feed in one per-stream pass,
+    /// the pre-chunking behavior). See [`DecodeGroup::set_prefill_chunk_rows`].
+    prefill_chunk_rows: usize,
 }
 
 impl<'m> DecodeGroup<'m> {
@@ -224,6 +280,7 @@ impl<'m> DecodeGroup<'m> {
                 prompt_len: prompt.len(),
                 status,
                 parked_resident: None,
+                catchup: Vec::new(),
                 last_advanced_tick: 0,
                 activated: false,
             });
@@ -235,7 +292,27 @@ impl<'m> DecodeGroup<'m> {
             pool: Arc::clone(pool),
             admission,
             stats,
+            prefill_chunk_rows: 0,
         })
+    }
+
+    /// Bounds every stream's prompt feed at `rows` per tick (0 — the default —
+    /// restores one-shot activation prefills). With chunking on, a joining
+    /// stream's long prompt is prefilled across `⌈len/rows⌉` ticks **inside
+    /// the batched lockstep pass** — its chunk rows stack with the decode rows
+    /// in the same fused `normalize_matrix_into` call per site — so admitting
+    /// a 256-token prompt never stalls the other streams' next token behind a
+    /// monolithic prefill. Tokens are unchanged: chunked prefill is the cached
+    /// incrementality invariant, and a stream emits only when its backlog
+    /// drains, from the same last-prompt-position logits row.
+    pub fn set_prefill_chunk_rows(&mut self, rows: usize) {
+        self.prefill_chunk_rows = rows;
+    }
+
+    /// The configured per-tick prompt-chunk bound (0 = unbounded).
+    #[must_use]
+    pub fn prefill_chunk_rows(&self) -> usize {
+        self.prefill_chunk_rows
     }
 
     /// The model the group decodes with.
@@ -363,6 +440,125 @@ impl<'m> DecodeGroup<'m> {
         Ok(())
     }
 
+    /// Offers one more prompt to the group **mid-flight**: the new stream is
+    /// admitted, queued, or shed against live pool pressure exactly like a
+    /// construction-time prompt, and an admitted stream activates on the next
+    /// [`DecodeGroup::step_all`] tick — backfilling capacity freed by retired,
+    /// cancelled, or shed slots without restarting the group. Returns the new
+    /// stream's index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] when the prompt fails the
+    /// model's token validation. Overload is not an error: a refused prompt
+    /// comes back as a [`StreamStatus::Shed`] slot.
+    pub fn add_stream(&mut self, prompt: &[u32]) -> Result<usize, ServeError> {
+        let invalid = |err: LlmError| ServeError::InvalidRequest(err.to_string());
+        self.model.validate_tokens(prompt).map_err(invalid)?;
+        let est =
+            self.admission
+                .page_estimate(&self.pool, self.model.config().num_blocks, prompt.len());
+        let context = self.model.start_decode_in(&self.pool).map_err(invalid)?;
+        self.push_offered(context, prompt.to_vec(), 0, est)
+    }
+
+    /// [`DecodeGroup::add_stream`] for a prompt that starts with an interned
+    /// shared prefix: the new stream *attaches* to the prefix's
+    /// already-materialized whole pages (refcounted, never copied — see
+    /// [`KvPrefix`]) and only prefills `suffix`, so N streams with a common
+    /// system prompt pay its K/V pages once. Admission charges only the
+    /// non-shared pages ([`page_estimate_shared`](crate::AdmissionController::page_estimate_shared)).
+    /// Tokens are bit-identical to a stream that prefilled
+    /// `prefix.tokens() ++ suffix` from scratch: the shared pages hold exactly
+    /// the rows that prefill would recompute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] when `suffix` is empty or fails
+    /// token validation, when the prefix belongs to another pool or model, or
+    /// when the combined prompt exceeds the model's maximum sequence length.
+    pub fn add_stream_with_prefix(
+        &mut self,
+        prefix: &KvPrefix,
+        suffix: &[u32],
+    ) -> Result<usize, ServeError> {
+        let invalid = |err: LlmError| ServeError::InvalidRequest(err.to_string());
+        if suffix.is_empty() {
+            return Err(ServeError::InvalidRequest(
+                "a prefix stream needs at least one suffix token".to_string(),
+            ));
+        }
+        if !Arc::ptr_eq(prefix.pool(), &self.pool) {
+            return Err(ServeError::InvalidRequest(
+                "prefix pages live in a different K/V pool than this group".to_string(),
+            ));
+        }
+        let mut tokens = prefix.tokens().to_vec();
+        tokens.extend_from_slice(suffix);
+        self.model.validate_tokens(&tokens).map_err(invalid)?;
+        let est = self.admission.page_estimate_shared(
+            &self.pool,
+            self.model.config().num_blocks,
+            tokens.len(),
+            prefix.rows(),
+        );
+        // The context maps the shared pages from birth (holding one reference
+        // each), so even a queued stream's eventual prefill is suffix-only.
+        let context = self
+            .model
+            .start_decode_with_prefix(prefix)
+            .map_err(invalid)?;
+        self.push_offered(context, tokens, prefix.rows(), est)
+    }
+
+    /// Shared tail of [`DecodeGroup::add_stream`] /
+    /// [`DecodeGroup::add_stream_with_prefix`]: runs the admission offer
+    /// (counting live queued slots) and pushes the slot. A shed prefix stream
+    /// resets its context so refused slots pin no shared pages.
+    fn push_offered(
+        &mut self,
+        context: DecodeContext<'m>,
+        tokens: Vec<u32>,
+        fed: usize,
+        est: usize,
+    ) -> Result<usize, ServeError> {
+        let queued_now = self
+            .streams
+            .iter()
+            .filter(|s| matches!(s.status, StreamStatus::Queued))
+            .count();
+        self.stats.offered += 1;
+        let status = match self.admission.offer(&self.pool, est, 0, queued_now) {
+            AdmissionDecision::Admit => StreamStatus::Queued,
+            AdmissionDecision::Queue => {
+                self.stats.queued += 1;
+                StreamStatus::Queued
+            }
+            AdmissionDecision::Shed { .. } => {
+                self.stats.shed += 1;
+                StreamStatus::Shed
+            }
+        };
+        let prompt_len = tokens.len();
+        let mut stream = GroupStream {
+            context,
+            tokens,
+            fed,
+            prompt_len,
+            status,
+            parked_resident: None,
+            catchup: Vec::new(),
+            last_advanced_tick: 0,
+            activated: false,
+        };
+        if matches!(status, StreamStatus::Shed) {
+            stream.context.reset();
+            stream.fed = 0;
+        }
+        self.streams.push(stream);
+        Ok(self.streams.len() - 1)
+    }
+
     /// Forcibly parks an active stream: frees its pool pages while keeping its
     /// token history, exactly as a pressure-triggered preemption would. The
     /// stream re-queues and resumes automatically. Returns `false` (and does
@@ -377,6 +573,7 @@ impl<'m> DecodeGroup<'m> {
         }
         self.streams[index].park();
         self.stats.preemptions += 1;
+        self.stats.leaves += 1;
         true
     }
 
@@ -392,8 +589,12 @@ impl<'m> DecodeGroup<'m> {
         let stream = &mut self.streams[index];
         match stream.status {
             StreamStatus::Queued | StreamStatus::Active => {
+                if matches!(stream.status, StreamStatus::Active) {
+                    self.stats.leaves += 1;
+                }
                 stream.context.reset();
                 stream.parked_resident = None;
+                stream.catchup.clear();
                 stream.status = StreamStatus::Cancelled;
                 true
             }
@@ -412,6 +613,7 @@ impl<'m> DecodeGroup<'m> {
                 stream.context.reset();
                 stream.status = StreamStatus::Finished;
                 self.stats.completed += 1;
+                self.stats.leaves += 1;
             }
         }
     }
@@ -422,7 +624,7 @@ impl<'m> DecodeGroup<'m> {
     /// performed) followed by its unfed tokens.
     fn resume_feed(&self, index: usize) -> Vec<u32> {
         let stream = &self.streams[index];
-        let tail = stream.tokens.len() - stream.fed;
+        let tail = stream.catchup.len() + (stream.tokens.len() - stream.fed);
         let mut feed = stream.parked_resident.clone().unwrap_or_default();
         if let EvictionPolicy::SlidingWindow { keep_last } = stream.context.eviction() {
             if feed.len() + tail > self.model.config().max_seq_len {
@@ -430,6 +632,7 @@ impl<'m> DecodeGroup<'m> {
                 feed.drain(..feed.len() - keep);
             }
         }
+        feed.extend_from_slice(&stream.catchup);
         feed.extend_from_slice(&stream.tokens[stream.fed..]);
         feed
     }
@@ -464,6 +667,7 @@ impl<'m> DecodeGroup<'m> {
                     let next = argmax(&logits);
                     stream.tokens.push(next);
                     *slot = Some(next);
+                    self.stats.joins += 1;
                     if resumed {
                         self.stats.resumes += 1;
                         self.stats.resume_reprefill_rows += feed.len() as u64;
@@ -481,6 +685,43 @@ impl<'m> DecodeGroup<'m> {
             }
         }
         Ok(())
+    }
+
+    /// Chunked-mode activation: moves queued streams whose catch-up feed fits
+    /// the pool into the active set **without feeding anything** — the feed
+    /// becomes the stream's `catchup` backlog, drained `prefill_chunk_rows`
+    /// per tick inside the batched lockstep pass. (A prefix-attached context
+    /// keeps its shared resident rows; only the pages past them are gated.)
+    fn activate_queued_streams(&mut self) {
+        let page_rows = self.pool.page_rows();
+        let blocks = self.model.config().num_blocks;
+        for index in 0..self.streams.len() {
+            if !matches!(self.streams[index].status, StreamStatus::Queued) {
+                continue;
+            }
+            let feed = self.resume_feed(index);
+            // Cheap gate: resident rows are always a whole-page multiple, so
+            // the feed's own pages are exactly the growth the stream needs.
+            let est = blocks * feed.len().div_ceil(page_rows);
+            if est > self.pool.pages_free() {
+                continue;
+            }
+            let stream = &mut self.streams[index];
+            let resumed = stream.parked_resident.take().is_some();
+            stream.catchup = feed;
+            stream.fed = stream.tokens.len();
+            stream.status = StreamStatus::Active;
+            self.stats.joins += 1;
+            if resumed {
+                self.stats.resumes += 1;
+                self.stats.resume_reprefill_rows += stream.catchup.len() as u64;
+            }
+            if !stream.activated {
+                stream.activated = true;
+                self.stats.admitted += 1;
+                self.admission.note_admitted();
+            }
+        }
     }
 
     /// Picks the preemption victim among the lockstep-ready streams: fewest
@@ -505,14 +746,15 @@ impl<'m> DecodeGroup<'m> {
     /// generated (`None` for slots that did not advance: at capacity, still
     /// queued, shed, or cancelled).
     ///
-    /// Tick order: retire streams at capacity (freeing their pages), resume
-    /// queued streams whose pages now fit (separate catch-up prefills —
-    /// feeds differ in length), then advance every active stream together
-    /// through [`TransformerModel::step_many`]: one batched pass, one fused
-    /// normalization request per site carrying one row per stream. When that
-    /// pass hits pool exhaustion, the group parks a victim (fewest tokens
-    /// decoded, ties to least recently advanced) and retries with the
-    /// survivors.
+    /// Tick order: retire streams at capacity (freeing their pages), then
+    /// admit queued streams whose pages now fit — in unchunked mode via
+    /// separate one-shot catch-up prefills, in chunked mode by queuing their
+    /// feed as a backlog — then advance every active stream together through
+    /// [`TransformerModel::advance_many`]: one batched pass, one fused
+    /// normalization request per site carrying each stream's rows (one decode
+    /// token, or up to `prefill_chunk_rows` backlog rows). When that pass hits
+    /// pool exhaustion, the group parks a victim (fewest tokens decoded, ties
+    /// to least recently advanced) and retries with the survivors.
     ///
     /// # Errors
     ///
@@ -528,9 +770,17 @@ impl<'m> DecodeGroup<'m> {
         let tick = self.stats.ticks;
         let mut results = vec![None; self.streams.len()];
         self.finish_exhausted_streams();
-        self.resume_queued_streams(&mut results, tick)?;
+        if self.prefill_chunk_rows == 0 {
+            self.resume_queued_streams(&mut results, tick)?;
+        } else {
+            self.activate_queued_streams();
+        }
         // Lockstep pass with preempt-and-retry: every active stream not
-        // already stepped by a resume above contributes one row.
+        // already stepped by a resume above contributes its next feed — one
+        // decode token, or (chunked mode) up to `prefill_chunk_rows` prompt
+        // rows from its catch-up backlog — in one batched variable-length
+        // pass. A stream emits a token only on the pass that exhausts its
+        // feed; mid-prefill rows produce no token this tick.
         loop {
             let ready: Vec<usize> = self
                 .streams
@@ -542,14 +792,20 @@ impl<'m> DecodeGroup<'m> {
             if ready.is_empty() {
                 return Ok(results);
             }
-            let tokens: Vec<u32> = ready
+            let feeds: Vec<Vec<u32>> = ready
                 .iter()
                 .map(|&i| {
                     let stream = &self.streams[i];
-                    debug_assert_eq!(stream.fed + 1, stream.tokens.len());
-                    stream.tokens[stream.fed]
+                    if stream.catchup.is_empty() {
+                        debug_assert_eq!(stream.fed + 1, stream.tokens.len());
+                        stream.tokens[stream.fed..].to_vec()
+                    } else {
+                        let take = self.prefill_chunk_rows.min(stream.catchup.len());
+                        stream.catchup[..take].to_vec()
+                    }
                 })
                 .collect();
+            let feed_refs: Vec<&[u32]> = feeds.iter().map(Vec::as_slice).collect();
             let mut contexts: Vec<&mut DecodeContext<'m>> = self
                 .streams
                 .iter_mut()
@@ -559,16 +815,24 @@ impl<'m> DecodeGroup<'m> {
                 .collect();
             match self
                 .model
-                .step_many(&mut contexts, &tokens, &mut self.session)
+                .advance_many(&mut contexts, &feed_refs, &mut self.session)
             {
                 Ok(logits) => {
                     for (row, &i) in ready.iter().enumerate() {
                         let stream = &mut self.streams[i];
-                        stream.fed += 1;
+                        let rows = feeds[row].len();
+                        if stream.catchup.is_empty() {
+                            stream.fed += rows;
+                        } else {
+                            stream.catchup.drain(..rows);
+                        }
                         stream.last_advanced_tick = tick;
-                        let next = argmax(logits.row(row));
-                        stream.tokens.push(next);
-                        results[i] = Some(next);
+                        self.stats.occupied_rows += rows as u64;
+                        if stream.catchup.is_empty() && stream.fed == stream.tokens.len() {
+                            let next = argmax(logits.row(row));
+                            stream.tokens.push(next);
+                            results[i] = Some(next);
+                        }
                     }
                     return Ok(results);
                 }
@@ -589,6 +853,7 @@ impl<'m> DecodeGroup<'m> {
                     let victim = self.preemption_victim(&ready);
                     self.streams[victim].park();
                     self.stats.preemptions += 1;
+                    self.stats.leaves += 1;
                 }
                 Err(err) => return Err(err),
             }

@@ -197,6 +197,179 @@ fn chaos_drill_reproduces_exactly_per_seed() {
     assert_eq!(other.stats.completed, 4);
 }
 
+/// Solo full-recompute oracle for a group stream that ran to capacity: the
+/// group fills its K/V context to `max_seq_len`, so it emits one token more
+/// than a token-count-capped solo decode; the stateless forward over the full
+/// sequence supplies that last emission.
+fn solo_oracle_to_capacity(model: &TransformerModel, prompt: &[u32]) -> Vec<u32> {
+    let max = model.config().max_seq_len;
+    let mut oracle = StreamingModel::new_full_recompute(model, prompt).expect("oracle stream");
+    let mut expected = oracle
+        .decode(max - prompt.len(), &mut ReferenceNormalizer::new())
+        .expect("oracle decode");
+    let full = model
+        .logits(oracle.tokens(), &mut ReferenceNormalizer::new())
+        .expect("stateless oracle");
+    let last = full.row(max - 1);
+    expected.push(
+        last.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i as u32)
+            .expect("non-empty vocabulary"),
+    );
+    expected
+}
+
+#[test]
+fn chunked_prefix_drill_survives_mid_chunk_exhaustion_and_sharer_preemption() {
+    // The continuous-batching chaos bar: ~4× overload where every offered
+    // stream decodes behind one interned shared prefix, prompts prefill in
+    // 2-row chunks inside the lockstep passes, the injector exhausts the pool
+    // mid-chunk, and one sharer is *forcibly preempted mid-prefill*. Partial
+    // prefills must resume bit-identically, the shared pages must survive the
+    // sharer's preemption (the surviving sharers and the interned handle keep
+    // them mapped), and every stream that ran must match its solo oracle.
+    let model = model();
+    let config = model.config();
+    let max = config.max_seq_len;
+    let blocks = config.num_blocks;
+    const N: usize = 2;
+    let faults = Arc::new(SeededFaults::new(
+        0xD12117,
+        FaultPlan {
+            exhaust_probability: 0.1,
+            max_exhaustions: 5,
+            ..Default::default()
+        },
+    ));
+    let mut engine = ServeEngine::start(ServeConfig {
+        normalizer: fused(),
+        prefill_chunk_rows: 2,
+        kv_pool: KvPoolPolicy {
+            page_rows: 4,
+            capacity_rows: N * max * blocks,
+        },
+        faults: Some(Arc::clone(&faults) as Arc<dyn haan_serve::FaultInjector>),
+        ..Default::default()
+    });
+    // One whole page per block of shared prompt, paid once. The injector
+    // hooks the interning prefill's allocations too: a Shed here is the
+    // documented retry path, not an error.
+    let prefix_tokens: [u32; 4] = [9, 2, 7, 4];
+    let prefix = loop {
+        match engine.intern_prefix(&model, &prefix_tokens) {
+            Ok(prefix) => break prefix,
+            Err(ServeError::Shed { .. }) => continue,
+            Err(err) => panic!("interning only sheds under injected exhaustion, got {err:?}"),
+        }
+    };
+    let exhaustions_before_drill = faults.injected().exhaustions;
+    let prefix_pages = prefix.page_count();
+    assert_eq!(prefix_pages, blocks);
+    let base_prompt: [u32; 3] = [1, 2, 3];
+    let mut group = engine
+        .decode_group(&model, &[&base_prompt])
+        .expect("base stream");
+    let suffixes: Vec<Vec<u32>> = (0..8u32)
+        .map(|i| vec![i % 8, (i * 3 + 1) % 8, (i + 5) % 8, (i * 7 + 2) % 8])
+        .collect();
+    let sharers: Vec<usize> = suffixes
+        .iter()
+        .map(|suffix| {
+            group
+                .add_stream_with_prefix(&prefix, suffix)
+                .expect("offering under overload is not an error")
+        })
+        .collect();
+    let pool = engine.kv_pool(config.embedding_dim);
+
+    // Tick once so sharers activate and start draining their chunked
+    // backlogs, then preempt one that is still mid-prefill (active, nothing
+    // emitted yet): its partial prefill parks and must resume bit-identically.
+    group.step_all().expect("activation tick");
+    let victim = *sharers
+        .iter()
+        .find(|&&i| group.status(i) == StreamStatus::Active && group.generated(i).is_empty())
+        .expect("a sharer is still mid-prefill after one 2-row chunk tick");
+    assert!(group.preempt(victim), "an active sharer must park");
+    assert_eq!(group.status(victim), StreamStatus::Queued);
+    assert!(
+        pool.pages_in_use() >= prefix_pages,
+        "the shared pages must survive a sharer's preemption"
+    );
+
+    // Drive the drill to convergence, retrying ticks the injector fails.
+    let mut ticks = 1u32;
+    loop {
+        ticks += 1;
+        assert!(ticks < 2_000, "the drill must converge");
+        match group.step_all() {
+            Ok(_) => {}
+            Err(LlmError::KvPoolExhausted { .. }) => continue,
+            Err(err) => panic!("only pool exhaustion is expected, got {err:?}"),
+        }
+        let all_settled = (0..group.len())
+            .all(|i| matches!(group.status(i), StreamStatus::Finished | StreamStatus::Shed));
+        if all_settled {
+            break;
+        }
+    }
+    let stats = group.stats();
+    assert!(
+        stats.preemptions >= 1 && stats.resumes >= 1,
+        "the forced park must have resumed: {stats:?}"
+    );
+    assert!(
+        faults.injected().exhaustions > exhaustions_before_drill,
+        "the injector must have fired mid-drill (i.e. mid-chunk): {:?}",
+        faults.injected()
+    );
+    assert!(
+        stats.mean_tick_occupancy_rows() > 1.0,
+        "chunk rows must have ridden the batched passes: {stats:?}"
+    );
+
+    // Parity: every stream that decoded matches its solo oracle — the forced
+    // mid-prefill preemption, the injected exhaustions, and the page sharing
+    // are all invisible in the tokens.
+    for (slot, &index) in sharers.iter().enumerate() {
+        match group.status(index) {
+            StreamStatus::Finished => {
+                let mut prompt = prefix_tokens.to_vec();
+                prompt.extend_from_slice(&suffixes[slot]);
+                let expected = solo_oracle_to_capacity(&model, &prompt);
+                assert_eq!(
+                    &group.tokens(index)[prompt.len()..],
+                    expected.as_slice(),
+                    "sharer {slot} (stream {index}) diverged from its solo oracle"
+                );
+            }
+            StreamStatus::Shed => {
+                assert!(
+                    group.generated(index).is_empty(),
+                    "shed sharer {slot} must never decode"
+                );
+            }
+            other => panic!("sharer {slot} ended the drill as {other:?}"),
+        }
+    }
+    assert_eq!(
+        &group.tokens(0)[base_prompt.len()..],
+        solo_oracle_to_capacity(&model, &base_prompt).as_slice(),
+        "the base stream must match its solo oracle"
+    );
+
+    // Teardown: streams release their pages; the interned prefix keeps its
+    // footprint until the engine drops.
+    drop(group);
+    drop(prefix);
+    assert_eq!(pool.pages_in_use(), prefix_pages);
+    engine.shutdown();
+    drop(engine);
+    assert_eq!(pool.pages_in_use(), 0, "every shared page must drain");
+}
+
 #[test]
 fn shed_streams_get_a_typed_retry_hint_not_a_panic() {
     // A standalone decode stream against a deliberately hot pool: the refusal
