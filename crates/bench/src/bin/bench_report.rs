@@ -220,8 +220,14 @@ struct MultiStreamPoint {
 /// Advances `streams` concurrent decode streams in lockstep through one
 /// `ServeEngine::decode_group`: every tick issues one fused normalization
 /// request per site carrying one row per stream, which is the batching width
-/// the paged pool + multi-stream step exist to produce.
-fn run_multi_stream_benchmark(model: &TransformerModel, streams: usize) -> MultiStreamPoint {
+/// the paged pool + multi-stream step exist to produce. `obs` is `None` for
+/// the perf-gate runs (the zero-cost disabled path) and a live sink for the
+/// informational enabled A/B of the observability block.
+fn run_multi_stream_benchmark(
+    model: &TransformerModel,
+    streams: usize,
+    obs: Option<std::sync::Arc<dyn haan_obs::ObsSink>>,
+) -> MultiStreamPoint {
     let config = model.config();
     let rows_per_stream_block = MULTI_STREAM_PROMPT + MULTI_STREAM_TICKS + 1;
     let mut engine = ServeEngine::start(ServeConfig {
@@ -241,6 +247,7 @@ fn run_multi_stream_benchmark(model: &TransformerModel, streams: usize) -> Multi
             page_rows: 16,
             capacity_rows: 2 * streams * config.num_blocks * rows_per_stream_block,
         },
+        obs,
         ..Default::default()
     });
     let vocab = config.vocab_size as u32;
@@ -581,6 +588,112 @@ fn run_continuous_batching_benchmark(model: &TransformerModel) -> ContinuousBatc
     }
 }
 
+/// Instrumentation checks a decode token pays on the hot path with no sink
+/// installed (a deliberate over-estimate: per site per tick the engine tests
+/// the option a handful of times — gather/normalize/scatter clocks, counters,
+/// the dispatch event — plus the pool and group checks).
+const OBS_CHECKS_PER_TOKEN: f64 = 64.0;
+
+struct ObservabilityPoint {
+    export_ns: f64,
+    event_append_ns: f64,
+    counter_add_ns: f64,
+    histogram_record_ns: f64,
+    disabled_check_ns: f64,
+    /// Modeled worst-case hot-path overhead of the disabled sink:
+    /// `disabled_check_ns × OBS_CHECKS_PER_TOKEN` as a percentage of the
+    /// measured ns/token of the widest (sink-free) multi-stream point.
+    disabled_overhead_pct: f64,
+    /// Informational A/B: the widest multi-stream point re-run with a live
+    /// `Obs` sink installed (metrics + flight recorder).
+    enabled_tokens_per_s: f64,
+}
+
+/// Measures the observability layer itself: registry export cost on a
+/// representative metric population, flight-recorder append cost, raw
+/// counter/histogram record cost, and — the one the decode hot path actually
+/// pays by default — the cost of checking a disabled (`None`) sink.
+fn run_observability_benchmark(
+    model: &TransformerModel,
+    disabled_tokens_per_s: f64,
+) -> ObservabilityPoint {
+    use haan_obs::{EventKind, Obs, ObsEvent, ObsSink};
+    use std::sync::Arc;
+
+    // Populate a registry shaped like the serving drill's real export.
+    let obs = Obs::new(4096);
+    for site in 0..9u64 {
+        obs.counter_add(&format!("haan.skip.site_{site}"), site);
+        obs.gauge_set(&format!("haan.skip_rate.site_{site}"), 0.5);
+    }
+    for name in [
+        "serve.batches",
+        "serve.requests",
+        "serve.rows",
+        "pool.exhaustions",
+    ] {
+        obs.counter_add(name, 7);
+    }
+    for name in [
+        "serve.queue_wait_us",
+        "serve.phase.gather_ns",
+        "serve.phase.normalize_ns",
+        "serve.phase.scatter_ns",
+        "group.tick_rows",
+        "group.phase.advance_ns",
+    ] {
+        for v in 0..256u64 {
+            obs.record(name, v * 37 + 1);
+        }
+    }
+    let export = measure_default(|| {
+        std::hint::black_box(obs.registry().export());
+    });
+    let event_append = measure_default(|| {
+        obs.event(ObsEvent {
+            t_us: 1,
+            stream: Some(1),
+            kind: EventKind::Admit,
+        });
+    });
+    let counter = obs.registry().counter("bench.counter");
+    let counter_add = measure_default(|| counter.add(1));
+    let histogram = obs.registry().histogram("bench.hist");
+    let histogram_record = measure_default(|| histogram.record(1_234));
+
+    // The disabled path: every instrumentation site is one branch on a `None`
+    // option. 1024 checks per timed iteration amortize the timer overhead.
+    let disabled: Option<Arc<dyn ObsSink>> = None;
+    let disabled_check = measure_default(|| {
+        for _ in 0..1024 {
+            if let Some(sink) = std::hint::black_box(&disabled) {
+                sink.counter_add("never", 1);
+            }
+        }
+    });
+    let disabled_check_ns = disabled_check.nanos_per_iter / 1024.0;
+    let ns_per_token = 1e9 / disabled_tokens_per_s;
+    let disabled_overhead_pct = 100.0 * disabled_check_ns * OBS_CHECKS_PER_TOKEN / ns_per_token;
+
+    // Informational enabled A/B at the widest multi-stream point.
+    let sink = Obs::shared(1 << 14);
+    let enabled = run_multi_stream_benchmark(
+        model,
+        *MULTI_STREAM_COUNTS.last().expect("non-empty"),
+        Some(sink as Arc<dyn ObsSink>),
+    );
+
+    ObservabilityPoint {
+        export_ns: export.nanos_per_iter,
+        event_append_ns: event_append.nanos_per_iter,
+        counter_add_ns: counter_add.nanos_per_iter,
+        histogram_record_ns: histogram_record.nanos_per_iter,
+        disabled_check_ns,
+        disabled_overhead_pct,
+        enabled_tokens_per_s: enabled.aggregate_tokens_per_s,
+    }
+}
+
 struct PathResult {
     name: &'static str,
     measurement: Measurement,
@@ -797,7 +910,7 @@ fn main() {
     // one row per stream — with K/V rows paged out of the engine's shared pool.
     let multi_points: Vec<MultiStreamPoint> = MULTI_STREAM_COUNTS
         .iter()
-        .map(|&streams| run_multi_stream_benchmark(&decode_model, streams))
+        .map(|&streams| run_multi_stream_benchmark(&decode_model, streams, None))
         .collect();
     let mut multi_table = MarkdownTable::new(vec![
         "streams",
@@ -888,6 +1001,47 @@ fn main() {
         ),
     ]);
     println!("{}", continuous_table.render());
+
+    // Observability: what the instrumentation layer itself costs — export and
+    // append micro-costs, and the modeled hot-path tax of the disabled sink
+    // against the widest (sink-free) multi-stream point measured above.
+    let widest_disabled = multi_points
+        .last()
+        .expect("at least one multi-stream point")
+        .aggregate_tokens_per_s;
+    let observability = run_observability_benchmark(&decode_model, widest_disabled);
+    let mut obs_table = MarkdownTable::new(vec!["observability metric", "value"]);
+    obs_table.push_row(vec![
+        "registry export (ns)".to_string(),
+        format!("{:.0}", observability.export_ns),
+    ]);
+    obs_table.push_row(vec![
+        "flight-recorder append (ns)".to_string(),
+        format!("{:.1}", observability.event_append_ns),
+    ]);
+    obs_table.push_row(vec![
+        "counter add / histogram record (ns)".to_string(),
+        format!(
+            "{:.1} / {:.1}",
+            observability.counter_add_ns, observability.histogram_record_ns
+        ),
+    ]);
+    obs_table.push_row(vec![
+        "disabled-sink check (ns)".to_string(),
+        format!("{:.3}", observability.disabled_check_ns),
+    ]);
+    obs_table.push_row(vec![
+        "disabled-sink decode overhead (%)".to_string(),
+        format!("{:.4}", observability.disabled_overhead_pct),
+    ]);
+    obs_table.push_row(vec![
+        "tok/s, sink disabled / enabled".to_string(),
+        format!(
+            "{:.0} / {:.0}",
+            widest_disabled, observability.enabled_tokens_per_s
+        ),
+    ]);
+    println!("{}", obs_table.render());
 
     // Matmul GFLOP/s of the cache-blocked kernels on a square problem.
     let n = 256;
@@ -1155,6 +1309,38 @@ fn main() {
             ]),
         ),
         (
+            "observability",
+            JsonValue::object([
+                ("export_ns", JsonValue::from(observability.export_ns)),
+                (
+                    "event_append_ns",
+                    JsonValue::from(observability.event_append_ns),
+                ),
+                (
+                    "counter_add_ns",
+                    JsonValue::from(observability.counter_add_ns),
+                ),
+                (
+                    "histogram_record_ns",
+                    JsonValue::from(observability.histogram_record_ns),
+                ),
+                (
+                    "disabled_check_ns",
+                    JsonValue::from(observability.disabled_check_ns),
+                ),
+                ("checks_per_token", JsonValue::from(OBS_CHECKS_PER_TOKEN)),
+                (
+                    "disabled_overhead_pct",
+                    JsonValue::from(observability.disabled_overhead_pct),
+                ),
+                ("disabled_tokens_per_s", JsonValue::from(widest_disabled)),
+                (
+                    "enabled_tokens_per_s",
+                    JsonValue::from(observability.enabled_tokens_per_s),
+                ),
+            ]),
+        ),
+        (
             "matmul",
             JsonValue::object([
                 ("blocked_gflops", JsonValue::from(gflops(&matmul))),
@@ -1221,5 +1407,10 @@ fn main() {
         "prefix sharing ({} bytes) should undercut per-stream copies ({} bytes)",
         continuous.shared_pool_bytes,
         continuous.unshared_pool_bytes
+    );
+    assert!(
+        observability.disabled_overhead_pct < 1.0,
+        "a disabled obs sink should cost < 1% of a decode token, got {:.4}%",
+        observability.disabled_overhead_pct
     );
 }

@@ -207,6 +207,14 @@ pub struct HaanNormalizer {
     /// the [`crate::backend`] registry when [`BackendSelection::AccelSim`] is active.
     external: Option<Arc<dyn NormBackend>>,
     telemetry: NormalizerTelemetry,
+    /// Optional observability sink: per-site skip/exact counters and skip-rate
+    /// gauges are emitted here when installed; `None` (the default) keeps every
+    /// site decision a single branch.
+    obs: Option<Arc<dyn haan_obs::ObsSink>>,
+    /// Per-site `(skipped_rows, exact_rows)` running totals backing the
+    /// `haan.skip_rate.site_N` gauges, indexed by layer and grown on demand.
+    /// Only maintained while a sink is installed.
+    site_rows: Vec<(u64, u64)>,
 }
 
 impl HaanNormalizer {
@@ -232,7 +240,42 @@ impl HaanNormalizer {
             predicted_scratch: Vec::new(),
             external: None,
             telemetry: NormalizerTelemetry::default(),
+            obs: None,
+            site_rows: Vec::new(),
         }
+    }
+
+    /// Installs (or, with `None`, removes) an observability sink. With a sink
+    /// installed, every normalization call emits per-site counters
+    /// (`haan.skip.site_N` / `haan.exact.site_N`, in rows) and refreshes the
+    /// running `haan.skip_rate.site_N` gauge — the live view of which sites the
+    /// skip plan is actually predicting. Disabled, each call pays one branch.
+    pub fn set_obs_sink(&mut self, obs: Option<Arc<dyn haan_obs::ObsSink>>) {
+        self.obs = obs;
+    }
+
+    /// Accounts one site decision (skip vs exact, `rows` rows) on the installed
+    /// sink. Name formatting and the per-site totals only run when enabled.
+    fn note_site_decision(&mut self, layer: usize, skipped: bool, rows: u64) {
+        let Some(obs) = self.obs.clone() else {
+            return;
+        };
+        if self.site_rows.len() <= layer {
+            self.site_rows.resize(layer + 1, (0, 0));
+        }
+        let entry = &mut self.site_rows[layer];
+        if skipped {
+            entry.0 += rows;
+            obs.counter_add(&format!("haan.skip.site_{layer}"), rows);
+        } else {
+            entry.1 += rows;
+            obs.counter_add(&format!("haan.exact.site_{layer}"), rows);
+        }
+        let (skip, exact) = *entry;
+        obs.gauge_set(
+            &format!("haan.skip_rate.site_{layer}"),
+            skip as f64 / (skip + exact) as f64,
+        );
     }
 
     /// Attaches an externally-constructed execution backend, used when the
@@ -385,6 +428,7 @@ impl Normalizer for HaanNormalizer {
         self.telemetry.elements_total += z.len() as u64;
 
         let skipped = self.is_skipped_site(site.layer_index);
+        self.note_site_decision(site.layer_index, skipped, 1);
 
         // The statistics path: quantized operands, subsampled prefix.
         let n_sub = self.config.n_sub.unwrap_or(z.len());
@@ -576,6 +620,7 @@ impl Normalizer for HaanNormalizer {
         if skipped {
             self.telemetry.skipped_isd += rows as u64;
         }
+        self.note_site_decision(site.layer_index, skipped, rows as u64);
 
         if is_anchor {
             // Keep the scalar-path anchor consistent with its last-row-wins
@@ -689,6 +734,57 @@ mod tests {
         // Layers 3, 4, 5 are inside the skip range (2 is the anchor and still computes).
         assert_eq!(telemetry.skipped_isd, 3);
         assert!(haan.plan().is_some());
+    }
+
+    #[test]
+    fn obs_sink_sees_per_site_skip_counters_and_rates() {
+        let plan = SkipPlan {
+            start: 2,
+            end: 5,
+            decay: -0.1,
+            correlation: -1.0,
+            calibration_anchor_log_isd: 0.0,
+        };
+        let config = HaanConfig::builder().subsample(64).build();
+        let mut haan = HaanNormalizer::new(config).with_plan(plan);
+        let obs = haan_obs::Obs::shared(16);
+        haan.set_obs_sink(Some(obs.clone() as Arc<dyn haan_obs::ObsSink>));
+        haan.begin_sequence();
+        let gamma = vec![1.0f32; 128];
+        let beta = vec![0.0f32; 128];
+        // Scalar path: one row per call per layer.
+        for layer in 0..8 {
+            let z = gaussian(128, 10 + layer as u64, 1.0);
+            let _ = haan.normalize(site(layer, NormKind::LayerNorm), &z, &gamma, &beta);
+        }
+        // Batched path: 4 rows at an exact site and at a skipped site.
+        let data: Vec<f32> = (0..4).flat_map(|r| gaussian(128, 90 + r, 1.0)).collect();
+        let input = haan_llm::Matrix::from_vec(4, 128, data).unwrap();
+        let mut out = haan_llm::Matrix::zeros(4, 128);
+        haan.normalize_matrix_into(
+            site(2, NormKind::LayerNorm),
+            &input,
+            &gamma,
+            &beta,
+            &mut out,
+        );
+        haan.normalize_matrix_into(
+            site(3, NormKind::LayerNorm),
+            &input,
+            &gamma,
+            &beta,
+            &mut out,
+        );
+        let snap = obs.export();
+        // Site 2 is the anchor (exact): 1 scalar row + 4 batched rows.
+        assert_eq!(snap.counter("haan.exact.site_2"), Some(5));
+        assert_eq!(snap.gauge("haan.skip_rate.site_2"), Some(0.0));
+        // Site 3 is skipped: 1 scalar row + 4 batched rows, all predicted.
+        assert_eq!(snap.counter("haan.skip.site_3"), Some(5));
+        assert_eq!(snap.gauge("haan.skip_rate.site_3"), Some(1.0));
+        // Sites outside the plan never skip.
+        assert_eq!(snap.counter("haan.skip.site_0"), None);
+        assert_eq!(snap.counter("haan.exact.site_0"), Some(1));
     }
 
     #[test]

@@ -41,7 +41,8 @@
 use crate::attention::AttentionKvCache;
 use crate::error::LlmError;
 use crate::tensor::Matrix;
-use std::sync::{Arc, Mutex, PoisonError};
+use haan_obs::ObsSink;
+use std::sync::{Arc, Mutex};
 
 /// A fault hook consulted on every page allocation: given the requested page
 /// count and the pool's current free pages, returning `true` makes the
@@ -132,6 +133,11 @@ pub struct KvBlockPool {
     /// its own mutex and *cloned out before* the inner lock is taken, so a hook
     /// can never deadlock the pool however it is implemented.
     alloc_fault: Mutex<Option<AllocFaultHook>>,
+    /// Optional observability sink (same clone-out-first discipline as the
+    /// fault hook): occupancy gauges and exhaustion counters are emitted
+    /// *after* the inner guard is dropped, so a sink can call back into the
+    /// pool's read-side accessors without deadlocking.
+    obs: Mutex<Option<Arc<dyn ObsSink>>>,
 }
 
 impl std::fmt::Debug for KvBlockPool {
@@ -173,6 +179,7 @@ impl KvBlockPool {
                 peak_in_use: 0,
             }),
             alloc_fault: Mutex::new(None),
+            obs: Mutex::new(None),
         }
     }
 
@@ -273,7 +280,27 @@ impl KvBlockPool {
         // the row copies, and the copies are plain slice writes that cannot
         // observe torn state), so the inner data stays consistent even if a
         // thread panicked while holding the guard.
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        haan_obs::lock_recover(&self.inner)
+    }
+
+    /// Installs (or, with `None`, removes) an observability sink. The pool
+    /// emits `pool.exhaustions` counter increments on every failed allocation
+    /// (genuine or fault-injected) and refreshes the `pool.pages_in_use` /
+    /// `pool.pages_free` gauges whenever occupancy changes.
+    pub fn set_obs_sink(&self, obs: Option<Arc<dyn ObsSink>>) {
+        *haan_obs::lock_recover(&self.obs) = obs;
+    }
+
+    /// Clones the sink out (never emit while holding `inner` — see `obs`).
+    fn obs_sink(&self) -> Option<Arc<dyn ObsSink>> {
+        haan_obs::lock_recover(&self.obs).clone()
+    }
+
+    /// Refreshes the occupancy gauges on the installed sink, if any. Callers
+    /// must have dropped the inner guard first; the fresh reads here retake it.
+    fn emit_occupancy(&self, obs: &Arc<dyn ObsSink>) {
+        obs.gauge_set("pool.pages_in_use", self.pages_in_use() as f64);
+        obs.gauge_set("pool.pages_free", self.pages_free() as f64);
     }
 
     /// Installs (or, with `None`, removes) a deterministic allocation fault
@@ -282,24 +309,21 @@ impl KvBlockPool {
     /// allocation with the same typed [`LlmError::KvPoolExhausted`] (and the
     /// same all-or-nothing caller rollback) a genuinely dry pool produces.
     pub fn set_alloc_fault(&self, hook: Option<AllocFaultHook>) {
-        *self
-            .alloc_fault
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner) = hook;
+        *haan_obs::lock_recover(&self.alloc_fault) = hook;
     }
 
     /// Allocates `count` pages all-or-nothing, so a failed grow never leaves a
     /// cache holding rows it cannot store.
     fn alloc_pages(&self, count: usize) -> Result<Vec<usize>, LlmError> {
         // Clone the hook out before taking the inner lock (see `alloc_fault`).
-        let hook = self
-            .alloc_fault
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone();
+        let hook = haan_obs::lock_recover(&self.alloc_fault).clone();
+        let obs = self.obs_sink();
         if let Some(hook) = hook {
             let free = self.pages_free();
             if hook(count, free) {
+                if let Some(obs) = &obs {
+                    obs.counter_add("pool.exhaustions", 1);
+                }
                 return Err(LlmError::KvPoolExhausted {
                     requested_pages: count,
                     free_pages: free,
@@ -309,6 +333,10 @@ impl KvBlockPool {
         let mut inner = self.lock();
         let free = self.num_pages - (inner.next_fresh - inner.free.len());
         if count > free {
+            drop(inner);
+            if let Some(obs) = &obs {
+                obs.counter_add("pool.exhaustions", 1);
+            }
             return Err(LlmError::KvPoolExhausted {
                 requested_pages: count,
                 free_pages: free,
@@ -332,6 +360,12 @@ impl KvBlockPool {
         }
         let in_use = inner.next_fresh - inner.free.len();
         inner.peak_in_use = inner.peak_in_use.max(in_use);
+        drop(inner);
+        if let Some(obs) = &obs {
+            if count > 0 {
+                self.emit_occupancy(obs);
+            }
+        }
         Ok(pages)
     }
 
@@ -363,6 +397,10 @@ impl KvBlockPool {
             inner.free.len() <= inner.next_fresh,
             "released more pages than were ever allocated"
         );
+        drop(inner);
+        if let Some(obs) = self.obs_sink() {
+            self.emit_occupancy(&obs);
+        }
     }
 
     /// Adds one reference per listed page (prefix attach, cache fork). Every
@@ -975,5 +1013,28 @@ mod tests {
         cache.append(&rows(3, 8, 1), &rows(3, 8, 2)).unwrap();
         assert_eq!(pool.pages_in_use(), 1);
         assert_eq!(pool.pages_free(), 1);
+    }
+
+    #[test]
+    fn obs_sink_sees_occupancy_gauges_and_exhaustion_counter() {
+        let pool = KvBlockPool::shared(8, 4, 8);
+        let obs = haan_obs::Obs::shared(16);
+        pool.set_obs_sink(Some(obs.clone() as Arc<dyn ObsSink>));
+        let mut cache = PagedKvCache::new(Arc::clone(&pool));
+        cache.append(&rows(6, 8, 1), &rows(6, 8, 2)).unwrap();
+        let snap = obs.export();
+        assert_eq!(snap.gauge("pool.pages_in_use"), Some(2.0));
+        assert_eq!(snap.gauge("pool.pages_free"), Some(0.0));
+        // A dry pool bumps the exhaustion counter on the typed error path.
+        cache.append(&rows(8, 8, 3), &rows(8, 8, 4)).unwrap_err();
+        assert_eq!(obs.export().counter("pool.exhaustions"), Some(1));
+        cache.clear();
+        let snap = obs.export();
+        assert_eq!(snap.gauge("pool.pages_in_use"), Some(0.0));
+        assert_eq!(snap.gauge("pool.pages_free"), Some(2.0));
+        // Detaching the sink stops emission without disturbing the pool.
+        pool.set_obs_sink(None);
+        cache.append(&rows(2, 8, 5), &rows(2, 8, 6)).unwrap();
+        assert_eq!(obs.export().gauge("pool.pages_in_use"), Some(0.0));
     }
 }

@@ -1,0 +1,392 @@
+//! A self-contained JSON value tree with a renderer **and** a parser.
+//!
+//! [`ObsSnapshot::to_json`](crate::ObsSnapshot::to_json) must round-trip — an
+//! exported registry snapshot is re-loadable for offline diffing — so unlike
+//! the report-only builder in `haan_bench`, this module can also parse. Only
+//! what snapshots need is implemented: objects, arrays, strings, unsigned
+//! integers and finite floats, booleans and null.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    #[must_use]
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, JsonValue)>>(pairs: I) -> Self {
+        Self::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    #[must_use]
+    pub fn array<I: IntoIterator<Item = JsonValue>>(values: I) -> Self {
+        Self::Array(values.into_iter().collect())
+    }
+
+    /// Looks up `key` in an object (`None` for other variants or missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            Self::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one.
+    #[must_use]
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Self::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is a whole non-negative number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::Number(n) if *n >= 0.0 && *n == n.trunc() && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Renders compactly (no insignificant whitespace).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Self::Null => out.push_str("null"),
+            Self::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Self::Number(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1.8e19 {
+                        // Render integral values without an exponent or point so
+                        // u64 counters survive the round trip exactly.
+                        if *n >= 0.0 {
+                            let _ = write!(out, "{}", *n as u64);
+                        } else {
+                            let _ = write!(out, "{}", *n as i64);
+                        }
+                    } else {
+                        // `{}` prints the shortest representation that parses
+                        // back to the same f64, so gauges round-trip too.
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Self::String(s) => render_string(out, s),
+            Self::Array(values) => {
+                out.push('[');
+                for (i, value) in values.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    value.render_into(out);
+                }
+                out.push(']');
+            }
+            Self::Object(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(out, key);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description with a byte offset when the input is not
+    /// valid JSON (or uses a feature this parser does not implement, e.g.
+    /// `\u` escapes outside the BMP).
+    pub fn parse(input: &str) -> Result<Self, String> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing data at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut values = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(values));
+        }
+        loop {
+            self.skip_ws();
+            values.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(values));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| "surrogate \\u escape".to_string())?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_parses_nested_documents() {
+        let doc = JsonValue::object([
+            ("name", JsonValue::String("obs".to_string())),
+            ("count", JsonValue::Number(4096.0)),
+            ("rate", JsonValue::Number(0.125)),
+            ("ok", JsonValue::Bool(true)),
+            ("none", JsonValue::Null),
+            (
+                "series",
+                JsonValue::array([JsonValue::Number(1.0), JsonValue::Number(2.5)]),
+            ),
+        ]);
+        let rendered = doc.render();
+        assert_eq!(JsonValue::parse(&rendered).expect("round trip"), doc);
+        assert!(rendered.contains("\"count\":4096"));
+        assert!(rendered.contains("\"rate\":0.125"));
+    }
+
+    #[test]
+    fn large_u64_values_round_trip_through_get_accessors() {
+        // 2^53-scale counters survive: f64 holds integers exactly to 2^53 and
+        // snapshots clamp render at integral values.
+        let doc = JsonValue::object([("big", JsonValue::Number(9_007_199_254_740_992.0))]);
+        let parsed = JsonValue::parse(&doc.render()).expect("parses");
+        assert_eq!(parsed.get("big").and_then(JsonValue::as_u64), Some(1 << 53));
+        assert_eq!(parsed.get("missing"), None);
+        assert_eq!(JsonValue::Null.get("big"), None);
+        assert_eq!(JsonValue::Number(-1.0).as_u64(), None);
+        assert_eq!(JsonValue::Number(2.5).as_u64(), None);
+        assert_eq!(JsonValue::Bool(true).as_number(), None);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let doc = JsonValue::String("a\"b\\c\nd\te\u{1}π".to_string());
+        assert_eq!(JsonValue::parse(&doc.render()).expect("round trip"), doc);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "\"open", "{\"a\" 1}", "12 34", "nul", "--1"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn whitespace_and_empty_containers_parse() {
+        let parsed = JsonValue::parse(" { \"a\" : [ ] , \"b\" : { } } ").expect("parses");
+        assert_eq!(parsed.get("a"), Some(&JsonValue::Array(Vec::new())));
+        assert_eq!(parsed.get("b"), Some(&JsonValue::Object(Vec::new())));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property coverage for the observability primitives: the log-scale
+//! histogram's quantiles against an exact sorted-sample oracle, and the
+//! flight recorder's ring wraparound / correlation-ID integrity.
+
+use haan_obs::{EventKind, FlightRecorder, Histogram, ObsEvent};
+use proptest::prelude::*;
+
+/// The rank both the histogram and the oracle use for quantile `q` over
+/// `count` samples: the smallest index whose cumulative count reaches
+/// `ceil(q·count)` (1-based, floored at 1).
+fn rank(q: f64, count: usize) -> usize {
+    ((q * count as f64).ceil() as usize).max(1)
+}
+
+proptest! {
+    #[test]
+    fn histogram_quantiles_stay_within_an_eighth_of_the_exact_oracle(
+        samples in proptest::collection::vec(0u64..50_000_000, 8..256),
+    ) {
+        let histogram = Histogram::default();
+        for &v in &samples {
+            histogram.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.50, 0.90, 0.99] {
+            let exact = sorted[rank(q, sorted.len()) - 1];
+            let estimate = histogram.quantile(q);
+            // The estimate is the midpoint of the log bucket holding the exact
+            // rank statistic, so it is off by at most one bucket width —
+            // ≤ 1/8 of the value at 8 sub-buckets per octave (exact below 16).
+            let tolerance = exact as f64 / 8.0;
+            prop_assert!(
+                (estimate as f64 - exact as f64).abs() <= tolerance,
+                "q={q}: estimate {estimate} vs exact {exact} (tolerance {tolerance})"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_count_sum_min_max_are_exact(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..128),
+    ) {
+        let histogram = Histogram::default();
+        for &v in &samples {
+            histogram.record(v);
+        }
+        let snapshot = histogram.snapshot();
+        prop_assert_eq!(snapshot.count, samples.len() as u64);
+        prop_assert_eq!(snapshot.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(snapshot.min, *samples.iter().min().expect("non-empty"));
+        prop_assert_eq!(snapshot.max, *samples.iter().max().expect("non-empty"));
+        let per_bucket: u64 = snapshot.buckets.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(per_bucket, samples.len() as u64);
+    }
+
+    #[test]
+    fn histogram_snapshot_round_trips_through_registry_json(
+        samples in proptest::collection::vec(0u64..10_000_000, 0..64),
+    ) {
+        let registry = haan_obs::ObsRegistry::new();
+        let histogram = registry.histogram("prop.hist");
+        for &v in &samples {
+            histogram.record(v);
+        }
+        registry.counter("prop.count").add(samples.len() as u64);
+        let snapshot = registry.export();
+        let parsed = haan_obs::ObsSnapshot::from_json(&snapshot.to_json());
+        prop_assert_eq!(parsed.expect("export parses"), snapshot);
+    }
+
+    #[test]
+    fn recorder_ring_keeps_the_newest_events_and_counts_drops(
+        capacity in 1usize..40,
+        streams in proptest::collection::vec(0u64..6, 1..120),
+    ) {
+        let recorder = FlightRecorder::new(capacity);
+        let all: Vec<ObsEvent> = streams
+            .iter()
+            .enumerate()
+            .map(|(t, &stream)| ObsEvent {
+                t_us: t as u64,
+                stream: Some(stream),
+                kind: EventKind::Admit,
+            })
+            .collect();
+        for &event in &all {
+            recorder.record(event);
+        }
+        let held = recorder.events();
+        let expected_len = all.len().min(capacity);
+        prop_assert_eq!(held.len(), expected_len);
+        // The ring holds exactly the newest `capacity` events, in append order.
+        prop_assert_eq!(&held[..], &all[all.len() - expected_len..]);
+        prop_assert_eq!(recorder.appended(), all.len() as u64);
+        prop_assert_eq!(recorder.dropped(), (all.len() - expected_len) as u64);
+        // Per-stream views are the same suffix filtered by correlation ID:
+        // order preserved, nothing leaked across streams, union complete.
+        let mut per_stream_total = 0;
+        for id in 0..6u64 {
+            let view = recorder.stream_events(id);
+            let oracle: Vec<ObsEvent> = all[all.len() - expected_len..]
+                .iter()
+                .filter(|e| e.stream == Some(id))
+                .copied()
+                .collect();
+            prop_assert_eq!(&view[..], &oracle[..]);
+            per_stream_total += view.len();
+        }
+        prop_assert_eq!(per_stream_total, expected_len);
+    }
+}

@@ -18,7 +18,9 @@
 //! controller adds only monotone telemetry counters ([`AdmissionStats`]).
 
 use haan_llm::KvBlockPool;
+use haan_obs::ObsSink;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The watermark policy of the admission controller.
 ///
@@ -116,6 +118,8 @@ pub struct AdmissionController {
     admitted: AtomicU64,
     queued: AtomicU64,
     shed: AtomicU64,
+    /// Observability sink mirroring the counters as `admission.*` metrics.
+    obs: Option<Arc<dyn ObsSink>>,
 }
 
 impl AdmissionController {
@@ -126,6 +130,15 @@ impl AdmissionController {
             policy,
             ..Self::default()
         }
+    }
+
+    /// Installs (or clears) an observability sink: every counted decision is
+    /// mirrored into it as `admission.offered` / `admission.queued` /
+    /// `admission.shed` / `admission.admitted`.
+    #[must_use]
+    pub fn with_obs_sink(mut self, obs: Option<Arc<dyn ObsSink>>) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The active policy.
@@ -207,14 +220,23 @@ impl AdmissionController {
         queued_now: usize,
     ) -> AdmissionDecision {
         self.offered.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.counter_add("admission.offered", 1);
+        }
         let decision = self.decide(pool, est_pages, projected_pages, queued_now);
         match decision {
             AdmissionDecision::Admit => {}
             AdmissionDecision::Queue => {
                 self.queued.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &self.obs {
+                    obs.counter_add("admission.queued", 1);
+                }
             }
             AdmissionDecision::Shed { .. } => {
                 self.shed.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &self.obs {
+                    obs.counter_add("admission.shed", 1);
+                }
             }
         }
         decision
@@ -223,12 +245,18 @@ impl AdmissionController {
     /// Records one queued-or-admitted stream actually starting to decode.
     pub fn note_admitted(&self) {
         self.admitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.counter_add("admission.admitted", 1);
+        }
     }
 
     /// Records one offer refused outside [`AdmissionController::offer`] (e.g. a
     /// standalone stream that cannot queue treating `Queue` as a shed).
     pub fn note_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.counter_add("admission.shed", 1);
+        }
     }
 
     /// Snapshot of the counters.

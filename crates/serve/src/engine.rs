@@ -11,10 +11,11 @@ use crate::telemetry::{Recorder, ServingStats};
 use haan::{AnchorState, HaanConfig, HaanNormalizer, SkipPlan};
 use haan_llm::norm::Normalizer;
 use haan_llm::{KvBlockPool, Matrix};
+use haan_obs::{EventKind, FaultKind, ObsEvent, ObsSink};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -71,6 +72,12 @@ pub struct ServeConfig {
     /// production; chaos drills install a
     /// [`SeededFaults`](crate::SeededFaults).
     pub faults: Option<Arc<dyn FaultInjector>>,
+    /// Optional observability sink (see [`haan_obs`]): when installed it is
+    /// threaded through the worker loop, the admission controller, every K/V
+    /// pool, the shared normalizer, and every decode group this engine starts
+    /// — metrics, flight-recorder events, and span timings all flow into it.
+    /// `None` (the default) keeps every instrumentation site a single branch.
+    pub obs: Option<Arc<dyn ObsSink>>,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +92,7 @@ impl Default for ServeConfig {
             prefill_chunk_rows: 0,
             retry: RetryPolicy::default(),
             faults: None,
+            obs: None,
         }
     }
 }
@@ -174,11 +182,40 @@ pub(crate) struct Shared {
     worker_alive: Arc<AtomicBool>,
     params: Mutex<HashMap<u64, Vec<Arc<NormParams>>>>,
     recorder: Recorder,
+    /// The engine-wide observability sink, if installed.
+    obs: Option<Arc<dyn ObsSink>>,
+    /// Monotone correlation-ID allocator: every decode stream the engine
+    /// starts draws a unique ID here, so flight-recorder events from all
+    /// layers can be joined back into per-stream lifecycles.
+    next_corr: AtomicU64,
 }
 
 impl Shared {
     pub(crate) fn now_us(&self) -> u64 {
         u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// The installed observability sink, if any.
+    pub(crate) fn obs(&self) -> Option<&Arc<dyn ObsSink>> {
+        self.obs.as_ref()
+    }
+
+    /// Allocates the next stream correlation ID (1-based; deterministic in
+    /// stream-creation order per engine).
+    pub(crate) fn next_corr(&self) -> u64 {
+        self.next_corr.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Emits one flight-recorder event stamped with the engine clock.
+    /// A single branch when no sink is installed.
+    pub(crate) fn emit(&self, stream: Option<u64>, kind: EventKind) {
+        if let Some(obs) = &self.obs {
+            obs.event(ObsEvent {
+                t_us: self.now_us(),
+                stream,
+                kind,
+            });
+        }
     }
 
     pub(crate) fn worker_is_alive(&self) -> bool {
@@ -206,7 +243,7 @@ impl Shared {
         // entries (push of a finished Arc), so a thread that panicked while
         // holding the lock cannot have left a half-built bucket behind. Losing
         // interning entirely because one client thread crashed would be worse.
-        let mut table = self.params.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut table = haan_obs::lock_recover(&self.params);
         let bucket = table.entry(fingerprint).or_default();
         if let Some(existing) = bucket
             .iter()
@@ -334,10 +371,13 @@ impl ServeEngine {
             worker_alive: Arc::new(AtomicBool::new(true)),
             params: Mutex::new(HashMap::new()),
             recorder: Recorder::default(),
+            obs: config.obs.clone(),
+            next_corr: AtomicU64::new(0),
         });
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let kv_pool_policy = config.kv_pool;
-        let admission = Arc::new(AdmissionController::new(config.admission));
+        let admission =
+            Arc::new(AdmissionController::new(config.admission).with_obs_sink(config.obs.clone()));
         let prefill_chunk_rows = config.prefill_chunk_rows;
         let faults = config.faults.clone();
         let worker_shared = Arc::clone(&shared);
@@ -389,7 +429,7 @@ impl ServeEngine {
     pub fn kv_pool(&self, embedding_dim: usize) -> Arc<KvBlockPool> {
         // Poison recovery: the registry only ever grows by fully constructed
         // pools, so no half-built state can leak past a panicking thread.
-        let mut pools = self.kv_pools.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut pools = haan_obs::lock_recover(&self.kv_pools);
         if let Some(pool) = pools
             .iter()
             .find(|pool| pool.embedding_dim() == embedding_dim)
@@ -406,6 +446,9 @@ impl ServeEngine {
             pool.set_alloc_fault(Some(Arc::new(move |requested, free| {
                 injector.on_pool_alloc(requested, free)
             })));
+        }
+        if let Some(obs) = self.shared.obs() {
+            pool.set_obs_sink(Some(Arc::clone(obs)));
         }
         pools.push(Arc::clone(&pool));
         pool
@@ -480,12 +523,24 @@ impl ServeEngine {
         let est = self
             .admission
             .page_estimate(&pool, model.config().num_blocks, prompt.len());
+        let corr = self.shared.next_corr();
+        self.shared.emit(
+            Some(corr),
+            EventKind::Offer {
+                est_pages: est as u64,
+            },
+        );
         // `queued_now = usize::MAX`: a standalone stream cannot wait in a
         // group, so its queue is always "full" and would-queue offers shed.
         match self.admission.offer(&pool, est, 0, usize::MAX) {
-            AdmissionDecision::Admit => self.admission.note_admitted(),
+            AdmissionDecision::Admit => {
+                self.admission.note_admitted();
+                self.shared.emit(Some(corr), EventKind::Admit);
+            }
             AdmissionDecision::Queue => unreachable!("queue is reported full"),
             AdmissionDecision::Shed { retry_after_us } => {
+                self.shared
+                    .emit(Some(corr), EventKind::Shed { retry_after_us });
                 return Err(ServeError::Shed { retry_after_us });
             }
         }
@@ -569,8 +624,11 @@ impl ServeEngine {
         {
             // Poison recovery: like `intern_params`, the table only grows by
             // fully constructed entries.
-            let table = self.prefixes.lock().unwrap_or_else(PoisonError::into_inner);
+            let table = haan_obs::lock_recover(&self.prefixes);
             if let Some(existing) = table.get(&fingerprint).and_then(|b| find(b)) {
+                if let Some(obs) = self.shared.obs() {
+                    obs.counter_add("serve.prefix.hits", 1);
+                }
                 return Ok(existing);
             }
         }
@@ -585,9 +643,21 @@ impl ServeEngine {
         context
             .prefill_last(shared_tokens, &mut session)
             .map_err(|err| match err {
-                haan_llm::LlmError::KvPoolExhausted { .. } => ServeError::Shed {
-                    retry_after_us: self.admission.policy().retry_after_us,
-                },
+                haan_llm::LlmError::KvPoolExhausted {
+                    requested_pages,
+                    free_pages,
+                } => {
+                    self.shared.emit(
+                        None,
+                        EventKind::PoolExhausted {
+                            requested_pages: requested_pages as u64,
+                            free_pages: free_pages as u64,
+                        },
+                    );
+                    ServeError::Shed {
+                        retry_after_us: self.admission.policy().retry_after_us,
+                    }
+                }
                 other => ServeError::InvalidRequest(other.to_string()),
             })?;
         let prefix = Arc::new(
@@ -595,10 +665,13 @@ impl ServeEngine {
                 .export_prefix()
                 .map_err(|err| ServeError::InvalidRequest(err.to_string()))?,
         );
-        let mut table = self.prefixes.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut table = haan_obs::lock_recover(&self.prefixes);
         let bucket = table.entry(fingerprint).or_default();
         if let Some(existing) = find(bucket) {
             return Ok(existing);
+        }
+        if let Some(obs) = self.shared.obs() {
+            obs.counter_add("serve.prefix.interned", 1);
         }
         bucket.push(Arc::clone(&prefix));
         Ok(prefix)
@@ -684,6 +757,9 @@ fn worker_loop(shared: &Shared, rx: &mpsc::Receiver<WorkItem>, config: &ServeCon
     if let Some(plan) = config.plan {
         normalizer = normalizer.with_plan(plan);
     }
+    // The shared normalizer reports per-site skip/exact decisions into the
+    // engine's sink (no-op when none is installed).
+    normalizer.set_obs_sink(config.obs.clone());
     let mut scheduler: Scheduler<WorkItem> = Scheduler::new(config.scheduler);
     // Monotone batch-attempt counter, fed to the fault injector.
     let mut attempt_index: u64 = 0;
@@ -742,6 +818,15 @@ fn worker_loop(shared: &Shared, rx: &mpsc::Receiver<WorkItem>, config: &ServeCon
         // so a request behind a slow batch never executes past its deadline —
         // and never waits unboundedly.
         sweep_dead_requests(shared, &mut scheduler);
+        // Backlog gauges, sampled once per wake-up (after the admit drain, so
+        // they reflect the backlog the coalescing pass actually saw).
+        if let Some(obs) = &config.obs {
+            obs.gauge_set(
+                "serve.pending_requests",
+                scheduler.pending_requests() as f64,
+            );
+            obs.gauge_set("serve.pending_rows", scheduler.pending_rows() as f64);
+        }
         let now = shared.now_us();
         while let Some(batch) = scheduler.pop_ready(now) {
             dispatch_batch(shared, &mut normalizer, config, &mut attempt_index, batch);
@@ -820,8 +905,22 @@ fn dispatch_batch(
         });
         match action {
             FaultAction::None => {}
-            FaultAction::SlowUs(us) => std::thread::sleep(Duration::from_micros(us)),
+            FaultAction::SlowUs(us) => {
+                shared.emit(
+                    None,
+                    EventKind::FaultInjected {
+                        kind: FaultKind::SlowBatch,
+                    },
+                );
+                std::thread::sleep(Duration::from_micros(us));
+            }
             FaultAction::FailBatch => {
+                shared.emit(
+                    None,
+                    EventKind::FaultInjected {
+                        kind: FaultKind::FailBatch,
+                    },
+                );
                 if attempts >= max_attempts {
                     for entry in batch.entries {
                         let _ = entry
@@ -837,6 +936,12 @@ fn dispatch_batch(
                 continue;
             }
             FaultAction::PanicWorker => {
+                shared.emit(
+                    None,
+                    EventKind::FaultInjected {
+                        kind: FaultKind::PanicWorker,
+                    },
+                );
                 // Clear the liveness flag *before* unwinding: the panic drops
                 // the batch's reply senders while it unwinds `worker_loop`,
                 // which is before the thread-level `AliveGuard` runs — a
@@ -852,6 +957,11 @@ fn dispatch_batch(
     }
 }
 
+/// Nanoseconds elapsed since `started`, saturated into `u64`.
+pub(crate) fn ns_since(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Executes one coalesced batch: gather rows (and, at skipped sites, per-session
 /// anchors), run the batched engine once, scatter rows (and, at anchor sites,
 /// updated anchors) back per request.
@@ -859,6 +969,11 @@ fn execute_batch(shared: &Shared, normalizer: &mut HaanNormalizer, batch: ReadyB
     let cols = batch.key.cols;
     let rows = batch.rows;
     let site = batch.key.site;
+    let obs = shared.obs();
+    // Span profiling: phase clocks run only with a sink installed, so the
+    // disabled hot path never calls `Instant::now` beyond the existing
+    // exec-time measurement.
+    let gather_started = obs.map(|_| Instant::now());
     let params = Arc::clone(&batch.entries[0].item.request.params);
     // Site role under the engine's plan — queried from the normalizer itself (the
     // same policy the batched path applies), so serve-side batch assembly can
@@ -890,11 +1005,17 @@ fn execute_batch(shared: &Shared, normalizer: &mut HaanNormalizer, batch: ReadyB
     }
     let input = Matrix::from_vec(rows, cols, data).expect("validated request shapes");
     let mut out = Matrix::zeros(rows, cols);
+    if let (Some(obs), Some(t)) = (obs, gather_started) {
+        obs.record("serve.phase.gather_ns", ns_since(t));
+    }
 
     let dispatched_us = shared.now_us();
     let started = Instant::now();
     normalizer.normalize_matrix_into(site, &input, params.gamma(), params.beta(), &mut out);
-    let exec_ns = started.elapsed().as_nanos();
+    let exec_ns = ns_since(started);
+    if let Some(obs) = obs {
+        obs.record("serve.phase.normalize_ns", exec_ns);
+    }
 
     // A snapshot is taken only where the site produced fresh anchors.
     let snapshot = is_anchor.then(|| normalizer.anchor_state());
@@ -912,6 +1033,22 @@ fn execute_batch(shared: &Shared, normalizer: &mut HaanNormalizer, batch: ReadyB
         exec_ns,
         queue_waits.iter().copied(),
     );
+    if let Some(obs) = obs {
+        obs.counter_add("serve.batches", 1);
+        obs.counter_add("serve.requests", batch.entries.len() as u64);
+        obs.counter_add("serve.rows", rows as u64);
+        for &wait in &queue_waits {
+            obs.record("serve.queue_wait_us", wait);
+        }
+    }
+    shared.emit(
+        None,
+        EventKind::BatchDispatch {
+            requests: batch.entries.len() as u64,
+            rows: rows as u64,
+        },
+    );
+    let scatter_started = obs.map(|_| Instant::now());
     // Scatter: per-request row segments plus, at anchor sites, each session's
     // slice of the observed anchors (last-row-wins scalar tier, the same rule the
     // batched path applies — see `AnchorState::slice_rows`).
@@ -931,6 +1068,9 @@ fn execute_batch(shared: &Shared, normalizer: &mut HaanNormalizer, batch: ReadyB
             queue_wait_us,
         }));
         row_offset += request_rows;
+    }
+    if let (Some(obs), Some(t)) = (obs, scatter_started) {
+        obs.record("serve.phase.scatter_ns", ns_since(t));
     }
 }
 
@@ -1120,6 +1260,47 @@ mod tests {
         let c = engine.intern_params(&[1.0, 2.0], &[0.0, 0.6]);
         assert!(Arc::ptr_eq(&a, &b), "equal content must share the Arc");
         assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn an_installed_sink_sees_batches_phases_and_fault_events() {
+        use crate::faults::{FaultPlan, SeededFaults};
+        use haan_obs::Obs;
+        let obs = Obs::shared(256);
+        let mut engine = ServeEngine::start(ServeConfig {
+            obs: Some(Arc::clone(&obs) as Arc<dyn ObsSink>),
+            faults: Some(Arc::new(SeededFaults::new(
+                11,
+                FaultPlan {
+                    fail_probability: 1.0,
+                    max_failed_batches: 1,
+                    ..Default::default()
+                },
+            ))),
+            ..fused_config()
+        });
+        let response = engine.submit(simple_request(&engine, None)).unwrap().wait();
+        assert!(response.is_ok(), "one injected failure retries through");
+        engine.shutdown();
+        let snapshot = obs.export();
+        assert_eq!(snapshot.counter("serve.batches"), Some(1));
+        assert_eq!(snapshot.counter("serve.requests"), Some(1));
+        for phase in ["gather", "normalize", "scatter"] {
+            let name = format!("serve.phase.{phase}_ns");
+            assert_eq!(
+                snapshot.histogram(&name).map(|h| h.count),
+                Some(1),
+                "{name} must be timed once"
+            );
+        }
+        let labels: Vec<&str> = obs
+            .recorder()
+            .events()
+            .iter()
+            .map(|e| e.kind.label())
+            .collect();
+        assert!(labels.contains(&"fault_injected"));
+        assert!(labels.contains(&"batch_dispatch"));
     }
 
     #[test]

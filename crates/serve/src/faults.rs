@@ -27,7 +27,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::{Mutex, PoisonError};
+use std::sync::Mutex;
 
 /// What the injector wants done to one worker batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,7 +199,7 @@ impl SeededFaults {
 /// Site locks only guard an RNG and a counter; both stay internally consistent
 /// across a panic mid-draw, so poisoning is recoverable.
 fn lock(site: &Mutex<SiteState>) -> std::sync::MutexGuard<'_, SiteState> {
-    site.lock().unwrap_or_else(PoisonError::into_inner)
+    haan_obs::lock_recover(site)
 }
 
 /// Draws one budgeted Bernoulli decision from a site.

@@ -60,6 +60,16 @@
 //!   exhaustion, slow batches, failed batches and worker kills, threaded
 //!   through the real allocation and dispatch paths so chaos drills reproduce
 //!   exactly per seed (see `tests/serving_chaos.rs` and `examples/chaos.rs`).
+//! * **Observability** — install an [`ObsSink`](haan_obs::ObsSink) via
+//!   [`ServeConfig::obs`] and the whole stack emits into it: hierarchical
+//!   metrics (`serve.*` batching and phase timings, `pool.*` page occupancy,
+//!   `group.*` lockstep-tick shape, `haan.*` per-site skip rates) into an
+//!   [`ObsRegistry`](haan_obs::ObsRegistry), and clock-stamped lifecycle
+//!   events (offer → admit/queue/shed → chunk-drain → preempt/resume →
+//!   finish, correlated per stream via [`DecodeGroup::correlation_id`]) into a
+//!   [`FlightRecorder`](haan_obs::FlightRecorder). Disabled — the default —
+//!   every instrumentation site is one branch on a `None`. See
+//!   `docs/OBSERVABILITY.md` and `examples/observability.rs`.
 //!
 //! Everything runs on `std::thread` (the build container is offline — no async
 //! runtime); a tokio adapter is a listed follow-up in `ROADMAP.md`. See

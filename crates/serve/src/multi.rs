@@ -59,10 +59,13 @@
 //! anchors stream `s` would see solo (`tests/kv_decode.rs`).
 
 use crate::admission::{AdmissionController, AdmissionDecision};
+use crate::engine::ns_since;
 use crate::error::ServeError;
 use crate::session::Session;
 use haan_llm::{DecodeContext, EvictionPolicy, KvBlockPool, KvPrefix, LlmError, TransformerModel};
+use haan_obs::EventKind;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Lifecycle state of one [`DecodeGroup`] member stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +162,9 @@ struct GroupStream<'m> {
     last_advanced_tick: u64,
     /// Whether this stream's activation has been reported to admission.
     activated: bool,
+    /// Engine-wide correlation ID: every flight-recorder event of this
+    /// stream's lifecycle carries it (see [`DecodeGroup::correlation_id`]).
+    corr: u64,
 }
 
 impl GroupStream<'_> {
@@ -247,6 +253,7 @@ impl<'m> DecodeGroup<'m> {
         }
         let invalid = |err: LlmError| ServeError::InvalidRequest(err.to_string());
         let blocks = model.config().num_blocks;
+        let shared = Arc::clone(session.shared());
         let mut stats = GroupStats::default();
         let mut streams = Vec::with_capacity(prompts.len());
         // Pages spoken for by prompts accepted earlier in this construction
@@ -256,20 +263,30 @@ impl<'m> DecodeGroup<'m> {
         for prompt in prompts {
             model.validate_tokens(prompt).map_err(invalid)?;
             let est = admission.page_estimate(pool, blocks, prompt.len());
+            let corr = shared.next_corr();
+            shared.emit(
+                Some(corr),
+                EventKind::Offer {
+                    est_pages: est as u64,
+                },
+            );
             stats.offered += 1;
             let status = match admission.offer(pool, est, projected_pages, queued_here) {
                 AdmissionDecision::Admit => {
                     projected_pages += est;
+                    shared.emit(Some(corr), EventKind::Admit);
                     StreamStatus::Queued
                 }
                 AdmissionDecision::Queue => {
                     projected_pages += est;
                     queued_here += 1;
                     stats.queued += 1;
+                    shared.emit(Some(corr), EventKind::Queue);
                     StreamStatus::Queued
                 }
-                AdmissionDecision::Shed { .. } => {
+                AdmissionDecision::Shed { retry_after_us } => {
                     stats.shed += 1;
+                    shared.emit(Some(corr), EventKind::Shed { retry_after_us });
                     StreamStatus::Shed
                 }
             };
@@ -283,6 +300,7 @@ impl<'m> DecodeGroup<'m> {
                 catchup: Vec::new(),
                 last_advanced_tick: 0,
                 activated: false,
+                corr,
             });
         }
         Ok(Self {
@@ -364,6 +382,20 @@ impl<'m> DecodeGroup<'m> {
     #[must_use]
     pub fn stats(&self) -> GroupStats {
         self.stats
+    }
+
+    /// Stream `index`'s engine-wide correlation ID: the key its lifecycle
+    /// events carry in the flight recorder
+    /// ([`FlightRecorder::stream_events`](haan_obs::FlightRecorder::stream_events)).
+    /// IDs are allocated in stream-creation order per engine, so same-seed
+    /// drills assign them deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    #[must_use]
+    pub fn correlation_id(&self, index: usize) -> u64 {
+        self.streams[index].corr
     }
 
     /// Stream `index`'s full token buffer: prompt followed by generated tokens.
@@ -527,18 +559,39 @@ impl<'m> DecodeGroup<'m> {
             .iter()
             .filter(|s| matches!(s.status, StreamStatus::Queued))
             .count();
+        let shared = Arc::clone(self.session.shared());
+        let corr = shared.next_corr();
+        shared.emit(
+            Some(corr),
+            EventKind::Offer {
+                est_pages: est as u64,
+            },
+        );
         self.stats.offered += 1;
         let status = match self.admission.offer(&self.pool, est, 0, queued_now) {
-            AdmissionDecision::Admit => StreamStatus::Queued,
-            AdmissionDecision::Queue => {
-                self.stats.queued += 1;
+            AdmissionDecision::Admit => {
+                shared.emit(Some(corr), EventKind::Admit);
                 StreamStatus::Queued
             }
-            AdmissionDecision::Shed { .. } => {
+            AdmissionDecision::Queue => {
+                self.stats.queued += 1;
+                shared.emit(Some(corr), EventKind::Queue);
+                StreamStatus::Queued
+            }
+            AdmissionDecision::Shed { retry_after_us } => {
                 self.stats.shed += 1;
+                shared.emit(Some(corr), EventKind::Shed { retry_after_us });
                 StreamStatus::Shed
             }
         };
+        if fed > 0 && !matches!(status, StreamStatus::Shed) {
+            shared.emit(
+                Some(corr),
+                EventKind::PrefixAttach {
+                    shared_rows: fed as u64,
+                },
+            );
+        }
         let prompt_len = tokens.len();
         let mut stream = GroupStream {
             context,
@@ -550,6 +603,7 @@ impl<'m> DecodeGroup<'m> {
             catchup: Vec::new(),
             last_advanced_tick: 0,
             activated: false,
+            corr,
         };
         if matches!(status, StreamStatus::Shed) {
             stream.context.reset();
@@ -572,6 +626,9 @@ impl<'m> DecodeGroup<'m> {
             return false;
         }
         self.streams[index].park();
+        self.session
+            .shared()
+            .emit(Some(self.streams[index].corr), EventKind::Preempt);
         self.stats.preemptions += 1;
         self.stats.leaves += 1;
         true
@@ -596,6 +653,8 @@ impl<'m> DecodeGroup<'m> {
                 stream.parked_resident = None;
                 stream.catchup.clear();
                 stream.status = StreamStatus::Cancelled;
+                let corr = stream.corr;
+                self.session.shared().emit(Some(corr), EventKind::Cancel);
                 true
             }
             StreamStatus::Finished | StreamStatus::Shed | StreamStatus::Cancelled => false,
@@ -605,6 +664,7 @@ impl<'m> DecodeGroup<'m> {
     /// Retires active streams that can no longer accept a token, releasing
     /// their pool pages (windowed streams evict instead of finishing).
     fn finish_exhausted_streams(&mut self) {
+        let shared = Arc::clone(self.session.shared());
         for stream in &mut self.streams {
             if matches!(stream.status, StreamStatus::Active)
                 && stream.context.remaining_capacity() == 0
@@ -612,6 +672,12 @@ impl<'m> DecodeGroup<'m> {
             {
                 stream.context.reset();
                 stream.status = StreamStatus::Finished;
+                shared.emit(
+                    Some(stream.corr),
+                    EventKind::Finish {
+                        generated: (stream.tokens.len() - stream.prompt_len) as u64,
+                    },
+                );
                 self.stats.completed += 1;
                 self.stats.leaves += 1;
             }
@@ -647,6 +713,7 @@ impl<'m> DecodeGroup<'m> {
     ) -> Result<(), LlmError> {
         let page_rows = self.pool.page_rows();
         let blocks = self.model.config().num_blocks;
+        let shared = Arc::clone(self.session.shared());
         for (index, slot) in results.iter_mut().enumerate() {
             if !matches!(self.streams[index].status, StreamStatus::Queued) {
                 continue;
@@ -671,6 +738,14 @@ impl<'m> DecodeGroup<'m> {
                     if resumed {
                         self.stats.resumes += 1;
                         self.stats.resume_reprefill_rows += feed.len() as u64;
+                        shared.emit(
+                            Some(stream.corr),
+                            EventKind::Resume {
+                                reprefill_rows: feed.len() as u64,
+                            },
+                        );
+                    } else {
+                        shared.emit(Some(stream.corr), EventKind::Activate);
                     }
                     if !stream.activated {
                         stream.activated = true;
@@ -680,7 +755,19 @@ impl<'m> DecodeGroup<'m> {
                 }
                 // Lost the race for pages (or hit an injected exhaustion):
                 // the pass rolled back, the stream stays queued and retryable.
-                Err(LlmError::KvPoolExhausted { .. }) => break,
+                Err(LlmError::KvPoolExhausted {
+                    requested_pages,
+                    free_pages,
+                }) => {
+                    shared.emit(
+                        Some(stream.corr),
+                        EventKind::PoolExhausted {
+                            requested_pages: requested_pages as u64,
+                            free_pages: free_pages as u64,
+                        },
+                    );
+                    break;
+                }
                 Err(err) => return Err(err),
             }
         }
@@ -695,6 +782,7 @@ impl<'m> DecodeGroup<'m> {
     fn activate_queued_streams(&mut self) {
         let page_rows = self.pool.page_rows();
         let blocks = self.model.config().num_blocks;
+        let shared = Arc::clone(self.session.shared());
         for index in 0..self.streams.len() {
             if !matches!(self.streams[index].status, StreamStatus::Queued) {
                 continue;
@@ -715,6 +803,14 @@ impl<'m> DecodeGroup<'m> {
             if resumed {
                 self.stats.resumes += 1;
                 self.stats.resume_reprefill_rows += stream.catchup.len() as u64;
+                shared.emit(
+                    Some(stream.corr),
+                    EventKind::Resume {
+                        reprefill_rows: stream.catchup.len() as u64,
+                    },
+                );
+            } else {
+                shared.emit(Some(stream.corr), EventKind::Activate);
             }
             if !stream.activated {
                 stream.activated = true;
@@ -768,6 +864,7 @@ impl<'m> DecodeGroup<'m> {
     pub fn step_all(&mut self) -> Result<Vec<Option<u32>>, LlmError> {
         self.stats.ticks += 1;
         let tick = self.stats.ticks;
+        let shared = Arc::clone(self.session.shared());
         let mut results = vec![None; self.streams.len()];
         self.finish_exhausted_streams();
         if self.prefill_chunk_rows == 0 {
@@ -813,11 +910,20 @@ impl<'m> DecodeGroup<'m> {
                 .filter(|(i, _)| ready.contains(i))
                 .map(|(_, stream)| &mut stream.context)
                 .collect();
+            // Span profiling: the advance clock runs only with a sink
+            // installed. The measured span covers attention + MLP + logits
+            // model-side; the normalization phase inside it is timed
+            // separately by the engine worker (`serve.phase.normalize_ns`).
+            let advance_started = shared.obs().map(|_| Instant::now());
             match self
                 .model
                 .advance_many(&mut contexts, &feed_refs, &mut self.session)
             {
                 Ok(logits) => {
+                    if let (Some(obs), Some(t)) = (shared.obs(), advance_started) {
+                        obs.record("group.phase.advance_ns", ns_since(t));
+                    }
+                    let mut tick_rows = 0u64;
                     for (row, &i) in ready.iter().enumerate() {
                         let stream = &mut self.streams[i];
                         let rows = feeds[row].len();
@@ -825,14 +931,22 @@ impl<'m> DecodeGroup<'m> {
                             stream.fed += rows;
                         } else {
                             stream.catchup.drain(..rows);
+                            shared.emit(
+                                Some(stream.corr),
+                                EventKind::ChunkDrain { rows: rows as u64 },
+                            );
                         }
                         stream.last_advanced_tick = tick;
                         self.stats.occupied_rows += rows as u64;
+                        tick_rows += rows as u64;
                         if stream.catchup.is_empty() && stream.fed == stream.tokens.len() {
                             let next = argmax(logits.row(row));
                             stream.tokens.push(next);
                             results[i] = Some(next);
                         }
+                    }
+                    if let Some(obs) = shared.obs() {
+                        obs.record("group.tick_rows", tick_rows);
                     }
                     return Ok(results);
                 }
@@ -840,6 +954,13 @@ impl<'m> DecodeGroup<'m> {
                     requested_pages,
                     free_pages,
                 }) => {
+                    shared.emit(
+                        None,
+                        EventKind::PoolExhausted {
+                            requested_pages: requested_pages as u64,
+                            free_pages: free_pages as u64,
+                        },
+                    );
                     if ready.len() == 1 {
                         // Parking the only ready stream cannot help: its own
                         // resume would need at least the pages it holds now.
@@ -852,6 +973,7 @@ impl<'m> DecodeGroup<'m> {
                     // victim and retry with one fewer stream.
                     let victim = self.preemption_victim(&ready);
                     self.streams[victim].park();
+                    shared.emit(Some(self.streams[victim].corr), EventKind::Preempt);
                     self.stats.preemptions += 1;
                     self.stats.leaves += 1;
                 }

@@ -1,11 +1,7 @@
 //! Per-batch serving telemetry: occupancy, queue wait, execution cost.
 
-use std::sync::{Mutex, MutexGuard, PoisonError};
-
-/// How many of the most recent per-request queue waits the percentile window
-/// keeps. Bounded so a long-running engine neither grows without limit nor slows
-/// down `stats()` over time; the mean stays exact over the whole lifetime.
-const QUEUE_WAIT_WINDOW: usize = 4096;
+use haan_obs::Histogram;
+use std::sync::{Mutex, MutexGuard};
 
 /// Aggregated serving statistics, snapshotted by
 /// [`ServeEngine::stats`](crate::ServeEngine::stats).
@@ -19,14 +15,17 @@ pub struct ServingStats {
     pub batches: u64,
     /// Elements (rows × cols) normalized.
     pub elements: u64,
-    /// Total time spent inside the batched engine, nanoseconds.
-    pub exec_ns: u128,
+    /// Total time spent inside the batched engine, nanoseconds (saturating —
+    /// a multi-day run degrades the mean rather than wrapping it).
+    pub exec_ns: u64,
     /// Mean queue wait across *all* requests served so far, microseconds.
     pub mean_queue_wait_us: f64,
-    /// Median queue wait over the most recent requests (a bounded window of the
-    /// last few thousand), microseconds.
+    /// Median queue wait over the engine's whole lifetime, microseconds.
+    /// Estimated from a fixed-bucket log-scale histogram, so it is within
+    /// 1/8 relative error of the exact order statistic.
     pub p50_queue_wait_us: u64,
-    /// 99th-percentile queue wait over the same recent window, microseconds.
+    /// 99th-percentile queue wait over the whole lifetime, microseconds
+    /// (same log-histogram estimate as the median).
     pub p99_queue_wait_us: u64,
 }
 
@@ -69,18 +68,21 @@ struct Inner {
     rows: u64,
     batches: u64,
     elements: u64,
-    exec_ns: u128,
+    exec_ns: u64,
     total_queue_wait_us: u128,
-    /// Ring buffer of the most recent [`QUEUE_WAIT_WINDOW`] per-request waits.
-    queue_waits_us: Vec<u64>,
-    next_wait_slot: usize,
 }
 
 /// Interior-mutable recorder shared between the worker thread (writes) and the
 /// engine handle (reads).
+///
+/// Queue waits go into a constant-memory log-scale [`Histogram`] (replacing
+/// the bounded sorted-window percentile estimate of earlier revisions): the
+/// percentiles now cover the engine's whole lifetime instead of a recency
+/// window, at ≤ 1/8 relative error, and recording is lock-free.
 #[derive(Debug, Default)]
 pub(crate) struct Recorder {
     inner: Mutex<Inner>,
+    queue_wait_us: Histogram,
 }
 
 impl Recorder {
@@ -89,7 +91,7 @@ impl Recorder {
     /// poisoned lock is recovered rather than propagated: the engine must keep
     /// serving (and reporting stats) even after a worker thread died mid-batch.
     fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        haan_obs::lock_recover(&self.inner)
     }
 
     pub(crate) fn record_batch(
@@ -97,7 +99,7 @@ impl Recorder {
         requests: u64,
         rows: u64,
         elements: u64,
-        exec_ns: u128,
+        exec_ns: u64,
         queue_waits_us: impl IntoIterator<Item = u64>,
     ) {
         let mut inner = self.lock();
@@ -105,31 +107,16 @@ impl Recorder {
         inner.rows += rows;
         inner.batches += 1;
         inner.elements += elements;
-        inner.exec_ns += exec_ns;
+        inner.exec_ns = inner.exec_ns.saturating_add(exec_ns);
         for wait in queue_waits_us {
             inner.total_queue_wait_us += u128::from(wait);
-            if inner.queue_waits_us.len() < QUEUE_WAIT_WINDOW {
-                inner.queue_waits_us.push(wait);
-            } else {
-                let slot = inner.next_wait_slot;
-                inner.queue_waits_us[slot] = wait;
-            }
-            inner.next_wait_slot = (inner.next_wait_slot + 1) % QUEUE_WAIT_WINDOW;
+            self.queue_wait_us.record(wait);
         }
     }
 
     pub(crate) fn stats(&self) -> ServingStats {
         let inner = self.lock();
-        let mut waits = inner.queue_waits_us.clone();
-        waits.sort_unstable();
-        let percentile = |p: f64| -> u64 {
-            if waits.is_empty() {
-                0
-            } else {
-                let index = ((waits.len() - 1) as f64 * p).round() as usize;
-                waits[index.min(waits.len() - 1)]
-            }
-        };
+        let waits = self.queue_wait_us.snapshot();
         let mean = if inner.requests == 0 {
             0.0
         } else {
@@ -142,8 +129,8 @@ impl Recorder {
             elements: inner.elements,
             exec_ns: inner.exec_ns,
             mean_queue_wait_us: mean,
-            p50_queue_wait_us: percentile(0.50),
-            p99_queue_wait_us: percentile(0.99),
+            p50_queue_wait_us: waits.quantile(0.50),
+            p99_queue_wait_us: waits.quantile(0.99),
         }
     }
 }
@@ -176,7 +163,10 @@ mod tests {
         assert_eq!(stats.mean_batch_occupancy_rows(), 4.0);
         assert!((stats.mean_queue_wait_us - 40.0).abs() < 1e-9);
         assert!(stats.p50_queue_wait_us <= stats.p99_queue_wait_us);
-        assert_eq!(stats.p99_queue_wait_us, 100);
+        // 100 lands in the log bucket [96, 104): the p99 estimate is the
+        // bucket midpoint clamped to the observed max, within 1/8 of exact.
+        let p99 = stats.p99_queue_wait_us as f64;
+        assert!((p99 - 100.0).abs() <= 100.0 / 8.0, "p99 {p99} too far");
         assert!((stats.ns_per_element() - 1_500.0 / 512.0).abs() < 1e-9);
     }
 
@@ -199,22 +189,26 @@ mod tests {
     }
 
     #[test]
-    fn percentile_window_is_bounded_but_the_mean_stays_exact() {
+    fn exec_ns_saturates_instead_of_wrapping() {
         let recorder = Recorder::default();
-        // Far more waits than the window holds: old entries (all zeros) must be
-        // evicted, so the window percentiles reflect only the recent plateau while
-        // the mean still accounts for the full history.
-        recorder.record_batch(
-            2 * QUEUE_WAIT_WINDOW as u64,
-            2 * QUEUE_WAIT_WINDOW as u64,
-            1,
-            1,
-            std::iter::repeat_n(0u64, QUEUE_WAIT_WINDOW),
-        );
-        recorder.record_batch(0, 0, 0, 0, std::iter::repeat_n(1_000u64, QUEUE_WAIT_WINDOW));
+        recorder.record_batch(1, 1, 1, u64::MAX, [0]);
+        recorder.record_batch(1, 1, 1, u64::MAX, [0]);
+        assert_eq!(recorder.stats().exec_ns, u64::MAX);
+    }
+
+    #[test]
+    fn lifetime_percentiles_and_mean_stay_exactish_at_scale() {
+        let recorder = Recorder::default();
+        // A bimodal lifetime: 4096 zero-waits then a 4096-long 1000 µs plateau.
+        // The histogram covers the *whole* history (no window eviction), so the
+        // median sits on the zero mode exactly (zeros occupy their own unit
+        // bucket) and the p99 lands within one log bucket of the plateau.
+        recorder.record_batch(8_192, 8_192, 1, 1, std::iter::repeat_n(0u64, 4_096));
+        recorder.record_batch(0, 0, 0, 0, std::iter::repeat_n(1_000u64, 4_096));
         let stats = recorder.stats();
-        assert_eq!(stats.p50_queue_wait_us, 1_000);
-        assert_eq!(stats.p99_queue_wait_us, 1_000);
+        assert_eq!(stats.p50_queue_wait_us, 0);
+        let p99 = stats.p99_queue_wait_us as f64;
+        assert!((p99 - 1_000.0).abs() <= 1_000.0 / 8.0, "p99 {p99} too far");
         assert!((stats.mean_queue_wait_us - 500.0).abs() < 1e-9);
     }
 }

@@ -16,6 +16,7 @@
 use haan::{BackendSelection, HaanConfig};
 use haan_llm::norm::ReferenceNormalizer;
 use haan_llm::{LlmError, ModelConfig, StreamingModel, TransformerModel};
+use haan_obs::{Obs, ObsSink};
 use haan_serve::{
     AdmissionPolicy, FaultPlan, GroupStats, InjectedFaults, KvPoolPolicy, SeededFaults,
     ServeConfig, ServeEngine, ServeError, StreamStatus,
@@ -243,6 +244,10 @@ fn chunked_prefix_drill_survives_mid_chunk_exhaustion_and_sharer_preemption() {
             ..Default::default()
         },
     ));
+    // The whole drill records into one flight recorder, sized so nothing is
+    // evicted: the lifecycle assertions below reconstruct a stream's history
+    // from the recorder *alone*.
+    let obs = Obs::shared(1 << 16);
     let mut engine = ServeEngine::start(ServeConfig {
         normalizer: fused(),
         prefill_chunk_rows: 2,
@@ -251,6 +256,7 @@ fn chunked_prefix_drill_survives_mid_chunk_exhaustion_and_sharer_preemption() {
             capacity_rows: N * max * blocks,
         },
         faults: Some(Arc::clone(&faults) as Arc<dyn haan_serve::FaultInjector>),
+        obs: Some(Arc::clone(&obs) as Arc<dyn ObsSink>),
         ..Default::default()
     });
     // One whole page per block of shared prompt, paid once. The injector
@@ -358,6 +364,65 @@ fn chunked_prefix_drill_survives_mid_chunk_exhaustion_and_sharer_preemption() {
         &group.tokens(0)[base_prompt.len()..],
         solo_oracle_to_capacity(&model, &base_prompt).as_slice(),
         "the base stream must match its solo oracle"
+    );
+
+    // The observability acceptance bar: the forced victim's full lifecycle —
+    // offer → admit/queue → chunked prefill → preempt → resume → finish — is
+    // reconstructable from the flight recorder alone (event *kinds* only;
+    // timestamps are wall-clock and excluded from determinism claims).
+    assert_eq!(obs.recorder().dropped(), 0, "the ring must hold the drill");
+    let corr = group.correlation_id(victim);
+    let lifecycle: Vec<&'static str> = obs
+        .recorder()
+        .stream_events(corr)
+        .iter()
+        .map(|e| e.kind.label())
+        .collect();
+    let pos = |label: &str| {
+        lifecycle
+            .iter()
+            .position(|&l| l == label)
+            .unwrap_or_else(|| panic!("{label} missing from lifecycle {lifecycle:?}"))
+    };
+    assert_eq!(lifecycle[0], "offer", "lifecycle {lifecycle:?}");
+    assert!(
+        lifecycle[1] == "admit" || lifecycle[1] == "queue",
+        "every offer resolves immediately: {lifecycle:?}"
+    );
+    if let Some(attach) = lifecycle.iter().position(|&l| l == "prefix_attach") {
+        assert!(
+            attach < pos("chunk_drain"),
+            "shared pages attach before any chunk drains: {lifecycle:?}"
+        );
+    }
+    let preempt = pos("preempt");
+    assert!(
+        pos("chunk_drain") < preempt,
+        "the victim was parked mid-prefill, after draining a chunk: {lifecycle:?}"
+    );
+    let resume = pos("resume");
+    assert!(preempt < resume, "the park must resume: {lifecycle:?}");
+    assert!(
+        lifecycle[resume..].contains(&"chunk_drain"),
+        "the resumed stream re-prefills in chunks: {lifecycle:?}"
+    );
+    assert_eq!(
+        lifecycle.last().copied(),
+        Some("finish"),
+        "lifecycle {lifecycle:?}"
+    );
+    // Engine-wide events landed too: the injected mid-drill exhaustions and
+    // the coalesced dispatches are in the same recorder, uncorrelated.
+    let engine_labels: Vec<&'static str> = obs
+        .recorder()
+        .events()
+        .iter()
+        .filter(|e| e.stream.is_none())
+        .map(|e| e.kind.label())
+        .collect();
+    assert!(
+        engine_labels.contains(&"pool_exhausted"),
+        "{engine_labels:?}"
     );
 
     // Teardown: streams release their pages; the interned prefix keeps its
