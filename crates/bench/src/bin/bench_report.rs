@@ -17,6 +17,7 @@ use haan_bench::timing::{measure_default, Measurement};
 use haan_bench::{print_experiment_header, MarkdownTable};
 use haan_llm::norm::{NormSite, Normalizer, ReferenceNormalizer};
 use haan_llm::{Matrix, ModelConfig, ModelFamily, NormKind, StreamingModel, TransformerModel};
+use haan_router::{PlacementPolicy, Router, RouterConfig};
 use haan_serve::{KvPoolPolicy, SchedulerPolicy, ServeConfig, ServeEngine, ServingStats};
 
 const ROWS: usize = 16;
@@ -292,6 +293,203 @@ fn run_multi_stream_benchmark(
         requests_per_batch: tick_requests as f64 / tick_batches.max(1) as f64,
         paged_pool_bytes,
         dense_equivalent_bytes,
+    }
+}
+
+/// Groups of the routing fleet (4 × 16 streams vs 1 × 64 aggregate).
+const ROUTING_GROUPS: usize = 4;
+/// Total streams routed in the throughput comparison.
+const ROUTING_STREAMS: usize = 64;
+/// Timed fleet ticks (after the untimed prefill tick).
+const ROUTING_TICKS: usize = 12;
+/// Prompt length of the throughput streams.
+const ROUTING_PROMPT: usize = 4;
+/// Shared-prefix workload of the placement comparison: cohorts × members.
+const ROUTING_COHORTS: usize = 8;
+const ROUTING_COHORT_MEMBERS: usize = 8;
+/// Tokens of each cohort's shared prefix (two 16-row pages).
+const ROUTING_SHARED_PREFIX: usize = 32;
+/// Streams of the chaos-drain drill.
+const ROUTING_CHAOS_STREAMS: usize = 16;
+
+struct RoutingPoint {
+    /// Aggregate tok/s of 4 groups × 16 streams ticked concurrently.
+    multi_group_tokens_per_s: f64,
+    /// Aggregate tok/s of 1 group × 64 streams (the single-tenant baseline).
+    single_group_tokens_per_s: f64,
+    /// Prefix-attach rate of affinity placement on the cohort workload.
+    affinity_hit_rate: f64,
+    /// The same workload under least-loaded placement (cohorts scatter).
+    least_loaded_hit_rate: f64,
+    /// Streams drained off the fault-injected group in the chaos drill.
+    chaos_drained_streams: usize,
+    /// Rows re-prefilled by the drained streams' resumes at healthy groups —
+    /// the whole-fleet cost of the migrations.
+    migration_reprefill_rows: u64,
+}
+
+/// The per-group engine config of the routing benchmarks, mirroring the
+/// multi-stream benchmark's scheduler and pool shape.
+fn routing_serve_config(model: &TransformerModel, streams_per_group: usize) -> ServeConfig {
+    let config = model.config();
+    let rows_per_stream_block = ROUTING_PROMPT + ROUTING_TICKS + 1;
+    ServeConfig {
+        normalizer: HaanConfig {
+            backend: BackendSelection::Fused,
+            ..HaanConfig::unoptimized()
+        },
+        scheduler: SchedulerPolicy {
+            max_batch_rows: streams_per_group,
+            max_wait_us: 200,
+            ..Default::default()
+        },
+        kv_pool: KvPoolPolicy {
+            page_rows: 16,
+            capacity_rows: 2 * streams_per_group * config.num_blocks * rows_per_stream_block,
+        },
+        ..Default::default()
+    }
+}
+
+/// Aggregate tok/s of `ROUTING_STREAMS` streams spread over `groups` groups,
+/// every group ticking on its own thread — the sharding payoff the router
+/// exists to unlock (one group serializes all streams behind one engine
+/// worker; N groups are N independent workers).
+fn run_routing_throughput(model: &TransformerModel, groups: usize) -> f64 {
+    let vocab = model.config().vocab_size as u32;
+    let mut router = Router::with_uniform_groups(
+        model,
+        groups,
+        &routing_serve_config(model, ROUTING_STREAMS / groups),
+        RouterConfig {
+            placement: PlacementPolicy::LeastLoaded,
+            auto_prefix_min_count: 0,
+            ..RouterConfig::default()
+        },
+    )
+    .expect("routing fleet starts");
+    for s in 0..ROUTING_STREAMS {
+        let prompt: Vec<u32> = (0..ROUTING_PROMPT as u32)
+            .map(|i| (s as u32 * 13 + i * 5) % vocab)
+            .collect();
+        router.place(&prompt).expect("placement");
+    }
+    // Untimed prefill tick, then timed concurrent lockstep ticks.
+    router.step_all_concurrent().expect("prefill tick");
+    let started = std::time::Instant::now();
+    for _ in 0..ROUTING_TICKS {
+        router.step_all_concurrent().expect("fleet tick");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    (ROUTING_STREAMS * ROUTING_TICKS) as f64 / elapsed
+}
+
+/// Prefix-attach hit rate of the cohort workload under `placement`: 8 cohorts
+/// share a 32-token prefix each; affinity keeps every cohort on the group
+/// holding its interned pages, least-loaded scatters them across pools.
+fn run_routing_placement(model: &TransformerModel, placement: PlacementPolicy) -> f64 {
+    let mut router = Router::with_uniform_groups(
+        model,
+        ROUTING_GROUPS,
+        &routing_serve_config(model, ROUTING_STREAMS / ROUTING_GROUPS),
+        RouterConfig {
+            placement,
+            ..RouterConfig::default()
+        },
+    )
+    .expect("routing fleet starts");
+    let vocab = model.config().vocab_size as u32;
+    for cohort in 0..ROUTING_COHORTS {
+        let shared: Vec<u32> = (0..ROUTING_SHARED_PREFIX as u32)
+            .map(|i| (cohort as u32 * 31 + i * 7) % vocab)
+            .collect();
+        for member in 0..ROUTING_COHORT_MEMBERS {
+            let mut prompt = shared.clone();
+            prompt.extend((0..4u32).map(|i| (member as u32 * 11 + i) % vocab));
+            router.place(&prompt).expect("placement");
+        }
+    }
+    router.stats().prefix_hit_rate()
+}
+
+/// The chaos drill: one group's pool is fault-injected dry mid-decode, its
+/// streams drain to the healthy groups, and every drained stream must stay
+/// bit-identical to its solo full-recompute oracle.
+fn run_routing_chaos(model: &TransformerModel) -> (usize, u64) {
+    let vocab = model.config().vocab_size as u32;
+    let mut router = Router::with_uniform_groups(
+        model,
+        ROUTING_GROUPS,
+        &routing_serve_config(model, ROUTING_CHAOS_STREAMS / ROUTING_GROUPS),
+        RouterConfig {
+            placement: PlacementPolicy::LeastLoaded,
+            auto_prefix_min_count: 0,
+            ..RouterConfig::default()
+        },
+    )
+    .expect("routing fleet starts");
+    let prompts: Vec<Vec<u32>> = (0..ROUTING_CHAOS_STREAMS)
+        .map(|s| {
+            // Three tokens against 16-row pages: the first tick has page
+            // slack, later growth needs fresh pages from the faulted pool.
+            (0..3u32).map(|i| (s as u32 * 17 + i * 3) % vocab).collect()
+        })
+        .collect();
+    let ids: Vec<_> = prompts
+        .iter()
+        .map(|p| router.place(p).expect("placement"))
+        .collect();
+    router.decode(1).expect("healthy tick");
+    let victim = router.location(ids[0]).0;
+    router
+        .engine(victim)
+        .kv_pool(model.config().embedding_dim)
+        .set_alloc_fault(Some(std::sync::Arc::new(|_, _| true)));
+    // Page slack means a few ticks pass before the victim group actually
+    // needs an allocation; tick until it reports dry.
+    let mut exhausted = false;
+    for _ in 0..20 {
+        if router
+            .step_all()
+            .expect("fleet survives a dry group")
+            .exhausted_groups
+            .contains(&victim)
+        {
+            exhausted = true;
+            break;
+        }
+    }
+    assert!(exhausted, "the fault-injected group never ran dry");
+    let drained = router.drain_group(victim).expect("drain");
+    router.decode(4).expect("post-drain decode");
+    for (id, prompt) in ids.iter().zip(&prompts) {
+        let generated = router.generated(*id).to_vec();
+        let mut oracle = StreamingModel::new_full_recompute(model, prompt).expect("oracle");
+        let expected = oracle
+            .decode(generated.len(), &mut ReferenceNormalizer::new())
+            .expect("oracle decode");
+        assert_eq!(
+            generated, expected,
+            "a drained stream diverged from its solo oracle"
+        );
+    }
+    (drained, router.fleet_stats().totals.resume_reprefill_rows)
+}
+
+/// Runs all three routing benchmarks.
+fn run_routing_benchmark(model: &TransformerModel) -> RoutingPoint {
+    let multi = run_routing_throughput(model, ROUTING_GROUPS);
+    let single = run_routing_throughput(model, 1);
+    let affinity = run_routing_placement(model, PlacementPolicy::PrefixAffinity);
+    let least = run_routing_placement(model, PlacementPolicy::LeastLoaded);
+    let (chaos_drained_streams, migration_reprefill_rows) = run_routing_chaos(model);
+    RoutingPoint {
+        multi_group_tokens_per_s: multi,
+        single_group_tokens_per_s: single,
+        affinity_hit_rate: affinity,
+        least_loaded_hit_rate: least,
+        chaos_drained_streams,
+        migration_reprefill_rows,
     }
 }
 
@@ -1043,6 +1241,40 @@ fn main() {
     ]);
     println!("{}", obs_table.render());
 
+    // Routing tier: does sharding 64 streams over 4 concurrently-ticked
+    // groups hold aggregate throughput, does prefix-affinity placement beat
+    // least-loaded on shared-prefix traffic, and does a chaos drain off a
+    // dry group stay bit-identical (asserted inside the drill).
+    let routing = run_routing_benchmark(&decode_model);
+    let mut routing_table = MarkdownTable::new(vec!["routing metric", "value"]);
+    routing_table.push_row(vec![
+        format!(
+            "tok/s, {ROUTING_GROUPS} groups x {} streams (concurrent)",
+            ROUTING_STREAMS / ROUTING_GROUPS
+        ),
+        format!("{:.0}", routing.multi_group_tokens_per_s),
+    ]);
+    routing_table.push_row(vec![
+        format!("tok/s, 1 group x {ROUTING_STREAMS} streams"),
+        format!("{:.0}", routing.single_group_tokens_per_s),
+    ]);
+    routing_table.push_row(vec![
+        "prefix hit rate, affinity / least-loaded".to_string(),
+        format!(
+            "{:.2} / {:.2}",
+            routing.affinity_hit_rate, routing.least_loaded_hit_rate
+        ),
+    ]);
+    routing_table.push_row(vec![
+        "chaos drill: streams drained off the dry group".to_string(),
+        format!("{}", routing.chaos_drained_streams),
+    ]);
+    routing_table.push_row(vec![
+        "chaos drill: migration re-prefill rows".to_string(),
+        format!("{}", routing.migration_reprefill_rows),
+    ]);
+    println!("{}", routing_table.render());
+
     // Matmul GFLOP/s of the cache-blocked kernels on a square problem.
     let n = 256;
     let a = Matrix::from_vec(n, n, (0..n * n).map(|i| (i as f32).sin()).collect()).unwrap();
@@ -1341,6 +1573,38 @@ fn main() {
             ]),
         ),
         (
+            "routing",
+            JsonValue::object([
+                ("groups", JsonValue::from(ROUTING_GROUPS)),
+                ("streams", JsonValue::from(ROUTING_STREAMS)),
+                ("ticks", JsonValue::from(ROUTING_TICKS)),
+                (
+                    "multi_group_tokens_per_s",
+                    JsonValue::from(routing.multi_group_tokens_per_s),
+                ),
+                (
+                    "single_group_tokens_per_s",
+                    JsonValue::from(routing.single_group_tokens_per_s),
+                ),
+                (
+                    "affinity_hit_rate",
+                    JsonValue::from(routing.affinity_hit_rate),
+                ),
+                (
+                    "least_loaded_hit_rate",
+                    JsonValue::from(routing.least_loaded_hit_rate),
+                ),
+                (
+                    "chaos_drained_streams",
+                    JsonValue::from(routing.chaos_drained_streams),
+                ),
+                (
+                    "migration_reprefill_rows",
+                    JsonValue::from(routing.migration_reprefill_rows),
+                ),
+            ]),
+        ),
+        (
             "matmul",
             JsonValue::object([
                 ("blocked_gflops", JsonValue::from(gflops(&matmul))),
@@ -1412,5 +1676,23 @@ fn main() {
         observability.disabled_overhead_pct < 1.0,
         "a disabled obs sink should cost < 1% of a decode token, got {:.4}%",
         observability.disabled_overhead_pct
+    );
+    assert!(
+        routing.multi_group_tokens_per_s >= 0.9 * routing.single_group_tokens_per_s,
+        "sharding over {ROUTING_GROUPS} groups dropped aggregate throughput \
+         more than 10% ({:.0} vs {:.0} tok/s)",
+        routing.multi_group_tokens_per_s,
+        routing.single_group_tokens_per_s
+    );
+    assert!(
+        routing.affinity_hit_rate > routing.least_loaded_hit_rate,
+        "prefix-affinity placement ({:.2}) should beat least-loaded ({:.2}) \
+         on a shared-prefix workload",
+        routing.affinity_hit_rate,
+        routing.least_loaded_hit_rate
+    );
+    assert!(
+        routing.chaos_drained_streams > 0,
+        "the chaos drill drained no streams off the dry group"
     );
 }

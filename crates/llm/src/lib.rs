@@ -29,6 +29,10 @@
 //!   pages, per-stream page tables ([`paging::PagedKvCache`]), the
 //!   [`KvStore`] storage dispatch, and the [`EvictionPolicy`] of streams that
 //!   outlive `max_seq_len`.
+//! * [`prefix`] — the bounded LRU [`PrefixStore`] of interned, refcounted
+//!   [`KvPrefix`] handles (content-addressed by [`prefix_fingerprint`]):
+//!   refcount-0 entries past capacity are evicted and their pages returned to
+//!   the pool, with typed hit/miss/eviction stats.
 //! * [`streaming`] — [`StreamingModel`], a greedy decode stream that pushes every
 //!   normalization site of each step through any [`Normalizer`] — including a
 //!   serving-layer session sharing one batched engine across many streams. Streams
@@ -53,6 +57,7 @@ pub mod model;
 pub mod norm;
 pub mod paging;
 pub mod perplexity;
+pub mod prefix;
 pub mod runtime;
 pub mod streaming;
 pub mod synthetic;
@@ -65,5 +70,6 @@ pub use error::LlmError;
 pub use model::{DecodeContext, KvPrefix, TransformerModel};
 pub use norm::{LayerNorm, Normalizer, RmsNorm};
 pub use paging::{AllocFaultHook, EvictionPolicy, KvBlockPool, KvStore, PagedKvCache};
+pub use prefix::{prefix_fingerprint, PrefixStore, PrefixStoreStats};
 pub use streaming::StreamingModel;
 pub use tensor::Matrix;

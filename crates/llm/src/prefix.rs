@@ -1,0 +1,390 @@
+//! The bounded, content-addressed store of interned K/V prefixes.
+//!
+//! The serving engine's `intern_prefix` originally kept every interned
+//! [`KvPrefix`] in a grow-only table, pinning the shared pages until engine
+//! shutdown — fine for a fixed set of system prompts, wrong for an open-ended
+//! population of them. [`PrefixStore`] replaces that table with a bounded LRU:
+//! entries past `capacity` are evicted **only while no stream holds them**
+//! (refcount 0 — the store owns the only `Arc`), their pages return to the
+//! pool immediately via [`KvPrefix`]'s `Drop`, and every hit / miss / intern /
+//! eviction / explicit release is counted in typed [`PrefixStoreStats`].
+//!
+//! Lookup is content-addressed: entries are bucketed by
+//! [`prefix_fingerprint`] and verified by full token comparison, so hash
+//! collisions cost a comparison, never a wrong prefix.
+
+use crate::model::KvPrefix;
+use crate::paging::KvBlockPool;
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a over a model seed and prompt tokens: the content address of an
+/// interned prefix (and of the router's prefix-affinity index — both sides
+/// must hash identically for affinity routing to find the interning group).
+#[must_use]
+pub fn prefix_fingerprint(model_seed: u64, tokens: &[u32]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |value: u64| {
+        hash ^= value;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(model_seed);
+    mix(tokens.len() as u64);
+    for &token in tokens {
+        mix(u64::from(token));
+    }
+    hash
+}
+
+/// Monotone counters of one [`PrefixStore`], snapshotted by
+/// [`PrefixStore::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixStoreStats {
+    /// Lookups that found their prefix resident.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller then materializes and inserts).
+    pub misses: u64,
+    /// Prefixes inserted (insert races that lost to an equal entry excluded).
+    pub interned: u64,
+    /// Refcount-0 entries evicted by the LRU bound; their pages returned to
+    /// the pool at eviction time.
+    pub evictions: u64,
+    /// Entries removed by [`PrefixStore::release`].
+    pub released: u64,
+}
+
+#[derive(Debug)]
+struct StoreEntry {
+    fingerprint: u64,
+    prefix: Arc<KvPrefix>,
+    /// Logical LRU clock value of the last lookup hit (or the insert).
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    entries: Vec<StoreEntry>,
+    clock: u64,
+    stats: PrefixStoreStats,
+}
+
+impl StoreInner {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn position_of(
+        &self,
+        fingerprint: u64,
+        model_seed: u64,
+        pool: &Arc<KvBlockPool>,
+        tokens: &[u32],
+    ) -> Option<usize> {
+        self.entries.iter().position(|entry| {
+            entry.fingerprint == fingerprint
+                && entry.prefix.model_seed() == model_seed
+                && Arc::ptr_eq(entry.prefix.pool(), pool)
+                && entry.prefix.tokens() == tokens
+        })
+    }
+}
+
+/// A bounded LRU table of interned [`KvPrefix`]es (see the [module
+/// docs](self)). `capacity == 0` means unbounded — the pre-LRU pin-forever
+/// behavior, kept for fixed system-prompt sets.
+///
+/// Eviction only considers entries whose `Arc` strong count is 1: the store
+/// holds the sole reference, so no live stream maps the pages and dropping
+/// the entry returns them to the pool at once. Entries still referenced by
+/// streams (or by a router's affinity index) are skipped, which can leave the
+/// store temporarily over capacity; the next insert retries.
+///
+/// ```
+/// use haan_llm::prefix::PrefixStore;
+///
+/// let store = PrefixStore::new(8);
+/// assert_eq!(store.capacity(), 8);
+/// assert!(store.is_empty());
+/// assert_eq!(store.stats().hits, 0);
+/// ```
+#[derive(Debug)]
+pub struct PrefixStore {
+    capacity: usize,
+    inner: Mutex<StoreInner>,
+}
+
+impl PrefixStore {
+    /// Creates a store evicting past `capacity` resident prefixes (0 = never).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(StoreInner::default()),
+        }
+    }
+
+    /// The eviction bound (0 = unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Prefixes currently resident.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        haan_obs::lock_recover(&self.inner).entries.len()
+    }
+
+    /// Whether no prefix is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot (hits / misses / interned / evictions / released).
+    #[must_use]
+    pub fn stats(&self) -> PrefixStoreStats {
+        haan_obs::lock_recover(&self.inner).stats
+    }
+
+    /// Looks up the resident prefix covering exactly `tokens` for the model
+    /// with `model_seed` in `pool`. A hit refreshes the entry's LRU position;
+    /// both outcomes are counted.
+    #[must_use]
+    pub fn lookup(
+        &self,
+        model_seed: u64,
+        pool: &Arc<KvBlockPool>,
+        tokens: &[u32],
+    ) -> Option<Arc<KvPrefix>> {
+        let fingerprint = prefix_fingerprint(model_seed, tokens);
+        let mut inner = haan_obs::lock_recover(&self.inner);
+        match inner.position_of(fingerprint, model_seed, pool, tokens) {
+            Some(index) => {
+                let now = inner.tick();
+                let entry = &mut inner.entries[index];
+                entry.last_used = now;
+                inner.stats.hits += 1;
+                Some(Arc::clone(&inner.entries[index].prefix))
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly materialized prefix, returning the canonical handle
+    /// plus the entries the LRU bound evicted to make room.
+    ///
+    /// If a content-equal entry raced in since the caller's miss, the existing
+    /// handle is returned (the caller's duplicate drops with it, releasing its
+    /// pages) and nothing is evicted or counted as interned. Evicted prefixes
+    /// are already detached from the store when returned — the caller may
+    /// inspect them (e.g. to emit `prefix_evict` events) and drops them to
+    /// return their pages to the pool. The entry being inserted is never its
+    /// own eviction victim (the caller's handle keeps its refcount above 1).
+    #[must_use]
+    pub fn insert(&self, prefix: Arc<KvPrefix>) -> (Arc<KvPrefix>, Vec<Arc<KvPrefix>>) {
+        let fingerprint = prefix_fingerprint(prefix.model_seed(), prefix.tokens());
+        let mut inner = haan_obs::lock_recover(&self.inner);
+        if let Some(index) = inner.position_of(
+            fingerprint,
+            prefix.model_seed(),
+            &Arc::clone(prefix.pool()),
+            prefix.tokens(),
+        ) {
+            return (Arc::clone(&inner.entries[index].prefix), Vec::new());
+        }
+        let last_used = inner.tick();
+        let canonical = Arc::clone(&prefix);
+        inner.entries.push(StoreEntry {
+            fingerprint,
+            prefix,
+            last_used,
+        });
+        inner.stats.interned += 1;
+        let mut evicted = Vec::new();
+        if self.capacity > 0 {
+            while inner.entries.len() > self.capacity {
+                // Oldest refcount-0 entry first. Holding the store lock makes
+                // the strong-count check sound: the store owns the only path
+                // to this Arc, so a count of 1 cannot grow concurrently.
+                let victim = inner
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| Arc::strong_count(&e.prefix) == 1)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(i, _)| i);
+                match victim {
+                    Some(index) => {
+                        let entry = inner.entries.swap_remove(index);
+                        inner.stats.evictions += 1;
+                        evicted.push(entry.prefix);
+                    }
+                    // Every over-capacity entry is still mapped by a stream:
+                    // nothing is safely evictable right now.
+                    None => break,
+                }
+            }
+        }
+        // `canonical` keeps the inserted entry's strong count above 1 through
+        // the eviction scan above, so it can never be its own victim.
+        (canonical, evicted)
+    }
+
+    /// Removes the entry covering exactly `tokens`, returning whether one was
+    /// resident. Pages return to the pool once the last stream mapping them
+    /// drops (immediately, when the store held the only reference).
+    pub fn release(&self, model_seed: u64, pool: &Arc<KvBlockPool>, tokens: &[u32]) -> bool {
+        let fingerprint = prefix_fingerprint(model_seed, tokens);
+        let mut inner = haan_obs::lock_recover(&self.inner);
+        match inner.position_of(fingerprint, model_seed, pool, tokens) {
+            Some(index) => {
+                let entry = inner.entries.swap_remove(index);
+                inner.stats.released += 1;
+                drop(inner);
+                // Dropped outside the lock: the prefix Drop talks to the pool.
+                drop(entry);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::TransformerModel;
+    use crate::norm::ReferenceNormalizer;
+
+    fn intern(model: &TransformerModel, pool: &Arc<KvBlockPool>, tokens: &[u32]) -> Arc<KvPrefix> {
+        let mut context = model.start_decode_in(pool).unwrap();
+        context
+            .prefill_last(tokens, &mut ReferenceNormalizer::new())
+            .unwrap();
+        Arc::new(context.export_prefix().unwrap())
+    }
+
+    fn pool_for(model: &TransformerModel) -> Arc<KvBlockPool> {
+        KvBlockPool::shared(4096, 4, model.config().embedding_dim)
+    }
+
+    #[test]
+    fn fingerprints_separate_seed_and_content() {
+        let a = prefix_fingerprint(1, &[1, 2, 3, 4]);
+        assert_eq!(a, prefix_fingerprint(1, &[1, 2, 3, 4]));
+        assert_ne!(a, prefix_fingerprint(2, &[1, 2, 3, 4]));
+        assert_ne!(a, prefix_fingerprint(1, &[1, 2, 3, 5]));
+        assert_ne!(a, prefix_fingerprint(1, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn lookup_miss_then_insert_then_hit() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 7).unwrap();
+        let pool = pool_for(&model);
+        let store = PrefixStore::new(4);
+        let tokens = [1u32, 2, 3, 4];
+        assert!(store.lookup(model.seed(), &pool, &tokens).is_none());
+        let (canonical, evicted) = store.insert(intern(&model, &pool, &tokens));
+        assert!(evicted.is_empty());
+        let hit = store.lookup(model.seed(), &pool, &tokens).unwrap();
+        assert!(Arc::ptr_eq(&canonical, &hit));
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.interned), (1, 1, 1));
+    }
+
+    #[test]
+    fn insert_race_returns_the_existing_entry() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 7).unwrap();
+        let pool = pool_for(&model);
+        let store = PrefixStore::new(4);
+        let tokens = [5u32, 6, 7, 0];
+        let (first, _) = store.insert(intern(&model, &pool, &tokens));
+        let duplicate = intern(&model, &pool, &tokens);
+        let (second, evicted) = store.insert(duplicate);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert!(evicted.is_empty());
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().interned, 1, "the losing duplicate is free");
+    }
+
+    #[test]
+    fn lru_evicts_only_refcount_zero_entries_and_frees_pages() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 7).unwrap();
+        let pool = pool_for(&model);
+        let store = PrefixStore::new(2);
+        let prompts: [[u32; 4]; 3] = [[1, 1, 1, 1], [2, 2, 2, 2], [3, 3, 3, 3]];
+        // Keep an outside reference to the first prefix: it must survive.
+        let (pinned, _) = store.insert(intern(&model, &pool, &prompts[0]));
+        let (_, none) = store.insert(intern(&model, &pool, &prompts[1]));
+        assert!(none.is_empty(), "within capacity, nothing evicts");
+        let third = intern(&model, &pool, &prompts[2]);
+        let pages_with_three = pool.pages_in_use();
+        let (_, evicted) = store.insert(third);
+        // Entry 0 is pinned (refcount 2), so the LRU victim is entry 1.
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].tokens(), &prompts[1]);
+        drop(evicted);
+        assert!(
+            pool.pages_in_use() < pages_with_three,
+            "eviction must return the victim's pages to the pool"
+        );
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.lookup(model.seed(), &pool, &prompts[0]).is_some());
+        assert!(store.lookup(model.seed(), &pool, &prompts[1]).is_none());
+        assert!(store.lookup(model.seed(), &pool, &prompts[2]).is_some());
+        drop(pinned);
+    }
+
+    #[test]
+    fn fully_pinned_stores_go_over_capacity_instead_of_evicting() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 7).unwrap();
+        let pool = pool_for(&model);
+        let store = PrefixStore::new(1);
+        let (a, _) = store.insert(intern(&model, &pool, &[1, 1, 1, 1]));
+        let (b, evicted) = store.insert(intern(&model, &pool, &[2, 2, 2, 2]));
+        assert!(evicted.is_empty(), "both entries are externally pinned");
+        assert_eq!(store.len(), 2);
+        drop(a);
+        let (_, evicted) = store.insert(intern(&model, &pool, &[3, 3, 3, 3]));
+        // With `a` released it evicts; `b` stays pinned, and the entry being
+        // inserted is protected by the canonical handle the call returns.
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].tokens(), &[1, 1, 1, 1]);
+        assert_eq!(store.len(), 2);
+        drop(b);
+    }
+
+    #[test]
+    fn release_removes_and_counts() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 7).unwrap();
+        let pool = pool_for(&model);
+        let store = PrefixStore::new(0);
+        let tokens = [4u32, 3, 2, 1];
+        let (_, _) = store.insert(intern(&model, &pool, &tokens));
+        let pages_before = pool.pages_in_use();
+        assert!(store.release(model.seed(), &pool, &tokens));
+        assert!(!store.release(model.seed(), &pool, &tokens));
+        assert!(pool.pages_in_use() < pages_before);
+        assert_eq!(store.stats().released, 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_never_evicts() {
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 7).unwrap();
+        let pool = pool_for(&model);
+        let store = PrefixStore::new(0);
+        for t in 0..5u32 {
+            let (_, evicted) = store.insert(intern(&model, &pool, &[t, t, t, t]));
+            assert!(evicted.is_empty());
+        }
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.stats().evictions, 0);
+    }
+}

@@ -86,6 +86,25 @@ pub enum EventKind {
     },
     /// The stream was cancelled by its client.
     Cancel,
+    /// A router placed the stream on a decode group.
+    Place {
+        /// Index of the chosen group in the router's fleet.
+        group: u64,
+    },
+    /// A router migrated the stream between decode groups (parked on the
+    /// source, adopted — and transparently re-prefilled — by the destination).
+    Migrate {
+        /// Index of the group the stream left.
+        from_group: u64,
+        /// Index of the group that adopted it.
+        to_group: u64,
+    },
+    /// A refcount-0 interned prefix was evicted from the bounded prefix
+    /// store; its pages returned to the pool.
+    PrefixEvict {
+        /// Cached positions the evicted prefix covered.
+        rows: u64,
+    },
 }
 
 impl EventKind {
@@ -107,6 +126,9 @@ impl EventKind {
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::Finish { .. } => "finish",
             EventKind::Cancel => "cancel",
+            EventKind::Place { .. } => "place",
+            EventKind::Migrate { .. } => "migrate",
+            EventKind::PrefixEvict { .. } => "prefix_evict",
         }
     }
 }
@@ -154,6 +176,12 @@ impl fmt::Display for ObsEvent {
             }
             EventKind::FaultInjected { kind } => write!(f, "fault_injected ({kind:?})"),
             EventKind::Finish { generated } => write!(f, "finish ({generated} tokens)"),
+            EventKind::Place { group } => write!(f, "place (group {group})"),
+            EventKind::Migrate {
+                from_group,
+                to_group,
+            } => write!(f, "migrate (group {from_group} -> {to_group})"),
+            EventKind::PrefixEvict { rows } => write!(f, "prefix_evict ({rows} rows)"),
             _ => write!(f, "{}", self.kind.label()),
         }
     }
@@ -363,6 +391,15 @@ mod tests {
             ),
             (EventKind::Finish { generated: 0 }, "finish"),
             (EventKind::Cancel, "cancel"),
+            (EventKind::Place { group: 2 }, "place"),
+            (
+                EventKind::Migrate {
+                    from_group: 0,
+                    to_group: 3,
+                },
+                "migrate",
+            ),
+            (EventKind::PrefixEvict { rows: 16 }, "prefix_evict"),
         ];
         for (kind, label) in kinds {
             assert_eq!(kind.label(), label);

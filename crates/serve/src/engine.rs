@@ -65,6 +65,13 @@ pub struct ServeConfig {
     /// activation prefills). See
     /// [`DecodeGroup::set_prefill_chunk_rows`](crate::DecodeGroup::set_prefill_chunk_rows).
     pub prefill_chunk_rows: usize,
+    /// Bound of the engine's interned-prefix LRU store
+    /// ([`ServeEngine::intern_prefix`]): interning past this many resident
+    /// prefixes evicts the least-recently-used entries **no stream currently
+    /// maps** (refcount 0), returning their pages to the pool. 0 disables
+    /// eviction (the pre-LRU pin-until-shutdown behavior, fine for a fixed
+    /// set of system prompts). See [`PrefixStoreStats`](haan_llm::PrefixStoreStats).
+    pub prefix_store_capacity: usize,
     /// Bounded-retry policy of the worker's batch dispatch (see [`RetryPolicy`]).
     pub retry: RetryPolicy,
     /// Optional deterministic fault injector, threaded through pool allocation
@@ -90,6 +97,7 @@ impl Default for ServeConfig {
             kv_pool: KvPoolPolicy::default(),
             admission: AdmissionPolicy::default(),
             prefill_chunk_rows: 0,
+            prefix_store_capacity: 64,
             retry: RetryPolicy::default(),
             faults: None,
             obs: None,
@@ -260,22 +268,6 @@ impl Shared {
     }
 }
 
-/// FNV-1a over a model seed and prompt tokens, used only to bucket the
-/// engine's prefix intern table (see [`ServeEngine::intern_prefix`]).
-fn prefix_fingerprint(model_seed: u64, tokens: &[u32]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |value: u64| {
-        hash ^= value;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    mix(model_seed);
-    mix(tokens.len() as u64);
-    for &token in tokens {
-        mix(u64::from(token));
-    }
-    hash
-}
-
 pub(crate) fn submit_via(
     shared: &Shared,
     tx: &SyncSender<WorkItem>,
@@ -342,10 +334,11 @@ pub struct ServeEngine {
     admission: Arc<AdmissionController>,
     /// Per-tick prompt-chunk bound handed to every decode group.
     prefill_chunk_rows: usize,
-    /// Content-addressed interned K/V prefixes, bucketed by fingerprint. The
-    /// table holds one reference per prefix, so shared pages stay materialized
-    /// for the engine's lifetime even while no stream maps them.
-    prefixes: Mutex<HashMap<u64, Vec<Arc<haan_llm::KvPrefix>>>>,
+    /// Content-addressed interned K/V prefixes: a bounded LRU — entries past
+    /// [`ServeConfig::prefix_store_capacity`] are evicted once no stream maps
+    /// them, returning their pages to the pool (see
+    /// [`PrefixStore`](haan_llm::PrefixStore)).
+    prefixes: haan_llm::PrefixStore,
     /// Fault injector installed into every pool this engine creates.
     faults: Option<Arc<dyn FaultInjector>>,
 }
@@ -379,6 +372,7 @@ impl ServeEngine {
         let admission =
             Arc::new(AdmissionController::new(config.admission).with_obs_sink(config.obs.clone()));
         let prefill_chunk_rows = config.prefill_chunk_rows;
+        let prefix_store_capacity = config.prefix_store_capacity;
         let faults = config.faults.clone();
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -407,7 +401,7 @@ impl ServeEngine {
             kv_pool_policy,
             admission,
             prefill_chunk_rows,
-            prefixes: Mutex::new(HashMap::new()),
+            prefixes: haan_llm::PrefixStore::new(prefix_store_capacity),
             faults,
         }
     }
@@ -567,11 +561,50 @@ impl ServeEngine {
         model: &'m haan_llm::TransformerModel,
         prompts: &[&[u32]],
     ) -> Result<crate::DecodeGroup<'m>, ServeError> {
+        if prompts.is_empty() {
+            return Err(ServeError::InvalidRequest(
+                "a decode group needs at least one prompt".to_string(),
+            ));
+        }
         let pool = self.kv_pool(model.config().embedding_dim);
         let mut group =
             crate::DecodeGroup::new(self.session(), &pool, model, prompts, self.admission())?;
         group.set_prefill_chunk_rows(self.prefill_chunk_rows);
         Ok(group)
+    }
+
+    /// Starts a decode group with **no streams**: the routing-tier entry
+    /// point. A router owns one empty group per engine and feeds it entirely
+    /// through [`DecodeGroup::add_stream`](crate::DecodeGroup::add_stream) /
+    /// [`DecodeGroup::adopt_stream`](crate::DecodeGroup::adopt_stream), so
+    /// membership is decided per stream at placement time instead of at
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] when the engine's pool width
+    /// does not match the model.
+    pub fn empty_decode_group<'m>(
+        &self,
+        model: &'m haan_llm::TransformerModel,
+    ) -> Result<crate::DecodeGroup<'m>, ServeError> {
+        let pool = self.kv_pool(model.config().embedding_dim);
+        let mut group =
+            crate::DecodeGroup::new(self.session(), &pool, model, &[], self.admission())?;
+        group.set_prefill_chunk_rows(self.prefill_chunk_rows);
+        Ok(group)
+    }
+
+    /// Re-bases the engine's correlation-ID allocator: the next stream draws
+    /// `base + 1`, then `base + 2`, and so on. A router gives each member
+    /// engine a disjoint base (e.g. `group_index << 32`) so one shared
+    /// [`ObsSink`] sees fleet-unique stream IDs — and a migrated stream,
+    /// which keeps its ID across groups, still reads as one lifecycle.
+    ///
+    /// Call before the engine starts streams; re-basing later can re-issue
+    /// IDs already in use.
+    pub fn set_correlation_base(&self, base: u64) {
+        self.shared.next_corr.store(base, Ordering::SeqCst);
     }
 
     /// Interns the whole-page prefix of `tokens` for `model`, returning the
@@ -584,8 +617,14 @@ impl ServeEngine {
     /// — maps those same refcounted pages instead of recomputing them. Only
     /// `⌊len / page_rows⌋ × page_rows` leading tokens are shared (whole pages
     /// only, so sharers never write a shared page); feed the remainder as part
-    /// of each stream's suffix. The table keeps prefixes materialized until
-    /// the engine drops.
+    /// of each stream's suffix.
+    ///
+    /// The store is a bounded LRU ([`ServeConfig::prefix_store_capacity`]):
+    /// interning past the bound evicts the least-recently-used prefixes no
+    /// stream currently maps, returning their pages to the pool (each evicted
+    /// entry emits a `prefix_evict` flight-recorder event). Explicit
+    /// reclamation is [`ServeEngine::release_prefix`]; counters are
+    /// [`ServeEngine::prefix_store_stats`].
     ///
     /// # Errors
     ///
@@ -610,31 +649,15 @@ impl ServeEngine {
         model
             .validate_tokens(shared_tokens)
             .map_err(|err| ServeError::InvalidRequest(err.to_string()))?;
-        let fingerprint = prefix_fingerprint(model.seed(), shared_tokens);
-        let find = |bucket: &[Arc<haan_llm::KvPrefix>]| {
-            bucket
-                .iter()
-                .find(|prefix| {
-                    prefix.model_seed() == model.seed()
-                        && Arc::ptr_eq(prefix.pool(), &pool)
-                        && prefix.tokens() == shared_tokens
-                })
-                .cloned()
-        };
-        {
-            // Poison recovery: like `intern_params`, the table only grows by
-            // fully constructed entries.
-            let table = haan_obs::lock_recover(&self.prefixes);
-            if let Some(existing) = table.get(&fingerprint).and_then(|b| find(b)) {
-                if let Some(obs) = self.shared.obs() {
-                    obs.counter_add("serve.prefix.hits", 1);
-                }
-                return Ok(existing);
+        if let Some(existing) = self.prefixes.lookup(model.seed(), &pool, shared_tokens) {
+            if let Some(obs) = self.shared.obs() {
+                obs.counter_add("serve.prefix.hits", 1);
             }
+            return Ok(existing);
         }
-        // Miss: materialize outside the lock (the prefill blocks on the
+        // Miss: materialize outside the store lock (the prefill blocks on the
         // worker). A racing thread may intern the same prefix meanwhile; the
-        // re-check below keeps the table canonical and drops our duplicate
+        // insert below keeps the store canonical and drops our duplicate
         // (releasing its pages).
         let mut session = self.session();
         let mut context = model
@@ -665,16 +688,56 @@ impl ServeEngine {
                 .export_prefix()
                 .map_err(|err| ServeError::InvalidRequest(err.to_string()))?,
         );
-        let mut table = haan_obs::lock_recover(&self.prefixes);
-        let bucket = table.entry(fingerprint).or_default();
-        if let Some(existing) = find(bucket) {
-            return Ok(existing);
-        }
+        let (canonical, evicted) = self.prefixes.insert(Arc::clone(&prefix));
         if let Some(obs) = self.shared.obs() {
-            obs.counter_add("serve.prefix.interned", 1);
+            // A racing thread may have interned first; only the winner counts.
+            if Arc::ptr_eq(&canonical, &prefix) {
+                obs.counter_add("serve.prefix.interned", 1);
+            }
         }
-        bucket.push(Arc::clone(&prefix));
-        Ok(prefix)
+        for victim in evicted {
+            if let Some(obs) = self.shared.obs() {
+                obs.counter_add("serve.prefix.evictions", 1);
+            }
+            self.shared.emit(
+                None,
+                EventKind::PrefixEvict {
+                    rows: victim.rows() as u64,
+                },
+            );
+        }
+        Ok(canonical)
+    }
+
+    /// Removes the interned prefix covering `tokens` (whole-page truncated,
+    /// exactly as [`ServeEngine::intern_prefix`] would intern it) from the
+    /// engine's prefix store, returning whether one was resident. Streams
+    /// already attached keep their shared pages; the pages return to the pool
+    /// once the last such stream drops (immediately, when none is attached).
+    /// This is the explicit-reclamation path for fixed-set callers; the LRU
+    /// bound ([`ServeConfig::prefix_store_capacity`]) is the automatic one.
+    pub fn release_prefix(&self, model: &haan_llm::TransformerModel, tokens: &[u32]) -> bool {
+        let pool = self.kv_pool(model.config().embedding_dim);
+        let page_rows = pool.page_rows();
+        let shared_rows = (tokens.len() / page_rows) * page_rows;
+        if shared_rows == 0 {
+            return false;
+        }
+        self.prefixes
+            .release(model.seed(), &pool, &tokens[..shared_rows])
+    }
+
+    /// Counter snapshot of the engine's interned-prefix store (hits / misses /
+    /// interned / evictions / released).
+    #[must_use]
+    pub fn prefix_store_stats(&self) -> haan_llm::PrefixStoreStats {
+        self.prefixes.stats()
+    }
+
+    /// Prefixes currently resident in the engine's interned-prefix store.
+    #[must_use]
+    pub fn prefix_store_len(&self) -> usize {
+        self.prefixes.len()
     }
 
     /// Interns `γ`/`β` parameter vectors, returning the engine-wide shared handle.

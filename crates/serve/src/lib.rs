@@ -138,8 +138,8 @@ pub use decode::DecodeStream;
 pub use engine::{KvPoolPolicy, RetryPolicy, ServeConfig, ServeEngine};
 pub use error::ServeError;
 pub use faults::{FaultAction, FaultInjector, FaultPlan, InjectedFaults, SeededFaults};
-pub use haan_llm::KvPrefix;
-pub use multi::{DecodeGroup, GroupStats, StreamStatus};
+pub use haan_llm::{KvPrefix, PrefixStore, PrefixStoreStats};
+pub use multi::{DecodeGroup, GroupStats, MigratedStream, StreamStatus};
 pub use request::{CancelHandle, NormParams, NormRequest, NormResponse, PendingResponse};
 pub use scheduler::{BatchKey, Entry, QueueOrdering, ReadyBatch, Scheduler, SchedulerPolicy};
 pub use session::Session;

@@ -81,6 +81,11 @@ pub enum StreamStatus {
     Shed,
     /// Cancelled by [`DecodeGroup::cancel`]; pages released, history kept.
     Cancelled,
+    /// Extracted by [`DecodeGroup::extract_stream`] and adopted by another
+    /// group; this slot is a tombstone and never decodes again. The stream's
+    /// live state (tokens, status, correlation ID) continues at its new
+    /// group's slot.
+    Migrated,
 }
 
 /// Monotone per-group robustness counters, snapshotted by
@@ -131,6 +136,37 @@ impl GroupStats {
         } else {
             self.occupied_rows as f64 / self.ticks as f64
         }
+    }
+}
+
+/// The portable state of a stream in flight between groups: everything
+/// [`DecodeGroup::extract_stream`] captured, everything
+/// [`DecodeGroup::adopt_stream`] needs to continue it bit-identically. Only
+/// obtainable from `extract_stream` — the fields never leave this crate, so a
+/// carrier is always internally consistent.
+#[derive(Debug)]
+pub struct MigratedStream {
+    tokens: Vec<u32>,
+    fed: usize,
+    prompt_len: usize,
+    parked_resident: Option<Vec<u32>>,
+    catchup: Vec<u32>,
+    eviction: EvictionPolicy,
+    activated: bool,
+    corr: u64,
+}
+
+impl MigratedStream {
+    /// The stream's full token buffer (prompt followed by generated tokens).
+    #[must_use]
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+
+    /// The engine-wide correlation ID the stream keeps across the move.
+    #[must_use]
+    pub fn correlation_id(&self) -> u64 {
+        self.corr
     }
 }
 
@@ -246,11 +282,6 @@ impl<'m> DecodeGroup<'m> {
         prompts: &[&[u32]],
         admission: Arc<AdmissionController>,
     ) -> Result<Self, ServeError> {
-        if prompts.is_empty() {
-            return Err(ServeError::InvalidRequest(
-                "a decode group needs at least one prompt".to_string(),
-            ));
-        }
         let invalid = |err: LlmError| ServeError::InvalidRequest(err.to_string());
         let blocks = model.config().num_blocks;
         let shared = Arc::clone(session.shared());
@@ -351,7 +382,10 @@ impl<'m> DecodeGroup<'m> {
         self.streams.len()
     }
 
-    /// True when the group has no streams (never, for an engine-built group).
+    /// True when the group has no streams — only for groups born empty via
+    /// [`ServeEngine::empty_decode_group`](crate::ServeEngine::empty_decode_group)
+    /// that have not been fed yet ([`ServeEngine::decode_group`](crate::ServeEngine::decode_group)
+    /// rejects empty prompt sets).
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.streams.is_empty()
@@ -440,7 +474,10 @@ impl<'m> DecodeGroup<'m> {
                     .map_or(stream.tokens.len(), Vec::len);
                 self.model.config().max_seq_len.saturating_sub(resident)
             }
-            StreamStatus::Finished | StreamStatus::Shed | StreamStatus::Cancelled => 0,
+            StreamStatus::Finished
+            | StreamStatus::Shed
+            | StreamStatus::Cancelled
+            | StreamStatus::Migrated => 0,
         }
     }
 
@@ -657,8 +694,130 @@ impl<'m> DecodeGroup<'m> {
                 self.session.shared().emit(Some(corr), EventKind::Cancel);
                 true
             }
-            StreamStatus::Finished | StreamStatus::Shed | StreamStatus::Cancelled => false,
+            StreamStatus::Finished
+            | StreamStatus::Shed
+            | StreamStatus::Cancelled
+            | StreamStatus::Migrated => false,
         }
+    }
+
+    /// Extracts a queued or active stream for adoption by another group,
+    /// riding the bit-identical park/resume seam: an active stream is parked
+    /// first (its K/V-resident tokens captured, its pages returned to this
+    /// group's pool), then the slot becomes a [`StreamStatus::Migrated`]
+    /// tombstone and the stream's full state — token history, catch-up
+    /// backlog, eviction policy, correlation ID — moves into the returned
+    /// carrier. [`DecodeGroup::adopt_stream`] on any group of the same model
+    /// continues it with zero token divergence: the destination's transparent
+    /// resume re-prefills exactly the rows a preemption resume would have.
+    ///
+    /// A never-activated stream whose context was attached to an interned
+    /// prefix drops the attachment (those shared pages live in *this* group's
+    /// pool) and re-prefills its whole prompt at the destination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] for streams that are finished,
+    /// shed, cancelled, or already migrated — there is nothing live to move.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn extract_stream(&mut self, index: usize) -> Result<MigratedStream, ServeError> {
+        match self.streams[index].status {
+            StreamStatus::Active => {
+                self.streams[index].park();
+                self.stats.leaves += 1;
+            }
+            StreamStatus::Queued => {}
+            StreamStatus::Finished
+            | StreamStatus::Shed
+            | StreamStatus::Cancelled
+            | StreamStatus::Migrated => {
+                return Err(ServeError::InvalidRequest(
+                    "only queued or active streams can migrate".to_string(),
+                ));
+            }
+        }
+        let stream = &mut self.streams[index];
+        let eviction = stream.context.eviction();
+        stream.context.reset();
+        let parked_resident = stream.parked_resident.take();
+        // A never-parked stream carries no K/V state; any rows it had fed
+        // (a prefix attachment) are gone with the old pool, so the whole
+        // prompt re-prefills at the destination.
+        let fed = if parked_resident.is_some() {
+            stream.fed
+        } else {
+            0
+        };
+        let tokens = std::mem::take(&mut stream.tokens);
+        let prompt_len = stream.prompt_len;
+        let catchup = std::mem::take(&mut stream.catchup);
+        // The tombstone keeps only the correlation ID; `prompt_len` drops to
+        // zero so `generated()` stays in bounds of the now-empty buffer.
+        stream.status = StreamStatus::Migrated;
+        stream.prompt_len = 0;
+        stream.fed = 0;
+        Ok(MigratedStream {
+            tokens,
+            fed,
+            prompt_len,
+            parked_resident,
+            catchup,
+            eviction,
+            activated: stream.activated,
+            corr: stream.corr,
+        })
+    }
+
+    /// Adopts a stream extracted from another group of the same model: a
+    /// fresh context is opened in **this** group's pool, the carried state is
+    /// re-queued, and the next [`DecodeGroup::step_all`] tick resumes it
+    /// transparently (a previously-parked migrant counts toward this group's
+    /// resume / re-prefill stats — that re-prefill *is* the migration cost).
+    /// No admission offer runs: migration is a router decision, not a new
+    /// request, and a stream admitted once stays admitted. Returns the new
+    /// slot index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] when the context cannot open in
+    /// this group's pool (e.g. mismatched embedding width).
+    pub fn adopt_stream(&mut self, migrated: MigratedStream) -> Result<usize, ServeError> {
+        let invalid = |err: LlmError| ServeError::InvalidRequest(err.to_string());
+        let mut context = self.model.start_decode_in(&self.pool).map_err(invalid)?;
+        context.set_eviction(migrated.eviction);
+        self.streams.push(GroupStream {
+            context,
+            tokens: migrated.tokens,
+            fed: migrated.fed,
+            prompt_len: migrated.prompt_len,
+            status: StreamStatus::Queued,
+            parked_resident: migrated.parked_resident,
+            catchup: migrated.catchup,
+            last_advanced_tick: 0,
+            activated: migrated.activated,
+            corr: migrated.corr,
+        });
+        Ok(self.streams.len() - 1)
+    }
+
+    /// The pool pages a queued stream's transparent resume would need in this
+    /// group (`None` for non-queued slots) — the router's rebalance gate:
+    /// migrating a victim only helps when the destination can actually seat
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    #[must_use]
+    pub fn resume_pages_needed(&self, index: usize) -> Option<usize> {
+        if !matches!(self.streams[index].status, StreamStatus::Queued) {
+            return None;
+        }
+        let feed = self.resume_feed(index);
+        Some(self.model.config().num_blocks * feed.len().div_ceil(self.pool.page_rows()))
     }
 
     /// Retires active streams that can no longer accept a token, releasing
@@ -1188,6 +1347,84 @@ mod tests {
         assert!(engine.decode_group(&model, &[]).is_err());
         let bad: [&[u32]; 2] = [&[1, 2], &[40_000]];
         assert!(engine.decode_group(&model, &bad).is_err());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn never_ticked_group_reports_zero_mean_occupancy() {
+        // Satellite: a group that has never ticked must report 0.0, not NaN.
+        assert_eq!(GroupStats::default().mean_tick_occupancy_rows(), 0.0);
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 23).unwrap();
+        let mut engine = engine();
+        let group = engine.empty_decode_group(&model).unwrap();
+        assert!(group.is_empty());
+        assert_eq!(group.stats().mean_tick_occupancy_rows(), 0.0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn migrated_streams_continue_bit_identically() {
+        // Two groups on one engine (same model, same pool — a valid move even
+        // without a router): extract an in-flight stream from one, adopt it
+        // into the other, and the combined transcript must match the solo
+        // full-recompute oracle token for token.
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 23).unwrap();
+        let mut engine = engine();
+        let prompts: [&[u32]; 2] = [&[2, 9, 4], &[1, 7, 3]];
+        let mut source = engine.decode_group(&model, &prompts).unwrap();
+        let mut dest = engine.empty_decode_group(&model).unwrap();
+        source.decode(3).unwrap();
+        let corr = source.correlation_id(0);
+        let migrated = source.extract_stream(0).unwrap();
+        assert_eq!(migrated.correlation_id(), corr);
+        assert_eq!(migrated.tokens().len(), prompts[0].len() + 3);
+        assert_eq!(source.status(0), StreamStatus::Migrated);
+        assert_eq!(source.remaining_capacity(0), 0);
+        assert!(!source.cancel(0), "tombstones cannot be cancelled");
+        assert!(
+            source.extract_stream(0).is_err(),
+            "tombstones cannot migrate twice"
+        );
+        let slot = dest.adopt_stream(migrated).unwrap();
+        assert_eq!(dest.status(slot), StreamStatus::Queued);
+        assert_eq!(dest.correlation_id(slot), corr);
+        dest.decode(4).unwrap();
+        source.decode(4).unwrap();
+        // The move cost exactly one transparent resume on the destination.
+        assert_eq!(dest.stats().resumes, 1);
+        assert!(dest.stats().resume_reprefill_rows > 0);
+        for (prompt, (group, index), ticks) in [
+            (prompts[0], (&dest, slot), 7usize),
+            (prompts[1], (&source, 1), 7usize),
+        ] {
+            let mut oracle = StreamingModel::new_full_recompute(&model, prompt).unwrap();
+            let expected = oracle
+                .decode(ticks, &mut ReferenceNormalizer::new())
+                .unwrap();
+            assert_eq!(group.generated(index), expected.as_slice());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn never_activated_migrants_reprefill_their_whole_prompt() {
+        // A queued, never-activated stream migrates with fed reset: its
+        // destination prefills the full prompt and parity still holds.
+        let model = TransformerModel::new(&ModelConfig::tiny_test(), 23).unwrap();
+        let mut engine = engine();
+        let prompts: [&[u32]; 1] = [&[2, 9, 4, 6]];
+        let mut source = engine.decode_group(&model, &prompts).unwrap();
+        let mut dest = engine.empty_decode_group(&model).unwrap();
+        let migrated = source.extract_stream(0).unwrap();
+        let slot = dest.adopt_stream(migrated).unwrap();
+        dest.decode(5).unwrap();
+        assert_eq!(dest.status(slot), StreamStatus::Active);
+        // Never activated at the source: admission is counted where the
+        // stream first actually runs.
+        assert_eq!(dest.stats().resumes, 0, "no park happened — no resume");
+        let mut oracle = StreamingModel::new_full_recompute(&model, prompts[0]).unwrap();
+        let expected = oracle.decode(5, &mut ReferenceNormalizer::new()).unwrap();
+        assert_eq!(dest.generated(slot), expected.as_slice());
         engine.shutdown();
     }
 

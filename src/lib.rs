@@ -11,6 +11,9 @@
 //! * [`haan_baselines`] — DFX / SOLE / MHAA / GPU baselines and the end-to-end model.
 //! * [`haan_serve`] — the async serving layer (request-batching scheduler with
 //!   per-session skip-anchor state).
+//! * [`haan_router`] — the routing tier: a multi-group session router with
+//!   prefix-aware placement, automatic prefix detection, and rebalancing over
+//!   the park/resume seam.
 //! * [`haan_obs`] — the unified observability layer (metrics registry, flight
 //!   recorder, span-profiling sink) the serving stack reports through.
 
@@ -23,6 +26,7 @@ pub use haan_baselines;
 pub use haan_llm;
 pub use haan_numerics;
 pub use haan_obs;
+pub use haan_router;
 pub use haan_serve;
 
 /// Diagnostics shared by the repository-level examples and the tests that pin
