@@ -29,8 +29,12 @@ use crate::norm_unit::NormalizationUnit;
 use crate::pipeline::{pipeline_latency, StageTiming};
 use crate::predictor_unit::IsdPredictorUnit;
 use crate::sqrt_inv::SquareRootInverter;
-use haan::backend::{register_backend, BatchRequest, NormBackend, ACCEL_SIM_BACKEND};
+use haan::backend::{
+    register_backend, BatchRequest, NormBackend, NormMatmulRequest, ResidualNormRequest,
+    ACCEL_SIM_BACKEND,
+};
 use haan_llm::NormKind;
+use haan_numerics::fusion::matmul_rows_into;
 use haan_numerics::stats::RowNormMode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -57,6 +61,12 @@ pub struct AccelSimBackend {
 }
 
 impl AccelSimBackend {
+    /// Pipeline-fill cost of the elementwise residual adder bank that a fused
+    /// residual+norm site streams through before the statistics calculator: the
+    /// adders sit in front of the ISC, so once full they add no per-element
+    /// cycles — only this fixed fill latency, charged once per fused batch.
+    pub const RESIDUAL_ADDER_FILL_CYCLES: u64 = 4;
+
     /// A backend simulating the given hardware configuration.
     #[must_use]
     pub fn new(config: AccelConfig) -> Self {
@@ -186,6 +196,58 @@ impl NormBackend for AccelSimBackend {
         self.total_cycles
             .fetch_add(report.total_cycles, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fused residual+norm on the simulated datapath. Functionally this is the
+    /// composed sequence — the residual adders are exact f32 adders in front of
+    /// the statistics calculator, so fusing changes no bit of the result — and
+    /// the timing model charges the batch's pipelined cycles plus the one-time
+    /// adder-bank fill ([`AccelSimBackend::RESIDUAL_ADDER_FILL_CYCLES`]).
+    fn fuse_residual_norm(
+        &self,
+        request: &ResidualNormRequest<'_>,
+        sum_out: &mut [f32],
+        out: &mut [f32],
+        isds_out: Option<&mut [f32]>,
+        scratch: &mut Vec<f32>,
+    ) {
+        for ((s, &a), &b) in sum_out
+            .iter_mut()
+            .zip(request.norm.data)
+            .zip(request.residual)
+        {
+            *s = a + b;
+        }
+        let summed = BatchRequest {
+            data: &*sum_out,
+            ..request.norm
+        };
+        self.normalize_batch(&summed, out, isds_out, scratch);
+        self.total_cycles
+            .fetch_add(Self::RESIDUAL_ADDER_FILL_CYCLES, Ordering::Relaxed);
+    }
+
+    /// Norm+matmul epilogue on the simulated datapath: the rows stream through
+    /// the full statistics/inverter/normalization pipeline (already timed by
+    /// [`NormBackend::normalize_batch`]) and the consumer matmuls run
+    /// functionally on the host. The MAC array that would consume the
+    /// normalization units' output tiles is outside this simulator's scope, so
+    /// no additional cycles are charged for it — the accounted cycles are
+    /// exactly the normalization datapath's share of the fused operation.
+    fn norm_matmul_epilogue(
+        &self,
+        request: &NormMatmulRequest<'_>,
+        outs: &mut [&mut [f32]],
+        isds_out: Option<&mut [f32]>,
+        scratch: &mut Vec<f32>,
+    ) {
+        let cols = request.norm.cols;
+        let mut normalized = vec![0.0f32; request.norm.data.len()];
+        self.normalize_batch(&request.norm, &mut normalized, isds_out, scratch);
+        for (consumer, out) in request.consumers.iter().zip(outs.iter_mut()) {
+            matmul_rows_into(&normalized, cols, consumer.weights, consumer.n, out)
+                .expect("consumer shapes were validated by the request constructor");
+        }
     }
 }
 

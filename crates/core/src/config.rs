@@ -209,6 +209,11 @@ pub struct HaanConfig {
     pub parallel: ParallelPolicy,
     /// Execution-backend selection of the batched normalization engine.
     pub backend: BackendSelection,
+    /// Whether the block-level fusion sites (fused residual+norm and
+    /// norm+matmul-epilogue) dispatch to the backend's fused entry points. Disabled,
+    /// the normalizer runs the composed sequence (separate add → norm → matmul) the
+    /// fused paths are bit-identical to — useful for differential testing.
+    pub fusion_enabled: bool,
 }
 
 impl HaanConfig {
@@ -230,6 +235,7 @@ impl HaanConfig {
             invsqrt_newton_iterations: None,
             parallel: ParallelPolicy::Sequential,
             backend: BackendSelection::Auto,
+            fusion_enabled: true,
         }
     }
 
@@ -244,6 +250,7 @@ impl HaanConfig {
             invsqrt_newton_iterations: Some(1),
             parallel: ParallelPolicy::Sequential,
             backend: BackendSelection::Auto,
+            fusion_enabled: true,
         }
     }
 
@@ -258,6 +265,7 @@ impl HaanConfig {
             invsqrt_newton_iterations: Some(1),
             parallel: ParallelPolicy::Sequential,
             backend: BackendSelection::Auto,
+            fusion_enabled: true,
         }
     }
 
@@ -272,6 +280,7 @@ impl HaanConfig {
             invsqrt_newton_iterations: Some(1),
             parallel: ParallelPolicy::Sequential,
             backend: BackendSelection::Auto,
+            fusion_enabled: true,
         }
     }
 
@@ -321,6 +330,7 @@ impl Default for HaanConfig {
             invsqrt_newton_iterations: Some(1),
             parallel: ParallelPolicy::Sequential,
             backend: BackendSelection::Auto,
+            fusion_enabled: true,
         }
     }
 }
@@ -379,6 +389,15 @@ impl HaanConfigBuilder {
     #[must_use]
     pub fn backend(mut self, backend: BackendSelection) -> Self {
         self.config.backend = backend;
+        self
+    }
+
+    /// Enables or disables the block-level fusion sites (fused residual+norm and
+    /// norm+matmul-epilogue). On by default; disabling falls back to the composed
+    /// sequence the fused paths are parity-tested against.
+    #[must_use]
+    pub fn fusion(mut self, enabled: bool) -> Self {
+        self.config.fusion_enabled = enabled;
         self
     }
 

@@ -41,7 +41,7 @@ use crate::quantization::QuantizationPolicy;
 use crate::skipping::SkipPlan;
 use crate::subsample::SubsampleEstimator;
 use haan_llm::norm::{normalize_with_stats, NormSite, Normalizer};
-use haan_llm::{Matrix, NormKind};
+use haan_llm::{LlmError, Matrix, NormKind};
 use haan_numerics::stats::DEFAULT_EPS;
 use std::sync::Arc;
 
@@ -417,6 +417,103 @@ impl HaanNormalizer {
         self.external = Some(Arc::clone(&resolved));
         resolved
     }
+
+    /// Hoists the per-site decisions shared by every batched entry point (the plain
+    /// matrix path and both fusion shapes) out of the row loop.
+    fn site_decisions(&self, layer_index: usize, rows: usize, cols: usize) -> SiteDecisions {
+        let calibration_fallback = self
+            .plan
+            .as_ref()
+            .map_or(0.0, |plan| plan.calibration_anchor_log_isd);
+        SiteDecisions {
+            skipped: self.is_skipped_site(layer_index),
+            is_anchor: self.is_anchor_site(layer_index),
+            prefix_len: self.config.n_sub.unwrap_or(cols).max(1).min(cols),
+            calibration_fallback,
+            fallback_anchor_log: self.anchors.anchor_log_isd.unwrap_or(calibration_fallback),
+            kind: self
+                .config
+                .backend
+                .resolve(rows, cols, self.config.format, self.config.parallel),
+        }
+    }
+
+    /// Fills `predicted` with one predicted ISD per row of a skipped site (the
+    /// predictor is policy, not execution — backends see plain per-row ISDs).
+    fn fill_predicted(
+        &self,
+        predicted: &mut Vec<f32>,
+        rows: usize,
+        layer_index: usize,
+        calibration_fallback: f64,
+    ) {
+        let plan = self.plan.as_ref();
+        predicted.extend(
+            self.anchors
+                .row_log_iter(rows, calibration_fallback)
+                .map(|anchor_log| {
+                    let predicted_log = plan
+                        .map(|plan| {
+                            plan.predictor()
+                                .predict_log_isd(anchor_log, layer_index)
+                                .unwrap_or(anchor_log)
+                        })
+                        .unwrap_or(anchor_log);
+                    predicted_log.exp() as f32
+                }),
+        );
+    }
+
+    /// Post-dispatch bookkeeping shared by every batched entry point: telemetry
+    /// (fully determined by the request shape, identical for fused and composed
+    /// execution) and skip-anchor adoption.
+    fn finish_batched_site(
+        &mut self,
+        site: NormSite,
+        decisions: &SiteDecisions,
+        rows: usize,
+        cols: usize,
+        isds: &[f32],
+    ) {
+        // Skipped RMSNorm sites read nothing (no mean is needed); every other site
+        // reads the subsampled prefix of every row.
+        let stats_rows = if decisions.skipped && site.kind == NormKind::RmsNorm {
+            0
+        } else {
+            rows as u64
+        };
+        self.telemetry.calls += rows as u64;
+        self.telemetry.elements_total += (rows * cols) as u64;
+        self.telemetry.elements_read += stats_rows * decisions.prefix_len as u64;
+        if decisions.prefix_len < cols {
+            self.telemetry.subsampled += stats_rows;
+        }
+        if decisions.skipped {
+            self.telemetry.skipped_isd += rows as u64;
+        }
+        self.note_site_decision(site.layer_index, decisions.skipped, rows as u64);
+
+        if decisions.is_anchor {
+            // Keep the scalar-path anchor consistent with its last-row-wins
+            // semantics, then adopt the per-row observations for batched skipping.
+            self.anchors.anchor_log_isd = isds.last().map(|&isd| f64::from(isd).ln());
+            self.anchors.row_anchors.clear();
+            self.anchors
+                .row_anchors
+                .extend(isds.iter().map(|&isd| f64::from(isd).ln()));
+        }
+    }
+}
+
+/// Per-site decisions of one batched entry point, hoisted once per call (see
+/// [`HaanNormalizer::site_decisions`]).
+struct SiteDecisions {
+    skipped: bool,
+    is_anchor: bool,
+    prefix_len: usize,
+    calibration_fallback: f64,
+    fallback_anchor_log: f64,
+    kind: BackendKind,
 }
 
 impl Normalizer for HaanNormalizer {
@@ -520,24 +617,11 @@ impl Normalizer for HaanNormalizer {
             "normalize_matrix_into beta length mismatch"
         );
 
-        // Per-site decisions, hoisted out of the row loop.
-        let skipped = self.is_skipped_site(site.layer_index);
-        let is_anchor = self.is_anchor_site(site.layer_index);
-        let prefix_len = self.config.n_sub.unwrap_or(cols).max(1).min(cols);
-        let calibration_fallback = self
-            .plan
-            .as_ref()
-            .map_or(0.0, |plan| plan.calibration_anchor_log_isd);
-        let fallback_anchor_log = self.anchors.anchor_log_isd.unwrap_or(calibration_fallback);
-
-        // Resolve the execution backend for this batch shape up front (the external
-        // accelerator backend needs `&mut self` for its lazy registry cache, so it
-        // cannot overlap the request's borrows below).
-        let kind =
-            self.config
-                .backend
-                .resolve(rows, cols, self.config.format, self.config.parallel);
-        let external = (kind == BackendKind::AccelSim).then(|| self.external_backend());
+        // Per-site decisions, hoisted out of the row loop. The external accelerator
+        // backend needs `&mut self` for its lazy registry cache, so it cannot
+        // overlap the request's borrows below.
+        let decisions = self.site_decisions(site.layer_index, rows, cols);
+        let external = (decisions.kind == BackendKind::AccelSim).then(|| self.external_backend());
         let mut scratch = std::mem::take(&mut self.scratch);
 
         // Skipped sites: the predictor is policy, not execution, so it runs here and
@@ -546,20 +630,13 @@ impl Normalizer for HaanNormalizer {
         // otherwise). The member buffer keeps the skipped hot path allocation-free.
         let mut predicted = std::mem::take(&mut self.predicted_scratch);
         predicted.clear();
-        if skipped {
-            let plan = self.plan.as_ref();
-            predicted.extend(self.anchors.row_log_iter(rows, calibration_fallback).map(
-                |anchor_log| {
-                    let predicted_log = plan
-                        .map(|plan| {
-                            plan.predictor()
-                                .predict_log_isd(anchor_log, site.layer_index)
-                                .unwrap_or(anchor_log)
-                        })
-                        .unwrap_or(anchor_log);
-                    predicted_log.exp() as f32
-                },
-            ));
+        if decisions.skipped {
+            self.fill_predicted(
+                &mut predicted,
+                rows,
+                site.layer_index,
+                decisions.calibration_fallback,
+            );
         }
 
         let request = BatchRequest {
@@ -569,20 +646,20 @@ impl Normalizer for HaanNormalizer {
             beta,
             mode: site.kind.row_mode(),
             eps: DEFAULT_EPS,
-            prefix_len,
+            prefix_len: decisions.prefix_len,
             quantization: &self.quantization,
             newton_iterations: self.config.invsqrt_newton_iterations,
-            predicted_isd: skipped.then_some(predicted.as_slice()),
+            predicted_isd: decisions.skipped.then_some(predicted.as_slice()),
         };
 
         // Per-row ISDs come back from the backend only at the anchor site.
-        let mut isds = if is_anchor {
-            vec![fallback_anchor_log.exp() as f32; rows]
+        let mut isds = if decisions.is_anchor {
+            vec![decisions.fallback_anchor_log.exp() as f32; rows]
         } else {
             Vec::new()
         };
         let parallel_backend;
-        let backend: &dyn NormBackend = match kind {
+        let backend: &dyn NormBackend = match decisions.kind {
             BackendKind::Scalar => &ScalarBackend,
             BackendKind::Fused => &FusedBackend,
             BackendKind::Parallel => {
@@ -596,41 +673,248 @@ impl Normalizer for HaanNormalizer {
         backend.normalize_batch(
             &request,
             out.as_mut_slice(),
-            is_anchor.then_some(isds.as_mut_slice()),
+            decisions.is_anchor.then_some(isds.as_mut_slice()),
             &mut scratch,
         );
         self.scratch = scratch;
         self.predicted_scratch = predicted;
 
-        // Telemetry is fully determined by the request shape, so it is accounted
-        // uniformly here rather than inside each backend. Skipped RMSNorm sites read
-        // nothing (no mean is needed); every other site reads the subsampled prefix
-        // of every row.
-        let stats_rows = if skipped && site.kind == NormKind::RmsNorm {
-            0
-        } else {
-            rows as u64
-        };
-        self.telemetry.calls += rows as u64;
-        self.telemetry.elements_total += (rows * cols) as u64;
-        self.telemetry.elements_read += stats_rows * prefix_len as u64;
-        if prefix_len < cols {
-            self.telemetry.subsampled += stats_rows;
-        }
-        if skipped {
-            self.telemetry.skipped_isd += rows as u64;
-        }
-        self.note_site_decision(site.layer_index, skipped, rows as u64);
+        self.finish_batched_site(site, &decisions, rows, cols, &isds);
+    }
 
-        if is_anchor {
-            // Keep the scalar-path anchor consistent with its last-row-wins
-            // semantics, then adopt the per-row observations for batched skipping.
-            self.anchors.anchor_log_isd = isds.last().map(|&isd| f64::from(isd).ln());
-            self.anchors.row_anchors.clear();
-            self.anchors
-                .row_anchors
-                .extend(isds.iter().map(|&isd| f64::from(isd).ln()));
+    fn normalize_residual_into(
+        &mut self,
+        site: NormSite,
+        input: &Matrix,
+        residual: &Matrix,
+        gamma: &[f32],
+        beta: &[f32],
+        sum_out: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            input.shape(),
+            residual.shape(),
+            "normalize_residual_into shape mismatch"
+        );
+        assert_eq!(
+            input.shape(),
+            sum_out.shape(),
+            "normalize_residual_into shape mismatch"
+        );
+        assert_eq!(
+            input.shape(),
+            out.shape(),
+            "normalize_residual_into shape mismatch"
+        );
+        let (rows, cols) = input.shape();
+        if rows == 0 || cols == 0 {
+            return;
         }
+        assert_eq!(
+            gamma.len(),
+            cols,
+            "normalize_residual_into gamma length mismatch"
+        );
+        assert_eq!(
+            beta.len(),
+            cols,
+            "normalize_residual_into beta length mismatch"
+        );
+        if !self.config.fusion_enabled {
+            // Composed fallback: the exact pre-fusion operation order — an
+            // elementwise add, then the plain batched path (which accounts
+            // telemetry and anchors itself).
+            for ((s, &a), &b) in sum_out
+                .as_mut_slice()
+                .iter_mut()
+                .zip(input.as_slice())
+                .zip(residual.as_slice())
+            {
+                *s = a + b;
+            }
+            self.normalize_matrix_into(site, sum_out, gamma, beta, out);
+            return;
+        }
+
+        let decisions = self.site_decisions(site.layer_index, rows, cols);
+        let external = (decisions.kind == BackendKind::AccelSim).then(|| self.external_backend());
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut predicted = std::mem::take(&mut self.predicted_scratch);
+        predicted.clear();
+        if decisions.skipped {
+            self.fill_predicted(
+                &mut predicted,
+                rows,
+                site.layer_index,
+                decisions.calibration_fallback,
+            );
+        }
+
+        let request = backend::ResidualNormRequest::new(
+            BatchRequest {
+                data: input.as_slice(),
+                cols,
+                gamma,
+                beta,
+                mode: site.kind.row_mode(),
+                eps: DEFAULT_EPS,
+                prefix_len: decisions.prefix_len,
+                quantization: &self.quantization,
+                newton_iterations: self.config.invsqrt_newton_iterations,
+                predicted_isd: decisions.skipped.then_some(predicted.as_slice()),
+            },
+            residual.as_slice(),
+        );
+
+        let mut isds = if decisions.is_anchor {
+            vec![decisions.fallback_anchor_log.exp() as f32; rows]
+        } else {
+            Vec::new()
+        };
+        let parallel_backend;
+        let backend: &dyn NormBackend = match decisions.kind {
+            BackendKind::Scalar => &ScalarBackend,
+            BackendKind::Fused => &FusedBackend,
+            BackendKind::Parallel => {
+                parallel_backend = ParallelBackend::new(self.effective_parallel_policy());
+                &parallel_backend
+            }
+            BackendKind::AccelSim => external.as_deref().expect("resolved above"),
+        };
+        backend.fuse_residual_norm(
+            &request,
+            sum_out.as_mut_slice(),
+            out.as_mut_slice(),
+            decisions.is_anchor.then_some(isds.as_mut_slice()),
+            &mut scratch,
+        );
+        self.scratch = scratch;
+        self.predicted_scratch = predicted;
+
+        self.finish_batched_site(site, &decisions, rows, cols, &isds);
+    }
+
+    fn normalize_matmul_into(
+        &mut self,
+        site: NormSite,
+        input: &Matrix,
+        gamma: &[f32],
+        beta: &[f32],
+        weights: &[&Matrix],
+        outs: &mut [Matrix],
+    ) -> Result<(), LlmError> {
+        if weights.len() != outs.len() {
+            return Err(LlmError::ShapeMismatch {
+                op: "normalize_matmul_into",
+                lhs: (weights.len(), 0),
+                rhs: (outs.len(), 0),
+            });
+        }
+        let (rows, cols) = input.shape();
+        for (weight, out) in weights.iter().zip(outs.iter()) {
+            if weight.rows() != cols {
+                return Err(LlmError::ShapeMismatch {
+                    op: "normalize_matmul_into",
+                    lhs: (rows, cols),
+                    rhs: weight.shape(),
+                });
+            }
+            if out.shape() != (rows, weight.cols()) {
+                return Err(LlmError::ShapeMismatch {
+                    op: "normalize_matmul_into",
+                    lhs: (rows, weight.cols()),
+                    rhs: out.shape(),
+                });
+            }
+        }
+        if rows == 0 || cols == 0 {
+            for out in outs.iter_mut() {
+                out.as_mut_slice().fill(0.0);
+            }
+            return Ok(());
+        }
+        assert_eq!(
+            gamma.len(),
+            cols,
+            "normalize_matmul_into gamma length mismatch"
+        );
+        assert_eq!(
+            beta.len(),
+            cols,
+            "normalize_matmul_into beta length mismatch"
+        );
+        if !self.config.fusion_enabled {
+            // Composed fallback: materialize the normalized matrix through the plain
+            // batched path, then one blocked matmul per consumer.
+            let normed = self.normalize_matrix(site, input, gamma, beta);
+            for (weight, out) in weights.iter().zip(outs.iter_mut()) {
+                normed.matmul_into(weight, out)?;
+            }
+            return Ok(());
+        }
+
+        let decisions = self.site_decisions(site.layer_index, rows, cols);
+        let external = (decisions.kind == BackendKind::AccelSim).then(|| self.external_backend());
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut predicted = std::mem::take(&mut self.predicted_scratch);
+        predicted.clear();
+        if decisions.skipped {
+            self.fill_predicted(
+                &mut predicted,
+                rows,
+                site.layer_index,
+                decisions.calibration_fallback,
+            );
+        }
+
+        let consumers: Vec<backend::MatmulConsumer<'_>> = weights
+            .iter()
+            .map(|weight| backend::MatmulConsumer::new(weight.as_slice(), weight.cols()))
+            .collect();
+        let request = backend::NormMatmulRequest::new(
+            BatchRequest {
+                data: input.as_slice(),
+                cols,
+                gamma,
+                beta,
+                mode: site.kind.row_mode(),
+                eps: DEFAULT_EPS,
+                prefix_len: decisions.prefix_len,
+                quantization: &self.quantization,
+                newton_iterations: self.config.invsqrt_newton_iterations,
+                predicted_isd: decisions.skipped.then_some(predicted.as_slice()),
+            },
+            &consumers,
+        );
+
+        let mut isds = if decisions.is_anchor {
+            vec![decisions.fallback_anchor_log.exp() as f32; rows]
+        } else {
+            Vec::new()
+        };
+        let mut out_slices: Vec<&mut [f32]> = outs.iter_mut().map(Matrix::as_mut_slice).collect();
+        let parallel_backend;
+        let backend: &dyn NormBackend = match decisions.kind {
+            BackendKind::Scalar => &ScalarBackend,
+            BackendKind::Fused => &FusedBackend,
+            BackendKind::Parallel => {
+                parallel_backend = ParallelBackend::new(self.effective_parallel_policy());
+                &parallel_backend
+            }
+            BackendKind::AccelSim => external.as_deref().expect("resolved above"),
+        };
+        backend.norm_matmul_epilogue(
+            &request,
+            &mut out_slices,
+            decisions.is_anchor.then_some(isds.as_mut_slice()),
+            &mut scratch,
+        );
+        self.scratch = scratch;
+        self.predicted_scratch = predicted;
+
+        self.finish_batched_site(site, &decisions, rows, cols, &isds);
+        Ok(())
     }
 
     fn begin_sequence(&mut self) {

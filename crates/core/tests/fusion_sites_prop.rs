@@ -1,0 +1,234 @@
+//! Property tests of the fusion-site request shapes: random shapes, site kinds,
+//! skip plans, formats and backends through [`HaanNormalizer`]'s fused
+//! residual+norm and norm+matmul-epilogue entry points, checked against the
+//! scalar composition oracle.
+//!
+//! Tolerances mirror `tests/backend_dispatch.rs` at the repository root:
+//!
+//! * fused vs the backend's **own composed path** (`fusion(false)`): bit-identical,
+//!   including the returned [`AnchorState`] at anchor sites;
+//! * fused software backends vs the **scalar oracle**: ≤ 1e-5 relative on
+//!   normalized rows, ≤ 1e-4 after a matmul consumer (the reduction accumulates
+//!   the per-element statistics difference);
+//! * the parallel backend vs the fused backend: bit-identical for any worker
+//!   count (row kernels are independent).
+
+use haan::{BackendSelection, HaanConfig, HaanNormalizer, ParallelPolicy, SkipPlan};
+use haan_llm::norm::{NormSite, Normalizer};
+use haan_llm::{Matrix, NormKind};
+use haan_numerics::Format;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random matrix from a seed (the shim's strategies sample
+/// independently, so data is derived from a sampled seed instead of a
+/// shape-dependent `collection::vec`).
+fn seeded_matrix(rows: usize, cols: usize, seed: u64, scale: f32) -> Matrix {
+    let mut state = seed | 1;
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 23) as f32 - 1.0) * scale
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("consistent shape")
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, tolerance: f32, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert!(
+            (x - y).abs() <= tolerance * y.abs().max(1.0),
+            "{what}: {x} vs {y}"
+        );
+    }
+}
+
+struct Case {
+    kind: NormKind,
+    backend: BackendSelection,
+    format: Format,
+    plan: Option<SkipPlan>,
+    subsample: Option<usize>,
+}
+
+fn build(case: &Case, fusion: bool) -> HaanNormalizer {
+    let mut builder = HaanConfig::builder()
+        .format(case.format)
+        .backend(case.backend)
+        .fusion(fusion);
+    if case.backend == BackendSelection::Parallel {
+        builder = builder.parallel(ParallelPolicy::Threads(3));
+    }
+    if let Some(n_sub) = case.subsample {
+        builder = builder.subsample(n_sub);
+    }
+    let normalizer = HaanNormalizer::new(builder.build());
+    match case.plan {
+        Some(plan) => normalizer.with_plan(plan),
+        None => normalizer,
+    }
+}
+
+/// One anchor-then-skipped sequence through both fused request shapes,
+/// returning `(summed, normed, epilogue outs, anchor row count)`.
+fn run_sequence(
+    normalizer: &mut HaanNormalizer,
+    case: &Case,
+    input: &Matrix,
+    residual: &Matrix,
+    gamma: &[f32],
+    beta: &[f32],
+    weights: &[&Matrix],
+) -> (Matrix, Matrix, Vec<Matrix>) {
+    normalizer.begin_sequence();
+    let (rows, cols) = input.shape();
+    let mut summed = Matrix::zeros(rows, cols);
+    let mut normed = Matrix::zeros(rows, cols);
+    normalizer.normalize_residual_into(
+        NormSite {
+            layer_index: 0,
+            kind: case.kind,
+        },
+        input,
+        residual,
+        gamma,
+        beta,
+        &mut summed,
+        &mut normed,
+    );
+    let mut outs: Vec<Matrix> = weights
+        .iter()
+        .map(|w| Matrix::zeros(rows, w.cols()))
+        .collect();
+    normalizer
+        .normalize_matmul_into(
+            NormSite {
+                layer_index: 1,
+                kind: case.kind,
+            },
+            input,
+            gamma,
+            beta,
+            weights,
+            &mut outs,
+        )
+        .expect("valid consumer shapes");
+    (summed, normed, outs)
+}
+
+proptest! {
+    #[test]
+    fn prop_fused_sites_match_their_composed_path_and_the_scalar_oracle(
+        rows in 1usize..7,
+        cols in 1usize..140,
+        seed in 1u64..u64::MAX,
+        picks in (0usize..2, 0usize..2, 0usize..3, 0usize..4),
+        consumer_cols in proptest::collection::vec(1usize..40, 1..4),
+    ) {
+        let (kind_pick, backend_pick, format_pick, site_pick) = picks;
+        let case = Case {
+            kind: if kind_pick == 0 { NormKind::LayerNorm } else { NormKind::RmsNorm },
+            backend: if backend_pick == 0 {
+                BackendSelection::Fused
+            } else {
+                BackendSelection::Parallel
+            },
+            format: [Format::Fp32, Format::Fp16, Format::Int8][format_pick],
+            // Skip plans and subsampling are drawn from the same pick: each
+            // combination of {plain, skipped, subsampled, both} occurs.
+            plan: (site_pick % 2 == 1).then_some(SkipPlan {
+                start: 1,
+                end: 2,
+                decay: -0.04,
+                correlation: -1.0,
+                calibration_anchor_log_isd: -0.3,
+            }),
+            subsample: (site_pick >= 2).then_some(cols.div_ceil(2)),
+        };
+        let input = seeded_matrix(rows, cols, seed, 2.0);
+        let residual = seeded_matrix(rows, cols, seed.rotate_left(17), 1.5);
+        let gamma: Vec<f32> = (0..cols).map(|i| 1.0 + (i % 5) as f32 * 0.1).collect();
+        let beta: Vec<f32> = (0..cols).map(|i| (i % 3) as f32 * 0.2 - 0.2).collect();
+        let weights: Vec<Matrix> = consumer_cols
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| seeded_matrix(cols, n, seed.rotate_left(23 + i as u32), 0.5))
+            .collect();
+        let weight_refs: Vec<&Matrix> = weights.iter().collect();
+
+        // Fused vs the same backend's composed path: bit-identical, anchors included.
+        let mut fused = build(&case, true);
+        let mut composed = build(&case, false);
+        let fused_out = run_sequence(&mut fused, &case, &input, &residual, &gamma, &beta, &weight_refs);
+        let composed_out =
+            run_sequence(&mut composed, &case, &input, &residual, &gamma, &beta, &weight_refs);
+        prop_assert_eq!(&fused_out.0, &composed_out.0, "summed stream diverged");
+        prop_assert_eq!(&fused_out.1, &composed_out.1, "normalized rows diverged");
+        prop_assert_eq!(&fused_out.2, &composed_out.2, "epilogue outputs diverged");
+        prop_assert_eq!(fused.anchor_state(), composed.anchor_state());
+        prop_assert_eq!(fused.telemetry(), composed.telemetry());
+
+        // Fused software backend vs the scalar composition oracle.
+        let oracle_case = Case { backend: BackendSelection::Scalar, ..case };
+        let mut oracle = build(&oracle_case, false);
+        let oracle_out =
+            run_sequence(&mut oracle, &oracle_case, &input, &residual, &gamma, &beta, &weight_refs);
+        prop_assert_eq!(&fused_out.0, &oracle_out.0, "sums must be exact on every backend");
+        assert_close(&fused_out.1, &oracle_out.1, 1e-5, "fused residual+norm vs scalar oracle");
+        for (fused_c, oracle_c) in fused_out.2.iter().zip(&oracle_out.2) {
+            assert_close(fused_c, oracle_c, 1e-4, "fused epilogue vs scalar oracle");
+        }
+    }
+
+    #[test]
+    fn prop_parallel_is_bit_identical_to_fused_for_any_worker_count(
+        rows in 1usize..9,
+        cols in 1usize..140,
+        seed in 1u64..u64::MAX,
+        threads in 2usize..6,
+        kind_pick in 0usize..2,
+    ) {
+        let kind = if kind_pick == 0 { NormKind::LayerNorm } else { NormKind::RmsNorm };
+        let case = |backend| Case {
+            kind,
+            backend,
+            format: Format::Fp32,
+            plan: None,
+            subsample: None,
+        };
+        let input = seeded_matrix(rows, cols, seed, 2.0);
+        let residual = seeded_matrix(rows, cols, seed.rotate_left(29), 1.0);
+        let gamma = vec![1.0f32; cols];
+        let beta = vec![0.0f32; cols];
+        let weights = [seeded_matrix(cols, 11, seed.rotate_left(37), 0.5)];
+        let weight_refs: Vec<&Matrix> = weights.iter().collect();
+
+        let fused_case = case(BackendSelection::Fused);
+        let mut fused = build(&fused_case, true);
+        let parallel_case = case(BackendSelection::Parallel);
+        let mut parallel = HaanNormalizer::new(
+            HaanConfig::builder()
+                .format(Format::Fp32)
+                .backend(BackendSelection::Parallel)
+                .parallel(ParallelPolicy::Threads(threads))
+                .fusion(true)
+                .build(),
+        );
+        let fused_out =
+            run_sequence(&mut fused, &fused_case, &input, &residual, &gamma, &beta, &weight_refs);
+        let parallel_out = run_sequence(
+            &mut parallel,
+            &parallel_case,
+            &input,
+            &residual,
+            &gamma,
+            &beta,
+            &weight_refs,
+        );
+        prop_assert_eq!(fused_out.0, parallel_out.0);
+        prop_assert_eq!(fused_out.1, parallel_out.1);
+        prop_assert_eq!(fused_out.2, parallel_out.2);
+    }
+}

@@ -235,6 +235,67 @@ impl MultiHeadAttention {
         self.embedding_dim / self.num_heads
     }
 
+    /// The Q/K/V projection weights, in that order — the matmul consumers a
+    /// fused norm+matmul-epilogue site multiplies the normalized input by. The
+    /// output projection is not included: it consumes attention output, not the
+    /// normalized residual stream.
+    #[must_use]
+    pub fn qkv_weights(&self) -> [&Matrix; 3] {
+        [&self.w_query, &self.w_key, &self.w_value]
+    }
+
+    /// [`MultiHeadAttention::forward`] from already-projected queries, keys and
+    /// values (each `seq × E`, heads concatenated) — the back half the fused
+    /// norm+matmul-epilogue path enters after producing the projections without
+    /// materializing the normalized input. Bit-identical to
+    /// [`MultiHeadAttention::forward`] given the same projections, because it is
+    /// the same per-head loop over the same kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the three matrices disagree in
+    /// shape or their width differs from the configured embedding dimension.
+    pub fn forward_projected(
+        &self,
+        queries: &Matrix,
+        keys: &Matrix,
+        values: &Matrix,
+    ) -> Result<Matrix, LlmError> {
+        if queries.cols() != self.embedding_dim
+            || keys.shape() != queries.shape()
+            || values.shape() != queries.shape()
+        {
+            return Err(LlmError::ShapeMismatch {
+                op: "attention forward_projected",
+                lhs: queries.shape(),
+                rhs: keys.shape(),
+            });
+        }
+        let seq = queries.rows();
+        let head_dim = self.head_dim();
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let mut concat = Matrix::zeros(seq, self.embedding_dim);
+        let mut q = Matrix::zeros(seq, head_dim);
+        let mut k = Matrix::zeros(seq, head_dim);
+        let mut v = Matrix::zeros(seq, head_dim);
+        let mut scores = Matrix::zeros(seq, seq);
+        let mut head_out = Matrix::zeros(seq, head_dim);
+
+        for head in 0..self.num_heads {
+            let col_start = head * head_dim;
+            queries.columns_into(col_start, head_dim, &mut q)?;
+            keys.columns_into(col_start, head_dim, &mut k)?;
+            values.columns_into(col_start, head_dim, &mut v)?;
+
+            q.matmul_transposed_into(&k, &mut scores)?;
+            scores.scale_in_place(scale);
+            scores.causal_softmax_rows();
+            scores.matmul_into(&v, &mut head_out)?;
+            concat.set_columns(col_start, &head_out)?;
+        }
+        concat.matmul(&self.w_output)
+    }
+
     /// Runs causal self-attention over a `seq × E` input and returns a `seq × E` output.
     ///
     /// # Errors
@@ -340,6 +401,53 @@ impl MultiHeadAttention {
         })
     }
 
+    /// [`MultiHeadAttention::forward_cached_with`] from already-projected new
+    /// rows: appends `new_keys`/`new_values` to the cache and attends the
+    /// projected `queries` against the whole cache. The fused
+    /// norm+matmul-epilogue decode path enters here after projecting Q/K/V
+    /// straight out of the normalization site; bit-identical to projecting via
+    /// [`MultiHeadAttention::forward_cached_with`] given the same projections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the three matrices disagree in
+    /// shape, their width differs from the configured embedding dimension or the
+    /// cache's width, or the new rows exceed the cache capacity.
+    pub fn forward_cached_projected_with(
+        &self,
+        queries: &Matrix,
+        new_keys: &Matrix,
+        new_values: &Matrix,
+        cache: &mut AttentionKvCache,
+        scratch: &mut AttnScratch,
+    ) -> Result<Matrix, LlmError> {
+        if queries.cols() != self.embedding_dim
+            || new_keys.shape() != queries.shape()
+            || new_values.shape() != queries.shape()
+            || cache.embedding_dim() != self.embedding_dim
+        {
+            return Err(LlmError::ShapeMismatch {
+                op: "attention forward_cached_projected",
+                lhs: queries.shape(),
+                rhs: (cache.capacity(), cache.embedding_dim()),
+            });
+        }
+        let offset = cache.len();
+        let total = offset + queries.rows();
+        if total > cache.capacity() {
+            return Err(LlmError::ShapeMismatch {
+                op: "attention forward_cached_projected (capacity)",
+                lhs: (total, self.embedding_dim),
+                rhs: (cache.capacity(), cache.embedding_dim()),
+            });
+        }
+        cache.append(new_keys, new_values)?;
+        self.attend_cached(queries, offset, total, scratch, |col_start, k, v| {
+            cache.keys.window_into(0, col_start, k)?;
+            cache.values.window_into(0, col_start, v)
+        })
+    }
+
     /// [`MultiHeadAttention::forward_cached`] over pool-backed paged storage:
     /// projects the new rows, appends their K/V rows to `cache` (borrowing pool
     /// pages as needed), and attends the new queries against the whole cache.
@@ -416,6 +524,92 @@ impl MultiHeadAttention {
             scores,
             head_out,
         )
+    }
+
+    /// [`MultiHeadAttention::forward_paged_with`] from already-projected new
+    /// rows — the paged-storage twin of
+    /// [`MultiHeadAttention::forward_cached_projected_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] on shape or width disagreement and
+    /// [`LlmError::KvPoolExhausted`] when the pool cannot supply the pages the
+    /// appended rows need (the cache is left unchanged).
+    pub fn forward_paged_projected_with(
+        &self,
+        queries: &Matrix,
+        new_keys: &Matrix,
+        new_values: &Matrix,
+        cache: &mut PagedKvCache,
+        scratch: &mut AttnScratch,
+    ) -> Result<Matrix, LlmError> {
+        if queries.cols() != self.embedding_dim
+            || new_keys.shape() != queries.shape()
+            || new_values.shape() != queries.shape()
+            || cache.embedding_dim() != self.embedding_dim
+        {
+            return Err(LlmError::ShapeMismatch {
+                op: "attention forward_paged_projected",
+                lhs: queries.shape(),
+                rhs: (cache.len(), cache.embedding_dim()),
+            });
+        }
+        let offset = cache.len();
+        let total = offset + queries.rows();
+        cache.append(new_keys, new_values)?;
+        let AttnScratch {
+            concat,
+            q,
+            k,
+            v,
+            scores,
+            head_out,
+            keys_all,
+            values_all,
+        } = scratch;
+        keys_all.resize(total, self.embedding_dim);
+        values_all.resize(total, self.embedding_dim);
+        cache.gather_window(0, keys_all, values_all);
+        self.attend_into(
+            queries,
+            offset,
+            total,
+            |col_start, k, v| {
+                keys_all.window_into(0, col_start, k)?;
+                values_all.window_into(0, col_start, v)
+            },
+            concat,
+            q,
+            k,
+            v,
+            scores,
+            head_out,
+        )
+    }
+
+    /// [`MultiHeadAttention::forward_cached_projected_with`] /
+    /// [`MultiHeadAttention::forward_paged_projected_with`] dispatched on a
+    /// [`KvStore`].
+    ///
+    /// # Errors
+    ///
+    /// The contract of whichever storage path runs.
+    pub fn forward_kv_projected_with(
+        &self,
+        queries: &Matrix,
+        new_keys: &Matrix,
+        new_values: &Matrix,
+        kv: &mut KvStore,
+        scratch: &mut AttnScratch,
+    ) -> Result<Matrix, LlmError> {
+        match kv {
+            KvStore::Dense(cache) => {
+                self.forward_cached_projected_with(queries, new_keys, new_values, cache, scratch)
+            }
+            KvStore::Paged(cache) => {
+                self.forward_paged_projected_with(queries, new_keys, new_values, cache, scratch)
+            }
+        }
     }
 
     /// [`MultiHeadAttention::forward_cached`] /

@@ -79,25 +79,11 @@ impl TransformerBlock {
                 rhs: (self.gamma_attn.len(), self.gamma_attn.len()),
             });
         }
-        let normed_attn = self.apply_norm(
-            hidden,
-            normalizer,
-            self.first_norm_index(),
-            &self.gamma_attn,
-            &self.beta_attn,
-        );
-        let mut after_attn = self.attention.forward(&normed_attn)?;
-        after_attn.add_assign(hidden)?;
-
-        let normed_mlp = self.apply_norm(
-            &after_attn,
-            normalizer,
-            self.first_norm_index() + 1,
-            &self.gamma_mlp,
-            &self.beta_mlp,
-        );
+        let (queries, keys, values) = self.project_qkv(hidden, normalizer)?;
+        let after_attn = self.attention.forward_projected(&queries, &keys, &values)?;
+        let (summed, normed_mlp) = self.residual_norm_mlp_site(&after_attn, hidden, normalizer);
         let mut out = self.mlp.forward(&normed_mlp)?;
-        out.add_assign(&after_attn)?;
+        out.add_assign(&summed)?;
         Ok(out)
     }
 
@@ -118,8 +104,8 @@ impl TransformerBlock {
         normalizer: &mut N,
         cache: &mut AttentionKvCache,
     ) -> Result<Matrix, LlmError> {
-        self.forward_cached_inner(hidden, normalizer, |attention, normed| {
-            attention.forward_cached(normed, cache)
+        self.forward_cached_inner(hidden, normalizer, |attention, q, k, v| {
+            attention.forward_cached_projected_with(q, k, v, cache, &mut AttnScratch::new())
         })
     }
 
@@ -138,8 +124,8 @@ impl TransformerBlock {
         normalizer: &mut N,
         kv: &mut KvStore,
     ) -> Result<Matrix, LlmError> {
-        self.forward_cached_inner(hidden, normalizer, |attention, normed| {
-            attention.forward_kv(normed, kv)
+        self.forward_cached_inner(hidden, normalizer, |attention, q, k, v| {
+            attention.forward_kv_projected_with(q, k, v, kv, &mut AttnScratch::new())
         })
     }
 
@@ -156,8 +142,8 @@ impl TransformerBlock {
         kv: &mut KvStore,
         scratch: &mut AttnScratch,
     ) -> Result<Matrix, LlmError> {
-        self.forward_cached_inner(hidden, normalizer, |attention, normed| {
-            attention.forward_kv_with(normed, kv, scratch)
+        self.forward_cached_inner(hidden, normalizer, |attention, q, k, v| {
+            attention.forward_kv_projected_with(q, k, v, kv, scratch)
         })
     }
 
@@ -229,46 +215,44 @@ impl TransformerBlock {
             });
         }
         let e = self.gamma_attn.len();
-        let normed_attn = self.apply_norm(
-            hidden,
-            normalizer,
-            self.first_norm_index(),
-            &self.gamma_attn,
-            &self.beta_attn,
-        );
+        // One fused norm+matmul-epilogue call projects Q/K/V for the entire
+        // stacked batch (row-local, so stacking changes no float).
+        let (queries, keys, values) = self.project_qkv(hidden, normalizer)?;
         // Per-stream attention: one cached pass per segment, stacked back into
-        // the row batch. The segment buffer is reused across streams (grow-only).
+        // the row batch. The segment buffers are reused across streams (grow-only).
         let mut after_attn = Matrix::zeros(hidden.rows(), e);
-        let mut seg_buf = Matrix::default();
+        let mut q_buf = Matrix::default();
+        let mut k_buf = Matrix::default();
+        let mut v_buf = Matrix::default();
         let mut start = 0;
         for (&rows, (kv, scratch)) in segments.iter().zip(streams.iter_mut()) {
-            seg_buf.resize(rows, e);
-            normed_attn.window_into(start, 0, &mut seg_buf)?;
-            let attended = self.attention.forward_kv_with(&seg_buf, kv, scratch)?;
+            q_buf.resize(rows, e);
+            k_buf.resize(rows, e);
+            v_buf.resize(rows, e);
+            queries.window_into(start, 0, &mut q_buf)?;
+            keys.window_into(start, 0, &mut k_buf)?;
+            values.window_into(start, 0, &mut v_buf)?;
+            let attended = self
+                .attention
+                .forward_kv_projected_with(&q_buf, &k_buf, &v_buf, kv, scratch)?;
             after_attn.set_rows(start, &attended)?;
             start += rows;
         }
-        after_attn.add_assign(hidden)?;
 
-        let normed_mlp = self.apply_norm(
-            &after_attn,
-            normalizer,
-            self.first_norm_index() + 1,
-            &self.gamma_mlp,
-            &self.beta_mlp,
-        );
+        let (summed, normed_mlp) = self.residual_norm_mlp_site(&after_attn, hidden, normalizer);
         let mut out = self.mlp.forward(&normed_mlp)?;
-        out.add_assign(&after_attn)?;
+        out.add_assign(&summed)?;
         Ok(out)
     }
 
     /// The single body of the cached block paths; `attend` supplies the
-    /// storage-specific attention sublayer.
+    /// storage-specific attention sublayer, consuming the Q/K/V projections the
+    /// fused pre-attention norm site produced.
     fn forward_cached_inner<N: Normalizer + ?Sized>(
         &self,
         hidden: &Matrix,
         normalizer: &mut N,
-        attend: impl FnOnce(&MultiHeadAttention, &Matrix) -> Result<Matrix, LlmError>,
+        attend: impl FnOnce(&MultiHeadAttention, &Matrix, &Matrix, &Matrix) -> Result<Matrix, LlmError>,
     ) -> Result<Matrix, LlmError> {
         if hidden.cols() != self.gamma_attn.len() {
             return Err(LlmError::ShapeMismatch {
@@ -277,43 +261,74 @@ impl TransformerBlock {
                 rhs: (self.gamma_attn.len(), self.gamma_attn.len()),
             });
         }
-        let normed_attn = self.apply_norm(
-            hidden,
-            normalizer,
-            self.first_norm_index(),
-            &self.gamma_attn,
-            &self.beta_attn,
-        );
-        let mut after_attn = attend(&self.attention, &normed_attn)?;
-        after_attn.add_assign(hidden)?;
-
-        let normed_mlp = self.apply_norm(
-            &after_attn,
-            normalizer,
-            self.first_norm_index() + 1,
-            &self.gamma_mlp,
-            &self.beta_mlp,
-        );
+        let (queries, keys, values) = self.project_qkv(hidden, normalizer)?;
+        let after_attn = attend(&self.attention, &queries, &keys, &values)?;
+        let (summed, normed_mlp) = self.residual_norm_mlp_site(&after_attn, hidden, normalizer);
         let mut out = self.mlp.forward(&normed_mlp)?;
-        out.add_assign(&after_attn)?;
+        out.add_assign(&summed)?;
         Ok(out)
     }
 
-    /// Normalizes all rows at one site through the batched normalizer API (one call
-    /// per site, so the normalizer can hoist per-site decisions out of the row loop).
-    fn apply_norm<N: Normalizer + ?Sized>(
+    /// The pre-attention normalization site, fused into the Q/K/V projections:
+    /// one [`Normalizer::normalize_matmul_into`] call per batch computes row
+    /// statistics once and applies γ/β inside the matmul epilogue, so the
+    /// normalized matrix never materializes. Returns the projected
+    /// (queries, keys, values).
+    fn project_qkv<N: Normalizer + ?Sized>(
         &self,
         hidden: &Matrix,
         normalizer: &mut N,
-        layer_index: usize,
-        gamma: &[f32],
-        beta: &[f32],
-    ) -> Matrix {
+    ) -> Result<(Matrix, Matrix, Matrix), LlmError> {
         let site = NormSite {
-            layer_index,
+            layer_index: self.first_norm_index(),
             kind: self.norm_kind,
         };
-        normalizer.normalize_matrix(site, hidden, gamma, beta)
+        let weights = self.attention.qkv_weights();
+        let rows = hidden.rows();
+        let mut outs = [
+            Matrix::zeros(rows, weights[0].cols()),
+            Matrix::zeros(rows, weights[1].cols()),
+            Matrix::zeros(rows, weights[2].cols()),
+        ];
+        normalizer.normalize_matmul_into(
+            site,
+            hidden,
+            &self.gamma_attn,
+            &self.beta_attn,
+            &weights,
+            &mut outs,
+        )?;
+        let [queries, keys, values] = outs;
+        Ok((queries, keys, values))
+    }
+
+    /// The pre-MLP normalization site, fused with the preceding residual add:
+    /// one [`Normalizer::normalize_residual_into`] call computes
+    /// `summed = after_attn + hidden` and its row statistics in a single pass.
+    /// Returns `(summed, normed)` — the summed stream feeds the block's final
+    /// residual, the normed rows feed the MLP.
+    fn residual_norm_mlp_site<N: Normalizer + ?Sized>(
+        &self,
+        after_attn: &Matrix,
+        hidden: &Matrix,
+        normalizer: &mut N,
+    ) -> (Matrix, Matrix) {
+        let site = NormSite {
+            layer_index: self.first_norm_index() + 1,
+            kind: self.norm_kind,
+        };
+        let mut summed = Matrix::zeros(after_attn.rows(), after_attn.cols());
+        let mut normed = Matrix::zeros(after_attn.rows(), after_attn.cols());
+        normalizer.normalize_residual_into(
+            site,
+            after_attn,
+            hidden,
+            &self.gamma_mlp,
+            &self.beta_mlp,
+            &mut summed,
+            &mut normed,
+        );
+        (summed, normed)
     }
 
     /// Multiply-accumulate count of the block for a given sequence length.

@@ -66,6 +66,60 @@ impl FeedForward {
         self.w_gate.is_some()
     }
 
+    /// The input (up) projection weights — a matmul consumer of the pre-MLP
+    /// normalization site when the norm+matmul epilogue is fused.
+    #[must_use]
+    pub fn w_in(&self) -> &Matrix {
+        &self.w_in
+    }
+
+    /// The gate projection weights of a SwiGLU MLP (a second matmul consumer of
+    /// the same fused site), or `None` for the ungated GeLU variant.
+    #[must_use]
+    pub fn w_gate(&self) -> Option<&Matrix> {
+        self.w_gate.as_ref()
+    }
+
+    /// Completes the MLP from already-projected hidden (and, when gated, gate)
+    /// activations — the back half a fused norm+matmul-epilogue path enters
+    /// after producing `input·w_in` (and `input·w_gate`) without materializing
+    /// the normalized input. Bit-identical to [`FeedForward::forward`] given the
+    /// same projections: the activation and down-projection are shared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when the hidden width differs from
+    /// the configured MLP width, or gatedness disagrees with `gate`'s presence
+    /// or shape.
+    pub fn forward_from_hidden(
+        &self,
+        mut hidden: Matrix,
+        gate: Option<Matrix>,
+    ) -> Result<Matrix, LlmError> {
+        if hidden.cols() != self.mlp_dim || self.is_gated() != gate.is_some() {
+            return Err(LlmError::ShapeMismatch {
+                op: "mlp forward_from_hidden",
+                lhs: hidden.shape(),
+                rhs: (self.mlp_dim, self.embedding_dim),
+            });
+        }
+        match gate {
+            None => hidden.map_in_place(gelu),
+            Some(mut gate) => {
+                if gate.shape() != hidden.shape() {
+                    return Err(LlmError::ShapeMismatch {
+                        op: "mlp forward_from_hidden (gate)",
+                        lhs: hidden.shape(),
+                        rhs: gate.shape(),
+                    });
+                }
+                gate.map_in_place(silu);
+                hidden.mul_assign(&gate)?;
+            }
+        }
+        hidden.matmul(&self.w_out)
+    }
+
     /// Runs the MLP over a `seq × E` input.
     ///
     /// # Errors

@@ -17,6 +17,7 @@
 //! predictor needs.
 
 use crate::config::NormKind;
+use crate::error::LlmError;
 use crate::tensor::Matrix;
 use haan_numerics::stats::{normalize_rows_into, RowNormMode, VectorStats, DEFAULT_EPS};
 
@@ -121,6 +122,130 @@ pub trait Normalizer {
         let mut out = Matrix::zeros(input.rows(), input.cols());
         self.normalize_matrix_into(site, input, gamma, beta, &mut out);
         out
+    }
+
+    /// Fused residual+norm site: writes `input + residual` into `sum_out` and the
+    /// normalization of that sum into `out`.
+    ///
+    /// This is the transformer block's `attn_out + hidden → norm` seam. The default
+    /// implementation is the composed sequence the block used before fusion existed —
+    /// an elementwise add followed by [`Normalizer::normalize_matrix_into`] — so
+    /// third-party normalizers observe exactly the same calls (same site, same summed
+    /// matrix) as the unfused path. The HAAN normalizer overrides it to stream the
+    /// add through the backend's fused residual+norm kernel.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use haan_llm::norm::{NormSite, Normalizer, ReferenceNormalizer};
+    /// use haan_llm::{Matrix, NormKind};
+    ///
+    /// let input = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0])?;
+    /// let residual = Matrix::from_vec(1, 4, vec![0.5, 0.5, 0.5, 0.5])?;
+    /// let gamma = vec![1.0f32; 4];
+    /// let beta = vec![0.0f32; 4];
+    /// let site = NormSite { layer_index: 0, kind: NormKind::LayerNorm };
+    /// let (mut sum, mut normed) = (Matrix::zeros(1, 4), Matrix::zeros(1, 4));
+    /// ReferenceNormalizer::new()
+    ///     .normalize_residual_into(site, &input, &residual, &gamma, &beta, &mut sum, &mut normed);
+    /// assert_eq!(sum.row(0), &[1.5, 2.5, 3.5, 4.5]);
+    /// let mean: f32 = normed.row(0).iter().sum::<f32>() / 4.0;
+    /// assert!(mean.abs() < 1e-5);
+    /// # Ok::<(), haan_llm::LlmError>(())
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics when `residual` / `sum_out` / `out` differ from `input` in shape or when
+    /// `gamma` / `beta` do not have `input.cols()` elements.
+    #[allow(clippy::too_many_arguments)]
+    fn normalize_residual_into(
+        &mut self,
+        site: NormSite,
+        input: &Matrix,
+        residual: &Matrix,
+        gamma: &[f32],
+        beta: &[f32],
+        sum_out: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            input.shape(),
+            residual.shape(),
+            "normalize_residual_into shape mismatch"
+        );
+        assert_eq!(
+            input.shape(),
+            sum_out.shape(),
+            "normalize_residual_into shape mismatch"
+        );
+        for ((s, &a), &b) in sum_out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(input.as_slice())
+            .zip(residual.as_slice())
+        {
+            *s = a + b;
+        }
+        self.normalize_matrix_into(site, sum_out, gamma, beta, out);
+    }
+
+    /// Norm+matmul-epilogue site: normalizes `input` once and multiplies the result
+    /// into every weight matrix, writing `rows × weights[i].cols()` into `outs[i]`.
+    ///
+    /// This is the transformer block's `norm → Q/K/V projections` seam (and the MLP's
+    /// `norm → w_in/w_gate` seam): the consumers share one set of row statistics. The
+    /// default implementation is the composed sequence — materialize
+    /// [`Normalizer::normalize_matrix`], then one blocked matmul per consumer — so
+    /// third-party normalizers keep the unfused observable behavior. The HAAN
+    /// normalizer overrides it to apply γβ inside the matmul's output-tile loop so
+    /// the normalized matrix never materializes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use haan_llm::norm::{NormSite, Normalizer, ReferenceNormalizer};
+    /// use haan_llm::{Matrix, NormKind};
+    ///
+    /// let input = Matrix::from_vec(2, 2, vec![3.0, 1.0, -1.0, 5.0])?;
+    /// let identity = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0])?;
+    /// let gamma = vec![1.0f32; 2];
+    /// let beta = vec![0.0f32; 2];
+    /// let site = NormSite { layer_index: 0, kind: NormKind::LayerNorm };
+    /// let mut outs = [Matrix::zeros(2, 2)];
+    /// let mut reference = ReferenceNormalizer::new();
+    /// reference.normalize_matmul_into(site, &input, &gamma, &beta, &[&identity], &mut outs)?;
+    /// // Multiplying by the identity recovers the normalized matrix itself.
+    /// let normed = reference.normalize_matrix(site, &input, &gamma, &beta);
+    /// assert_eq!(outs[0].as_slice(), normed.as_slice());
+    /// # Ok::<(), haan_llm::LlmError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::ShapeMismatch`] when `weights` and `outs` disagree in
+    /// count or when any weight/output pair is incompatible with `input`'s shape.
+    fn normalize_matmul_into(
+        &mut self,
+        site: NormSite,
+        input: &Matrix,
+        gamma: &[f32],
+        beta: &[f32],
+        weights: &[&Matrix],
+        outs: &mut [Matrix],
+    ) -> Result<(), LlmError> {
+        if weights.len() != outs.len() {
+            return Err(LlmError::ShapeMismatch {
+                op: "normalize_matmul_into",
+                lhs: (weights.len(), 0),
+                rhs: (outs.len(), 0),
+            });
+        }
+        let normed = self.normalize_matrix(site, input, gamma, beta);
+        for (weight, out) in weights.iter().zip(outs.iter_mut()) {
+            normed.matmul_into(weight, out)?;
+        }
+        Ok(())
     }
 
     /// Called before the first normalization layer of each token's forward pass.

@@ -1,0 +1,468 @@
+//! Cross-operation fusion kernels: residual+statistics and norm+matmul-epilogue.
+//!
+//! The d-Matrix fusion paper observes that normalization around a transformer block
+//! wastes memory bandwidth twice: the residual sum is written out and immediately
+//! re-read to compute row statistics, and the normalized matrix is materialized only
+//! to be streamed once into the adjacent matmul. The two kernels in this module close
+//! both seams in software, and they are written so that the fused result is
+//! **bit-identical** to the composed sequence they replace:
+//!
+//! * [`add_rows_stats_chunked`] computes `sum_out = a + b` elementwise while
+//!   accumulating the same shift-centred, lane-parallel statistics as
+//!   [`VectorStats::compute_chunked`] over the summed values — one traversal while the
+//!   row is cache-hot instead of a write followed by a full re-read. Every float
+//!   operation (the `a + b` add, the shift, the lane assignment, the pairwise lane
+//!   tree, the health check, the one-pass fallback) matches the composed
+//!   `add`-then-`compute_chunked` sequence exactly.
+//! * [`norm_matmul_epilogue_into`] multiplies the *normalized* rows of `data` by a
+//!   weight matrix without ever materializing the normalized matrix: each reduction
+//!   panel is normalized once into a hot 64-wide buffer (the exact
+//!   [`apply_norm_into`] expressions) and swept across the output tiles. Because every
+//!   output element still accumulates its `k` terms in ascending order — the same
+//!   order as [`matmul_rows_into`] — the fused product is bit-identical to
+//!   normalize-then-matmul.
+//! * [`matmul_rows_into`] is the plain cache-blocked slice matmul used as the composed
+//!   half of the parity oracle. It reproduces the accumulation order of the transformer
+//!   substrate's `Matrix::matmul_into` (ascending `k` per output element), so oracles
+//!   built from it agree bit-for-bit with the block's unfused path.
+
+use crate::error::NumericError;
+use crate::stats::{
+    apply_norm_into, check_len, RowNormMode, VectorStats, CHUNK_BLOCK, CHUNK_LANES,
+};
+
+/// Reduction/output tile width of the blocked matmul kernels.
+///
+/// Chosen to match the transformer substrate's `Matrix` kernel tile; the value only
+/// affects performance, not results — per output element both kernels accumulate the
+/// reduction in ascending `k` order regardless of the tile width.
+const MATMUL_BLOCK: usize = 64;
+
+/// Hot lane loop of [`add_rows_stats_chunked`]: sums the whole-chunk portion of one
+/// block elementwise into `chunks_s` while accumulating the shifted statistics lanes.
+///
+/// `#[inline(never)]` with by-value accumulators for the same reason as
+/// `stats::accumulate_lanes`: isolated, LLVM keeps the fixed-shape
+/// `[f32; CHUNK_LANES]` loop packed; inlined next to the remainder/reduction-tree
+/// code it is SLP-scalarized. Identical per-lane operation order, bit-identical
+/// results.
+#[inline(never)]
+fn add_accumulate_lanes(
+    chunks_a: &[[f32; CHUNK_LANES]],
+    chunks_b: &[[f32; CHUNK_LANES]],
+    chunks_s: &mut [[f32; CHUNK_LANES]],
+    shift: f32,
+    mut sum_lanes: [f32; CHUNK_LANES],
+    mut sq_lanes: [f32; CHUNK_LANES],
+) -> ([f32; CHUNK_LANES], [f32; CHUNK_LANES]) {
+    for ((ca, cb), cs) in chunks_a.iter().zip(chunks_b).zip(chunks_s) {
+        for lane in 0..CHUNK_LANES {
+            let s = ca[lane] + cb[lane];
+            cs[lane] = s;
+            let d = s - shift;
+            sum_lanes[lane] += d;
+            sq_lanes[lane] += d * d;
+        }
+    }
+    (sum_lanes, sq_lanes)
+}
+
+/// Fused residual add + chunked row statistics: writes `sum_out[i] = a[i] + b[i]` and
+/// returns the [`VectorStats::compute_chunked`] statistics of the summed row, in one
+/// traversal.
+///
+/// Bit-identical to the composed sequence
+/// `for i { sum_out[i] = a[i] + b[i] }; VectorStats::compute_chunked(sum_out)`:
+/// the shift is the first summed element, the lane/block accumulation structure is the
+/// same, and unhealthy accumulators fall back to
+/// [`VectorStats::compute_one_pass`] over the (already written) summed row exactly like
+/// the composed kernel does.
+///
+/// # Errors
+///
+/// Returns [`NumericError::EmptyInput`] for empty rows and
+/// [`NumericError::LengthMismatch`] when `b` or `sum_out` disagree with `a` in length.
+pub fn add_rows_stats_chunked(
+    a: &[f32],
+    b: &[f32],
+    sum_out: &mut [f32],
+) -> Result<VectorStats, NumericError> {
+    check_len("residual", a.len(), b.len())?;
+    check_len("sum_out", a.len(), sum_out.len())?;
+    if a.is_empty() {
+        return Err(NumericError::EmptyInput);
+    }
+    let shift = a[0] + b[0];
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for ((block_a, block_b), block_s) in a
+        .chunks(CHUNK_BLOCK)
+        .zip(b.chunks(CHUNK_BLOCK))
+        .zip(sum_out.chunks_mut(CHUNK_BLOCK))
+    {
+        let (chunks_a, rem_a) = block_a.as_chunks::<CHUNK_LANES>();
+        let (chunks_b, rem_b) = block_b.as_chunks::<CHUNK_LANES>();
+        let (chunks_s, rem_s) = block_s.as_chunks_mut::<CHUNK_LANES>();
+        let (mut sum_lanes, mut sq_lanes) = add_accumulate_lanes(
+            chunks_a,
+            chunks_b,
+            chunks_s,
+            shift,
+            [0.0; CHUNK_LANES],
+            [0.0; CHUNK_LANES],
+        );
+        for (lane, ((&va, &vb), vs)) in rem_a.iter().zip(rem_b).zip(rem_s).enumerate() {
+            let s = va + vb;
+            *vs = s;
+            let d = s - shift;
+            sum_lanes[lane] += d;
+            sq_lanes[lane] += d * d;
+        }
+        // Pairwise lane reduction keeps the tree shape deterministic.
+        let mut width = CHUNK_LANES / 2;
+        while width > 0 {
+            for lane in 0..width {
+                sum_lanes[lane] += sum_lanes[lane + width];
+                sq_lanes[lane] += sq_lanes[lane + width];
+            }
+            width /= 2;
+        }
+        sum += f64::from(sum_lanes[0]);
+        sum_sq += f64::from(sq_lanes[0]);
+    }
+    // Same disqualification rule as `compute_chunked`; the summed row is fully
+    // written at this point, so the exact fallback sees the same values the composed
+    // sequence would.
+    let healthy =
+        sum.is_finite() && sum_sq.is_finite() && (sum_sq >= 1e-30 || (sum_sq == 0.0 && sum == 0.0));
+    if !healthy {
+        return VectorStats::compute_one_pass(sum_out);
+    }
+    let n = a.len() as f64;
+    let shifted_mean = sum / n;
+    let variance = (sum_sq / n - shifted_mean * shifted_mean).max(0.0);
+    Ok(VectorStats {
+        mean: (f64::from(shift) + shifted_mean) as f32,
+        variance: variance as f32,
+        count: a.len(),
+    })
+}
+
+/// Cache-blocked row-major matmul over raw slices: `out = a × b`, with `a` of shape
+/// `rows × a_cols` and `b` of shape `a_cols × b_cols`.
+///
+/// Reproduces the accumulation order of the transformer substrate's
+/// `Matrix::matmul_into` — per output element the reduction terms are added in
+/// ascending `k` order — so composed normalize-then-matmul oracles built from this
+/// kernel are bit-identical to the block's unfused path.
+///
+/// # Errors
+///
+/// Returns [`NumericError::LengthMismatch`] when `a` is not a whole number of rows or
+/// when `b` / `out` disagree with the implied shapes, and [`NumericError::EmptyInput`]
+/// when `a_cols` is zero while `a` is non-empty.
+pub fn matmul_rows_into(
+    a: &[f32],
+    a_cols: usize,
+    b: &[f32],
+    b_cols: usize,
+    out: &mut [f32],
+) -> Result<(), NumericError> {
+    if a_cols == 0 {
+        return if a.is_empty() && b.is_empty() && out.is_empty() {
+            Ok(())
+        } else {
+            Err(NumericError::EmptyInput)
+        };
+    }
+    if !a.len().is_multiple_of(a_cols) {
+        return Err(NumericError::LengthMismatch {
+            what: "a",
+            expected: a.len().div_ceil(a_cols) * a_cols,
+            actual: a.len(),
+        });
+    }
+    let rows = a.len() / a_cols;
+    check_len("b", a_cols * b_cols, b.len())?;
+    check_len("out", rows * b_cols, out.len())?;
+    out.fill(0.0);
+    for jj in (0..b_cols).step_by(MATMUL_BLOCK) {
+        let j_end = (jj + MATMUL_BLOCK).min(b_cols);
+        for kk in (0..a_cols).step_by(MATMUL_BLOCK) {
+            let k_end = (kk + MATMUL_BLOCK).min(a_cols);
+            for i in 0..rows {
+                let a_panel = &a[i * a_cols + kk..i * a_cols + k_end];
+                let out_tile = &mut out[i * b_cols + jj..i * b_cols + j_end];
+                let rhs_panel = b[kk * b_cols..k_end * b_cols].chunks_exact(b_cols);
+                for (&av, rhs_row) in a_panel.iter().zip(rhs_panel) {
+                    for (o, &bv) in out_tile.iter_mut().zip(&rhs_row[jj..j_end]) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Norm+matmul epilogue: multiplies the normalized rows of `data` by `weights`
+/// (`cols × n`, row-major) into `out` (`rows × n`) without materializing the
+/// normalized matrix.
+///
+/// Per-row statistics arrive precomputed in `means` / `isds` (the HAAN policy layer —
+/// subsampling, quantized statistics, skip prediction — decides them). Each row is
+/// normalized once into a single cache-hot `cols`-wide buffer with the exact
+/// [`apply_norm_into`] expressions and immediately multiplied against the weights, so
+/// the `rows × cols` normalized intermediate never touches memory: the live
+/// intermediate is one row, and the input is streamed row-major exactly once. The
+/// reduction still accumulates in ascending `k` order per output element, which makes
+/// the result bit-identical to [`apply_norm_into`]-then-[`matmul_rows_into`].
+///
+/// # Errors
+///
+/// Returns [`NumericError::LengthMismatch`] when any buffer disagrees with the implied
+/// shapes and [`NumericError::EmptyInput`] when `cols` is zero while `data` is
+/// non-empty.
+#[allow(clippy::too_many_arguments)]
+pub fn norm_matmul_epilogue_into(
+    data: &[f32],
+    cols: usize,
+    gamma: &[f32],
+    beta: &[f32],
+    mode: RowNormMode,
+    means: &[f32],
+    isds: &[f32],
+    weights: &[f32],
+    n: usize,
+    out: &mut [f32],
+) -> Result<(), NumericError> {
+    if cols == 0 {
+        return if data.is_empty() && weights.is_empty() && out.is_empty() {
+            Ok(())
+        } else {
+            Err(NumericError::EmptyInput)
+        };
+    }
+    if !data.len().is_multiple_of(cols) {
+        return Err(NumericError::LengthMismatch {
+            what: "data",
+            expected: data.len().div_ceil(cols) * cols,
+            actual: data.len(),
+        });
+    }
+    let rows = data.len() / cols;
+    check_len("gamma", cols, gamma.len())?;
+    check_len("beta", cols, beta.len())?;
+    check_len("means", rows, means.len())?;
+    check_len("isds", rows, isds.len())?;
+    check_len("weights", cols * n, weights.len())?;
+    check_len("out", rows * n, out.len())?;
+    out.fill(0.0);
+    // One cache-hot row is the only normalized intermediate that ever exists —
+    // this is the fusion: the γβ apply feeds the matmul straight out of cache
+    // while `data` streams through row-major exactly once, and the weight
+    // panels stay resident across rows.
+    let mut row_buf = vec![0.0f32; cols];
+    for i in 0..rows {
+        apply_norm_into(
+            &data[i * cols..(i + 1) * cols],
+            gamma,
+            beta,
+            mode,
+            means[i],
+            isds[i],
+            &mut row_buf,
+        )?;
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for jj in (0..n).step_by(MATMUL_BLOCK) {
+            let j_end = (jj + MATMUL_BLOCK).min(n);
+            for kk in (0..cols).step_by(MATMUL_BLOCK) {
+                let k_end = (kk + MATMUL_BLOCK).min(cols);
+                let out_tile = &mut out_row[jj..j_end];
+                let rhs_panel = weights[kk * n..k_end * n].chunks_exact(n);
+                for (&av, rhs_row) in row_buf[kk..k_end].iter().zip(rhs_panel) {
+                    for (o, &bv) in out_tile.iter_mut().zip(&rhs_row[jj..j_end]) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DEFAULT_EPS;
+
+    const EDGE_LENGTHS: [usize; 8] = [1, 2, 7, 8, 9, 13, 127, 300];
+
+    fn varied_row(len: usize, scale: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| (((i * 2_654_435_761) % 1000) as f32 / 250.0 - 2.0) * scale)
+            .collect()
+    }
+
+    #[test]
+    fn fused_add_stats_is_bit_identical_to_add_then_chunked() {
+        for &len in &EDGE_LENGTHS {
+            for &scale in &[1.0f32, 1e-3, 1e3] {
+                let a = varied_row(len, scale);
+                let b = varied_row(len, scale * 0.5);
+                let mut fused_sum = vec![0.0f32; len];
+                let fused = add_rows_stats_chunked(&a, &b, &mut fused_sum).unwrap();
+
+                let composed_sum: Vec<f32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+                let composed = VectorStats::compute_chunked(&composed_sum).unwrap();
+
+                assert_eq!(fused_sum, composed_sum, "len {len} scale {scale}");
+                assert_eq!(fused.mean.to_bits(), composed.mean.to_bits());
+                assert_eq!(fused.variance.to_bits(), composed.variance.to_bits());
+                assert_eq!(fused.count, composed.count);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_add_stats_subnormal_rows_take_the_exact_fallback_identically() {
+        // Squares of ~1e-38-scale deviations vanish in f32, tripping the health check
+        // in both the fused and the composed kernel; the fallbacks must agree too.
+        for &len in &EDGE_LENGTHS {
+            let a = varied_row(len, 1e-38);
+            let b = varied_row(len, 0.5e-38);
+            let mut fused_sum = vec![0.0f32; len];
+            let fused = add_rows_stats_chunked(&a, &b, &mut fused_sum).unwrap();
+
+            let composed_sum: Vec<f32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+            let composed = VectorStats::compute_chunked(&composed_sum).unwrap();
+
+            assert_eq!(fused_sum, composed_sum);
+            assert_eq!(fused.mean.to_bits(), composed.mean.to_bits());
+            assert_eq!(fused.variance.to_bits(), composed.variance.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_add_stats_rejects_mismatched_lengths_and_empty_rows() {
+        let mut sum = [0.0f32; 2];
+        assert!(matches!(
+            add_rows_stats_chunked(&[1.0, 2.0], &[1.0], &mut sum),
+            Err(NumericError::LengthMismatch {
+                what: "residual",
+                ..
+            })
+        ));
+        assert!(matches!(
+            add_rows_stats_chunked(&[1.0, 2.0], &[1.0, 2.0], &mut sum[..1]),
+            Err(NumericError::LengthMismatch {
+                what: "sum_out",
+                ..
+            })
+        ));
+        let mut empty: [f32; 0] = [];
+        assert!(matches!(
+            add_rows_stats_chunked(&[], &[], &mut empty),
+            Err(NumericError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn slice_matmul_matches_the_naive_product() {
+        let (rows, cols, n) = (3, 70, 65);
+        let a = varied_row(rows * cols, 1.0);
+        let b = varied_row(cols * n, 0.1);
+        let mut out = vec![0.0f32; rows * n];
+        matmul_rows_into(&a, cols, &b, n, &mut out).unwrap();
+        for i in 0..rows {
+            for j in 0..n {
+                let exact: f64 = (0..cols)
+                    .map(|k| f64::from(a[i * cols + k]) * f64::from(b[k * n + j]))
+                    .sum();
+                assert!(
+                    (f64::from(out[i * n + j]) - exact).abs() < 1e-3,
+                    "({i},{j}): {} vs {exact}",
+                    out[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epilogue_is_bit_identical_to_normalize_then_matmul() {
+        for &(rows, cols, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 7, 5),
+            (2, 64, 64),
+            (4, 127, 33),
+        ] {
+            for mode in [RowNormMode::LayerNorm, RowNormMode::RmsNorm] {
+                let data = varied_row(rows * cols, 1.0);
+                let gamma = varied_row(cols, 0.3);
+                let beta = varied_row(cols, 0.1);
+                let weights = varied_row(cols * n, 0.2);
+                let mut means = vec![0.0f32; rows];
+                let mut isds = vec![0.0f32; rows];
+                for r in 0..rows {
+                    let stats =
+                        VectorStats::compute_chunked(&data[r * cols..(r + 1) * cols]).unwrap();
+                    means[r] = stats.mean;
+                    isds[r] = match mode {
+                        RowNormMode::LayerNorm => stats.isd(DEFAULT_EPS),
+                        RowNormMode::RmsNorm => 1.0 / stats.rms(DEFAULT_EPS),
+                    };
+                }
+
+                let mut fused = vec![0.0f32; rows * n];
+                norm_matmul_epilogue_into(
+                    &data, cols, &gamma, &beta, mode, &means, &isds, &weights, n, &mut fused,
+                )
+                .unwrap();
+
+                let mut normed = vec![0.0f32; rows * cols];
+                for r in 0..rows {
+                    apply_norm_into(
+                        &data[r * cols..(r + 1) * cols],
+                        &gamma,
+                        &beta,
+                        mode,
+                        means[r],
+                        isds[r],
+                        &mut normed[r * cols..(r + 1) * cols],
+                    )
+                    .unwrap();
+                }
+                let mut composed = vec![0.0f32; rows * n];
+                matmul_rows_into(&normed, cols, &weights, n, &mut composed).unwrap();
+
+                let fused_bits: Vec<u32> = fused.iter().map(|v| v.to_bits()).collect();
+                let composed_bits: Vec<u32> = composed.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(fused_bits, composed_bits, "{rows}x{cols}x{n} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn epilogue_validates_shapes() {
+        let mut out = [0.0f32; 2];
+        let err = norm_matmul_epilogue_into(
+            &[1.0, 2.0],
+            2,
+            &[1.0, 1.0],
+            &[0.0, 0.0],
+            RowNormMode::LayerNorm,
+            &[0.0],
+            &[1.0],
+            &[1.0, 0.0, 0.0],
+            2,
+            &mut out,
+        );
+        assert!(matches!(
+            err,
+            Err(NumericError::LengthMismatch {
+                what: "weights",
+                ..
+            })
+        ));
+    }
+}

@@ -20,6 +20,10 @@
 //!   [`stats::normalize_rows_into`] (statistics + affine apply per row into a
 //!   caller-provided buffer, no allocation). The scalar routines stay as the
 //!   reference oracle; the fused kernels are property-tested against them.
+//! * [`fusion`] — cross-operation fusion kernels: fused residual-add + statistics
+//!   ([`fusion::add_rows_stats_chunked`]) and the norm+matmul epilogue
+//!   ([`fusion::norm_matmul_epilogue_into`]), each bit-identical to the composed
+//!   sequence it replaces.
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@ pub mod error;
 pub mod fixed;
 pub mod format;
 pub mod fp16;
+pub mod fusion;
 pub mod invsqrt;
 pub mod quant;
 pub mod stats;

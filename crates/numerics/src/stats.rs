@@ -112,7 +112,8 @@ impl VectorStats {
     }
 
     /// Computes mean and variance with a shift-centred one-pass formulation over
-    /// [`CHUNK_LANES`] independent accumulator lanes.
+    /// [`CHUNK_LANES`] independent accumulator lanes (hot loop in
+    /// `accumulate_lanes`).
     ///
     /// This is the SIMD-amenable form of [`VectorStats::compute_one_pass`]:
     ///
@@ -141,17 +142,10 @@ impl VectorStats {
         let mut sum = 0.0f64;
         let mut sum_sq = 0.0f64;
         for block in values.chunks(CHUNK_BLOCK) {
-            let mut sum_lanes = [0.0f32; CHUNK_LANES];
-            let mut sq_lanes = [0.0f32; CHUNK_LANES];
-            let mut chunks = block.chunks_exact(CHUNK_LANES);
-            for chunk in &mut chunks {
-                for lane in 0..CHUNK_LANES {
-                    let d = chunk[lane] - shift;
-                    sum_lanes[lane] += d;
-                    sq_lanes[lane] += d * d;
-                }
-            }
-            for (lane, &v) in chunks.remainder().iter().enumerate() {
+            let (chunks, remainder) = block.as_chunks::<CHUNK_LANES>();
+            let (mut sum_lanes, mut sq_lanes) =
+                accumulate_lanes(chunks, shift, [0.0; CHUNK_LANES], [0.0; CHUNK_LANES]);
+            for (lane, &v) in remainder.iter().enumerate() {
                 let d = v - shift;
                 sum_lanes[lane] += d;
                 sq_lanes[lane] += d * d;
@@ -245,6 +239,32 @@ pub const CHUNK_LANES: usize = 16;
 /// [`VectorStats::compute_chunked`]: 16 additions per lane per block keeps the f32
 /// rounding error a few ULP while amortising the f64 conversion.
 pub const CHUNK_BLOCK: usize = 256;
+
+/// Hot lane loop of [`VectorStats::compute_chunked`]: accumulates shifted sums and
+/// squares across the whole-chunk portion of one block.
+///
+/// Deliberately `#[inline(never)]` with by-value accumulators: isolated like this,
+/// LLVM vectorizes the fixed-shape `[f32; CHUNK_LANES]` loop into packed lane
+/// arithmetic, whereas inlined next to the remainder/reduction-tree code (whose
+/// dynamic indexing forces the accumulators into memory) the same loop is
+/// SLP-scalarized — ~3× slower. The per-lane operation order is identical either
+/// way, so results are bit-identical.
+#[inline(never)]
+pub(crate) fn accumulate_lanes(
+    chunks: &[[f32; CHUNK_LANES]],
+    shift: f32,
+    mut sum_lanes: [f32; CHUNK_LANES],
+    mut sq_lanes: [f32; CHUNK_LANES],
+) -> ([f32; CHUNK_LANES], [f32; CHUNK_LANES]) {
+    for chunk in chunks {
+        for lane in 0..CHUNK_LANES {
+            let d = chunk[lane] - shift;
+            sum_lanes[lane] += d;
+            sq_lanes[lane] += d * d;
+        }
+    }
+    (sum_lanes, sq_lanes)
+}
 
 /// Which statistic the fused row kernels normalize by.
 ///
@@ -389,7 +409,11 @@ pub fn normalize_rows_into(
     Ok(())
 }
 
-fn check_len(what: &'static str, expected: usize, actual: usize) -> Result<(), NumericError> {
+pub(crate) fn check_len(
+    what: &'static str,
+    expected: usize,
+    actual: usize,
+) -> Result<(), NumericError> {
     if expected == actual {
         Ok(())
     } else {

@@ -1,0 +1,194 @@
+//! Fusion sites: the fused residual+norm and norm+matmul-epilogue request
+//! shapes vs their composed decomposition (separate add → norm → matmul).
+//!
+//! The same `HaanNormalizer` entry points (`normalize_residual_into`,
+//! `normalize_matmul_into`) run twice — once with fusion enabled (the default)
+//! and once with `HaanConfig::builder().fusion(false)`, which restores the
+//! composed operation order — and the outputs must be bit-identical: the fused
+//! kernels preserve the composed reduction orders exactly (see
+//! `tests/fusion_parity.rs`). A scalar-backend oracle bounds both within the
+//! documented tolerances, and per-site ns/element timings show what the fusion
+//! actually buys on paper-width (4096-element) rows.
+//!
+//! Run with: `cargo run --release --example fusion`
+
+use haan::{BackendSelection, HaanConfig, HaanNormalizer};
+use haan_llm::norm::{NormSite, Normalizer};
+use haan_llm::{Matrix, NormKind};
+use std::time::Instant;
+
+/// Rows of the demonstration batch: a prefill-sized chunk large enough that the
+/// matrices spill past cache, so the timing shows what skipping whole memory
+/// passes buys rather than L1-resident arithmetic.
+const ROWS: usize = 1024;
+/// Paper-width rows (GPT-2-XL hidden size); the acceptance width of the
+/// `fusion` block in `bench_report`.
+const COLS: usize = 4096;
+/// Output width of each epilogue consumer. Narrow consumers keep the matmul
+/// flops (identical on both paths) from swamping the traffic the fusion
+/// removes — the effect being demonstrated, not the matmul.
+const CONSUMER_COLS: usize = 8;
+/// Consumers per epilogue request. A single consumer is the shape where the
+/// fused epilogue's saving is purest: the fused path re-normalizes each row
+/// once per consumer, so wide fan-outs trade the skipped intermediate against
+/// repeated γβ arithmetic.
+const CONSUMERS: usize = 1;
+/// Timing repetitions per path (best-of filters scheduler noise).
+const TIMING_BATCHES: usize = 5;
+const TIMING_ITERS: usize = 5;
+
+fn patterned_matrix(rows: usize, cols: usize, salt: u64, scale: f32) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(2654435761).wrapping_add(salt);
+            (x % 1000) as f32 / 500.0 * scale - scale
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("consistent shape")
+}
+
+/// Exact-statistics (Fp32, full-row) configuration: the fused residual+norm
+/// single pass engages only when quantization is the identity, so the exact
+/// config is where the fusion sites show their full effect.
+fn normalizer(backend: BackendSelection, fusion: bool) -> HaanNormalizer {
+    HaanNormalizer::new(HaanConfig {
+        backend,
+        fusion_enabled: fusion,
+        ..HaanConfig::unoptimized()
+    })
+}
+
+/// Best-of-batches ns/element of `routine` over the `ROWS`×`COLS` input.
+fn time_per_element<F: FnMut()>(mut routine: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TIMING_BATCHES {
+        let started = Instant::now();
+        for _ in 0..TIMING_ITERS {
+            routine();
+        }
+        let nanos = started.elapsed().as_nanos() as f64 / TIMING_ITERS as f64;
+        best = best.min(nanos);
+    }
+    best / (ROWS * COLS) as f64
+}
+
+fn max_abs_delta(a: &Matrix, b: &Matrix) -> f32 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let input = patterned_matrix(ROWS, COLS, 7, 2.0);
+    let residual = patterned_matrix(ROWS, COLS, 1913, 1.5);
+    let gamma: Vec<f32> = (0..COLS).map(|i| 1.0 + (i % 5) as f32 * 0.1).collect();
+    let beta: Vec<f32> = (0..COLS).map(|i| (i % 3) as f32 * 0.2 - 0.2).collect();
+    let weights: Vec<Matrix> = (0..CONSUMERS)
+        .map(|c| patterned_matrix(COLS, CONSUMER_COLS, 31 + c as u64, 0.5))
+        .collect();
+    let weight_refs: Vec<&Matrix> = weights.iter().collect();
+    let site = |layer_index| NormSite {
+        layer_index,
+        kind: NormKind::LayerNorm,
+    };
+
+    // 1. Parity: the fused paths must be bit-identical to the composed
+    //    decomposition on the same backend, and oracle-close on the scalar one.
+    let mut fused = normalizer(BackendSelection::Fused, true);
+    let mut composed = normalizer(BackendSelection::Fused, false);
+    let mut oracle = normalizer(BackendSelection::Scalar, false);
+
+    let mut runs = Vec::new();
+    for norm in [&mut fused, &mut composed, &mut oracle] {
+        let mut summed = Matrix::zeros(ROWS, COLS);
+        let mut normed = Matrix::zeros(ROWS, COLS);
+        norm.normalize_residual_into(
+            site(0),
+            &input,
+            &residual,
+            &gamma,
+            &beta,
+            &mut summed,
+            &mut normed,
+        );
+        let mut outs: Vec<Matrix> = (0..CONSUMERS)
+            .map(|_| Matrix::zeros(ROWS, CONSUMER_COLS))
+            .collect();
+        norm.normalize_matmul_into(site(1), &input, &gamma, &beta, &weight_refs, &mut outs)?;
+        runs.push((summed, normed, outs));
+    }
+    let (oracle_run, rest) = runs.split_last().expect("three runs");
+    let (composed_run, rest) = rest.split_last().expect("two fused-backend runs");
+    let fused_run = &rest[0];
+    assert_eq!(
+        fused_run, composed_run,
+        "fused sites must be bit-identical to the composed path on the same backend"
+    );
+    assert_eq!(
+        fused_run.0, oracle_run.0,
+        "residual sums are exact on every backend"
+    );
+    let norm_delta = max_abs_delta(&fused_run.1, &oracle_run.1);
+    assert!(
+        norm_delta <= 1e-4,
+        "normalized rows vs oracle: {norm_delta}"
+    );
+    for (fused_out, oracle_out) in fused_run.2.iter().zip(&oracle_run.2) {
+        let delta = max_abs_delta(fused_out, oracle_out);
+        assert!(delta <= 1e-3, "epilogue outputs vs oracle: {delta}");
+    }
+    println!(
+        "parity: fused == composed bit-identically; |Δ| vs scalar oracle ≤ {norm_delta:.2e} \
+         (normalized rows, {ROWS}x{COLS})"
+    );
+
+    // 2. Timing: what each fusion site saves over its composed decomposition.
+    let mut summed = Matrix::zeros(ROWS, COLS);
+    let mut normed = Matrix::zeros(ROWS, COLS);
+    let mut outs: Vec<Matrix> = (0..CONSUMERS)
+        .map(|_| Matrix::zeros(ROWS, CONSUMER_COLS))
+        .collect();
+    let mut residual_site = |norm: &mut HaanNormalizer| {
+        time_per_element(|| {
+            norm.normalize_residual_into(
+                site(0),
+                &input,
+                &residual,
+                &gamma,
+                &beta,
+                &mut summed,
+                &mut normed,
+            );
+            std::hint::black_box(normed.get(0, 0));
+        })
+    };
+    let residual_fused_ns = residual_site(&mut fused);
+    let residual_composed_ns = residual_site(&mut composed);
+    let mut epilogue_site = |norm: &mut HaanNormalizer| {
+        time_per_element(|| {
+            norm.normalize_matmul_into(site(1), &input, &gamma, &beta, &weight_refs, &mut outs)
+                .expect("validated shapes");
+            std::hint::black_box(outs[0].get(0, 0));
+        })
+    };
+    let epilogue_fused_ns = epilogue_site(&mut fused);
+    let epilogue_composed_ns = epilogue_site(&mut composed);
+
+    println!(
+        "residual+norm       : fused {residual_fused_ns:.3} ns/element, \
+         composed {residual_composed_ns:.3} ns/element ({:.2}x)",
+        residual_composed_ns / residual_fused_ns
+    );
+    println!(
+        "norm+matmul epilogue: fused {epilogue_fused_ns:.3} ns/element, \
+         composed {epilogue_composed_ns:.3} ns/element ({:.2}x)",
+        epilogue_composed_ns / epilogue_fused_ns
+    );
+    println!(
+        "(x{CONSUMERS} consumers of width {CONSUMER_COLS}; matmul flops are identical on both \
+         paths — the fused path skips materializing the normalized {ROWS}x{COLS} intermediate)"
+    );
+    Ok(())
+}

@@ -361,6 +361,69 @@ fn eight_streams_share_a_128_token_prefix_bit_identically_and_cheaply() {
 }
 
 #[test]
+fn fused_decode_group_is_bit_identical_to_the_unfused_path_and_the_solo_oracle() {
+    // Cross-operation fusion regression: a DecodeGroup running with the fusion
+    // sites enabled (the default — residual+norm and norm+matmul-epilogue
+    // request shapes inside every block) must generate exactly what the same
+    // group generates with fusion disabled (the pre-fusion composed op order:
+    // separate add → norm → matmul), and exactly what solo full-recompute
+    // decode generates — under a skip plan whose anchors both fused shapes
+    // record and consume.
+    let model = tiny_model();
+    let unfused_config = || {
+        HaanConfig::builder()
+            .label("continuous batching unfused")
+            .backend(BackendSelection::Fused)
+            .fusion(false)
+            .build()
+    };
+    let prompts: [&[u32]; 3] = [&[2], &[1, 9, 17, 4, 8], &[5, 1, 0, 7, 2, 6, 4, 3]];
+    const TICKS: usize = 8;
+    let mut generated: Vec<Vec<Vec<u32>>> = Vec::new();
+    for config in [haan_config(), unfused_config()] {
+        assert_eq!(config.fusion_enabled, !config.label.contains("unfused"));
+        let mut engine = ServeEngine::start(ServeConfig {
+            normalizer: config,
+            plan: Some(skip_plan()),
+            prefill_chunk_rows: 3,
+            kv_pool: KvPoolPolicy {
+                page_rows: 8,
+                capacity_rows: 4 * model.config().max_seq_len * model.config().num_blocks,
+            },
+            ..Default::default()
+        });
+        let mut group = engine
+            .decode_group(&model, &prompts)
+            .expect("valid prompts");
+        for _ in 0..TICKS {
+            group.step_all().expect("tick");
+        }
+        generated.push(
+            (0..prompts.len())
+                .map(|i| group.generated(i).to_vec())
+                .collect(),
+        );
+        engine.shutdown();
+    }
+    assert_eq!(
+        generated[0], generated[1],
+        "fused group diverged from the pre-fusion composed path"
+    );
+    // Both also equal solo full-recompute decode, with fusion on and off.
+    for (i, prompt) in prompts.iter().enumerate() {
+        for config in [haan_config(), unfused_config()] {
+            let mut private = HaanNormalizer::new(config).with_plan(skip_plan());
+            let mut oracle = StreamingModel::new_full_recompute(&model, prompt).unwrap();
+            let expected = oracle.decode(generated[0][i].len(), &mut private).unwrap();
+            assert_eq!(
+                generated[0][i], expected,
+                "stream {i} diverged from its solo full-recompute oracle"
+            );
+        }
+    }
+}
+
+#[test]
 fn long_prompt_joining_a_wide_group_never_stalls_resident_streams() {
     // The latency acceptance bar: a 256-token prompt joining a 64-stream
     // group prefills in 32-row chunks stacked into the shared passes, and no
